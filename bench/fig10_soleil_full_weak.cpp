@@ -1,0 +1,39 @@
+// Figure 10: Soleil-X (fluid, particle and DOM) weak scaling, 1-32 nodes.
+// Three curves: DCR+IDX with the dynamic projection-functor checks, the
+// same with checks elided, and DCR without index launches. The DOM module's
+// non-trivial projection functors are what the checks verify.
+#include "fig_common.hpp"
+
+int main() {
+  using namespace idxl;
+  std::vector<sim::SimConfig> configs(3);
+  configs[0].dcr = true;
+  configs[0].idx = true;
+  configs[0].dynamic_checks = true;
+  configs[1].dcr = true;
+  configs[1].idx = true;
+  configs[1].dynamic_checks = false;
+  configs[2].dcr = true;
+  configs[2].idx = false;
+
+  const auto nodes = sim::nodes_up_to(32);
+  std::vector<sim::Series> series(3);
+  series[0].label = "DCR, IDX (dyn check)";
+  series[1].label = "DCR, IDX (no check)";
+  series[2].label = "DCR, No IDX";
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    for (uint32_t n : nodes) {
+      sim::SimConfig config = configs[c];
+      config.nodes = n;
+      const auto r = sim::simulate(apps::soleil_full_spec(n), config);
+      series[c].points.emplace_back(n, 1.0 / r.seconds_per_iteration);
+    }
+  }
+  sim::print_figure("Figure 10: Soleil-X full (fluid+particles+DOM) weak scaling",
+                    "iterations/s per node", nodes, series);
+  std::printf(
+      "paper shape: DOM sweeps scale worse than forall parallelism (~64%% "
+      "efficiency at 32 nodes); the dynamic-check and no-check curves are "
+      "indistinguishable — the hybrid analysis is effectively free.\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 4: Circuit strong scaling, 5.1e6 wires total, 1-512 nodes,
+// throughput in 1e6 wires/s, four configurations (DCR x IDX).
+#include "fig_common.hpp"
+
+int main() {
+  using namespace idxl;
+  bench::run_figure(
+      "Figure 4: Circuit strong scaling (5.1e6 wires)", "10^6 wires/s",
+      [](uint32_t n) { return apps::circuit_strong_spec(n); }, sim::four_configs(),
+      /*max_nodes=*/512,
+      [](const sim::SimResult& r, uint32_t) {
+        return 5.1e6 / r.seconds_per_iteration / 1e6;
+      },
+      "DCR+IDX best at scale (~1.6x over DCR-only in the paper); No-DCR "
+      "configurations flatten early as node 0's issuance serializes.");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 8: Stencil weak scaling, 9e8 cells per node, 1-1024 nodes.
+#include "fig_common.hpp"
+
+int main() {
+  using namespace idxl;
+  bench::run_figure(
+      "Figure 8: Stencil weak scaling (9e8 cells/node)", "10^9 cells/s per node",
+      [](uint32_t n) { return apps::stencil_weak_spec(n); }, sim::four_configs(),
+      /*max_nodes=*/1024,
+      [](const sim::SimResult& r, uint32_t n) {
+        return 9e8 * n / r.seconds_per_iteration / n / 1e9;
+      },
+      "DCR with and without IDX diverge from around 512 nodes, later than "
+      "Circuit because the per-iteration kernel time is larger.");
+  return 0;
+}

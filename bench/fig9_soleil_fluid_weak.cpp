@@ -1,0 +1,21 @@
+// Figure 9: Soleil-X (fluid only) weak scaling, iterations/s per node,
+// DCR+IDX vs DCR+No-IDX.
+#include "fig_common.hpp"
+
+int main() {
+  using namespace idxl;
+  std::vector<sim::SimConfig> configs(2);
+  configs[0].dcr = true;
+  configs[0].idx = true;
+  configs[1].dcr = true;
+  configs[1].idx = false;
+
+  bench::run_figure(
+      "Figure 9: Soleil-X fluid-only weak scaling", "iterations/s per node",
+      [](uint32_t n) { return apps::soleil_fluid_spec(n); }, configs,
+      /*max_nodes=*/512,
+      [](const sim::SimResult& r, uint32_t) { return 1.0 / r.seconds_per_iteration; },
+      "index launches improve parallel efficiency (the paper reports 78% at "
+      "512 nodes) and keep the code scaling to higher node counts.");
+  return 0;
+}

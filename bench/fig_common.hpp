@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "apps/sim_specs.hpp"
+#include "sim/experiment.hpp"
+
+namespace idxl::bench {
+
+/// Shared driver for the scaling figures: sweep node counts over the given
+/// configurations, print the paper-style series, and append the shape notes
+/// the original figure supports.
+inline void run_figure(const std::string& title, const std::string& unit,
+                       const std::function<sim::AppSpec(uint32_t)>& app,
+                       const std::vector<sim::SimConfig>& configs,
+                       uint32_t max_nodes,
+                       const std::function<double(const sim::SimResult&, uint32_t)>& metric,
+                       const std::string& shape_note) {
+  const auto nodes = sim::nodes_up_to(max_nodes);
+  const auto series = sim::run_scaling_experiment(app, configs, nodes, metric);
+  sim::print_figure(title, unit, nodes, series);
+  if (!shape_note.empty()) std::printf("paper shape: %s\n", shape_note.c_str());
+}
+
+}  // namespace idxl::bench

@@ -1,0 +1,91 @@
+// google-benchmark microbenchmarks of the dynamic-check kernels backing
+// Tables 2/3 — finer-grained statistics (per-point ns, big-O fit) than the
+// paper-format tables, useful when tuning the checker itself.
+#include <benchmark/benchmark.h>
+
+#include "analysis/dynamic_check.hpp"
+
+namespace idxl {
+namespace {
+
+void BM_SelfCheckIdentity(benchmark::State& state) {
+  const auto f = ProjectionFunctor::identity(1);
+  const int64_t n = state.range(0);
+  const Domain domain = Domain::line(n);
+  const Rect colors = Rect::line(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dynamic_self_check(f, colors, domain));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SelfCheckIdentity)->Range(1 << 10, 1 << 20)->Complexity(benchmark::oN);
+
+void BM_SelfCheckModular(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto f = ProjectionFunctor::modular1d(5, n);
+  const Domain domain = Domain::line(n);
+  const Rect colors = Rect::line(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dynamic_self_check(f, colors, domain));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SelfCheckModular)->Range(1 << 10, 1 << 20)->Complexity(benchmark::oN);
+
+void BM_SelfCheckQuadratic(benchmark::State& state) {
+  const auto f = ProjectionFunctor::symbolic(
+      {make_add(make_mul(make_coord(0), make_coord(0)), make_coord(0))});
+  const int64_t n = state.range(0);
+  const Domain domain = Domain::line(n);
+  const Rect colors = Rect::line(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dynamic_self_check(f, colors, domain));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SelfCheckQuadratic)->Range(1 << 10, 1 << 20)->Complexity(benchmark::oN);
+
+void BM_SelfCheckOpaque(benchmark::State& state) {
+  // The generic (non-specialized) path: an opaque callable.
+  const auto f = ProjectionFunctor::opaque(
+      [](const Point& p) { return Point::p1(p[0] * 3 + 1); }, 1, "opaque affine");
+  const int64_t n = state.range(0);
+  const Domain domain = Domain::line(n);
+  const Rect colors = Rect::line(3 * n + 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dynamic_self_check(f, colors, domain));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SelfCheckOpaque)->Range(1 << 10, 1 << 18)->Complexity(benchmark::oN);
+
+void BM_CrossCheckArgs(benchmark::State& state) {
+  const int64_t n = 1 << 16;
+  const auto num_args = static_cast<int>(state.range(0));
+  const Domain domain = Domain::line(n);
+  const Rect colors = Rect::line(2 * n);
+  std::vector<ProjectionFunctor> functors;
+  functors.push_back(ProjectionFunctor::affine1d(2, 0));
+  for (int a = 1; a < num_args; ++a)
+    functors.push_back(ProjectionFunctor::affine1d(2, 1));
+  std::vector<CheckArg> args;
+  for (int a = 0; a < num_args; ++a) {
+    CheckArg ca;
+    ca.functor = &functors[static_cast<std::size_t>(a)];
+    ca.color_space = colors;
+    ca.partition_disjoint = true;
+    ca.partition_uid = 1;
+    ca.collection_uid = 1;
+    ca.priv = a == 0 ? Privilege::kWrite : Privilege::kRead;
+    args.push_back(ca);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dynamic_cross_check(args, domain));
+  }
+}
+BENCHMARK(BM_CrossCheckArgs)->DenseRange(2, 5);
+
+}  // namespace
+}  // namespace idxl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Table 2: elapsed time (microseconds) of the dynamic self-check for the
+// paper's four projection-functor families, over launch domains of size
+// 1e3..1e6 with one sub-collection per domain point. Each cell averages 5
+// runs, as in the paper's protocol. All functors are chosen safe, so the
+// early exit never fires and the full O(|D|) loop is timed.
+#include <cstdio>
+
+#include "analysis/dynamic_check.hpp"
+#include "support/stats.hpp"
+
+using namespace idxl;
+
+namespace {
+
+double measure_us(const ProjectionFunctor& f, int64_t domain_size) {
+  const Domain domain = Domain::line(domain_size);
+  const Rect colors = Rect::line(domain_size);
+  // Warm up once (compiles the functor, faults pages), then time 5 runs.
+  {
+    const auto r = dynamic_self_check(f, colors, domain);
+    IDXL_ASSERT_MSG(r.safe, "table functor must be conflict-free");
+  }
+  RunningStats stats;
+  for (int rep = 0; rep < 5; ++rep) {
+    Stopwatch watch;
+    const auto r = dynamic_self_check(f, colors, domain);
+    stats.add(watch.elapsed_us());
+    IDXL_ASSERT(r.safe);
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main() {
+  const int64_t sizes[] = {1'000, 10'000, 100'000, 1'000'000};
+
+  struct Row {
+    const char* name;
+    ProjectionFunctor functor;
+  };
+  // The paper's four families (Table 2). The modular shift and quadratic
+  // coefficients are chosen so every functor is injective over each domain
+  // (quadratic values beyond the color space are skipped by the Listing-3
+  // bounds check, as in the original setup where the partition size equals
+  // the launch domain).
+  const Row rows[] = {
+      {"Identity  i", ProjectionFunctor::identity(1)},
+      {"Linear    a*i + b", ProjectionFunctor::affine1d(3, 7)},
+      {"Modular   (i+k) mod N", ProjectionFunctor::modular1d(5, 1'000'000)},
+      {"Quadratic a*i^2 + b*i + c",
+       ProjectionFunctor::symbolic(
+           {make_add(make_add(make_mul(make_coord(0), make_coord(0)),
+                              make_mul(make_const(3), make_coord(0))),
+                     make_const(5))},
+           "i^2 + 3i + 5")},
+  };
+
+  std::printf("Table 2: dynamic self-check elapsed times (us), mean of 5 runs\n");
+  std::printf("%-28s", "Projection functor");
+  for (int64_t s : sizes) std::printf("%12lld", static_cast<long long>(s));
+  std::printf("\n");
+  for (const Row& row : rows) {
+    std::printf("%-28s", row.name);
+    for (int64_t s : sizes) std::printf("%12.1f", measure_us(row.functor, s));
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape: linear in |D| along each row; all entries low "
+      "single-digit milliseconds at |D| = 1e6 (the paper reports 1.3-2.4 ms "
+      "on a Xeon E5-2690v3).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Circuit demo: the unstructured-graph circuit simulation of §6.1 on the
+// real runtime, validated against the serial reference, with a side-by-side
+// of IDX vs No-IDX issuance cost (the quantity index launches compress).
+#include <cmath>
+#include <cstdio>
+
+#include "apps/circuit.hpp"
+
+using namespace idxl;
+using namespace idxl::apps;
+
+int main() {
+  CircuitParams params;
+  params.pieces = 8;
+  params.nodes_per_piece = 64;
+  params.wires_per_piece = 128;
+  params.pct_external = 15;
+  params.iterations = 10;
+
+  auto run_with = [&](bool idx) {
+    RuntimeConfig cfg;
+    cfg.enable_index_launches = idx;
+    Runtime rt(cfg);
+    CircuitApp app(rt, params);
+    app.run(params.iterations);
+    const auto voltages = app.voltages();
+    double checksum = 0;
+    for (double v : voltages) checksum += v * v;
+    std::printf(
+      "%-8s runtime calls=%-6llu point tasks=%-6llu dependence edges=%-6llu "
+      "voltage L2^2=%.6f\n",
+      idx ? "IDX" : "No-IDX",
+      static_cast<unsigned long long>(rt.stats().runtime_calls),
+      static_cast<unsigned long long>(rt.stats().point_tasks),
+      static_cast<unsigned long long>(rt.stats().dependence_edges), checksum);
+    return voltages;
+  };
+
+  std::printf("circuit: %lld pieces x %lld wires, %d%% external wires, %d steps\n",
+              static_cast<long long>(params.pieces),
+              static_cast<long long>(params.wires_per_piece), params.pct_external,
+              params.iterations);
+
+  const auto with_idx = run_with(true);
+  const auto without_idx = run_with(false);
+
+  const auto reference = CircuitApp::reference_voltages(params, params.iterations);
+  double max_err_idx = 0, max_err_noidx = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    max_err_idx = std::max(max_err_idx, std::abs(with_idx[i] - reference[i]));
+    max_err_noidx = std::max(max_err_noidx, std::abs(without_idx[i] - reference[i]));
+  }
+  std::printf("max |error| vs serial reference: IDX=%.3e, No-IDX=%.3e\n", max_err_idx,
+              max_err_noidx);
+  std::printf(
+      "note: identical physics either way — the index launch is purely a "
+      "representation change (3 runtime calls/step vs %lld).\n",
+      static_cast<long long>(3 * params.pieces));
+  return max_err_idx < 1e-9 && max_err_noidx < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Dynamic control replication, functionally: the same SPMD program runs on
+// every shard, each shard analyzes the identical launch stream, and the
+// sharding functor decides which points each shard executes. Cross-shard
+// dependencies flow through shared completion events. Per-shard statistics
+// show the paper's central asymmetry: issuance and analysis are replicated
+// (every shard pays them for every task without index launches), execution
+// is partitioned.
+#include <cstdio>
+
+#include "region/partition_ops.hpp"
+#include "shard/sharded_runtime.hpp"
+
+using namespace idxl;
+
+int main(int argc, char**) {
+  constexpr int64_t kPieces = 12;
+  constexpr int64_t kElements = 12 * 16;
+  constexpr int kIterations = 5;
+
+  ShardedConfig cfg;
+  cfg.shards = 4;
+  // Per-shard replica storage with explicit producer->consumer copies (run
+  // with any argument to use shared storage instead).
+  cfg.distributed_storage = argc <= 1;
+
+  ShardedRuntime rt(cfg);
+  auto& forest = rt.forest();
+  const IndexSpaceId is = forest.create_index_space(Domain::line(kElements));
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId f_cur = forest.allocate_field(fs, sizeof(double), "cur");
+  const FieldId f_next = forest.allocate_field(fs, sizeof(double), "next");
+  const RegionId grid = forest.create_region(is, fs);
+  const PartitionId blocks = partition_equal(forest, is, Rect::line(kPieces));
+  const PartitionId halos = partition_halo(forest, is, blocks, 1);
+
+  const TaskFnId init = rt.register_task("init", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, p[0] % 11 == 0 ? 1.0 : 0.0); });
+  });
+  const TaskFnId diffuse = rt.register_task("diffuse", [](TaskContext& ctx) {
+    auto in = ctx.region(0).accessor<double>(0);
+    auto out = ctx.region(1).accessor<double>(1);
+    const Domain& halo = ctx.region(0).domain();
+    ctx.region(1).domain().for_each([&](const Point& p) {
+      double v = in.read(p) * 0.5;
+      const Point l = Point::p1(p[0] - 1), r = Point::p1(p[0] + 1);
+      if (halo.contains(l)) v += in.read(l) * 0.25;
+      if (halo.contains(r)) v += in.read(r) * 0.25;
+      out.write(p, v);
+    });
+  });
+  const TaskFnId flip = rt.register_task("flip", [](TaskContext& ctx) {
+    auto in = ctx.region(0).accessor<double>(1);
+    auto out = ctx.region(1).accessor<double>(0);
+    ctx.region(1).domain().for_each([&](const Point& p) { out.write(p, in.read(p)); });
+  });
+
+  // The SPMD program — every shard runs this verbatim (control
+  // replication); divergent control flow would be detected and rejected.
+  rt.run([&](ShardContext& ctx) {
+    const auto id = ProjectionFunctor::identity(1);
+    IndexLauncher l0;
+    l0.task = init;
+    l0.domain = Domain::line(kPieces);
+    l0.args = {{grid, blocks, id, {f_cur}, Privilege::kWrite, ReductionOp::kNone}};
+    ctx.execute_index(l0);
+    for (int it = 0; it < kIterations; ++it) {
+      IndexLauncher d;
+      d.task = diffuse;
+      d.domain = Domain::line(kPieces);
+      d.args = {{grid, halos, id, {f_cur}, Privilege::kRead, ReductionOp::kNone},
+                {grid, blocks, id, {f_next}, Privilege::kWrite, ReductionOp::kNone}};
+      ctx.execute_index(d);
+      IndexLauncher f;
+      f.task = flip;
+      f.domain = Domain::line(kPieces);
+      f.args = {{grid, blocks, id, {f_next}, Privilege::kRead, ReductionOp::kNone},
+                {grid, blocks, id, {f_cur}, Privilege::kWrite, ReductionOp::kNone}};
+      ctx.execute_index(f);
+    }
+  });
+
+  std::printf("4 shards, %d launches of %lld tasks each\n", 1 + 2 * kIterations,
+              static_cast<long long>(kPieces));
+  std::printf("%-8s%-12s%-16s%-14s%-12s%-10s%s\n", "shard", "launches", "points analyzed",
+              "local tasks", "remote deps", "copies", "(replicated vs partitioned)");
+  for (uint32_t s = 0; s < cfg.shards; ++s) {
+    const ShardStats& stats = rt.stats(s);
+    std::printf("%-8u%-12llu%-16llu%-14llu%-12llu%-10llu\n", s,
+                static_cast<unsigned long long>(stats.launches_issued),
+                static_cast<unsigned long long>(stats.points_analyzed),
+                static_cast<unsigned long long>(stats.local_tasks),
+                static_cast<unsigned long long>(stats.remote_dependencies),
+                static_cast<unsigned long long>(stats.copies_planned));
+  }
+
+  double mass = 0;
+  auto acc = rt.read_region<double>(grid, f_cur);
+  for (int64_t i = 0; i < kElements; ++i) mass += acc.read(Point::p1(i));
+  std::printf("total mass after %d diffusion steps: %.6f (conserved in the "
+              "interior)\n",
+              kIterations, mass);
+  return 0;
+}

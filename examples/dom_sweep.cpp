@@ -1,0 +1,62 @@
+// DOM sweep demo: the paper's flagship non-trivial projection functor
+// (§6.2.3). MiniSoleil's discrete-ordinates radiation module launches over
+// 3-D diagonal wavefronts and projects each onto three 2-D exchange planes;
+// only the dynamic check can prove those launches safe. This demo runs the
+// full multi-physics step and reports how the hybrid analysis classified
+// every launch.
+#include <cstdio>
+
+#include "apps/soleil.hpp"
+
+using namespace idxl;
+using namespace idxl::apps;
+
+int main() {
+  SoleilParams params;
+  params.bx = 3;
+  params.by = 3;
+  params.bz = 2;
+  params.cx = params.cy = params.cz = 4;
+  params.iterations = 3;
+
+  Runtime rt;
+  SoleilApp app(rt, params);
+
+  SoleilApp::IterationStats totals;
+  for (int it = 0; it < params.iterations; ++it) {
+    const auto stats = app.run_iteration();
+    totals.launches += stats.launches;
+    totals.index_launches += stats.index_launches;
+    totals.dynamic_checked += stats.dynamic_checked;
+  }
+  rt.wait_all();
+
+  std::printf("MiniSoleil %lldx%lldx%lld blocks, %d steps\n",
+              static_cast<long long>(params.bx), static_cast<long long>(params.by),
+              static_cast<long long>(params.bz), params.iterations);
+  std::printf("launches issued:            %d\n", totals.launches);
+  std::printf("ran as index launches:      %d\n", totals.index_launches);
+  std::printf("verified by dynamic check:  %d (the DOM wavefronts)\n",
+              totals.dynamic_checked);
+  std::printf("statically verified:        %llu\n",
+              static_cast<unsigned long long>(rt.stats().launches_safe_static));
+  std::printf("dynamic check functor evals: %llu\n",
+              static_cast<unsigned long long>(rt.stats().dynamic_check_points));
+
+  // Validate against the serial reference.
+  const auto ref = SoleilApp::reference(params, params.iterations);
+  const auto temps = app.temperatures();
+  double max_err = 0;
+  for (std::size_t i = 0; i < temps.size(); ++i)
+    max_err = std::max(max_err, std::abs(temps[i] - ref.temperature[i]));
+  std::printf("max |T error| vs serial reference: %.3e\n", max_err);
+
+  // Show one sweep's intensity decaying into the domain.
+  std::printf("direction 0 intensity along the main diagonal:");
+  const auto intensity = app.intensity(0);
+  for (int64_t d = 0; d < std::min({params.bx, params.by, params.bz}); ++d)
+    std::printf(" %.4f",
+                intensity[static_cast<std::size_t>((d * params.by + d) * params.bz + d)]);
+  std::printf("\n");
+  return max_err < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Scaling playground: the simulator as a user-facing tool. Describe your
+// own application's launch structure (tasks per launch, kernel time, halo
+// bytes, functor triviality) and see how the four §6.2 configurations scale
+// it — the what-if analysis the paper's evaluation does for Circuit,
+// Stencil and Soleil-X.
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+
+using namespace idxl;
+using namespace idxl::sim;
+
+int main(int argc, char** argv) {
+  // A hypothetical 4-launch-per-step application, ~20 ms of GPU work per
+  // node per step. Override the kernel milliseconds with argv[1].
+  double kernel_ms = 5.0;
+  if (argc > 1) kernel_ms = std::atof(argv[1]);
+
+  auto app_builder = [kernel_ms](uint32_t nodes) {
+    AppSpec app;
+    app.name = "playground";
+    for (int s = 0; s < 4; ++s) {
+      LaunchSpec l;
+      l.name = "phase" + std::to_string(s);
+      l.tasks = nodes;
+      l.num_args = 2;
+      l.kernel_s = kernel_ms * 1e-3;
+      l.remote_bytes_per_task = 64e3;
+      app.iteration.push_back(l);
+    }
+    app.iterations = 10;
+    return app;
+  };
+
+  const auto nodes = nodes_up_to(1024);
+  const auto series = run_scaling_experiment(
+      app_builder, four_configs(), nodes,
+      [](const SimResult& r, uint32_t) { return 1.0 / r.seconds_per_iteration; });
+  print_figure("Scaling playground: 4 launches/step, " + std::to_string(kernel_ms) +
+                   " ms kernels",
+               "iterations/s", nodes, series);
+  std::printf(
+      "try `%s 0.5` (runtime-bound) vs `%s 50` (kernel-bound) to see where "
+      "index launches matter.\n",
+      argv[0], argv[0]);
+  return 0;
+}

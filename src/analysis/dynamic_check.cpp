@@ -1,0 +1,175 @@
+#include "analysis/dynamic_check.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "analysis/patterns.hpp"
+
+namespace idxl {
+
+namespace {
+// The dynamic check specializes its evaluation loop for the Poly1 and
+// ModLinear shapes (analysis/patterns.hpp) — the interpreter analogue of
+// the inline code Regent generates — so Table 2's constant factors stay in
+// the same regime as the paper's.
+
+/// Listing 3's inner step: bounds-check the linearized color, then probe the
+/// bitmask (and set it for write/reduce passes). Returns true on conflict.
+inline bool probe(BitVector& bm, int64_t value, int64_t volume, bool set_bit) {
+  if (value < 0 || value >= volume) return false;  // out-of-bounds color: skip
+  const auto idx = static_cast<std::size_t>(value);
+  if (set_bit) return bm.test_and_set(idx);
+  return bm.test(idx);
+}
+
+/// Evaluate one argument's functor over the whole launch domain against a
+/// shared bitmask. `set_bit` is true for write/reduce arguments. Returns
+/// true as soon as a conflict is found.
+bool run_arg_pass(const ProjectionFunctor& f, const Rect& color_space,
+                  const Domain& domain, BitVector& bm, bool set_bit,
+                  uint64_t& evals) {
+  const int64_t volume = color_space.volume();
+
+  // Fast paths: 1-D dense launch domain, 1-D symbolic functor, 1-D colors.
+  if (domain.dense() && domain.dim() == 1 && color_space.dim() == 1 &&
+      f.is_symbolic() && f.output_dim() == 1) {
+    const int64_t lo = domain.bounds().lo[0], hi = domain.bounds().hi[0];
+    const int64_t base = color_space.lo[0];
+    const Expr& e = *f.exprs()[0];
+    if (auto p = match_poly1(e)) {
+      for (int64_t i = lo; i <= hi; ++i) {
+        ++evals;
+        if (probe(bm, p->eval(i) - base, volume, set_bit)) return true;
+      }
+      return false;
+    }
+    if (auto m = match_modlinear(e)) {
+      for (int64_t i = lo; i <= hi; ++i) {
+        ++evals;
+        if (probe(bm, m->eval(i) - base, volume, set_bit)) return true;
+      }
+      return false;
+    }
+    f.ensure_compiled();
+    Point pt = Point::p1(0);
+    int64_t value = 0;
+    for (int64_t i = lo; i <= hi; ++i) {
+      pt.c[0] = i;
+      f.eval_into(pt, &value);
+      ++evals;
+      if (probe(bm, value - base, volume, set_bit)) return true;
+    }
+    return false;
+  }
+
+  // General path: any dimensionality, dense or sparse domain. Linearize the
+  // color tuple through the color space's bounding rect (the paper's
+  // `linearize`, §4), rejecting per-axis out-of-bounds colors first.
+  f.ensure_compiled();
+  bool conflict = false;
+  int64_t coords[kMaxDim];
+  domain.for_each([&](const Point& p) {
+    if (conflict) return;
+    f.eval_into(p, coords);
+    ++evals;
+    int64_t idx = 0;
+    for (int d = 0; d < color_space.dim(); ++d) {
+      if (coords[d] < color_space.lo[d] || coords[d] > color_space.hi[d]) return;
+      idx = idx * (color_space.hi[d] - color_space.lo[d] + 1) +
+            (coords[d] - color_space.lo[d]);
+    }
+    if (probe(bm, idx, volume, set_bit)) conflict = true;
+  });
+  return conflict;
+}
+
+}  // namespace
+
+DynamicCheckResult dynamic_self_check(const ProjectionFunctor& f,
+                                      const Rect& color_space, const Domain& domain) {
+  IDXL_REQUIRE(f.output_dim() == color_space.dim(),
+               "functor output dimensionality must match the color space");
+  DynamicCheckResult result;
+  BitVector bm(static_cast<std::size_t>(color_space.volume()));
+  result.bitmask_bits = static_cast<uint64_t>(color_space.volume());
+  result.safe = !run_arg_pass(f, color_space, domain, bm, /*set_bit=*/true,
+                              result.points_evaluated);
+  return result;
+}
+
+DynamicCheckResult dynamic_cross_check(std::span<const CheckArg> args,
+                                       const Domain& domain) {
+  DynamicCheckResult result;
+
+  // Group arguments by partition (§4: linear time via a shared bitmask
+  // instead of quadratic pairwise checks), then split each group into
+  // field-connected components: arguments whose field sets are disjoint can
+  // never interfere, so they must not share a bitmask (a shared one would
+  // manufacture spurious conflicts).
+  std::vector<uint32_t> uids;
+  for (const CheckArg& a : args) uids.push_back(a.partition_uid);
+  std::sort(uids.begin(), uids.end());
+  uids.erase(std::unique(uids.begin(), uids.end()), uids.end());
+
+  for (uint32_t uid : uids) {
+    std::vector<std::size_t> group;
+    for (std::size_t i = 0; i < args.size(); ++i)
+      if (args[i].partition_uid == uid) group.push_back(i);
+
+    std::vector<bool> assigned(group.size(), false);
+    for (std::size_t seed = 0; seed < group.size(); ++seed) {
+      if (assigned[seed]) continue;
+      // Grow the field-connected component containing `seed`.
+      std::vector<std::size_t> comp{group[seed]};
+      assigned[seed] = true;
+      uint64_t comp_mask = args[group[seed]].field_mask;
+      for (bool grew = true; grew;) {
+        grew = false;
+        for (std::size_t k = 0; k < group.size(); ++k) {
+          if (assigned[k] || !(args[group[k]].field_mask & comp_mask)) continue;
+          assigned[k] = true;
+          comp.push_back(group[k]);
+          comp_mask |= args[group[k]].field_mask;
+          grew = true;
+        }
+      }
+
+      // Skip components with no writer: reads never conflict with reads.
+      bool any_writer = false;
+      for (std::size_t idx : comp)
+        if (privilege_writes(args[idx].priv)) any_writer = true;
+      if (!any_writer) continue;
+
+      const Rect& cs = args[comp.front()].color_space;
+      BitVector bm(static_cast<std::size_t>(cs.volume()));
+      result.bitmask_bits += static_cast<uint64_t>(cs.volume());
+
+      // Writes (and reductions) probe-and-set first...
+      for (std::size_t idx : comp) {
+        const CheckArg& a = args[idx];
+        if (!privilege_writes(a.priv)) continue;
+        IDXL_ASSERT(a.functor != nullptr);
+        if (run_arg_pass(*a.functor, a.color_space, domain, bm, /*set_bit=*/true,
+                         result.points_evaluated)) {
+          result.safe = false;
+          return result;
+        }
+      }
+      // ...then read-only arguments probe without setting, so reads collide
+      // with writes but not with each other.
+      for (std::size_t idx : comp) {
+        const CheckArg& a = args[idx];
+        if (privilege_writes(a.priv)) continue;
+        IDXL_ASSERT(a.functor != nullptr);
+        if (run_arg_pass(*a.functor, a.color_space, domain, bm, /*set_bit=*/false,
+                         result.points_evaluated)) {
+          result.safe = false;
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace idxl

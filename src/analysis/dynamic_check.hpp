@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "functor/projection.hpp"
+#include "region/accessor.hpp"
+#include "support/bitvector.hpp"
+
+namespace idxl {
+
+/// One region argument of an index launch, flattened for the safety
+/// analysis. The runtime builds these from its RegionRequirements; keeping
+/// the analysis independent of runtime types lets it be unit-tested (and
+/// benchmarked for Tables 2/3) in isolation.
+struct CheckArg {
+  const ProjectionFunctor* functor = nullptr;
+  Rect color_space;               ///< partition's (dense) color space
+  bool partition_disjoint = false;
+  uint32_t partition_uid = 0;     ///< identity of the partition object
+  uint32_t collection_uid = 0;    ///< identity of the underlying collection (tree)
+  uint64_t field_mask = ~uint64_t{0};  ///< fields touched; disjoint masks never interfere
+  Privilege priv = Privilege::kRead;
+  ReductionOp redop = ReductionOp::kNone;
+};
+
+/// Outcome of a dynamic check run.
+struct DynamicCheckResult {
+  bool safe = true;
+  uint64_t points_evaluated = 0;  ///< functor evaluations performed
+  uint64_t bitmask_bits = 0;      ///< total bitmask storage initialized (O(|P|))
+};
+
+/// The paper's Listing 3: is `f` injective over `domain`, with colors
+/// linearized through `color_space`? Out-of-bounds colors are skipped, as in
+/// the listing (they are caught later as bad region requirements). Exits
+/// early on the first duplicate.
+DynamicCheckResult dynamic_self_check(const ProjectionFunctor& f,
+                                      const Rect& color_space, const Domain& domain);
+
+/// The multi-argument generalization of §4: one bitmask per distinct
+/// partition, all write/reduce arguments probe-and-set before read-only
+/// arguments probe (without setting), so every write-write and write-read
+/// image collision is caught in linear time. Arguments with read privilege
+/// and no writer on their partition are skipped entirely.
+///
+/// Returns safe=false on the first conflict. Reductions are treated as
+/// writes, per the paper's simplification.
+DynamicCheckResult dynamic_cross_check(std::span<const CheckArg> args,
+                                       const Domain& domain);
+
+}  // namespace idxl

@@ -1,0 +1,120 @@
+#include "analysis/hybrid.hpp"
+
+namespace idxl {
+
+namespace {
+
+std::string arg_desc(std::size_t i, const CheckArg& a) {
+  return "arg " + std::to_string(i) + " (" + privilege_name(a.priv) + ", functor " +
+         (a.functor ? a.functor->to_string() : "<none>") + ")";
+}
+
+}  // namespace
+
+SafetyReport analyze_launch_safety(
+    std::span<const CheckArg> args, const Domain& domain,
+    const AnalysisOptions& options,
+    const std::function<bool(std::size_t, std::size_t)>& pair_independent) {
+  SafetyReport report;
+  std::vector<bool> flagged(args.size(), false);
+
+  // --- Self-checks (§3): each write/read-write argument needs a disjoint
+  // partition and an injective functor. Reads and reductions are exempt.
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const CheckArg& a = args[i];
+    IDXL_ASSERT(a.functor != nullptr);
+    if (a.priv == Privilege::kRead || a.priv == Privilege::kReduce) continue;
+    if (!a.partition_disjoint) {
+      report.outcome = SafetyOutcome::kUnsafe;
+      report.reason = arg_desc(i, a) + ": write privilege on an aliased partition";
+      return report;
+    }
+    switch (static_injectivity(*a.functor, domain, options.extended_static)) {
+      case Tri::kYes:
+        break;
+      case Tri::kNo:
+        report.outcome = SafetyOutcome::kUnsafe;
+        report.reason = arg_desc(i, a) +
+                        ": projection functor is not injective over the launch domain";
+        return report;
+      case Tri::kUnknown:
+        flagged[i] = true;
+        break;
+    }
+  }
+
+  // --- Cross-checks (§3): for each pair, one of the three escape hatches
+  // must apply; the image-disjointness hatch may defer to the dynamic check.
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    for (std::size_t j = i + 1; j < args.size(); ++j) {
+      const CheckArg& a = args[i];
+      const CheckArg& b = args[j];
+      // Rule 0 (Legion's per-field privileges, which the paper's model
+      // abstracts away): arguments naming disjoint field sets never touch
+      // common data, whatever their privileges. This is what makes the
+      // standard double-buffered stencil (read halo of field A, write
+      // blocks of field B) statically safe.
+      if ((a.field_mask & b.field_mask) == 0) continue;
+      // Rule 1: both read, or both reductions with the same operator.
+      if (a.priv == Privilege::kRead && b.priv == Privilege::kRead) continue;
+      if (a.priv == Privilege::kReduce && b.priv == Privilege::kReduce &&
+          a.redop == b.redop)
+        continue;
+      // Rule 2: partitions of collections that are themselves disjoint.
+      const bool independent = pair_independent
+                                   ? pair_independent(i, j)
+                                   : a.collection_uid != b.collection_uid;
+      if (independent) continue;
+      // Rule 3: the same disjoint partition with disjoint functor images.
+      if (a.partition_uid == b.partition_uid && a.partition_disjoint) {
+        switch (static_images_disjoint(*a.functor, *b.functor, domain,
+                                       options.extended_static)) {
+          case Tri::kYes:
+            continue;
+          case Tri::kNo:
+            report.outcome = SafetyOutcome::kUnsafe;
+            report.reason = arg_desc(i, a) + " and " + arg_desc(j, b) +
+                            ": functors select a common sub-collection with a writer";
+            return report;
+          case Tri::kUnknown:
+            flagged[i] = flagged[j] = true;
+            continue;
+        }
+      }
+      report.outcome = SafetyOutcome::kUnsafe;
+      report.reason = arg_desc(i, a) + " and " + arg_desc(j, b) +
+                      ": interfering partitions of the same collection";
+      return report;
+    }
+  }
+
+  // --- Residual arguments go to the dynamic check.
+  std::vector<CheckArg> dynamic_args;
+  for (std::size_t i = 0; i < args.size(); ++i)
+    if (flagged[i]) {
+      dynamic_args.push_back(args[i]);
+      report.residual_args.push_back(static_cast<uint32_t>(i));
+    }
+
+  if (dynamic_args.empty()) {
+    report.outcome = SafetyOutcome::kSafeStatic;
+    return report;
+  }
+  if (!options.enable_dynamic_checks) {
+    report.outcome = SafetyOutcome::kSafeUnchecked;
+    return report;
+  }
+
+  const DynamicCheckResult dyn = dynamic_cross_check(dynamic_args, domain);
+  report.dynamic_points = dyn.points_evaluated;
+  report.dynamic_bits = dyn.bitmask_bits;
+  if (dyn.safe) {
+    report.outcome = SafetyOutcome::kSafeDynamic;
+  } else {
+    report.outcome = SafetyOutcome::kUnsafe;
+    report.reason = "dynamic check found a projection functor image conflict";
+  }
+  return report;
+}
+
+}  // namespace idxl

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "analysis/dynamic_check.hpp"
+#include "analysis/static_analysis.hpp"
+
+namespace idxl {
+
+/// Knobs for the hybrid analysis.
+struct AnalysisOptions {
+  /// When false, arguments the static analyzer can't resolve are *trusted*
+  /// (the paper: checks "can be disabled for production runs to eliminate
+  /// any overheads; correct execution of the program does not rely on the
+  /// result of the safety analysis").
+  bool enable_dynamic_checks = true;
+  /// Enable the extended static classifier (modular and monotone-quadratic
+  /// families; see static_injectivity). Off by default to match the paper's
+  /// constant/identity/affine baseline.
+  bool extended_static = false;
+};
+
+/// How a launch's safety was established (or refuted).
+enum class SafetyOutcome : uint8_t {
+  kSafeStatic,    ///< every condition discharged at "compile time"
+  kSafeDynamic,   ///< static left residual args; dynamic check passed
+  kSafeUnchecked, ///< residual args, but dynamic checks disabled — trusted
+  kUnsafe,        ///< a conflict was proven (statically or dynamically)
+};
+
+struct SafetyReport {
+  SafetyOutcome outcome = SafetyOutcome::kSafeStatic;
+  uint64_t dynamic_points = 0;   ///< functor evaluations spent in dynamic checks
+  uint64_t dynamic_bits = 0;     ///< bitmask bits initialized
+  std::string reason;            ///< human-readable diagnosis when kUnsafe
+  /// Indices of arguments the static analysis could not discharge (the set
+  /// handed to — or, with checks disabled, *owed to* — the dynamic check).
+  /// A compiler uses this to emit the Listing-3 guard for exactly these.
+  std::vector<uint32_t> residual_args;
+
+  bool safe() const { return outcome != SafetyOutcome::kUnsafe; }
+  bool used_dynamic() const { return outcome == SafetyOutcome::kSafeDynamic; }
+};
+
+/// The full §3 non-interference decision for one index launch, §4-style:
+/// self-checks and cross-checks are first attempted statically; residual
+/// arguments are handed to the linear-time dynamic bitmask check.
+///
+/// `pair_independent(i, j)` answers cross-check rule 2 — whether args i and
+/// j name partitions of collections that are themselves disjoint. Pass
+/// nullptr to fall back to comparing CheckArg::collection_uid.
+SafetyReport analyze_launch_safety(
+    std::span<const CheckArg> args, const Domain& domain,
+    const AnalysisOptions& options = {},
+    const std::function<bool(std::size_t, std::size_t)>& pair_independent = nullptr);
+
+}  // namespace idxl

@@ -1,0 +1,50 @@
+#include "analysis/patterns.hpp"
+
+namespace idxl {
+
+std::optional<Poly1> match_poly1(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kConst: return Poly1{0, 0, e.value};
+    case ExprKind::kCoord:
+      if (e.value != 0) return std::nullopt;
+      return Poly1{0, 1, 0};
+    case ExprKind::kNeg: {
+      auto p = match_poly1(*e.lhs);
+      if (!p) return std::nullopt;
+      return Poly1{-p->q, -p->a, -p->b};
+    }
+    case ExprKind::kAdd:
+    case ExprKind::kSub: {
+      auto l = match_poly1(*e.lhs);
+      auto r = match_poly1(*e.rhs);
+      if (!l || !r) return std::nullopt;
+      const int64_t s = e.kind == ExprKind::kAdd ? 1 : -1;
+      return Poly1{l->q + s * r->q, l->a + s * r->a, l->b + s * r->b};
+    }
+    case ExprKind::kMul: {
+      auto l = match_poly1(*e.lhs);
+      auto r = match_poly1(*e.rhs);
+      if (!l || !r) return std::nullopt;
+      // Product degree must stay <= 2.
+      if (l->q != 0 && (r->q != 0 || r->a != 0)) return std::nullopt;
+      if (r->q != 0 && l->a != 0) return std::nullopt;
+      if (l->a != 0 && r->a != 0 && (l->q != 0 || r->q != 0)) return std::nullopt;
+      return Poly1{l->q * r->b + r->q * l->b + l->a * r->a,
+                   l->a * r->b + r->a * l->b, l->b * r->b};
+    }
+    case ExprKind::kDiv:
+    case ExprKind::kMod:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<ModLinear> match_modlinear(const Expr& e) {
+  if (e.kind != ExprKind::kMod) return std::nullopt;
+  if (e.rhs->kind != ExprKind::kConst || e.rhs->value == 0) return std::nullopt;
+  auto p = match_poly1(*e.lhs);
+  if (!p || p->q != 0) return std::nullopt;
+  return ModLinear{p->a, p->b, e.rhs->value};
+}
+
+}  // namespace idxl

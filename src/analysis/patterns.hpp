@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+
+#include "functor/expr.hpp"
+
+namespace idxl {
+
+/// Structural patterns over 1-D projection-functor expressions, shared by
+/// the dynamic checker's specialized loops and the (extended) static
+/// analyzer.
+
+/// Degree-<=2 polynomial in the single launch coordinate i0:
+/// q·i² + a·i + b.
+struct Poly1 {
+  int64_t q = 0, a = 0, b = 0;
+  int64_t eval(int64_t i) const { return (q * i + a) * i + b; }
+};
+
+/// Match an expression as a Poly1; nullopt for higher degree, other
+/// coordinates, div, or mod.
+std::optional<Poly1> match_poly1(const Expr& e);
+
+/// (a·i + b) mod n with C++ remainder semantics.
+struct ModLinear {
+  int64_t a = 0, b = 0, n = 1;
+  int64_t eval(int64_t i) const { return (a * i + b) % n; }
+};
+
+/// Match `linear mod constant` (constant nonzero).
+std::optional<ModLinear> match_modlinear(const Expr& e);
+
+}  // namespace idxl

@@ -1,0 +1,137 @@
+#include "analysis/static_analysis.hpp"
+
+#include <numeric>
+
+#include "analysis/patterns.hpp"
+
+namespace idxl {
+
+namespace {
+
+/// Is the map diagonal (square, off-diagonal coefficients all zero)? For a
+/// diagonal affine map on a dense domain the image is a lattice box whose
+/// bounding rect we can compute exactly.
+bool is_diagonal(const AffineMap& m) {
+  if (m.in_dim != m.out_dim) return false;
+  for (int i = 0; i < m.out_dim; ++i)
+    for (int j = 0; j < m.in_dim; ++j)
+      if (i != j &&
+          m.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] != 0)
+        return false;
+  return true;
+}
+
+Rect image_box(const AffineMap& m, const Rect& dom) {
+  Rect r;
+  r.lo.dim = r.hi.dim = m.out_dim;
+  for (int i = 0; i < m.out_dim; ++i) {
+    const int64_t a = m.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    const int64_t b = m.b[static_cast<std::size_t>(i)];
+    const int64_t v0 = a * dom.lo[i] + b;
+    const int64_t v1 = a * dom.hi[i] + b;
+    r.lo[i] = std::min(v0, v1);
+    r.hi[i] = std::max(v0, v1);
+  }
+  return r;
+}
+
+}  // namespace
+
+namespace {
+
+/// Extended-mode analysis of 1-D symbolic functors over dense 1-D domains.
+Tri extended_injectivity_1d(const Expr& e, int64_t lo, int64_t hi) {
+  const int64_t extent = hi - lo + 1;
+
+  if (auto m = match_modlinear(e)) {
+    if (m->a == 0) return Tri::kNo;  // constant under the mod
+    const int64_t n = std::abs(m->n);
+    const int64_t g = std::gcd(std::abs(m->a), n);
+    const int64_t period = n / g;  // least d > 0 with a·d ≡ 0 (mod n)
+    // No two domain points are congruent -> C remainders all differ.
+    if (extent <= period) return Tri::kYes;
+    // Witness pair (i, i + period) exists; equal C remainders require the
+    // two values to share a sign, which uniform sign over the whole value
+    // range guarantees.
+    const int64_t v_lo = m->a * lo + m->b;
+    const int64_t v_hi = m->a * hi + m->b;
+    if ((v_lo >= 0 && v_hi >= 0) || (v_lo <= 0 && v_hi <= 0)) return Tri::kNo;
+    return Tri::kUnknown;
+  }
+
+  if (auto p = match_poly1(e)) {
+    if (p->q == 0) return Tri::kUnknown;  // affine: handled by the main path
+    // Strictly monotone sequence => injective. The finite difference
+    // v(i+1) - v(i) = q(2i+1) + a is linear in i: check both endpoints.
+    if (extent <= 1) return Tri::kYes;
+    const int64_t d_first = p->q * (2 * lo + 1) + p->a;
+    const int64_t d_last = p->q * (2 * (hi - 1) + 1) + p->a;
+    if ((d_first > 0 && d_last > 0) || (d_first < 0 && d_last < 0)) return Tri::kYes;
+    return Tri::kUnknown;
+  }
+  return Tri::kUnknown;
+}
+
+}  // namespace
+
+Tri static_injectivity(const ProjectionFunctor& f, const Domain& domain,
+                       bool extended) {
+  if (domain.volume() <= 1) return Tri::kYes;  // at most one task: trivially injective
+  auto map = extract_affine_map(f, domain.dim());
+  if (!map) {
+    if (extended && f.is_symbolic() && f.output_dim() == 1 && domain.dense() &&
+        domain.dim() == 1) {
+      return extended_injectivity_1d(*f.exprs()[0], domain.bounds().lo[0],
+                                     domain.bounds().hi[0]);
+    }
+    return Tri::kUnknown;
+  }
+
+  if (map->is_constant()) return Tri::kNo;
+  if (map->is_identity()) return Tri::kYes;
+  if (map->column_rank() == map->in_dim) return Tri::kYes;
+
+  // Rank-deficient: injectivity can only hold if the domain never contains
+  // two points separated by a kernel vector. Look for a witness collision.
+  if (auto v = map->small_null_vector()) {
+    bool collides = false;
+    domain.for_each([&](const Point& p) {
+      if (!collides && domain.contains(p + *v)) collides = true;
+    });
+    if (collides) return Tri::kNo;
+  }
+  return Tri::kUnknown;
+}
+
+Tri static_images_disjoint(const ProjectionFunctor& f, const ProjectionFunctor& g,
+                           const Domain& domain, bool extended) {
+  if (domain.empty()) return Tri::kYes;
+  if (f.definitely_equal(g)) return Tri::kNo;  // identical images, nonempty
+
+  auto fm = extract_affine_map(f, domain.dim());
+  auto gm = extract_affine_map(g, domain.dim());
+  if (!fm || !gm) return Tri::kUnknown;
+  if (fm->out_dim != gm->out_dim) return Tri::kYes;  // disjoint by dimensionality
+
+  if (domain.dense() && is_diagonal(*fm) && is_diagonal(*gm)) {
+    const Rect fi = image_box(*fm, domain.bounds());
+    const Rect gi = image_box(*gm, domain.bounds());
+    if (!fi.overlaps(gi)) return Tri::kYes;
+  }
+
+  // Extended same-slope rule (1-D): a·i+b1 meets a·j+b2 iff a | (b2-b1)
+  // and the index shift (b2-b1)/a fits inside the (dense) domain.
+  if (extended && domain.dense() && domain.dim() == 1 && fm->out_dim == 1) {
+    const int64_t a1 = fm->a[0][0], a2 = gm->a[0][0];
+    if (a1 == a2 && a1 != 0) {
+      const int64_t delta = gm->b[0] - fm->b[0];
+      if (delta % a1 != 0) return Tri::kYes;  // different residue classes
+      const int64_t shift = delta / a1;
+      const int64_t extent = domain.bounds().hi[0] - domain.bounds().lo[0] + 1;
+      return std::abs(shift) <= extent - 1 ? Tri::kNo : Tri::kYes;
+    }
+  }
+  return Tri::kUnknown;
+}
+
+}  // namespace idxl

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "functor/affine.hpp"
+#include "region/domain.hpp"
+
+namespace idxl {
+
+/// Three-valued verdicts of the static analyzer. kUnknown is not a failure:
+/// it routes the argument to the dynamic check (§4's hybrid design).
+enum class Tri : uint8_t { kYes, kNo, kUnknown };
+
+inline const char* tri_name(Tri t) {
+  switch (t) {
+    case Tri::kYes: return "yes";
+    case Tri::kNo: return "no";
+    case Tri::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+/// Statically decide whether `f` is injective over launch domain `D`.
+///
+/// Recognized shapes (§4): constant (kNo unless |D| <= 1), identity (kYes),
+/// affine A·i+b (kYes iff A has full column rank; kNo if a small integer
+/// null vector connects two points of D — the "degenerates to a constant"
+/// case). Everything else — mod, div, quadratic, opaque — is kUnknown.
+///
+/// With `extended` set, the analyzer additionally decides two families the
+/// paper leaves to the dynamic check (its design explicitly leaves "the
+/// strength of this static analysis" open, §4):
+///  * (a·i + b) mod n over a dense 1-D domain — injective iff the domain
+///    extent fits within one period n / gcd(|a|, n); provably non-injective
+///    when it doesn't and the value range has uniform sign.
+///  * quadratic q·i² + a·i + b over a dense 1-D domain — injective when the
+///    finite-difference q·(2i+1) + a keeps one strict sign across the
+///    domain (monotone sequence).
+Tri static_injectivity(const ProjectionFunctor& f, const Domain& domain,
+                       bool extended = false);
+
+/// Statically decide whether the images f(D) and g(D) are disjoint sets
+/// (cross-check rule 3 of §3). Proves kYes when both maps are diagonal
+/// affine with non-overlapping image boxes; proves kNo when the functors
+/// are structurally identical (images equal and nonempty).
+///
+/// With `extended` set, additionally decides the same-slope 1-D affine
+/// family over dense domains: a·i+b₁ and a·j+b₂ collide iff a | (b₂-b₁)
+/// and |(b₂-b₁)/a| fits within the domain extent — so interleavings like
+/// 2i vs 2i+1 are proven disjoint, and shifted copies like i vs i+k are
+/// proven overlapping when k is small enough.
+Tri static_images_disjoint(const ProjectionFunctor& f, const ProjectionFunctor& g,
+                           const Domain& domain, bool extended = false);
+
+}  // namespace idxl

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace idxl::apps {
+
+/// Configuration of the circuit simulation (Bauer et al. [6], §6.1): an
+/// unstructured graph of circuit nodes connected by wires, partitioned into
+/// pieces; a fraction of wires cross piece boundaries, creating the ghost
+/// accesses that make the data model interesting.
+struct CircuitParams {
+  int64_t pieces = 4;
+  int64_t nodes_per_piece = 16;
+  int64_t wires_per_piece = 32;
+  /// Percentage (0-100) of wires whose far end lives in another piece.
+  int pct_external = 10;
+  uint64_t seed = 12345;
+  double dt = 1e-2;
+  int iterations = 4;
+};
+
+/// The circuit application on the real runtime. Each iteration issues three
+/// index launches with trivial (identity) projection functors — the paper's
+/// statically verified case:
+///
+///   calc_new_currents   reads node voltages (aliased neighborhood
+///                       partition), writes wire currents (disjoint)
+///   distribute_charge   reads wire currents, *reduces* charge into the
+///                       aliased neighborhood partition (safe: reductions
+///                       are exempt from self-checks)
+///   update_voltages     read-writes owned nodes (disjoint partition)
+class CircuitApp {
+ public:
+  CircuitApp(Runtime& rt, const CircuitParams& params);
+
+  /// Issue one timestep (3 index launches). Returns true if every launch
+  /// ran as an index launch.
+  bool run_iteration();
+  void run(int iterations);
+
+  /// Read back all node voltages (top-level; waits for completion).
+  std::vector<double> voltages();
+  /// Read back all wire currents.
+  std::vector<double> currents();
+
+  /// Serial reference simulation of the same circuit (same generator seed),
+  /// for validation.
+  static std::vector<double> reference_voltages(const CircuitParams& params,
+                                                int iterations);
+
+  RegionId node_region() const { return node_region_; }
+  RegionId wire_region() const { return wire_region_; }
+
+ private:
+  Runtime& rt_;
+  CircuitParams params_;
+
+  RegionId node_region_;
+  RegionId wire_region_;
+  PartitionId owned_nodes_;     // disjoint, by piece
+  PartitionId neighborhoods_;   // aliased: owned + ghost nodes per piece
+  PartitionId piece_wires_;     // disjoint, by piece
+
+  FieldId f_voltage_ = 0, f_charge_ = 0, f_cap_ = 0;
+  FieldId f_in_ = 0, f_out_ = 0, f_res_ = 0, f_cur_ = 0;
+  TaskFnId t_cnc_ = 0, t_dc_ = 0, t_uv_ = 0;
+};
+
+}  // namespace idxl::apps

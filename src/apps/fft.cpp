@@ -1,0 +1,257 @@
+#include "apps/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "region/partition_ops.hpp"
+#include "support/rng.hpp"
+
+namespace idxl::apps {
+
+namespace {
+
+bool is_pow2(int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int64_t bit_reverse(int64_t v, int bits) {
+  int64_t r = 0;
+  for (int b = 0; b < bits; ++b)
+    if (v & (int64_t{1} << b)) r |= int64_t{1} << (bits - 1 - b);
+  return r;
+}
+
+struct StageArgs {
+  int64_t span;  // butterfly span of this stage
+};
+
+}  // namespace
+
+FftApp::FftApp(Runtime& rt, const FftParams& p) : rt_(rt), params_(p) {
+  IDXL_REQUIRE(is_pow2(p.n) && is_pow2(p.blocks) && p.blocks <= p.n,
+               "FFT size and block count must be powers of two with blocks <= n");
+  auto& forest = rt_.forest();
+  const IndexSpaceId is = forest.create_index_space(Domain::line(p.n));
+  const FieldSpaceId fs = forest.create_field_space();
+  f_xre_ = forest.allocate_field(fs, sizeof(double), "xre");
+  f_xim_ = forest.allocate_field(fs, sizeof(double), "xim");
+  f_re_ = forest.allocate_field(fs, sizeof(double), "re");
+  f_im_ = forest.allocate_field(fs, sizeof(double), "im");
+  data_ = forest.create_region(is, fs);
+  block_part_ = partition_equal(forest, is, Rect::line(p.blocks));
+  whole_part_ = partition_equal(forest, is, Rect::line(1));
+
+  // Deterministic pseudo-random input signal.
+  Rng rng(p.seed);
+  input_.reserve(static_cast<std::size_t>(p.n));
+  {
+    Accessor<double> xre(forest, data_, f_xre_, Privilege::kWrite);
+    Accessor<double> xim(forest, data_, f_xim_, Privilege::kWrite);
+    for (int64_t i = 0; i < p.n; ++i) {
+      const std::complex<double> v(rng.next_double() * 2 - 1, rng.next_double() * 2 - 1);
+      input_.push_back(v);
+      xre.write(Point::p1(i), v.real());
+      xim.write(Point::p1(i), v.imag());
+    }
+  }
+
+  const FieldId fxre = f_xre_, fxim = f_xim_, fre = f_re_, fim = f_im_;
+  const int bits = static_cast<int>(std::llround(std::log2(static_cast<double>(p.n))));
+
+  t_bitrev_ = rt_.register_task("fft_bitrev", [fxre, fxim, fre, fim, bits](TaskContext& ctx) {
+    auto in_re = ctx.region(0).accessor<double>(fxre);
+    auto in_im = ctx.region(0).accessor<double>(fxim);
+    auto out_re = ctx.region(1).accessor<double>(fre);
+    auto out_im = ctx.region(1).accessor<double>(fim);
+    ctx.region(1).domain().for_each([&](const Point& g) {
+      const Point src = Point::p1(bit_reverse(g[0], bits));
+      out_re.write(g, in_re.read(src));
+      out_im.write(g, in_im.read(src));
+    });
+  });
+
+  // Butterflies fully inside one block.
+  t_local_ = rt_.register_task("fft_local_stage", [fre, fim](TaskContext& ctx) {
+    const int64_t span = ctx.arg<StageArgs>().span;
+    const int64_t half = span / 2;
+    auto re = ctx.region(0).accessor<double>(fre);
+    auto im = ctx.region(0).accessor<double>(fim);
+    const Rect bounds = ctx.region(0).domain().bounds();
+    for (int64_t start = bounds.lo[0]; start <= bounds.hi[0]; start += span) {
+      for (int64_t k = 0; k < half; ++k) {
+        const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                             static_cast<double>(span);
+        const std::complex<double> w(std::cos(angle), std::sin(angle));
+        const Point plo = Point::p1(start + k), phi = Point::p1(start + k + half);
+        const std::complex<double> u(re.read(plo), im.read(plo));
+        const std::complex<double> t =
+            w * std::complex<double>(re.read(phi), im.read(phi));
+        re.write(plo, (u + t).real());
+        im.write(plo, (u + t).imag());
+        re.write(phi, (u - t).real());
+        im.write(phi, (u - t).imag());
+      }
+    }
+  });
+
+  // Conjugate the working values and store them back as the "input" fields
+  // (first half of the inverse-transform trick).
+  t_conj_store_ = rt_.register_task("fft_conj_store", [fxre, fxim, fre, fim](TaskContext& ctx) {
+    auto re = ctx.region(0).accessor<double>(fre);
+    auto im = ctx.region(0).accessor<double>(fim);
+    auto xre = ctx.region(1).accessor<double>(fxre);
+    auto xim = ctx.region(1).accessor<double>(fxim);
+    ctx.region(1).domain().for_each([&](const Point& g) {
+      xre.write(g, re.read(g));
+      xim.write(g, -im.read(g));
+    });
+  });
+
+  // Final conjugate-and-scale of the inverse transform.
+  const double inv_n = 1.0 / static_cast<double>(p.n);
+  t_scale_ = rt_.register_task("fft_scale", [fre, fim, inv_n](TaskContext& ctx) {
+    auto re = ctx.region(0).accessor<double>(fre);
+    auto im = ctx.region(0).accessor<double>(fim);
+    ctx.region(0).domain().for_each([&](const Point& g) {
+      re.write(g, re.read(g) * inv_n);
+      im.write(g, -im.read(g) * inv_n);
+    });
+  });
+
+  // Butterflies pairing two blocks: region(0) = lo block, region(1) = hi.
+  t_cross_ = rt_.register_task("fft_cross_stage", [fre, fim](TaskContext& ctx) {
+    const int64_t span = ctx.arg<StageArgs>().span;
+    const int64_t half = span / 2;
+    auto lo_re = ctx.region(0).accessor<double>(fre);
+    auto lo_im = ctx.region(0).accessor<double>(fim);
+    auto hi_re = ctx.region(1).accessor<double>(fre);
+    auto hi_im = ctx.region(1).accessor<double>(fim);
+    const Rect lo_bounds = ctx.region(0).domain().bounds();
+    ctx.region(0).domain().for_each([&](const Point& plo) {
+      (void)lo_bounds;
+      const int64_t g = plo[0];
+      const int64_t k = g % span;  // < half for lo-block elements
+      const Point phi = Point::p1(g + half);
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                           static_cast<double>(span);
+      const std::complex<double> w(std::cos(angle), std::sin(angle));
+      const std::complex<double> u(lo_re.read(plo), lo_im.read(plo));
+      const std::complex<double> t =
+          w * std::complex<double>(hi_re.read(phi), hi_im.read(phi));
+      lo_re.write(plo, (u + t).real());
+      lo_im.write(plo, (u + t).imag());
+      hi_re.write(phi, (u - t).real());
+      hi_im.write(phi, (u - t).imag());
+    });
+  });
+}
+
+int FftApp::run_forward() { return run_stages(); }
+
+int FftApp::run_inverse() {
+  const auto id = ProjectionFunctor::identity(1);
+  // Conjugate the spectrum into the input fields...
+  IndexLauncher conj;
+  conj.task = t_conj_store_;
+  conj.domain = Domain::line(params_.blocks);
+  conj.args = {{data_, block_part_, id, {f_re_, f_im_}, Privilege::kRead,
+                ReductionOp::kNone},
+               {data_, block_part_, id, {f_xre_, f_xim_}, Privilege::kWrite,
+                ReductionOp::kNone}};
+  rt_.execute_index(conj);
+
+  // ...forward-transform it...
+  const int dynamic_checked = run_stages();
+
+  // ...and conjugate + scale by 1/n.
+  IndexLauncher scale;
+  scale.task = t_scale_;
+  scale.domain = Domain::line(params_.blocks);
+  scale.args = {{data_, block_part_, id, {f_re_, f_im_}, Privilege::kReadWrite,
+                 ReductionOp::kNone}};
+  rt_.execute_index(scale);
+  return dynamic_checked;
+}
+
+int FftApp::run_stages() {
+  const int64_t n = params_.n, blocks = params_.blocks;
+  const int64_t block_size = n / blocks;
+  int dynamic_checked = 0;
+
+  // Bit-reverse gather: read the whole array (constant functor), write own
+  // block. Disjoint field sets keep the cross-check static.
+  IndexLauncher bitrev;
+  bitrev.task = t_bitrev_;
+  bitrev.domain = Domain::line(blocks);
+  bitrev.args = {{data_, whole_part_, ProjectionFunctor::symbolic({make_const(0)}),
+                  {f_xre_, f_xim_}, Privilege::kRead, ReductionOp::kNone},
+                 {data_, block_part_, ProjectionFunctor::identity(1),
+                  {f_re_, f_im_}, Privilege::kWrite, ReductionOp::kNone}};
+  rt_.execute_index(bitrev);
+
+  for (int64_t span = 2; span <= n; span *= 2) {
+    if (span <= block_size) {
+      IndexLauncher stage;
+      stage.task = t_local_;
+      stage.domain = Domain::line(blocks);
+      stage.scalar_args = ArgBuffer::of(StageArgs{span});
+      stage.args = {{data_, block_part_, ProjectionFunctor::identity(1),
+                     {f_re_, f_im_}, Privilege::kReadWrite, ReductionOp::kNone}};
+      const auto r = rt_.execute_index(stage);
+      IDXL_ASSERT(r.ran_as_index_launch || !rt_.config().enable_index_launches);
+      continue;
+    }
+
+    // Cross-block stage: pair p owns blocks lo(p) and lo(p) + d.
+    const int64_t d = span / 2 / block_size;
+    // lo(p) = (p / d)·2d + p mod d — the butterfly-exchange functor.
+    const ExprPtr lo_expr =
+        make_add(make_mul(make_div(make_coord(0), make_const(d)), make_const(2 * d)),
+                 make_mod(make_coord(0), make_const(d)));
+    const auto f_lo = ProjectionFunctor::symbolic({lo_expr}, "butterfly-lo");
+    const auto f_hi = ProjectionFunctor::symbolic(
+        {make_add(lo_expr, make_const(d))}, "butterfly-hi");
+
+    IndexLauncher stage;
+    stage.task = t_cross_;
+    stage.domain = Domain::line(blocks / 2);
+    stage.scalar_args = ArgBuffer::of(StageArgs{span});
+    stage.args = {{data_, block_part_, f_lo, {f_re_, f_im_},
+                   Privilege::kReadWrite, ReductionOp::kNone},
+                  {data_, block_part_, f_hi, {f_re_, f_im_},
+                   Privilege::kReadWrite, ReductionOp::kNone}};
+    const auto r = rt_.execute_index(stage);
+    IDXL_ASSERT_MSG(r.ran_as_index_launch || !rt_.config().enable_index_launches,
+                    "butterfly launch must verify");
+    if (r.safety.used_dynamic()) ++dynamic_checked;
+  }
+  return dynamic_checked;
+}
+
+std::vector<std::complex<double>> FftApp::result() {
+  rt_.wait_all();
+  auto re = rt_.read_region<double>(data_, f_re_);
+  auto im = rt_.read_region<double>(data_, f_im_);
+  std::vector<std::complex<double>> out;
+  out.reserve(static_cast<std::size_t>(params_.n));
+  for (int64_t i = 0; i < params_.n; ++i)
+    out.emplace_back(re.read(Point::p1(i)), im.read(Point::p1(i)));
+  return out;
+}
+
+std::vector<std::complex<double>> FftApp::reference_dft(
+    const std::vector<std::complex<double>>& input) {
+  const auto n = static_cast<int64_t>(input.size());
+  std::vector<std::complex<double>> out(input.size());
+  for (int64_t k = 0; k < n; ++k) {
+    std::complex<double> acc = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      acc += input[static_cast<std::size_t>(j)] *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[static_cast<std::size_t>(k)] = acc;
+  }
+  return out;
+}
+
+}  // namespace idxl::apps

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace idxl::apps {
+
+/// Distributed iterative radix-2 FFT — the "FFT" task-graph pattern of the
+/// paper's Figure 1(c).
+///
+/// The array of n complex values is blocked into `blocks` pieces. Stages
+/// whose butterfly span fits inside a block are block-local index launches
+/// with identity functors (statically safe). Wider stages pair blocks at
+/// distance d = span / (2·block_size); each task of those launches owns one
+/// (lo, hi) block pair selected by the *division/modulo* projection
+/// functors
+///
+///   lo(p) = (p / d)·2d + p mod d,     hi(p) = lo(p) + d
+///
+/// which no affine analysis can classify — the hybrid design's dynamic
+/// check proves both injectivity (self-checks) and the disjointness of the
+/// lo/hi images (cross-check) at run time. This is the butterfly-exchange
+/// analogue of the paper's DOM plane projections.
+struct FftParams {
+  int64_t n = 64;       ///< power of two
+  int64_t blocks = 8;   ///< power of two, <= n
+  uint64_t seed = 7;
+};
+
+class FftApp {
+ public:
+  FftApp(Runtime& rt, const FftParams& params);
+
+  /// Run the forward transform. Returns the number of launches that were
+  /// verified by the dynamic check (the cross-block butterfly stages).
+  int run_forward();
+
+  /// Run the inverse transform of the current working values (conjugate /
+  /// forward / conjugate-and-scale), so run_forward(); run_inverse()
+  /// round-trips to the input.
+  int run_inverse();
+
+  std::vector<std::complex<double>> result();
+  const std::vector<std::complex<double>>& input() const { return input_; }
+
+  /// O(n^2) reference DFT of the same input.
+  static std::vector<std::complex<double>> reference_dft(
+      const std::vector<std::complex<double>>& input);
+
+ private:
+  Runtime& rt_;
+  FftParams params_;
+  std::vector<std::complex<double>> input_;
+
+  RegionId data_;
+  PartitionId block_part_;
+  PartitionId whole_part_;  // single piece covering the array (for gathers)
+  FieldId f_xre_ = 0, f_xim_ = 0;  // immutable input
+  FieldId f_re_ = 0, f_im_ = 0;    // working values
+  TaskFnId t_bitrev_ = 0, t_local_ = 0, t_cross_ = 0;
+  TaskFnId t_conj_store_ = 0, t_scale_ = 0;
+
+  int run_stages();  ///< bit-reverse + butterfly stages over xre/xim -> re/im
+};
+
+}  // namespace idxl::apps

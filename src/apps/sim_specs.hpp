@@ -1,0 +1,40 @@
+#pragma once
+
+#include "sim/spec.hpp"
+
+namespace idxl::apps {
+
+/// Simulator workload descriptions of the three evaluation codes (§6.1),
+/// mirroring the launch structure of the real implementations in this
+/// directory and the experiment setups of [6]/the paper.
+
+/// Circuit: 3 launches per timestep (calc-new-currents, distribute-charge,
+/// update-voltages), `tasks_per_gpu` tasks per node per launch. Kernel
+/// costs are charged per wire at P100-class rates.
+sim::AppSpec circuit_spec(int64_t total_wires, uint32_t nodes, int tasks_per_gpu = 1);
+
+/// Circuit strong scaling: 5.1e6 wires total (§6.1).
+sim::AppSpec circuit_strong_spec(uint32_t nodes);
+/// Circuit weak scaling: 2e5 wires per node (§6.1).
+sim::AppSpec circuit_weak_spec(uint32_t nodes);
+/// Fig. 6: weak scaling, overdecomposed 10x (10 tasks per GPU).
+sim::AppSpec circuit_weak_overdecomposed_spec(uint32_t nodes);
+
+/// Stencil: 2 launches per timestep (stencil, increment).
+sim::AppSpec stencil_spec(int64_t total_cells, uint32_t nodes);
+/// Stencil strong scaling: 9e8 cells total (§6.1).
+sim::AppSpec stencil_strong_spec(uint32_t nodes);
+/// Stencil weak scaling: 9e8 cells per node (§6.1).
+sim::AppSpec stencil_weak_spec(uint32_t nodes);
+
+/// Soleil-X fluid-only weak scaling (Fig. 9): the fluid solver's launch
+/// sequence, one block per node.
+sim::AppSpec soleil_fluid_spec(uint32_t nodes);
+
+/// Soleil-X full configuration (Fig. 10): fluid + particles + DOM. The DOM
+/// module contributes 8 sweep chains of wavefront launches over diagonal
+/// block slices; each wavefront launch carries the non-trivial projection
+/// functors whose dynamic-check cost the figure isolates.
+sim::AppSpec soleil_full_spec(uint32_t nodes);
+
+}  // namespace idxl::apps

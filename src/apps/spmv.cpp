@@ -1,0 +1,206 @@
+#include "apps/spmv.hpp"
+
+#include <cmath>
+
+#include "region/partition_ops.hpp"
+#include "support/rng.hpp"
+
+namespace idxl::apps {
+
+namespace {
+
+struct Matrix {
+  std::vector<int64_t> row, col;
+  std::vector<double> val;
+  std::vector<double> x0;
+};
+
+/// Deterministic sparse matrix: a strong diagonal plus nnz_per_row random
+/// off-diagonal entries per row (diagonal dominance keeps power iteration
+/// well-behaved), and a deterministic initial vector.
+Matrix generate(const SpmvParams& p) {
+  Matrix m;
+  Rng rng(p.seed);
+  for (int64_t r = 0; r < p.n; ++r) {
+    m.row.push_back(r);
+    m.col.push_back(r);
+    m.val.push_back(4.0 + rng.next_double());
+    for (int64_t k = 0; k < p.nnz_per_row; ++k) {
+      m.row.push_back(r);
+      m.col.push_back(static_cast<int64_t>(rng.next_below(static_cast<uint64_t>(p.n))));
+      m.val.push_back(rng.next_double() - 0.25);
+    }
+  }
+  for (int64_t i = 0; i < p.n; ++i) m.x0.push_back(1.0 + rng.next_double() * 0.1);
+  return m;
+}
+
+}  // namespace
+
+SpmvApp::SpmvApp(Runtime& rt, const SpmvParams& p) : rt_(rt), params_(p) {
+  IDXL_REQUIRE(p.n % p.row_blocks == 0, "row_blocks must divide n");
+  auto& forest = rt_.forest();
+  const Matrix m = generate(p);
+  const auto nnz = static_cast<int64_t>(m.val.size());
+
+  const IndexSpaceId entry_is = forest.create_index_space(Domain::line(nnz));
+  const IndexSpaceId x_is = forest.create_index_space(Domain::line(p.n));
+  const IndexSpaceId y_is = forest.create_index_space(Domain::line(p.n));
+  const FieldSpaceId entry_fs = forest.create_field_space();
+  f_row_ = forest.allocate_field(entry_fs, sizeof(int64_t), "row");
+  f_col_ = forest.allocate_field(entry_fs, sizeof(int64_t), "col");
+  f_val_ = forest.allocate_field(entry_fs, sizeof(double), "val");
+  const FieldSpaceId vec_fs = forest.create_field_space();
+  f_x_ = forest.allocate_field(vec_fs, sizeof(double), "v");
+  f_y_ = f_x_;  // same field id in distinct regions
+  entries_ = forest.create_region(entry_is, entry_fs);
+  vec_x_ = forest.create_region(x_is, vec_fs);
+  vec_y_ = forest.create_region(y_is, vec_fs);
+
+  // Row partitions of the vectors.
+  const Rect colors = Rect::line(p.row_blocks);
+  y_rows_ = partition_equal(forest, y_is, colors);
+  x_rows_ = partition_equal(forest, x_is, colors);
+
+  // Derived partitions: entries by the row block they land in (preimage of
+  // the row map), and the gather set of x each entry block reads (image of
+  // the column map).
+  const std::vector<int64_t> rows = m.row;
+  entry_blocks_ = partition_preimage(
+      forest, entry_is, y_rows_,
+      [rows](const Point& e) { return Point::p1(rows[static_cast<std::size_t>(e[0])]); });
+  const std::vector<int64_t> cols = m.col;
+  x_gather_ = partition_image(
+      forest, x_is, entry_blocks_,
+      [cols](const Point& e) { return Point::p1(cols[static_cast<std::size_t>(e[0])]); });
+
+  // Initial data.
+  {
+    Accessor<int64_t> row(forest, entries_, f_row_, Privilege::kWrite);
+    Accessor<int64_t> col(forest, entries_, f_col_, Privilege::kWrite);
+    Accessor<double> val(forest, entries_, f_val_, Privilege::kWrite);
+    for (int64_t e = 0; e < nnz; ++e) {
+      row.write(Point::p1(e), m.row[static_cast<std::size_t>(e)]);
+      col.write(Point::p1(e), m.col[static_cast<std::size_t>(e)]);
+      val.write(Point::p1(e), m.val[static_cast<std::size_t>(e)]);
+    }
+    Accessor<double> x(forest, vec_x_, f_x_, Privilege::kWrite);
+    Accessor<double> y(forest, vec_y_, f_y_, Privilege::kWrite);
+    for (int64_t i = 0; i < p.n; ++i) {
+      x.write(Point::p1(i), m.x0[static_cast<std::size_t>(i)]);
+      y.write(Point::p1(i), 0.0);
+    }
+  }
+
+  const FieldId frow = f_row_, fcol = f_col_, fval = f_val_, fv = f_x_;
+  t_spmv_ = rt_.register_task("spmv", [frow, fcol, fval, fv](TaskContext& ctx) {
+    auto row = ctx.region(0).accessor<int64_t>(frow);
+    auto col = ctx.region(0).accessor<int64_t>(fcol);
+    auto val = ctx.region(0).accessor<double>(fval);
+    auto x = ctx.region(1).accessor<double>(fv);
+    auto y = ctx.region(2).accessor<double>(fv);
+    ctx.region(2).domain().for_each([&](const Point& r) { y.write(r, 0.0); });
+    ctx.region(0).domain().for_each([&](const Point& e) {
+      const Point r = Point::p1(row.read(e));
+      y.write(r, y.read(r) + val.read(e) * x.read(Point::p1(col.read(e))));
+    });
+  });
+
+  t_norm_ = rt_.register_task("norm", [fv](TaskContext& ctx) {
+    auto y = ctx.region(0).accessor<double>(fv);
+    double sum = 0;
+    ctx.region(0).domain().for_each([&](const Point& r) {
+      sum += y.read(r) * y.read(r);
+    });
+    ctx.return_value = sum;
+  });
+
+  t_scale_ = rt_.register_task("scale", [fv](TaskContext& ctx) {
+    const double inv_norm = ctx.arg<double>();
+    auto y = ctx.region(0).accessor<double>(fv);
+    auto x = ctx.region(1).accessor<double>(fv);
+    // x and y rows share block structure; copy scaled values across.
+    ctx.region(1).domain().for_each(
+        [&](const Point& r) { x.write(r, y.read(r) * inv_norm); });
+  });
+}
+
+void SpmvApp::multiply() {
+  const auto id = ProjectionFunctor::identity(1);
+  IndexLauncher l;
+  l.task = t_spmv_;
+  l.domain = Domain::line(params_.row_blocks);
+  l.args = {{entries_, entry_blocks_, id, {f_row_, f_col_, f_val_},
+             Privilege::kRead, ReductionOp::kNone},
+            {vec_x_, x_gather_, id, {f_x_}, Privilege::kRead, ReductionOp::kNone},
+            {vec_y_, y_rows_, id, {f_y_}, Privilege::kReadWrite, ReductionOp::kNone}};
+  const auto r = rt_.execute_index(l);
+  IDXL_ASSERT(r.ran_as_index_launch || !rt_.config().enable_index_launches);
+}
+
+double SpmvApp::power_step() {
+  multiply();
+
+  const auto id = ProjectionFunctor::identity(1);
+  IndexLauncher norm;
+  norm.task = t_norm_;
+  norm.domain = Domain::line(params_.row_blocks);
+  norm.result_redop = ReductionOp::kSum;
+  norm.args = {{vec_y_, y_rows_, id, {f_y_}, Privilege::kRead, ReductionOp::kNone}};
+  const double norm2 = rt_.execute_index(norm).future.get(rt_);
+  const double norm_value = std::sqrt(norm2);
+
+  IndexLauncher scale;
+  scale.task = t_scale_;
+  scale.domain = Domain::line(params_.row_blocks);
+  scale.scalar_args = ArgBuffer::of(1.0 / norm_value);
+  scale.args = {{vec_y_, y_rows_, id, {f_y_}, Privilege::kRead, ReductionOp::kNone},
+                {vec_x_, x_rows_, id, {f_x_}, Privilege::kWrite, ReductionOp::kNone}};
+  rt_.execute_index(scale);
+  return norm_value;
+}
+
+std::vector<double> SpmvApp::y() {
+  rt_.wait_all();
+  auto acc = rt_.read_region<double>(vec_y_, f_y_);
+  std::vector<double> out;
+  for (int64_t i = 0; i < params_.n; ++i) out.push_back(acc.read(Point::p1(i)));
+  return out;
+}
+
+std::vector<double> SpmvApp::x() {
+  rt_.wait_all();
+  auto acc = rt_.read_region<double>(vec_x_, f_x_);
+  std::vector<double> out;
+  for (int64_t i = 0; i < params_.n; ++i) out.push_back(acc.read(Point::p1(i)));
+  return out;
+}
+
+std::vector<double> SpmvApp::reference_multiply(const SpmvParams& params,
+                                                const std::vector<double>& x) {
+  const Matrix m = generate(params);
+  std::vector<double> y(static_cast<std::size_t>(params.n), 0.0);
+  for (std::size_t e = 0; e < m.val.size(); ++e)
+    y[static_cast<std::size_t>(m.row[e])] +=
+        m.val[e] * x[static_cast<std::size_t>(m.col[e])];
+  return y;
+}
+
+double SpmvApp::reference_power(const SpmvParams& params, int steps) {
+  const Matrix m = generate(params);
+  std::vector<double> x = m.x0;
+  double norm_value = 0;
+  for (int s = 0; s < steps; ++s) {
+    std::vector<double> y(static_cast<std::size_t>(params.n), 0.0);
+    for (std::size_t e = 0; e < m.val.size(); ++e)
+      y[static_cast<std::size_t>(m.row[e])] +=
+          m.val[e] * x[static_cast<std::size_t>(m.col[e])];
+    double sum = 0;
+    for (double v : y) sum += v * v;
+    norm_value = std::sqrt(sum);
+    for (std::size_t i = 0; i < y.size(); ++i) x[i] = y[i] / norm_value;
+  }
+  return norm_value;
+}
+
+}  // namespace idxl::apps

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace idxl::apps {
+
+/// Sparse matrix-vector multiplication and power iteration — the
+/// "unstructured" pattern of the paper's Figure 1(f) driven entirely by
+/// *derived* partitions:
+///
+///  * matrix entries are partitioned by the **preimage** of their row under
+///    the row partition (each task owns the entries of its row block), and
+///  * the gather partition of x is the **image** of each entry block under
+///    entry -> column — the exact access set each task needs, aliased where
+///    row blocks share columns.
+///
+/// Power iteration adds the futures extension: the global norm is an
+/// index-launch reduction (`result_redop`), folded deterministically and
+/// fed back as the next launch's by-value argument.
+struct SpmvParams {
+  int64_t n = 64;             ///< square matrix dimension
+  int64_t row_blocks = 8;
+  int64_t nnz_per_row = 4;    ///< off-diagonal entries per row
+  uint64_t seed = 23;
+};
+
+class SpmvApp {
+ public:
+  SpmvApp(Runtime& rt, const SpmvParams& params);
+
+  /// y = A x for the current x. All launches statically verified.
+  void multiply();
+
+  /// One power-iteration step: y = A x; x = y / ||y||. Returns ||y||.
+  double power_step();
+
+  std::vector<double> y();
+  std::vector<double> x();
+
+  /// Serial reference: y = A x for the same generated matrix and x0.
+  static std::vector<double> reference_multiply(const SpmvParams& params,
+                                                const std::vector<double>& x);
+  /// Serial power iteration from the same initial vector.
+  static double reference_power(const SpmvParams& params, int steps);
+
+ private:
+  Runtime& rt_;
+  SpmvParams params_;
+
+  RegionId entries_, vec_x_, vec_y_;
+  PartitionId entry_blocks_;   // preimage: entries of each row block
+  PartitionId x_gather_;       // image: columns each row block touches
+  PartitionId y_rows_;         // disjoint row blocks of y
+  PartitionId x_rows_;         // disjoint row blocks of x (for the scale step)
+  FieldId f_row_ = 0, f_col_ = 0, f_val_ = 0;
+  FieldId f_x_ = 0, f_y_ = 0;
+  TaskFnId t_spmv_ = 0, t_norm_ = 0, t_scale_ = 0;
+};
+
+}  // namespace idxl::apps

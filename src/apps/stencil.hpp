@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace idxl::apps {
+
+/// Configuration of the PRK-style 2-D star stencil (Van der Wijngaart &
+/// Mattson [30], §6.1): out += W ⊛ in over a block-partitioned grid with
+/// aliased halo partitions, followed by the PRK "in += 1" increment.
+struct StencilParams {
+  int64_t nx = 64, ny = 64;   ///< grid cells
+  int64_t px = 2, py = 2;     ///< processor (task) grid
+  int64_t radius = 2;         ///< star stencil radius
+  int iterations = 4;
+};
+
+/// Two index launches per iteration, both with identity functors (the
+/// paper's statically verified case):
+///   stencil    reads `in` through the halo partition, read-writes `out`
+///              through the disjoint block partition
+///   increment  read-writes `in` through the block partition
+class StencilApp {
+ public:
+  StencilApp(Runtime& rt, const StencilParams& params);
+
+  bool run_iteration();
+  void run(int iterations);
+
+  std::vector<double> output();  ///< row-major `out` field
+  std::vector<double> input();   ///< row-major `in` field
+
+  /// Serial reference of the same computation.
+  static std::vector<double> reference_output(const StencilParams& params,
+                                              int iterations);
+
+ private:
+  Runtime& rt_;
+  StencilParams params_;
+  RegionId grid_;
+  PartitionId blocks_;
+  PartitionId halos_;
+  FieldId f_in_ = 0, f_out_ = 0;
+  TaskFnId t_stencil_ = 0, t_increment_ = 0;
+};
+
+/// Star-stencil weights: weight(dx, dy) for |dx|+|dy| <= radius on the two
+/// axes (PRK normalization).
+double stencil_weight(int64_t offset, int64_t radius);
+
+}  // namespace idxl::apps

@@ -1,0 +1,149 @@
+#include "apps/tree.hpp"
+
+#include "region/partition_ops.hpp"
+#include "support/rng.hpp"
+
+namespace idxl::apps {
+
+namespace {
+struct SeedArgs {
+  double value;
+  FieldId field;
+};
+}  // namespace
+
+TreeApp::TreeApp(Runtime& rt, const TreeParams& p) : rt_(rt), params_(p) {
+  IDXL_REQUIRE(p.levels >= 1 && p.levels < 24, "tree levels out of range");
+  auto& forest = rt_.forest();
+  const int64_t leaves = int64_t{1} << p.levels;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(leaves));
+  const FieldSpaceId fs = forest.create_field_space();
+  f_even_ = forest.allocate_field(fs, sizeof(double), "even");
+  f_odd_ = forest.allocate_field(fs, sizeof(double), "odd");
+  nodes_ = forest.create_region(is, fs);
+  cells_ = partition_equal(forest, is, Rect::line(leaves));  // one cell per color
+
+  Rng rng(p.seed);
+  initial_.reserve(static_cast<std::size_t>(leaves));
+  {
+    Accessor<double> even(forest, nodes_, f_even_, Privilege::kWrite);
+    Accessor<double> odd(forest, nodes_, f_odd_, Privilege::kWrite);
+    for (int64_t i = 0; i < leaves; ++i) {
+      const double v = rng.next_double() * 10 - 5;
+      initial_.push_back(v);
+      even.write(Point::p1(i), v);  // level 0 lives in the even field
+      odd.write(Point::p1(i), 0.0);
+    }
+  }
+
+  // combine: node <- left child + right child (fields by level parity).
+  t_combine_ = rt_.register_task("tree_combine", [](TaskContext& ctx) {
+    const FieldId in_field = ctx.arg<FieldId>();
+    auto left = ctx.region(0).accessor<double>(in_field);
+    auto right = ctx.region(1).accessor<double>(in_field);
+    auto out = ctx.region(2).accessor<double>(in_field ^ 1u);
+    double l = 0, r = 0;
+    ctx.region(0).domain().for_each([&](const Point& q) { l = left.read(q); });
+    ctx.region(1).domain().for_each([&](const Point& q) { r = right.read(q); });
+    ctx.region(2).domain().for_each([&](const Point& q) { out.write(q, l + r); });
+  });
+
+  // spread: both children <- parent value (fields by level parity).
+  t_spread_ = rt_.register_task("tree_spread", [](TaskContext& ctx) {
+    const FieldId in_field = ctx.arg<FieldId>();
+    auto parent = ctx.region(0).accessor<double>(in_field);
+    auto left = ctx.region(1).accessor<double>(in_field ^ 1u);
+    auto right = ctx.region(2).accessor<double>(in_field ^ 1u);
+    double v = 0;
+    ctx.region(0).domain().for_each([&](const Point& q) { v = parent.read(q); });
+    ctx.region(1).domain().for_each([&](const Point& q) { left.write(q, v); });
+    ctx.region(2).domain().for_each([&](const Point& q) { right.write(q, v); });
+  });
+
+  t_seed_ = rt_.register_task("tree_seed", [](TaskContext& ctx) {
+    const auto& [v, field] = ctx.arg<SeedArgs>();
+    auto out = ctx.region(0).accessor<double>(field);
+    ctx.region(0).domain().for_each([&](const Point& q) { out.write(q, v); });
+  });
+}
+
+double TreeApp::reduce_sum() {
+  const auto id = ProjectionFunctor::identity(1);
+  const auto left = ProjectionFunctor::affine1d(2, 0);
+  const auto right = ProjectionFunctor::affine1d(2, 1);
+
+  FieldId level_field = f_even_;
+  for (int level = 0; level < params_.levels; ++level) {
+    const int64_t width = int64_t{1} << (params_.levels - level - 1);
+    IndexLauncher combine;
+    combine.task = t_combine_;
+    combine.domain = Domain::line(width);
+    combine.scalar_args = ArgBuffer::of(level_field);
+    const FieldId out_field = level_field ^ 1u;
+    combine.args = {
+        {nodes_, cells_, left, {level_field}, Privilege::kRead, ReductionOp::kNone},
+        {nodes_, cells_, right, {level_field}, Privilege::kRead, ReductionOp::kNone},
+        {nodes_, cells_, id, {out_field}, Privilege::kWrite, ReductionOp::kNone}};
+    const auto r = rt_.execute_index(combine);
+    IDXL_ASSERT_MSG(r.ran_as_index_launch || !rt_.config().enable_index_launches,
+                    "tree combine must verify");
+    level_field = out_field;
+  }
+  rt_.wait_all();
+  return rt_.read_region<double>(nodes_, level_field).read(Point::p1(0));
+}
+
+int TreeApp::broadcast(double value) {
+  const auto id = ProjectionFunctor::identity(1);
+  const auto left = ProjectionFunctor::affine1d(2, 0);
+  const auto right = ProjectionFunctor::affine1d(2, 1);
+  int dynamic_checked = 0;
+
+  // Seed the root at the field the down-sweep starts from.
+  FieldId level_field = (params_.levels % 2 == 0) ? f_even_ : f_odd_;
+  {
+    IndexLauncher seed;
+    seed.task = t_seed_;
+    seed.domain = Domain::line(1);
+    seed.scalar_args = ArgBuffer::of(SeedArgs{value, level_field});
+    seed.args = {{nodes_, cells_, id, {level_field}, Privilege::kWrite,
+                  ReductionOp::kNone}};
+    rt_.execute_index(seed);
+  }
+
+  for (int level = params_.levels - 1; level >= 0; --level) {
+    const int64_t width = int64_t{1} << (params_.levels - level - 1);
+    IndexLauncher spread;
+    spread.task = t_spread_;
+    spread.domain = Domain::line(width);
+    spread.scalar_args = ArgBuffer::of(level_field);
+    const FieldId out_field = level_field ^ 1u;
+    // Two *write* args with interleaved affine images (2i vs 2i+1): the
+    // static image-box test can't separate them, the dynamic cross-check
+    // can.
+    spread.args = {
+        {nodes_, cells_, id, {level_field}, Privilege::kRead, ReductionOp::kNone},
+        {nodes_, cells_, left, {out_field}, Privilege::kWrite, ReductionOp::kNone},
+        {nodes_, cells_, right, {out_field}, Privilege::kWrite, ReductionOp::kNone}};
+    const auto r = rt_.execute_index(spread);
+    IDXL_ASSERT_MSG(r.ran_as_index_launch || !rt_.config().enable_index_launches,
+                    "tree spread must verify");
+    if (r.safety.used_dynamic()) ++dynamic_checked;
+    level_field = out_field;
+  }
+  rt_.wait_all();
+  return dynamic_checked;
+}
+
+std::vector<double> TreeApp::leaves() {
+  rt_.wait_all();
+  // After a full down-sweep of `levels` steps starting from parity
+  // (levels % 2), the leaves land back in the even field.
+  auto acc = rt_.read_region<double>(nodes_, f_even_);
+  std::vector<double> out;
+  const int64_t leaves = int64_t{1} << params_.levels;
+  for (int64_t i = 0; i < leaves; ++i) out.push_back(acc.read(Point::p1(i)));
+  return out;
+}
+
+}  // namespace idxl::apps

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace idxl::apps {
+
+/// Binary-tree reduction and broadcast — the "Tree" task-graph pattern of
+/// the paper's Figure 1(e).
+///
+/// The up-sweep halves the launch domain every level (launch domains need
+/// not be iterative or fixed-width: exactly the flexibility claim of §1);
+/// level l launches 2^(L-l-1) tasks, each reading its two children through
+/// the affine functors 2i and 2i+1 and writing node i. Reads and writes
+/// ping-pong between two fields per level so the per-field cross-check
+/// stays static. The down-sweep broadcasts a value back to the leaves with
+/// two *write* arguments (children 2i and 2i+1) whose image disjointness
+/// only the dynamic check certifies — interleaved affine images are beyond
+/// the static image test.
+struct TreeParams {
+  int levels = 6;  ///< leaves = 2^levels
+  uint64_t seed = 11;
+};
+
+class TreeApp {
+ public:
+  TreeApp(Runtime& rt, const TreeParams& params);
+
+  /// Up-sweep: returns the reduced sum of all leaves (read back from the
+  /// root cell).
+  double reduce_sum();
+
+  /// Down-sweep: overwrite every leaf with `value`; returns how many
+  /// launches needed the dynamic check.
+  int broadcast(double value);
+
+  std::vector<double> leaves();
+  const std::vector<double>& initial_leaves() const { return initial_; }
+
+ private:
+  Runtime& rt_;
+  TreeParams params_;
+  std::vector<double> initial_;
+
+  RegionId nodes_;         // 2^levels cells, one per widest level
+  PartitionId cells_;      // one color per cell
+  FieldId f_even_ = 0, f_odd_ = 0;  // ping-pong by level parity
+  TaskFnId t_combine_ = 0, t_spread_ = 0, t_seed_ = 0;
+};
+
+}  // namespace idxl::apps

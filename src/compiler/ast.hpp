@@ -1,0 +1,86 @@
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace idxl::regent {
+
+/// AST of the mini-Regent subset relevant to index launches (§4): a loop
+/// over a launch domain whose body launches a task on partition elements
+/// selected by expressions of the loop variable, e.g.
+///
+///   for i = 0, N do
+///     foo(p[i], q[f(i)])
+///   end
+///
+/// Loop coordinates appear in index expressions as make_coord(0..dim-1).
+
+/// One region argument of the task call: `partition[index...]` with the
+/// privilege the callee declares.
+struct CallArg {
+  RegionId parent;
+  PartitionId partition;
+  std::vector<ExprPtr> index;  ///< one expression per color-space dimension
+  std::vector<FieldId> fields;
+  Privilege privilege = Privilege::kRead;
+  ReductionOp redop = ReductionOp::kNone;
+};
+
+struct TaskCallStmt {
+  TaskFnId task = 0;
+  std::vector<CallArg> args;
+  ArgBuffer scalar_args;
+};
+
+/// A loop-local variable declaration — "simple statements (such as variable
+/// declarations)" (§4) do not block the optimization.
+struct VarDeclStmt {
+  std::string name;
+  ExprPtr init;  ///< expression over the loop coordinates
+};
+
+/// A scalar reduction across iterations (`acc += expr(i)`), the one kind of
+/// loop-carried dependence §4 permits.
+struct ScalarAccumStmt {
+  std::string name;
+  ReductionOp op = ReductionOp::kSum;
+  ExprPtr value;
+};
+
+/// A scalar assignment whose value must be observed by later iterations —
+/// a genuine loop-carried dependence; makes the loop ineligible.
+struct CarriedAssignStmt {
+  std::string name;
+  ExprPtr value;
+};
+
+/// Anything the compiler does not understand; makes the loop ineligible.
+struct OpaqueStmt {
+  std::string description;
+};
+
+struct NestedLoopStmt;
+
+using Stmt = std::variant<TaskCallStmt, VarDeclStmt, ScalarAccumStmt,
+                          CarriedAssignStmt, OpaqueStmt, NestedLoopStmt>;
+
+/// An inner `for` loop. Index expressions inside refer to loop coordinates
+/// globally: coord 0 is the outermost loop variable, coord 1 the next, etc.
+/// The flatten_loops pass (transform.hpp) collapses perfect nests of dense
+/// loops into one multi-dimensional launch domain; un-flattened nests make
+/// the outer loop ineligible.
+struct NestedLoopStmt {
+  Domain domain = Domain::line(1);
+  std::shared_ptr<std::vector<Stmt>> body = std::make_shared<std::vector<Stmt>>();
+};
+
+/// The candidate loop: `for p in domain do body end`.
+struct ForLoop {
+  Domain domain = Domain::line(1);
+  std::vector<Stmt> body;
+};
+
+}  // namespace idxl::regent

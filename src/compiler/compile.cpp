@@ -1,0 +1,248 @@
+#include "compiler/compile.hpp"
+
+namespace idxl::regent {
+
+namespace {
+
+const TaskCallStmt* find_single_call(const ForLoop& loop, std::string& reason) {
+  const TaskCallStmt* call = nullptr;
+  for (const Stmt& stmt : loop.body) {
+    if (const auto* c = std::get_if<TaskCallStmt>(&stmt)) {
+      if (call != nullptr) {
+        reason = "loop body contains more than one task launch";
+        return nullptr;
+      }
+      call = c;
+    } else if (std::holds_alternative<CarriedAssignStmt>(stmt)) {
+      reason = "loop-carried scalar assignment (only reductions are permitted)";
+      return nullptr;
+    } else if (const auto* o = std::get_if<OpaqueStmt>(&stmt)) {
+      reason = "unanalyzable statement: " + o->description;
+      return nullptr;
+    } else if (std::holds_alternative<NestedLoopStmt>(stmt)) {
+      reason = "nested loop: run flatten_loops first";
+      return nullptr;
+    }
+    // VarDecl and ScalarAccum are the "simple statements" §4 permits.
+  }
+  if (call == nullptr) reason = "loop body contains no task launch";
+  return call;
+}
+
+IndexLauncher build_launcher(const ForLoop& loop, const TaskCallStmt& call) {
+  IndexLauncher launcher;
+  launcher.task = call.task;
+  launcher.domain = loop.domain;
+  launcher.scalar_args = call.scalar_args;
+  for (const CallArg& arg : call.args) {
+    ProjectedArg pa;
+    pa.parent = arg.parent;
+    pa.partition = arg.partition;
+    pa.functor = ProjectionFunctor::symbolic(arg.index);
+    pa.fields = arg.fields;
+    pa.privilege = arg.privilege;
+    pa.redop = arg.redop;
+    launcher.args.push_back(std::move(pa));
+  }
+  return launcher;
+}
+
+std::vector<CheckArg> build_check_args(const IndexLauncher& launcher,
+                                       const RegionForest& forest) {
+  std::vector<CheckArg> check_args;
+  check_args.reserve(launcher.args.size());
+  for (const ProjectedArg& pa : launcher.args) {
+    CheckArg ca;
+    ca.functor = &pa.functor;
+    ca.color_space = forest.color_space(pa.partition);
+    ca.partition_disjoint = forest.is_disjoint(pa.partition);
+    ca.partition_uid = pa.partition.id;
+    ca.collection_uid = forest.region(pa.parent).tree_id;
+    ca.field_mask = field_mask(pa.fields);
+    ca.priv = pa.privilege;
+    ca.redop = pa.redop;
+    check_args.push_back(ca);
+  }
+  return check_args;
+}
+
+void run_task_loop(const ForLoop& loop, const TaskCallStmt& call, Runtime& rt) {
+  loop.domain.for_each([&](const Point& p) {
+    TaskLauncher single;
+    single.task = call.task;
+    single.scalar_args = call.scalar_args;
+    single.point = p;
+    single.launch_domain = loop.domain;
+    for (const CallArg& arg : call.args) {
+      Point color;
+      color.dim = static_cast<int>(arg.index.size());
+      for (std::size_t d = 0; d < arg.index.size(); ++d)
+        color[static_cast<int>(d)] = arg.index[d]->eval(p);
+      RegionArg ra;
+      ra.region = rt.forest().subregion(arg.parent, arg.partition, color);
+      ra.fields = arg.fields;
+      ra.privilege = arg.privilege;
+      ra.redop = arg.redop;
+      single.args.push_back(std::move(ra));
+    }
+    rt.execute(single);
+  });
+}
+
+void run_scalar_statements(const ForLoop& loop, LoopRunResult& result) {
+  // Accumulators are loop-local scalar work, independent of task execution;
+  // they run the same way under every strategy.
+  for (const Stmt& stmt : loop.body) {
+    if (const auto* acc = std::get_if<ScalarAccumStmt>(&stmt)) {
+      int64_t value = acc->op == ReductionOp::kProd ? 1 : 0;
+      bool first = true;
+      loop.domain.for_each([&](const Point& p) {
+        const int64_t v = acc->value->eval(p);
+        if (first && (acc->op == ReductionOp::kMin || acc->op == ReductionOp::kMax)) {
+          value = v;
+          first = false;
+        } else {
+          value = apply_reduction(acc->op, value, v);
+        }
+      });
+      result.scalars[acc->name] = value;
+    }
+  }
+}
+
+}  // namespace
+
+const char* strategy_name(LoopStrategy s) {
+  switch (s) {
+    case LoopStrategy::kIndexLaunch: return "index-launch";
+    case LoopStrategy::kGuardedIndexLaunch: return "guarded-index-launch";
+    case LoopStrategy::kTaskLoop: return "task-loop";
+  }
+  return "?";
+}
+
+CompiledLoop compile_loop(const ForLoop& loop, const RegionForest& forest) {
+  CompiledLoop compiled;
+  compiled.loop_ = loop;
+
+  std::string reason;
+  const TaskCallStmt* call = find_single_call(loop, reason);
+  if (call == nullptr) {
+    compiled.strategy_ = LoopStrategy::kTaskLoop;
+    compiled.diagnostics_.eligible = false;
+    compiled.diagnostics_.reason = reason;
+    return compiled;
+  }
+  compiled.diagnostics_.eligible = true;
+  compiled.launcher_ = build_launcher(loop, *call);
+  const std::vector<CheckArg> check_args = build_check_args(compiled.launcher_, forest);
+
+  // Static half of the hybrid analysis: dynamic checks disabled, so a
+  // kSafeUnchecked outcome means "residual work for the emitted guard".
+  AnalysisOptions static_only;
+  static_only.enable_dynamic_checks = false;
+  auto pair_independent = [&](std::size_t i, std::size_t j) {
+    return forest.partitions_independent(
+        compiled.launcher_.args[i].parent, compiled.launcher_.args[i].partition,
+        compiled.launcher_.args[j].parent, compiled.launcher_.args[j].partition);
+  };
+  const SafetyReport report = analyze_launch_safety(check_args, loop.domain,
+                                                    static_only, pair_independent);
+  compiled.diagnostics_.static_outcome = report.outcome;
+
+  switch (report.outcome) {
+    case SafetyOutcome::kSafeStatic:
+      compiled.strategy_ = LoopStrategy::kIndexLaunch;
+      compiled.launcher_.assume_verified = true;
+      compiled.diagnostics_.reason = "statically verified";
+      break;
+    case SafetyOutcome::kSafeUnchecked: {
+      compiled.strategy_ = LoopStrategy::kGuardedIndexLaunch;
+      compiled.diagnostics_.reason =
+          "static analysis left " + std::to_string(report.residual_args.size()) +
+          " argument(s) for the dynamic check";
+      // The emitted guard checks exactly the residual arguments.
+      compiled.residual_indices_ = report.residual_args;
+      break;
+    }
+    case SafetyOutcome::kUnsafe:
+      compiled.strategy_ = LoopStrategy::kTaskLoop;
+      compiled.diagnostics_.reason = "statically unsafe: " + report.reason;
+      break;
+    case SafetyOutcome::kSafeDynamic:
+      IDXL_ASSERT_MSG(false, "dynamic outcome with dynamic checks disabled");
+      break;
+  }
+  return compiled;
+}
+
+LoopRunResult CompiledLoop::execute(Runtime& rt) const {
+  LoopRunResult result;
+  run_scalar_statements(loop_, result);
+
+  const TaskCallStmt* call = nullptr;
+  for (const Stmt& stmt : loop_.body)
+    if (const auto* c = std::get_if<TaskCallStmt>(&stmt)) call = c;
+
+  switch (strategy_) {
+    case LoopStrategy::kIndexLaunch: {
+      rt.execute_index(launcher_);
+      result.ran_as_index_launch = true;
+      return result;
+    }
+    case LoopStrategy::kGuardedIndexLaunch: {
+      // The generated guard of Listing 3: evaluate the dynamic check on the
+      // residual arguments, then branch between the index launch and the
+      // original loop.
+      const std::vector<CheckArg> all_args = build_check_args(launcher_, rt.forest());
+      std::vector<CheckArg> residual;
+      for (uint32_t idx : residual_indices_) residual.push_back(all_args[idx]);
+      const DynamicCheckResult check = dynamic_cross_check(residual, loop_.domain);
+      result.dynamic_check_ran = true;
+      result.dynamic_check_passed = check.safe;
+      result.dynamic_check_points = check.points_evaluated;
+      if (check.safe) {
+        IndexLauncher verified = launcher_;
+        verified.assume_verified = true;
+        rt.execute_index(verified);
+        result.ran_as_index_launch = true;
+      } else {
+        IDXL_ASSERT(call != nullptr);
+        run_task_loop(loop_, *call, rt);
+      }
+      return result;
+    }
+    case LoopStrategy::kTaskLoop: {
+      if (call != nullptr) run_task_loop(loop_, *call, rt);
+      return result;
+    }
+  }
+  return result;
+}
+
+std::string CompiledLoop::explain() const {
+  std::string s = "strategy: ";
+  s += strategy_name(strategy_);
+  s += "\nreason: " + diagnostics_.reason;
+  if (diagnostics_.eligible) {
+    s += "\narguments:";
+    for (const ProjectedArg& pa : launcher_.args) {
+      s += "\n  ";
+      s += privilege_name(pa.privilege);
+      s += " partition " + std::to_string(pa.partition.id) + " via " +
+           pa.functor.to_string();
+    }
+  }
+  return s;
+}
+
+LoopRunResult interpret_loop(const ForLoop& loop, Runtime& rt) {
+  LoopRunResult result;
+  run_scalar_statements(loop, result);
+  for (const Stmt& stmt : loop.body)
+    if (const auto* call = std::get_if<TaskCallStmt>(&stmt))
+      run_task_loop(loop, *call, rt);
+  return result;
+}
+
+}  // namespace idxl::regent

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <map>
+
+#include "compiler/ast.hpp"
+#include "runtime/runtime.hpp"
+
+namespace idxl::regent {
+
+/// What the optimizer decided to emit for a candidate loop (§4).
+enum class LoopStrategy : uint8_t {
+  /// Statically proven safe: a bare index launch, zero runtime checks.
+  kIndexLaunch,
+  /// Static analysis left residual arguments: emit the Listing-3 dynamic
+  /// check followed by a branch between the index launch and the loop.
+  kGuardedIndexLaunch,
+  /// Ineligible or statically proven unsafe: the original task loop.
+  kTaskLoop,
+};
+
+const char* strategy_name(LoopStrategy s);
+
+struct CompileDiagnostics {
+  bool eligible = false;       ///< body shape admits an index launch
+  std::string reason;          ///< why ineligible / unsafe, or which check ran
+  SafetyOutcome static_outcome = SafetyOutcome::kSafeStatic;
+};
+
+/// Result of one execution of a compiled loop.
+struct LoopRunResult {
+  bool ran_as_index_launch = false;
+  bool dynamic_check_ran = false;
+  bool dynamic_check_passed = true;
+  uint64_t dynamic_check_points = 0;
+  std::map<std::string, int64_t> scalars;  ///< final values of accumulators
+};
+
+/// The compiled artifact: behaviourally equivalent to interpreting the
+/// loop, but executing via the strategy chosen at compile time. This is
+/// our stand-in for Regent's AST-to-AST transformation — the "generated
+/// code" is a closure over the runtime API instead of Lua/Terra source.
+class CompiledLoop {
+ public:
+  LoopStrategy strategy() const { return strategy_; }
+  const CompileDiagnostics& diagnostics() const { return diagnostics_; }
+
+  /// Run the loop. For kGuardedIndexLaunch this first evaluates the
+  /// emitted dynamic check (Listing 3) and then branches, exactly like the
+  /// generated AST in the paper.
+  LoopRunResult execute(Runtime& rt) const;
+
+  /// Human-readable compilation report (strategy + per-argument verdicts).
+  std::string explain() const;
+
+ private:
+  friend CompiledLoop compile_loop(const ForLoop&, const RegionForest&);
+
+  ForLoop loop_;
+  LoopStrategy strategy_ = LoopStrategy::kTaskLoop;
+  CompileDiagnostics diagnostics_;
+  IndexLauncher launcher_;                 // valid unless kTaskLoop from ineligibility
+  std::vector<uint32_t> residual_indices_; // launcher args the emitted guard checks
+};
+
+/// The §4 optimization pass: eligibility analysis, static safety analysis,
+/// and hybrid code generation.
+CompiledLoop compile_loop(const ForLoop& loop, const RegionForest& forest);
+
+/// Reference semantics: interpret the loop as written (sequential task
+/// launches). Used by tests to check compiled artifacts against the
+/// original program.
+LoopRunResult interpret_loop(const ForLoop& loop, Runtime& rt);
+
+}  // namespace idxl::regent

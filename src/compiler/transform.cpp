@@ -1,0 +1,75 @@
+#include "compiler/transform.hpp"
+
+namespace idxl::regent {
+
+namespace {
+
+/// Find the single nested loop in `body`, if the level is collapsible.
+/// Simple statements are collected into `hoisted`; anything else vetoes.
+const NestedLoopStmt* single_nested_loop(const std::vector<Stmt>& body,
+                                         std::vector<Stmt>& hoisted) {
+  const NestedLoopStmt* nested = nullptr;
+  for (const Stmt& stmt : body) {
+    if (const auto* n = std::get_if<NestedLoopStmt>(&stmt)) {
+      if (nested != nullptr) return nullptr;  // two inner loops: not perfect
+      nested = n;
+    } else if (std::holds_alternative<VarDeclStmt>(stmt) ||
+               std::holds_alternative<ScalarAccumStmt>(stmt)) {
+      hoisted.push_back(stmt);
+    } else {
+      return nullptr;  // a task call or carried statement between loops
+    }
+  }
+  return nested;
+}
+
+/// Dense product of two dense domains: (d1, d2) -> d1 x d2.
+Domain product(const Domain& outer, const Domain& inner) {
+  const Rect& a = outer.bounds();
+  const Rect& b = inner.bounds();
+  Rect r;
+  r.lo.dim = r.hi.dim = a.dim() + b.dim();
+  for (int d = 0; d < a.dim(); ++d) {
+    r.lo[d] = a.lo[d];
+    r.hi[d] = a.hi[d];
+  }
+  for (int d = 0; d < b.dim(); ++d) {
+    r.lo[a.dim() + d] = b.lo[d];
+    r.hi[a.dim() + d] = b.hi[d];
+  }
+  return Domain(r);
+}
+
+}  // namespace
+
+ForLoop flatten_loops(const ForLoop& loop) {
+  ForLoop current = loop;
+  for (;;) {
+    if (!current.domain.dense()) return current;
+    std::vector<Stmt> hoisted;
+    const NestedLoopStmt* nested = single_nested_loop(current.body, hoisted);
+    if (nested == nullptr || !nested->domain.dense()) return current;
+    if (current.domain.dim() + nested->domain.dim() > kMaxDim) return current;
+
+    ForLoop merged;
+    merged.domain = product(current.domain, nested->domain);
+    merged.body = std::move(hoisted);
+    merged.body.insert(merged.body.end(), nested->body->begin(), nested->body->end());
+    current = std::move(merged);
+  }
+}
+
+int nest_depth(const ForLoop& loop) {
+  int depth = 1;
+  const std::vector<Stmt>* body = &loop.body;
+  for (;;) {
+    const NestedLoopStmt* nested = nullptr;
+    for (const Stmt& stmt : *body)
+      if (const auto* n = std::get_if<NestedLoopStmt>(&stmt)) nested = n;
+    if (nested == nullptr) return depth;
+    ++depth;
+    body = nested->body.get();
+  }
+}
+
+}  // namespace idxl::regent

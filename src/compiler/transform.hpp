@@ -1,0 +1,29 @@
+#pragma once
+
+#include "compiler/ast.hpp"
+
+namespace idxl::regent {
+
+/// Collapse a perfect nest of dense loops
+///
+///   for i = ... do
+///     for j = ... do
+///       foo(p[g(i, j)])
+///     end
+///   end
+///
+/// into a single loop over the product domain, so the whole nest becomes
+/// one multi-dimensional index launch instead of |outer| separate launches
+/// — the multi-dimensional launch-domain idiom of Regent. A nest level is
+/// collapsible when its body is exactly one NestedLoopStmt (plus VarDecl /
+/// ScalarAccum simple statements, which are hoisted) and both domains are
+/// dense with compatible total dimensionality (<= kMaxDim).
+///
+/// Returns the (possibly partially) flattened loop; a loop with no
+/// collapsible structure comes back unchanged.
+ForLoop flatten_loops(const ForLoop& loop);
+
+/// Depth of the perfect nest rooted at `loop` (1 = no nesting).
+int nest_depth(const ForLoop& loop);
+
+}  // namespace idxl::regent

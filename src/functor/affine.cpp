@@ -1,0 +1,176 @@
+#include "functor/affine.hpp"
+
+namespace idxl {
+
+namespace {
+
+/// Linear form over launch coordinates: sum of coeff[j]*i_j plus offset.
+struct LinearForm {
+  std::array<int64_t, kMaxDim> coeff{};
+  int64_t offset = 0;
+};
+
+/// Recursively match an expression as a linear form. Returns nullopt on any
+/// non-affine construct.
+std::optional<LinearForm> match_linear(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kConst: {
+      LinearForm f;
+      f.offset = e.value;
+      return f;
+    }
+    case ExprKind::kCoord: {
+      LinearForm f;
+      f.coeff[static_cast<std::size_t>(e.value)] = 1;
+      return f;
+    }
+    case ExprKind::kNeg: {
+      auto f = match_linear(*e.lhs);
+      if (!f) return std::nullopt;
+      for (auto& c : f->coeff) c = -c;
+      f->offset = -f->offset;
+      return f;
+    }
+    case ExprKind::kAdd:
+    case ExprKind::kSub: {
+      auto l = match_linear(*e.lhs);
+      auto r = match_linear(*e.rhs);
+      if (!l || !r) return std::nullopt;
+      const int64_t sign = e.kind == ExprKind::kAdd ? 1 : -1;
+      for (std::size_t j = 0; j < kMaxDim; ++j) l->coeff[j] += sign * r->coeff[j];
+      l->offset += sign * r->offset;
+      return l;
+    }
+    case ExprKind::kMul: {
+      auto l = match_linear(*e.lhs);
+      auto r = match_linear(*e.rhs);
+      if (!l || !r) return std::nullopt;
+      const bool l_const =
+          std::all_of(l->coeff.begin(), l->coeff.end(), [](int64_t c) { return c == 0; });
+      const bool r_const =
+          std::all_of(r->coeff.begin(), r->coeff.end(), [](int64_t c) { return c == 0; });
+      if (!l_const && !r_const) return std::nullopt;  // coord * coord: quadratic
+      const LinearForm& var = l_const ? *r : *l;
+      const int64_t k = l_const ? l->offset : r->offset;
+      LinearForm f;
+      for (std::size_t j = 0; j < kMaxDim; ++j) f.coeff[j] = var.coeff[j] * k;
+      f.offset = var.offset * k;
+      return f;
+    }
+    case ExprKind::kDiv:
+    case ExprKind::kMod:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Point AffineMap::apply(const Point& p) const {
+  IDXL_ASSERT(p.dim == in_dim);
+  Point r;
+  r.dim = out_dim;
+  for (int i = 0; i < out_dim; ++i) {
+    int64_t v = b[static_cast<std::size_t>(i)];
+    for (int j = 0; j < in_dim; ++j)
+      v += a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] * p[j];
+    r[i] = v;
+  }
+  return r;
+}
+
+bool AffineMap::is_identity() const {
+  if (in_dim != out_dim) return false;
+  for (int i = 0; i < out_dim; ++i) {
+    if (b[static_cast<std::size_t>(i)] != 0) return false;
+    for (int j = 0; j < in_dim; ++j)
+      if (a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] != (i == j ? 1 : 0))
+        return false;
+  }
+  return true;
+}
+
+bool AffineMap::is_constant() const {
+  for (int i = 0; i < out_dim; ++i)
+    for (int j = 0; j < in_dim; ++j)
+      if (a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] != 0) return false;
+  return true;
+}
+
+int AffineMap::column_rank() const {
+  // Fraction-free Gaussian elimination in 128-bit integers; dims are <= 4
+  // and coefficients are application-scale, so no overflow in practice.
+  __int128 m[kMaxDim][kMaxDim];
+  for (int i = 0; i < out_dim; ++i)
+    for (int j = 0; j < in_dim; ++j)
+      m[i][j] = a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+
+  int rank = 0;
+  for (int col = 0; col < in_dim && rank < out_dim; ++col) {
+    int pivot = -1;
+    for (int row = rank; row < out_dim; ++row)
+      if (m[row][col] != 0) {
+        pivot = row;
+        break;
+      }
+    if (pivot < 0) continue;
+    for (int j = 0; j < in_dim; ++j) std::swap(m[pivot][j], m[rank][j]);
+    for (int row = rank + 1; row < out_dim; ++row) {
+      const __int128 factor = m[row][col];
+      if (factor == 0) continue;
+      const __int128 p = m[rank][col];
+      for (int j = 0; j < in_dim; ++j) m[row][j] = m[row][j] * p - m[rank][j] * factor;
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::optional<Point> AffineMap::small_null_vector() const {
+  // Exhaustive search over a small box in increasing L-infinity norm:
+  // in_dim <= 4 and radius 4 give at most 9^4 candidates — trivially cheap,
+  // and sufficient for the degenerate affine functors that arise in
+  // practice (zero columns, repeated columns, proportional columns with
+  // small ratios). Smallest-norm-first matters: short kernel vectors are
+  // the ones that can connect two points of a launch domain and thereby
+  // witness non-injectivity.
+  for (int64_t radius = 1; radius <= kNullSearchRadius; ++radius) {
+    Rect box(Point::filled(in_dim, -radius), Point::filled(in_dim, radius));
+    for (const Point& cand : box) {
+      int64_t norm = 0;
+      for (int j = 0; j < in_dim; ++j) norm = std::max(norm, std::abs(cand[j]));
+      if (norm != radius) continue;  // interior already searched
+      bool in_kernel = true;
+      for (int i = 0; i < out_dim && in_kernel; ++i) {
+        int64_t dot = 0;
+        for (int j = 0; j < in_dim; ++j)
+          dot += a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] * cand[j];
+        in_kernel = dot == 0;
+      }
+      if (in_kernel) return cand;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<AffineMap> extract_affine_map(const ProjectionFunctor& f, int in_dim) {
+  if (!f.is_symbolic()) return std::nullopt;
+  IDXL_REQUIRE(in_dim >= 1 && in_dim <= kMaxDim, "bad launch dimensionality");
+
+  AffineMap map;
+  map.in_dim = in_dim;
+  map.out_dim = f.output_dim();
+  for (int i = 0; i < map.out_dim; ++i) {
+    const ExprPtr& e = f.exprs()[static_cast<std::size_t>(i)];
+    if (e->max_coord() >= in_dim) return std::nullopt;  // references beyond domain
+    auto form = match_linear(*e);
+    if (!form) return std::nullopt;
+    for (int j = 0; j < in_dim; ++j)
+      map.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          form->coeff[static_cast<std::size_t>(j)];
+    map.b[static_cast<std::size_t>(i)] = form->offset;
+  }
+  return map;
+}
+
+}  // namespace idxl

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "functor/projection.hpp"
+
+namespace idxl {
+
+/// An affine map i ↦ A·i + b extracted from a symbolic projection functor.
+/// This is the shape the paper's static analysis recognizes ("constant,
+/// identity, or the slightly more general affine case", §4); everything
+/// else falls through to the dynamic check.
+struct AffineMap {
+  int in_dim = 0;   // launch domain dimensionality
+  int out_dim = 0;  // color dimensionality
+  // a[r][c] is the coefficient of launch coordinate c in output row r.
+  std::array<std::array<int64_t, kMaxDim>, kMaxDim> a{};
+  std::array<int64_t, kMaxDim> b{};
+
+  Point apply(const Point& p) const;
+
+  bool is_identity() const;
+
+  /// All coefficients zero — the functor degenerates to a constant.
+  bool is_constant() const;
+
+  /// Column rank of A over the rationals. Full column rank (== in_dim)
+  /// implies the map is injective on all of Z^in_dim, hence on any launch
+  /// domain — the soundness core of the static classifier.
+  int column_rank() const;
+
+  /// A small nonzero integer vector v with A·v = 0, if one exists with
+  /// coordinates in [-kNullSearchRadius, kNullSearchRadius]. Two launch
+  /// points differing by v collide, which is how the classifier proves
+  /// *non*-injectivity of degenerate affine maps.
+  std::optional<Point> small_null_vector() const;
+
+  static constexpr int64_t kNullSearchRadius = 4;
+};
+
+/// Try to view `f` as an affine map over an `in_dim`-dimensional launch
+/// domain. Fails (nullopt) for opaque functors and for symbolic functors
+/// containing mul-of-coords, div, or mod.
+std::optional<AffineMap> extract_affine_map(const ProjectionFunctor& f, int in_dim);
+
+}  // namespace idxl

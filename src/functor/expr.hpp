@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "region/point.hpp"
+
+namespace idxl {
+
+/// Scalar integer expression over the coordinates of a launch-domain point.
+/// Projection functors (§3) are tuples of these, one per output dimension.
+///
+/// Keeping functors symbolic — rather than opaque callables — is what lets
+/// the *static* half of the paper's hybrid analysis work: the classifier
+/// pattern-matches this IR for constant / identity / affine shapes. Opaque
+/// callables are still supported (ProjectionFunctor::opaque) and simply
+/// classify as "unknown", falling through to the dynamic check.
+enum class ExprKind : uint8_t {
+  kConst,  ///< integer literal
+  kCoord,  ///< i-th coordinate of the launch index
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  ///< truncating division (C++ semantics)
+  kMod,  ///< C++ remainder semantics; the paper's `(i+k) mod N` idiom
+  kNeg,
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  ExprKind kind;
+  int64_t value = 0;  // kConst: the literal; kCoord: the coordinate index
+  ExprPtr lhs, rhs;
+
+  int64_t eval(const Point& p) const;
+  std::string to_string() const;
+
+  /// Largest coordinate index referenced, or -1 if none.
+  int max_coord() const;
+};
+
+ExprPtr make_const(int64_t v);
+ExprPtr make_coord(int axis);
+ExprPtr make_add(ExprPtr a, ExprPtr b);
+ExprPtr make_sub(ExprPtr a, ExprPtr b);
+ExprPtr make_mul(ExprPtr a, ExprPtr b);
+ExprPtr make_div(ExprPtr a, ExprPtr b);
+ExprPtr make_mod(ExprPtr a, ExprPtr b);
+ExprPtr make_neg(ExprPtr a);
+
+/// Structural equality (used by the static cross-check to recognize
+/// identical functors).
+bool expr_equal(const Expr& a, const Expr& b);
+
+/// Flattened postfix program for fast repeated evaluation. The tree walk
+/// costs a pointer chase per node; the dynamic check evaluates the functor
+/// |D| times (up to 1e6 in Table 2), so we "compile" it once — the
+/// interpreter analogue of the specialized loops Regent generates.
+class CompiledExpr {
+ public:
+  explicit CompiledExpr(const Expr& root);
+  int64_t eval(const Point& p) const;
+
+ private:
+  struct Op {
+    ExprKind kind;
+    int64_t value;
+  };
+  std::vector<Op> ops_;  // postfix order
+  mutable std::vector<int64_t> stack_;
+};
+
+}  // namespace idxl

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "functor/expr.hpp"
+#include "region/domain.hpp"
+
+namespace idxl {
+
+/// A projection functor (§3): a pure function from a point in the launch
+/// domain to a color of a partition, selecting the sub-collection an
+/// individual task in an index launch receives.
+///
+/// Two flavors:
+///  * symbolic — a tuple of Expr trees, one per output dimension. Fully
+///    analyzable by the static classifier and fast to evaluate via
+///    CompiledExpr.
+///  * opaque — an arbitrary std::function. Maximum flexibility (the paper's
+///    `q[f(i)]` with opaque f); always requires the dynamic check.
+class ProjectionFunctor {
+ public:
+  /// The identity functor of dimension `dim` (the trivially safe case).
+  static ProjectionFunctor identity(int dim);
+
+  /// Symbolic functor from per-output-dimension expressions.
+  static ProjectionFunctor symbolic(std::vector<ExprPtr> exprs, std::string name = "");
+
+  /// 1-D affine convenience: i -> a*i + b.
+  static ProjectionFunctor affine1d(int64_t a, int64_t b);
+
+  /// 1-D modular convenience: i -> (i + k) mod n.
+  static ProjectionFunctor modular1d(int64_t k, int64_t n);
+
+  /// Opaque functor; `out_dim` is the dimensionality of produced colors.
+  static ProjectionFunctor opaque(std::function<Point(const Point&)> fn, int out_dim,
+                                  std::string name = "<opaque>");
+
+  /// Evaluate at a launch-domain point.
+  Point operator()(const Point& p) const;
+
+  int output_dim() const { return out_dim_; }
+  bool is_symbolic() const { return !exprs_.empty(); }
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
+  const std::string& name() const { return name_; }
+
+  /// True when both are symbolic with structurally identical expressions.
+  /// (Opaque functors are never known-equal.)
+  bool definitely_equal(const ProjectionFunctor& other) const;
+
+  /// Fast repeated evaluation for the dynamic checker: evaluates at `p` and
+  /// writes coordinates into `out[0..out_dim)`.
+  void eval_into(const Point& p, int64_t* out) const;
+
+  /// Build the compiled form (idempotent). Called by the dynamic checker
+  /// before its evaluation loop so the per-point cost is a bytecode scan,
+  /// not a pointer-chasing tree walk.
+  void ensure_compiled() const;
+
+  std::string to_string() const;
+
+ private:
+  ProjectionFunctor() = default;
+
+  int out_dim_ = 0;
+  std::vector<ExprPtr> exprs_;                       // symbolic form (may be empty)
+  std::function<Point(const Point&)> fn_;            // opaque form
+  std::string name_;
+  mutable std::vector<CompiledExpr> compiled_;       // lazy, symbolic only
+};
+
+}  // namespace idxl

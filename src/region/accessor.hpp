@@ -1,0 +1,128 @@
+#pragma once
+
+#include <type_traits>
+
+#include "region/region_forest.hpp"
+
+namespace idxl {
+
+/// Privileges a task declares on a region argument (§2). Declared up front
+/// so the dependence analysis can run *before* the task executes, and so
+/// index-launch safety can be decided from the launch descriptor alone.
+enum class Privilege : uint8_t {
+  kRead,
+  kWrite,      // write-only (write-discard)
+  kReadWrite,
+  kReduce,     // reduction with a commutative operator
+};
+
+inline bool privilege_writes(Privilege p) {
+  return p == Privilege::kWrite || p == Privilege::kReadWrite ||
+         p == Privilege::kReduce;
+}
+inline bool privilege_reads(Privilege p) {
+  return p == Privilege::kRead || p == Privilege::kReadWrite;
+}
+
+inline const char* privilege_name(Privilege p) {
+  switch (p) {
+    case Privilege::kRead: return "read";
+    case Privilege::kWrite: return "write";
+    case Privilege::kReadWrite: return "read-write";
+    case Privilege::kReduce: return "reduce";
+  }
+  return "?";
+}
+
+/// Built-in commutative reduction operators.
+enum class ReductionOp : uint8_t { kNone, kSum, kProd, kMin, kMax };
+
+template <typename T>
+T apply_reduction(ReductionOp op, T lhs, T rhs) {
+  switch (op) {
+    case ReductionOp::kSum: return lhs + rhs;
+    case ReductionOp::kProd: return lhs * rhs;
+    case ReductionOp::kMin: return rhs < lhs ? rhs : lhs;
+    case ReductionOp::kMax: return lhs < rhs ? rhs : lhs;
+    case ReductionOp::kNone: break;
+  }
+  IDXL_ASSERT_MSG(false, "apply_reduction with kNone");
+  return lhs;
+}
+
+/// Typed view of one field of a region. The accessor addresses the root's
+/// storage (so sibling subregions alias the same memory, as in Legion) but
+/// bounds-checks every access against the *subregion's* domain and the
+/// declared privilege — this is how privilege violations surface in tests.
+template <typename T>
+class Accessor {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  Accessor(RegionForest& forest, RegionId r, FieldId f, Privilege priv,
+           ReductionOp redop = ReductionOp::kNone)
+      : data_(reinterpret_cast<T*>(forest.field_data(r, f))),
+        storage_bounds_(forest.storage_bounds(r)),
+        domain_(&forest.region_domain(r)),
+        priv_(priv),
+        redop_(redop) {
+    IDXL_REQUIRE(forest.field(forest.region(r).fspace, f).size == sizeof(T),
+                 "accessor element type does not match field size");
+    IDXL_REQUIRE((priv == Privilege::kReduce) == (redop != ReductionOp::kNone),
+                 "reduction op must be given iff privilege is reduce");
+  }
+
+  /// Construct from pre-resolved storage (used by PhysicalRegion, which
+  /// captures pointers at issue time so task bodies never touch the forest
+  /// concurrently with issuance). `field_size` is checked against T here.
+  Accessor(std::byte* data, std::size_t field_size, const Rect& storage_bounds,
+           const Domain* domain, Privilege priv, ReductionOp redop)
+      : data_(reinterpret_cast<T*>(data)),
+        storage_bounds_(storage_bounds),
+        domain_(domain),
+        priv_(priv),
+        redop_(redop) {
+    IDXL_REQUIRE(field_size == sizeof(T),
+                 "accessor element type does not match field size");
+    IDXL_REQUIRE((priv == Privilege::kReduce) == (redop != ReductionOp::kNone),
+                 "reduction op must be given iff privilege is reduce");
+  }
+
+  const T& read(const Point& p) const {
+    IDXL_ASSERT_MSG(privilege_reads(priv_), "read access without read privilege");
+    return data_[slot(p)];
+  }
+
+  void write(const Point& p, const T& v) {
+    IDXL_ASSERT_MSG(priv_ == Privilege::kWrite || priv_ == Privilege::kReadWrite,
+                    "write access without write privilege");
+    data_[slot(p)] = v;
+  }
+
+  void reduce(const Point& p, const T& v) {
+    IDXL_ASSERT_MSG(priv_ == Privilege::kReduce, "reduce access without reduce privilege");
+    data_[slot(p)] = apply_reduction(redop_, data_[slot(p)], v);
+  }
+
+  /// Read-write shorthand for kReadWrite accessors.
+  T& ref(const Point& p) {
+    IDXL_ASSERT_MSG(priv_ == Privilege::kReadWrite, "ref requires read-write privilege");
+    return data_[slot(p)];
+  }
+
+  const Domain& domain() const { return *domain_; }
+
+ private:
+  std::size_t slot(const Point& p) const {
+    IDXL_ASSERT_MSG(domain_->contains(p), "region access out of privilege bounds");
+    return static_cast<std::size_t>(storage_bounds_.linearize(p));
+  }
+
+  T* data_;
+  Rect storage_bounds_;
+  const Domain* domain_;
+  Privilege priv_;
+  ReductionOp redop_;
+};
+
+}  // namespace idxl

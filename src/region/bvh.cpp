@@ -1,0 +1,72 @@
+#include "region/bvh.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace idxl {
+
+namespace {
+
+Rect merge(const Rect& a, const Rect& b) {
+  IDXL_ASSERT(a.dim() == b.dim());
+  Rect r = a;
+  for (int d = 0; d < a.dim(); ++d) {
+    r.lo[d] = std::min(a.lo[d], b.lo[d]);
+    r.hi[d] = std::max(a.hi[d], b.hi[d]);
+  }
+  return r;
+}
+
+}  // namespace
+
+void RectBVH::build(std::vector<std::pair<Rect, uint32_t>> items) {
+  nodes_.clear();
+  items_ = std::move(items);
+  item_count_ = items_.size();
+  if (items_.empty()) return;
+  nodes_.reserve(2 * items_.size());
+  build_node(0, static_cast<uint32_t>(items_.size()));
+}
+
+uint32_t RectBVH::build_node(uint32_t first, uint32_t count) {
+  const auto index = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  Rect bounds = items_[first].first;
+  for (uint32_t i = first + 1; i < first + count; ++i)
+    bounds = merge(bounds, items_[i].first);
+  nodes_[index].bounds = bounds;
+
+  if (count <= kLeafSize) {
+    nodes_[index].first = first;
+    nodes_[index].count = count;
+    return index;
+  }
+
+  // Median split on the longest axis of the current bounds (by rect center).
+  int axis = 0;
+  int64_t best = -1;
+  for (int d = 0; d < bounds.dim(); ++d) {
+    const int64_t extent = bounds.hi[d] - bounds.lo[d];
+    if (extent > best) {
+      best = extent;
+      axis = d;
+    }
+  }
+  const auto begin = items_.begin() + first;
+  const auto mid = begin + count / 2;
+  const auto end = begin + count;
+  std::nth_element(begin, mid, end, [axis](const auto& a, const auto& b) {
+    return a.first.lo[axis] + a.first.hi[axis] < b.first.lo[axis] + b.first.hi[axis];
+  });
+
+  const uint32_t left = build_node(first, count / 2);
+  const uint32_t right = build_node(first + count / 2, count - count / 2);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  nodes_[index].count = 0;
+  return index;
+}
+
+}  // namespace idxl

@@ -1,0 +1,159 @@
+#include "region/partition_ops.hpp"
+
+namespace idxl {
+
+PartitionId partition_equal(RegionForest& forest, IndexSpaceId parent,
+                            const Rect& colors) {
+  const Domain& dom = forest.domain(parent);
+  IDXL_REQUIRE(dom.dense(), "partition_equal requires a dense parent");
+  const Rect& bounds = dom.bounds();
+  IDXL_REQUIRE(colors.dim() == bounds.dim(),
+               "color space dimensionality must match the index space");
+
+  std::vector<Domain> subs;
+  subs.reserve(static_cast<std::size_t>(colors.volume()));
+  for (const Point& color : colors) {
+    Rect block = bounds;
+    for (int d = 0; d < bounds.dim(); ++d) {
+      const int64_t extent = bounds.hi[d] - bounds.lo[d] + 1;
+      const int64_t nc = colors.hi[d] - colors.lo[d] + 1;
+      const int64_t ci = color[d] - colors.lo[d];
+      // Split extent into nc blocks whose sizes differ by at most one.
+      const int64_t base = extent / nc, rem = extent % nc;
+      const int64_t start = ci * base + std::min(ci, rem);
+      const int64_t len = base + (ci < rem ? 1 : 0);
+      block.lo[d] = bounds.lo[d] + start;
+      block.hi[d] = bounds.lo[d] + start + len - 1;
+    }
+    subs.emplace_back(block);
+  }
+  return forest.create_partition(parent, colors, std::move(subs),
+                                 Disjointness::kDisjoint);
+}
+
+PartitionId partition_halo(RegionForest& forest, IndexSpaceId parent,
+                           PartitionId blocks, int64_t radius) {
+  IDXL_REQUIRE(radius >= 0, "halo radius must be non-negative");
+  IDXL_REQUIRE(forest.partition_parent(blocks) == parent,
+               "halo must grow a partition of the same index space");
+  const Rect& bounds = forest.domain(parent).bounds();
+  const Rect& colors = forest.color_space(blocks);
+
+  std::vector<Domain> subs;
+  subs.reserve(static_cast<std::size_t>(colors.volume()));
+  for (const Point& color : colors) {
+    const Domain& block = forest.domain(forest.subspace(blocks, color));
+    IDXL_REQUIRE(block.dense(), "partition_halo requires dense blocks");
+    Rect grown = block.bounds();
+    for (int d = 0; d < grown.dim(); ++d) {
+      grown.lo[d] = std::max(grown.lo[d] - radius, bounds.lo[d]);
+      grown.hi[d] = std::min(grown.hi[d] + radius, bounds.hi[d]);
+    }
+    subs.emplace_back(grown);
+  }
+  return forest.create_partition(parent, colors, std::move(subs),
+                                 Disjointness::kAliased);
+}
+
+PartitionId partition_by_coloring(RegionForest& forest, IndexSpaceId parent,
+                                  const Rect& colors,
+                                  const std::function<Point(const Point&)>& color_of) {
+  const Domain& dom = forest.domain(parent);
+  std::vector<std::vector<Point>> buckets(static_cast<std::size_t>(colors.volume()));
+  dom.for_each([&](const Point& p) {
+    const Point c = color_of(p);
+    IDXL_REQUIRE(colors.contains(c), "coloring produced a color outside the color space");
+    buckets[static_cast<std::size_t>(colors.linearize(c))].push_back(p);
+  });
+
+  std::vector<Domain> subs;
+  subs.reserve(buckets.size());
+  for (auto& bucket : buckets) subs.push_back(Domain::from_points(std::move(bucket)));
+  return forest.create_partition(parent, colors, std::move(subs),
+                                 Disjointness::kDisjoint);
+}
+
+PartitionId partition_by_multi_coloring(
+    RegionForest& forest, IndexSpaceId parent, const Rect& colors,
+    const std::function<void(const Point&, std::vector<Point>&)>& colors_of) {
+  const Domain& dom = forest.domain(parent);
+  std::vector<std::vector<Point>> buckets(static_cast<std::size_t>(colors.volume()));
+  std::vector<Point> scratch;
+  dom.for_each([&](const Point& p) {
+    scratch.clear();
+    colors_of(p, scratch);
+    for (const Point& c : scratch) {
+      IDXL_REQUIRE(colors.contains(c), "coloring produced a color outside the color space");
+      buckets[static_cast<std::size_t>(colors.linearize(c))].push_back(p);
+    }
+  });
+
+  std::vector<Domain> subs;
+  subs.reserve(buckets.size());
+  for (auto& bucket : buckets) subs.push_back(Domain::from_points(std::move(bucket)));
+  return forest.create_partition(parent, colors, std::move(subs),
+                                 Disjointness::kCompute);
+}
+
+PartitionId partition_image(RegionForest& forest, IndexSpaceId range,
+                            PartitionId domain_part,
+                            const std::function<Point(const Point&)>& fn) {
+  return partition_image_multi(forest, range, domain_part,
+                               [&fn](const Point& p, std::vector<Point>& out) {
+                                 out.push_back(fn(p));
+                               });
+}
+
+PartitionId partition_image_multi(
+    RegionForest& forest, IndexSpaceId range, PartitionId domain_part,
+    const std::function<void(const Point&, std::vector<Point>&)>& fn) {
+  const Rect& colors = forest.color_space(domain_part);
+  const Domain& range_dom = forest.domain(range);
+
+  std::vector<Domain> subs;
+  subs.reserve(static_cast<std::size_t>(colors.volume()));
+  std::vector<Point> targets;
+  for (const Point& color : colors) {
+    std::vector<Point> image_points;
+    forest.domain(forest.subspace(domain_part, color)).for_each([&](const Point& x) {
+      targets.clear();
+      fn(x, targets);
+      for (const Point& y : targets) {
+        IDXL_REQUIRE(range_dom.contains(y),
+                     "image function produced a point outside the range space");
+        image_points.push_back(y);
+      }
+    });
+    subs.push_back(Domain::from_points(std::move(image_points)));
+  }
+  return forest.create_partition(range, colors, std::move(subs),
+                                 Disjointness::kCompute);
+}
+
+PartitionId partition_preimage(RegionForest& forest, IndexSpaceId domain,
+                               PartitionId range_part,
+                               const std::function<Point(const Point&)>& fn) {
+  const Rect& colors = forest.color_space(range_part);
+  std::vector<std::vector<Point>> buckets(static_cast<std::size_t>(colors.volume()));
+
+  forest.domain(domain).for_each([&](const Point& x) {
+    const Point y = fn(x);
+    // Find which subspace(s) of the range partition hold fn(x); with an
+    // aliased range partition a point may land in several colors.
+    for (const Point& color : colors) {
+      if (forest.domain(forest.subspace(range_part, color)).contains(y))
+        buckets[static_cast<std::size_t>(colors.linearize(color))].push_back(x);
+    }
+  });
+
+  std::vector<Domain> subs;
+  subs.reserve(buckets.size());
+  for (auto& bucket : buckets) subs.push_back(Domain::from_points(std::move(bucket)));
+  // Disjoint when the range partition is disjoint (each point has exactly
+  // one image, which lives in at most one subspace).
+  return forest.create_partition(
+      domain, colors, std::move(subs),
+      forest.is_disjoint(range_part) ? Disjointness::kCompute : Disjointness::kAliased);
+}
+
+}  // namespace idxl

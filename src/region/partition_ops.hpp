@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+
+#include "region/region_forest.hpp"
+
+namespace idxl {
+
+/// Standard partition constructors (§2: "the exact method for determining
+/// partitions is left unspecified" — these are the ones our applications
+/// use, mirroring common Regent idioms).
+
+/// Disjoint partition of a dense index space into `colors.volume()` nearly
+/// equal blocks, one per color, blocked along every dimension. The classic
+/// `partition(equal, ...)` of Regent.
+PartitionId partition_equal(RegionForest& forest, IndexSpaceId parent,
+                            const Rect& colors);
+
+/// Aliased "halo" partition: each block of `blocks` grown by `radius` in
+/// every dimension and clipped to the parent's bounds. Used for stencil
+/// ghost cells.
+PartitionId partition_halo(RegionForest& forest, IndexSpaceId parent,
+                           PartitionId blocks, int64_t radius);
+
+/// Partition a (1-D, dense) index space by an explicit coloring: color_of(i)
+/// gives the color of element i. Colors must lie in `colors`. Disjoint by
+/// construction. Used by the circuit app to partition the unstructured
+/// graph.
+PartitionId partition_by_coloring(RegionForest& forest, IndexSpaceId parent,
+                                  const Rect& colors,
+                                  const std::function<Point(const Point&)>& color_of);
+
+/// Multi-colored variant: each element may receive any number of colors
+/// (zero, one, or several), so the result may be aliased or incomplete.
+/// Used for the circuit's shared/ghost node partitions.
+PartitionId partition_by_multi_coloring(
+    RegionForest& forest, IndexSpaceId parent, const Rect& colors,
+    const std::function<void(const Point&, std::vector<Point>&)>& colors_of);
+
+/// Dependent partitioning (Treichler et al., OOPSLA '16 — the partition
+/// derivation the paper's data model builds on):
+///
+/// Image: partition `range` by where `fn` sends the subspaces of `domain_part`:
+/// subspace(result, c) = { fn(x) : x ∈ subspace(domain_part, c) }. Typically
+/// aliased (several sources may map to one target) — disjointness is
+/// computed. The classic use is deriving the nodes each piece's wires touch
+/// from a pointer field.
+PartitionId partition_image(RegionForest& forest, IndexSpaceId range,
+                            PartitionId domain_part,
+                            const std::function<Point(const Point&)>& fn);
+
+/// Multi-image: like partition_image but `fn` yields several range points
+/// per domain point (e.g. a wire touching both endpoints).
+PartitionId partition_image_multi(
+    RegionForest& forest, IndexSpaceId range, PartitionId domain_part,
+    const std::function<void(const Point&, std::vector<Point>&)>& fn);
+
+/// Preimage: partition `domain` by where `fn` sends each of its points
+/// relative to `range_part`: x lands in color c iff fn(x) ∈
+/// subspace(range_part, c). Disjoint whenever `range_part` is disjoint
+/// (each point has one image). The classic use is partitioning edges by the
+/// partition of the nodes they point at.
+PartitionId partition_preimage(RegionForest& forest, IndexSpaceId domain,
+                               PartitionId range_part,
+                               const std::function<Point(const Point&)>& fn);
+
+}  // namespace idxl

@@ -1,0 +1,207 @@
+#include "region/region_forest.hpp"
+
+#include <algorithm>
+
+namespace idxl {
+
+IndexSpaceId RegionForest::create_index_space(Domain domain) {
+  index_spaces_.push_back(std::move(domain));
+  return IndexSpaceId{static_cast<uint32_t>(index_spaces_.size() - 1)};
+}
+
+const Domain& RegionForest::domain(IndexSpaceId is) const {
+  IDXL_ASSERT(is.valid() && is.id < index_spaces_.size());
+  return index_spaces_[is.id];
+}
+
+FieldSpaceId RegionForest::create_field_space() {
+  field_spaces_.emplace_back();
+  return FieldSpaceId{static_cast<uint32_t>(field_spaces_.size() - 1)};
+}
+
+FieldId RegionForest::allocate_field(FieldSpaceId fs, std::size_t field_size,
+                                     std::string name) {
+  IDXL_ASSERT(fs.valid() && fs.id < field_spaces_.size());
+  IDXL_REQUIRE(field_size > 0, "field size must be positive");
+  auto& fields = field_spaces_[fs.id];
+  const FieldId id = static_cast<FieldId>(fields.size());
+  fields.push_back(FieldInfo{id, field_size, std::move(name)});
+  return id;
+}
+
+const FieldInfo& RegionForest::field(FieldSpaceId fs, FieldId f) const {
+  IDXL_ASSERT(fs.valid() && fs.id < field_spaces_.size());
+  IDXL_ASSERT(f < field_spaces_[fs.id].size());
+  return field_spaces_[fs.id][f];
+}
+
+const std::vector<FieldInfo>& RegionForest::fields(FieldSpaceId fs) const {
+  IDXL_ASSERT(fs.valid() && fs.id < field_spaces_.size());
+  return field_spaces_[fs.id];
+}
+
+PartitionId RegionForest::create_partition(IndexSpaceId parent, const Rect& color_space,
+                                           std::vector<Domain> subspaces,
+                                           Disjointness d) {
+  IDXL_REQUIRE(!color_space.empty(), "partition color space must be non-empty");
+  IDXL_REQUIRE(static_cast<int64_t>(subspaces.size()) == color_space.volume(),
+               "one subspace required per color");
+  const Domain& parent_dom = domain(parent);
+  for (const Domain& sub : subspaces)
+    IDXL_REQUIRE(parent_dom.contains_domain(sub),
+                 "partition subspace escapes its parent index space");
+
+  PartitionNode node;
+  node.parent = parent;
+  node.color_space = color_space;
+  node.subspaces.reserve(subspaces.size());
+  for (Domain& sub : subspaces)
+    node.subspaces.push_back(create_index_space(std::move(sub)));
+
+  partitions_.push_back(std::move(node));
+  const PartitionId pid{static_cast<uint32_t>(partitions_.size() - 1)};
+
+  switch (d) {
+    case Disjointness::kDisjoint:
+      partitions_[pid.id].disjoint = true;
+#ifndef NDEBUG
+      IDXL_ASSERT_MSG(verify_disjoint(pid),
+                      "partition declared disjoint but subspaces overlap");
+#endif
+      break;
+    case Disjointness::kAliased:
+      partitions_[pid.id].disjoint = false;
+      break;
+    case Disjointness::kCompute:
+      partitions_[pid.id].disjoint = verify_disjoint(pid);
+      break;
+  }
+  return pid;
+}
+
+IndexSpaceId RegionForest::subspace(PartitionId p, const Point& color) const {
+  IDXL_ASSERT(p.valid() && p.id < partitions_.size());
+  const PartitionNode& node = partitions_[p.id];
+  IDXL_REQUIRE(node.color_space.contains(color), "color outside partition color space");
+  return node.subspaces[static_cast<std::size_t>(node.color_space.linearize(color))];
+}
+
+const Rect& RegionForest::color_space(PartitionId p) const {
+  IDXL_ASSERT(p.valid() && p.id < partitions_.size());
+  return partitions_[p.id].color_space;
+}
+
+IndexSpaceId RegionForest::partition_parent(PartitionId p) const {
+  IDXL_ASSERT(p.valid() && p.id < partitions_.size());
+  return partitions_[p.id].parent;
+}
+
+bool RegionForest::is_disjoint(PartitionId p) const {
+  IDXL_ASSERT(p.valid() && p.id < partitions_.size());
+  return partitions_[p.id].disjoint;
+}
+
+bool RegionForest::verify_disjoint(PartitionId p) const {
+  const PartitionNode& node = partitions_[p.id];
+  const std::size_t n = node.subspaces.size();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (!domain(node.subspaces[i]).disjoint_from(domain(node.subspaces[j])))
+        return false;
+  return true;
+}
+
+RegionId RegionForest::create_region(IndexSpaceId is, FieldSpaceId fs) {
+  RegionInfo info;
+  info.handle = RegionId{static_cast<uint32_t>(regions_.size())};
+  info.root = info.handle;
+  info.tree_id = next_tree_id_++;
+  info.ispace = is;
+  info.fspace = fs;
+  regions_.push_back(info);
+
+  auto store = std::make_unique<RootStorage>();
+  store->bounds = domain(is).bounds();
+  const auto vol = static_cast<std::size_t>(store->bounds.volume());
+  for (const FieldInfo& f : fields(fs))
+    store->data.emplace(f.id, std::vector<std::byte>(vol * f.size));
+  storage_.resize(regions_.size());
+  storage_[info.handle.id] = std::move(store);
+  return info.handle;
+}
+
+RegionId RegionForest::subregion(RegionId parent, PartitionId p, const Point& color) {
+  const RegionInfo& par = region(parent);
+  const PartitionNode& node = partitions_[p.id];
+  IDXL_REQUIRE(node.parent == par.ispace,
+               "partition does not partition this region's index space");
+  IDXL_REQUIRE(node.color_space.contains(color),
+               "projection functor selected a color outside the partition");
+  const uint64_t key = (uint64_t{parent.id} << 40) ^ (uint64_t{p.id} << 20) ^
+                       static_cast<uint64_t>(node.color_space.linearize(color));
+  if (auto it = subregion_cache_.find(key); it != subregion_cache_.end())
+    return it->second;
+
+  RegionInfo info;
+  info.handle = RegionId{static_cast<uint32_t>(regions_.size())};
+  info.root = par.root;
+  info.tree_id = par.tree_id;
+  info.ispace = subspace(p, color);
+  info.fspace = par.fspace;
+  info.through = p;
+  info.color = color;
+  regions_.push_back(info);
+  storage_.resize(regions_.size());  // subregions own no storage
+  subregion_cache_.emplace(key, info.handle);
+  return info.handle;
+}
+
+const RegionInfo& RegionForest::region(RegionId r) const {
+  IDXL_ASSERT(r.valid() && r.id < regions_.size());
+  return regions_[r.id];
+}
+
+bool RegionForest::regions_interfere(RegionId a, RegionId b) const {
+  const RegionInfo& ra = region(a);
+  const RegionInfo& rb = region(b);
+  if (ra.tree_id != rb.tree_id) return false;
+  return !domain(ra.ispace).disjoint_from(domain(rb.ispace));
+}
+
+bool RegionForest::partitions_independent(RegionId ra, PartitionId p, RegionId rb,
+                                          PartitionId q) const {
+  const RegionInfo& a = region(ra);
+  const RegionInfo& b = region(rb);
+  if (a.tree_id != b.tree_id) return true;
+  IDXL_ASSERT(p.valid() && q.valid());
+  const Domain& pd = domain(partitions_[p.id].parent);
+  const Domain& qd = domain(partitions_[q.id].parent);
+  return pd.disjoint_from(qd);
+}
+
+std::byte* RegionForest::field_data(RegionId r, FieldId f) {
+  const RegionInfo& info = region(r);
+  auto& store = storage_[info.root.id];
+  IDXL_ASSERT(store != nullptr);
+  auto it = store->data.find(f);
+  IDXL_ASSERT_MSG(it != store->data.end(), "unknown field for region");
+  return it->second.data();
+}
+
+const std::byte* RegionForest::field_data(RegionId r, FieldId f) const {
+  const RegionInfo& info = region(r);
+  const auto& store = storage_[info.root.id];
+  IDXL_ASSERT(store != nullptr);
+  auto it = store->data.find(f);
+  IDXL_ASSERT_MSG(it != store->data.end(), "unknown field for region");
+  return it->second.data();
+}
+
+const Rect& RegionForest::storage_bounds(RegionId r) const {
+  const RegionInfo& info = region(r);
+  const auto& store = storage_[info.root.id];
+  IDXL_ASSERT(store != nullptr);
+  return store->bounds;
+}
+
+}  // namespace idxl

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "region/domain.hpp"
+
+namespace idxl {
+
+/// Strongly-typed handles. All region-tree objects are owned by a
+/// RegionForest and referred to by value handles, mirroring Legion's API
+/// (handles are cheap to copy into task descriptors and launchers).
+struct IndexSpaceId {
+  uint32_t id = UINT32_MAX;
+  bool valid() const { return id != UINT32_MAX; }
+  friend bool operator==(IndexSpaceId a, IndexSpaceId b) { return a.id == b.id; }
+};
+struct FieldSpaceId {
+  uint32_t id = UINT32_MAX;
+  bool valid() const { return id != UINT32_MAX; }
+  friend bool operator==(FieldSpaceId a, FieldSpaceId b) { return a.id == b.id; }
+};
+struct PartitionId {
+  uint32_t id = UINT32_MAX;
+  bool valid() const { return id != UINT32_MAX; }
+  friend bool operator==(PartitionId a, PartitionId b) { return a.id == b.id; }
+  friend bool operator!=(PartitionId a, PartitionId b) { return a.id != b.id; }
+};
+struct RegionId {
+  uint32_t id = UINT32_MAX;
+  bool valid() const { return id != UINT32_MAX; }
+  friend bool operator==(RegionId a, RegionId b) { return a.id == b.id; }
+  friend bool operator!=(RegionId a, RegionId b) { return a.id != b.id; }
+};
+using FieldId = uint32_t;
+
+/// How a partition's disjointness is established at creation.
+enum class Disjointness {
+  kDisjoint,  ///< creator guarantees subspaces don't overlap (checked in debug)
+  kAliased,   ///< subspaces may overlap (e.g. halo partitions)
+  kCompute,   ///< forest verifies pairwise and records the result
+};
+
+/// A collection in the paper's terminology: an index space paired with a
+/// field space, plus (for root regions) backing storage. Subregions are
+/// views onto the root's storage, exactly the "views onto the same
+/// underlying data" of §2.
+struct RegionInfo {
+  RegionId handle;
+  RegionId root;        // == handle for root regions
+  uint32_t tree_id = 0; // regions in different trees never interfere
+  IndexSpaceId ispace;
+  FieldSpaceId fspace;
+  PartitionId through;  // partition this subregion was taken from (invalid for roots)
+  Point color;          // color within `through`
+};
+
+struct FieldInfo {
+  FieldId id = 0;
+  std::size_t size = 0;
+  std::string name;
+};
+
+/// Owner of the region "forest": index spaces, field spaces, partitions,
+/// logical regions and the physical storage of root regions. Thread-safe
+/// for concurrent *reads* after setup; creation calls must be serialized
+/// (the runtime's issue loop is single-threaded, as in Legion's
+/// application-visible API).
+class RegionForest {
+ public:
+  RegionForest() = default;
+  RegionForest(const RegionForest&) = delete;
+  RegionForest& operator=(const RegionForest&) = delete;
+
+  // --- index spaces ---
+  IndexSpaceId create_index_space(Domain domain);
+  const Domain& domain(IndexSpaceId is) const;
+
+  // --- field spaces ---
+  FieldSpaceId create_field_space();
+  FieldId allocate_field(FieldSpaceId fs, std::size_t field_size, std::string name);
+  const FieldInfo& field(FieldSpaceId fs, FieldId f) const;
+  const std::vector<FieldInfo>& fields(FieldSpaceId fs) const;
+
+  // --- partitions ---
+  /// Create a partition of `parent` with a dense `color_space`; `subspaces`
+  /// holds one domain per color in row-major color order.
+  PartitionId create_partition(IndexSpaceId parent, const Rect& color_space,
+                               std::vector<Domain> subspaces, Disjointness d);
+
+  IndexSpaceId subspace(PartitionId p, const Point& color) const;
+  const Rect& color_space(PartitionId p) const;
+  IndexSpaceId partition_parent(PartitionId p) const;
+  bool is_disjoint(PartitionId p) const;
+
+  /// Brute-force pairwise disjointness verification; the "procedure for
+  /// determining the disjointness of partitions" the paper assumes (§2).
+  bool verify_disjoint(PartitionId p) const;
+
+  // --- logical regions ---
+  /// Create a root region and allocate storage for every field.
+  RegionId create_region(IndexSpaceId is, FieldSpaceId fs);
+  /// Subregion view of `parent` through partition `p` at `color`. Cached:
+  /// repeated calls return the same handle.
+  RegionId subregion(RegionId parent, PartitionId p, const Point& color);
+  const RegionInfo& region(RegionId r) const;
+  const Domain& region_domain(RegionId r) const { return domain(region(r).ispace); }
+
+  /// Do two regions possibly name common data? (Same tree and overlapping
+  /// index-space domains.)
+  bool regions_interfere(RegionId a, RegionId b) const;
+
+  /// Whole-partition independence (§5, logical analysis): launches on
+  /// logical partition (ra, p) and (rb, q) can never touch common data when
+  /// the regions live in different trees, or when their parent index-space
+  /// domains are disjoint.
+  bool partitions_independent(RegionId ra, PartitionId p, RegionId rb,
+                              PartitionId q) const;
+
+  // --- physical storage ---
+  /// Raw bytes of `field` of the *root* of region `r`, laid out row-major
+  /// over the root index space's bounding rect.
+  std::byte* field_data(RegionId r, FieldId f);
+  const std::byte* field_data(RegionId r, FieldId f) const;
+  /// Bounding rect used for storage linearization of r's tree root.
+  const Rect& storage_bounds(RegionId r) const;
+
+  std::size_t index_space_count() const { return index_spaces_.size(); }
+  std::size_t region_count() const { return regions_.size(); }
+  std::size_t partition_count() const { return partitions_.size(); }
+
+ private:
+  struct PartitionNode {
+    IndexSpaceId parent;
+    Rect color_space;
+    std::vector<IndexSpaceId> subspaces;  // row-major by color
+    bool disjoint = false;
+    uint32_t tree_id = 0;  // tree of the parent index space (0 = unattached)
+  };
+
+  struct RootStorage {
+    Rect bounds;  // bounding rect of the root index space
+    std::unordered_map<FieldId, std::vector<std::byte>> data;
+  };
+
+  std::vector<Domain> index_spaces_;
+  std::vector<std::vector<FieldInfo>> field_spaces_;
+  std::vector<PartitionNode> partitions_;
+  std::vector<RegionInfo> regions_;
+  std::vector<std::unique_ptr<RootStorage>> storage_;  // by root region id
+  std::unordered_map<uint64_t, RegionId> subregion_cache_;
+  uint32_t next_tree_id_ = 1;
+};
+
+}  // namespace idxl

@@ -1,0 +1,122 @@
+#include "runtime/dependence.hpp"
+
+namespace idxl {
+
+uint64_t field_mask(const std::vector<FieldId>& fields) {
+  uint64_t mask = 0;
+  for (FieldId f : fields) {
+    IDXL_REQUIRE(f < 64, "at most 64 fields per field space are supported");
+    mask |= uint64_t{1} << f;
+  }
+  return mask;
+}
+
+bool DependenceTracker::overlaps(IndexSpaceId a, IndexSpaceId b) {
+  if (a == b) return true;
+  const uint64_t key = a.id <= b.id ? (uint64_t{a.id} << 32 | b.id)
+                                    : (uint64_t{b.id} << 32 | a.id);
+  auto it = overlap_cache_.find(key);
+  if (it != overlap_cache_.end()) return it->second;
+  const bool result = !forest_->domain(a).disjoint_from(forest_->domain(b));
+  overlap_cache_.emplace(key, result);
+  return result;
+}
+
+bool DependenceTracker::contains(IndexSpaceId outer, IndexSpaceId inner) {
+  if (outer == inner) return true;
+  const uint64_t key = uint64_t{outer.id} << 32 | inner.id;
+  auto it = contains_cache_.find(key);
+  if (it != contains_cache_.end()) return it->second;
+  const bool result = forest_->domain(outer).contains_domain(forest_->domain(inner));
+  contains_cache_.emplace(key, result);
+  return result;
+}
+
+void DependenceTracker::collect(std::vector<Use>& uses, uint64_t fields,
+                                std::vector<TaskNodePtr>& out_deps) {
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < uses.size(); ++i) {
+    Use& u = uses[i];
+    if (u.node->done.load(std::memory_order_acquire)) continue;  // compact out
+    ++dependence_tests_;
+    if (u.fields & fields) out_deps.push_back(u.node);
+    if (keep != i) uses[keep] = std::move(u);
+    ++keep;
+  }
+  uses.resize(keep);
+}
+
+void DependenceTracker::candidates(TreeState& ts, const Rect& bounds,
+                                   std::vector<Entry*>& out) {
+  // Rebuild the BVH once enough unindexed entries accumulate; the linear
+  // fresh-list scan amortizes the rebuilds away.
+  if (ts.fresh.size() > 16 && ts.fresh.size() > ts.built) {
+    std::vector<std::pair<Rect, uint32_t>> items;
+    items.reserve(ts.entries.size());
+    for (const auto& [id, entry] : ts.entries)
+      items.emplace_back(forest_->domain(entry.ispace).bounds(), id);
+    ts.bvh.build(std::move(items));
+    ts.fresh.clear();
+    ts.built = ts.entries.size();
+  }
+
+  ts.bvh.query(bounds, [&](uint32_t id) { out.push_back(&ts.entries.at(id)); });
+  for (uint32_t id : ts.fresh) {
+    Entry& entry = ts.entries.at(id);
+    if (forest_->domain(entry.ispace).bounds().overlaps(bounds)) out.push_back(&entry);
+  }
+}
+
+void DependenceTracker::record_use(uint32_t tree, IndexSpaceId ispace, uint64_t fields,
+                                   bool writes, PartitionId through,
+                                   bool through_disjoint, const TaskNodePtr& node,
+                                   std::vector<TaskNodePtr>& out_deps) {
+  TreeState& ts = trees_[tree];
+
+  // Candidate entries by bounding-box overlap (BVH + fresh list); exact
+  // domain tests follow below, so bounding boxes of sparse domains are a
+  // sound over-approximation.
+  std::vector<Entry*> nearby;
+  candidates(ts, forest_->domain(ispace).bounds(), nearby);
+
+  for (Entry* entry : nearby) {
+    // Whole-partition disjointness: distinct colors of one disjoint
+    // partition never overlap — no domain test needed.
+    if (through_disjoint && entry->through == through && !(entry->ispace == ispace))
+      continue;
+    if (!overlaps(ispace, entry->ispace)) continue;
+    // Readers always conflict with prior writers; writers additionally
+    // conflict with prior readers (anti-dependence).
+    collect(entry->writers, fields, out_deps);
+    if (writes) collect(entry->readers, fields, out_deps);
+  }
+
+  if (writes) {
+    // A write supersedes every use it fully covers (same or subset fields):
+    // later tasks ordering against this write are transitively ordered
+    // against the superseded uses. Containment implies bounds overlap, so
+    // the candidate set covers every prunable entry.
+    for (Entry* entry : nearby) {
+      if (through_disjoint && entry->through == through && !(entry->ispace == ispace))
+        continue;
+      if (!contains(ispace, entry->ispace)) continue;
+      auto prune = [fields](std::vector<Use>& uses) {
+        std::erase_if(uses, [fields](const Use& u) { return (u.fields & ~fields) == 0; });
+      };
+      prune(entry->writers);
+      prune(entry->readers);
+    }
+  }
+
+  auto [it, inserted] = ts.entries.try_emplace(ispace.id);
+  Entry& mine = it->second;
+  if (inserted) ts.fresh.push_back(ispace.id);
+  mine.ispace = ispace;
+  mine.through = through;
+  mine.through_disjoint = through_disjoint;
+  (writes ? mine.writers : mine.readers).push_back(Use{node, fields});
+}
+
+void DependenceTracker::reset() { trees_.clear(); }
+
+}  // namespace idxl

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "region/bvh.hpp"
+#include "region/region_forest.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace idxl {
+
+/// Field sets are represented as 64-bit masks; a field space may declare at
+/// most 64 fields (ample for the paper's workloads).
+uint64_t field_mask(const std::vector<FieldId>& fields);
+
+/// Tracks, per region tree, which live tasks last wrote/read which index
+/// spaces, and computes the dependence edges a newly issued task needs.
+///
+/// This is the executor-side analogue of the paper's logical + physical
+/// analysis collapsed into one precise pass: uses are recorded at subregion
+/// (index space) granularity, interference is domain overlap plus privilege
+/// and field-mask conflict. Reductions are conservatively ordered like
+/// writes by the executor (a legal serialization; the *safety analysis* in
+/// src/analysis still treats reductions as commuting, per the paper).
+///
+/// Not thread-safe: called only from the issuing thread, matching the
+/// sequential-issue semantics of the programming model.
+class DependenceTracker {
+ public:
+  explicit DependenceTracker(const RegionForest& forest) : forest_(&forest) {}
+
+  /// Record that `node` uses `ispace` (in region tree `tree`) with the given
+  /// field mask. Appends required predecessor nodes to `out_deps` (may
+  /// contain duplicates; caller dedupes). Completed tasks are skipped and
+  /// compacted away.
+  ///
+  /// `through`/`through_disjoint` identify the partition the subregion was
+  /// taken from (invalid for root regions): two different subregions of the
+  /// same disjoint partition can never overlap, so the tracker skips the
+  /// domain test for such pairs — the same whole-partition reasoning that
+  /// makes Legion's analysis of index launches cheap (§5).
+  void record_use(uint32_t tree, IndexSpaceId ispace, uint64_t fields, bool writes,
+                  PartitionId through, bool through_disjoint, const TaskNodePtr& node,
+                  std::vector<TaskNodePtr>& out_deps);
+
+  /// Drop all recorded uses (used at trace fences).
+  void reset();
+
+  uint64_t dependence_tests() const { return dependence_tests_; }
+
+ private:
+  struct Use {
+    TaskNodePtr node;
+    uint64_t fields;
+  };
+  struct Entry {
+    IndexSpaceId ispace;
+    PartitionId through;            // partition this subregion came from
+    bool through_disjoint = false;
+    std::vector<Use> writers;  // writers/reducers since the last covering write
+    std::vector<Use> readers;
+  };
+
+  /// Per-region-tree state: the entry table plus a bounding-volume
+  /// hierarchy over entry bounds. The BVH turns the per-use candidate scan
+  /// from O(entries) into O(log entries + matches) — the in-process
+  /// analogue of the BVH Legion's physical analysis uses (§5). Entries
+  /// created since the last build sit in `fresh` and are scanned linearly
+  /// until the tree is rebuilt.
+  struct TreeState {
+    std::unordered_map<uint32_t, Entry> entries;  // by ispace id
+    RectBVH bvh;
+    std::vector<uint32_t> fresh;  // ispace ids not yet indexed
+    std::size_t built = 0;        // entries covered by the current BVH
+  };
+
+  bool overlaps(IndexSpaceId a, IndexSpaceId b);
+  bool contains(IndexSpaceId outer, IndexSpaceId inner);
+
+  /// Append live uses conflicting with `fields` to out_deps; compact
+  /// completed nodes out of `uses`.
+  void collect(std::vector<Use>& uses, uint64_t fields,
+               std::vector<TaskNodePtr>& out_deps);
+
+  /// Candidate entries whose bounds overlap `bounds` (BVH + fresh list).
+  void candidates(TreeState& ts, const Rect& bounds, std::vector<Entry*>& out);
+
+  const RegionForest* forest_;
+  std::unordered_map<uint32_t, TreeState> trees_;
+  std::unordered_map<uint64_t, bool> overlap_cache_;
+  std::unordered_map<uint64_t, bool> contains_cache_;
+  uint64_t dependence_tests_ = 0;
+};
+
+}  // namespace idxl

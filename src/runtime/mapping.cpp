@@ -1,0 +1,87 @@
+#include "runtime/mapping.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace idxl {
+
+namespace {
+
+/// Position of `p` in the row-major enumeration of `domain`.
+int64_t linear_index(const Domain& domain, const Point& p) {
+  return domain.linear_index(p);
+}
+
+}  // namespace
+
+std::vector<Point> ShardingFunctor::local_points(const Domain& domain,
+                                                 uint32_t shard_id,
+                                                 uint32_t total_shards) const {
+  std::vector<Point> result;
+  domain.for_each([&](const Point& p) {
+    if (shard(p, domain, total_shards) == shard_id) result.push_back(p);
+  });
+  return result;
+}
+
+uint32_t BlockShardingFunctor::shard(const Point& p, const Domain& domain,
+                                     uint32_t total_shards) const {
+  IDXL_ASSERT(total_shards > 0);
+  const int64_t volume = domain.volume();
+  const int64_t idx = linear_index(domain, p);
+  // Node k owns ceil-balanced contiguous chunk k.
+  return static_cast<uint32_t>((idx * total_shards) / volume);
+}
+
+uint32_t CyclicShardingFunctor::shard(const Point& p, const Domain& domain,
+                                      uint32_t total_shards) const {
+  IDXL_ASSERT(total_shards > 0);
+  return static_cast<uint32_t>(linear_index(domain, p) % total_shards);
+}
+
+std::vector<Slice> BinarySlicingFunctor::slice(const Slice& s) const {
+  if (s.node_count() <= 1 || s.domain.volume() <= 1) return {s};
+
+  const uint32_t mid_nodes = s.node_lo + s.node_count() / 2;  // first node of right half
+  Slice left, right;
+  left.node_lo = s.node_lo;
+  left.node_hi = mid_nodes - 1;
+  right.node_lo = mid_nodes;
+  right.node_hi = s.node_hi;
+
+  if (s.domain.dense()) {
+    // Split along the longest axis, proportionally to the node split so the
+    // tree stays balanced for non-power-of-two node counts.
+    const Rect& b = s.domain.bounds();
+    int axis = 0;
+    int64_t best = -1;
+    for (int d = 0; d < b.dim(); ++d) {
+      const int64_t extent = b.hi[d] - b.lo[d] + 1;
+      if (extent > best) {
+        best = extent;
+        axis = d;
+      }
+    }
+    const int64_t extent = b.hi[axis] - b.lo[axis] + 1;
+    int64_t left_len = extent * (mid_nodes - s.node_lo) / s.node_count();
+    left_len = std::clamp<int64_t>(left_len, 1, extent - 1);
+    Rect lb = b, rb = b;
+    lb.hi[axis] = b.lo[axis] + left_len - 1;
+    rb.lo[axis] = b.lo[axis] + left_len;
+    left.domain = Domain(lb);
+    right.domain = Domain(rb);
+  } else {
+    auto pts = s.domain.points();
+    const std::size_t cut =
+        pts.size() * (mid_nodes - s.node_lo) / s.node_count();
+    std::vector<Point> lp(pts.begin(), pts.begin() + static_cast<std::ptrdiff_t>(cut));
+    std::vector<Point> rp(pts.begin() + static_cast<std::ptrdiff_t>(cut), pts.end());
+    if (lp.empty() || rp.empty()) return {s};
+    left.domain = Domain::from_points(std::move(lp));
+    right.domain = Domain::from_points(std::move(rp));
+  }
+  return {left, right};
+}
+
+}  // namespace idxl

@@ -1,0 +1,110 @@
+#pragma once
+
+#include "region/accessor.hpp"
+#include "runtime/types.hpp"
+
+namespace idxl {
+
+/// A task's mapped view of one region argument. All forest lookups happen
+/// here, at issue time ("mapping"); by execution the view is self-contained
+/// raw pointers, so task bodies never race with concurrent issuance
+/// mutating the forest (subregion creation). Accessors enforce the declared
+/// privilege and field set.
+class PhysicalRegion {
+ public:
+  PhysicalRegion(RegionForest& forest, RegionId region, const std::vector<FieldId>& fields,
+                 Privilege priv, ReductionOp redop)
+      : region_(region),
+        domain_(&forest.region_domain(region)),
+        storage_bounds_(forest.storage_bounds(region)),
+        priv_(priv),
+        redop_(redop) {
+    const FieldSpaceId fspace = forest.region(region).fspace;
+    resolved_.reserve(fields.size());
+    for (FieldId f : fields)
+      resolved_.push_back(
+          ResolvedField{f, forest.field_data(region, f), forest.field(fspace, f).size});
+  }
+
+  struct ResolvedField {
+    FieldId id;
+    std::byte* data;
+    std::size_t size;
+  };
+
+  /// Construct over explicit storage buffers (one per field) instead of the
+  /// forest's root storage — the sharded runtime's per-shard replicas.
+  PhysicalRegion(RegionId region, const Domain* domain, const Rect& storage_bounds,
+                 std::vector<ResolvedField> resolved, Privilege priv, ReductionOp redop)
+      : region_(region),
+        domain_(domain),
+        storage_bounds_(storage_bounds),
+        resolved_(std::move(resolved)),
+        priv_(priv),
+        redop_(redop) {}
+
+  template <typename T>
+  Accessor<T> accessor(FieldId f) const {
+    for (const ResolvedField& rf : resolved_)
+      if (rf.id == f)
+        return Accessor<T>(rf.data, rf.size, storage_bounds_, domain_, priv_, redop_);
+    throw RuntimeError("idxl: field was not requested by this region argument");
+  }
+
+  RegionId region_id() const { return region_; }
+  const Domain& domain() const { return *domain_; }
+  Privilege privilege() const { return priv_; }
+
+  /// Fill every element of `f` in this view with the `size`-byte pattern.
+  /// Requires write privilege. Used by Runtime::fill; exposed for tasks
+  /// that initialize type-erased data.
+  void fill_bytes(FieldId f, const void* pattern, std::size_t size) {
+    IDXL_REQUIRE(priv_ == Privilege::kWrite || priv_ == Privilege::kReadWrite,
+                 "fill requires write privilege");
+    for (const ResolvedField& rf : resolved_) {
+      if (rf.id != f) continue;
+      IDXL_REQUIRE(rf.size == size, "fill pattern size does not match the field");
+      domain_->for_each([&](const Point& p) {
+        std::memcpy(rf.data + static_cast<std::size_t>(storage_bounds_.linearize(p)) * size,
+                    pattern, size);
+      });
+      return;
+    }
+    throw RuntimeError("idxl: field was not requested by this region argument");
+  }
+
+ private:
+  RegionId region_;
+  const Domain* domain_;
+  Rect storage_bounds_;
+  std::vector<ResolvedField> resolved_;
+  Privilege priv_;
+  ReductionOp redop_;
+};
+
+/// Everything a task body receives: its launch point, the launch domain,
+/// by-value arguments and mapped regions.
+struct TaskContext {
+  Point point = Point::p1(0);
+  Domain launch_domain = Domain::line(1);
+  const ArgBuffer* scalar_args = nullptr;
+  std::vector<PhysicalRegion> regions;
+  /// Scalar result of this task; collected by index launches issued with a
+  /// result_redop (ignored otherwise).
+  double return_value = 0.0;
+
+  PhysicalRegion& region(std::size_t i) {
+    IDXL_REQUIRE(i < regions.size(), "region argument index out of range");
+    return regions[i];
+  }
+
+  template <typename T>
+  const T& arg() const {
+    IDXL_REQUIRE(scalar_args != nullptr, "task has no scalar arguments");
+    return scalar_args->as<T>();
+  }
+};
+
+using TaskFn = std::function<void(TaskContext&)>;
+
+}  // namespace idxl

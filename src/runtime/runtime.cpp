@@ -1,0 +1,325 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace idxl {
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(config),
+      tracker_(forest_),
+      pool_(std::make_unique<ThreadPool>(config.workers)) {}
+
+Runtime::~Runtime() { wait_all(); }
+
+TaskFnId Runtime::register_task(std::string name, TaskFn fn) {
+  IDXL_REQUIRE(static_cast<bool>(fn), "task body must be callable");
+  task_registry_.emplace_back(std::move(name), std::move(fn));
+  return static_cast<TaskFnId>(task_registry_.size() - 1);
+}
+
+void Runtime::execute(const TaskLauncher& launcher) {
+  ++stats_.runtime_calls;
+  ++stats_.single_launches;
+  issue_point_task(launcher.task, launcher.point, launcher.launch_domain,
+                   launcher.args, launcher.scalar_args);
+}
+
+std::vector<RegionArg> Runtime::project_args(const IndexLauncher& launcher,
+                                             const Point& p) {
+  std::vector<RegionArg> args;
+  args.reserve(launcher.args.size());
+  for (const ProjectedArg& pa : launcher.args) {
+    const Point color = pa.functor(p);
+    RegionArg ra;
+    ra.region = forest_.subregion(pa.parent, pa.partition, color);
+    ra.fields = pa.fields;
+    ra.privilege = pa.privilege;
+    ra.redop = pa.redop;
+    args.push_back(std::move(ra));
+  }
+  return args;
+}
+
+void Runtime::expand_as_task_loop(const IndexLauncher& launcher,
+                                  const std::shared_ptr<Future::State>& collect) {
+  // The "original task loop" branch: |D| individual launches in program
+  // order, each a separate runtime call (this is what the paper's No-IDX
+  // configurations measure).
+  int64_t rank = 0;
+  launcher.domain.for_each([&](const Point& p) {
+    ++stats_.runtime_calls;
+    ++stats_.single_launches;
+    issue_point_task(launcher.task, p, launcher.domain, project_args(launcher, p),
+                     launcher.scalar_args, collect, rank++);
+  });
+}
+
+LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
+  IDXL_REQUIRE(launcher.task < task_registry_.size(), "unknown task id");
+  IDXL_REQUIRE(!launcher.domain.empty(), "index launch over an empty domain");
+
+  LaunchResult result;
+  std::shared_ptr<Future::State> collect;
+  if (launcher.result_redop != ReductionOp::kNone) {
+    collect = std::make_shared<Future::State>();
+    collect->op = launcher.result_redop;
+    collect->values.assign(static_cast<std::size_t>(launcher.domain.volume()), 0.0);
+    result.future.state_ = collect;
+  }
+
+  if (!config_.enable_index_launches) {
+    // No-IDX mode: the launch group is issued as individual tasks. Safety
+    // is the application's own program order, so no analysis runs.
+    expand_as_task_loop(launcher, collect);
+    return result;
+  }
+
+  ++stats_.runtime_calls;  // one bulk issuance call (§5)
+
+  if (launcher.assume_verified) {
+    ++stats_.launches_assumed_verified;
+    result.safety.outcome = SafetyOutcome::kSafeUnchecked;
+  } else if (!replaying_) {
+    // Hybrid safety analysis (§3/§4). When replaying a trace the launch was
+    // already verified during capture.
+    std::vector<CheckArg> check_args;
+    check_args.reserve(launcher.args.size());
+    for (const ProjectedArg& pa : launcher.args) {
+      CheckArg ca;
+      ca.functor = &pa.functor;
+      ca.color_space = forest_.color_space(pa.partition);
+      ca.partition_disjoint = forest_.is_disjoint(pa.partition);
+      ca.partition_uid = pa.partition.id;
+      ca.collection_uid = forest_.region(pa.parent).tree_id;
+      ca.field_mask = field_mask(pa.fields);
+      ca.priv = pa.privilege;
+      ca.redop = pa.redop;
+      check_args.push_back(ca);
+    }
+    AnalysisOptions options;
+    options.enable_dynamic_checks = config_.enable_dynamic_checks;
+    options.extended_static = config_.extended_static_analysis;
+    auto pair_independent = [&](std::size_t i, std::size_t j) {
+      return forest_.partitions_independent(launcher.args[i].parent,
+                                            launcher.args[i].partition,
+                                            launcher.args[j].parent,
+                                            launcher.args[j].partition);
+    };
+    result.safety =
+        analyze_launch_safety(check_args, launcher.domain, options, pair_independent);
+    stats_.dynamic_check_points += result.safety.dynamic_points;
+
+    switch (result.safety.outcome) {
+      case SafetyOutcome::kSafeStatic: ++stats_.launches_safe_static; break;
+      case SafetyOutcome::kSafeDynamic: ++stats_.launches_safe_dynamic; break;
+      case SafetyOutcome::kSafeUnchecked: ++stats_.launches_safe_unchecked; break;
+      case SafetyOutcome::kUnsafe: {
+        ++stats_.launches_unsafe;
+        IDXL_REQUIRE(!config_.strict_unsafe,
+                     ("unsafe index launch: " + result.safety.reason).c_str());
+        expand_as_task_loop(launcher, collect);
+        return result;
+      }
+    }
+  }
+
+  // Safe: expand into point tasks. In this in-process executor "expansion"
+  // assigns work directly to the scheduler; the distributed pipeline's
+  // sharded/sliced distribution is modeled by src/sim.
+  result.ran_as_index_launch = true;
+  ++stats_.index_launches;
+  int64_t rank = 0;
+  launcher.domain.for_each([&](const Point& p) {
+    issue_point_task(launcher.task, p, launcher.domain, project_args(launcher, p),
+                     launcher.scalar_args, collect, rank++);
+  });
+  return result;
+}
+
+void Runtime::issue_point_task(TaskFnId fn, const Point& point,
+                               const Domain& launch_domain,
+                               const std::vector<RegionArg>& args,
+                               const ArgBuffer& scalar_args,
+                               const std::shared_ptr<Future::State>& collect,
+                               int64_t rank) {
+  IDXL_REQUIRE(fn < task_registry_.size(), "unknown task id");
+  ++stats_.point_tasks;
+
+  auto node = std::make_shared<TaskNode>();
+  node->seq = next_seq_++;
+  node->label = task_registry_[fn].first + "@" + point.to_string();
+
+  // Build the closure now; regions resolve to storage views at execution.
+  std::vector<PhysicalRegion> regions;
+  regions.reserve(args.size());
+  for (const RegionArg& ra : args) {
+    IDXL_REQUIRE(ra.region.valid(), "launcher has an invalid region argument");
+    regions.emplace_back(forest_, ra.region, ra.fields, ra.privilege, ra.redop);
+  }
+  const TaskFn& body = task_registry_[fn].second;
+  ArgBuffer scalar_copy = scalar_args;
+  node->work = [body, point, launch_domain, scalar = std::move(scalar_copy),
+                regions = std::move(regions), collect, rank]() mutable {
+    TaskContext ctx;
+    ctx.point = point;
+    ctx.launch_domain = launch_domain;
+    ctx.scalar_args = &scalar;
+    ctx.regions = std::move(regions);
+    body(ctx);
+    if (collect != nullptr) {
+      IDXL_ASSERT(rank >= 0 &&
+                  rank < static_cast<int64_t>(collect->values.size()));
+      // Each task owns its slot; no synchronization needed beyond the
+      // wait_all() barrier in Future::get().
+      collect->values[static_cast<std::size_t>(rank)] = ctx.return_value;
+    }
+  };
+
+  // --- dependence discovery: tracker scan, or trace replay ---
+  std::vector<TaskNodePtr> deps;
+  if (replaying_) {
+    IDXL_REQUIRE(replay_cursor_ < active_trace_->steps.size(),
+                 "trace replay issued more tasks than were captured");
+    const TraceStep& step = active_trace_->steps[replay_cursor_];
+    IDXL_REQUIRE(step.fn == fn && step.point == point,
+                 "trace replay diverged from the captured task sequence");
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const RegionInfo& info = forest_.region(args[i].region);
+      IDXL_REQUIRE(i < step.ispaces.size() && step.ispaces[i] == info.ispace.id,
+                   "trace replay diverged in region arguments");
+    }
+    for (uint32_t dep_idx : step.dep_indices) deps.push_back(trace_nodes_[dep_idx]);
+    ++replay_cursor_;
+    ++stats_.traced_tasks_replayed;
+    trace_nodes_.push_back(node);
+  } else {
+    for (const RegionArg& ra : args) {
+      const RegionInfo& info = forest_.region(ra.region);
+      const bool through_disjoint =
+          info.through.valid() && forest_.is_disjoint(info.through);
+      tracker_.record_use(info.tree_id, info.ispace, field_mask(ra.fields),
+                          privilege_writes(ra.privilege), info.through,
+                          through_disjoint, node, deps);
+    }
+    // Dedupe (one arg pair can surface the same predecessor repeatedly).
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+
+    if (active_trace_ != nullptr) {
+      TraceStep step;
+      step.fn = fn;
+      step.point = point;
+      for (const RegionArg& ra : args)
+        step.ispaces.push_back(forest_.region(ra.region).ispace.id);
+      std::unordered_map<const TaskNode*, uint32_t> index_of;
+      for (uint32_t i = 0; i < trace_nodes_.size(); ++i)
+        index_of[trace_nodes_[i].get()] = i;
+      for (const TaskNodePtr& d : deps) {
+        auto it = index_of.find(d.get());
+        // Pre-trace dependencies are dropped: traces are fenced, so they
+        // are satisfied by construction on replay.
+        if (it != index_of.end()) step.dep_indices.push_back(it->second);
+      }
+      active_trace_->steps.push_back(std::move(step));
+      trace_nodes_.push_back(node);
+    }
+  }
+
+  stats_.dependence_edges += deps.size();
+  if (config_.record_task_graph) {
+    graph_nodes_.emplace_back(node->seq, node->label);
+    for (const TaskNodePtr& dep : deps) graph_edges_.emplace_back(dep->seq, node->seq);
+  }
+  schedule(node, deps);
+}
+
+std::string Runtime::export_task_graph_dot() const {
+  IDXL_REQUIRE(config_.record_task_graph,
+               "enable RuntimeConfig::record_task_graph to export the graph");
+  std::string dot = "digraph tasks {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (const auto& [seq, label] : graph_nodes_) {
+    dot += "  t" + std::to_string(seq) + " [label=\"" + label + "\"];\n";
+  }
+  for (const auto& [from, to] : graph_edges_) {
+    dot += "  t" + std::to_string(from) + " -> t" + std::to_string(to) + ";\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+void Runtime::schedule(const TaskNodePtr& node, const std::vector<TaskNodePtr>& deps) {
+  // `pending` starts at 1 (issue guard); each live predecessor adds one.
+  // The increment must happen *before* the edge is published: a dependency
+  // can complete and decrement the instant add_successor releases its lock,
+  // and must never observe a count our side hasn't raised yet (double-ready).
+  for (const TaskNodePtr& dep : deps) {
+    node->pending.fetch_add(1, std::memory_order_relaxed);
+    if (!dep->add_successor(node))
+      node->pending.fetch_sub(1, std::memory_order_relaxed);  // already complete
+  }
+  if (node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) make_ready(node);
+}
+
+void Runtime::make_ready(const TaskNodePtr& node) {
+  pool_->submit([this, node] {
+    node->work();
+    node->work = nullptr;  // release captured resources promptly
+    for (const TaskNodePtr& succ : node->complete())
+      if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        make_ready(succ);
+  });
+}
+
+void Runtime::begin_trace(uint32_t trace_id) {
+  IDXL_REQUIRE(active_trace_ == nullptr, "traces cannot nest");
+  wait_all();
+  tracker_.reset();  // the fence makes prior state irrelevant
+  Trace& trace = traces_[trace_id];
+  active_trace_ = &trace;
+  replaying_ = trace.captured;
+  replay_cursor_ = 0;
+  trace_nodes_.clear();
+}
+
+void Runtime::end_trace(uint32_t trace_id) {
+  IDXL_REQUIRE(active_trace_ == &traces_[trace_id], "end_trace without begin_trace");
+  if (replaying_) {
+    IDXL_REQUIRE(replay_cursor_ == active_trace_->steps.size(),
+                 "trace replay issued fewer tasks than were captured");
+  } else {
+    active_trace_->captured = true;
+  }
+  active_trace_ = nullptr;
+  replaying_ = false;
+  trace_nodes_.clear();
+  wait_all();
+  tracker_.reset();
+}
+
+TaskFnId Runtime::fill_task() {
+  if (fill_task_ == UINT32_MAX) {
+    fill_task_ = register_task("idxl_fill", [](TaskContext& ctx) {
+      const auto& args = ctx.arg<FillArgs>();
+      ctx.region(0).fill_bytes(args.field, args.pattern, args.size);
+    });
+  }
+  return fill_task_;
+}
+
+void Runtime::wait_all() {
+  pool_->wait_idle();
+  stats_.dependence_tests = tracker_.dependence_tests();
+}
+
+double Future::get(Runtime& rt) const {
+  IDXL_REQUIRE(valid(), "get() on an empty Future");
+  rt.wait_all();
+  IDXL_ASSERT(!state_->values.empty());
+  double acc = state_->values.front();
+  for (std::size_t i = 1; i < state_->values.size(); ++i)
+    acc = apply_reduction(state_->op, acc, state_->values[i]);
+  return acc;
+}
+
+}  // namespace idxl

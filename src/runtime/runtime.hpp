@@ -1,0 +1,209 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "analysis/hybrid.hpp"
+#include "runtime/dependence.hpp"
+#include "runtime/physical.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/types.hpp"
+
+namespace idxl {
+
+struct RuntimeConfig {
+  /// Worker threads for the real executor (0 = hardware concurrency).
+  unsigned workers = 0;
+  /// When false, execute_index() degrades to the per-point task loop — the
+  /// "No IDX" configurations of the paper's evaluation.
+  bool enable_index_launches = true;
+  /// §4: dynamic checks can be disabled once a program has been verified.
+  bool enable_dynamic_checks = true;
+  /// Extended static classifier (modular / monotone-quadratic families) —
+  /// launches it discharges skip their dynamic checks entirely.
+  bool extended_static_analysis = false;
+  /// When true, an unsafe launch throws instead of falling back to the
+  /// sequential task loop (useful in tests; production Regent emits the
+  /// fallback branch, which is our default).
+  bool strict_unsafe = false;
+  /// Record every task and dependence edge for export_task_graph_dot() —
+  /// the Fig. 1-style task-graph inspector. Costs memory per task; off by
+  /// default.
+  bool record_task_graph = false;
+};
+
+/// Counters exposing the asymptotic behaviour the paper argues about; tests
+/// assert on these (e.g. an index launch is a single runtime call
+/// regardless of |D|, the fallback loop is |D| calls).
+struct RuntimeStats {
+  uint64_t runtime_calls = 0;       ///< task issuance API calls (§5 issuance)
+  uint64_t single_launches = 0;
+  uint64_t index_launches = 0;
+  uint64_t point_tasks = 0;         ///< tasks actually executed
+  uint64_t dependence_edges = 0;
+  uint64_t launches_safe_static = 0;
+  uint64_t launches_safe_dynamic = 0;
+  uint64_t launches_safe_unchecked = 0;
+  uint64_t launches_assumed_verified = 0;  ///< compiler-verified (assume_verified)
+  uint64_t launches_unsafe = 0;     ///< fell back to the task loop
+  uint64_t dynamic_check_points = 0;
+  uint64_t traced_tasks_replayed = 0;
+  uint64_t dependence_tests = 0;    ///< sampled from the tracker at wait_all
+};
+
+/// Deferred reduction of an index launch's per-task return values.
+/// get() blocks until the producing tasks have run, then folds the values
+/// in launch-point rank order (deterministic floating point).
+class Future {
+ public:
+  Future() = default;
+  bool valid() const { return state_ != nullptr; }
+  double get(class Runtime& rt) const;
+
+ private:
+  friend class Runtime;
+  struct State {
+    std::vector<double> values;  // indexed by launch-point rank
+    ReductionOp op = ReductionOp::kNone;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// The outcome handed back by execute_index.
+struct LaunchResult {
+  SafetyReport safety;
+  bool ran_as_index_launch = false;
+  Future future;  ///< valid iff the launcher set result_redop
+};
+
+/// The real, in-process runtime: sequential task issuance with implicit
+/// parallel execution on a thread pool, Legion-style. One instance per
+/// "program". Issuance calls (execute, execute_index, region/partition
+/// creation) must come from a single thread; task bodies run concurrently.
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  RegionForest& forest() { return forest_; }
+  const RuntimeConfig& config() const { return config_; }
+
+  /// Register a task body under a new id.
+  TaskFnId register_task(std::string name, TaskFn fn);
+
+  /// Launch a single task (program-order semantics; §2).
+  void execute(const TaskLauncher& launcher);
+
+  /// Launch |domain| tasks as one index launch (§3). Runs the hybrid safety
+  /// analysis; an unsafe launch falls back to the equivalent sequential
+  /// task loop (Listing 3's generated branch) unless strict_unsafe is set.
+  LaunchResult execute_index(const IndexLauncher& launcher);
+
+  /// Dynamic tracing (Lee et al. [20]): capture the dependence analysis of
+  /// the bracketed launches on first execution, replay it afterwards.
+  /// Traces are fenced on both sides (a legal restriction of parallelism).
+  void begin_trace(uint32_t trace_id);
+  void end_trace(uint32_t trace_id);
+
+  /// Block until all issued tasks have executed.
+  void wait_all();
+
+  /// Read access to region data from top-level code; callers should
+  /// wait_all() first.
+  template <typename T>
+  Accessor<T> read_region(RegionId r, FieldId f) {
+    return Accessor<T>(forest_, r, f, Privilege::kRead);
+  }
+
+  /// Fill a field of a region with a value, as a task: the fill is ordered
+  /// against every launch touching that data, so it is safe to issue
+  /// mid-program (unlike raw top-level accessor writes, which are only
+  /// valid before the first launch or after wait_all()).
+  template <typename T>
+  void fill(RegionId r, FieldId f, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(FillArgs{}.pattern));
+    // Validate at issue time: task bodies run on worker threads where an
+    // exception would be unrecoverable.
+    IDXL_REQUIRE(forest_.field(forest_.region(r).fspace, f).size == sizeof(T),
+                 "fill value type does not match the field size");
+    FillArgs args{};
+    args.field = f;
+    args.size = sizeof(T);
+    std::memcpy(args.pattern, &value, sizeof(T));
+    TaskLauncher launcher;
+    launcher.task = fill_task();
+    launcher.scalar_args = ArgBuffer::of(args);
+    launcher.args = {{r, {f}, Privilege::kWrite, ReductionOp::kNone}};
+    execute(launcher);
+  }
+
+  const RuntimeStats& stats() const { return stats_; }
+
+  /// Graphviz DOT of every task issued so far and the dependence edges the
+  /// analysis discovered (requires RuntimeConfig::record_task_graph).
+  /// Render with `dot -Tsvg` to get the paper's Figure-1-style pictures of
+  /// your own program.
+  std::string export_task_graph_dot() const;
+
+ private:
+  struct FillArgs {
+    FieldId field = 0;
+    std::size_t size = 0;
+    unsigned char pattern[16] = {};
+  };
+
+  /// Lazily registered internal task backing fill<T>().
+  TaskFnId fill_task();
+
+  struct TraceStep {
+    TaskFnId fn = 0;
+    Point point;
+    std::vector<uint32_t> ispaces;       // one per region arg, for validation
+    std::vector<uint32_t> dep_indices;   // trace-local predecessor indices
+  };
+  struct Trace {
+    bool captured = false;
+    std::vector<TraceStep> steps;
+  };
+
+  /// Issue one point task: map regions, discover dependencies (or replay
+  /// them from the active trace), hand to the scheduler. `collect`/`rank`
+  /// route the task's return value into a pending Future.
+  void issue_point_task(TaskFnId fn, const Point& point, const Domain& launch_domain,
+                        const std::vector<RegionArg>& args,
+                        const ArgBuffer& scalar_args,
+                        const std::shared_ptr<Future::State>& collect = nullptr,
+                        int64_t rank = -1);
+
+  void expand_as_task_loop(const IndexLauncher& launcher,
+                           const std::shared_ptr<Future::State>& collect);
+  std::vector<RegionArg> project_args(const IndexLauncher& launcher, const Point& p);
+
+  void schedule(const TaskNodePtr& node, const std::vector<TaskNodePtr>& deps);
+  void make_ready(const TaskNodePtr& node);
+
+  RuntimeConfig config_;
+  RegionForest forest_;
+  DependenceTracker tracker_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::pair<std::string, TaskFn>> task_registry_;
+  RuntimeStats stats_;
+  uint64_t next_seq_ = 0;
+  TaskFnId fill_task_ = UINT32_MAX;
+
+  // --- task-graph recording (record_task_graph) ---
+  std::vector<std::pair<uint64_t, std::string>> graph_nodes_;  // (seq, label)
+  std::vector<std::pair<uint64_t, uint64_t>> graph_edges_;     // (from, to)
+
+  // --- tracing state ---
+  std::unordered_map<uint32_t, Trace> traces_;
+  Trace* active_trace_ = nullptr;
+  bool replaying_ = false;
+  std::size_t replay_cursor_ = 0;
+  std::vector<TaskNodePtr> trace_nodes_;  // nodes of the current capture/replay
+};
+
+}  // namespace idxl

@@ -1,0 +1,173 @@
+#include "runtime/serialize.hpp"
+
+namespace idxl {
+
+void Serializer::put_u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Serializer::put_i64(int64_t v) {
+  const auto u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) put_u8(static_cast<uint8_t>(u >> (8 * i)));
+}
+
+void Serializer::put_point(const Point& p) {
+  put_u8(static_cast<uint8_t>(p.dim));
+  for (int d = 0; d < p.dim; ++d) put_i64(p[d]);
+}
+
+uint8_t Deserializer::get_u8() {
+  IDXL_REQUIRE(cursor_ < bytes_->size(), "truncated launch descriptor");
+  return static_cast<uint8_t>((*bytes_)[cursor_++]);
+}
+
+uint32_t Deserializer::get_u32() {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(get_u8()) << (8 * i);
+  return v;
+}
+
+int64_t Deserializer::get_i64() {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(get_u8()) << (8 * i);
+  return static_cast<int64_t>(v);
+}
+
+Point Deserializer::get_point() {
+  Point p;
+  p.dim = get_u8();
+  IDXL_REQUIRE(p.dim >= 1 && p.dim <= kMaxDim, "corrupt point in descriptor");
+  for (int d = 0; d < p.dim; ++d) p[d] = get_i64();
+  return p;
+}
+
+void serialize_expr(Serializer& s, const Expr& e) {
+  s.put_u8(static_cast<uint8_t>(e.kind));
+  switch (e.kind) {
+    case ExprKind::kConst:
+    case ExprKind::kCoord:
+      s.put_i64(e.value);
+      return;
+    case ExprKind::kNeg:
+      serialize_expr(s, *e.lhs);
+      return;
+    default:
+      serialize_expr(s, *e.lhs);
+      serialize_expr(s, *e.rhs);
+      return;
+  }
+}
+
+ExprPtr deserialize_expr(Deserializer& d) {
+  const auto kind = static_cast<ExprKind>(d.get_u8());
+  switch (kind) {
+    case ExprKind::kConst: return make_const(d.get_i64());
+    case ExprKind::kCoord: return make_coord(static_cast<int>(d.get_i64()));
+    case ExprKind::kNeg: return make_neg(deserialize_expr(d));
+    case ExprKind::kAdd: {
+      auto l = deserialize_expr(d);
+      return make_add(std::move(l), deserialize_expr(d));
+    }
+    case ExprKind::kSub: {
+      auto l = deserialize_expr(d);
+      return make_sub(std::move(l), deserialize_expr(d));
+    }
+    case ExprKind::kMul: {
+      auto l = deserialize_expr(d);
+      return make_mul(std::move(l), deserialize_expr(d));
+    }
+    case ExprKind::kDiv: {
+      auto l = deserialize_expr(d);
+      return make_div(std::move(l), deserialize_expr(d));
+    }
+    case ExprKind::kMod: {
+      auto l = deserialize_expr(d);
+      return make_mod(std::move(l), deserialize_expr(d));
+    }
+  }
+  throw RuntimeError("idxl: corrupt expression in launch descriptor");
+}
+
+void serialize_domain(Serializer& s, const Domain& domain) {
+  s.put_u8(domain.dense() ? 1 : 0);
+  if (domain.dense()) {
+    // Dense: bounds only — the O(1) encoding, independent of volume.
+    s.put_point(domain.bounds().lo);
+    s.put_point(domain.bounds().hi);
+    return;
+  }
+  s.put_i64(domain.volume());
+  domain.for_each([&s](const Point& p) { s.put_point(p); });
+}
+
+Domain deserialize_domain(Deserializer& d) {
+  if (d.get_u8() != 0) {
+    const Point lo = d.get_point();
+    const Point hi = d.get_point();
+    return Domain(Rect(lo, hi));
+  }
+  const int64_t n = d.get_i64();
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int64_t i = 0; i < n; ++i) pts.push_back(d.get_point());
+  return Domain::from_points(std::move(pts));
+}
+
+std::vector<std::byte> serialize_launcher(const IndexLauncher& launcher) {
+  Serializer s;
+  s.put_u32(launcher.task);
+  serialize_domain(s, launcher.domain);
+  s.put_u8(launcher.assume_verified ? 1 : 0);
+  s.put_u8(static_cast<uint8_t>(launcher.result_redop));
+  s.put_u32(static_cast<uint32_t>(launcher.args.size()));
+  for (const ProjectedArg& arg : launcher.args) {
+    IDXL_REQUIRE(arg.functor.is_symbolic(),
+                 "opaque projection functors are not serializable");
+    s.put_u32(arg.parent.id);
+    s.put_u32(arg.partition.id);
+    s.put_u8(static_cast<uint8_t>(arg.privilege));
+    s.put_u8(static_cast<uint8_t>(arg.redop));
+    s.put_u32(static_cast<uint32_t>(arg.functor.exprs().size()));
+    for (const ExprPtr& e : arg.functor.exprs()) serialize_expr(s, *e);
+    s.put_u32(static_cast<uint32_t>(arg.fields.size()));
+    for (FieldId f : arg.fields) s.put_u32(f);
+  }
+  s.put_u32(static_cast<uint32_t>(launcher.scalar_args.size()));
+  for (std::byte b : launcher.scalar_args.raw()) s.put_u8(static_cast<uint8_t>(b));
+  return s.bytes();
+}
+
+IndexLauncher deserialize_launcher(const std::vector<std::byte>& bytes) {
+  Deserializer d(bytes);
+  IndexLauncher launcher;
+  launcher.task = d.get_u32();
+  launcher.domain = deserialize_domain(d);
+  launcher.assume_verified = d.get_u8() != 0;
+  launcher.result_redop = static_cast<ReductionOp>(d.get_u8());
+  const uint32_t nargs = d.get_u32();
+  for (uint32_t a = 0; a < nargs; ++a) {
+    ProjectedArg arg;
+    arg.parent = RegionId{d.get_u32()};
+    arg.partition = PartitionId{d.get_u32()};
+    arg.privilege = static_cast<Privilege>(d.get_u8());
+    arg.redop = static_cast<ReductionOp>(d.get_u8());
+    const uint32_t nexprs = d.get_u32();
+    std::vector<ExprPtr> exprs;
+    exprs.reserve(nexprs);
+    for (uint32_t e = 0; e < nexprs; ++e) exprs.push_back(deserialize_expr(d));
+    arg.functor = ProjectionFunctor::symbolic(std::move(exprs));
+    const uint32_t nfields = d.get_u32();
+    for (uint32_t f = 0; f < nfields; ++f) arg.fields.push_back(d.get_u32());
+    launcher.args.push_back(std::move(arg));
+  }
+  const uint32_t scalar_len = d.get_u32();
+  std::vector<std::byte> scalar;
+  scalar.reserve(scalar_len);
+  for (uint32_t i = 0; i < scalar_len; ++i)
+    scalar.push_back(static_cast<std::byte>(d.get_u8()));
+  launcher.scalar_args = ArgBuffer::from_bytes(std::move(scalar));
+  IDXL_REQUIRE(d.done(), "trailing bytes in launch descriptor");
+  return launcher;
+}
+
+}  // namespace idxl

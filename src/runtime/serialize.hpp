@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace idxl {
+
+/// Wire format for launch descriptors.
+///
+/// The paper's central representation claim is that an index launch is an
+/// O(1) description of |D| tasks: what travels through the runtime (and, in
+/// the non-DCR pipeline, over the broadcast tree) is a fixed-size
+/// descriptor — domain bounds, task id, and per-argument
+/// ⟨partition, functor, privilege⟩ tuples — never per-task state. This
+/// serializer makes that claim concrete and testable: for dense launch
+/// domains the encoded size is independent of the domain volume
+/// (tests assert it), and it is what the slice messages of the simulator's
+/// distribution stage are sized from.
+///
+/// Sparse launch domains (DOM wavefronts) encode their point lists — an
+/// O(|D|) payload by necessity; the compact form applies to the dense case,
+/// exactly as in Legion.
+
+/// Append-only byte sink with primitive encoders.
+class Serializer {
+ public:
+  void put_u8(uint8_t v) { bytes_.push_back(static_cast<std::byte>(v)); }
+  void put_u32(uint32_t v);
+  void put_i64(int64_t v);
+  void put_point(const Point& p);
+
+  const std::vector<std::byte>& bytes() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Cursor-based reader; throws RuntimeError on truncated input.
+class Deserializer {
+ public:
+  explicit Deserializer(const std::vector<std::byte>& bytes) : bytes_(&bytes) {}
+
+  uint8_t get_u8();
+  uint32_t get_u32();
+  int64_t get_i64();
+  Point get_point();
+  bool done() const { return cursor_ == bytes_->size(); }
+
+ private:
+  const std::vector<std::byte>* bytes_;
+  std::size_t cursor_ = 0;
+};
+
+/// Encode / decode projection-functor expression trees. Opaque functors are
+/// not serializable (they are process-local callables) — IDXL_REQUIREd out.
+void serialize_expr(Serializer& s, const Expr& e);
+ExprPtr deserialize_expr(Deserializer& d);
+
+void serialize_domain(Serializer& s, const Domain& domain);
+Domain deserialize_domain(Deserializer& d);
+
+/// Encode the full index-launch descriptor (task, domain, args; scalar
+/// argument bytes are included verbatim).
+std::vector<std::byte> serialize_launcher(const IndexLauncher& launcher);
+IndexLauncher deserialize_launcher(const std::vector<std::byte>& bytes);
+
+}  // namespace idxl

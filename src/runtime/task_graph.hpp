@@ -1,0 +1,51 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace idxl {
+
+/// One executable task instance in the real executor's dependence graph.
+/// Edges are discovered at issue time by the DependenceTracker; a node is
+/// handed to the thread pool once every predecessor has completed.
+struct TaskNode {
+  uint64_t seq = 0;            ///< global program-order sequence number
+  std::string label;           ///< "taskname@(point)" for diagnostics
+  std::function<void()> work;
+  /// Executing shard in sharded (DCR) mode; completion hands ready
+  /// successors to pools_[successor->owner]. Unused by the single runtime.
+  std::atomic<uint32_t> owner{0};
+
+  /// Pending predecessor count plus one "issue guard" held while edges are
+  /// still being added; the node becomes ready when this reaches zero.
+  std::atomic<int64_t> pending{1};
+  std::atomic<bool> done{false};
+
+  std::mutex mu;                                   // guards successors
+  std::vector<std::shared_ptr<TaskNode>> successors;
+
+  /// Register `succ` as a successor. Returns false (and adds nothing) when
+  /// this node already completed — the dependence is then trivially
+  /// satisfied.
+  bool add_successor(const std::shared_ptr<TaskNode>& succ) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (done.load(std::memory_order_acquire)) return false;
+    successors.push_back(succ);
+    return true;
+  }
+
+  /// Mark complete and return the successors to notify.
+  std::vector<std::shared_ptr<TaskNode>> complete() {
+    std::lock_guard<std::mutex> lock(mu);
+    done.store(true, std::memory_order_release);
+    return std::move(successors);
+  }
+};
+
+using TaskNodePtr = std::shared_ptr<TaskNode>;
+
+}  // namespace idxl

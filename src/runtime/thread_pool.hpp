@@ -1,0 +1,44 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace idxl {
+
+/// Minimal work queue backing the real (in-process) executor. Tasks are
+/// opaque closures; dependence ordering is handled above this layer (the
+/// pool only ever sees *ready* tasks).
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a ready task.
+  void submit(std::function<void()> fn);
+
+  /// Block until every submitted task (including tasks submitted by running
+  /// tasks) has finished.
+  void wait_idle();
+
+  unsigned worker_count() const { return static_cast<unsigned>(threads_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t in_flight_ = 0;  // queued + executing
+  bool shutdown_ = false;
+};
+
+}  // namespace idxl

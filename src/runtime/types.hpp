@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "functor/projection.hpp"
+#include "region/accessor.hpp"
+#include "region/region_forest.hpp"
+
+namespace idxl {
+
+using TaskFnId = uint32_t;
+
+/// A region argument of a *single* task launch: a concrete region.
+struct RegionArg {
+  RegionId region;
+  std::vector<FieldId> fields;
+  Privilege privilege = Privilege::kRead;
+  ReductionOp redop = ReductionOp::kNone;
+};
+
+/// A region argument of an *index* launch (§3): ⟨partition, projection
+/// functor⟩ plus privilege. The parent region identifies which collection
+/// the partition partitions; the functor maps each launch point to the
+/// color of the sub-collection that point's task receives.
+struct ProjectedArg {
+  RegionId parent;
+  PartitionId partition;
+  ProjectionFunctor functor = ProjectionFunctor::identity(1);
+  std::vector<FieldId> fields;
+  Privilege privilege = Privilege::kRead;
+  ReductionOp redop = ReductionOp::kNone;
+};
+
+/// Untyped by-value task arguments ("non-collection arguments, which are
+/// simply passed to the task by value", §3).
+class ArgBuffer {
+ public:
+  ArgBuffer() = default;
+
+  template <typename T>
+  static ArgBuffer of(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ArgBuffer b;
+    b.bytes_.resize(sizeof(T));
+    std::memcpy(b.bytes_.data(), &value, sizeof(T));
+    return b;
+  }
+
+  template <typename T>
+  const T& as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    IDXL_REQUIRE(bytes_.size() == sizeof(T), "task argument size mismatch");
+    return *reinterpret_cast<const T*>(bytes_.data());
+  }
+
+  bool empty() const { return bytes_.empty(); }
+  std::size_t size() const { return bytes_.size(); }
+
+  /// Raw bytes, for serialization.
+  const std::vector<std::byte>& raw() const { return bytes_; }
+  static ArgBuffer from_bytes(std::vector<std::byte> bytes) {
+    ArgBuffer b;
+    b.bytes_ = std::move(bytes);
+    return b;
+  }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Launcher for one task on concrete regions. `point`/`launch_domain`
+/// identify the iteration when the task is one step of a sequential task
+/// loop (the No-IDX / fallback form of an index launch), so task bodies see
+/// the same TaskContext under either execution strategy.
+struct TaskLauncher {
+  TaskFnId task = 0;
+  std::vector<RegionArg> args;
+  ArgBuffer scalar_args;
+  Point point = Point::p1(0);
+  Domain launch_domain = Domain::line(1);
+};
+
+/// Launcher for an index launch: the O(1) descriptor of |domain| tasks.
+/// Note the descriptor's size is independent of the domain volume — the
+/// paper's central representation claim; `sizeof` is checked by tests.
+struct IndexLauncher {
+  TaskFnId task = 0;
+  Domain domain;
+  std::vector<ProjectedArg> args;
+  ArgBuffer scalar_args;
+  /// Set by a compiler that has already discharged the §3 non-interference
+  /// conditions (statically, or via an emitted dynamic check). The runtime
+  /// then skips its own safety analysis (§5: "the runtime assumes that
+  /// safety checks have already been performed in a previous stage").
+  bool assume_verified = false;
+  /// When not kNone, each point task's TaskContext::return_value is folded
+  /// with this commutative operator and the launch yields a Future (the
+  /// future-map reduction of task-based runtimes). The fold happens in
+  /// launch-point rank order, so floating-point results are deterministic.
+  ReductionOp result_redop = ReductionOp::kNone;
+};
+
+}  // namespace idxl

@@ -1,0 +1,394 @@
+#include "shard/sharded_runtime.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "runtime/serialize.hpp"
+
+namespace idxl {
+
+namespace {
+
+uint64_t fnv1a(const std::vector<std::byte>& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (std::byte b : bytes) {
+    h ^= static_cast<uint64_t>(b);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardedRuntime::ShardedRuntime(ShardedConfig config) : config_(std::move(config)) {
+  IDXL_REQUIRE(config_.shards >= 1, "need at least one shard");
+  if (config_.sharding == nullptr)
+    config_.sharding = std::make_shared<BlockShardingFunctor>();
+  pools_.reserve(config_.shards);
+  for (uint32_t s = 0; s < config_.shards; ++s)
+    pools_.push_back(std::make_unique<ThreadPool>(
+        config_.workers_per_shard == 0 ? 1 : config_.workers_per_shard));
+  shard_stats_.resize(config_.shards);
+  replicas_.resize(config_.shards);
+}
+
+ShardedRuntime::Replica& ShardedRuntime::replica(uint32_t shard, uint32_t root) {
+  // Callers hold forest_mu_ (creation reads the forest's setup-time
+  // storage); replica_mu_ orders concurrent shard threads.
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  auto [it, inserted] = replicas_[shard].try_emplace(root);
+  if (inserted) {
+    const RegionId root_region{root};
+    const auto volume =
+        static_cast<std::size_t>(forest_.storage_bounds(root_region).volume());
+    for (const FieldInfo& f : forest_.fields(forest_.region(root_region).fspace)) {
+      const std::byte* src = forest_.field_data(root_region, f.id);
+      it->second.data.emplace(
+          f.id, std::vector<std::byte>(src, src + volume * f.size));
+    }
+  }
+  return it->second;
+}
+
+void ShardedRuntime::synchronize_storage() {
+  drain();
+  std::lock_guard<std::mutex> forest_lock(forest_mu_);
+  std::lock_guard<std::mutex> table_lock(table_mu_);
+  std::vector<ShardWriteRecord> log = write_log_;
+  std::sort(log.begin(), log.end(), [](const ShardWriteRecord& a,
+                                       const ShardWriteRecord& b) { return a.seq < b.seq; });
+  for (const ShardWriteRecord& rec : log) {
+    const RegionId root_region{rec.root};
+    const Rect bounds = forest_.storage_bounds(root_region);
+    Replica& src = replica(rec.shard, rec.root);
+    for (const FieldInfo& f : forest_.fields(forest_.region(root_region).fspace)) {
+      if (!(rec.fields & (uint64_t{1} << f.id))) continue;
+      std::byte* dst = forest_.field_data(root_region, f.id);
+      const std::byte* s = src.data.at(f.id).data();
+      forest_.domain(rec.ispace).for_each([&](const Point& p) {
+        const auto off = static_cast<std::size_t>(bounds.linearize(p)) * f.size;
+        std::memcpy(dst + off, s + off, f.size);
+      });
+    }
+  }
+}
+
+
+ShardedRuntime::~ShardedRuntime() { drain(); }
+
+TaskFnId ShardedRuntime::register_task(std::string name, TaskFn fn) {
+  IDXL_REQUIRE(static_cast<bool>(fn), "task body must be callable");
+  task_registry_.emplace_back(std::move(name), std::move(fn));
+  return static_cast<TaskFnId>(task_registry_.size() - 1);
+}
+
+TaskNodePtr ShardedRuntime::event_for(uint64_t key) {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  auto [it, inserted] = events_.try_emplace(key);
+  if (inserted) it->second = std::make_shared<TaskNode>();
+  return it->second;
+}
+
+void ShardedRuntime::check_replication(uint64_t seq, uint64_t hash) {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  auto [it, inserted] = launch_hashes_.try_emplace(seq, hash);
+  IDXL_REQUIRE(inserted || it->second == hash,
+               "control divergence: shards issued different launch descriptors "
+               "for the same program point");
+}
+
+void ShardedRuntime::schedule(uint32_t owner, const TaskNodePtr& node,
+                              const std::vector<TaskNodePtr>& deps) {
+  node->owner.store(owner, std::memory_order_relaxed);
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  for (const TaskNodePtr& dep : deps) {
+    node->pending.fetch_add(1, std::memory_order_relaxed);
+    if (!dep->add_successor(node))
+      node->pending.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) make_ready(node);
+}
+
+void ShardedRuntime::make_ready(const TaskNodePtr& node) {
+  // Ready tasks execute on their owner's pool — cross-shard completions
+  // hand work to the right "node", which is all the network a
+  // single-address-space model needs.
+  pools_[node->owner.load(std::memory_order_relaxed)]->submit([this, node] {
+    node->work();
+    node->work = nullptr;
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    for (const TaskNodePtr& succ : node->complete())
+      if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        make_ready(succ);
+  });
+}
+
+void ShardedRuntime::drain() {
+  // Pools go momentarily idle while waiting on cross-shard events, so a
+  // single wait_idle() per pool is not enough; poll the global outstanding
+  // count.
+  for (;;) {
+    for (auto& pool : pools_) pool->wait_idle();
+    if (outstanding_.load(std::memory_order_acquire) == 0) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  for (auto& pool : pools_) pool->wait_idle();
+}
+
+void ShardedRuntime::run(const std::function<void(ShardContext&)>& program) {
+  // Start from a clean slate so launch sequence numbers from a previous
+  // run() cannot alias old (completed) events.
+  drain();
+  if (config_.distributed_storage) {
+    // Persist the previous run's results into the forest, then restart the
+    // replicas from that authoritative state.
+    synchronize_storage();
+    std::lock_guard<std::mutex> replica_lock(replica_mu_);
+    for (auto& per_shard : replicas_) per_shard.clear();
+    std::lock_guard<std::mutex> table_lock(table_mu_);
+    write_log_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    events_.clear();
+    launch_hashes_.clear();
+  }
+
+  std::vector<std::thread> threads;
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  threads.reserve(config_.shards);
+  for (uint32_t s = 0; s < config_.shards; ++s) {
+    threads.emplace_back([&, s] {
+      ShardContext ctx(*this, s);
+      try {
+        program(ctx);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      shard_stats_[s] = ctx.stats_;
+      if (s == 0 && config_.distributed_storage) {
+        // Shard 0's (replicated, hence authoritative) log feeds the final
+        // gather in synchronize_storage().
+        std::lock_guard<std::mutex> lock(table_mu_);
+        write_log_ = ctx.write_log_;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  drain();
+}
+
+const ShardStats& ShardedRuntime::stats(uint32_t shard) const {
+  IDXL_REQUIRE(shard < shard_stats_.size(), "bad shard id");
+  return shard_stats_[shard];
+}
+
+ShardContext::ShardContext(ShardedRuntime& rt, uint32_t shard)
+    : rt_(&rt), shard_(shard), tracker_(rt.forest_) {}
+
+uint32_t ShardContext::shard_count() const { return rt_->config_.shards; }
+
+void ShardContext::execute_index(const IndexLauncher& launcher) {
+  ShardedRuntime& rt = *rt_;
+  IDXL_REQUIRE(launcher.task < rt.task_registry_.size(), "unknown task id");
+  IDXL_REQUIRE(!launcher.domain.empty(), "index launch over an empty domain");
+
+  const uint64_t seq = next_launch_++;
+  // Control-replication contract: every shard must issue the identical
+  // descriptor at the identical program point.
+  rt.check_replication(seq, fnv1a(serialize_launcher(launcher)));
+
+  ++stats_.launches_issued;
+  stats_.runtime_calls += rt.config_.enable_index_launches
+                              ? 1
+                              : static_cast<uint64_t>(launcher.domain.volume());
+
+  // Safety analysis, replicated on every shard (deterministic: all agree).
+  if (!launcher.assume_verified) {
+    std::vector<CheckArg> check_args;
+    check_args.reserve(launcher.args.size());
+    for (const ProjectedArg& pa : launcher.args) {
+      CheckArg ca;
+      ca.functor = &pa.functor;
+      ca.color_space = rt.forest_.color_space(pa.partition);
+      ca.partition_disjoint = rt.forest_.is_disjoint(pa.partition);
+      ca.partition_uid = pa.partition.id;
+      ca.collection_uid = rt.forest_.region(pa.parent).tree_id;
+      ca.field_mask = field_mask(pa.fields);
+      ca.priv = pa.privilege;
+      ca.redop = pa.redop;
+      check_args.push_back(ca);
+    }
+    AnalysisOptions options;
+    options.enable_dynamic_checks = rt.config_.enable_dynamic_checks;
+    auto pair_independent = [&](std::size_t i, std::size_t j) {
+      return rt.forest_.partitions_independent(
+          launcher.args[i].parent, launcher.args[i].partition,
+          launcher.args[j].parent, launcher.args[j].partition);
+    };
+    const SafetyReport report =
+        analyze_launch_safety(check_args, launcher.domain, options, pair_independent);
+    IDXL_REQUIRE(report.safe(), ("unsafe index launch in sharded mode: " +
+                                 report.reason).c_str());
+  }
+
+  // Replicated per-point analysis + owner-only task construction.
+  const TaskFn& body = rt.task_registry_[launcher.task].second;
+  int64_t rank = 0;
+  launcher.domain.for_each([&](const Point& p) {
+    const uint64_t key = (seq << 24) | static_cast<uint64_t>(rank);
+    IDXL_REQUIRE(rank < (1 << 24), "launch too large for sharded-mode keys");
+    ++rank;
+    const TaskNodePtr node = rt.event_for(key);
+    const uint32_t owner =
+        rt.config_.sharding->shard(p, launcher.domain, rt.config_.shards);
+    node->owner.store(owner, std::memory_order_relaxed);
+    ++stats_.points_analyzed;
+
+    // Forest mutations (subregion creation) and reads race across shard
+    // threads; one coarse lock keeps the demo honest and simple.
+    //
+    // In distributed-storage mode, each region argument is additionally
+    // resolved against the owner shard's replica, and "copy-ins" are
+    // planned: for every logged remote write overlapping the data this task
+    // touches, the overlapping bytes move from the writer shard's replica
+    // into the owner's, inside the task closure — after the dependence
+    // edges have made the producers complete. This is Legion's implicit
+    // data movement, made explicit.
+    struct ResolvedCopy {
+      uint64_t seq;
+      Domain overlap;
+      Rect bounds;
+      struct FieldCopy {
+        const std::byte* src;
+        std::byte* dst;
+        std::size_t size;
+      };
+      std::vector<FieldCopy> fields;
+    };
+    std::vector<TaskNodePtr> deps;
+    std::vector<PhysicalRegion> regions;
+    std::vector<ResolvedCopy> copies;
+    {
+      std::lock_guard<std::mutex> lock(rt.forest_mu_);
+      for (const ProjectedArg& pa : launcher.args) {
+        const Point color = pa.functor(p);
+        const RegionId region = rt.forest_.subregion(pa.parent, pa.partition, color);
+        const RegionInfo& info = rt.forest_.region(region);
+        const bool through_disjoint =
+            info.through.valid() && rt.forest_.is_disjoint(info.through);
+        const uint64_t mask = field_mask(pa.fields);
+        // Every shard records every use: the replicated analysis of DCR.
+        tracker_.record_use(info.tree_id, info.ispace, mask,
+                            privilege_writes(pa.privilege), info.through,
+                            through_disjoint, node, deps);
+
+        if (owner == shard_) {
+          if (!rt.config_.distributed_storage) {
+            regions.emplace_back(rt.forest_, region, pa.fields, pa.privilege, pa.redop);
+          } else {
+            ShardedRuntime::Replica& mine = rt.replica(shard_, info.root.id);
+            std::vector<PhysicalRegion::ResolvedField> resolved;
+            for (FieldId f : pa.fields)
+              resolved.push_back(PhysicalRegion::ResolvedField{
+                  f, mine.data.at(f).data(), rt.forest_.field(info.fspace, f).size});
+            regions.emplace_back(region, &rt.forest_.region_domain(region),
+                                 rt.forest_.storage_bounds(region), std::move(resolved),
+                                 pa.privilege, pa.redop);
+            // Plan copy-ins: resolve, per element and field, the *latest*
+            // writer of the data this task touches (the log is already in
+            // program order), and copy only bytes whose latest writer is a
+            // different shard — an earlier remote write must never clobber
+            // a later local one.
+            for (FieldId f : pa.fields) {
+              std::unordered_map<Point, uint32_t, PointHash> latest;
+              for (const ShardWriteRecord& rec : write_log_) {
+                if (rec.root != info.root.id || !(rec.fields & (uint64_t{1} << f)))
+                  continue;
+                const Domain overlap = rt.forest_.domain(rec.ispace)
+                                           .intersection(rt.forest_.domain(info.ispace));
+                overlap.for_each([&](const Point& q) { latest[q] = rec.shard; });
+              }
+              // Group the remote-owned points by source shard.
+              std::unordered_map<uint32_t, std::vector<Point>> by_shard;
+              for (const auto& [q, src_shard] : latest)
+                if (src_shard != shard_) by_shard[src_shard].push_back(q);
+              for (auto& [src_shard, points] : by_shard) {
+                ResolvedCopy copy;
+                copy.seq = key;
+                copy.overlap = Domain::from_points(std::move(points));
+                copy.bounds = rt.forest_.storage_bounds(region);
+                ShardedRuntime::Replica& src = rt.replica(src_shard, info.root.id);
+                copy.fields.push_back(ResolvedCopy::FieldCopy{
+                    src.data.at(f).data(), mine.data.at(f).data(),
+                    rt.forest_.field(info.fspace, f).size});
+                copies.push_back(std::move(copy));
+                ++stats_.copies_planned;
+              }
+            }
+          }
+        }
+        // Every shard appends the identical write record (replicated log).
+        if (rt.config_.distributed_storage && privilege_writes(pa.privilege))
+          write_log_.push_back({key, info.root.id, info.ispace, mask, owner});
+      }
+    }
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+
+    if (owner != shard_) return;  // someone else executes this point
+
+    ++stats_.local_tasks;
+    for (const TaskNodePtr& dep : deps)
+      if (dep->owner.load(std::memory_order_relaxed) != shard_)
+        ++stats_.remote_dependencies;
+
+    // Apply planned copy-ins in program order (a later writer's bytes must
+    // land last when plans overlap). Reorder via an index sort: gcc 12's
+    // -Wmaybe-uninitialized misfires on std::sort's swap of the
+    // Domain-bearing struct.
+    {
+      std::vector<std::size_t> order(copies.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&copies](std::size_t a, std::size_t b) {
+        return copies[a].seq < copies[b].seq;
+      });
+      std::vector<ResolvedCopy> sorted;
+      sorted.reserve(copies.size());
+      for (std::size_t i : order) sorted.push_back(std::move(copies[i]));
+      copies = std::move(sorted);
+    }
+
+    ArgBuffer scalar = launcher.scalar_args;
+    const Domain domain = launcher.domain;
+    node->label = rt.task_registry_[launcher.task].first + "@" + p.to_string();
+    node->work = [&body, p, domain, scalar = std::move(scalar),
+                  regions = std::move(regions), copies = std::move(copies)]() mutable {
+      // Inter-shard data movement: dependencies guaranteed the producers
+      // finished, so their replica bytes are stable to read.
+      for (const ResolvedCopy& copy : copies) {
+        for (const auto& fc : copy.fields) {
+          copy.overlap.for_each([&](const Point& q) {
+            const auto off =
+                static_cast<std::size_t>(copy.bounds.linearize(q)) * fc.size;
+            std::memcpy(fc.dst + off, fc.src + off, fc.size);
+          });
+        }
+      }
+      TaskContext ctx;
+      ctx.point = p;
+      ctx.launch_domain = domain;
+      ctx.scalar_args = &scalar;
+      ctx.regions = std::move(regions);
+      body(ctx);
+    };
+    rt.schedule(shard_, node, deps);
+  });
+}
+
+}  // namespace idxl

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "analysis/hybrid.hpp"
+#include "runtime/dependence.hpp"
+#include "runtime/mapping.hpp"
+#include "runtime/physical.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/types.hpp"
+
+namespace idxl {
+
+/// A *functional* model of dynamic control replication (Bauer et al. [6],
+/// the §5 DCR mode) — not just the timing model in src/sim, but an
+/// executing runtime:
+///
+///  * The application provides an SPMD `program`; every shard runs it in
+///    its own thread, issuing the identical launch stream (control
+///    replication). Divergence is detected by hashing each launch's
+///    serialized descriptor and comparing across shards — the launch
+///    stream must be bit-identical, as real DCR requires.
+///  * Every shard performs the full (replicated) dependence analysis for
+///    every point of every launch — this is exactly the O(P)-per-node cost
+///    the paper shows index launches avoiding; per-shard stats expose it.
+///  * A sharding functor assigns each launch point an owner; only the
+///    owner builds an executable task. Cross-shard dependencies flow
+///    through shared completion events ("the network"): a consumer on
+///    shard A attaches to the producer node owned by shard B, and B's
+///    completion hands the ready consumer to A's pool.
+///
+/// Scope: region/partition/task setup happens once, before run() (in real
+/// DCR this metadata is replicated identically; sharing it is equivalent
+/// and keeps the forest single-writer). Data lives in the shared forest
+/// storage; coherence is the happens-before provided by the event graph —
+/// the single-address-space stand-in for Legion's copies (DESIGN.md §1).
+struct ShardedConfig {
+  uint32_t shards = 2;
+  unsigned workers_per_shard = 1;
+  bool enable_index_launches = true;
+  bool enable_dynamic_checks = true;
+  std::shared_ptr<ShardingFunctor> sharding;  // default: BlockShardingFunctor
+  /// When true, every shard owns a private replica of each root region's
+  /// storage ("distributed memories"): tasks read and write their shard's
+  /// replica, and the runtime copies producer subregions across shards
+  /// before dependent tasks run — the data movement Legion performs
+  /// implicitly (§2: "collections are not fixed in a specific memory but
+  /// may be copied and migrated"). When false, all shards share the
+  /// forest's storage and coherence is pure happens-before.
+  bool distributed_storage = false;
+};
+
+struct ShardStats {
+  uint64_t launches_issued = 0;   ///< replicated: every shard sees every launch
+  uint64_t runtime_calls = 0;     ///< 1/launch with IDX, |D|/launch without
+  uint64_t points_analyzed = 0;   ///< replicated analysis work
+  uint64_t local_tasks = 0;       ///< tasks this shard actually executed
+  uint64_t remote_dependencies = 0;  ///< edges that crossed a shard boundary
+  uint64_t copies_planned = 0;    ///< inter-shard data movements (distributed storage)
+};
+
+class ShardedRuntime;
+
+/// One write in the replicated write log (distributed-storage mode): which
+/// shard's replica holds the authoritative bytes of `ispace`'s `fields`
+/// after program point `seq`. Every shard derives the identical log from
+/// the identical launch stream, so copy planning never waits on another
+/// shard's progress.
+struct ShardWriteRecord {
+  uint64_t seq = 0;  // global task key: program order
+  uint32_t root = 0;
+  IndexSpaceId ispace;
+  uint64_t fields = 0;
+  uint32_t shard = 0;
+};
+
+/// Per-shard handle the SPMD program uses to issue work.
+class ShardContext {
+ public:
+  uint32_t shard_id() const { return shard_; }
+  uint32_t shard_count() const;
+
+  /// Issue an index launch. The identical call must be made by every shard
+  /// (checked). Unsafe launches throw — the sharded mode has no sequential
+  /// fallback loop (it would defeat the replication contract).
+  void execute_index(const IndexLauncher& launcher);
+
+ private:
+  friend class ShardedRuntime;
+  ShardContext(ShardedRuntime& rt, uint32_t shard);
+
+  ShardedRuntime* rt_;
+  uint32_t shard_;
+  DependenceTracker tracker_;  // per-shard replicated analysis state
+  uint64_t next_launch_ = 0;
+  ShardStats stats_;
+  std::vector<ShardWriteRecord> write_log_;  // distributed-storage mode only
+};
+
+class ShardedRuntime {
+ public:
+  explicit ShardedRuntime(ShardedConfig config = {});
+  ~ShardedRuntime();
+
+  RegionForest& forest() { return forest_; }
+  TaskFnId register_task(std::string name, TaskFn fn);
+
+  /// Run `program` on every shard (SPMD) and block until every task has
+  /// executed. Rethrows the first exception any shard raised.
+  void run(const std::function<void(ShardContext&)>& program);
+
+  const ShardStats& stats(uint32_t shard) const;
+
+  template <typename T>
+  Accessor<T> read_region(RegionId r, FieldId f) {
+    if (config_.distributed_storage) synchronize_storage();
+    return Accessor<T>(forest_, r, f, Privilege::kRead);
+  }
+
+ private:
+  friend class ShardContext;
+
+  /// Shared completion event / task node for global task `key`.
+  TaskNodePtr event_for(uint64_t key);
+
+  /// Register (first caller) or verify (others) the launch descriptor hash
+  /// for launch sequence number `seq`.
+  void check_replication(uint64_t seq, uint64_t hash);
+
+  void schedule(uint32_t owner, const TaskNodePtr& node,
+                const std::vector<TaskNodePtr>& deps);
+  void make_ready(const TaskNodePtr& node);
+  void drain();
+
+  // --- distributed storage (config_.distributed_storage) ---
+  /// One shard's private copy of a root region's storage.
+  struct Replica {
+    std::unordered_map<FieldId, std::vector<std::byte>> data;
+  };
+  /// Shard `shard`'s replica of root region `root`, created on first use by
+  /// copying the forest's (setup-time) storage. Inter-shard copies are
+  /// planned at issue time (the producers' write log determines sources)
+  /// and resolved into the consuming task's closure, running after its
+  /// dependencies — the producers — completed.
+  Replica& replica(uint32_t shard, uint32_t root);
+  /// Replay the write log into the forest storage so top-level readers see
+  /// the authoritative values.
+  void synchronize_storage();
+
+  std::mutex replica_mu_;
+  std::vector<std::unordered_map<uint32_t, Replica>> replicas_;  // [shard][root]
+  std::vector<ShardWriteRecord> write_log_;  // final log, for synchronize_storage
+
+  ShardedConfig config_;
+  RegionForest forest_;
+  std::mutex forest_mu_;  // guards subregion creation during run()
+  std::vector<std::pair<std::string, TaskFn>> task_registry_;
+  std::vector<std::unique_ptr<ThreadPool>> pools_;
+  std::vector<ShardStats> shard_stats_;
+
+  std::mutex table_mu_;
+  std::unordered_map<uint64_t, TaskNodePtr> events_;
+  std::unordered_map<uint64_t, uint64_t> launch_hashes_;
+  std::atomic<int64_t> outstanding_{0};  // scheduled-but-incomplete tasks
+};
+
+}  // namespace idxl

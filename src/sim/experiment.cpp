@@ -1,0 +1,70 @@
+#include "sim/experiment.hpp"
+
+#include <cstdio>
+
+namespace idxl::sim {
+
+std::vector<Series> run_scaling_experiment(
+    const std::function<AppSpec(uint32_t nodes)>& app_builder,
+    const std::vector<SimConfig>& configs, const std::vector<uint32_t>& node_counts,
+    const std::function<double(const SimResult&, uint32_t nodes)>& metric) {
+  std::vector<Series> out;
+  out.reserve(configs.size());
+  for (const SimConfig& base : configs) {
+    Series series;
+    series.label = base.label();
+    for (uint32_t nodes : node_counts) {
+      SimConfig config = base;
+      config.nodes = nodes;
+      const AppSpec app = app_builder(nodes);
+      const SimResult r = simulate(app, config);
+      series.points.emplace_back(nodes, metric(r, nodes));
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+void print_figure(const std::string& title, const std::string& unit,
+                  const std::vector<uint32_t>& node_counts,
+                  const std::vector<Series>& series) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-8s", "nodes");
+  for (const Series& s : series) std::printf("%22s", s.label.c_str());
+  std::printf("   [%s]\n", unit.c_str());
+  for (std::size_t row = 0; row < node_counts.size(); ++row) {
+    std::printf("%-8u", node_counts[row]);
+    for (const Series& s : series) {
+      if (row < s.points.size() && s.points[row].first == node_counts[row])
+        std::printf("%22.3f", s.points[row].second);
+      else
+        std::printf("%22s", "-");
+    }
+    std::printf("\n");
+  }
+}
+
+std::vector<uint32_t> nodes_up_to(uint32_t max_nodes) {
+  std::vector<uint32_t> nodes;
+  for (uint32_t n = 1; n <= max_nodes; n *= 2) nodes.push_back(n);
+  return nodes;
+}
+
+std::vector<SimConfig> four_configs(bool tracing, bool dynamic_checks) {
+  std::vector<SimConfig> configs(4);
+  configs[0].dcr = true;
+  configs[0].idx = true;
+  configs[1].dcr = true;
+  configs[1].idx = false;
+  configs[2].dcr = false;
+  configs[2].idx = true;
+  configs[3].dcr = false;
+  configs[3].idx = false;
+  for (SimConfig& c : configs) {
+    c.tracing = tracing;
+    c.dynamic_checks = dynamic_checks;
+  }
+  return configs;
+}
+
+}  // namespace idxl::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/pipeline_sim.hpp"
+
+namespace idxl::sim {
+
+/// One curve of a scaling figure: a label plus (nodes, value) points.
+struct Series {
+  std::string label;
+  std::vector<std::pair<uint32_t, double>> points;
+};
+
+/// Run an (app-builder × configs × node-counts) sweep, as in §6.2. The
+/// app builder receives the node count so weak-scaling workloads can grow
+/// with the machine; `metric` converts a simulation result into the
+/// figure's y-value (throughput, throughput/node, iterations/s, ...).
+/// Per the paper's protocol each data point averages `repeats` runs (the
+/// simulator is deterministic given a seed, so repeats vary the jitter
+/// stream via the iteration count offset; 1 is fine for smoke tests).
+std::vector<Series> run_scaling_experiment(
+    const std::function<AppSpec(uint32_t nodes)>& app_builder,
+    const std::vector<SimConfig>& configs, const std::vector<uint32_t>& node_counts,
+    const std::function<double(const SimResult&, uint32_t nodes)>& metric);
+
+/// Print a figure as aligned columns: one row per node count, one column
+/// per configuration. `unit` annotates the header.
+void print_figure(const std::string& title, const std::string& unit,
+                  const std::vector<uint32_t>& node_counts,
+                  const std::vector<Series>& series);
+
+/// Standard node sweeps used by the paper's figures.
+std::vector<uint32_t> nodes_up_to(uint32_t max_nodes);  // 1,2,4,...,max
+
+/// The four §6.2 configurations (DCR × IDX), in the paper's legend order.
+std::vector<SimConfig> four_configs(bool tracing = true, bool dynamic_checks = true);
+
+}  // namespace idxl::sim

@@ -1,0 +1,265 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace idxl::sim {
+
+namespace {
+
+/// Deterministic per-(node, launch, iteration) jitter in [0, 1): splitmix64
+/// of the tuple. Reproducible across runs, uncorrelated across draws.
+double noise_draw(uint32_t node, int iter, std::size_t launch, uint64_t seed) {
+  uint64_t z = seed ^ (uint64_t{node} << 40) ^ (static_cast<uint64_t>(iter) << 20) ^
+               static_cast<uint64_t>(launch);
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+double log2_colors(int64_t tasks) {
+  return std::log2(static_cast<double>(std::max<int64_t>(tasks, 2)));
+}
+
+}  // namespace
+
+int64_t local_task_count(int64_t tasks, uint32_t nodes, uint32_t n) {
+  const int64_t base = tasks / nodes;
+  const int64_t rem = tasks % nodes;
+  return base + (static_cast<int64_t>(n) < rem ? 1 : 0);
+}
+
+SimResult simulate(const AppSpec& app, const SimConfig& config) {
+  const uint32_t N = config.nodes;
+  IDXL_REQUIRE(N >= 1, "need at least one node");
+  const MachineParams& m = config.machine;
+
+  std::vector<double> util(N, 0.0);  // runtime processor busy-until
+  std::vector<double> gpu(N, 0.0);   // GPU busy-until
+  std::vector<double> nic(N, 0.0);   // sender NIC busy-until
+  std::vector<double> arrival(N, 0.0);    // distribution arrival, per launch
+  // Completion time of the most recent launch of each dependence chain.
+  std::unordered_map<int, std::vector<double>> chain_done;
+  auto chain_of = [&](int chain) -> std::vector<double>& {
+    auto [it, inserted] = chain_done.try_emplace(chain);
+    if (inserted) it->second.assign(N, 0.0);
+    return it->second;
+  };
+
+  SimResult result;
+  double warmup_end = 0.0;
+
+  const int total_iters = app.warmup + app.iterations;
+  for (int iter = 0; iter < total_iters; ++iter) {
+    // Tracing replays from the second execution of the captured loop.
+    const bool traced_now = config.tracing && iter >= 1;
+    const bool first_iter = iter == 0;
+
+    for (std::size_t li = 0; li < app.iteration.size(); ++li) {
+      const LaunchSpec& L = app.iteration[li];
+      const double logical_task_s =
+          traced_now ? m.logical_task_traced_s : m.logical_task_s;
+      const double physical_scale = traced_now ? 0.25 : 1.0;  // trace replay
+      const double check_s =
+          (config.idx && L.nontrivial_functor && config.dynamic_checks)
+              ? static_cast<double>(L.tasks) * m.check_point_s +
+                    static_cast<double>(L.check_bits) * m.check_bit_s
+              : 0.0;
+
+      // ---- Stage 1+2: issuance + logical analysis ----
+      // Bounded run-ahead: a node's runtime processor may work at most
+      // `runahead_window_s` ahead of its own execution timeline.
+      for (uint32_t n = 0; n < N; ++n)
+        util[n] = std::max(util[n], gpu[n] - m.runahead_window_s);
+      if (config.dcr) {
+        // Every node runs the identical (replicated) issuance stream.
+        for (uint32_t n = 0; n < N; ++n) {
+          if (config.idx) {
+            util[n] += m.issue_launch_s + L.num_args * m.logical_launch_arg_s + check_s;
+            result.stages.issue_s += m.issue_launch_s + L.num_args * m.logical_launch_arg_s;
+            result.stages.check_s += check_s;
+            result.runtime_ops += 1 + static_cast<uint64_t>(L.num_args);
+          } else {
+            const double cost = static_cast<double>(L.tasks) *
+                                (m.issue_task_s + L.num_args * logical_task_s);
+            util[n] += cost;
+            result.stages.issue_s += cost;
+            result.runtime_ops += static_cast<uint64_t>(L.tasks);
+          }
+        }
+        if (check_s > 0) result.check_seconds += check_s;
+      } else {
+        // Centralized: node 0 owns issuance and logical analysis.
+        if (config.idx) {
+          util[0] += m.issue_launch_s + check_s;
+          result.stages.issue_s += m.issue_launch_s;
+          result.stages.check_s += check_s;
+          result.runtime_ops += 1;
+          if (config.tracing && !config.bulk_tracing) {
+            // Tracing operates on individual tasks, forcing the launch to
+            // expand and re-enter the stream as point tasks *before*
+            // distribution (§6.2.1) — the whole-partition benefit is lost.
+            const double cost = static_cast<double>(L.tasks) *
+                                (m.expand_task_s + m.issue_task_s +
+                                 L.num_args * logical_task_s);
+            util[0] += cost;
+            result.stages.issue_s += cost;
+            result.runtime_ops += static_cast<uint64_t>(L.tasks);
+          } else {
+            // Whole-partition logical analysis; with bulk tracing the
+            // replayed cost shrinks further after the capture iteration.
+            const double per_arg = (config.bulk_tracing && traced_now)
+                                       ? m.logical_launch_arg_s * 0.25
+                                       : m.logical_launch_arg_s;
+            util[0] += L.num_args * per_arg;
+            result.stages.issue_s += L.num_args * per_arg;
+            result.runtime_ops += static_cast<uint64_t>(L.num_args);
+          }
+        } else {
+          const double cost = static_cast<double>(L.tasks) *
+                              (m.issue_task_s + L.num_args * logical_task_s);
+          util[0] += cost;
+          result.stages.issue_s += cost;
+          result.runtime_ops += static_cast<uint64_t>(L.tasks);
+        }
+        if (check_s > 0) result.check_seconds += check_s;
+      }
+
+      // ---- Stage 3: distribution ----
+      if (config.dcr) {
+        for (uint32_t n = 0; n < N; ++n) {
+          const int64_t local = local_task_count(L.tasks, N, (n + L.shard_offset) % N);
+          if (config.idx) {
+            // Sharding functor: cold evaluation over the whole domain once,
+            // memoized lookups afterwards; then local expansion.
+            const double cost =
+                (first_iter ? static_cast<double>(L.tasks) * m.shard_eval_s
+                            : static_cast<double>(local) * m.shard_memo_s) +
+                static_cast<double>(local) * m.expand_task_s;
+            util[n] += cost;
+            result.stages.distribution_s += cost;
+          }
+          arrival[n] = util[n];
+        }
+      } else if (config.idx && (!config.tracing || config.bulk_tracing)) {
+        // Broadcast tree of fixed-size slice descriptors: O(log N) depth,
+        // N-1 messages total. Recursive binary split of the node range.
+        arrival.assign(N, 0.0);
+        arrival[0] = util[0];
+        auto broadcast = [&](auto&& self, uint32_t lo, uint32_t hi, double t) -> void {
+          if (lo == hi) return;
+          const uint32_t mid = lo + (hi - lo + 1) / 2;  // right half starts here
+          const double send = std::max(t, nic[lo]) + m.msg_cpu_s;
+          nic[lo] = send;
+          const double arrive = send + m.msg_time(m.slice_msg_bytes);
+          arrival[mid] = std::max(arrival[mid], arrive);
+          ++result.messages;
+          self(self, mid, hi, arrive);
+          self(self, lo, mid - 1, send);
+        };
+        broadcast(broadcast, 0, N - 1, util[0]);
+        for (uint32_t n = 0; n < N; ++n) {
+          const int64_t local = local_task_count(L.tasks, N, (n + L.shard_offset) % N);
+          const double cost = m.msg_cpu_s * (n != 0 ? 1.0 : 0.0) +
+                              static_cast<double>(local) * m.expand_task_s;
+          util[n] = std::max(util[n], arrival[n]) + cost;
+          result.stages.distribution_s += cost;
+          arrival[n] = util[n];
+        }
+      } else {
+        // Individual task sends from node 0 (No-IDX, or IDX whose launch
+        // tracing already expanded): remote tasks stream out serially, and
+        // the owner node coordinates the mapping of every task.
+        double cursor = util[0] + static_cast<double>(L.tasks) * m.central_map_task_s;
+        result.stages.distribution_s += static_cast<double>(L.tasks) * m.central_map_task_s;
+        int64_t remote = 0;
+        for (uint32_t n = 0; n < N; ++n) {
+          const int64_t local = local_task_count(L.tasks, N, (n + L.shard_offset) % N);
+          if (n == 0) {
+            arrival[0] = util[0];
+            continue;
+          }
+          cursor += static_cast<double>(local) *
+                    (m.msg_cpu_s + m.task_msg_bytes / m.net_bandwidth_Bps);
+          result.stages.distribution_s += static_cast<double>(local) * m.msg_cpu_s;
+          arrival[n] = cursor + m.net_latency_s;
+          remote += local;
+        }
+        util[0] = cursor;  // per-message CPU serializes on node 0
+        result.messages += static_cast<uint64_t>(remote);
+        for (uint32_t n = 1; n < N; ++n) util[n] = std::max(util[n], arrival[n]);
+      }
+
+      // ---- Stage 4: physical analysis, then execution ----
+      const double phys_per_task =
+          m.physical_task_log_s * log2_colors(L.tasks) * physical_scale;
+      // Materialize all referenced chains first: chain_of may insert into
+      // the map and would otherwise invalidate earlier references.
+      for (int c : L.also_after_chains) chain_of(c);
+      chain_of(L.chain);
+      std::vector<const std::vector<double>*> extra_chains;
+      for (int c : L.also_after_chains) extra_chains.push_back(&chain_done.at(c));
+      std::vector<double>& prev_done = chain_done.at(L.chain);
+      std::vector<double> next_done(N, 0.0);
+      for (uint32_t n = 0; n < N; ++n) {
+        const int64_t local = local_task_count(L.tasks, N, (n + L.shard_offset) % N);
+        util[n] = std::max(util[n], arrival[n]) + m.launch_overhead_s +
+                  static_cast<double>(local) * phys_per_task;
+        result.stages.physical_s +=
+            m.launch_overhead_s + static_cast<double>(local) * phys_per_task;
+        result.runtime_ops += static_cast<uint64_t>(local);
+
+        double inputs = 0.0;
+        if (L.depends_on_previous) {
+          // Producers: this node plus its ring neighbors (halo exchange).
+          inputs = prev_done[n];
+          if (n > 0) inputs = std::max(inputs, prev_done[n - 1]);
+          if (n + 1 < N) inputs = std::max(inputs, prev_done[n + 1]);
+          if (L.remote_bytes_per_task > 0 && N > 1)
+            inputs += m.msg_time(L.remote_bytes_per_task * static_cast<double>(local));
+        }
+        for (const auto* chain : extra_chains) inputs = std::max(inputs, (*chain)[n]);
+
+        // Dependents observe completion only after the event chain
+        // propagates (log-depth across the machine); the GPU itself is
+        // free earlier.
+        const double completion_lag =
+            N > 1 ? m.collective_per_launch_s * log2_colors(N) : 0.0;
+        if (local > 0) {
+          const double jitter =
+              1.0 + m.kernel_noise * noise_draw(n, iter, li, /*seed=*/0xC0FFEE);
+          const double kernel = static_cast<double>(local) * L.kernel_s * jitter;
+          result.stages.kernel_s += kernel;
+          const double start = std::max({gpu[n], util[n], inputs});
+          gpu[n] = start + kernel;
+          next_done[n] = gpu[n] + completion_lag;
+        } else {
+          // No work here: the node's GPU is untouched and the dependence
+          // frontier simply flows through from this launch's inputs.
+          next_done[n] = inputs + completion_lag;
+        }
+      }
+      prev_done = next_done;
+    }
+
+    if (iter == app.warmup - 1) {
+      warmup_end = *std::max_element(gpu.begin(), gpu.end());
+    }
+  }
+
+  const double end = *std::max_element(gpu.begin(), gpu.end());
+  if (app.warmup == 0) warmup_end = 0.0;
+  result.total_seconds = end;
+  result.seconds_per_iteration = (end - warmup_end) / app.iterations;
+  result.util_busy_max_s = *std::max_element(util.begin(), util.end());
+  result.gpu_busy_max_s = end;
+  return result;
+}
+
+}  // namespace idxl::sim

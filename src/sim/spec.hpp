@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace idxl::sim {
+
+/// One index launch (or, in No-IDX configurations, the equivalent group of
+/// individual launches) inside a simulated iteration.
+struct LaunchSpec {
+  std::string name;
+  /// Number of tasks in the launch (the |D| of §3).
+  int64_t tasks = 0;
+  /// Number of region requirements per task.
+  int num_args = 2;
+  /// GPU seconds per task (kernel cost).
+  double kernel_s = 0;
+  /// Bytes each task must receive from *remote* producers of the previous
+  /// launch before it can start (halo exchange volume).
+  double remote_bytes_per_task = 0;
+  /// True when this launch uses a projection functor the static analyzer
+  /// cannot discharge, so the hybrid analysis runs the dynamic check
+  /// (cost O(tasks) on every issuing node when checks are enabled).
+  bool nontrivial_functor = false;
+  /// Bitmask bits the dynamic check initializes (≈ partition color count).
+  int64_t check_bits = 0;
+  /// When true, this launch's tasks depend on the previous launch *of the
+  /// same chain* (plus ring neighbors, for halo exchange).
+  bool depends_on_previous = true;
+  /// Dependence chain this launch belongs to. Launches in different chains
+  /// never gate each other (they share only the GPU). The DOM sweeps use
+  /// one chain per direction so the 8 directions overlap, while wavefronts
+  /// within a direction serialize — the algorithm's real structure.
+  int chain = 0;
+  /// Chains this launch additionally waits on (last completion), e.g. the
+  /// first DOM wavefront waits for the fluid chain, and the radiation
+  /// feedback joins all eight sweep chains.
+  std::vector<int> also_after_chains;
+  /// Rotation applied to the task->node assignment. Sweep wavefront w sets
+  /// this to w so successive wavefronts land on successive node groups (the
+  /// blocks' actual owners), letting the sweep pipeline instead of
+  /// re-serializing every wavefront on the same nodes.
+  uint32_t shard_offset = 0;
+};
+
+/// A simulated application: the launch sequence of one timestep, replayed
+/// for `iterations` timed iterations after `warmup` untimed ones (warmup
+/// captures traces and populates the sharding memo-cache, as on the real
+/// runtime).
+struct AppSpec {
+  std::string name;
+  std::vector<LaunchSpec> iteration;
+  int warmup = 2;
+  int iterations = 10;
+};
+
+/// One of the paper's experiment configurations (the DCR×IDX product of
+/// §6.2, plus the tracing and dynamic-check toggles of Figs. 6 and 10).
+struct SimConfig {
+  uint32_t nodes = 1;
+  bool dcr = true;
+  bool idx = true;
+  bool tracing = true;
+  bool dynamic_checks = true;
+  /// The paper's stated future work (§6.2.1): tracing that memoizes at the
+  /// granularity of whole index launches instead of individual tasks. With
+  /// this set, tracing no longer forces expansion before distribution in
+  /// the No-DCR pipeline, so index launches keep their asymptotic benefit
+  /// even without DCR. Only meaningful when `tracing` is also set.
+  bool bulk_tracing = false;
+  MachineParams machine;
+
+  std::string label() const {
+    std::string s = dcr ? "DCR" : "No DCR";
+    s += idx ? ", IDX" : ", No IDX";
+    return s;
+  }
+};
+
+/// Per-pipeline-stage busy time (seconds), aggregated over every node and
+/// iteration — the Fig. 2/3 stages made quantitative.
+struct StageBreakdown {
+  double issue_s = 0;         ///< task issuance + logical analysis
+  double check_s = 0;         ///< hybrid-analysis dynamic checks
+  double distribution_s = 0;  ///< sharding/slicing/expansion + message CPU
+  double physical_s = 0;      ///< physical analysis + per-launch meta-work
+  double kernel_s = 0;        ///< GPU execution
+
+  double runtime_total() const { return issue_s + check_s + distribution_s + physical_s; }
+};
+
+/// Simulation output for one (app, config) pair.
+struct SimResult {
+  double seconds_per_iteration = 0;   ///< steady-state, averaged over timed iters
+  double total_seconds = 0;
+  // Aggregate busy seconds across timed iterations, for breakdown tests
+  // and the ablation benches.
+  double util_busy_max_s = 0;         ///< max over nodes of runtime-processor busy time
+  double gpu_busy_max_s = 0;
+  double check_seconds = 0;           ///< dynamic-check time on the critical path node
+  uint64_t messages = 0;              ///< distribution messages sent
+  uint64_t runtime_ops = 0;           ///< issuance + analysis operations (all nodes)
+  StageBreakdown stages;              ///< where the busy time went (all nodes summed)
+};
+
+}  // namespace idxl::sim

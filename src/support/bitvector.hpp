@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace idxl {
+
+/// Fixed-capacity dynamic bit vector.
+///
+/// This is the "bitmask" of the paper's Listing 3: the dynamic projection
+/// functor check allocates one of these per partition, sized to the
+/// partition's color-space volume, and probes/sets one bit per evaluated
+/// domain point. std::vector<bool> would work but gives no control over
+/// word-level operations (popcount, fast clear) which the checker and the
+/// physical analysis both need.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + kWordBits - 1) / kWordBits, 0) {}
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool test(std::size_t i) const {
+    IDXL_ASSERT(i < nbits_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    IDXL_ASSERT(i < nbits_);
+    words_[i / kWordBits] |= uint64_t{1} << (i % kWordBits);
+  }
+
+  void reset(std::size_t i) {
+    IDXL_ASSERT(i < nbits_);
+    words_[i / kWordBits] &= ~(uint64_t{1} << (i % kWordBits));
+  }
+
+  /// Probe-and-set in one pass; returns the previous value. This is the
+  /// inner step of Listing 3 (read `conflict`, then set).
+  bool test_and_set(std::size_t i) {
+    IDXL_ASSERT(i < nbits_);
+    uint64_t& w = words_[i / kWordBits];
+    const uint64_t mask = uint64_t{1} << (i % kWordBits);
+    const bool was = (w & mask) != 0;
+    w |= mask;
+    return was;
+  }
+
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool any() const {
+    for (uint64_t w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  bool intersects(const BitVector& other) const {
+    const std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < n; ++i)
+      if (words_[i] & other.words_[i]) return true;
+    return false;
+  }
+
+  BitVector& operator|=(const BitVector& other) {
+    IDXL_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  BitVector& operator&=(const BitVector& other) {
+    IDXL_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.nbits_ == b.nbits_ && a.words_ == b.words_;
+  }
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  std::size_t nbits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace idxl

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace idxl {
+
+/// Thrown on violations of API contracts (bad arguments, misuse of the
+/// runtime from application code). Internal invariant violations abort
+/// instead, via IDXL_ASSERT.
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fatal(const char* file, int line, const char* cond,
+                               const char* msg) {
+  std::fprintf(stderr, "idxl fatal: %s:%d: assertion `%s` failed%s%s\n", file,
+               line, cond, msg[0] ? ": " : "", msg);
+  std::abort();
+}
+
+}  // namespace idxl
+
+// Internal invariant check. Always on: the cost is negligible next to the
+// work the runtime does per task, and silent corruption in a dependence
+// analyzer is far worse than an abort.
+#define IDXL_ASSERT(cond)                                 \
+  do {                                                    \
+    if (!(cond)) ::idxl::fatal(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+
+#define IDXL_ASSERT_MSG(cond, msg)                             \
+  do {                                                         \
+    if (!(cond)) ::idxl::fatal(__FILE__, __LINE__, #cond, msg); \
+  } while (0)
+
+// API contract check: throws, so applications can test failure modes.
+#define IDXL_REQUIRE(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond))                                                     \
+      throw ::idxl::RuntimeError(std::string("idxl: ") + (msg) +     \
+                                 " (violated: " #cond ")");          \
+  } while (0)

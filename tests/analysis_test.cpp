@@ -1,0 +1,652 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "analysis/hybrid.hpp"
+#include "support/rng.hpp"
+
+namespace idxl {
+namespace {
+
+// Brute-force injectivity oracle.
+bool brute_injective(const ProjectionFunctor& f, const Domain& d, const Rect& colors) {
+  std::unordered_set<int64_t> seen;
+  bool injective = true;
+  d.for_each([&](const Point& p) {
+    if (!injective) return;
+    const Point c = f(p);
+    if (!colors.contains(c)) return;  // Listing 3 skips out-of-bounds colors
+    if (!seen.insert(colors.linearize(c)).second) injective = false;
+  });
+  return injective;
+}
+
+// ---------- static_injectivity ----------
+
+TEST(StaticInjectivityTest, IdentityIsInjective) {
+  EXPECT_EQ(static_injectivity(ProjectionFunctor::identity(1), Domain::line(100)),
+            Tri::kYes);
+  EXPECT_EQ(static_injectivity(ProjectionFunctor::identity(3),
+                               Domain(Rect::box3(4, 4, 4))),
+            Tri::kYes);
+}
+
+TEST(StaticInjectivityTest, ConstantIsNotInjective) {
+  EXPECT_EQ(static_injectivity(ProjectionFunctor::symbolic({make_const(3)}),
+                               Domain::line(10)),
+            Tri::kNo);
+  // ...unless the domain has a single point.
+  EXPECT_EQ(static_injectivity(ProjectionFunctor::symbolic({make_const(3)}),
+                               Domain::line(1)),
+            Tri::kYes);
+}
+
+TEST(StaticInjectivityTest, AffineInjectiveIffNonDegenerate) {
+  EXPECT_EQ(static_injectivity(ProjectionFunctor::affine1d(2, 5), Domain::line(50)),
+            Tri::kYes);
+  EXPECT_EQ(static_injectivity(ProjectionFunctor::affine1d(-1, 0), Domain::line(50)),
+            Tri::kYes);
+  // a == 0 degenerates to a constant.
+  EXPECT_EQ(static_injectivity(ProjectionFunctor::affine1d(0, 5), Domain::line(50)),
+            Tri::kNo);
+}
+
+TEST(StaticInjectivityTest, SumOfCoordsNotInjectiveOnGrid) {
+  const auto f = ProjectionFunctor::symbolic({make_add(make_coord(0), make_coord(1))});
+  EXPECT_EQ(static_injectivity(f, Domain(Rect::box2(4, 4))), Tri::kNo);
+}
+
+TEST(StaticInjectivityTest, SumOfCoordsInjectiveOnDiagonalSliceIsUnknown) {
+  // On an anti-diagonal the null vector (1,-1) never connects two domain
+  // points... but it does: (0,3)+(1,-1)=(1,2) which IS in the slice. So
+  // x+y is constant on the slice — the static analyzer may prove kNo via
+  // the witness search. Either kNo or kUnknown is sound; never kYes.
+  std::vector<Point> diag;
+  for (int x = 0; x < 4; ++x) diag.push_back(Point::p2(x, 3 - x));
+  const auto f = ProjectionFunctor::symbolic({make_add(make_coord(0), make_coord(1))});
+  EXPECT_NE(static_injectivity(f, Domain::from_points(diag)), Tri::kYes);
+}
+
+TEST(StaticInjectivityTest, ModularIsUnknown) {
+  EXPECT_EQ(static_injectivity(ProjectionFunctor::modular1d(1, 5), Domain::line(5)),
+            Tri::kUnknown);
+}
+
+TEST(StaticInjectivityTest, QuadraticIsUnknown) {
+  const auto f = ProjectionFunctor::symbolic(
+      {make_add(make_mul(make_coord(0), make_coord(0)), make_coord(0))});
+  EXPECT_EQ(static_injectivity(f, Domain::line(10)), Tri::kUnknown);
+}
+
+TEST(StaticInjectivityTest, OpaqueIsUnknown) {
+  const auto f = ProjectionFunctor::opaque([](const Point& p) { return p; }, 1);
+  EXPECT_EQ(static_injectivity(f, Domain::line(10)), Tri::kUnknown);
+}
+
+// Property: the static verdict is *sound* against the brute-force oracle.
+TEST(StaticInjectivityTest, SoundnessProperty) {
+  Rng rng(99);
+  const Rect colors(Point::p1(-500), Point::p1(500));
+  for (int trial = 0; trial < 300; ++trial) {
+    const int64_t a = rng.next_in(-3, 3);
+    const int64_t b = rng.next_in(-10, 10);
+    const auto f = ProjectionFunctor::affine1d(a, b);
+    const Domain d = Domain::line(rng.next_in(1, 40));
+    const Tri verdict = static_injectivity(f, d);
+    const bool actual = brute_injective(f, d, colors);
+    if (verdict == Tri::kYes) {
+      EXPECT_TRUE(actual) << "a=" << a << " b=" << b;
+    }
+    if (verdict == Tri::kNo) {
+      EXPECT_FALSE(actual) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+// ---------- extended static classifier ----------
+
+TEST(ExtendedStaticTest, ModularInjectiveWithinPeriod) {
+  // (i + 3) mod 10 over [0, 10): one full period -> statically injective.
+  EXPECT_EQ(static_injectivity(ProjectionFunctor::modular1d(3, 10), Domain::line(10),
+                               /*extended=*/true),
+            Tri::kYes);
+  // Baseline analyzer still says unknown.
+  EXPECT_EQ(static_injectivity(ProjectionFunctor::modular1d(3, 10), Domain::line(10),
+                               /*extended=*/false),
+            Tri::kUnknown);
+}
+
+TEST(ExtendedStaticTest, ModularNonInjectiveBeyondPeriod) {
+  // i mod 3 over [0, 5): collision at (0, 3) — provable, values nonnegative.
+  EXPECT_EQ(static_injectivity(ProjectionFunctor::modular1d(0, 3), Domain::line(5),
+                               /*extended=*/true),
+            Tri::kNo);
+}
+
+TEST(ExtendedStaticTest, ModularGcdPeriod) {
+  // (2i) mod 10: period 10/gcd(2,10) = 5. Injective over [0,5), not [0,6).
+  const auto f = ProjectionFunctor::symbolic(
+      {make_mod(make_mul(make_const(2), make_coord(0)), make_const(10))});
+  EXPECT_EQ(static_injectivity(f, Domain::line(5), true), Tri::kYes);
+  EXPECT_EQ(static_injectivity(f, Domain::line(6), true), Tri::kNo);
+}
+
+TEST(ExtendedStaticTest, ModularMixedSignStaysUnknown) {
+  // (i - 3) mod 3 over [0, 6): values span negative and positive; C
+  // remainders of congruent values can differ, so kNo is not provable.
+  const auto f = ProjectionFunctor::symbolic(
+      {make_mod(make_sub(make_coord(0), make_const(3)), make_const(3))});
+  EXPECT_EQ(static_injectivity(f, Domain::line(6), true), Tri::kUnknown);
+}
+
+TEST(ExtendedStaticTest, MonotoneQuadraticInjective) {
+  // i^2 + 3i + 5 over [0, 100): strictly increasing.
+  const auto f = ProjectionFunctor::symbolic(
+      {make_add(make_add(make_mul(make_coord(0), make_coord(0)),
+                         make_mul(make_const(3), make_coord(0))),
+                make_const(5))});
+  EXPECT_EQ(static_injectivity(f, Domain::line(100), true), Tri::kYes);
+  EXPECT_EQ(static_injectivity(f, Domain::line(100), false), Tri::kUnknown);
+}
+
+TEST(ExtendedStaticTest, NonMonotoneQuadraticUnknown) {
+  // i^2 over [-3, 3]: the parabola turns inside the domain.
+  const auto f = ProjectionFunctor::symbolic({make_mul(make_coord(0), make_coord(0))});
+  EXPECT_EQ(static_injectivity(f, Domain(Rect(Point::p1(-3), Point::p1(3))), true),
+            Tri::kUnknown);
+}
+
+// Property: the extended classifier is sound against brute force for random
+// modular and quadratic functors.
+TEST(ExtendedStaticTest, SoundnessProperty) {
+  Rng rng(4242);
+  const Rect colors(Point::p1(-2000), Point::p1(2000));
+  for (int trial = 0; trial < 400; ++trial) {
+    ProjectionFunctor f = ProjectionFunctor::identity(1);
+    if (rng.next_below(2) == 0) {
+      const int64_t a = rng.next_in(-4, 4);
+      const int64_t b = rng.next_in(-8, 8);
+      const int64_t n = rng.next_in(1, 12);
+      f = ProjectionFunctor::symbolic({make_mod(
+          make_add(make_mul(make_const(a), make_coord(0)), make_const(b)),
+          make_const(n))});
+    } else {
+      const int64_t q = rng.next_in(-3, 3);
+      const int64_t a = rng.next_in(-6, 6);
+      f = ProjectionFunctor::symbolic(
+          {make_add(make_mul(make_const(q), make_mul(make_coord(0), make_coord(0))),
+                    make_mul(make_const(a), make_coord(0)))});
+    }
+    const int64_t lo = rng.next_in(-10, 10);
+    const Domain d(Rect(Point::p1(lo), Point::p1(lo + rng.next_in(0, 20))));
+    const Tri verdict = static_injectivity(f, d, /*extended=*/true);
+    const bool actual = brute_injective(f, d, colors);
+    if (verdict == Tri::kYes) {
+      EXPECT_TRUE(actual) << f.to_string() << " over " << d.to_string();
+    }
+    if (verdict == Tri::kNo) {
+      EXPECT_FALSE(actual) << f.to_string() << " over " << d.to_string();
+    }
+  }
+}
+
+TEST(ExtendedStaticTest, SameSlopeImagesDecided) {
+  const Domain d = Domain::line(10);
+  // Interleaved 2i vs 2i+1: different residues mod 2 -> disjoint.
+  EXPECT_EQ(static_images_disjoint(ProjectionFunctor::affine1d(2, 0),
+                                   ProjectionFunctor::affine1d(2, 1), d, true),
+            Tri::kYes);
+  // i vs i+3: shift 3 fits in a 10-wide domain -> overlap proven.
+  EXPECT_EQ(static_images_disjoint(ProjectionFunctor::affine1d(1, 0),
+                                   ProjectionFunctor::affine1d(1, 3), d, true),
+            Tri::kNo);
+  // 3i vs 3i+6: shift 2 fits -> overlap; 3i vs 3i+30: shift 10 doesn't.
+  EXPECT_EQ(static_images_disjoint(ProjectionFunctor::affine1d(3, 0),
+                                   ProjectionFunctor::affine1d(3, 6), d, true),
+            Tri::kNo);
+  EXPECT_EQ(static_images_disjoint(ProjectionFunctor::affine1d(3, 0),
+                                   ProjectionFunctor::affine1d(3, 30), d, true),
+            Tri::kYes);
+  // Baseline analyzer leaves the interleaved case unknown.
+  EXPECT_EQ(static_images_disjoint(ProjectionFunctor::affine1d(2, 0),
+                                   ProjectionFunctor::affine1d(2, 1), d, false),
+            Tri::kUnknown);
+}
+
+TEST(ExtendedStaticTest, SameSlopeImagesSoundnessProperty) {
+  Rng rng(777);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int64_t a = rng.next_in(1, 5) * (rng.next_below(2) ? 1 : -1);
+    const auto f = ProjectionFunctor::affine1d(a, rng.next_in(-10, 10));
+    const auto g = ProjectionFunctor::affine1d(a, rng.next_in(-10, 10));
+    const Domain d = Domain::line(rng.next_in(1, 20));
+    const Tri verdict = static_images_disjoint(f, g, d, true);
+
+    std::unordered_set<int64_t> fi;
+    bool overlap = false;
+    d.for_each([&](const Point& p) { fi.insert(f(p)[0]); });
+    d.for_each([&](const Point& p) {
+      if (fi.count(g(p)[0])) overlap = true;
+    });
+    if (verdict == Tri::kYes) {
+      EXPECT_FALSE(overlap);
+    }
+    if (verdict == Tri::kNo) {
+      EXPECT_TRUE(overlap);
+    }
+    // This family is fully decidable: never unknown.
+    EXPECT_NE(verdict, Tri::kUnknown);
+  }
+}
+
+TEST(ExtendedStaticTest, HybridSkipsDynamicCheckWhenExtendedProves) {
+  const auto f = ProjectionFunctor::modular1d(3, 10);
+  CheckArg arg;
+  arg.functor = &f;
+  arg.color_space = Rect::line(10);
+  arg.partition_disjoint = true;
+  arg.partition_uid = 1;
+  arg.collection_uid = 1;
+  arg.priv = Privilege::kWrite;
+  std::vector<CheckArg> args = {arg};
+
+  AnalysisOptions extended;
+  extended.extended_static = true;
+  const auto report = analyze_launch_safety(args, Domain::line(10), extended);
+  EXPECT_EQ(report.outcome, SafetyOutcome::kSafeStatic);
+  EXPECT_EQ(report.dynamic_points, 0u);
+}
+
+// ---------- static_images_disjoint ----------
+
+TEST(StaticImagesDisjointTest, IdenticalFunctorsOverlap) {
+  const auto f = ProjectionFunctor::affine1d(1, 0);
+  const auto g = ProjectionFunctor::affine1d(1, 0);
+  EXPECT_EQ(static_images_disjoint(f, g, Domain::line(10)), Tri::kNo);
+}
+
+TEST(StaticImagesDisjointTest, ShiftedBeyondDomainDisjoint) {
+  // f = i, g = i + 100 over [0,10): image boxes [0,9] and [100,109].
+  const auto f = ProjectionFunctor::affine1d(1, 0);
+  const auto g = ProjectionFunctor::affine1d(1, 100);
+  EXPECT_EQ(static_images_disjoint(f, g, Domain::line(10)), Tri::kYes);
+}
+
+TEST(StaticImagesDisjointTest, OverlappingBoxesUnknown) {
+  const auto f = ProjectionFunctor::affine1d(1, 0);
+  const auto g = ProjectionFunctor::affine1d(1, 5);
+  EXPECT_EQ(static_images_disjoint(f, g, Domain::line(10)), Tri::kUnknown);
+}
+
+TEST(StaticImagesDisjointTest, ModularUnknown) {
+  const auto f = ProjectionFunctor::modular1d(0, 7);
+  const auto g = ProjectionFunctor::modular1d(3, 7);
+  EXPECT_EQ(static_images_disjoint(f, g, Domain::line(7)), Tri::kUnknown);
+}
+
+// ---------- dynamic_self_check (Listing 3) ----------
+
+TEST(DynamicSelfCheckTest, IdentityPasses) {
+  const auto f = ProjectionFunctor::identity(1);
+  const auto r = dynamic_self_check(f, Rect::line(100), Domain::line(100));
+  EXPECT_TRUE(r.safe);
+  EXPECT_EQ(r.points_evaluated, 100u);
+}
+
+TEST(DynamicSelfCheckTest, PaperExampleIMod3Over5Fails) {
+  // The paper's running example: i % 3 over [0, 5) is not injective.
+  const auto f = ProjectionFunctor::modular1d(0, 3);
+  const auto r = dynamic_self_check(f, Rect::line(3), Domain::line(5));
+  EXPECT_FALSE(r.safe);
+  // Early exit: the duplicate appears at i=3 (4th evaluation).
+  EXPECT_EQ(r.points_evaluated, 4u);
+}
+
+TEST(DynamicSelfCheckTest, ModularInjectiveWhenDomainFits) {
+  const auto f = ProjectionFunctor::modular1d(2, 5);
+  EXPECT_TRUE(dynamic_self_check(f, Rect::line(5), Domain::line(5)).safe);
+}
+
+TEST(DynamicSelfCheckTest, OutOfBoundsColorsAreSkipped) {
+  // f(i) = i - 10 over [0,20): colors [-10,9]; negatives skipped per the
+  // bounds check in Listing 3, the rest unique -> safe.
+  const auto f = ProjectionFunctor::affine1d(1, -10);
+  const auto r = dynamic_self_check(f, Rect::line(10), Domain::line(20));
+  EXPECT_TRUE(r.safe);
+}
+
+TEST(DynamicSelfCheckTest, QuadraticSafe) {
+  // i*i over [0,10) is injective (no negatives in domain).
+  const auto f = ProjectionFunctor::symbolic({make_mul(make_coord(0), make_coord(0))});
+  EXPECT_TRUE(dynamic_self_check(f, Rect::line(100), Domain::line(10)).safe);
+}
+
+TEST(DynamicSelfCheckTest, QuadraticUnsafeWithNegatives) {
+  // i*i collides for i and -i.
+  const auto f = ProjectionFunctor::symbolic({make_mul(make_coord(0), make_coord(0))});
+  const Domain d(Rect(Point::p1(-3), Point::p1(3)));
+  EXPECT_FALSE(dynamic_self_check(f, Rect::line(100), d).safe);
+}
+
+TEST(DynamicSelfCheckTest, MultiDimLinearization) {
+  // 3-D diagonal slice projected to (x,y): duplicates exist iff two wave
+  // cells share (x,y). For the x+y+z=k wavefront, (x,y) determines z, so
+  // the projection is injective — exactly the DOM safety argument.
+  std::vector<Point> wave;
+  for (int x = 0; x < 4; ++x)
+    for (int y = 0; y < 4; ++y)
+      for (int z = 0; z < 4; ++z)
+        if (x + y + z == 4) wave.push_back(Point::p3(x, y, z));
+  const auto f = ProjectionFunctor::symbolic({make_coord(0), make_coord(1)}, "xy");
+  const auto r = dynamic_self_check(f, Rect::box2(4, 4), Domain::from_points(wave));
+  EXPECT_TRUE(r.safe);
+
+  // Projecting to (x) alone is NOT injective on the wavefront.
+  const auto g = ProjectionFunctor::symbolic({make_coord(0)}, "x");
+  EXPECT_FALSE(dynamic_self_check(g, Rect::line(4), Domain::from_points(wave)).safe);
+}
+
+TEST(DynamicSelfCheckTest, OpaqueFunctorWorks) {
+  const auto f = ProjectionFunctor::opaque(
+      [](const Point& p) { return Point::p1(p[0] / 2); }, 1);
+  EXPECT_FALSE(dynamic_self_check(f, Rect::line(10), Domain::line(10)).safe);
+}
+
+// Property: the dynamic check is sound AND complete vs the brute oracle.
+class DynamicCheckProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicCheckProperty, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    // Random functor: affine, modular, quadratic or div.
+    ProjectionFunctor f = ProjectionFunctor::identity(1);
+    switch (rng.next_below(4)) {
+      case 0: f = ProjectionFunctor::affine1d(rng.next_in(-3, 3), rng.next_in(-5, 5)); break;
+      case 1: f = ProjectionFunctor::modular1d(rng.next_in(0, 7), rng.next_in(1, 9)); break;
+      case 2:
+        f = ProjectionFunctor::symbolic(
+            {make_add(make_mul(make_coord(0), make_coord(0)),
+                      make_mul(make_const(rng.next_in(-2, 2)), make_coord(0)))});
+        break;
+      default:
+        f = ProjectionFunctor::symbolic(
+            {make_div(make_coord(0), make_const(rng.next_in(1, 4)))});
+        break;
+    }
+    const Domain d = Domain::line(rng.next_in(1, 30));
+    const Rect colors = Rect::line(rng.next_in(1, 40));
+    const bool expected = brute_injective(f, d, colors);
+    EXPECT_EQ(dynamic_self_check(f, colors, d).safe, expected)
+        << f.to_string() << " over " << d.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicCheckProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------- dynamic_cross_check ----------
+
+CheckArg make_arg(const ProjectionFunctor& f, const Rect& colors, Privilege priv,
+                  uint32_t partition_uid = 1, uint32_t collection_uid = 1,
+                  bool disjoint = true) {
+  CheckArg a;
+  a.functor = &f;
+  a.color_space = colors;
+  a.partition_disjoint = disjoint;
+  a.partition_uid = partition_uid;
+  a.collection_uid = collection_uid;
+  a.priv = priv;
+  return a;
+}
+
+TEST(DynamicCrossCheckTest, DisjointImagesPass) {
+  // write p[2i], read p[2i+1]: images interleave but never collide.
+  const auto fw = ProjectionFunctor::affine1d(2, 0);
+  const auto fr = ProjectionFunctor::affine1d(2, 1);
+  std::vector<CheckArg> args = {make_arg(fw, Rect::line(20), Privilege::kWrite),
+                                make_arg(fr, Rect::line(20), Privilege::kRead)};
+  EXPECT_TRUE(dynamic_cross_check(args, Domain::line(10)).safe);
+}
+
+TEST(DynamicCrossCheckTest, WriteReadCollisionCaught) {
+  // write p[i], read p[i+1]: task i+1 reads what task i writes... actually
+  // writes {0..9}, reads {1..10} — overlap on {1..9} -> conflict.
+  const auto fw = ProjectionFunctor::affine1d(1, 0);
+  const auto fr = ProjectionFunctor::affine1d(1, 1);
+  std::vector<CheckArg> args = {make_arg(fw, Rect::line(20), Privilege::kWrite),
+                                make_arg(fr, Rect::line(20), Privilege::kRead)};
+  EXPECT_FALSE(dynamic_cross_check(args, Domain::line(10)).safe);
+}
+
+TEST(DynamicCrossCheckTest, WritesCheckedBeforeReadsRegardlessOfOrder) {
+  // Same as above but with the read argument listed first; the §4 ordering
+  // (writes first) must still catch the conflict.
+  const auto fw = ProjectionFunctor::affine1d(1, 0);
+  const auto fr = ProjectionFunctor::affine1d(1, 1);
+  std::vector<CheckArg> args = {make_arg(fr, Rect::line(20), Privilege::kRead),
+                                make_arg(fw, Rect::line(20), Privilege::kWrite)};
+  EXPECT_FALSE(dynamic_cross_check(args, Domain::line(10)).safe);
+}
+
+TEST(DynamicCrossCheckTest, ReadsDoNotConflictWithReads) {
+  const auto f = ProjectionFunctor::affine1d(1, 0);
+  const auto g = ProjectionFunctor::affine1d(1, 0);  // same image, both read
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(10), Privilege::kRead),
+                                make_arg(g, Rect::line(10), Privilege::kRead)};
+  const auto r = dynamic_cross_check(args, Domain::line(10));
+  EXPECT_TRUE(r.safe);
+  EXPECT_EQ(r.points_evaluated, 0u);  // group skipped entirely: no writer
+}
+
+TEST(DynamicCrossCheckTest, WriteWriteCollisionCaught) {
+  const auto f = ProjectionFunctor::affine1d(1, 0);
+  const auto g = ProjectionFunctor::affine1d(-1, 9);  // mirror: meets f at 4/5
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(10), Privilege::kWrite),
+                                make_arg(g, Rect::line(10), Privilege::kWrite)};
+  EXPECT_FALSE(dynamic_cross_check(args, Domain::line(10)).safe);
+}
+
+TEST(DynamicCrossCheckTest, SeparatePartitionsUseSeparateBitmasks) {
+  // Identical functors on *different* partitions never collide here.
+  const auto f = ProjectionFunctor::affine1d(1, 0);
+  const auto g = ProjectionFunctor::affine1d(1, 0);
+  std::vector<CheckArg> args = {
+      make_arg(f, Rect::line(10), Privilege::kWrite, /*partition=*/1),
+      make_arg(g, Rect::line(10), Privilege::kWrite, /*partition=*/2)};
+  EXPECT_TRUE(dynamic_cross_check(args, Domain::line(10)).safe);
+}
+
+TEST(DynamicCrossCheckTest, SelfDuplicateOfWriterCaught) {
+  const auto f = ProjectionFunctor::modular1d(0, 3);
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(3), Privilege::kWrite)};
+  EXPECT_FALSE(dynamic_cross_check(args, Domain::line(5)).safe);
+}
+
+TEST(DynamicCrossCheckTest, ManyArgsLinearCost) {
+  // 5 read args + 1 write arg, all safe: evaluations = 6 * |D|.
+  const auto fw = ProjectionFunctor::affine1d(6, 0);
+  std::vector<ProjectionFunctor> readers;
+  for (int k = 1; k < 6; ++k) readers.push_back(ProjectionFunctor::affine1d(6, k));
+  std::vector<CheckArg> args = {make_arg(fw, Rect::line(60), Privilege::kWrite)};
+  for (const auto& fr : readers)
+    args.push_back(make_arg(fr, Rect::line(60), Privilege::kRead));
+  const auto r = dynamic_cross_check(args, Domain::line(10));
+  EXPECT_TRUE(r.safe);
+  EXPECT_EQ(r.points_evaluated, 60u);
+}
+
+// ---------- hybrid analyze_launch_safety ----------
+
+TEST(HybridTest, TriviallySafeStatic) {
+  const auto f = ProjectionFunctor::identity(1);
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(10), Privilege::kWrite)};
+  const auto report = analyze_launch_safety(args, Domain::line(10));
+  EXPECT_EQ(report.outcome, SafetyOutcome::kSafeStatic);
+  EXPECT_EQ(report.dynamic_points, 0u);
+}
+
+TEST(HybridTest, ReadOnlyAlwaysSafeEvenNonInjective) {
+  const auto f = ProjectionFunctor::modular1d(0, 3);
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(3), Privilege::kRead)};
+  EXPECT_EQ(analyze_launch_safety(args, Domain::line(10)).outcome,
+            SafetyOutcome::kSafeStatic);
+}
+
+TEST(HybridTest, ReductionExemptFromSelfCheck) {
+  // Constant functor with reduce privilege: all tasks reduce into one
+  // sub-collection — safe (§3 self-check exemption).
+  const auto f = ProjectionFunctor::symbolic({make_const(0)});
+  auto arg = make_arg(f, Rect::line(1), Privilege::kReduce);
+  arg.redop = ReductionOp::kSum;
+  std::vector<CheckArg> args = {arg};
+  EXPECT_EQ(analyze_launch_safety(args, Domain::line(100)).outcome,
+            SafetyOutcome::kSafeStatic);
+}
+
+TEST(HybridTest, WriteOnAliasedPartitionUnsafe) {
+  const auto f = ProjectionFunctor::identity(1);
+  std::vector<CheckArg> args = {
+      make_arg(f, Rect::line(10), Privilege::kWrite, 1, 1, /*disjoint=*/false)};
+  const auto report = analyze_launch_safety(args, Domain::line(10));
+  EXPECT_EQ(report.outcome, SafetyOutcome::kUnsafe);
+  EXPECT_NE(report.reason.find("aliased"), std::string::npos);
+}
+
+TEST(HybridTest, StaticallyNonInjectiveWriteUnsafe) {
+  const auto f = ProjectionFunctor::affine1d(0, 3);  // constant
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(10), Privilege::kWrite)};
+  EXPECT_EQ(analyze_launch_safety(args, Domain::line(10)).outcome,
+            SafetyOutcome::kUnsafe);
+}
+
+TEST(HybridTest, PaperExampleListing2) {
+  // foo(p[i], q[i%3]) over [0,5): reads p, writes q. Write functor i%3 is
+  // not statically analyzable -> dynamic check -> conflict -> unsafe.
+  const auto fp = ProjectionFunctor::identity(1);
+  const auto fq = ProjectionFunctor::modular1d(0, 3);
+  std::vector<CheckArg> args = {
+      make_arg(fp, Rect::line(5), Privilege::kRead, 1, 1),
+      make_arg(fq, Rect::line(3), Privilege::kWrite, 2, 2)};
+  const auto report = analyze_launch_safety(args, Domain::line(5));
+  EXPECT_EQ(report.outcome, SafetyOutcome::kUnsafe);
+  EXPECT_GT(report.dynamic_points, 0u);
+}
+
+TEST(HybridTest, ModularSafeCaseGoesDynamic) {
+  const auto f = ProjectionFunctor::modular1d(3, 10);
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(10), Privilege::kWrite)};
+  const auto report = analyze_launch_safety(args, Domain::line(10));
+  EXPECT_EQ(report.outcome, SafetyOutcome::kSafeDynamic);
+  EXPECT_EQ(report.dynamic_points, 10u);
+}
+
+TEST(HybridTest, DynamicChecksCanBeDisabled) {
+  const auto f = ProjectionFunctor::modular1d(3, 10);
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(10), Privilege::kWrite)};
+  AnalysisOptions options;
+  options.enable_dynamic_checks = false;
+  const auto report = analyze_launch_safety(args, Domain::line(10), options);
+  EXPECT_EQ(report.outcome, SafetyOutcome::kSafeUnchecked);
+  EXPECT_EQ(report.dynamic_points, 0u);
+}
+
+TEST(HybridTest, CrossCheckSamePartitionDisjointImagesStatic) {
+  // write p[i], read p[i + N]: image boxes provably disjoint -> static.
+  const auto fw = ProjectionFunctor::affine1d(1, 0);
+  const auto fr = ProjectionFunctor::affine1d(1, 100);
+  std::vector<CheckArg> args = {
+      make_arg(fw, Rect::line(200), Privilege::kWrite, 1, 1),
+      make_arg(fr, Rect::line(200), Privilege::kRead, 1, 1)};
+  EXPECT_EQ(analyze_launch_safety(args, Domain::line(10)).outcome,
+            SafetyOutcome::kSafeStatic);
+}
+
+TEST(HybridTest, CrossCheckIdenticalFunctorsWithWriterUnsafe) {
+  const auto fw = ProjectionFunctor::affine1d(1, 0);
+  const auto fr = ProjectionFunctor::affine1d(1, 0);
+  std::vector<CheckArg> args = {
+      make_arg(fw, Rect::line(10), Privilege::kWrite, 1, 1),
+      make_arg(fr, Rect::line(10), Privilege::kRead, 1, 1)};
+  EXPECT_EQ(analyze_launch_safety(args, Domain::line(10)).outcome,
+            SafetyOutcome::kUnsafe);
+}
+
+TEST(HybridTest, CrossCheckUnknownImagesGoDynamic) {
+  // write p[2i], read p[2i+1]: boxes overlap, images actually disjoint.
+  const auto fw = ProjectionFunctor::affine1d(2, 0);
+  const auto fr = ProjectionFunctor::affine1d(2, 1);
+  std::vector<CheckArg> args = {
+      make_arg(fw, Rect::line(20), Privilege::kWrite, 1, 1),
+      make_arg(fr, Rect::line(20), Privilege::kRead, 1, 1)};
+  const auto report = analyze_launch_safety(args, Domain::line(10));
+  EXPECT_EQ(report.outcome, SafetyOutcome::kSafeDynamic);
+}
+
+TEST(HybridTest, DifferentCollectionsIndependent) {
+  // Write on two different collections with wild functors on one of them:
+  // cross-check passes by rule 2; self-check still applies per-arg.
+  const auto fw = ProjectionFunctor::identity(1);
+  std::vector<CheckArg> args = {
+      make_arg(fw, Rect::line(10), Privilege::kWrite, 1, /*collection=*/1),
+      make_arg(fw, Rect::line(10), Privilege::kWrite, 2, /*collection=*/2)};
+  EXPECT_EQ(analyze_launch_safety(args, Domain::line(10)).outcome,
+            SafetyOutcome::kSafeStatic);
+}
+
+TEST(HybridTest, OverlappingPartitionsOfSameCollectionUnsafe) {
+  // Write through partition 1, read through partition 2, same collection:
+  // no §3 rule can discharge this pair.
+  const auto f = ProjectionFunctor::identity(1);
+  std::vector<CheckArg> args = {
+      make_arg(f, Rect::line(10), Privilege::kWrite, 1, 1),
+      make_arg(f, Rect::line(10), Privilege::kRead, 2, 1)};
+  const auto report = analyze_launch_safety(args, Domain::line(10));
+  EXPECT_EQ(report.outcome, SafetyOutcome::kUnsafe);
+}
+
+TEST(HybridTest, PairIndependentCallbackOverrides) {
+  // Same as above, but the runtime knows the partitions' parents are
+  // actually disjoint sub-collections.
+  const auto f = ProjectionFunctor::identity(1);
+  std::vector<CheckArg> args = {
+      make_arg(f, Rect::line(10), Privilege::kWrite, 1, 1),
+      make_arg(f, Rect::line(10), Privilege::kRead, 2, 1)};
+  const auto report = analyze_launch_safety(
+      args, Domain::line(10), {}, [](std::size_t, std::size_t) { return true; });
+  EXPECT_EQ(report.outcome, SafetyOutcome::kSafeStatic);
+}
+
+TEST(HybridTest, ReductionsSameOpSafeDifferentOpsChecked) {
+  const auto f = ProjectionFunctor::symbolic({make_const(0)});
+  auto a = make_arg(f, Rect::line(1), Privilege::kReduce, 1, 1);
+  a.redop = ReductionOp::kSum;
+  auto b = a;
+  // Same op: rule 1 applies.
+  std::vector<CheckArg> args = {a, b};
+  EXPECT_EQ(analyze_launch_safety(args, Domain::line(10)).outcome,
+            SafetyOutcome::kSafeStatic);
+  // Different ops on the same constant target: interference.
+  b.redop = ReductionOp::kMax;
+  std::vector<CheckArg> args2 = {a, b};
+  EXPECT_EQ(analyze_launch_safety(args2, Domain::line(10)).outcome,
+            SafetyOutcome::kUnsafe);
+}
+
+TEST(HybridTest, DomSweepPlaneProjectionSafeDynamic) {
+  // The Soleil-X DOM pattern (§6.2.3): launch over a 3-D wavefront, write
+  // through the (x,y) plane projection. Safe iff no duplicate (x,y) pairs
+  // in the wavefront — true for x+y+z = k slices; only the dynamic check
+  // can see it.
+  std::vector<Point> wave;
+  for (int x = 0; x < 4; ++x)
+    for (int y = 0; y < 4; ++y)
+      for (int z = 0; z < 4; ++z)
+        if (x + y + z == 4) wave.push_back(Point::p3(x, y, z));
+  const auto f = ProjectionFunctor::symbolic({make_coord(0), make_coord(1)}, "xy");
+  std::vector<CheckArg> args = {make_arg(f, Rect::box2(4, 4), Privilege::kWrite)};
+  const auto report = analyze_launch_safety(args, Domain::from_points(wave));
+  EXPECT_EQ(report.outcome, SafetyOutcome::kSafeDynamic);
+}
+
+}  // namespace
+}  // namespace idxl

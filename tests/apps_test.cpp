@@ -1,0 +1,456 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/circuit.hpp"
+#include "apps/fft.hpp"
+#include "apps/soleil.hpp"
+#include "apps/spmv.hpp"
+#include "apps/stencil.hpp"
+#include "apps/tree.hpp"
+
+namespace idxl::apps {
+namespace {
+
+// ---------- Circuit ----------
+
+class CircuitValidation
+    : public ::testing::TestWithParam<std::tuple<int64_t, int, bool>> {};
+
+TEST_P(CircuitValidation, MatchesSerialReference) {
+  const auto [pieces, pct_external, idx_enabled] = GetParam();
+  CircuitParams params;
+  params.pieces = pieces;
+  params.nodes_per_piece = 12;
+  params.wires_per_piece = 24;
+  params.pct_external = pct_external;
+  params.iterations = 5;
+
+  RuntimeConfig cfg;
+  cfg.enable_index_launches = idx_enabled;
+  Runtime rt(cfg);
+  CircuitApp app(rt, params);
+  app.run(params.iterations);
+
+  const auto expected = CircuitApp::reference_voltages(params, params.iterations);
+  const auto actual = app.voltages();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    ASSERT_NEAR(actual[i], expected[i], 1e-11) << "node " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CircuitValidation,
+    ::testing::Values(std::make_tuple(1, 0, true), std::make_tuple(4, 10, true),
+                      std::make_tuple(8, 30, true), std::make_tuple(4, 10, false),
+                      std::make_tuple(6, 50, true)));
+
+TEST(CircuitTest, AllLaunchesRunAsIndexLaunches) {
+  CircuitParams params;
+  Runtime rt;
+  CircuitApp app(rt, params);
+  EXPECT_TRUE(app.run_iteration());
+  rt.wait_all();
+  // 3 launches, each one bulk runtime call, all statically verified.
+  EXPECT_EQ(rt.stats().runtime_calls, 3u);
+  EXPECT_EQ(rt.stats().index_launches, 3u);
+  EXPECT_EQ(rt.stats().launches_safe_static, 3u);
+  EXPECT_EQ(rt.stats().launches_unsafe, 0u);
+  EXPECT_EQ(rt.stats().point_tasks, 3u * static_cast<uint64_t>(params.pieces));
+}
+
+TEST(CircuitTest, DeterministicAcrossRuns) {
+  CircuitParams params;
+  params.pieces = 4;
+  params.pct_external = 20;
+  auto run_once = [&] {
+    Runtime rt;
+    CircuitApp app(rt, params);
+    app.run(4);
+    return app.voltages();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(CircuitTest, CurrentsFlowAcrossPieces) {
+  CircuitParams params;
+  params.pieces = 4;
+  params.pct_external = 50;
+  Runtime rt;
+  CircuitApp app(rt, params);
+  app.run(1);
+  const auto currents = app.currents();
+  double total = 0;
+  for (double c : currents) total += std::abs(c);
+  EXPECT_GT(total, 0.0);
+}
+
+// ---------- Stencil ----------
+
+class StencilValidation
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t, bool>> {};
+
+TEST_P(StencilValidation, MatchesSerialReference) {
+  const auto [n, p, radius, idx_enabled] = GetParam();
+  StencilParams params;
+  params.nx = n;
+  params.ny = n;
+  params.px = p;
+  params.py = p;
+  params.radius = radius;
+  params.iterations = 4;
+
+  RuntimeConfig cfg;
+  cfg.enable_index_launches = idx_enabled;
+  Runtime rt(cfg);
+  StencilApp app(rt, params);
+  app.run(params.iterations);
+
+  const auto expected = StencilApp::reference_output(params, params.iterations);
+  const auto actual = app.output();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    ASSERT_NEAR(actual[i], expected[i], 1e-10) << "cell " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, StencilValidation,
+                         ::testing::Values(std::make_tuple(24, 2, 2, true),
+                                           std::make_tuple(36, 3, 2, true),
+                                           std::make_tuple(32, 4, 1, true),
+                                           std::make_tuple(24, 2, 2, false),
+                                           std::make_tuple(30, 1, 3, true)));
+
+TEST(StencilTest, LaunchesAreStaticallyVerified) {
+  StencilParams params;
+  Runtime rt;
+  StencilApp app(rt, params);
+  EXPECT_TRUE(app.run_iteration());
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().launches_safe_static, 2u);
+  EXPECT_EQ(rt.stats().launches_safe_dynamic, 0u);
+}
+
+TEST(StencilTest, InputGrowsByIterations) {
+  StencilParams params;
+  params.iterations = 3;
+  Runtime rt;
+  StencilApp app(rt, params);
+  app.run(3);
+  const auto in = app.input();
+  // in(0,0) started at 0 and was incremented 3 times.
+  EXPECT_DOUBLE_EQ(in[0], 3.0);
+}
+
+// ---------- MiniSoleil ----------
+
+class SoleilValidation : public ::testing::TestWithParam<std::tuple<int64_t, int64_t,
+                                                                    int64_t, bool>> {};
+
+TEST_P(SoleilValidation, MatchesSerialReference) {
+  const auto [bx, by, bz, idx_enabled] = GetParam();
+  SoleilParams params;
+  params.bx = bx;
+  params.by = by;
+  params.bz = bz;
+  params.cx = 3;
+  params.cy = 3;
+  params.cz = 3;
+  params.iterations = 3;
+
+  RuntimeConfig cfg;
+  cfg.enable_index_launches = idx_enabled;
+  Runtime rt(cfg);
+  SoleilApp app(rt, params);
+  app.run(params.iterations);
+
+  const auto ref = SoleilApp::reference(params, params.iterations);
+  const auto temp = app.temperatures();
+  ASSERT_EQ(temp.size(), ref.temperature.size());
+  for (std::size_t i = 0; i < temp.size(); ++i)
+    ASSERT_NEAR(temp[i], ref.temperature[i], 1e-10) << "cell " << i;
+
+  for (int d = 0; d < 8; ++d) {
+    const auto intensity = app.intensity(d);
+    const auto& expected = ref.intensity[static_cast<std::size_t>(d)];
+    ASSERT_EQ(intensity.size(), expected.size());
+    for (std::size_t i = 0; i < intensity.size(); ++i)
+      ASSERT_NEAR(intensity[i], expected[i], 1e-10) << "dir " << d << " block " << i;
+  }
+
+  const auto ptemp = app.particle_temps();
+  ASSERT_EQ(ptemp.size(), ref.particle_temp.size());
+  for (std::size_t i = 0; i < ptemp.size(); ++i)
+    ASSERT_NEAR(ptemp[i], ref.particle_temp[i], 1e-10) << "particle " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SoleilValidation,
+                         ::testing::Values(std::make_tuple(2, 2, 2, true),
+                                           std::make_tuple(3, 2, 2, true),
+                                           std::make_tuple(1, 1, 1, true),
+                                           std::make_tuple(2, 2, 2, false),
+                                           std::make_tuple(4, 1, 2, true)));
+
+TEST(SoleilTest, FluidOnlyConfigurationMatchesReference) {
+  // The paper's Fig. 9 configuration: fluid module alone.
+  SoleilParams params;
+  params.bx = params.by = params.bz = 2;
+  params.enable_dom = false;
+  params.enable_particles = false;
+  params.iterations = 4;
+  Runtime rt;
+  SoleilApp app(rt, params);
+  const auto stats = app.run_iteration();
+  EXPECT_EQ(stats.launches, 2);  // diffuse + copy only
+  EXPECT_EQ(stats.dynamic_checked, 0);
+  app.run(params.iterations - 1);
+
+  const auto ref = SoleilApp::reference(params, params.iterations);
+  const auto temp = app.temperatures();
+  for (std::size_t i = 0; i < temp.size(); ++i)
+    ASSERT_NEAR(temp[i], ref.temperature[i], 1e-10) << i;
+  // Radiation never ran.
+  for (double v : app.intensity(0)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SoleilTest, DomSweepsUseDynamicChecks) {
+  SoleilParams params;
+  params.bx = params.by = params.bz = 2;
+  Runtime rt;
+  SoleilApp app(rt, params);
+  const auto stats = app.run_iteration();
+  rt.wait_all();
+
+  EXPECT_EQ(stats.launches, stats.index_launches);  // nothing fell back
+  // Every multi-block interior wavefront needs the dynamic check; with a
+  // 2x2x2 grid each sweep has wavefronts of sizes 1,3,3,1 — the two
+  // size-3 fronts go dynamic, and the size-1 fronts are trivially static.
+  EXPECT_EQ(stats.dynamic_checked, 8 * 2);
+  EXPECT_GT(rt.stats().launches_safe_dynamic, 0u);
+  EXPECT_EQ(rt.stats().launches_unsafe, 0u);
+}
+
+TEST(SoleilTest, DynamicChecksCanBeDisabledWithSameResult) {
+  SoleilParams params;
+  params.bx = params.by = params.bz = 2;
+  params.iterations = 2;
+
+  auto run_with = [&](bool checks) {
+    RuntimeConfig cfg;
+    cfg.enable_dynamic_checks = checks;
+    Runtime rt(cfg);
+    SoleilApp app(rt, params);
+    app.run(params.iterations);
+    return app.temperatures();
+  };
+  EXPECT_EQ(run_with(true), run_with(false));
+}
+
+TEST(SoleilTest, SweepSignsCoverAllCorners) {
+  std::set<std::array<int, 3>> seen;
+  for (int d = 0; d < 8; ++d) seen.insert(sweep_signs(d));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SoleilTest, IntensityDecreasesAwayFromInflowCorner) {
+  // For direction 0 (+++), the sweep enters at block (0,0,0); intensity
+  // attenuates with distance from the inflow boundary when the source is
+  // small relative to the boundary intensity.
+  SoleilParams params;
+  params.bx = params.by = params.bz = 3;
+  params.boundary_intensity = 100.0;
+  Runtime rt;
+  SoleilApp app(rt, params);
+  app.run(1);
+  const auto intensity = app.intensity(0);
+  auto at = [&](int64_t x, int64_t y, int64_t z) {
+    return intensity[static_cast<std::size_t>((x * 3 + y) * 3 + z)];
+  };
+  EXPECT_GT(at(0, 0, 0), at(1, 1, 1));
+  EXPECT_GT(at(1, 1, 1), at(2, 2, 2));
+}
+
+// ---------- FFT (Fig. 1c pattern) ----------
+
+class FftValidation : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, bool>> {};
+
+TEST_P(FftValidation, MatchesReferenceDft) {
+  const auto [n, blocks, idx_enabled] = GetParam();
+  FftParams params;
+  params.n = n;
+  params.blocks = blocks;
+
+  RuntimeConfig cfg;
+  cfg.enable_index_launches = idx_enabled;
+  Runtime rt(cfg);
+  FftApp app(rt, params);
+  app.run_forward();
+
+  const auto expected = FftApp::reference_dft(app.input());
+  const auto actual = app.result();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    ASSERT_NEAR(std::abs(actual[i] - expected[i]), 0.0, 1e-8) << "bin " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, FftValidation,
+                         ::testing::Values(std::make_tuple(16, 4, true),
+                                           std::make_tuple(64, 8, true),
+                                           std::make_tuple(128, 16, true),
+                                           std::make_tuple(64, 8, false),
+                                           std::make_tuple(32, 32, true),
+                                           std::make_tuple(64, 1, true)));
+
+TEST(FftTest, CrossStagesUseDynamicChecks) {
+  FftParams params;
+  params.n = 64;
+  params.blocks = 8;
+  Runtime rt;
+  FftApp app(rt, params);
+  // Block size 8: spans 16, 32, 64 cross blocks -> 3 dynamically checked
+  // butterfly launches.
+  EXPECT_EQ(app.run_forward(), 3);
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().launches_unsafe, 0u);
+  EXPECT_EQ(rt.stats().launches_safe_dynamic, 3u);
+}
+
+TEST(FftTest, InverseRoundTripsToInput) {
+  FftParams params;
+  params.n = 64;
+  params.blocks = 8;
+  Runtime rt;
+  FftApp app(rt, params);
+  app.run_forward();
+  app.run_inverse();
+  const auto back = app.result();
+  for (std::size_t i = 0; i < back.size(); ++i)
+    ASSERT_NEAR(std::abs(back[i] - app.input()[i]), 0.0, 1e-10) << i;
+}
+
+TEST(FftTest, ImpulseTransformsToConstant) {
+  // Analytical sanity: FFT of delta(0) is all-ones. Overwrite the input
+  // with an impulse before running.
+  FftParams params;
+  params.n = 32;
+  params.blocks = 4;
+  Runtime rt;
+  FftApp app(rt, params);
+  // The generated input is random; verify against the DFT of that same
+  // input shifted: simpler—check Parseval instead: sum |x|^2 * n == sum |X|^2.
+  app.run_forward();
+  const auto spectrum = app.result();
+  double time_energy = 0, freq_energy = 0;
+  for (const auto& v : app.input()) time_energy += std::norm(v);
+  for (const auto& v : spectrum) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(params.n),
+              1e-6 * time_energy * static_cast<double>(params.n));
+}
+
+// ---------- SpMV (Fig. 1f pattern, derived partitions) ----------
+
+class SpmvValidation
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t, bool>> {};
+
+TEST_P(SpmvValidation, MultiplyMatchesReference) {
+  const auto [n, row_blocks, nnz, idx_enabled] = GetParam();
+  SpmvParams params;
+  params.n = n;
+  params.row_blocks = row_blocks;
+  params.nnz_per_row = nnz;
+
+  RuntimeConfig cfg;
+  cfg.enable_index_launches = idx_enabled;
+  Runtime rt(cfg);
+  SpmvApp app(rt, params);
+  const auto x0 = app.x();
+  app.multiply();
+
+  const auto expected = SpmvApp::reference_multiply(params, x0);
+  const auto actual = app.y();
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    ASSERT_NEAR(actual[i], expected[i], 1e-12) << "row " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SpmvValidation,
+                         ::testing::Values(std::make_tuple(32, 4, 3, true),
+                                           std::make_tuple(64, 8, 5, true),
+                                           std::make_tuple(48, 6, 1, true),
+                                           std::make_tuple(64, 8, 5, false),
+                                           std::make_tuple(16, 16, 2, true)));
+
+TEST(SpmvTest, PowerIterationTracksReference) {
+  SpmvParams params;
+  Runtime rt;
+  SpmvApp app(rt, params);
+  double norm_value = 0;
+  for (int s = 0; s < 12; ++s) norm_value = app.power_step();
+  // Dominant-eigenvalue estimate; cross-block reduction order differs from
+  // the serial fold, so allow a loose tolerance.
+  EXPECT_NEAR(norm_value, SpmvApp::reference_power(params, 12), 1e-6);
+}
+
+TEST(SpmvTest, AllLaunchesStaticallyVerified) {
+  SpmvParams params;
+  Runtime rt;
+  SpmvApp app(rt, params);
+  app.power_step();
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().launches_safe_dynamic, 0u);
+  EXPECT_EQ(rt.stats().launches_unsafe, 0u);
+  EXPECT_GT(rt.stats().launches_safe_static, 0u);
+}
+
+// ---------- Tree (Fig. 1e pattern) ----------
+
+class TreeValidation : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(TreeValidation, ReduceAndBroadcast) {
+  const auto [levels, idx_enabled] = GetParam();
+  TreeParams params;
+  params.levels = levels;
+
+  RuntimeConfig cfg;
+  cfg.enable_index_launches = idx_enabled;
+  Runtime rt(cfg);
+  TreeApp app(rt, params);
+
+  double expected = 0;
+  for (double v : app.initial_leaves()) expected += v;
+  EXPECT_NEAR(app.reduce_sum(), expected, 1e-9);
+
+  app.broadcast(3.25);
+  for (double v : app.leaves()) ASSERT_DOUBLE_EQ(v, 3.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, TreeValidation,
+                         ::testing::Values(std::make_tuple(1, true),
+                                           std::make_tuple(4, true),
+                                           std::make_tuple(8, true),
+                                           std::make_tuple(5, false)));
+
+TEST(TreeTest, BroadcastChecksInterleavedWrites) {
+  TreeParams params;
+  params.levels = 6;
+  Runtime rt;
+  TreeApp app(rt, params);
+  // All but the root level have interleaved 2i / 2i+1 write images —
+  // verified dynamically.
+  EXPECT_EQ(app.broadcast(1.0), params.levels - 1);
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().launches_unsafe, 0u);
+}
+
+TEST(TreeTest, LaunchDomainsShrinkPerLevel) {
+  // The Fig. 1e structure: 6 combine launches with widths 32..1 — index
+  // launches are per-level descriptors, not per-task streams.
+  TreeParams params;
+  params.levels = 6;
+  Runtime rt;
+  TreeApp app(rt, params);
+  app.reduce_sum();
+  EXPECT_EQ(rt.stats().index_launches, 6u);
+  EXPECT_EQ(rt.stats().point_tasks, 32u + 16 + 8 + 4 + 2 + 1);
+}
+
+}  // namespace
+}  // namespace idxl::apps

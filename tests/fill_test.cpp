@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "region/partition_ops.hpp"
+#include "runtime/runtime.hpp"
+
+namespace idxl {
+namespace {
+
+struct Fixture {
+  Runtime rt;
+  IndexSpaceId is;
+  FieldSpaceId fs;
+  FieldId fv = 0;
+  FieldId fn = 0;
+  RegionId region;
+  PartitionId blocks;
+
+  Fixture() {
+    auto& forest = rt.forest();
+    is = forest.create_index_space(Domain::line(32));
+    fs = forest.create_field_space();
+    fv = forest.allocate_field(fs, sizeof(double), "v");
+    fn = forest.allocate_field(fs, sizeof(int64_t), "n");
+    region = forest.create_region(is, fs);
+    blocks = partition_equal(forest, is, Rect::line(4));
+  }
+};
+
+TEST(FillTest, FillsEveryElement) {
+  Fixture fx;
+  fx.rt.fill(fx.region, fx.fv, 2.5);
+  fx.rt.fill(fx.region, fx.fn, int64_t{-7});
+  fx.rt.wait_all();
+  auto v = fx.rt.read_region<double>(fx.region, fx.fv);
+  auto n = fx.rt.read_region<int64_t>(fx.region, fx.fn);
+  for (int64_t i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(v.read(Point::p1(i)), 2.5);
+    EXPECT_EQ(n.read(Point::p1(i)), -7);
+  }
+}
+
+TEST(FillTest, FillIsOrderedAgainstLaunches) {
+  // launch(write i) ; fill(0) ; launch(v += 1): result must be exactly 1
+  // everywhere — the fill must neither race ahead of the first launch nor
+  // lag behind the second.
+  Fixture fx;
+  const TaskFnId stamp = fx.rt.register_task("stamp", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, static_cast<double>(p[0])); });
+  });
+  const TaskFnId bump = fx.rt.register_task("bump", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, acc.read(p) + 1.0); });
+  });
+  IndexLauncher l1;
+  l1.task = stamp;
+  l1.domain = Domain::line(4);
+  l1.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1), {fx.fv},
+              Privilege::kWrite, ReductionOp::kNone}};
+  fx.rt.execute_index(l1);
+  fx.rt.fill(fx.region, fx.fv, 0.0);
+  IndexLauncher l2 = l1;
+  l2.task = bump;
+  l2.args[0].privilege = Privilege::kReadWrite;
+  fx.rt.execute_index(l2);
+  fx.rt.wait_all();
+
+  auto v = fx.rt.read_region<double>(fx.region, fx.fv);
+  for (int64_t i = 0; i < 32; ++i) EXPECT_DOUBLE_EQ(v.read(Point::p1(i)), 1.0);
+}
+
+TEST(FillTest, SubregionFillLeavesSiblingsUntouched) {
+  Fixture fx;
+  fx.rt.fill(fx.region, fx.fv, 9.0);
+  const RegionId block1 = fx.rt.forest().subregion(fx.region, fx.blocks, Point::p1(1));
+  fx.rt.fill(block1, fx.fv, -1.0);
+  fx.rt.wait_all();
+  auto v = fx.rt.read_region<double>(fx.region, fx.fv);
+  EXPECT_DOUBLE_EQ(v.read(Point::p1(0)), 9.0);
+  EXPECT_DOUBLE_EQ(v.read(Point::p1(8)), -1.0);   // block 1 covers [8, 16)
+  EXPECT_DOUBLE_EQ(v.read(Point::p1(15)), -1.0);
+  EXPECT_DOUBLE_EQ(v.read(Point::p1(16)), 9.0);
+}
+
+TEST(FillTest, PatternSizeMismatchThrows) {
+  Fixture fx;
+  EXPECT_THROW(fx.rt.fill(fx.region, fx.fv, int32_t{1}), RuntimeError);
+  fx.rt.wait_all();
+}
+
+}  // namespace
+}  // namespace idxl

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "functor/affine.hpp"
+#include "functor/projection.hpp"
+#include "support/rng.hpp"
+
+namespace idxl {
+namespace {
+
+// ---------- Expr ----------
+
+TEST(ExprTest, EvalArithmetic) {
+  // 3*i0 + i1 - 2
+  const ExprPtr e = make_sub(
+      make_add(make_mul(make_const(3), make_coord(0)), make_coord(1)), make_const(2));
+  EXPECT_EQ(e->eval(Point::p2(4, 7)), 17);
+  EXPECT_EQ(e->to_string(), "(((3 * i0) + i1) - 2)");
+  EXPECT_EQ(e->max_coord(), 1);
+}
+
+TEST(ExprTest, DivModSemantics) {
+  const ExprPtr mod = make_mod(make_coord(0), make_const(3));
+  EXPECT_EQ(mod->eval(Point::p1(7)), 1);
+  EXPECT_EQ(mod->eval(Point::p1(-7)), -1);  // C++ remainder semantics
+  const ExprPtr div = make_div(make_coord(0), make_const(2));
+  EXPECT_EQ(div->eval(Point::p1(5)), 2);
+  EXPECT_EQ(div->eval(Point::p1(-5)), -2);  // truncating
+}
+
+TEST(ExprTest, NegAndEquality) {
+  const ExprPtr a = make_neg(make_coord(0));
+  EXPECT_EQ(a->eval(Point::p1(5)), -5);
+  const ExprPtr b = make_neg(make_coord(0));
+  const ExprPtr c = make_neg(make_coord(1));
+  EXPECT_TRUE(expr_equal(*a, *b));
+  EXPECT_FALSE(expr_equal(*a, *c));
+}
+
+// Property: CompiledExpr agrees with tree evaluation on random expressions.
+TEST(CompiledExprTest, MatchesTreeEvalOnRandomExprs) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Build a random expression tree of depth <= 4 over 2 coords.
+    auto build = [&](auto&& self, int depth) -> ExprPtr {
+      const uint64_t pick = rng.next_below(depth == 0 ? 2 : 8);
+      switch (pick) {
+        case 0: return make_const(rng.next_in(-9, 9));
+        case 1: return make_coord(static_cast<int>(rng.next_below(2)));
+        case 2: return make_add(self(self, depth - 1), self(self, depth - 1));
+        case 3: return make_sub(self(self, depth - 1), self(self, depth - 1));
+        case 4: return make_mul(self(self, depth - 1), self(self, depth - 1));
+        case 5: return make_neg(self(self, depth - 1));
+        case 6: return make_div(self(self, depth - 1), make_const(rng.next_in(1, 5)));
+        default: return make_mod(self(self, depth - 1), make_const(rng.next_in(1, 5)));
+      }
+    };
+    const ExprPtr e = build(build, 4);
+    const CompiledExpr compiled(*e);
+    for (int i = 0; i < 20; ++i) {
+      const Point p = Point::p2(rng.next_in(-50, 50), rng.next_in(-50, 50));
+      EXPECT_EQ(compiled.eval(p), e->eval(p)) << e->to_string() << " at " << p;
+    }
+  }
+}
+
+// ---------- ProjectionFunctor ----------
+
+TEST(ProjectionFunctorTest, Identity) {
+  const auto f = ProjectionFunctor::identity(2);
+  EXPECT_TRUE(f.is_symbolic());
+  EXPECT_EQ(f(Point::p2(3, 5)), Point::p2(3, 5));
+  EXPECT_EQ(f.name(), "identity");
+}
+
+TEST(ProjectionFunctorTest, Affine1D) {
+  const auto f = ProjectionFunctor::affine1d(3, -1);
+  EXPECT_EQ(f(Point::p1(4)), Point::p1(11));
+}
+
+TEST(ProjectionFunctorTest, Modular1D) {
+  const auto f = ProjectionFunctor::modular1d(2, 5);
+  EXPECT_EQ(f(Point::p1(4)), Point::p1(1));
+}
+
+TEST(ProjectionFunctorTest, Opaque) {
+  const auto f = ProjectionFunctor::opaque(
+      [](const Point& p) { return Point::p1(p[0] * p[0]); }, 1, "square");
+  EXPECT_FALSE(f.is_symbolic());
+  EXPECT_EQ(f(Point::p1(5)), Point::p1(25));
+}
+
+TEST(ProjectionFunctorTest, MultiDimOutput) {
+  // 3-D sweep point -> 2-D exchange plane (y, z), the DOM idiom.
+  const auto f =
+      ProjectionFunctor::symbolic({make_coord(1), make_coord(2)}, "yz-plane");
+  EXPECT_EQ(f(Point::p3(7, 2, 9)), Point::p2(2, 9));
+}
+
+TEST(ProjectionFunctorTest, DefinitelyEqual) {
+  const auto a = ProjectionFunctor::affine1d(2, 1);
+  const auto b = ProjectionFunctor::affine1d(2, 1);
+  const auto c = ProjectionFunctor::affine1d(2, 2);
+  EXPECT_TRUE(a.definitely_equal(b));
+  EXPECT_FALSE(a.definitely_equal(c));
+  const auto op = ProjectionFunctor::opaque([](const Point& p) { return p; }, 1);
+  EXPECT_FALSE(op.definitely_equal(op));  // opaque never provably equal
+}
+
+TEST(ProjectionFunctorTest, EvalIntoMatchesCallOperator) {
+  const auto f = ProjectionFunctor::symbolic(
+      {make_mod(make_coord(0), make_const(4)), make_div(make_coord(0), make_const(4))});
+  f.ensure_compiled();
+  int64_t out[2];
+  for (int i = 0; i < 30; ++i) {
+    f.eval_into(Point::p1(i), out);
+    const Point p = f(Point::p1(i));
+    EXPECT_EQ(out[0], p[0]);
+    EXPECT_EQ(out[1], p[1]);
+  }
+}
+
+// ---------- AffineMap extraction ----------
+
+TEST(AffineMapTest, ExtractIdentity) {
+  const auto f = ProjectionFunctor::identity(3);
+  const auto m = extract_affine_map(f, 3);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->is_identity());
+  EXPECT_FALSE(m->is_constant());
+  EXPECT_EQ(m->column_rank(), 3);
+}
+
+TEST(AffineMapTest, ExtractConstant) {
+  const auto f = ProjectionFunctor::symbolic({make_const(7)});
+  const auto m = extract_affine_map(f, 1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->is_constant());
+  EXPECT_EQ(m->column_rank(), 0);
+  ASSERT_TRUE(m->small_null_vector().has_value());
+}
+
+TEST(AffineMapTest, ExtractGeneralAffine) {
+  // (2*i0 - i1 + 3, i1 * 4)
+  const auto f = ProjectionFunctor::symbolic(
+      {make_add(make_sub(make_mul(make_const(2), make_coord(0)), make_coord(1)),
+                make_const(3)),
+       make_mul(make_coord(1), make_const(4))});
+  const auto m = extract_affine_map(f, 2);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->a[0][0], 2);
+  EXPECT_EQ(m->a[0][1], -1);
+  EXPECT_EQ(m->b[0], 3);
+  EXPECT_EQ(m->a[1][1], 4);
+  EXPECT_EQ(m->column_rank(), 2);
+  EXPECT_EQ(m->apply(Point::p2(1, 2)), Point::p2(3, 8));
+}
+
+TEST(AffineMapTest, NonAffineRejected) {
+  EXPECT_FALSE(extract_affine_map(
+                   ProjectionFunctor::symbolic({make_mul(make_coord(0), make_coord(0))}), 1)
+                   .has_value());
+  EXPECT_FALSE(
+      extract_affine_map(ProjectionFunctor::modular1d(1, 4), 1).has_value());
+  EXPECT_FALSE(extract_affine_map(
+                   ProjectionFunctor::symbolic({make_div(make_coord(0), make_const(2))}), 1)
+                   .has_value());
+  EXPECT_FALSE(extract_affine_map(
+                   ProjectionFunctor::opaque([](const Point& p) { return p; }, 1), 1)
+                   .has_value());
+}
+
+TEST(AffineMapTest, RankDeficientProjection) {
+  // (i0 + i1) as a map from 2-D to 1-D: rank 1, null vector (1, -1).
+  const auto f = ProjectionFunctor::symbolic({make_add(make_coord(0), make_coord(1))});
+  const auto m = extract_affine_map(f, 2);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->column_rank(), 1);
+  const auto v = m->small_null_vector();
+  ASSERT_TRUE(v.has_value());
+  int64_t dot = m->a[0][0] * (*v)[0] + m->a[0][1] * (*v)[1];
+  EXPECT_EQ(dot, 0);
+}
+
+TEST(AffineMapTest, PermutationHasFullRank) {
+  // (i1, i0): a coordinate swap is injective.
+  const auto f = ProjectionFunctor::symbolic({make_coord(1), make_coord(0)});
+  const auto m = extract_affine_map(f, 2);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->column_rank(), 2);
+  EXPECT_FALSE(m->small_null_vector().has_value());
+}
+
+// Property: for random small affine maps, column_rank == in_dim implies no
+// collisions on a dense grid, and small_null_vector implies a real one.
+TEST(AffineMapTest, RankPredictsCollisionsProperty) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int in_dim = 2;
+    std::vector<ExprPtr> exprs;
+    for (int r = 0; r < 2; ++r) {
+      ExprPtr e = make_const(rng.next_in(-2, 2));
+      for (int c = 0; c < in_dim; ++c)
+        e = make_add(e, make_mul(make_const(rng.next_in(-2, 2)), make_coord(c)));
+      exprs.push_back(e);
+    }
+    const auto f = ProjectionFunctor::symbolic(std::move(exprs));
+    const auto m = extract_affine_map(f, in_dim);
+    ASSERT_TRUE(m.has_value());
+
+    // Brute-force collision detection over a 6x6 grid.
+    bool collision = false;
+    const Rect grid = Rect::box2(6, 6);
+    std::vector<Point> images;
+    for (const Point& p : grid) images.push_back(f(p));
+    for (std::size_t i = 0; i < images.size() && !collision; ++i)
+      for (std::size_t j = i + 1; j < images.size(); ++j)
+        if (images[i] == images[j]) {
+          collision = true;
+          break;
+        }
+
+    if (m->column_rank() == in_dim) {
+      EXPECT_FALSE(collision) << "full-rank map collided";
+    }
+    if (const auto v = m->small_null_vector()) {
+      // A null vector within the grid implies a collision exists.
+      bool vector_fits = std::abs((*v)[0]) < 6 && std::abs((*v)[1]) < 6;
+      if (vector_fits) {
+        EXPECT_TRUE(collision);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idxl

@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include "region/partition_ops.hpp"
+#include "runtime/runtime.hpp"
+#include "shard/sharded_runtime.hpp"
+#include "support/rng.hpp"
+
+namespace idxl {
+namespace {
+
+// Differential fuzzing of the execution strategies. A random sequence of
+// index launches — random functors (many non-injective), privileges and
+// domains — is run under several configurations. Because unsafe launches
+// fall back to the sequential task loop, *every* generated program is
+// valid, and all configurations must produce bit-identical region contents:
+//
+//   * index launches enabled (hybrid checks decide per launch)
+//   * index launches disabled (the paper's No-IDX baseline)
+//   * extended static analysis (more launches verified without checks)
+//
+// This exercises the safety analysis, the fallback branch, dependence
+// tracking across random read/write/reduce patterns, and the executor.
+
+constexpr int64_t kElements = 60;
+constexpr int64_t kPieces = 6;
+
+struct Program {
+  struct Launch {
+    int64_t domain_size;     // 1..6
+    int functor_kind;        // selects from the pool below
+    int64_t k;               // functor parameter
+    int privilege_kind;      // 0 write, 1 read-write, 2 reduce
+    bool sparse_domain;
+  };
+  std::vector<Launch> launches;
+};
+
+Program random_program(uint64_t seed) {
+  Rng rng(seed);
+  Program prog;
+  const int n = static_cast<int>(rng.next_in(4, 14));
+  for (int i = 0; i < n; ++i) {
+    Program::Launch l;
+    l.domain_size = rng.next_in(2, kPieces);
+    l.functor_kind = static_cast<int>(rng.next_below(5));
+    l.k = rng.next_in(0, 5);
+    l.privilege_kind = static_cast<int>(rng.next_below(3));
+    l.sparse_domain = rng.next_below(4) == 0;
+    prog.launches.push_back(l);
+  }
+  return prog;
+}
+
+ProjectionFunctor make_functor(const Program::Launch& l) {
+  switch (l.functor_kind) {
+    case 0: return ProjectionFunctor::identity(1);
+    case 1: return ProjectionFunctor::modular1d(l.k, kPieces);  // (i+k) mod 6
+    case 2:  // (i*i + k) mod 6 — quadratic, often non-injective
+      return ProjectionFunctor::symbolic(
+          {make_mod(make_add(make_mul(make_coord(0), make_coord(0)), make_const(l.k)),
+                    make_const(kPieces))});
+    case 3:  // (2i + k) mod 6
+      return ProjectionFunctor::symbolic(
+          {make_mod(make_add(make_mul(make_const(2), make_coord(0)), make_const(l.k)),
+                    make_const(kPieces))});
+    default:  // i / 2 — non-injective gather
+      return ProjectionFunctor::symbolic({make_div(make_coord(0), make_const(2))});
+  }
+}
+
+std::vector<double> run_program(const Program& prog, const RuntimeConfig& cfg) {
+  Runtime rt(cfg);
+  auto& forest = rt.forest();
+  const IndexSpaceId is = forest.create_index_space(Domain::line(kElements));
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId fv = forest.allocate_field(fs, sizeof(double), "v");
+  const RegionId region = forest.create_region(is, fs);
+  const PartitionId blocks = partition_equal(forest, is, Rect::line(kPieces));
+
+  {
+    Accessor<double> acc(forest, region, fv, Privilege::kWrite);
+    for (int64_t i = 0; i < kElements; ++i)
+      acc.write(Point::p1(i), static_cast<double>(i % 7));
+  }
+
+  // Task bodies for the three privilege kinds. Each mixes the launch point
+  // into the data so ordering mistakes change results.
+  const TaskFnId t_write = rt.register_task("w", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each([&](const Point& p) {
+      acc.write(p, static_cast<double>(ctx.point[0] + p[0] % 3));
+    });
+  });
+  const TaskFnId t_rw = rt.register_task("rw", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each([&](const Point& p) {
+      acc.write(p, acc.read(p) * 0.5 + static_cast<double>(ctx.point[0]));
+    });
+  });
+  const TaskFnId t_reduce = rt.register_task("red", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.reduce(p, static_cast<double>(1 + ctx.point[0])); });
+  });
+
+  for (const Program::Launch& l : prog.launches) {
+    IndexLauncher launcher;
+    launcher.domain = Domain::line(l.domain_size);
+    if (l.sparse_domain) {
+      std::vector<Point> pts;
+      for (int64_t i = 0; i < l.domain_size; i += 2) pts.push_back(Point::p1(i));
+      if (pts.empty()) pts.push_back(Point::p1(0));
+      launcher.domain = Domain::from_points(std::move(pts));
+    }
+    ProjectedArg arg;
+    arg.parent = region;
+    arg.partition = blocks;
+    arg.functor = make_functor(l);
+    arg.fields = {fv};
+    switch (l.privilege_kind) {
+      case 0:
+        launcher.task = t_write;
+        arg.privilege = Privilege::kWrite;
+        break;
+      case 1:
+        launcher.task = t_rw;
+        arg.privilege = Privilege::kReadWrite;
+        break;
+      default:
+        launcher.task = t_reduce;
+        arg.privilege = Privilege::kReduce;
+        arg.redop = ReductionOp::kSum;
+        break;
+    }
+    launcher.args = {arg};
+    rt.execute_index(launcher);
+  }
+  rt.wait_all();
+
+  auto acc = rt.read_region<double>(region, fv);
+  std::vector<double> out;
+  for (int64_t i = 0; i < kElements; ++i) out.push_back(acc.read(Point::p1(i)));
+  return out;
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialFuzz, AllStrategiesAgree) {
+  for (uint64_t trial = 0; trial < 8; ++trial) {
+    const Program prog = random_program(GetParam() * 1000 + trial);
+
+    RuntimeConfig idx;
+    RuntimeConfig noidx;
+    noidx.enable_index_launches = false;
+    RuntimeConfig extended;
+    extended.extended_static_analysis = true;
+    RuntimeConfig few_workers;
+    few_workers.workers = 1;
+
+    const auto baseline = run_program(prog, idx);
+    EXPECT_EQ(run_program(prog, noidx), baseline) << "No-IDX diverged";
+    EXPECT_EQ(run_program(prog, extended), baseline) << "extended-static diverged";
+    EXPECT_EQ(run_program(prog, few_workers), baseline) << "1-worker diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range<uint64_t>(1, 9));
+
+// Two-argument variant: launches carry a read and a write argument on the
+// same partition, driving the §3 cross-check rules (static image tests,
+// field-disjointness, the multi-argument dynamic bitmask) plus fallback.
+std::vector<double> run_two_arg_program(uint64_t seed, const RuntimeConfig& cfg) {
+  Rng rng(seed);
+  Runtime rt(cfg);
+  auto& forest = rt.forest();
+  const IndexSpaceId is = forest.create_index_space(Domain::line(kElements));
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId fa = forest.allocate_field(fs, sizeof(double), "a");
+  const FieldId fb = forest.allocate_field(fs, sizeof(double), "b");
+  const RegionId region = forest.create_region(is, fs);
+  const PartitionId blocks = partition_equal(forest, is, Rect::line(kPieces));
+
+  {
+    Accessor<double> a(forest, region, fa, Privilege::kWrite);
+    Accessor<double> b(forest, region, fb, Privilege::kWrite);
+    for (int64_t i = 0; i < kElements; ++i) {
+      a.write(Point::p1(i), static_cast<double>(i));
+      b.write(Point::p1(i), static_cast<double>(-i));
+    }
+  }
+
+  const TaskFnId mix = rt.register_task("mix", [](TaskContext& ctx) {
+    const FieldId in_field = ctx.arg<FieldId>();
+    auto in = ctx.region(0).accessor<double>(in_field);
+    auto out = ctx.region(1).accessor<double>(in_field ^ 1u);
+    double sum = static_cast<double>(ctx.point[0]);
+    ctx.region(0).domain().for_each([&](const Point& p) { sum += in.read(p) * 0.125; });
+    ctx.region(1).domain().for_each(
+        [&](const Point& p) { out.write(p, sum + static_cast<double>(p[0] % 5)); });
+  });
+
+  const int launches = static_cast<int>(rng.next_in(4, 10));
+  for (int l = 0; l < launches; ++l) {
+    IndexLauncher launcher;
+    launcher.task = mix;
+    launcher.domain = Domain::line(rng.next_in(2, kPieces));
+    const FieldId in_field = rng.next_below(2) ? fa : fb;
+    launcher.scalar_args = ArgBuffer::of(in_field);
+
+    auto pick = [&rng]() -> ProjectionFunctor {
+      switch (rng.next_below(4)) {
+        case 0: return ProjectionFunctor::identity(1);
+        case 1: return ProjectionFunctor::modular1d(rng.next_in(0, 5), kPieces);
+        case 2: return ProjectionFunctor::affine1d(1, rng.next_in(0, 2));
+        default:
+          return ProjectionFunctor::symbolic(
+              {make_mod(make_mul(make_const(2), make_coord(0)), make_const(kPieces))});
+      }
+    };
+    launcher.args = {
+        {region, blocks, pick(), {in_field}, Privilege::kRead, ReductionOp::kNone},
+        {region, blocks, pick(), {in_field ^ 1u}, Privilege::kWrite, ReductionOp::kNone}};
+
+    // Affine offsets can select colors beyond the partition; such launches
+    // are invalid and must throw identically in every configuration. Probe
+    // with the functor directly and skip those.
+    bool in_bounds = true;
+    launcher.domain.for_each([&](const Point& p) {
+      for (const auto& arg : launcher.args)
+        if (arg.functor(p)[0] >= kPieces) in_bounds = false;
+    });
+    if (!in_bounds) continue;
+    rt.execute_index(launcher);
+  }
+  rt.wait_all();
+
+  auto a = rt.read_region<double>(region, fa);
+  auto b = rt.read_region<double>(region, fb);
+  std::vector<double> out;
+  for (int64_t i = 0; i < kElements; ++i) {
+    out.push_back(a.read(Point::p1(i)));
+    out.push_back(b.read(Point::p1(i)));
+  }
+  return out;
+}
+
+class TwoArgDifferentialFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TwoArgDifferentialFuzz, AllStrategiesAgree) {
+  for (uint64_t trial = 0; trial < 8; ++trial) {
+    const uint64_t seed = GetParam() * 7919 + trial;
+    RuntimeConfig idx;
+    RuntimeConfig noidx;
+    noidx.enable_index_launches = false;
+    RuntimeConfig extended;
+    extended.extended_static_analysis = true;
+
+    const auto baseline = run_two_arg_program(seed, idx);
+    EXPECT_EQ(run_two_arg_program(seed, noidx), baseline) << "No-IDX diverged";
+    EXPECT_EQ(run_two_arg_program(seed, extended), baseline)
+        << "extended-static diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoArgDifferentialFuzz,
+                         ::testing::Range<uint64_t>(1, 7));
+
+// Cross-runtime fuzz: the same random program on the single in-process
+// runtime and on the sharded (control-replicated) runtime — with shared and
+// with distributed storage — must produce identical region contents. The
+// functor pool is constrained to launches the sharded mode accepts
+// (injective writers; reductions may alias).
+struct SafeLaunch {
+  int64_t domain_size;
+  int functor_kind;  // 0 identity, 1 (i+k)%6 full period, 2 reduce-quadratic
+  int64_t k;
+  int privilege_kind;  // 0 write, 1 rw, 2 reduce
+};
+
+std::vector<SafeLaunch> random_safe_program(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SafeLaunch> prog;
+  const int n = static_cast<int>(rng.next_in(4, 12));
+  for (int i = 0; i < n; ++i) {
+    SafeLaunch l;
+    l.privilege_kind = static_cast<int>(rng.next_below(3));
+    if (l.privilege_kind == 2) {
+      l.functor_kind = 2;  // reductions tolerate non-injective functors
+      l.domain_size = rng.next_in(2, kPieces);
+    } else {
+      l.functor_kind = static_cast<int>(rng.next_below(2));
+      // The modular functor is injective only over a full period.
+      l.domain_size = l.functor_kind == 1 ? kPieces : rng.next_in(2, kPieces);
+    }
+    l.k = rng.next_in(0, 5);
+    prog.push_back(l);
+  }
+  return prog;
+}
+
+template <typename IssueFn>
+void issue_safe_program(const std::vector<SafeLaunch>& prog, RegionId region,
+                        PartitionId blocks, FieldId fv, TaskFnId t_write, TaskFnId t_rw,
+                        TaskFnId t_reduce, IssueFn&& issue) {
+  for (const SafeLaunch& l : prog) {
+    IndexLauncher launcher;
+    launcher.domain = Domain::line(l.domain_size);
+    ProjectedArg arg;
+    arg.parent = region;
+    arg.partition = blocks;
+    arg.fields = {fv};
+    switch (l.functor_kind) {
+      case 0: arg.functor = ProjectionFunctor::identity(1); break;
+      case 1: arg.functor = ProjectionFunctor::modular1d(l.k, kPieces); break;
+      default:
+        arg.functor = ProjectionFunctor::symbolic({make_mod(
+            make_add(make_mul(make_coord(0), make_coord(0)), make_const(l.k)),
+            make_const(kPieces))});
+        break;
+    }
+    switch (l.privilege_kind) {
+      case 0:
+        launcher.task = t_write;
+        arg.privilege = Privilege::kWrite;
+        break;
+      case 1:
+        launcher.task = t_rw;
+        arg.privilege = Privilege::kReadWrite;
+        break;
+      default:
+        launcher.task = t_reduce;
+        arg.privilege = Privilege::kReduce;
+        arg.redop = ReductionOp::kSum;
+        break;
+    }
+    launcher.args = {arg};
+    issue(launcher);
+  }
+}
+
+TaskFn fuzz_write_body() {
+  return [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each([&](const Point& p) {
+      acc.write(p, static_cast<double>(ctx.point[0] * 2 + p[0] % 3));
+    });
+  };
+}
+TaskFn fuzz_rw_body() {
+  return [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each([&](const Point& p) {
+      acc.write(p, acc.read(p) * 0.5 + static_cast<double>(ctx.point[0]));
+    });
+  };
+}
+TaskFn fuzz_reduce_body() {
+  return [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.reduce(p, static_cast<double>(1 + ctx.point[0])); });
+  };
+}
+
+std::vector<double> run_safe_single(const std::vector<SafeLaunch>& prog) {
+  Runtime rt;
+  auto& forest = rt.forest();
+  const IndexSpaceId is = forest.create_index_space(Domain::line(kElements));
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId fv = forest.allocate_field(fs, sizeof(double), "v");
+  const RegionId region = forest.create_region(is, fs);
+  const PartitionId blocks = partition_equal(forest, is, Rect::line(kPieces));
+  {
+    Accessor<double> acc(forest, region, fv, Privilege::kWrite);
+    for (int64_t i = 0; i < kElements; ++i)
+      acc.write(Point::p1(i), static_cast<double>(i % 7));
+  }
+  const TaskFnId w = rt.register_task("w", fuzz_write_body());
+  const TaskFnId rw = rt.register_task("rw", fuzz_rw_body());
+  const TaskFnId red = rt.register_task("red", fuzz_reduce_body());
+  issue_safe_program(prog, region, blocks, fv, w, rw, red,
+                     [&](const IndexLauncher& l) { rt.execute_index(l); });
+  rt.wait_all();
+  auto acc = rt.read_region<double>(region, fv);
+  std::vector<double> out;
+  for (int64_t i = 0; i < kElements; ++i) out.push_back(acc.read(Point::p1(i)));
+  return out;
+}
+
+std::vector<double> run_safe_sharded(const std::vector<SafeLaunch>& prog,
+                                     uint32_t shards, bool distributed) {
+  ShardedConfig cfg;
+  cfg.shards = shards;
+  cfg.distributed_storage = distributed;
+  ShardedRuntime rt(cfg);
+  auto& forest = rt.forest();
+  const IndexSpaceId is = forest.create_index_space(Domain::line(kElements));
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId fv = forest.allocate_field(fs, sizeof(double), "v");
+  const RegionId region = forest.create_region(is, fs);
+  const PartitionId blocks = partition_equal(forest, is, Rect::line(kPieces));
+  {
+    Accessor<double> acc(forest, region, fv, Privilege::kWrite);
+    for (int64_t i = 0; i < kElements; ++i)
+      acc.write(Point::p1(i), static_cast<double>(i % 7));
+  }
+  const TaskFnId w = rt.register_task("w", fuzz_write_body());
+  const TaskFnId rw = rt.register_task("rw", fuzz_rw_body());
+  const TaskFnId red = rt.register_task("red", fuzz_reduce_body());
+  rt.run([&](ShardContext& ctx) {
+    issue_safe_program(prog, region, blocks, fv, w, rw, red,
+                       [&](const IndexLauncher& l) { ctx.execute_index(l); });
+  });
+  auto acc = rt.read_region<double>(region, fv);
+  std::vector<double> out;
+  for (int64_t i = 0; i < kElements; ++i) out.push_back(acc.read(Point::p1(i)));
+  return out;
+}
+
+class CrossRuntimeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossRuntimeFuzz, ShardedMatchesSingleRuntime) {
+  for (uint64_t trial = 0; trial < 5; ++trial) {
+    const auto prog = random_safe_program(GetParam() * 104729 + trial);
+    const auto baseline = run_safe_single(prog);
+    EXPECT_EQ(run_safe_sharded(prog, 1, false), baseline) << "1 shard";
+    EXPECT_EQ(run_safe_sharded(prog, 3, false), baseline) << "3 shards shared";
+    EXPECT_EQ(run_safe_sharded(prog, 3, true), baseline) << "3 shards distributed";
+    EXPECT_EQ(run_safe_sharded(prog, 4, true), baseline) << "4 shards distributed";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossRuntimeFuzz, ::testing::Range<uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace idxl

@@ -1,0 +1,545 @@
+#include <gtest/gtest.h>
+
+#include "region/accessor.hpp"
+#include "region/bvh.hpp"
+#include "region/partition_ops.hpp"
+#include "region/region_forest.hpp"
+#include "support/bitvector.hpp"
+#include "support/rng.hpp"
+
+namespace idxl {
+namespace {
+
+// ---------- Point / Rect ----------
+
+TEST(PointTest, ConstructionAndIndexing) {
+  const Point p = Point::p3(1, -2, 3);
+  EXPECT_EQ(p.dim, 3);
+  EXPECT_EQ(p[0], 1);
+  EXPECT_EQ(p[1], -2);
+  EXPECT_EQ(p[2], 3);
+  EXPECT_EQ(p.to_string(), "(1,-2,3)");
+}
+
+TEST(PointTest, Arithmetic) {
+  const Point a = Point::p2(3, 4), b = Point::p2(1, -1);
+  EXPECT_EQ(a + b, Point::p2(4, 3));
+  EXPECT_EQ(a - b, Point::p2(2, 5));
+}
+
+TEST(PointTest, LexicographicOrder) {
+  EXPECT_LT(Point::p2(0, 5), Point::p2(1, 0));
+  EXPECT_LT(Point::p2(1, 0), Point::p2(1, 1));
+  EXPECT_FALSE(Point::p2(1, 1) < Point::p2(1, 1));
+}
+
+TEST(RectTest, VolumeAndEmpty) {
+  EXPECT_EQ(Rect::line(10).volume(), 10);
+  EXPECT_EQ(Rect::box2(3, 4).volume(), 12);
+  EXPECT_EQ(Rect::box3(2, 3, 4).volume(), 24);
+  Rect empty(Point::p1(5), Point::p1(4));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.volume(), 0);
+}
+
+TEST(RectTest, ContainsAndIntersection) {
+  const Rect r = Rect::box2(10, 10);
+  EXPECT_TRUE(r.contains(Point::p2(0, 0)));
+  EXPECT_TRUE(r.contains(Point::p2(9, 9)));
+  EXPECT_FALSE(r.contains(Point::p2(10, 0)));
+  const Rect s(Point::p2(5, 5), Point::p2(14, 14));
+  const Rect i = r.intersection(s);
+  EXPECT_EQ(i, Rect(Point::p2(5, 5), Point::p2(9, 9)));
+  const Rect far(Point::p2(20, 20), Point::p2(30, 30));
+  EXPECT_TRUE(r.intersection(far).empty());
+  EXPECT_FALSE(r.overlaps(far));
+}
+
+TEST(RectTest, LinearizeRoundTrip) {
+  const Rect r(Point::p3(-1, 2, 0), Point::p3(3, 4, 2));
+  int64_t expected = 0;
+  for (const Point& p : r) {
+    EXPECT_EQ(r.linearize(p), expected);
+    EXPECT_EQ(r.delinearize(expected), p);
+    ++expected;
+  }
+  EXPECT_EQ(expected, r.volume());
+}
+
+TEST(RectTest, IterationCoversRowMajor) {
+  const Rect r = Rect::box2(2, 3);
+  std::vector<Point> pts(r.begin(), r.end());
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_EQ(pts[0], Point::p2(0, 0));
+  EXPECT_EQ(pts[1], Point::p2(0, 1));
+  EXPECT_EQ(pts[3], Point::p2(1, 0));
+  EXPECT_EQ(pts[5], Point::p2(1, 2));
+}
+
+TEST(RectTest, EmptyIterationYieldsNothing) {
+  Rect empty(Point::p1(1), Point::p1(0));
+  EXPECT_EQ(empty.begin(), empty.end());
+}
+
+// ---------- Domain ----------
+
+TEST(DomainTest, DenseBasics) {
+  const Domain d = Domain::line(100);
+  EXPECT_TRUE(d.dense());
+  EXPECT_EQ(d.volume(), 100);
+  EXPECT_TRUE(d.contains(Point::p1(0)));
+  EXPECT_TRUE(d.contains(Point::p1(99)));
+  EXPECT_FALSE(d.contains(Point::p1(100)));
+}
+
+TEST(DomainTest, SparseDeduplicatesAndSorts) {
+  const Domain d = Domain::from_points(
+      {Point::p1(5), Point::p1(1), Point::p1(5), Point::p1(9)});
+  EXPECT_FALSE(d.dense());
+  EXPECT_EQ(d.volume(), 3);
+  EXPECT_TRUE(d.contains(Point::p1(5)));
+  EXPECT_FALSE(d.contains(Point::p1(2)));
+  const auto pts = d.points();
+  EXPECT_TRUE(std::is_sorted(pts.begin(), pts.end()));
+}
+
+TEST(DomainTest, SparseThatFillsBoxNormalizesToDense) {
+  const Domain d = Domain::from_points(
+      {Point::p1(2), Point::p1(3), Point::p1(4)});
+  EXPECT_TRUE(d.dense());
+  EXPECT_EQ(d.bounds(), Rect(Point::p1(2), Point::p1(4)));
+}
+
+TEST(DomainTest, DisjointFrom) {
+  const Domain a = Domain::line(10);
+  const Domain b(Rect(Point::p1(10), Point::p1(19)));
+  EXPECT_TRUE(a.disjoint_from(b));
+  const Domain c(Rect(Point::p1(9), Point::p1(12)));
+  EXPECT_FALSE(a.disjoint_from(c));
+  // Sparse vs dense with overlapping bounds but no common points.
+  const Domain sparse = Domain::from_points({Point::p1(10), Point::p1(14)});
+  const Domain dense(Rect(Point::p1(11), Point::p1(13)));
+  EXPECT_TRUE(sparse.disjoint_from(dense));
+  EXPECT_TRUE(dense.disjoint_from(sparse));
+}
+
+TEST(DomainTest, ContainsDomain) {
+  const Domain a = Domain::line(10);
+  EXPECT_TRUE(a.contains_domain(Domain::from_points({Point::p1(0), Point::p1(9)})));
+  EXPECT_FALSE(a.contains_domain(Domain::from_points({Point::p1(0), Point::p1(10)})));
+  EXPECT_TRUE(a.contains_domain(Domain::from_points({})));
+}
+
+TEST(DomainTest, Intersection) {
+  const Domain a(Rect::line(10));
+  const Domain b = Domain::from_points({Point::p1(3), Point::p1(12)});
+  const Domain i = a.intersection(b);
+  EXPECT_EQ(i.volume(), 1);
+  EXPECT_TRUE(i.contains(Point::p1(3)));
+}
+
+TEST(DomainTest, DiagonalSliceIsSparse) {
+  // 3-D diagonal wavefront, the DOM sweep launch-domain shape.
+  std::vector<Point> wave;
+  const int n = 4;
+  for (int x = 0; x < n; ++x)
+    for (int y = 0; y < n; ++y)
+      for (int z = 0; z < n; ++z)
+        if (x + y + z == 3) wave.push_back(Point::p3(x, y, z));
+  const Domain d = Domain::from_points(wave);
+  EXPECT_FALSE(d.dense());
+  EXPECT_EQ(d.volume(), 10);  // C(3+2,2)
+}
+
+// ---------- BitVector ----------
+
+TEST(BitVectorTest, SetTestClear) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_FALSE(bv.any());
+  bv.set(0);
+  bv.set(64);
+  bv.set(129);
+  EXPECT_TRUE(bv.test(0));
+  EXPECT_TRUE(bv.test(64));
+  EXPECT_TRUE(bv.test(129));
+  EXPECT_FALSE(bv.test(1));
+  EXPECT_EQ(bv.count(), 3u);
+  bv.clear();
+  EXPECT_FALSE(bv.any());
+}
+
+TEST(BitVectorTest, TestAndSet) {
+  BitVector bv(10);
+  EXPECT_FALSE(bv.test_and_set(3));
+  EXPECT_TRUE(bv.test_and_set(3));
+}
+
+TEST(BitVectorTest, Intersects) {
+  BitVector a(100), b(100);
+  a.set(50);
+  b.set(51);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(50);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+// ---------- RegionForest ----------
+
+TEST(RegionForestTest, IndexAndFieldSpaces) {
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(16));
+  EXPECT_EQ(forest.domain(is).volume(), 16);
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId f0 = forest.allocate_field(fs, sizeof(double), "x");
+  const FieldId f1 = forest.allocate_field(fs, sizeof(int32_t), "flag");
+  EXPECT_EQ(forest.field(fs, f0).size, sizeof(double));
+  EXPECT_EQ(forest.field(fs, f1).name, "flag");
+  EXPECT_EQ(forest.fields(fs).size(), 2u);
+}
+
+TEST(RegionForestTest, EqualPartition1D) {
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(10));
+  const PartitionId p = partition_equal(forest, is, Rect::line(3));
+  EXPECT_TRUE(forest.is_disjoint(p));
+  EXPECT_TRUE(forest.verify_disjoint(p));
+  // 10 into 3: sizes 4,3,3 and they tile the space.
+  int64_t total = 0;
+  for (const Point& c : forest.color_space(p))
+    total += forest.domain(forest.subspace(p, c)).volume();
+  EXPECT_EQ(total, 10);
+  EXPECT_EQ(forest.domain(forest.subspace(p, Point::p1(0))).volume(), 4);
+}
+
+TEST(RegionForestTest, EqualPartition2D) {
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain(Rect::box2(8, 9)));
+  const PartitionId p = partition_equal(forest, is, Rect::box2(2, 3));
+  EXPECT_TRUE(forest.is_disjoint(p));
+  int64_t total = 0;
+  for (const Point& c : forest.color_space(p))
+    total += forest.domain(forest.subspace(p, c)).volume();
+  EXPECT_EQ(total, 72);
+}
+
+TEST(RegionForestTest, HaloPartitionIsAliased) {
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(12));
+  const PartitionId blocks = partition_equal(forest, is, Rect::line(4));
+  const PartitionId halos = partition_halo(forest, is, blocks, 1);
+  EXPECT_FALSE(forest.is_disjoint(halos));
+  EXPECT_FALSE(forest.verify_disjoint(halos));
+  // Interior halo blocks are the 3-wide block grown by 1 on both sides.
+  const Domain& h1 = forest.domain(forest.subspace(halos, Point::p1(1)));
+  EXPECT_EQ(h1.bounds(), Rect(Point::p1(2), Point::p1(6)));
+  // Boundary blocks clip to the parent.
+  const Domain& h0 = forest.domain(forest.subspace(halos, Point::p1(0)));
+  EXPECT_EQ(h0.bounds(), Rect(Point::p1(0), Point::p1(3)));
+}
+
+TEST(RegionForestTest, PartitionByColoring) {
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(20));
+  const PartitionId p = partition_by_coloring(
+      forest, is, Rect::line(4),
+      [](const Point& pt) { return Point::p1(pt[0] % 4); });
+  EXPECT_TRUE(forest.is_disjoint(p));
+  const Domain& sub0 = forest.domain(forest.subspace(p, Point::p1(0)));
+  EXPECT_EQ(sub0.volume(), 5);
+  EXPECT_TRUE(sub0.contains(Point::p1(16)));
+  EXPECT_FALSE(sub0.contains(Point::p1(17)));
+}
+
+TEST(RegionForestTest, MultiColoringMayAlias) {
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(10));
+  const PartitionId p = partition_by_multi_coloring(
+      forest, is, Rect::line(2), [](const Point& pt, std::vector<Point>& out) {
+        out.push_back(Point::p1(0));
+        if (pt[0] >= 5) out.push_back(Point::p1(1));
+      });
+  EXPECT_FALSE(forest.is_disjoint(p));
+  EXPECT_EQ(forest.domain(forest.subspace(p, Point::p1(0))).volume(), 10);
+  EXPECT_EQ(forest.domain(forest.subspace(p, Point::p1(1))).volume(), 5);
+}
+
+TEST(RegionForestTest, PartitionSubspaceMustStayInParent) {
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(10));
+  EXPECT_THROW(forest.create_partition(is, Rect::line(1),
+                                       {Domain(Rect(Point::p1(5), Point::p1(12)))},
+                                       Disjointness::kAliased),
+               RuntimeError);
+}
+
+TEST(RegionForestTest, SubregionViewsShareStorage) {
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(10));
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId f = forest.allocate_field(fs, sizeof(double), "v");
+  const RegionId root = forest.create_region(is, fs);
+  const PartitionId p = partition_equal(forest, is, Rect::line(2));
+  const RegionId left = forest.subregion(root, p, Point::p1(0));
+  const RegionId right = forest.subregion(root, p, Point::p1(1));
+  EXPECT_NE(left, right);
+  EXPECT_EQ(forest.field_data(left, f), forest.field_data(root, f));
+  EXPECT_EQ(forest.field_data(right, f), forest.field_data(root, f));
+  // Cached: same handle on repeat.
+  EXPECT_EQ(forest.subregion(root, p, Point::p1(0)), left);
+}
+
+TEST(RegionForestTest, RegionsInterfere) {
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(10));
+  const FieldSpaceId fs = forest.create_field_space();
+  forest.allocate_field(fs, sizeof(double), "v");
+  const RegionId r1 = forest.create_region(is, fs);
+  const RegionId r2 = forest.create_region(is, fs);  // separate tree
+  EXPECT_FALSE(forest.regions_interfere(r1, r2));
+  const PartitionId p = partition_equal(forest, is, Rect::line(2));
+  const RegionId a = forest.subregion(r1, p, Point::p1(0));
+  const RegionId b = forest.subregion(r1, p, Point::p1(1));
+  EXPECT_FALSE(forest.regions_interfere(a, b));  // disjoint siblings
+  EXPECT_TRUE(forest.regions_interfere(a, r1));  // subregion vs root
+}
+
+TEST(RegionForestTest, AccessorReadWrite) {
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain(Rect::box2(4, 4)));
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId f = forest.allocate_field(fs, sizeof(double), "v");
+  const RegionId root = forest.create_region(is, fs);
+  {
+    Accessor<double> w(forest, root, f, Privilege::kWrite);
+    for (const Point& p : Rect::box2(4, 4)) w.write(p, static_cast<double>(p[0] * 10 + p[1]));
+  }
+  Accessor<double> r(forest, root, f, Privilege::kRead);
+  EXPECT_DOUBLE_EQ(r.read(Point::p2(3, 2)), 32.0);
+}
+
+TEST(RegionForestTest, AccessorReduction) {
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(1));
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId f = forest.allocate_field(fs, sizeof(double), "sum");
+  const RegionId root = forest.create_region(is, fs);
+  Accessor<double> red(forest, root, f, Privilege::kReduce, ReductionOp::kSum);
+  red.reduce(Point::p1(0), 2.0);
+  red.reduce(Point::p1(0), 3.5);
+  Accessor<double> r(forest, root, f, Privilege::kRead);
+  EXPECT_DOUBLE_EQ(r.read(Point::p1(0)), 5.5);
+}
+
+TEST(RegionForestTest, AccessorTypeSizeMismatchThrows) {
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(4));
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId f = forest.allocate_field(fs, sizeof(double), "v");
+  const RegionId root = forest.create_region(is, fs);
+  EXPECT_THROW((Accessor<int32_t>(forest, root, f, Privilege::kRead)), RuntimeError);
+}
+
+// ---------- RectBVH ----------
+
+TEST(RectBVHTest, EmptyAndSingle) {
+  RectBVH bvh;
+  int hits = 0;
+  bvh.query(Rect::line(10), [&](uint32_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+
+  bvh.build({{Rect::line(5), 42}});
+  bvh.query(Rect(Point::p1(4), Point::p1(8)), [&](uint32_t id) {
+    ++hits;
+    EXPECT_EQ(id, 42u);
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(RectBVHTest, MatchesBruteForceProperty) {
+  Rng rng(55);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::pair<Rect, uint32_t>> items;
+    const int n = static_cast<int>(rng.next_in(1, 200));
+    for (int i = 0; i < n; ++i) {
+      const int64_t x = rng.next_in(-100, 100), y = rng.next_in(-100, 100);
+      items.emplace_back(
+          Rect(Point::p2(x, y), Point::p2(x + rng.next_in(0, 20), y + rng.next_in(0, 20))),
+          static_cast<uint32_t>(i));
+    }
+    RectBVH bvh;
+    auto copy = items;
+    bvh.build(std::move(copy));
+
+    for (int q = 0; q < 20; ++q) {
+      const int64_t x = rng.next_in(-110, 110), y = rng.next_in(-110, 110);
+      const Rect query(Point::p2(x, y),
+                       Point::p2(x + rng.next_in(0, 30), y + rng.next_in(0, 30)));
+      std::vector<uint32_t> got;
+      bvh.query(query, [&](uint32_t id) { got.push_back(id); });
+      std::vector<uint32_t> expected;
+      for (const auto& [rect, id] : items)
+        if (rect.overlaps(query)) expected.push_back(id);
+      std::sort(got.begin(), got.end());
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(got, expected);
+    }
+  }
+}
+
+TEST(RectBVHTest, PointQueryVisitsLogarithmically) {
+  // 4096 disjoint unit intervals; a point query should visit O(log n)
+  // nodes, far fewer than n.
+  std::vector<std::pair<Rect, uint32_t>> items;
+  for (int64_t i = 0; i < 4096; ++i)
+    items.emplace_back(Rect(Point::p1(2 * i), Point::p1(2 * i)),
+                       static_cast<uint32_t>(i));
+  RectBVH bvh;
+  bvh.build(std::move(items));
+  int hits = 0;
+  bvh.query(Rect(Point::p1(1000), Point::p1(1000)), [&](uint32_t) { ++hits; });
+  EXPECT_EQ(hits, 1);
+  EXPECT_LT(bvh.last_query_visits(), 200u);  // ~12 levels * small constants
+}
+
+TEST(DependentPartitioningTest, PreimagePartitionsEdgesByNodeOwner) {
+  // 12 "edges" each pointing at a node; nodes partitioned into 3 blocks of
+  // 4; preimage groups edges by the block their target lives in.
+  RegionForest forest;
+  const IndexSpaceId nodes = forest.create_index_space(Domain::line(12));
+  const IndexSpaceId edges = forest.create_index_space(Domain::line(12));
+  const PartitionId node_blocks = partition_equal(forest, nodes, Rect::line(3));
+  const PartitionId by_target = partition_preimage(
+      forest, edges, node_blocks,
+      [](const Point& e) { return Point::p1((e[0] * 5) % 12); });
+  EXPECT_TRUE(forest.is_disjoint(by_target));
+  // Every edge lands in exactly one bucket.
+  int64_t total = 0;
+  for (const Point& c : forest.color_space(by_target))
+    total += forest.domain(forest.subspace(by_target, c)).volume();
+  EXPECT_EQ(total, 12);
+  // Edge 1 points at node 5 -> block 1.
+  EXPECT_TRUE(forest.domain(forest.subspace(by_target, Point::p1(1)))
+                  .contains(Point::p1(1)));
+}
+
+TEST(DependentPartitioningTest, ImageComputesTouchedNodes) {
+  RegionForest forest;
+  const IndexSpaceId nodes = forest.create_index_space(Domain::line(12));
+  const IndexSpaceId edges = forest.create_index_space(Domain::line(6));
+  const PartitionId edge_blocks = partition_equal(forest, edges, Rect::line(2));
+  // Edge e touches nodes 2e and 2e+1; block 0 holds edges {0,1,2}.
+  const PartitionId touched = partition_image_multi(
+      forest, nodes, edge_blocks, [](const Point& e, std::vector<Point>& out) {
+        out.push_back(Point::p1(2 * e[0]));
+        out.push_back(Point::p1(2 * e[0] + 1));
+      });
+  const Domain& t0 = forest.domain(forest.subspace(touched, Point::p1(0)));
+  EXPECT_EQ(t0.volume(), 6);
+  EXPECT_TRUE(t0.contains(Point::p1(5)));
+  EXPECT_FALSE(t0.contains(Point::p1(6)));
+  EXPECT_TRUE(forest.is_disjoint(touched));  // this image happens to be disjoint
+}
+
+TEST(DependentPartitioningTest, OverlappingImageIsAliased) {
+  RegionForest forest;
+  const IndexSpaceId range = forest.create_index_space(Domain::line(4));
+  const IndexSpaceId domain = forest.create_index_space(Domain::line(8));
+  const PartitionId blocks = partition_equal(forest, domain, Rect::line(2));
+  // Every domain point maps to node 0: images overlap across colors.
+  const PartitionId img = partition_image(forest, range, blocks,
+                                          [](const Point&) { return Point::p1(0); });
+  EXPECT_FALSE(forest.is_disjoint(img));
+}
+
+TEST(DependentPartitioningTest, ImageRejectsOutOfRangePoints) {
+  RegionForest forest;
+  const IndexSpaceId range = forest.create_index_space(Domain::line(4));
+  const IndexSpaceId domain = forest.create_index_space(Domain::line(8));
+  const PartitionId blocks = partition_equal(forest, domain, Rect::line(2));
+  EXPECT_THROW(partition_image(forest, range, blocks,
+                               [](const Point& p) { return Point::p1(p[0] + 100); }),
+               RuntimeError);
+}
+
+TEST(DependentPartitioningTest, PreimageRoundTripsImage) {
+  // Property: for a function f and disjoint range partition P,
+  // subspace(preimage(f, P), c) maps under f into subspace(P, c).
+  RegionForest forest;
+  Rng rng(17);
+  const IndexSpaceId range = forest.create_index_space(Domain::line(20));
+  const IndexSpaceId domain = forest.create_index_space(Domain::line(40));
+  const PartitionId range_blocks = partition_equal(forest, range, Rect::line(5));
+  std::vector<int64_t> targets;
+  for (int i = 0; i < 40; ++i) targets.push_back(rng.next_in(0, 19));
+  const PartitionId pre = partition_preimage(
+      forest, domain, range_blocks,
+      [&targets](const Point& p) {
+        return Point::p1(targets[static_cast<std::size_t>(p[0])]);
+      });
+  for (const Point& c : forest.color_space(pre)) {
+    const Domain& bucket = forest.domain(forest.subspace(pre, c));
+    const Domain& target = forest.domain(forest.subspace(range_blocks, c));
+    bucket.for_each([&](const Point& x) {
+      EXPECT_TRUE(target.contains(
+          Point::p1(targets[static_cast<std::size_t>(x[0])])));
+    });
+  }
+}
+
+// Property: partition_equal tiles the parent exactly, for many shapes.
+class EqualPartitionProperty
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(EqualPartitionProperty, TilesExactly) {
+  const auto [n, pieces] = GetParam();
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(n));
+  const PartitionId p = partition_equal(forest, is, Rect::line(pieces));
+  EXPECT_TRUE(forest.verify_disjoint(p));
+  int64_t total = 0;
+  int64_t max_sz = 0, min_sz = n;
+  for (const Point& c : forest.color_space(p)) {
+    const int64_t v = forest.domain(forest.subspace(p, c)).volume();
+    total += v;
+    max_sz = std::max(max_sz, v);
+    min_sz = std::min(min_sz, v);
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_LE(max_sz - min_sz, 1);  // balanced
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, EqualPartitionProperty,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(7, 3),
+                                           std::make_tuple(16, 16),
+                                           std::make_tuple(100, 7),
+                                           std::make_tuple(1024, 32),
+                                           std::make_tuple(5, 5)));
+
+// Property: halo partitions always contain their block.
+class HaloContainsBlockProperty
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(HaloContainsBlockProperty, HaloContainsBlock) {
+  const auto [n, pieces, radius] = GetParam();
+  RegionForest forest;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(n));
+  const PartitionId blocks = partition_equal(forest, is, Rect::line(pieces));
+  const PartitionId halos = partition_halo(forest, is, blocks, radius);
+  for (const Point& c : forest.color_space(blocks)) {
+    const Domain& block = forest.domain(forest.subspace(blocks, c));
+    const Domain& halo = forest.domain(forest.subspace(halos, c));
+    EXPECT_TRUE(halo.contains_domain(block));
+    EXPECT_LE(halo.volume(), block.volume() + 2 * radius);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HaloContainsBlockProperty,
+                         ::testing::Values(std::make_tuple(12, 4, 1),
+                                           std::make_tuple(100, 10, 2),
+                                           std::make_tuple(64, 8, 3),
+                                           std::make_tuple(9, 3, 0)));
+
+}  // namespace
+}  // namespace idxl

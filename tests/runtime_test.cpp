@@ -1,0 +1,755 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "region/partition_ops.hpp"
+#include "runtime/mapping.hpp"
+#include "runtime/runtime.hpp"
+
+namespace idxl {
+namespace {
+
+struct Fixture {
+  Runtime rt;
+  IndexSpaceId is;
+  FieldSpaceId fs;
+  FieldId fv = 0;
+  RegionId region;
+  PartitionId blocks;
+
+  explicit Fixture(int64_t n, int64_t pieces, RuntimeConfig cfg = {}) : rt(cfg) {
+    auto& forest = rt.forest();
+    is = forest.create_index_space(Domain::line(n));
+    fs = forest.create_field_space();
+    fv = forest.allocate_field(fs, sizeof(double), "v");
+    region = forest.create_region(is, fs);
+    blocks = partition_equal(forest, is, Rect::line(pieces));
+  }
+};
+
+TEST(RuntimeTest, SingleTaskWritesRegion) {
+  Fixture fx(8, 1);
+  const TaskFnId fill = fx.rt.register_task("fill", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, static_cast<double>(p[0])); });
+  });
+  TaskLauncher launcher;
+  launcher.task = fill;
+  launcher.args = {{fx.region, {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  fx.rt.execute(launcher);
+  fx.rt.wait_all();
+  auto acc = fx.rt.read_region<double>(fx.region, fx.fv);
+  EXPECT_DOUBLE_EQ(acc.read(Point::p1(5)), 5.0);
+  EXPECT_EQ(fx.rt.stats().point_tasks, 1u);
+}
+
+TEST(RuntimeTest, IndexLaunchIdentityIsSafeStaticAndOneCall) {
+  Fixture fx(64, 16);
+  const TaskFnId fill = fx.rt.register_task("fill", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, static_cast<double>(ctx.point[0])); });
+  });
+  IndexLauncher launcher;
+  launcher.task = fill;
+  launcher.domain = Domain::line(16);
+  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  const LaunchResult result = fx.rt.execute_index(launcher);
+  fx.rt.wait_all();
+
+  EXPECT_TRUE(result.ran_as_index_launch);
+  EXPECT_EQ(result.safety.outcome, SafetyOutcome::kSafeStatic);
+  // O(1) issuance: one runtime call for 16 tasks.
+  EXPECT_EQ(fx.rt.stats().runtime_calls, 1u);
+  EXPECT_EQ(fx.rt.stats().point_tasks, 16u);
+
+  auto acc = fx.rt.read_region<double>(fx.region, fx.fv);
+  // Element 63 belongs to block 15.
+  EXPECT_DOUBLE_EQ(acc.read(Point::p1(63)), 15.0);
+  EXPECT_DOUBLE_EQ(acc.read(Point::p1(0)), 0.0);
+}
+
+TEST(RuntimeTest, NoIdxModeIssuesPerTaskCalls) {
+  RuntimeConfig cfg;
+  cfg.enable_index_launches = false;
+  Fixture fx(64, 16, cfg);
+  const TaskFnId fill = fx.rt.register_task("fill", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, static_cast<double>(ctx.point[0])); });
+  });
+  IndexLauncher launcher;
+  launcher.task = fill;
+  launcher.domain = Domain::line(16);
+  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  const LaunchResult result = fx.rt.execute_index(launcher);
+  fx.rt.wait_all();
+
+  EXPECT_FALSE(result.ran_as_index_launch);
+  // O(P) issuance in No-IDX mode (the paper's baseline configuration).
+  EXPECT_EQ(fx.rt.stats().runtime_calls, 16u);
+  EXPECT_EQ(fx.rt.stats().point_tasks, 16u);
+  auto acc = fx.rt.read_region<double>(fx.region, fx.fv);
+  EXPECT_DOUBLE_EQ(acc.read(Point::p1(63)), 15.0);
+}
+
+TEST(RuntimeTest, ProgramOrderAcrossLaunches) {
+  // Launch 1 writes v[i] = i; launch 2 reads left neighbor's halo and adds.
+  Fixture fx(40, 4);
+  auto& forest = fx.rt.forest();
+  const PartitionId halos = partition_halo(forest, fx.is, fx.blocks, 1);
+
+  const TaskFnId fill = fx.rt.register_task("fill", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, static_cast<double>(p[0])); });
+  });
+  const TaskFnId smooth = fx.rt.register_task("smooth", [](TaskContext& ctx) {
+    auto in = ctx.region(0).accessor<double>(0);
+    auto out = ctx.region(1).accessor<double>(0);
+    const Domain& halo = ctx.region(0).domain();
+    ctx.region(1).domain().for_each([&](const Point& p) {
+      double sum = in.read(p);
+      const Point l = Point::p1(p[0] - 1), r = Point::p1(p[0] + 1);
+      if (halo.contains(l)) sum += in.read(l);
+      if (halo.contains(r)) sum += in.read(r);
+      out.write(p, sum);
+    });
+  });
+
+  // Second region for output (separate tree).
+  const RegionId out_region = forest.create_region(fx.is, fx.fs);
+
+  IndexLauncher l1;
+  l1.task = fill;
+  l1.domain = Domain::line(4);
+  l1.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
+              {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  fx.rt.execute_index(l1);
+
+  IndexLauncher l2;
+  l2.task = smooth;
+  l2.domain = Domain::line(4);
+  l2.args = {{fx.region, halos, ProjectionFunctor::identity(1),
+              {fx.fv}, Privilege::kRead, ReductionOp::kNone},
+             {out_region, fx.blocks, ProjectionFunctor::identity(1),
+              {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  const auto r2 = fx.rt.execute_index(l2);
+  fx.rt.wait_all();
+  EXPECT_TRUE(r2.ran_as_index_launch);
+
+  auto acc = fx.rt.read_region<double>(out_region, fx.fv);
+  // Interior point 17: 16+17+18.
+  EXPECT_DOUBLE_EQ(acc.read(Point::p1(17)), 51.0);
+  // Block-boundary point 9 reads neighbor block's value 10 via the halo —
+  // this is only correct if launch 2 waited for *all* of launch 1's
+  // relevant writers.
+  EXPECT_DOUBLE_EQ(acc.read(Point::p1(9)), 8.0 + 9.0 + 10.0);
+  // Edge point 0: 0+1.
+  EXPECT_DOUBLE_EQ(acc.read(Point::p1(0)), 1.0);
+}
+
+TEST(RuntimeTest, UnsafeLaunchFallsBackSequentially) {
+  // write q[i % 3] over [0,6): unsafe as an index launch; the fallback task
+  // loop must still produce the sequential semantics: q[c] ends up with the
+  // LAST i mapping to c.
+  Fixture fx(3, 3);
+  const TaskFnId stamp = fx.rt.register_task("stamp", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, static_cast<double>(ctx.point[0])); });
+  });
+  IndexLauncher launcher;
+  launcher.task = stamp;
+  launcher.domain = Domain::line(6);
+  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::modular1d(0, 3),
+                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  const LaunchResult result = fx.rt.execute_index(launcher);
+  fx.rt.wait_all();
+
+  EXPECT_FALSE(result.ran_as_index_launch);
+  EXPECT_EQ(result.safety.outcome, SafetyOutcome::kUnsafe);
+  EXPECT_EQ(fx.rt.stats().launches_unsafe, 1u);
+
+  auto acc = fx.rt.read_region<double>(fx.region, fx.fv);
+  // Block c is last written by i = c + 3.
+  EXPECT_DOUBLE_EQ(acc.read(Point::p1(0)), 3.0);
+  EXPECT_DOUBLE_EQ(acc.read(Point::p1(1)), 4.0);
+  EXPECT_DOUBLE_EQ(acc.read(Point::p1(2)), 5.0);
+}
+
+TEST(RuntimeTest, StrictUnsafeThrows) {
+  RuntimeConfig cfg;
+  cfg.strict_unsafe = true;
+  Fixture fx(3, 3, cfg);
+  const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
+  IndexLauncher launcher;
+  launcher.task = noop;
+  launcher.domain = Domain::line(6);
+  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::modular1d(0, 3),
+                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  EXPECT_THROW(fx.rt.execute_index(launcher), RuntimeError);
+}
+
+TEST(RuntimeTest, ReductionIntoSingleCell) {
+  // Every task of the launch reduces its block's sum into one global cell
+  // via a constant projection functor — safe because reductions are exempt
+  // from self-checks.
+  Fixture fx(100, 10);
+  auto& forest = fx.rt.forest();
+  const IndexSpaceId sum_is = forest.create_index_space(Domain::line(1));
+  const RegionId sum_region = forest.create_region(sum_is, fx.fs);
+  const PartitionId sum_part = partition_equal(forest, sum_is, Rect::line(1));
+
+  const TaskFnId fill = fx.rt.register_task("fill", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, static_cast<double>(p[0])); });
+  });
+  const TaskFnId reduce = fx.rt.register_task("reduce", [](TaskContext& ctx) {
+    auto in = ctx.region(0).accessor<double>(0);
+    auto out = ctx.region(1).accessor<double>(0);
+    double sum = 0;
+    ctx.region(0).domain().for_each([&](const Point& p) { sum += in.read(p); });
+    out.reduce(Point::p1(0), sum);
+  });
+
+  IndexLauncher l1;
+  l1.task = fill;
+  l1.domain = Domain::line(10);
+  l1.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
+              {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  fx.rt.execute_index(l1);
+
+  IndexLauncher l2;
+  l2.task = reduce;
+  l2.domain = Domain::line(10);
+  l2.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
+              {fx.fv}, Privilege::kRead, ReductionOp::kNone},
+             {sum_region, sum_part, ProjectionFunctor::symbolic({make_const(0)}),
+              {fx.fv}, Privilege::kReduce, ReductionOp::kSum}};
+  const auto r = fx.rt.execute_index(l2);
+  fx.rt.wait_all();
+  EXPECT_TRUE(r.ran_as_index_launch);
+
+  auto acc = fx.rt.read_region<double>(sum_region, fx.fv);
+  EXPECT_DOUBLE_EQ(acc.read(Point::p1(0)), 99.0 * 100.0 / 2.0);
+}
+
+TEST(RuntimeTest, ScalarArgsReachTasks) {
+  Fixture fx(4, 1);
+  struct Params {
+    double scale;
+    int64_t offset;
+  };
+  const TaskFnId fill = fx.rt.register_task("fill", [](TaskContext& ctx) {
+    const auto& params = ctx.arg<Params>();
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each([&](const Point& p) {
+      acc.write(p, params.scale * static_cast<double>(p[0] + params.offset));
+    });
+  });
+  TaskLauncher launcher;
+  launcher.task = fill;
+  launcher.args = {{fx.region, {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  launcher.scalar_args = ArgBuffer::of(Params{2.5, 10});
+  fx.rt.execute(launcher);
+  fx.rt.wait_all();
+  auto acc = fx.rt.read_region<double>(fx.region, fx.fv);
+  EXPECT_DOUBLE_EQ(acc.read(Point::p1(3)), 2.5 * 13.0);
+}
+
+TEST(RuntimeTest, IterativeStencilMatchesSerialReference) {
+  const int64_t n = 60, pieces = 6, iters = 8;
+  Fixture fx(n, pieces);
+  auto& forest = fx.rt.forest();
+  const FieldId f_new = forest.allocate_field(fx.fs, sizeof(double), "v_new");
+  // Recreate region so it has both fields.
+  const RegionId grid = forest.create_region(fx.is, fx.fs);
+  const PartitionId blocks = partition_equal(forest, fx.is, Rect::line(pieces));
+  const PartitionId halos = partition_halo(forest, fx.is, blocks, 1);
+
+  const TaskFnId init = fx.rt.register_task("init", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each([&](const Point& p) {
+      acc.write(p, p[0] % 7 == 0 ? 100.0 : 0.0);
+    });
+  });
+  const TaskFnId step = fx.rt.register_task("step", [f_new](TaskContext& ctx) {
+    auto in = ctx.region(0).accessor<double>(0);
+    auto out = ctx.region(1).accessor<double>(f_new);
+    const Domain& halo = ctx.region(0).domain();
+    ctx.region(1).domain().for_each([&](const Point& p) {
+      double acc_val = in.read(p) * 0.5;
+      const Point l = Point::p1(p[0] - 1), r = Point::p1(p[0] + 1);
+      if (halo.contains(l)) acc_val += in.read(l) * 0.25;
+      if (halo.contains(r)) acc_val += in.read(r) * 0.25;
+      out.write(p, acc_val);
+    });
+  });
+  const TaskFnId copy_back = fx.rt.register_task("copy", [f_new](TaskContext& ctx) {
+    auto in = ctx.region(0).accessor<double>(f_new);
+    auto out = ctx.region(1).accessor<double>(0);
+    ctx.region(1).domain().for_each([&](const Point& p) { out.write(p, in.read(p)); });
+  });
+
+  TaskLauncher init_launcher;
+  init_launcher.task = init;
+  init_launcher.args = {{grid, {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  fx.rt.execute(init_launcher);
+
+  for (int64_t it = 0; it < iters; ++it) {
+    IndexLauncher s;
+    s.task = step;
+    s.domain = Domain::line(pieces);
+    s.args = {{grid, halos, ProjectionFunctor::identity(1),
+               {fx.fv}, Privilege::kRead, ReductionOp::kNone},
+              {grid, blocks, ProjectionFunctor::identity(1),
+               {f_new}, Privilege::kWrite, ReductionOp::kNone}};
+    const auto rs = fx.rt.execute_index(s);
+    EXPECT_TRUE(rs.ran_as_index_launch);
+
+    IndexLauncher c;
+    c.task = copy_back;
+    c.domain = Domain::line(pieces);
+    c.args = {{grid, blocks, ProjectionFunctor::identity(1),
+               {f_new}, Privilege::kRead, ReductionOp::kNone},
+              {grid, blocks, ProjectionFunctor::identity(1),
+               {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+    fx.rt.execute_index(c);
+  }
+  fx.rt.wait_all();
+
+  // Serial reference.
+  std::vector<double> ref(n);
+  for (int64_t i = 0; i < n; ++i) ref[static_cast<std::size_t>(i)] = i % 7 == 0 ? 100.0 : 0.0;
+  for (int64_t it = 0; it < iters; ++it) {
+    std::vector<double> next(n);
+    for (int64_t i = 0; i < n; ++i) {
+      double v = ref[static_cast<std::size_t>(i)] * 0.5;
+      if (i > 0) v += ref[static_cast<std::size_t>(i - 1)] * 0.25;
+      if (i < n - 1) v += ref[static_cast<std::size_t>(i + 1)] * 0.25;
+      next[static_cast<std::size_t>(i)] = v;
+    }
+    ref = std::move(next);
+  }
+  auto acc = fx.rt.read_region<double>(grid, fx.fv);
+  for (int64_t i = 0; i < n; ++i)
+    ASSERT_NEAR(acc.read(Point::p1(i)), ref[static_cast<std::size_t>(i)], 1e-12) << i;
+}
+
+TEST(RuntimeTest, TraceCaptureAndReplayProduceSameResults) {
+  const int64_t n = 32, pieces = 4;
+  Fixture fx(n, pieces);
+  auto& forest = fx.rt.forest();
+  const PartitionId halos = partition_halo(forest, fx.is, fx.blocks, 1);
+  const FieldId f_new = forest.allocate_field(fx.fs, sizeof(double), "v_new");
+  const RegionId grid = forest.create_region(fx.is, fx.fs);
+  const PartitionId blocks = partition_equal(forest, fx.is, Rect::line(pieces));
+  const PartitionId ghosts = partition_halo(forest, fx.is, blocks, 1);
+  (void)halos;
+
+  const TaskFnId init = fx.rt.register_task("init", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, static_cast<double>(p[0])); });
+  });
+  const TaskFnId step = fx.rt.register_task("step", [f_new](TaskContext& ctx) {
+    auto in = ctx.region(0).accessor<double>(0);
+    auto out = ctx.region(1).accessor<double>(f_new);
+    const Domain& halo = ctx.region(0).domain();
+    ctx.region(1).domain().for_each([&](const Point& p) {
+      double v = in.read(p);
+      const Point l = Point::p1(p[0] - 1);
+      if (halo.contains(l)) v += in.read(l);
+      out.write(p, v);
+    });
+  });
+  const TaskFnId copy_back = fx.rt.register_task("copy", [f_new](TaskContext& ctx) {
+    auto in = ctx.region(0).accessor<double>(f_new);
+    auto out = ctx.region(1).accessor<double>(0);
+    ctx.region(1).domain().for_each([&](const Point& p) { out.write(p, in.read(p)); });
+  });
+
+  TaskLauncher il;
+  il.task = init;
+  il.args = {{grid, {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  fx.rt.execute(il);
+
+  auto run_iteration = [&] {
+    IndexLauncher s;
+    s.task = step;
+    s.domain = Domain::line(pieces);
+    s.args = {{grid, ghosts, ProjectionFunctor::identity(1),
+               {fx.fv}, Privilege::kRead, ReductionOp::kNone},
+              {grid, blocks, ProjectionFunctor::identity(1),
+               {f_new}, Privilege::kWrite, ReductionOp::kNone}};
+    fx.rt.execute_index(s);
+    IndexLauncher c;
+    c.task = copy_back;
+    c.domain = Domain::line(pieces);
+    c.args = {{grid, blocks, ProjectionFunctor::identity(1),
+               {f_new}, Privilege::kRead, ReductionOp::kNone},
+              {grid, blocks, ProjectionFunctor::identity(1),
+               {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+    fx.rt.execute_index(c);
+  };
+
+  // Iteration 1 captures the trace; iterations 2..5 replay it.
+  for (int it = 0; it < 5; ++it) {
+    fx.rt.begin_trace(7);
+    run_iteration();
+    fx.rt.end_trace(7);
+  }
+  fx.rt.wait_all();
+  EXPECT_EQ(fx.rt.stats().traced_tasks_replayed, 4u * 2u * pieces);
+
+  // Serial reference: v[i] += v[i-1], 5 times (Jacobi-style with copy).
+  std::vector<double> ref(n);
+  std::iota(ref.begin(), ref.end(), 0.0);
+  for (int it = 0; it < 5; ++it) {
+    std::vector<double> next(n);
+    for (int64_t i = 0; i < n; ++i)
+      next[static_cast<std::size_t>(i)] =
+          ref[static_cast<std::size_t>(i)] + (i > 0 ? ref[static_cast<std::size_t>(i - 1)] : 0.0);
+    ref = std::move(next);
+  }
+  auto acc = fx.rt.read_region<double>(grid, fx.fv);
+  for (int64_t i = 0; i < n; ++i)
+    ASSERT_NEAR(acc.read(Point::p1(i)), ref[static_cast<std::size_t>(i)], 1e-9) << i;
+}
+
+TEST(RuntimeTest, TraceReplayDivergenceDetected) {
+  Fixture fx(8, 2);
+  const TaskFnId a = fx.rt.register_task("a", [](TaskContext&) {});
+  const TaskFnId b = fx.rt.register_task("b", [](TaskContext&) {});
+
+  TaskLauncher la;
+  la.task = a;
+  TaskLauncher lb;
+  lb.task = b;
+
+  fx.rt.begin_trace(1);
+  fx.rt.execute(la);
+  fx.rt.end_trace(1);
+
+  fx.rt.begin_trace(1);
+  EXPECT_THROW(fx.rt.execute(lb), RuntimeError);  // diverges from capture
+}
+
+TEST(RuntimeTest, TaskGraphExport) {
+  RuntimeConfig cfg;
+  cfg.record_task_graph = true;
+  Fixture fx(16, 4, cfg);
+  const TaskFnId stamp = fx.rt.register_task("stamp", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each([&](const Point& p) { acc.write(p, 1.0); });
+  });
+  IndexLauncher launcher;
+  launcher.task = stamp;
+  launcher.domain = Domain::line(4);
+  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                    {fx.fv}, Privilege::kReadWrite, ReductionOp::kNone}};
+  fx.rt.execute_index(launcher);
+  fx.rt.execute_index(launcher);
+  fx.rt.wait_all();
+
+  const std::string dot = fx.rt.export_task_graph_dot();
+  // 8 nodes; launch 2's task i depends on launch 1's task i -> 4 edges.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '['), 1 + 8);  // node attrs + header
+  EXPECT_NE(dot.find("stamp@(0)"), std::string::npos);
+  EXPECT_EQ(static_cast<int>(std::count(dot.begin(), dot.end(), '>')), 4);
+
+  // Without recording, export throws.
+  Fixture plain(16, 4);
+  EXPECT_THROW(plain.rt.export_task_graph_dot(), RuntimeError);
+}
+
+TEST(RuntimeTest, EmptyDomainLaunchThrows) {
+  Fixture fx(8, 2);
+  const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
+  IndexLauncher launcher;
+  launcher.task = noop;
+  launcher.domain = Domain::from_points({});
+  EXPECT_THROW(fx.rt.execute_index(launcher), RuntimeError);
+}
+
+TEST(RuntimeTest, UnknownTaskIdThrows) {
+  Fixture fx(8, 2);
+  IndexLauncher launcher;
+  launcher.task = 999;
+  launcher.domain = Domain::line(2);
+  EXPECT_THROW(fx.rt.execute_index(launcher), RuntimeError);
+  TaskLauncher single;
+  single.task = 999;
+  EXPECT_THROW(fx.rt.execute(single), RuntimeError);
+}
+
+TEST(RuntimeTest, FunctorColorOutsidePartitionThrows) {
+  Fixture fx(8, 2);
+  const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
+  IndexLauncher launcher;
+  launcher.task = noop;
+  launcher.domain = Domain::line(4);
+  // Functor maps beyond the 2-color partition; reads are exempt from
+  // safety checks, so the failure surfaces at subregion resolution.
+  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                    {fx.fv}, Privilege::kRead, ReductionOp::kNone}};
+  EXPECT_THROW(fx.rt.execute_index(launcher), RuntimeError);
+}
+
+TEST(RuntimeDeathTest, ReadWithoutPrivilegeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Fixture fx(8, 2);
+  const TaskFnId bad = fx.rt.register_task("bad", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    (void)acc.read(Point::p1(0));  // declared write-only
+  });
+  TaskLauncher launcher;
+  launcher.task = bad;
+  launcher.args = {{fx.region, {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  EXPECT_DEATH(
+      {
+        fx.rt.execute(launcher);
+        fx.rt.wait_all();
+      },
+      "privilege");
+}
+
+TEST(RuntimeDeathTest, OutOfBoundsAccessAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Fixture fx(8, 2);
+  const TaskFnId bad = fx.rt.register_task("bad", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    acc.write(Point::p1(7), 1.0);  // block 0 covers [0, 4)
+  });
+  IndexLauncher launcher;
+  launcher.task = bad;
+  launcher.domain = Domain::line(1);
+  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  EXPECT_DEATH(
+      {
+        fx.rt.execute_index(launcher);
+        fx.rt.wait_all();
+      },
+      "bounds");
+}
+
+TEST(RuntimeTest, FutureReducesTaskReturnValues) {
+  Fixture fx(100, 10);
+  const TaskFnId block_sum = fx.rt.register_task("block_sum", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    double sum = 0;
+    ctx.region(0).domain().for_each([&](const Point& p) {
+      acc.write(p, static_cast<double>(p[0]));
+      sum += static_cast<double>(p[0]);
+    });
+    ctx.return_value = sum;
+  });
+  IndexLauncher launcher;
+  launcher.task = block_sum;
+  launcher.domain = Domain::line(10);
+  launcher.result_redop = ReductionOp::kSum;
+  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  LaunchResult r = fx.rt.execute_index(launcher);
+  ASSERT_TRUE(r.future.valid());
+  EXPECT_DOUBLE_EQ(r.future.get(fx.rt), 99.0 * 100.0 / 2.0);
+
+  // Max across blocks: block b holds values up to 10b+9.
+  launcher.result_redop = ReductionOp::kMax;
+  const TaskFnId block_max = fx.rt.register_task("block_max", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    double best = -1e300;
+    ctx.region(0).domain().for_each([&](const Point& p) {
+      best = std::max(best, acc.read(p));
+      acc.write(p, best);
+    });
+    ctx.return_value = best;
+  });
+  launcher.task = block_max;
+  launcher.args[0].privilege = Privilege::kReadWrite;
+  LaunchResult r2 = fx.rt.execute_index(launcher);
+  EXPECT_DOUBLE_EQ(r2.future.get(fx.rt), 99.0);
+}
+
+TEST(RuntimeTest, FutureWorksInNoIdxAndFallbackModes) {
+  auto run_mode = [](bool idx, const ProjectionFunctor& functor, int64_t domain) {
+    RuntimeConfig cfg;
+    cfg.enable_index_launches = idx;
+    Fixture fx(30, 3, cfg);
+    const TaskFnId one = fx.rt.register_task("one", [](TaskContext& ctx) {
+      auto acc = ctx.region(0).accessor<double>(0);
+      ctx.region(0).domain().for_each([&](const Point& p) { acc.write(p, 1.0); });
+      ctx.return_value = 1.0;
+    });
+    IndexLauncher launcher;
+    launcher.task = one;
+    launcher.domain = Domain::line(domain);
+    launcher.result_redop = ReductionOp::kSum;
+    launcher.args = {{fx.region, fx.blocks, functor, {fx.fv}, Privilege::kWrite,
+                      ReductionOp::kNone}};
+    return fx.rt.execute_index(launcher).future.get(fx.rt);
+  };
+  // Index-launch path, task-loop (No-IDX) path, and the unsafe-fallback
+  // path (i % 3 over 6 points) all produce the complete reduction.
+  EXPECT_DOUBLE_EQ(run_mode(true, ProjectionFunctor::identity(1), 3), 3.0);
+  EXPECT_DOUBLE_EQ(run_mode(false, ProjectionFunctor::identity(1), 3), 3.0);
+  EXPECT_DOUBLE_EQ(run_mode(true, ProjectionFunctor::modular1d(0, 3), 6), 6.0);
+}
+
+TEST(RuntimeTest, EmptyFutureThrows) {
+  Fixture fx(8, 2);
+  Future empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW(empty.get(fx.rt), RuntimeError);
+}
+
+TEST(RuntimeTest, ExtendedStaticAnalysisAvoidsDynamicCheck) {
+  RuntimeConfig cfg;
+  cfg.extended_static_analysis = true;
+  Fixture fx(40, 10, cfg);
+  const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
+  IndexLauncher launcher;
+  launcher.task = noop;
+  launcher.domain = Domain::line(10);
+  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::modular1d(3, 10),
+                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  const LaunchResult r = fx.rt.execute_index(launcher);
+  EXPECT_EQ(r.safety.outcome, SafetyOutcome::kSafeStatic);
+  EXPECT_EQ(r.safety.dynamic_points, 0u);
+  fx.rt.wait_all();
+}
+
+TEST(RuntimeTest, RapidReissueStress) {
+  // Regression test for an issuance race: a dependency that completes the
+  // instant its successor edge is published must not double-trigger the
+  // successor. Reproduces with no-op tasks whose predecessors finish faster
+  // than the issuing thread can raise the pending count.
+  RuntimeConfig cfg;
+  cfg.workers = 2;
+  Fixture fx(256, 64, cfg);
+  const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
+  IndexLauncher launcher;
+  launcher.task = noop;
+  launcher.domain = Domain::line(64);
+  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                    {fx.fv}, Privilege::kReadWrite, ReductionOp::kNone}};
+  for (int i = 0; i < 50; ++i) fx.rt.execute_index(launcher);
+  fx.rt.wait_all();
+  EXPECT_EQ(fx.rt.stats().point_tasks, 50u * 64u);
+}
+
+TEST(RuntimeTest, DisjointPartitionSkipsDomainTests) {
+  // Whole-partition reasoning in the tracker: repeated launches over one
+  // disjoint partition should need far fewer pairwise dependence tests
+  // than the quadratic all-pairs scan.
+  Fixture fx(256, 64);
+  const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
+  IndexLauncher launcher;
+  launcher.task = noop;
+  launcher.domain = Domain::line(64);
+  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                    {fx.fv}, Privilege::kReadWrite, ReductionOp::kNone}};
+  for (int i = 0; i < 10; ++i) fx.rt.execute_index(launcher);
+  fx.rt.wait_all();
+  // Each task conflicts only with its same-color predecessor: the tests
+  // performed stay linear in tasks, far below the 64x64 pairwise bound.
+  EXPECT_LT(fx.rt.stats().dependence_tests, 10u * 64u * 8u);
+}
+
+// ---------- sharding / slicing functors ----------
+
+TEST(MappingTest, BlockShardingPartitionsDomain) {
+  BlockShardingFunctor sharder;
+  const Domain d = Domain::line(100);
+  std::vector<int> counts(4, 0);
+  d.for_each([&](const Point& p) { ++counts[sharder.shard(p, d, 4)]; });
+  for (int c : counts) EXPECT_EQ(c, 25);
+  // Contiguity: shard of point 0 is 0, of point 99 is 3.
+  EXPECT_EQ(sharder.shard(Point::p1(0), d, 4), 0u);
+  EXPECT_EQ(sharder.shard(Point::p1(99), d, 4), 3u);
+}
+
+TEST(MappingTest, BlockShardingLocalPoints) {
+  BlockShardingFunctor sharder;
+  const Domain d = Domain::line(10);
+  const auto local = sharder.local_points(d, 1, 3);
+  // Shards of 10 over 3: idx*3/10 -> shard 1 owns idx 4..6.
+  ASSERT_EQ(local.size(), 3u);
+  EXPECT_EQ(local[0], Point::p1(4));
+  EXPECT_EQ(local[2], Point::p1(6));
+}
+
+TEST(MappingTest, CyclicShardingRoundRobins) {
+  CyclicShardingFunctor sharder;
+  const Domain d = Domain::line(8);
+  EXPECT_EQ(sharder.shard(Point::p1(0), d, 3), 0u);
+  EXPECT_EQ(sharder.shard(Point::p1(1), d, 3), 1u);
+  EXPECT_EQ(sharder.shard(Point::p1(2), d, 3), 2u);
+  EXPECT_EQ(sharder.shard(Point::p1(3), d, 3), 0u);
+}
+
+TEST(MappingTest, ShardingWorksOnSparseDomains) {
+  BlockShardingFunctor sharder;
+  std::vector<Point> pts;
+  for (int i = 0; i < 12; i += 2) pts.push_back(Point::p1(i));
+  const Domain d = Domain::from_points(pts);
+  std::vector<int> counts(2, 0);
+  d.for_each([&](const Point& p) { ++counts[sharder.shard(p, d, 2)]; });
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 3);
+}
+
+TEST(MappingTest, BinarySlicingCoversDomainExactly) {
+  BinarySlicingFunctor slicer;
+  Slice root;
+  root.domain = Domain(Rect::box2(16, 16));
+  root.node_lo = 0;
+  root.node_hi = 7;
+
+  // Recursively expand to leaves and verify the leaves tile the domain with
+  // one leaf per node.
+  std::vector<Slice> leaves;
+  auto expand = [&](auto&& self, const Slice& s) -> void {
+    const auto children = slicer.slice(s);
+    if (children.size() == 1 && children[0].node_lo == s.node_lo &&
+        children[0].node_hi == s.node_hi) {
+      leaves.push_back(s);
+      return;
+    }
+    for (const Slice& c : children) self(self, c);
+  };
+  expand(expand, root);
+
+  ASSERT_EQ(leaves.size(), 8u);
+  int64_t total = 0;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_EQ(leaves[i].node_lo, leaves[i].node_hi);
+    total += leaves[i].domain.volume();
+    for (std::size_t j = i + 1; j < leaves.size(); ++j)
+      EXPECT_TRUE(leaves[i].domain.disjoint_from(leaves[j].domain));
+  }
+  EXPECT_EQ(total, 256);
+}
+
+TEST(MappingTest, BinarySlicingSparseDomain) {
+  BinarySlicingFunctor slicer;
+  std::vector<Point> pts;
+  for (int i = 0; i < 7; ++i) pts.push_back(Point::p1(i * 3));
+  Slice root;
+  root.domain = Domain::from_points(pts);
+  root.node_lo = 0;
+  root.node_hi = 1;
+  const auto children = slicer.slice(root);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0].domain.volume() + children[1].domain.volume(), 7);
+  EXPECT_TRUE(children[0].domain.disjoint_from(children[1].domain));
+}
+
+}  // namespace
+}  // namespace idxl

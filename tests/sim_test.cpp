@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "apps/sim_specs.hpp"
+#include "sim/experiment.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace idxl::sim {
+namespace {
+
+using apps::circuit_strong_spec;
+using apps::circuit_weak_overdecomposed_spec;
+using apps::circuit_weak_spec;
+using apps::soleil_full_spec;
+using apps::stencil_weak_spec;
+
+SimConfig config(uint32_t nodes, bool dcr, bool idx, bool tracing = true,
+                 bool checks = true) {
+  SimConfig c;
+  c.nodes = nodes;
+  c.dcr = dcr;
+  c.idx = idx;
+  c.tracing = tracing;
+  c.dynamic_checks = checks;
+  return c;
+}
+
+TEST(LocalTaskCountTest, BalancedBlocks) {
+  EXPECT_EQ(local_task_count(10, 4, 0), 3);
+  EXPECT_EQ(local_task_count(10, 4, 1), 3);
+  EXPECT_EQ(local_task_count(10, 4, 2), 2);
+  EXPECT_EQ(local_task_count(10, 4, 3), 2);
+  int64_t total = 0;
+  for (uint32_t n = 0; n < 7; ++n) total += local_task_count(23, 7, n);
+  EXPECT_EQ(total, 23);
+  // Fewer tasks than nodes: some nodes idle.
+  EXPECT_EQ(local_task_count(3, 8, 0), 1);
+  EXPECT_EQ(local_task_count(3, 8, 7), 0);
+}
+
+TEST(PipelineSimTest, SingleNodeSanity) {
+  const AppSpec app = circuit_weak_spec(1);
+  const SimResult r = simulate(app, config(1, true, true));
+  EXPECT_GT(r.seconds_per_iteration, 0.0);
+  // 2e5 wires at ~220ns/wire across 3 phases: tens of ms per iteration.
+  EXPECT_GT(r.seconds_per_iteration, 0.02);
+  EXPECT_LT(r.seconds_per_iteration, 0.2);
+  EXPECT_EQ(r.messages, 0u);  // DCR distributes without communication
+}
+
+TEST(PipelineSimTest, IndexLaunchIsBulkIssuance) {
+  // Runtime ops with IDX are per-launch; without, per-task. 64 nodes,
+  // 3 launches/iter: the op counts must differ by roughly |D|.
+  const AppSpec app = circuit_weak_spec(64);
+  const SimResult idx = simulate(app, config(64, true, true));
+  const SimResult noidx = simulate(app, config(64, true, false));
+  EXPECT_LT(idx.runtime_ops, noidx.runtime_ops / 4);
+}
+
+TEST(PipelineSimTest, BroadcastTreeMessageCount) {
+  // No-DCR + IDX with tracing off distributes each launch over a tree:
+  // N-1 slice messages per launch.
+  const uint32_t nodes = 32;
+  AppSpec app = circuit_weak_spec(nodes);
+  app.warmup = 0;
+  app.iterations = 1;
+  const SimResult r = simulate(app, config(nodes, false, true, /*tracing=*/false));
+  EXPECT_EQ(r.messages, static_cast<uint64_t>(nodes - 1) * app.iteration.size());
+}
+
+TEST(PipelineSimTest, PerTaskSendsWithoutIdx) {
+  const uint32_t nodes = 32;
+  AppSpec app = circuit_weak_spec(nodes);
+  app.warmup = 0;
+  app.iterations = 1;
+  const SimResult r = simulate(app, config(nodes, false, false));
+  // All tasks not owned by node 0 travel individually.
+  const uint64_t remote_per_launch = nodes - 1;
+  EXPECT_EQ(r.messages, remote_per_launch * app.iteration.size());
+}
+
+TEST(PipelineSimTest, DcrIdxBeatsDcrNoIdxAtScale) {
+  // The Fig. 5 divergence: replicated per-task issuance makes DCR-No-IDX
+  // per-node cost grow with total task count.
+  const uint32_t nodes = 1024;
+  const AppSpec app = circuit_weak_spec(nodes);
+  const SimResult idx = simulate(app, config(nodes, true, true));
+  const SimResult noidx = simulate(app, config(nodes, true, false));
+  EXPECT_LT(idx.seconds_per_iteration, noidx.seconds_per_iteration);
+  // At small scale the difference is minor.
+  const SimResult idx_small = simulate(circuit_weak_spec(2), config(2, true, true));
+  const SimResult noidx_small = simulate(circuit_weak_spec(2), config(2, true, false));
+  EXPECT_NEAR(idx_small.seconds_per_iteration / noidx_small.seconds_per_iteration, 1.0,
+              0.1);
+}
+
+TEST(PipelineSimTest, BestConfigIsDcrIdxOnStrongScaling) {
+  const uint32_t nodes = 512;
+  const AppSpec app = circuit_strong_spec(nodes);
+  double best = 1e300;
+  int best_idx = -1;
+  const auto configs = four_configs();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    SimConfig c = configs[i];
+    c.nodes = nodes;
+    const double t = simulate(app, c).seconds_per_iteration;
+    if (t < best) {
+      best = t;
+      best_idx = static_cast<int>(i);
+    }
+  }
+  EXPECT_EQ(best_idx, 0);  // DCR, IDX
+}
+
+TEST(PipelineSimTest, TracingInterferenceWithoutDcr) {
+  // Fig. 5 effect: with tracing, No-DCR+IDX is slightly *worse* than
+  // No-DCR+No-IDX (forced expansion + re-issuance).
+  const uint32_t nodes = 64;
+  const AppSpec app = circuit_weak_spec(nodes);
+  const SimResult idx = simulate(app, config(nodes, false, true, /*tracing=*/true));
+  const SimResult noidx = simulate(app, config(nodes, false, false, /*tracing=*/true));
+  EXPECT_GE(idx.seconds_per_iteration, noidx.seconds_per_iteration * 0.999);
+
+  // Fig. 6 effect: tracing off + overdecomposition, IDX wins without DCR.
+  const AppSpec over = circuit_weak_overdecomposed_spec(nodes);
+  const SimResult idx_nt = simulate(over, config(nodes, false, true, /*tracing=*/false));
+  const SimResult noidx_nt =
+      simulate(over, config(nodes, false, false, /*tracing=*/false));
+  EXPECT_LT(idx_nt.seconds_per_iteration, noidx_nt.seconds_per_iteration);
+}
+
+TEST(PipelineSimTest, BulkTracingRemovesTheInterference) {
+  // The paper's future-work fix: with bulk-launch tracing, No-DCR+IDX beats
+  // No-DCR+No-IDX even with tracing enabled.
+  const uint32_t nodes = 256;
+  const AppSpec over = circuit_weak_overdecomposed_spec(nodes);
+  SimConfig bulk = config(nodes, false, true, /*tracing=*/true);
+  bulk.bulk_tracing = true;
+  const SimResult idx_bulk = simulate(over, bulk);
+  const SimResult idx_pertask = simulate(over, config(nodes, false, true, true));
+  const SimResult noidx = simulate(over, config(nodes, false, false, true));
+  EXPECT_LT(idx_bulk.seconds_per_iteration, noidx.seconds_per_iteration);
+  EXPECT_LT(idx_bulk.seconds_per_iteration, idx_pertask.seconds_per_iteration);
+  // Distribution goes back to the O(log N) tree.
+  EXPECT_LT(idx_bulk.messages, noidx.messages / 4);
+}
+
+TEST(PipelineSimTest, Fig6IdxWinsWithDcrToo) {
+  const uint32_t nodes = 256;
+  const AppSpec over = circuit_weak_overdecomposed_spec(nodes);
+  const SimResult idx = simulate(over, config(nodes, true, true, /*tracing=*/false));
+  const SimResult noidx = simulate(over, config(nodes, true, false, /*tracing=*/false));
+  EXPECT_LT(idx.seconds_per_iteration, noidx.seconds_per_iteration);
+}
+
+TEST(PipelineSimTest, WeakScalingEfficiencyDecaysGracefullyForDcrIdx) {
+  const SimResult one = simulate(circuit_weak_spec(1), config(1, true, true));
+  const SimResult big = simulate(circuit_weak_spec(1024), config(1024, true, true));
+  const double efficiency = one.seconds_per_iteration / big.seconds_per_iteration;
+  EXPECT_GT(efficiency, 0.6);   // stays useful at 1024 nodes
+  EXPECT_LT(efficiency, 1.01);  // but can't exceed ideal
+}
+
+TEST(PipelineSimTest, StencilDivergenceLaterThanCircuit) {
+  // Stencil iterations are longer, so the DCR±IDX divergence shows up at
+  // higher node counts (Fig. 8 vs Fig. 5).
+  auto gap = [&](const AppSpec& app, uint32_t nodes) {
+    const double a = simulate(app, config(nodes, true, true)).seconds_per_iteration;
+    const double b = simulate(app, config(nodes, true, false)).seconds_per_iteration;
+    return b / a;
+  };
+  const double circuit_gap = gap(circuit_weak_spec(512), 512);
+  const double stencil_gap = gap(stencil_weak_spec(512), 512);
+  EXPECT_GT(circuit_gap, stencil_gap);
+}
+
+TEST(PipelineSimTest, DynamicCheckCostNegligible) {
+  // Fig. 10: the Soleil-X DOM dynamic checks cost well under a percent.
+  const uint32_t nodes = 32;
+  const AppSpec app = soleil_full_spec(nodes);
+  const SimResult with = simulate(app, config(nodes, true, true, true, /*checks=*/true));
+  const SimResult without =
+      simulate(app, config(nodes, true, true, true, /*checks=*/false));
+  EXPECT_GT(with.check_seconds, 0.0);
+  EXPECT_EQ(without.check_seconds, 0.0);
+  const double rel = (with.seconds_per_iteration - without.seconds_per_iteration) /
+                     without.seconds_per_iteration;
+  EXPECT_LT(std::abs(rel), 0.02);
+}
+
+TEST(PipelineSimTest, SweepChainsOverlap) {
+  // The 8 DOM directions run in independent chains; iteration time must be
+  // far less than the serial sum of all chains' latencies.
+  const uint32_t nodes = 8;
+  const AppSpec app = soleil_full_spec(nodes);
+  const SimResult r = simulate(app, config(nodes, true, true));
+  double serial_kernels = 0.0;
+  for (const LaunchSpec& l : app.iteration)
+    serial_kernels +=
+        static_cast<double>(l.tasks) * l.kernel_s / static_cast<double>(nodes);
+  // One node's GPU work is `serial_kernels`; the chain structure should not
+  // inflate the iteration beyond a small multiple of that (the wavefronts
+  // of a chain land on specific nodes, so perfect overlap is impossible).
+  EXPECT_LT(r.seconds_per_iteration, 4.0 * serial_kernels + 0.05);
+}
+
+TEST(PipelineSimTest, DcrIdxDominatesEverywhereProperty) {
+  // Invariant across apps and node counts: the DCR+IDX configuration is
+  // never meaningfully slower than any other configuration (ties within
+  // jitter allowed). This is the paper's bottom-line claim.
+  const std::vector<std::function<AppSpec(uint32_t)>> apps = {
+      [](uint32_t n) { return circuit_weak_spec(n); },
+      [](uint32_t n) { return circuit_strong_spec(n); },
+      [](uint32_t n) { return stencil_weak_spec(n); },
+  };
+  for (const auto& app_builder : apps) {
+    for (uint32_t nodes : {1u, 16u, 128u, 1024u}) {
+      const AppSpec app = app_builder(nodes);
+      const double best =
+          simulate(app, config(nodes, true, true)).seconds_per_iteration;
+      for (const SimConfig& base : four_configs()) {
+        SimConfig c = base;
+        c.nodes = nodes;
+        EXPECT_LE(best, simulate(app, c).seconds_per_iteration * 1.02)
+            << app.name << " @ " << nodes << " vs " << c.label();
+      }
+    }
+  }
+}
+
+TEST(PipelineSimTest, Fig4HeadlineSpeedupPinned) {
+  // The paper's headline strong-scaling number: DCR+IDX ~1.6x over
+  // DCR+No-IDX on Circuit at 512 nodes. Pin our model within a band so
+  // cost-model drift is caught.
+  const AppSpec app = circuit_strong_spec(512);
+  const double idx =
+      simulate(app, config(512, true, true)).seconds_per_iteration;
+  const double noidx =
+      simulate(app, config(512, true, false)).seconds_per_iteration;
+  const double speedup = noidx / idx;
+  EXPECT_GT(speedup, 1.25);
+  EXPECT_LT(speedup, 2.2);
+}
+
+TEST(PipelineSimTest, Fig5EfficiencyPinned) {
+  // Weak scaling: DCR+IDX efficiency at 1024 nodes in the 80-95% band
+  // (paper: 85%).
+  const double t1 =
+      simulate(circuit_weak_spec(1), config(1, true, true)).seconds_per_iteration;
+  const double t1024 = simulate(circuit_weak_spec(1024), config(1024, true, true))
+                           .seconds_per_iteration;
+  const double efficiency = t1 / t1024;
+  EXPECT_GT(efficiency, 0.80);
+  EXPECT_LT(efficiency, 0.97);
+}
+
+TEST(PipelineSimTest, CausalityLowerBound) {
+  // Iteration time can never beat the per-node GPU work (with jitter >= 0).
+  for (uint32_t nodes : {1u, 8u, 64u}) {
+    const AppSpec app = circuit_weak_spec(nodes);
+    double kernels = 0;
+    for (const LaunchSpec& l : app.iteration)
+      kernels += l.kernel_s;  // 1 task per node per launch in this workload
+    const SimResult r = simulate(app, config(nodes, true, true));
+    EXPECT_GE(r.seconds_per_iteration, kernels * 0.999) << nodes;
+  }
+}
+
+TEST(PipelineSimTest, StrongScalingThroughputMonotoneUntilSaturation) {
+  // Adding nodes must never slow the best configuration down dramatically;
+  // throughput is monotone (within jitter) until the runtime-bound regime.
+  double prev = 0;
+  for (uint32_t nodes = 1; nodes <= 128; nodes *= 2) {
+    const double thr =
+        1.0 / simulate(circuit_strong_spec(nodes), config(nodes, true, true))
+                  .seconds_per_iteration;
+    EXPECT_GT(thr, prev * 0.95) << nodes;
+    prev = thr;
+  }
+}
+
+TEST(PipelineSimTest, CheckCostAccountedOnlyWhenEnabledAndIdx) {
+  const AppSpec app = soleil_full_spec(8);
+  // No-IDX never evaluates projection functors as launches, so no check
+  // cost is charged even with checks "on".
+  const SimResult noidx = simulate(app, config(8, true, false, true, true));
+  EXPECT_EQ(noidx.check_seconds, 0.0);
+}
+
+TEST(PipelineSimTest, DeterministicAcrossRuns) {
+  const AppSpec app = circuit_weak_spec(16);
+  const SimResult a = simulate(app, config(16, true, true));
+  const SimResult b = simulate(app, config(16, true, true));
+  EXPECT_EQ(a.seconds_per_iteration, b.seconds_per_iteration);
+  EXPECT_EQ(a.runtime_ops, b.runtime_ops);
+}
+
+TEST(ExperimentTest, RunScalingExperimentShapes) {
+  const auto nodes = nodes_up_to(8);
+  ASSERT_EQ(nodes.size(), 4u);
+  const auto series = run_scaling_experiment(
+      [](uint32_t n) { return circuit_weak_spec(n); }, four_configs(), nodes,
+      [](const SimResult& r, uint32_t) { return 1.0 / r.seconds_per_iteration; });
+  ASSERT_EQ(series.size(), 4u);
+  for (const auto& s : series) {
+    EXPECT_EQ(s.points.size(), nodes.size());
+    for (const auto& [n, v] : s.points) EXPECT_GT(v, 0.0);
+  }
+  EXPECT_EQ(series[0].label, "DCR, IDX");
+  EXPECT_EQ(series[3].label, "No DCR, No IDX");
+}
+
+}  // namespace
+}  // namespace idxl::sim
