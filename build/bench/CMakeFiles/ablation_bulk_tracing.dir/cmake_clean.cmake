@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bulk_tracing.dir/ablation_bulk_tracing.cpp.o"
+  "CMakeFiles/ablation_bulk_tracing.dir/ablation_bulk_tracing.cpp.o.d"
+  "ablation_bulk_tracing"
+  "ablation_bulk_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bulk_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

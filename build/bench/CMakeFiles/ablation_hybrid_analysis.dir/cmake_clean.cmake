@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_analysis.dir/ablation_hybrid_analysis.cpp.o"
+  "CMakeFiles/ablation_hybrid_analysis.dir/ablation_hybrid_analysis.cpp.o.d"
+  "ablation_hybrid_analysis"
+  "ablation_hybrid_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

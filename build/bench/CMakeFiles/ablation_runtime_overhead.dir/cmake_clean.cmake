@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_runtime_overhead.dir/ablation_runtime_overhead.cpp.o"
+  "CMakeFiles/ablation_runtime_overhead.dir/ablation_runtime_overhead.cpp.o.d"
+  "ablation_runtime_overhead"
+  "ablation_runtime_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_runtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

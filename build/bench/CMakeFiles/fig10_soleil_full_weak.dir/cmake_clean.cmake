@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_soleil_full_weak.dir/fig10_soleil_full_weak.cpp.o"
+  "CMakeFiles/fig10_soleil_full_weak.dir/fig10_soleil_full_weak.cpp.o.d"
+  "fig10_soleil_full_weak"
+  "fig10_soleil_full_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_soleil_full_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_circuit_strong.dir/fig4_circuit_strong.cpp.o"
+  "CMakeFiles/fig4_circuit_strong.dir/fig4_circuit_strong.cpp.o.d"
+  "fig4_circuit_strong"
+  "fig4_circuit_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_circuit_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

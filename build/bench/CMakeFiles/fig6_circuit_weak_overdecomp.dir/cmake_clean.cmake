@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_circuit_weak_overdecomp.dir/fig6_circuit_weak_overdecomp.cpp.o"
+  "CMakeFiles/fig6_circuit_weak_overdecomp.dir/fig6_circuit_weak_overdecomp.cpp.o.d"
+  "fig6_circuit_weak_overdecomp"
+  "fig6_circuit_weak_overdecomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_circuit_weak_overdecomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

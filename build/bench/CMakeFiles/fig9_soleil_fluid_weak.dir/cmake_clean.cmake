@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_soleil_fluid_weak.dir/fig9_soleil_fluid_weak.cpp.o"
+  "CMakeFiles/fig9_soleil_fluid_weak.dir/fig9_soleil_fluid_weak.cpp.o.d"
+  "fig9_soleil_fluid_weak"
+  "fig9_soleil_fluid_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_soleil_fluid_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

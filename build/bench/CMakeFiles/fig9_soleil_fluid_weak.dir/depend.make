@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_soleil_fluid_weak.
+# This may be replaced when dependencies are built.

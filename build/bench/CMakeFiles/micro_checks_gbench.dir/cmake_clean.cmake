@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_checks_gbench.dir/micro_checks_gbench.cpp.o"
+  "CMakeFiles/micro_checks_gbench.dir/micro_checks_gbench.cpp.o.d"
+  "micro_checks_gbench"
+  "micro_checks_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_checks_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/pipeline_breakdown.cpp" "bench/CMakeFiles/pipeline_breakdown.dir/pipeline_breakdown.cpp.o" "gcc" "bench/CMakeFiles/pipeline_breakdown.dir/pipeline_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/idxl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/idxl_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/idxl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/idxl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/functor/CMakeFiles/idxl_functor.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/idxl_region.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

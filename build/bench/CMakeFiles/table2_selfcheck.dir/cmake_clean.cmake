@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_selfcheck.dir/table2_selfcheck.cpp.o"
+  "CMakeFiles/table2_selfcheck.dir/table2_selfcheck.cpp.o.d"
+  "table2_selfcheck"
+  "table2_selfcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_selfcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

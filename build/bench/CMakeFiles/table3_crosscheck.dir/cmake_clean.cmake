@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_crosscheck.dir/table3_crosscheck.cpp.o"
+  "CMakeFiles/table3_crosscheck.dir/table3_crosscheck.cpp.o.d"
+  "table3_crosscheck"
+  "table3_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

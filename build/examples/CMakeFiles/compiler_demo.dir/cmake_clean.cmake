@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_demo.dir/compiler_demo.cpp.o"
+  "CMakeFiles/compiler_demo.dir/compiler_demo.cpp.o.d"
+  "compiler_demo"
+  "compiler_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcr_demo.dir/dcr_demo.cpp.o"
+  "CMakeFiles/dcr_demo.dir/dcr_demo.cpp.o.d"
+  "dcr_demo"
+  "dcr_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcr_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

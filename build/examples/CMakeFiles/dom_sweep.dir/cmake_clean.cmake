@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dom_sweep.dir/dom_sweep.cpp.o"
+  "CMakeFiles/dom_sweep.dir/dom_sweep.cpp.o.d"
+  "dom_sweep"
+  "dom_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dom_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

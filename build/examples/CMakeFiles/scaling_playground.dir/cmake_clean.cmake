@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_playground.dir/scaling_playground.cpp.o"
+  "CMakeFiles/scaling_playground.dir/scaling_playground.cpp.o.d"
+  "scaling_playground"
+  "scaling_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

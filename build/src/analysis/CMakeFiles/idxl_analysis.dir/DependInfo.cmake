@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dynamic_check.cpp" "src/analysis/CMakeFiles/idxl_analysis.dir/dynamic_check.cpp.o" "gcc" "src/analysis/CMakeFiles/idxl_analysis.dir/dynamic_check.cpp.o.d"
+  "/root/repo/src/analysis/hybrid.cpp" "src/analysis/CMakeFiles/idxl_analysis.dir/hybrid.cpp.o" "gcc" "src/analysis/CMakeFiles/idxl_analysis.dir/hybrid.cpp.o.d"
+  "/root/repo/src/analysis/patterns.cpp" "src/analysis/CMakeFiles/idxl_analysis.dir/patterns.cpp.o" "gcc" "src/analysis/CMakeFiles/idxl_analysis.dir/patterns.cpp.o.d"
+  "/root/repo/src/analysis/static_analysis.cpp" "src/analysis/CMakeFiles/idxl_analysis.dir/static_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/idxl_analysis.dir/static_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/functor/CMakeFiles/idxl_functor.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/idxl_region.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxl_analysis.dir/dynamic_check.cpp.o"
+  "CMakeFiles/idxl_analysis.dir/dynamic_check.cpp.o.d"
+  "CMakeFiles/idxl_analysis.dir/hybrid.cpp.o"
+  "CMakeFiles/idxl_analysis.dir/hybrid.cpp.o.d"
+  "CMakeFiles/idxl_analysis.dir/patterns.cpp.o"
+  "CMakeFiles/idxl_analysis.dir/patterns.cpp.o.d"
+  "CMakeFiles/idxl_analysis.dir/static_analysis.cpp.o"
+  "CMakeFiles/idxl_analysis.dir/static_analysis.cpp.o.d"
+  "libidxl_analysis.a"
+  "libidxl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/circuit.cpp" "src/apps/CMakeFiles/idxl_apps.dir/circuit.cpp.o" "gcc" "src/apps/CMakeFiles/idxl_apps.dir/circuit.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/idxl_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/idxl_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/sim_specs.cpp" "src/apps/CMakeFiles/idxl_apps.dir/sim_specs.cpp.o" "gcc" "src/apps/CMakeFiles/idxl_apps.dir/sim_specs.cpp.o.d"
+  "/root/repo/src/apps/soleil.cpp" "src/apps/CMakeFiles/idxl_apps.dir/soleil.cpp.o" "gcc" "src/apps/CMakeFiles/idxl_apps.dir/soleil.cpp.o.d"
+  "/root/repo/src/apps/spmv.cpp" "src/apps/CMakeFiles/idxl_apps.dir/spmv.cpp.o" "gcc" "src/apps/CMakeFiles/idxl_apps.dir/spmv.cpp.o.d"
+  "/root/repo/src/apps/stencil.cpp" "src/apps/CMakeFiles/idxl_apps.dir/stencil.cpp.o" "gcc" "src/apps/CMakeFiles/idxl_apps.dir/stencil.cpp.o.d"
+  "/root/repo/src/apps/tree.cpp" "src/apps/CMakeFiles/idxl_apps.dir/tree.cpp.o" "gcc" "src/apps/CMakeFiles/idxl_apps.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/idxl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idxl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/idxl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/functor/CMakeFiles/idxl_functor.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/idxl_region.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

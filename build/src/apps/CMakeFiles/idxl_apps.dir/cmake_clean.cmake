@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxl_apps.dir/circuit.cpp.o"
+  "CMakeFiles/idxl_apps.dir/circuit.cpp.o.d"
+  "CMakeFiles/idxl_apps.dir/fft.cpp.o"
+  "CMakeFiles/idxl_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/idxl_apps.dir/sim_specs.cpp.o"
+  "CMakeFiles/idxl_apps.dir/sim_specs.cpp.o.d"
+  "CMakeFiles/idxl_apps.dir/soleil.cpp.o"
+  "CMakeFiles/idxl_apps.dir/soleil.cpp.o.d"
+  "CMakeFiles/idxl_apps.dir/spmv.cpp.o"
+  "CMakeFiles/idxl_apps.dir/spmv.cpp.o.d"
+  "CMakeFiles/idxl_apps.dir/stencil.cpp.o"
+  "CMakeFiles/idxl_apps.dir/stencil.cpp.o.d"
+  "CMakeFiles/idxl_apps.dir/tree.cpp.o"
+  "CMakeFiles/idxl_apps.dir/tree.cpp.o.d"
+  "libidxl_apps.a"
+  "libidxl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

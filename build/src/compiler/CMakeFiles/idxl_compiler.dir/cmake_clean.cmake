@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxl_compiler.dir/compile.cpp.o"
+  "CMakeFiles/idxl_compiler.dir/compile.cpp.o.d"
+  "CMakeFiles/idxl_compiler.dir/transform.cpp.o"
+  "CMakeFiles/idxl_compiler.dir/transform.cpp.o.d"
+  "libidxl_compiler.a"
+  "libidxl_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxl_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

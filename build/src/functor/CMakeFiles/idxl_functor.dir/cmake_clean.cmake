@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxl_functor.dir/affine.cpp.o"
+  "CMakeFiles/idxl_functor.dir/affine.cpp.o.d"
+  "CMakeFiles/idxl_functor.dir/expr.cpp.o"
+  "CMakeFiles/idxl_functor.dir/expr.cpp.o.d"
+  "CMakeFiles/idxl_functor.dir/projection.cpp.o"
+  "CMakeFiles/idxl_functor.dir/projection.cpp.o.d"
+  "libidxl_functor.a"
+  "libidxl_functor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxl_functor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

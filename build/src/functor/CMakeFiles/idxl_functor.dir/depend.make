@@ -1,0 +1,2 @@
+# Empty dependencies file for idxl_functor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/region/bvh.cpp" "src/region/CMakeFiles/idxl_region.dir/bvh.cpp.o" "gcc" "src/region/CMakeFiles/idxl_region.dir/bvh.cpp.o.d"
+  "/root/repo/src/region/domain.cpp" "src/region/CMakeFiles/idxl_region.dir/domain.cpp.o" "gcc" "src/region/CMakeFiles/idxl_region.dir/domain.cpp.o.d"
+  "/root/repo/src/region/partition_ops.cpp" "src/region/CMakeFiles/idxl_region.dir/partition_ops.cpp.o" "gcc" "src/region/CMakeFiles/idxl_region.dir/partition_ops.cpp.o.d"
+  "/root/repo/src/region/region_forest.cpp" "src/region/CMakeFiles/idxl_region.dir/region_forest.cpp.o" "gcc" "src/region/CMakeFiles/idxl_region.dir/region_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

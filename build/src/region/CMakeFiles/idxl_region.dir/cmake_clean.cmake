@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxl_region.dir/bvh.cpp.o"
+  "CMakeFiles/idxl_region.dir/bvh.cpp.o.d"
+  "CMakeFiles/idxl_region.dir/domain.cpp.o"
+  "CMakeFiles/idxl_region.dir/domain.cpp.o.d"
+  "CMakeFiles/idxl_region.dir/partition_ops.cpp.o"
+  "CMakeFiles/idxl_region.dir/partition_ops.cpp.o.d"
+  "CMakeFiles/idxl_region.dir/region_forest.cpp.o"
+  "CMakeFiles/idxl_region.dir/region_forest.cpp.o.d"
+  "libidxl_region.a"
+  "libidxl_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxl_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

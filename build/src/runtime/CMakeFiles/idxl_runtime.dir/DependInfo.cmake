@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dependence.cpp" "src/runtime/CMakeFiles/idxl_runtime.dir/dependence.cpp.o" "gcc" "src/runtime/CMakeFiles/idxl_runtime.dir/dependence.cpp.o.d"
+  "/root/repo/src/runtime/mapping.cpp" "src/runtime/CMakeFiles/idxl_runtime.dir/mapping.cpp.o" "gcc" "src/runtime/CMakeFiles/idxl_runtime.dir/mapping.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/idxl_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/idxl_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/runtime/serialize.cpp" "src/runtime/CMakeFiles/idxl_runtime.dir/serialize.cpp.o" "gcc" "src/runtime/CMakeFiles/idxl_runtime.dir/serialize.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/runtime/CMakeFiles/idxl_runtime.dir/thread_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/idxl_runtime.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/idxl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/functor/CMakeFiles/idxl_functor.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/idxl_region.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

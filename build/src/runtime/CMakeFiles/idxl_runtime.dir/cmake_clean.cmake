@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxl_runtime.dir/dependence.cpp.o"
+  "CMakeFiles/idxl_runtime.dir/dependence.cpp.o.d"
+  "CMakeFiles/idxl_runtime.dir/mapping.cpp.o"
+  "CMakeFiles/idxl_runtime.dir/mapping.cpp.o.d"
+  "CMakeFiles/idxl_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/idxl_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/idxl_runtime.dir/serialize.cpp.o"
+  "CMakeFiles/idxl_runtime.dir/serialize.cpp.o.d"
+  "CMakeFiles/idxl_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/idxl_runtime.dir/thread_pool.cpp.o.d"
+  "libidxl_runtime.a"
+  "libidxl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxl_shard.dir/sharded_runtime.cpp.o"
+  "CMakeFiles/idxl_shard.dir/sharded_runtime.cpp.o.d"
+  "libidxl_shard.a"
+  "libidxl_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxl_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxl_sim.dir/experiment.cpp.o"
+  "CMakeFiles/idxl_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/idxl_sim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/idxl_sim.dir/pipeline_sim.cpp.o.d"
+  "libidxl_sim.a"
+  "libidxl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

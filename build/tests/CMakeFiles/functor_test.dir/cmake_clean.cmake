@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functor_test.dir/functor_test.cpp.o"
+  "CMakeFiles/functor_test.dir/functor_test.cpp.o.d"
+  "functor_test"
+  "functor_test.pdb"
+  "functor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
