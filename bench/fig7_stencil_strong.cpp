@@ -1,4 +1,8 @@
 // Figure 7: Stencil strong scaling, 9e8 cells total, throughput in 1e9 cells/s.
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/stencil.hpp"
 #include "fig_common.hpp"
 
 int main() {
@@ -13,5 +17,24 @@ int main() {
       "same ordering as Circuit but a smaller DCR+IDX margin (~1.2x in the "
       "paper): stencil iterations are longer, so runtime costs amortize "
       "further.");
+
+  // IDXL_TRACE=<path>: profile a real (in-process) stencil run of the same
+  // shape at small scale and write a Chrome-trace JSON alongside the
+  // simulated figure.
+  if (const char* path = std::getenv("IDXL_TRACE")) {
+    RuntimeConfig cfg;
+    cfg.enable_profiling = true;
+    Runtime rt(cfg);
+    apps::StencilParams params;
+    params.nx = params.ny = 192;
+    params.px = params.py = 4;
+    params.radius = 2;
+    apps::StencilApp app(rt, params);
+    app.run(/*iterations=*/10);
+    rt.profiler().write_chrome_trace(path);
+    std::printf("wrote Chrome trace of a profiled in-process run to %s "
+                "(%zu events)\n",
+                path, rt.profiler().event_count());
+  }
   return 0;
 }

@@ -60,24 +60,20 @@ int main(int argc, char**) {
   // replication); divergent control flow would be detected and rejected.
   rt.run([&](ShardContext& ctx) {
     const auto id = ProjectionFunctor::identity(1);
-    IndexLauncher l0;
-    l0.task = init;
-    l0.domain = Domain::line(kPieces);
-    l0.args = {{grid, blocks, id, {f_cur}, Privilege::kWrite, ReductionOp::kNone}};
-    ctx.execute_index(l0);
+    ctx.execute_index(IndexLauncher::over(Domain::line(kPieces))
+                          .with_task(init)
+                          .region(grid, blocks, id, {f_cur}, Privilege::kWrite));
     for (int it = 0; it < kIterations; ++it) {
-      IndexLauncher d;
-      d.task = diffuse;
-      d.domain = Domain::line(kPieces);
-      d.args = {{grid, halos, id, {f_cur}, Privilege::kRead, ReductionOp::kNone},
-                {grid, blocks, id, {f_next}, Privilege::kWrite, ReductionOp::kNone}};
-      ctx.execute_index(d);
-      IndexLauncher f;
-      f.task = flip;
-      f.domain = Domain::line(kPieces);
-      f.args = {{grid, blocks, id, {f_next}, Privilege::kRead, ReductionOp::kNone},
-                {grid, blocks, id, {f_cur}, Privilege::kWrite, ReductionOp::kNone}};
-      ctx.execute_index(f);
+      ctx.execute_index(
+          IndexLauncher::over(Domain::line(kPieces))
+              .with_task(diffuse)
+              .region(grid, halos, id, {f_cur}, Privilege::kRead)
+              .region(grid, blocks, id, {f_next}, Privilege::kWrite));
+      ctx.execute_index(
+          IndexLauncher::over(Domain::line(kPieces))
+              .with_task(flip)
+              .region(grid, blocks, id, {f_next}, Privilege::kRead)
+              .region(grid, blocks, id, {f_cur}, Privilege::kWrite));
     }
   });
 

@@ -49,12 +49,11 @@ int main() {
   });
 
   // Loop 1: foo(p[i]) — the identity projection functor. Statically safe.
-  IndexLauncher loop1;
-  loop1.task = foo;
-  loop1.domain = Domain::line(kPieces);
-  loop1.args = {{region, pieces, ProjectionFunctor::identity(1), {value},
-                 Privilege::kWrite, ReductionOp::kNone}};
-  const LaunchResult r1 = rt.execute_index(loop1);
+  const LaunchResult r1 = rt.execute_index(
+      IndexLauncher::over(Domain::line(kPieces))
+          .with_task(foo)
+          .region(region, pieces, ProjectionFunctor::identity(1), {value},
+                  Privilege::kWrite));
   std::printf("loop 1 (foo(p[i])):    outcome=%s, ran as index launch=%s\n",
               r1.safety.outcome == SafetyOutcome::kSafeStatic ? "safe-static"
                                                               : "other",
@@ -62,12 +61,11 @@ int main() {
 
   // Loop 2: bar(q[f(i)]) with f(i) = (i + 3) mod 8 — injective here, but
   // only the dynamic check can prove it.
-  IndexLauncher loop2;
-  loop2.task = bar;
-  loop2.domain = Domain::line(kPieces);
-  loop2.args = {{region, pieces, ProjectionFunctor::modular1d(3, kPieces), {value},
-                 Privilege::kReadWrite, ReductionOp::kNone}};
-  const LaunchResult r2 = rt.execute_index(loop2);
+  const LaunchResult r2 = rt.execute_index(
+      IndexLauncher::over(Domain::line(kPieces))
+          .with_task(bar)
+          .region(region, pieces, ProjectionFunctor::modular1d(3, kPieces),
+                  {value}, Privilege::kReadWrite));
   std::printf("loop 2 (bar(q[f(i)])): outcome=%s, dynamic points checked=%llu\n",
               r2.safety.outcome == SafetyOutcome::kSafeDynamic ? "safe-dynamic"
                                                                : "other",

@@ -1,5 +1,7 @@
 #include "analysis/hybrid.hpp"
 
+#include "obs/profiler.hpp"
+
 namespace idxl {
 
 namespace {
@@ -17,6 +19,8 @@ SafetyReport analyze_launch_safety(
     const std::function<bool(std::size_t, std::size_t)>& pair_independent) {
   SafetyReport report;
   std::vector<bool> flagged(args.size(), false);
+  ProfileScope static_scope(options.profiler, ProfCategory::kSafety,
+                            Profiler::kNameSafetyStatic);
 
   // --- Self-checks (§3): each write/read-write argument needs a disjoint
   // partition and an injective functor. Reads and reductions are exempt.
@@ -96,6 +100,8 @@ SafetyReport analyze_launch_safety(
       report.residual_args.push_back(static_cast<uint32_t>(i));
     }
 
+  static_scope.close();
+
   if (dynamic_args.empty()) {
     report.outcome = SafetyOutcome::kSafeStatic;
     return report;
@@ -105,6 +111,8 @@ SafetyReport analyze_launch_safety(
     return report;
   }
 
+  ProfileScope dynamic_scope(options.profiler, ProfCategory::kSafety,
+                             Profiler::kNameSafetyDynamic);
   const DynamicCheckResult dyn = dynamic_cross_check(dynamic_args, domain);
   report.dynamic_points = dyn.points_evaluated;
   report.dynamic_bits = dyn.bitmask_bits;

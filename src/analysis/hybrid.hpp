@@ -8,6 +8,8 @@
 
 namespace idxl {
 
+class Profiler;
+
 /// Knobs for the hybrid analysis.
 struct AnalysisOptions {
   /// When false, arguments the static analyzer can't resolve are *trusted*
@@ -19,6 +21,10 @@ struct AnalysisOptions {
   /// families; see static_injectivity). Off by default to match the paper's
   /// constant/identity/affine baseline.
   bool extended_static = false;
+  /// When set (and enabled), the analysis records `safety-check/static` and
+  /// `safety-check/dynamic` spans so profiles attribute check time to the
+  /// phase that spent it.
+  Profiler* profiler = nullptr;
 };
 
 /// How a launch's safety was established (or refuted).

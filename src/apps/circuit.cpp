@@ -168,33 +168,37 @@ bool CircuitApp::run_iteration() {
   const auto id = ProjectionFunctor::identity(1);
   bool all_index = true;
 
-  IndexLauncher cnc;
-  cnc.task = t_cnc_;
-  cnc.domain = launch_domain;
-  cnc.args = {
-      {node_region_, neighborhoods_, id, {f_voltage_}, Privilege::kRead, ReductionOp::kNone},
-      {wire_region_, piece_wires_, id, {f_in_, f_out_, f_res_}, Privilege::kRead,
-       ReductionOp::kNone},
-      {wire_region_, piece_wires_, id, {f_cur_}, Privilege::kWrite, ReductionOp::kNone}};
-  all_index &= rt_.execute_index(cnc).ran_as_index_launch;
+  all_index &=
+      rt_.execute_index(
+             IndexLauncher::over(launch_domain)
+                 .with_task(t_cnc_)
+                 .region(node_region_, neighborhoods_, id, {f_voltage_},
+                         Privilege::kRead)
+                 .region(wire_region_, piece_wires_, id, {f_in_, f_out_, f_res_},
+                         Privilege::kRead)
+                 .region(wire_region_, piece_wires_, id, {f_cur_},
+                         Privilege::kWrite))
+          .ran_as_index_launch;
 
-  IndexLauncher dc;
-  dc.task = t_dc_;
-  dc.domain = launch_domain;
-  dc.args = {{wire_region_, piece_wires_, id, {f_in_, f_out_, f_cur_}, Privilege::kRead,
-              ReductionOp::kNone},
-             {node_region_, neighborhoods_, id, {f_charge_}, Privilege::kReduce,
-              ReductionOp::kSum}};
-  all_index &= rt_.execute_index(dc).ran_as_index_launch;
+  all_index &=
+      rt_.execute_index(
+             IndexLauncher::over(launch_domain)
+                 .with_task(t_dc_)
+                 .region(wire_region_, piece_wires_, id, {f_in_, f_out_, f_cur_},
+                         Privilege::kRead)
+                 .region(node_region_, neighborhoods_, id, {f_charge_},
+                         Privilege::kReduce, ReductionOp::kSum))
+          .ran_as_index_launch;
 
-  IndexLauncher uv;
-  uv.task = t_uv_;
-  uv.domain = launch_domain;
-  uv.args = {{node_region_, owned_nodes_, id, {f_voltage_, f_charge_},
-              Privilege::kReadWrite, ReductionOp::kNone},
-             {node_region_, owned_nodes_, id, {f_cap_}, Privilege::kRead,
-              ReductionOp::kNone}};
-  all_index &= rt_.execute_index(uv).ran_as_index_launch;
+  all_index &=
+      rt_.execute_index(
+             IndexLauncher::over(launch_domain)
+                 .with_task(t_uv_)
+                 .region(node_region_, owned_nodes_, id, {f_voltage_, f_charge_},
+                         Privilege::kReadWrite)
+                 .region(node_region_, owned_nodes_, id, {f_cap_},
+                         Privilege::kRead))
+          .ran_as_index_launch;
   return all_index;
 }
 

@@ -149,25 +149,20 @@ int FftApp::run_forward() { return run_stages(); }
 int FftApp::run_inverse() {
   const auto id = ProjectionFunctor::identity(1);
   // Conjugate the spectrum into the input fields...
-  IndexLauncher conj;
-  conj.task = t_conj_store_;
-  conj.domain = Domain::line(params_.blocks);
-  conj.args = {{data_, block_part_, id, {f_re_, f_im_}, Privilege::kRead,
-                ReductionOp::kNone},
-               {data_, block_part_, id, {f_xre_, f_xim_}, Privilege::kWrite,
-                ReductionOp::kNone}};
-  rt_.execute_index(conj);
+  rt_.execute_index(
+      IndexLauncher::over(Domain::line(params_.blocks))
+          .with_task(t_conj_store_)
+          .region(data_, block_part_, id, {f_re_, f_im_}, Privilege::kRead)
+          .region(data_, block_part_, id, {f_xre_, f_xim_}, Privilege::kWrite));
 
   // ...forward-transform it...
   const int dynamic_checked = run_stages();
 
   // ...and conjugate + scale by 1/n.
-  IndexLauncher scale;
-  scale.task = t_scale_;
-  scale.domain = Domain::line(params_.blocks);
-  scale.args = {{data_, block_part_, id, {f_re_, f_im_}, Privilege::kReadWrite,
-                 ReductionOp::kNone}};
-  rt_.execute_index(scale);
+  rt_.execute_index(IndexLauncher::over(Domain::line(params_.blocks))
+                        .with_task(t_scale_)
+                        .region(data_, block_part_, id, {f_re_, f_im_},
+                                Privilege::kReadWrite));
   return dynamic_checked;
 }
 
@@ -178,24 +173,22 @@ int FftApp::run_stages() {
 
   // Bit-reverse gather: read the whole array (constant functor), write own
   // block. Disjoint field sets keep the cross-check static.
-  IndexLauncher bitrev;
-  bitrev.task = t_bitrev_;
-  bitrev.domain = Domain::line(blocks);
-  bitrev.args = {{data_, whole_part_, ProjectionFunctor::symbolic({make_const(0)}),
-                  {f_xre_, f_xim_}, Privilege::kRead, ReductionOp::kNone},
-                 {data_, block_part_, ProjectionFunctor::identity(1),
-                  {f_re_, f_im_}, Privilege::kWrite, ReductionOp::kNone}};
-  rt_.execute_index(bitrev);
+  rt_.execute_index(
+      IndexLauncher::over(Domain::line(blocks))
+          .with_task(t_bitrev_)
+          .region(data_, whole_part_, ProjectionFunctor::symbolic({make_const(0)}),
+                  {f_xre_, f_xim_}, Privilege::kRead)
+          .region(data_, block_part_, ProjectionFunctor::identity(1),
+                  {f_re_, f_im_}, Privilege::kWrite));
 
   for (int64_t span = 2; span <= n; span *= 2) {
     if (span <= block_size) {
-      IndexLauncher stage;
-      stage.task = t_local_;
-      stage.domain = Domain::line(blocks);
-      stage.scalar_args = ArgBuffer::of(StageArgs{span});
-      stage.args = {{data_, block_part_, ProjectionFunctor::identity(1),
-                     {f_re_, f_im_}, Privilege::kReadWrite, ReductionOp::kNone}};
-      const auto r = rt_.execute_index(stage);
+      const auto r = rt_.execute_index(
+          IndexLauncher::over(Domain::line(blocks))
+              .with_task(t_local_)
+              .region(data_, block_part_, ProjectionFunctor::identity(1),
+                      {f_re_, f_im_}, Privilege::kReadWrite)
+              .scalars(StageArgs{span}));
       IDXL_ASSERT(r.ran_as_index_launch || !rt_.config().enable_index_launches);
       continue;
     }
@@ -210,15 +203,14 @@ int FftApp::run_stages() {
     const auto f_hi = ProjectionFunctor::symbolic(
         {make_add(lo_expr, make_const(d))}, "butterfly-hi");
 
-    IndexLauncher stage;
-    stage.task = t_cross_;
-    stage.domain = Domain::line(blocks / 2);
-    stage.scalar_args = ArgBuffer::of(StageArgs{span});
-    stage.args = {{data_, block_part_, f_lo, {f_re_, f_im_},
-                   Privilege::kReadWrite, ReductionOp::kNone},
-                  {data_, block_part_, f_hi, {f_re_, f_im_},
-                   Privilege::kReadWrite, ReductionOp::kNone}};
-    const auto r = rt_.execute_index(stage);
+    const auto r = rt_.execute_index(
+        IndexLauncher::over(Domain::line(blocks / 2))
+            .with_task(t_cross_)
+            .region(data_, block_part_, f_lo, {f_re_, f_im_},
+                    Privilege::kReadWrite)
+            .region(data_, block_part_, f_hi, {f_re_, f_im_},
+                    Privilege::kReadWrite)
+            .scalars(StageArgs{span}));
     IDXL_ASSERT_MSG(r.ran_as_index_launch || !rt_.config().enable_index_launches,
                     "butterfly launch must verify");
     if (r.safety.used_dynamic()) ++dynamic_checked;

@@ -227,13 +227,11 @@ void SoleilApp::issue_sweep(int direction, IterationStats& stats) {
       {plane_yz_, part_yz_, f_plane_yz_[d], Rect::box2(params_.by, params_.bz)},
       {plane_xz_, part_xz_, f_plane_xz_[d], Rect::box2(params_.bx, params_.bz)}};
   for (const PlaneTarget& pt : planes) {
-    IndexLauncher init;
-    init.task = t_plane_init_;
-    init.domain = Domain(pt.rect);
-    init.scalar_args = ArgBuffer::of(pt.field);
-    init.args = {{pt.region, pt.part, id2, {pt.field}, Privilege::kWrite,
-                  ReductionOp::kNone}};
-    const auto r = rt_.execute_index(init);
+    const auto r = rt_.execute_index(
+        IndexLauncher::over(Domain(pt.rect))
+            .with_task(t_plane_init_)
+            .region(pt.region, pt.part, id2, {pt.field}, Privilege::kWrite)
+            .scalars(pt.field));
     ++stats.launches;
     stats.index_launches += r.ran_as_index_launch ? 1 : 0;
     stats.dynamic_checked += r.safety.used_dynamic() ? 1 : 0;
@@ -258,21 +256,19 @@ void SoleilApp::issue_sweep(int direction, IterationStats& stats) {
             wave.push_back(Point::p3(x, y, z));
     IDXL_ASSERT(!wave.empty());
 
-    IndexLauncher sweep;
-    sweep.task = t_sweep_;
-    sweep.domain = Domain::from_points(std::move(wave));
-    sweep.scalar_args = ArgBuffer::of(SweepArgs{direction});
-    sweep.args = {
-        {plane_xy_, part_xy_, fx_xy, {f_plane_xy_[d]}, Privilege::kReadWrite,
-         ReductionOp::kNone},
-        {plane_yz_, part_yz_, fx_yz, {f_plane_yz_[d]}, Privilege::kReadWrite,
-         ReductionOp::kNone},
-        {plane_xz_, part_xz_, fx_xz, {f_plane_xz_[d]}, Privilege::kReadWrite,
-         ReductionOp::kNone},
-        {blockq_, block_cells_, id3, {f_intensity_[d]}, Privilege::kWrite,
-         ReductionOp::kNone},
-        {blockq_, block_cells_, id3, {f_source_}, Privilege::kRead, ReductionOp::kNone}};
-    const auto r = rt_.execute_index(sweep);
+    const auto r = rt_.execute_index(
+        IndexLauncher::over(Domain::from_points(std::move(wave)))
+            .with_task(t_sweep_)
+            .region(plane_xy_, part_xy_, fx_xy, {f_plane_xy_[d]},
+                    Privilege::kReadWrite)
+            .region(plane_yz_, part_yz_, fx_yz, {f_plane_yz_[d]},
+                    Privilege::kReadWrite)
+            .region(plane_xz_, part_xz_, fx_xz, {f_plane_xz_[d]},
+                    Privilege::kReadWrite)
+            .region(blockq_, block_cells_, id3, {f_intensity_[d]},
+                    Privilege::kWrite)
+            .region(blockq_, block_cells_, id3, {f_source_}, Privilege::kRead)
+            .scalars(SweepArgs{direction}));
     ++stats.launches;
     stats.index_launches += r.ran_as_index_launch ? 1 : 0;
     stats.dynamic_checked += r.safety.used_dynamic() ? 1 : 0;
@@ -284,7 +280,7 @@ SoleilApp::IterationStats SoleilApp::run_iteration() {
   const Rect block_rect = Rect::box3(params_.bx, params_.by, params_.bz);
   const Domain block_domain{block_rect};
   const auto id3 = ProjectionFunctor::identity(3);
-  auto issue = [&](IndexLauncher& l) {
+  auto issue = [&](const IndexLauncher& l) {
     const auto r = rt_.execute_index(l);
     ++stats.launches;
     stats.index_launches += r.ran_as_index_launch ? 1 : 0;
@@ -292,59 +288,44 @@ SoleilApp::IterationStats SoleilApp::run_iteration() {
   };
 
   // Fluid: diffuse into T_new, copy back.
-  IndexLauncher diffuse;
-  diffuse.task = t_diffuse_;
-  diffuse.domain = block_domain;
-  diffuse.args = {{fluid_, fluid_halos_, id3, {f_temp_}, Privilege::kRead,
-                   ReductionOp::kNone},
-                  {fluid_, fluid_blocks_, id3, {f_temp_new_}, Privilege::kWrite,
-                   ReductionOp::kNone}};
-  issue(diffuse);
+  issue(IndexLauncher::over(block_domain)
+            .with_task(t_diffuse_)
+            .region(fluid_, fluid_halos_, id3, {f_temp_}, Privilege::kRead)
+            .region(fluid_, fluid_blocks_, id3, {f_temp_new_},
+                    Privilege::kWrite));
 
-  IndexLauncher copy;
-  copy.task = t_copy_;
-  copy.domain = block_domain;
-  copy.args = {{fluid_, fluid_blocks_, id3, {f_temp_new_}, Privilege::kRead,
-                ReductionOp::kNone},
-               {fluid_, fluid_blocks_, id3, {f_temp_}, Privilege::kWrite,
-                ReductionOp::kNone}};
-  issue(copy);
+  issue(IndexLauncher::over(block_domain)
+            .with_task(t_copy_)
+            .region(fluid_, fluid_blocks_, id3, {f_temp_new_}, Privilege::kRead)
+            .region(fluid_, fluid_blocks_, id3, {f_temp_}, Privilege::kWrite));
 
   if (params_.enable_dom) {
     // Radiation source from the fluid.
-    IndexLauncher collect;
-    collect.task = t_collect_;
-    collect.domain = block_domain;
-    collect.args = {{fluid_, fluid_blocks_, id3, {f_temp_}, Privilege::kRead,
-                     ReductionOp::kNone},
-                    {blockq_, block_cells_, id3, {f_source_}, Privilege::kWrite,
-                     ReductionOp::kNone}};
-    issue(collect);
+    issue(IndexLauncher::over(block_domain)
+              .with_task(t_collect_)
+              .region(fluid_, fluid_blocks_, id3, {f_temp_}, Privilege::kRead)
+              .region(blockq_, block_cells_, id3, {f_source_},
+                      Privilege::kWrite));
 
     // DOM: 8 corner sweeps.
     for (int dir = 0; dir < 8; ++dir) issue_sweep(dir, stats);
 
     // Radiation feedback into the fluid.
-    IndexLauncher feedback;
-    feedback.task = t_feedback_;
-    feedback.domain = block_domain;
     std::vector<FieldId> all_intensity(f_intensity_.begin(), f_intensity_.end());
-    feedback.args = {{fluid_, fluid_blocks_, id3, {f_temp_}, Privilege::kReadWrite,
-                      ReductionOp::kNone},
-                     {blockq_, block_cells_, id3, all_intensity, Privilege::kRead,
-                      ReductionOp::kNone}};
-    issue(feedback);
+    issue(IndexLauncher::over(block_domain)
+              .with_task(t_feedback_)
+              .region(fluid_, fluid_blocks_, id3, {f_temp_},
+                      Privilege::kReadWrite)
+              .region(blockq_, block_cells_, id3, std::move(all_intensity),
+                      Privilege::kRead));
   }
 
   if (params_.enable_particles) {
-    IndexLauncher part;
-    part.task = t_particles_;
-    part.domain = block_domain;
-    part.args = {{particles_, particle_blocks_, id3, {f_ppos_, f_ptemp_},
-                  Privilege::kReadWrite, ReductionOp::kNone},
-                 {fluid_, fluid_blocks_, id3, {f_temp_}, Privilege::kRead,
-                  ReductionOp::kNone}};
-    issue(part);
+    issue(IndexLauncher::over(block_domain)
+              .with_task(t_particles_)
+              .region(particles_, particle_blocks_, id3, {f_ppos_, f_ptemp_},
+                      Privilege::kReadWrite)
+              .region(fluid_, fluid_blocks_, id3, {f_temp_}, Privilege::kRead));
   }
 
   return stats;

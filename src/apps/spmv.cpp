@@ -127,14 +127,13 @@ SpmvApp::SpmvApp(Runtime& rt, const SpmvParams& p) : rt_(rt), params_(p) {
 
 void SpmvApp::multiply() {
   const auto id = ProjectionFunctor::identity(1);
-  IndexLauncher l;
-  l.task = t_spmv_;
-  l.domain = Domain::line(params_.row_blocks);
-  l.args = {{entries_, entry_blocks_, id, {f_row_, f_col_, f_val_},
-             Privilege::kRead, ReductionOp::kNone},
-            {vec_x_, x_gather_, id, {f_x_}, Privilege::kRead, ReductionOp::kNone},
-            {vec_y_, y_rows_, id, {f_y_}, Privilege::kReadWrite, ReductionOp::kNone}};
-  const auto r = rt_.execute_index(l);
+  const auto r = rt_.execute_index(
+      IndexLauncher::over(Domain::line(params_.row_blocks))
+          .with_task(t_spmv_)
+          .region(entries_, entry_blocks_, id, {f_row_, f_col_, f_val_},
+                  Privilege::kRead)
+          .region(vec_x_, x_gather_, id, {f_x_}, Privilege::kRead)
+          .region(vec_y_, y_rows_, id, {f_y_}, Privilege::kReadWrite));
   IDXL_ASSERT(r.ran_as_index_launch || !rt_.config().enable_index_launches);
 }
 
@@ -142,21 +141,19 @@ double SpmvApp::power_step() {
   multiply();
 
   const auto id = ProjectionFunctor::identity(1);
-  IndexLauncher norm;
-  norm.task = t_norm_;
-  norm.domain = Domain::line(params_.row_blocks);
-  norm.result_redop = ReductionOp::kSum;
-  norm.args = {{vec_y_, y_rows_, id, {f_y_}, Privilege::kRead, ReductionOp::kNone}};
-  const double norm2 = rt_.execute_index(norm).future.get(rt_);
+  const double norm2 =
+      rt_.execute_index(IndexLauncher::over(Domain::line(params_.row_blocks))
+                            .with_task(t_norm_)
+                            .region(vec_y_, y_rows_, id, {f_y_}, Privilege::kRead)
+                            .reduce(ReductionOp::kSum))
+          .future.get(rt_);
   const double norm_value = std::sqrt(norm2);
 
-  IndexLauncher scale;
-  scale.task = t_scale_;
-  scale.domain = Domain::line(params_.row_blocks);
-  scale.scalar_args = ArgBuffer::of(1.0 / norm_value);
-  scale.args = {{vec_y_, y_rows_, id, {f_y_}, Privilege::kRead, ReductionOp::kNone},
-                {vec_x_, x_rows_, id, {f_x_}, Privilege::kWrite, ReductionOp::kNone}};
-  rt_.execute_index(scale);
+  rt_.execute_index(IndexLauncher::over(Domain::line(params_.row_blocks))
+                        .with_task(t_scale_)
+                        .region(vec_y_, y_rows_, id, {f_y_}, Privilege::kRead)
+                        .region(vec_x_, x_rows_, id, {f_x_}, Privilege::kWrite)
+                        .scalars(1.0 / norm_value));
   return norm_value;
 }
 

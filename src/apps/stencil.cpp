@@ -69,19 +69,18 @@ bool StencilApp::run_iteration() {
   const auto id = ProjectionFunctor::identity(2);
   bool all_index = true;
 
-  IndexLauncher st;
-  st.task = t_stencil_;
-  st.domain = launch_domain;
-  st.args = {
-      {grid_, halos_, id, {f_in_}, Privilege::kRead, ReductionOp::kNone},
-      {grid_, blocks_, id, {f_out_}, Privilege::kReadWrite, ReductionOp::kNone}};
-  all_index &= rt_.execute_index(st).ran_as_index_launch;
+  all_index &= rt_.execute_index(IndexLauncher::over(launch_domain)
+                                     .with_task(t_stencil_)
+                                     .region(grid_, halos_, id, {f_in_}, Privilege::kRead)
+                                     .region(grid_, blocks_, id, {f_out_},
+                                             Privilege::kReadWrite))
+                   .ran_as_index_launch;
 
-  IndexLauncher inc;
-  inc.task = t_increment_;
-  inc.domain = launch_domain;
-  inc.args = {{grid_, blocks_, id, {f_in_}, Privilege::kReadWrite, ReductionOp::kNone}};
-  all_index &= rt_.execute_index(inc).ran_as_index_launch;
+  all_index &= rt_.execute_index(IndexLauncher::over(launch_domain)
+                                     .with_task(t_increment_)
+                                     .region(grid_, blocks_, id, {f_in_},
+                                             Privilege::kReadWrite))
+                   .ran_as_index_launch;
   return all_index;
 }
 

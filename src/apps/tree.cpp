@@ -75,16 +75,14 @@ double TreeApp::reduce_sum() {
   FieldId level_field = f_even_;
   for (int level = 0; level < params_.levels; ++level) {
     const int64_t width = int64_t{1} << (params_.levels - level - 1);
-    IndexLauncher combine;
-    combine.task = t_combine_;
-    combine.domain = Domain::line(width);
-    combine.scalar_args = ArgBuffer::of(level_field);
     const FieldId out_field = level_field ^ 1u;
-    combine.args = {
-        {nodes_, cells_, left, {level_field}, Privilege::kRead, ReductionOp::kNone},
-        {nodes_, cells_, right, {level_field}, Privilege::kRead, ReductionOp::kNone},
-        {nodes_, cells_, id, {out_field}, Privilege::kWrite, ReductionOp::kNone}};
-    const auto r = rt_.execute_index(combine);
+    const auto r = rt_.execute_index(
+        IndexLauncher::over(Domain::line(width))
+            .with_task(t_combine_)
+            .region(nodes_, cells_, left, {level_field}, Privilege::kRead)
+            .region(nodes_, cells_, right, {level_field}, Privilege::kRead)
+            .region(nodes_, cells_, id, {out_field}, Privilege::kWrite)
+            .scalars(level_field));
     IDXL_ASSERT_MSG(r.ran_as_index_launch || !rt_.config().enable_index_launches,
                     "tree combine must verify");
     level_field = out_field;
@@ -101,31 +99,25 @@ int TreeApp::broadcast(double value) {
 
   // Seed the root at the field the down-sweep starts from.
   FieldId level_field = (params_.levels % 2 == 0) ? f_even_ : f_odd_;
-  {
-    IndexLauncher seed;
-    seed.task = t_seed_;
-    seed.domain = Domain::line(1);
-    seed.scalar_args = ArgBuffer::of(SeedArgs{value, level_field});
-    seed.args = {{nodes_, cells_, id, {level_field}, Privilege::kWrite,
-                  ReductionOp::kNone}};
-    rt_.execute_index(seed);
-  }
+  rt_.execute_index(
+      IndexLauncher::over(Domain::line(1))
+          .with_task(t_seed_)
+          .region(nodes_, cells_, id, {level_field}, Privilege::kWrite)
+          .scalars(SeedArgs{value, level_field}));
 
   for (int level = params_.levels - 1; level >= 0; --level) {
     const int64_t width = int64_t{1} << (params_.levels - level - 1);
-    IndexLauncher spread;
-    spread.task = t_spread_;
-    spread.domain = Domain::line(width);
-    spread.scalar_args = ArgBuffer::of(level_field);
     const FieldId out_field = level_field ^ 1u;
     // Two *write* args with interleaved affine images (2i vs 2i+1): the
     // static image-box test can't separate them, the dynamic cross-check
     // can.
-    spread.args = {
-        {nodes_, cells_, id, {level_field}, Privilege::kRead, ReductionOp::kNone},
-        {nodes_, cells_, left, {out_field}, Privilege::kWrite, ReductionOp::kNone},
-        {nodes_, cells_, right, {out_field}, Privilege::kWrite, ReductionOp::kNone}};
-    const auto r = rt_.execute_index(spread);
+    const auto r = rt_.execute_index(
+        IndexLauncher::over(Domain::line(width))
+            .with_task(t_spread_)
+            .region(nodes_, cells_, id, {level_field}, Privilege::kRead)
+            .region(nodes_, cells_, left, {out_field}, Privilege::kWrite)
+            .region(nodes_, cells_, right, {out_field}, Privilege::kWrite)
+            .scalars(level_field));
     IDXL_ASSERT_MSG(r.ran_as_index_launch || !rt_.config().enable_index_launches,
                     "tree spread must verify");
     if (r.safety.used_dynamic()) ++dynamic_checked;

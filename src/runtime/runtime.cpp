@@ -8,21 +8,35 @@ namespace idxl {
 Runtime::Runtime(RuntimeConfig config)
     : config_(config),
       tracker_(forest_),
+      profiler_(std::make_unique<Profiler>(config.enable_profiling)),
+      prof_(config.enable_profiling ? profiler_.get() : nullptr),
       pool_(std::make_unique<ThreadPool>(config.workers)) {}
 
 Runtime::~Runtime() { wait_all(); }
 
 TaskFnId Runtime::register_task(std::string name, TaskFn fn) {
   IDXL_REQUIRE(static_cast<bool>(fn), "task body must be callable");
+  task_prof_names_.push_back(prof_ != nullptr ? prof_->intern(name) : 0);
   task_registry_.emplace_back(std::move(name), std::move(fn));
   return static_cast<TaskFnId>(task_registry_.size() - 1);
 }
 
-void Runtime::execute(const TaskLauncher& launcher) {
+LaunchResult Runtime::execute(const TaskLauncher& launcher) {
+  ProfileScope issue_scope(prof_, ProfCategory::kIssue, Profiler::kNameIssue);
   ++stats_.runtime_calls;
   ++stats_.single_launches;
+  LaunchResult result;  // single task: trivially safe, never an index launch
+  std::shared_ptr<Future::State> collect;
+  if (launcher.result_redop != ReductionOp::kNone) {
+    collect = std::make_shared<Future::State>();
+    collect->op = launcher.result_redop;
+    collect->values.assign(1, 0.0);
+    result.future.state_ = collect;
+  }
   issue_point_task(launcher.task, launcher.point, launcher.launch_domain,
-                   launcher.args, launcher.scalar_args);
+                   launcher.args, launcher.scalar_args, collect,
+                   collect != nullptr ? 0 : -1);
+  return result;
 }
 
 std::vector<RegionArg> Runtime::project_args(const IndexLauncher& launcher,
@@ -58,6 +72,9 @@ void Runtime::expand_as_task_loop(const IndexLauncher& launcher,
 LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
   IDXL_REQUIRE(launcher.task < task_registry_.size(), "unknown task id");
   IDXL_REQUIRE(!launcher.domain.empty(), "index launch over an empty domain");
+  ProfileScope issue_scope(prof_, ProfCategory::kIssue,
+                           prof_ != nullptr ? task_prof_names_[launcher.task]
+                                            : Profiler::kNameIssue);
 
   LaunchResult result;
   std::shared_ptr<Future::State> collect;
@@ -100,14 +117,19 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
     AnalysisOptions options;
     options.enable_dynamic_checks = config_.enable_dynamic_checks;
     options.extended_static = config_.extended_static_analysis;
+    options.profiler = prof_;
     auto pair_independent = [&](std::size_t i, std::size_t j) {
       return forest_.partitions_independent(launcher.args[i].parent,
                                             launcher.args[i].partition,
                                             launcher.args[j].parent,
                                             launcher.args[j].partition);
     };
-    result.safety =
-        analyze_launch_safety(check_args, launcher.domain, options, pair_independent);
+    {
+      ProfileScope safety_scope(prof_, ProfCategory::kSafety,
+                                Profiler::kNameSafetyCheck);
+      result.safety = analyze_launch_safety(check_args, launcher.domain, options,
+                                            pair_independent);
+    }
     stats_.dynamic_check_points += result.safety.dynamic_points;
 
     switch (result.safety.outcome) {
@@ -149,6 +171,7 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
   auto node = std::make_shared<TaskNode>();
   node->seq = next_seq_++;
   node->label = task_registry_[fn].first + "@" + point.to_string();
+  node->prof_name = prof_ != nullptr ? task_prof_names_[fn] : 0;
 
   // Build the closure now; regions resolve to storage views at execution.
   std::vector<PhysicalRegion> regions;
@@ -179,6 +202,8 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
   // --- dependence discovery: tracker scan, or trace replay ---
   std::vector<TaskNodePtr> deps;
   if (replaying_) {
+    ProfileScope replay_scope(prof_, ProfCategory::kTrace,
+                              Profiler::kNameTraceReplay, node->seq);
     IDXL_REQUIRE(replay_cursor_ < active_trace_->steps.size(),
                  "trace replay issued more tasks than were captured");
     const TraceStep& step = active_trace_->steps[replay_cursor_];
@@ -194,19 +219,25 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
     ++stats_.traced_tasks_replayed;
     trace_nodes_.push_back(node);
   } else {
-    for (const RegionArg& ra : args) {
-      const RegionInfo& info = forest_.region(ra.region);
-      const bool through_disjoint =
-          info.through.valid() && forest_.is_disjoint(info.through);
-      tracker_.record_use(info.tree_id, info.ispace, field_mask(ra.fields),
-                          privilege_writes(ra.privilege), info.through,
-                          through_disjoint, node, deps);
+    {
+      ProfileScope dep_scope(prof_, ProfCategory::kDependence,
+                             Profiler::kNameDependence, node->seq);
+      for (const RegionArg& ra : args) {
+        const RegionInfo& info = forest_.region(ra.region);
+        const bool through_disjoint =
+            info.through.valid() && forest_.is_disjoint(info.through);
+        tracker_.record_use(info.tree_id, info.ispace, field_mask(ra.fields),
+                            privilege_writes(ra.privilege), info.through,
+                            through_disjoint, node, deps);
+      }
+      // Dedupe (one arg pair can surface the same predecessor repeatedly).
+      std::sort(deps.begin(), deps.end());
+      deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
     }
-    // Dedupe (one arg pair can surface the same predecessor repeatedly).
-    std::sort(deps.begin(), deps.end());
-    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
 
     if (active_trace_ != nullptr) {
+      ProfileScope capture_scope(prof_, ProfCategory::kTrace,
+                                 Profiler::kNameTraceCapture, node->seq);
       TraceStep step;
       step.fn = fn;
       step.point = point;
@@ -230,6 +261,12 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
   if (config_.record_task_graph) {
     graph_nodes_.emplace_back(node->seq, node->label);
     for (const TaskNodePtr& dep : deps) graph_edges_.emplace_back(dep->seq, node->seq);
+  }
+  if (prof_ != nullptr) {
+    std::vector<uint64_t> dep_seqs;
+    dep_seqs.reserve(deps.size());
+    for (const TaskNodePtr& dep : deps) dep_seqs.push_back(dep->seq);
+    prof_->record_edges(node->seq, dep_seqs);
   }
   schedule(node, deps);
 }
@@ -262,8 +299,18 @@ void Runtime::schedule(const TaskNodePtr& node, const std::vector<TaskNodePtr>& 
 }
 
 void Runtime::make_ready(const TaskNodePtr& node) {
-  pool_->submit([this, node] {
-    node->work();
+  // `ready_ns` is taken here — the moment every dependence was satisfied —
+  // so the recorded queue wait is pure scheduler latency.
+  const uint64_t ready_ns = prof_ != nullptr ? prof_->now_ns() : 0;
+  pool_->submit([this, node, ready_ns] {
+    if (prof_ != nullptr) {
+      const uint64_t start_ns = prof_->now_ns();
+      node->work();
+      prof_->record(ProfCategory::kTask, node->prof_name, start_ns,
+                    prof_->now_ns(), node->seq, start_ns - ready_ns);
+    } else {
+      node->work();
+    }
     node->work = nullptr;  // release captured resources promptly
     for (const TaskNodePtr& succ : node->complete())
       if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
@@ -308,6 +355,7 @@ TaskFnId Runtime::fill_task() {
 }
 
 void Runtime::wait_all() {
+  ProfileScope wait_scope(prof_, ProfCategory::kRuntime, Profiler::kNameWaitAll);
   pool_->wait_idle();
   stats_.dependence_tests = tracker_.dependence_tests();
 }
@@ -315,6 +363,8 @@ void Runtime::wait_all() {
 double Future::get(Runtime& rt) const {
   IDXL_REQUIRE(valid(), "get() on an empty Future");
   rt.wait_all();
+  ProfileScope reduce_scope(rt.prof_, ProfCategory::kReduce,
+                            Profiler::kNameFutureReduce);
   IDXL_ASSERT(!state_->values.empty());
   double acc = state_->values.front();
   for (std::size_t i = 1; i < state_->values.size(); ++i)

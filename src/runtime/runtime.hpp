@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "analysis/hybrid.hpp"
+#include "obs/profiler.hpp"
 #include "runtime/dependence.hpp"
 #include "runtime/physical.hpp"
 #include "runtime/thread_pool.hpp"
@@ -30,6 +31,10 @@ struct RuntimeConfig {
   /// the Fig. 1-style task-graph inspector. Costs memory per task; off by
   /// default.
   bool record_task_graph = false;
+  /// Record per-event spans (issuance, dependence analysis, safety checks,
+  /// task execution, ...) into Runtime::profiler(). Off by default: the
+  /// disabled path costs one branch per instrumentation point.
+  bool enable_profiling = false;
 };
 
 /// Counters exposing the asymptotic behaviour the paper argues about; tests
@@ -69,7 +74,11 @@ class Future {
   std::shared_ptr<State> state_;
 };
 
-/// The outcome handed back by execute_index.
+/// The outcome handed back by every launch call — execute() and
+/// execute_index() return the same shape, so callers handle both launch
+/// kinds uniformly. For single-task launches the safety report is trivially
+/// safe (one task cannot interfere with itself) and ran_as_index_launch is
+/// false.
 struct LaunchResult {
   SafetyReport safety;
   bool ran_as_index_launch = false;
@@ -95,7 +104,7 @@ class Runtime {
   TaskFnId register_task(std::string name, TaskFn fn);
 
   /// Launch a single task (program-order semantics; §2).
-  void execute(const TaskLauncher& launcher);
+  LaunchResult execute(const TaskLauncher& launcher);
 
   /// Launch |domain| tasks as one index launch (§3). Runs the hybrid safety
   /// analysis; an unsafe launch falls back to the equivalent sequential
@@ -142,6 +151,12 @@ class Runtime {
 
   const RuntimeStats& stats() const { return stats_; }
 
+  /// The observability subsystem: span events, Chrome-trace export,
+  /// critical-path analysis, summary reports. Always present; it records
+  /// nothing unless RuntimeConfig::enable_profiling was set.
+  Profiler& profiler() { return *profiler_; }
+  const Profiler& profiler() const { return *profiler_; }
+
   /// Graphviz DOT of every task issued so far and the dependence edges the
   /// analysis discovered (requires RuntimeConfig::record_task_graph).
   /// Render with `dot -Tsvg` to get the paper's Figure-1-style pictures of
@@ -149,6 +164,8 @@ class Runtime {
   std::string export_task_graph_dot() const;
 
  private:
+  friend class Future;  // Future::get records its reduction span
+
   struct FillArgs {
     FieldId field = 0;
     std::size_t size = 0;
@@ -188,8 +205,13 @@ class Runtime {
   RuntimeConfig config_;
   RegionForest forest_;
   DependenceTracker tracker_;
+  // The profiler outlives the pool (declared first): workers record task
+  // spans until the pool's destructor joins them.
+  std::unique_ptr<Profiler> profiler_;
+  Profiler* prof_ = nullptr;  ///< == profiler_.get() iff profiling is enabled
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::pair<std::string, TaskFn>> task_registry_;
+  std::vector<uint32_t> task_prof_names_;  ///< interned name per TaskFnId
   RuntimeStats stats_;
   uint64_t next_seq_ = 0;
   TaskFnId fill_task_ = UINT32_MAX;

@@ -15,6 +15,7 @@ namespace idxl {
 struct TaskNode {
   uint64_t seq = 0;            ///< global program-order sequence number
   std::string label;           ///< "taskname@(point)" for diagnostics
+  uint32_t prof_name = 0;      ///< interned task name for profiling events
   std::function<void()> work;
   /// Executing shard in sharded (DCR) mode; completion hands ready
   /// successors to pools_[successor->owner]. Unused by the single runtime.

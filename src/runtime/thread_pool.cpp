@@ -1,17 +1,19 @@
 #include "runtime/thread_pool.hpp"
 
+#include "obs/profiler.hpp"
 #include "support/error.hpp"
 
 namespace idxl {
 
-ThreadPool::ThreadPool(unsigned workers) {
+ThreadPool::ThreadPool(unsigned workers, int worker_id_base) {
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
     if (workers == 0) workers = 1;
   }
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i)
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back(
+        [this, id = worker_id_base + static_cast<int>(i)] { worker_loop(id); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -38,7 +40,8 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker_id) {
+  prof_set_current_worker(worker_id);
   for (;;) {
     std::function<void()> fn;
     {

@@ -14,7 +14,10 @@ namespace idxl {
 /// pool only ever sees *ready* tasks).
 class ThreadPool {
  public:
-  explicit ThreadPool(unsigned workers);
+  /// `worker_id_base` offsets the ids this pool's workers report through
+  /// prof_current_worker(), so profiles from multi-pool runtimes (one pool
+  /// per shard) keep globally distinct worker lanes.
+  explicit ThreadPool(unsigned workers, int worker_id_base = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -30,7 +33,7 @@ class ThreadPool {
   unsigned worker_count() const { return static_cast<unsigned>(threads_.size()); }
 
  private:
-  void worker_loop();
+  void worker_loop(int worker_id);
 
   std::mutex mu_;
   std::condition_variable work_cv_;

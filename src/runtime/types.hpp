@@ -74,17 +74,75 @@ class ArgBuffer {
 /// identify the iteration when the task is one step of a sequential task
 /// loop (the No-IDX / fallback form of an index launch), so task bodies see
 /// the same TaskContext under either execution strategy.
+///
+/// The fluent builder form is the primary construction path:
+///
+///   rt.execute(TaskLauncher::for_task(init)
+///                  .region(grid, {f_v}, Privilege::kWrite)
+///                  .scalars(params));
+///
+/// Plain aggregate initialization keeps working — the builders are ordinary
+/// member functions, so the struct remains an aggregate and the two forms
+/// produce identical launchers.
 struct TaskLauncher {
   TaskFnId task = 0;
   std::vector<RegionArg> args;
   ArgBuffer scalar_args;
   Point point = Point::p1(0);
   Domain launch_domain = Domain::line(1);
+  /// When not kNone, execute() yields a Future holding the task's
+  /// return_value (folded trivially: one producer).
+  ReductionOp result_redop = ReductionOp::kNone;
+
+  // --- fluent builders ---
+  static TaskLauncher for_task(TaskFnId id) {
+    TaskLauncher l;
+    l.task = id;
+    return l;
+  }
+  /// Append a region argument.
+  TaskLauncher& region(RegionId r, std::vector<FieldId> fields, Privilege priv,
+                       ReductionOp redop = ReductionOp::kNone) {
+    args.push_back(RegionArg{r, std::move(fields), priv, redop});
+    return *this;
+  }
+  /// By-value task arguments (any trivially copyable struct).
+  template <typename T>
+  TaskLauncher& scalars(const T& value) {
+    scalar_args = ArgBuffer::of(value);
+    return *this;
+  }
+  TaskLauncher& scalars(ArgBuffer buffer) {
+    scalar_args = std::move(buffer);
+    return *this;
+  }
+  /// Identify the task-loop iteration this launch represents.
+  TaskLauncher& at(const Point& p, Domain domain) {
+    point = p;
+    launch_domain = std::move(domain);
+    return *this;
+  }
+  /// Collect the task's return value into LaunchResult::future.
+  TaskLauncher& reduce(ReductionOp op) {
+    result_redop = op;
+    return *this;
+  }
 };
 
 /// Launcher for an index launch: the O(1) descriptor of |domain| tasks.
 /// Note the descriptor's size is independent of the domain volume — the
 /// paper's central representation claim; `sizeof` is checked by tests.
+///
+/// The fluent builder form is the primary construction path:
+///
+///   rt.execute_index(IndexLauncher::over(Domain::line(16))
+///                        .with_task(diffuse)
+///                        .region(grid, halos, id, {f_t}, Privilege::kRead)
+///                        .region(grid, blocks, id, {f_t2}, Privilege::kWrite)
+///                        .reduce(ReductionOp::kSum));
+///
+/// Plain aggregate initialization keeps working and builds the identical
+/// descriptor (tests assert byte-equality of the serialized forms).
 struct IndexLauncher {
   TaskFnId task = 0;
   Domain domain;
@@ -100,6 +158,46 @@ struct IndexLauncher {
   /// future-map reduction of task-based runtimes). The fold happens in
   /// launch-point rank order, so floating-point results are deterministic.
   ReductionOp result_redop = ReductionOp::kNone;
+
+  // --- fluent builders ---
+  static IndexLauncher over(Domain launch_domain) {
+    IndexLauncher l;
+    l.domain = std::move(launch_domain);
+    return l;
+  }
+  IndexLauncher& with_task(TaskFnId id) {
+    task = id;
+    return *this;
+  }
+  /// Append a projected region argument: each launch point p receives the
+  /// ⟨parent, partition⟩ sub-collection colored functor(p).
+  IndexLauncher& region(RegionId parent, PartitionId partition,
+                        ProjectionFunctor functor, std::vector<FieldId> fields,
+                        Privilege priv, ReductionOp redop = ReductionOp::kNone) {
+    args.push_back(ProjectedArg{parent, partition, std::move(functor),
+                                std::move(fields), priv, redop});
+    return *this;
+  }
+  /// By-value task arguments (any trivially copyable struct).
+  template <typename T>
+  IndexLauncher& scalars(const T& value) {
+    scalar_args = ArgBuffer::of(value);
+    return *this;
+  }
+  IndexLauncher& scalars(ArgBuffer buffer) {
+    scalar_args = std::move(buffer);
+    return *this;
+  }
+  /// Fold per-task return values; the launch then yields a Future.
+  IndexLauncher& reduce(ReductionOp op) {
+    result_redop = op;
+    return *this;
+  }
+  /// Mark the launch compiler-verified: the runtime skips its own checks.
+  IndexLauncher& verified(bool v = true) {
+    assume_verified = v;
+    return *this;
+  }
 };
 
 }  // namespace idxl

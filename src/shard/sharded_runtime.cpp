@@ -25,10 +25,14 @@ ShardedRuntime::ShardedRuntime(ShardedConfig config) : config_(std::move(config)
   IDXL_REQUIRE(config_.shards >= 1, "need at least one shard");
   if (config_.sharding == nullptr)
     config_.sharding = std::make_shared<BlockShardingFunctor>();
+  profiler_ = std::make_unique<Profiler>(config_.enable_profiling);
+  if (config_.enable_profiling) prof_ = profiler_.get();
+  const unsigned per_shard =
+      config_.workers_per_shard == 0 ? 1 : config_.workers_per_shard;
   pools_.reserve(config_.shards);
   for (uint32_t s = 0; s < config_.shards; ++s)
     pools_.push_back(std::make_unique<ThreadPool>(
-        config_.workers_per_shard == 0 ? 1 : config_.workers_per_shard));
+        per_shard, static_cast<int>(s * per_shard)));
   shard_stats_.resize(config_.shards);
   replicas_.resize(config_.shards);
 }
@@ -79,6 +83,7 @@ ShardedRuntime::~ShardedRuntime() { drain(); }
 
 TaskFnId ShardedRuntime::register_task(std::string name, TaskFn fn) {
   IDXL_REQUIRE(static_cast<bool>(fn), "task body must be callable");
+  task_prof_names_.push_back(prof_ != nullptr ? prof_->intern(name) : 0);
   task_registry_.emplace_back(std::move(name), std::move(fn));
   return static_cast<TaskFnId>(task_registry_.size() - 1);
 }
@@ -86,7 +91,12 @@ TaskFnId ShardedRuntime::register_task(std::string name, TaskFn fn) {
 TaskNodePtr ShardedRuntime::event_for(uint64_t key) {
   std::lock_guard<std::mutex> lock(table_mu_);
   auto [it, inserted] = events_.try_emplace(key);
-  if (inserted) it->second = std::make_shared<TaskNode>();
+  if (inserted) {
+    it->second = std::make_shared<TaskNode>();
+    // The key doubles as the global program-order sequence number; set at
+    // creation (under the lock) so any shard can read it for edge records.
+    it->second->seq = key;
+  }
   return it->second;
 }
 
@@ -114,14 +124,23 @@ void ShardedRuntime::make_ready(const TaskNodePtr& node) {
   // Ready tasks execute on their owner's pool — cross-shard completions
   // hand work to the right "node", which is all the network a
   // single-address-space model needs.
-  pools_[node->owner.load(std::memory_order_relaxed)]->submit([this, node] {
-    node->work();
-    node->work = nullptr;
-    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
-    for (const TaskNodePtr& succ : node->complete())
-      if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
-        make_ready(succ);
-  });
+  const uint64_t ready_ns = prof_ != nullptr ? prof_->now_ns() : 0;
+  pools_[node->owner.load(std::memory_order_relaxed)]->submit(
+      [this, node, ready_ns] {
+        if (prof_ != nullptr) {
+          const uint64_t start_ns = prof_->now_ns();
+          node->work();
+          prof_->record(ProfCategory::kTask, node->prof_name, start_ns,
+                        prof_->now_ns(), node->seq, start_ns - ready_ns);
+        } else {
+          node->work();
+        }
+        node->work = nullptr;
+        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+        for (const TaskNodePtr& succ : node->complete())
+          if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            make_ready(succ);
+      });
 }
 
 void ShardedRuntime::drain() {
@@ -197,6 +216,10 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
   ShardedRuntime& rt = *rt_;
   IDXL_REQUIRE(launcher.task < rt.task_registry_.size(), "unknown task id");
   IDXL_REQUIRE(!launcher.domain.empty(), "index launch over an empty domain");
+  ProfileScope issue_scope(rt.prof_, ProfCategory::kIssue,
+                           rt.prof_ != nullptr
+                               ? rt.task_prof_names_[launcher.task]
+                               : Profiler::kNameIssue);
 
   const uint64_t seq = next_launch_++;
   // Control-replication contract: every shard must issue the identical
@@ -226,13 +249,17 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
     }
     AnalysisOptions options;
     options.enable_dynamic_checks = rt.config_.enable_dynamic_checks;
+    options.profiler = rt.prof_;
     auto pair_independent = [&](std::size_t i, std::size_t j) {
       return rt.forest_.partitions_independent(
           launcher.args[i].parent, launcher.args[i].partition,
           launcher.args[j].parent, launcher.args[j].partition);
     };
+    ProfileScope safety_scope(rt.prof_, ProfCategory::kSafety,
+                              Profiler::kNameSafetyCheck);
     const SafetyReport report =
         analyze_launch_safety(check_args, launcher.domain, options, pair_independent);
+    safety_scope.close();
     IDXL_REQUIRE(report.safe(), ("unsafe index launch in sharded mode: " +
                                  report.reason).c_str());
   }
@@ -275,6 +302,8 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
     std::vector<PhysicalRegion> regions;
     std::vector<ResolvedCopy> copies;
     {
+      ProfileScope dep_scope(rt.prof_, ProfCategory::kDependence,
+                             Profiler::kNameDependence, key);
       std::lock_guard<std::mutex> lock(rt.forest_mu_);
       for (const ProjectedArg& pa : launcher.args) {
         const Point color = pa.functor(p);
@@ -347,6 +376,14 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
     for (const TaskNodePtr& dep : deps)
       if (dep->owner.load(std::memory_order_relaxed) != shard_)
         ++stats_.remote_dependencies;
+    if (rt.prof_ != nullptr) {
+      // Owner-only: every shard discovers the identical edges; recording
+      // them once keeps the critical-path graph free of duplicates.
+      std::vector<uint64_t> dep_seqs;
+      dep_seqs.reserve(deps.size());
+      for (const TaskNodePtr& dep : deps) dep_seqs.push_back(dep->seq);
+      rt.prof_->record_edges(key, dep_seqs);
+    }
 
     // Apply planned copy-ins in program order (a later writer's bytes must
     // land last when plans overlap). Reorder via an index sort: gcc 12's
@@ -367,17 +404,23 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
     ArgBuffer scalar = launcher.scalar_args;
     const Domain domain = launcher.domain;
     node->label = rt.task_registry_[launcher.task].first + "@" + p.to_string();
-    node->work = [&body, p, domain, scalar = std::move(scalar),
-                  regions = std::move(regions), copies = std::move(copies)]() mutable {
+    node->prof_name = rt.prof_ != nullptr ? rt.task_prof_names_[launcher.task] : 0;
+    node->work = [&body, p, domain, prof = rt.prof_, key,
+                  scalar = std::move(scalar), regions = std::move(regions),
+                  copies = std::move(copies)]() mutable {
       // Inter-shard data movement: dependencies guaranteed the producers
       // finished, so their replica bytes are stable to read.
-      for (const ResolvedCopy& copy : copies) {
-        for (const auto& fc : copy.fields) {
-          copy.overlap.for_each([&](const Point& q) {
-            const auto off =
-                static_cast<std::size_t>(copy.bounds.linearize(q)) * fc.size;
-            std::memcpy(fc.dst + off, fc.src + off, fc.size);
-          });
+      if (!copies.empty()) {
+        ProfileScope exchange_scope(prof, ProfCategory::kExchange,
+                                    Profiler::kNameShardExchange, key);
+        for (const ResolvedCopy& copy : copies) {
+          for (const auto& fc : copy.fields) {
+            copy.overlap.for_each([&](const Point& q) {
+              const auto off =
+                  static_cast<std::size_t>(copy.bounds.linearize(q)) * fc.size;
+              std::memcpy(fc.dst + off, fc.src + off, fc.size);
+            });
+          }
         }
       }
       TaskContext ctx;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "analysis/hybrid.hpp"
+#include "obs/profiler.hpp"
 #include "runtime/dependence.hpp"
 #include "runtime/mapping.hpp"
 #include "runtime/physical.hpp"
@@ -51,6 +52,9 @@ struct ShardedConfig {
   /// may be copied and migrated"). When false, all shards share the
   /// forest's storage and coherence is pure happens-before.
   bool distributed_storage = false;
+  /// Record per-event spans (issuance, replicated analysis, task execution,
+  /// inter-shard copies) into ShardedRuntime::profiler(). Off by default.
+  bool enable_profiling = false;
 };
 
 struct ShardStats {
@@ -114,6 +118,12 @@ class ShardedRuntime {
 
   const ShardStats& stats(uint32_t shard) const;
 
+  /// Observability: one profiler spans all shards (lanes distinguish the
+  /// issuing shard threads and per-shard pool workers). Records nothing
+  /// unless ShardedConfig::enable_profiling was set.
+  Profiler& profiler() { return *profiler_; }
+  const Profiler& profiler() const { return *profiler_; }
+
   template <typename T>
   Accessor<T> read_region(RegionId r, FieldId f) {
     if (config_.distributed_storage) synchronize_storage();
@@ -157,7 +167,11 @@ class ShardedRuntime {
   ShardedConfig config_;
   RegionForest forest_;
   std::mutex forest_mu_;  // guards subregion creation during run()
+  // Profiler precedes the pools: workers record spans until joined.
+  std::unique_ptr<Profiler> profiler_;
+  Profiler* prof_ = nullptr;  ///< == profiler_.get() iff profiling is enabled
   std::vector<std::pair<std::string, TaskFn>> task_registry_;
+  std::vector<uint32_t> task_prof_names_;  ///< interned name per TaskFnId
   std::vector<std::unique_ptr<ThreadPool>> pools_;
   std::vector<ShardStats> shard_stats_;
 

@@ -34,10 +34,8 @@ TEST(RuntimeTest, SingleTaskWritesRegion) {
     ctx.region(0).domain().for_each(
         [&](const Point& p) { acc.write(p, static_cast<double>(p[0])); });
   });
-  TaskLauncher launcher;
-  launcher.task = fill;
-  launcher.args = {{fx.region, {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-  fx.rt.execute(launcher);
+  fx.rt.execute(TaskLauncher::for_task(fill).region(fx.region, {fx.fv},
+                                                    Privilege::kWrite));
   fx.rt.wait_all();
   auto acc = fx.rt.read_region<double>(fx.region, fx.fv);
   EXPECT_DOUBLE_EQ(acc.read(Point::p1(5)), 5.0);
@@ -51,12 +49,11 @@ TEST(RuntimeTest, IndexLaunchIdentityIsSafeStaticAndOneCall) {
     ctx.region(0).domain().for_each(
         [&](const Point& p) { acc.write(p, static_cast<double>(ctx.point[0])); });
   });
-  IndexLauncher launcher;
-  launcher.task = fill;
-  launcher.domain = Domain::line(16);
-  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
-                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-  const LaunchResult result = fx.rt.execute_index(launcher);
+  const LaunchResult result = fx.rt.execute_index(
+      IndexLauncher::over(Domain::line(16))
+          .with_task(fill)
+          .region(fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                  {fx.fv}, Privilege::kWrite));
   fx.rt.wait_all();
 
   EXPECT_TRUE(result.ran_as_index_launch);
@@ -80,12 +77,11 @@ TEST(RuntimeTest, NoIdxModeIssuesPerTaskCalls) {
     ctx.region(0).domain().for_each(
         [&](const Point& p) { acc.write(p, static_cast<double>(ctx.point[0])); });
   });
-  IndexLauncher launcher;
-  launcher.task = fill;
-  launcher.domain = Domain::line(16);
-  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
-                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-  const LaunchResult result = fx.rt.execute_index(launcher);
+  const LaunchResult result = fx.rt.execute_index(
+      IndexLauncher::over(Domain::line(16))
+          .with_task(fill)
+          .region(fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                  {fx.fv}, Privilege::kWrite));
   fx.rt.wait_all();
 
   EXPECT_FALSE(result.ran_as_index_launch);
@@ -123,21 +119,19 @@ TEST(RuntimeTest, ProgramOrderAcrossLaunches) {
   // Second region for output (separate tree).
   const RegionId out_region = forest.create_region(fx.is, fx.fs);
 
-  IndexLauncher l1;
-  l1.task = fill;
-  l1.domain = Domain::line(4);
-  l1.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
-              {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-  fx.rt.execute_index(l1);
+  fx.rt.execute_index(IndexLauncher::over(Domain::line(4))
+                          .with_task(fill)
+                          .region(fx.region, fx.blocks,
+                                  ProjectionFunctor::identity(1), {fx.fv},
+                                  Privilege::kWrite));
 
-  IndexLauncher l2;
-  l2.task = smooth;
-  l2.domain = Domain::line(4);
-  l2.args = {{fx.region, halos, ProjectionFunctor::identity(1),
-              {fx.fv}, Privilege::kRead, ReductionOp::kNone},
-             {out_region, fx.blocks, ProjectionFunctor::identity(1),
-              {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-  const auto r2 = fx.rt.execute_index(l2);
+  const auto r2 = fx.rt.execute_index(
+      IndexLauncher::over(Domain::line(4))
+          .with_task(smooth)
+          .region(fx.region, halos, ProjectionFunctor::identity(1), {fx.fv},
+                  Privilege::kRead)
+          .region(out_region, fx.blocks, ProjectionFunctor::identity(1),
+                  {fx.fv}, Privilege::kWrite));
   fx.rt.wait_all();
   EXPECT_TRUE(r2.ran_as_index_launch);
 
@@ -162,12 +156,11 @@ TEST(RuntimeTest, UnsafeLaunchFallsBackSequentially) {
     ctx.region(0).domain().for_each(
         [&](const Point& p) { acc.write(p, static_cast<double>(ctx.point[0])); });
   });
-  IndexLauncher launcher;
-  launcher.task = stamp;
-  launcher.domain = Domain::line(6);
-  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::modular1d(0, 3),
-                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-  const LaunchResult result = fx.rt.execute_index(launcher);
+  const LaunchResult result = fx.rt.execute_index(
+      IndexLauncher::over(Domain::line(6))
+          .with_task(stamp)
+          .region(fx.region, fx.blocks, ProjectionFunctor::modular1d(0, 3),
+                  {fx.fv}, Privilege::kWrite));
   fx.rt.wait_all();
 
   EXPECT_FALSE(result.ran_as_index_launch);
@@ -186,12 +179,13 @@ TEST(RuntimeTest, StrictUnsafeThrows) {
   cfg.strict_unsafe = true;
   Fixture fx(3, 3, cfg);
   const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
-  IndexLauncher launcher;
-  launcher.task = noop;
-  launcher.domain = Domain::line(6);
-  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::modular1d(0, 3),
-                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-  EXPECT_THROW(fx.rt.execute_index(launcher), RuntimeError);
+  EXPECT_THROW(
+      fx.rt.execute_index(
+          IndexLauncher::over(Domain::line(6))
+              .with_task(noop)
+              .region(fx.region, fx.blocks, ProjectionFunctor::modular1d(0, 3),
+                      {fx.fv}, Privilege::kWrite)),
+      RuntimeError);
 }
 
 TEST(RuntimeTest, ReductionIntoSingleCell) {
@@ -217,21 +211,20 @@ TEST(RuntimeTest, ReductionIntoSingleCell) {
     out.reduce(Point::p1(0), sum);
   });
 
-  IndexLauncher l1;
-  l1.task = fill;
-  l1.domain = Domain::line(10);
-  l1.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
-              {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-  fx.rt.execute_index(l1);
+  fx.rt.execute_index(IndexLauncher::over(Domain::line(10))
+                          .with_task(fill)
+                          .region(fx.region, fx.blocks,
+                                  ProjectionFunctor::identity(1), {fx.fv},
+                                  Privilege::kWrite));
 
-  IndexLauncher l2;
-  l2.task = reduce;
-  l2.domain = Domain::line(10);
-  l2.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
-              {fx.fv}, Privilege::kRead, ReductionOp::kNone},
-             {sum_region, sum_part, ProjectionFunctor::symbolic({make_const(0)}),
-              {fx.fv}, Privilege::kReduce, ReductionOp::kSum}};
-  const auto r = fx.rt.execute_index(l2);
+  const auto r = fx.rt.execute_index(
+      IndexLauncher::over(Domain::line(10))
+          .with_task(reduce)
+          .region(fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                  {fx.fv}, Privilege::kRead)
+          .region(sum_region, sum_part,
+                  ProjectionFunctor::symbolic({make_const(0)}), {fx.fv},
+                  Privilege::kReduce, ReductionOp::kSum));
   fx.rt.wait_all();
   EXPECT_TRUE(r.ran_as_index_launch);
 
@@ -252,11 +245,9 @@ TEST(RuntimeTest, ScalarArgsReachTasks) {
       acc.write(p, params.scale * static_cast<double>(p[0] + params.offset));
     });
   });
-  TaskLauncher launcher;
-  launcher.task = fill;
-  launcher.args = {{fx.region, {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-  launcher.scalar_args = ArgBuffer::of(Params{2.5, 10});
-  fx.rt.execute(launcher);
+  fx.rt.execute(TaskLauncher::for_task(fill)
+                    .region(fx.region, {fx.fv}, Privilege::kWrite)
+                    .scalars(Params{2.5, 10}));
   fx.rt.wait_all();
   auto acc = fx.rt.read_region<double>(fx.region, fx.fv);
   EXPECT_DOUBLE_EQ(acc.read(Point::p1(3)), 2.5 * 13.0);
@@ -296,30 +287,26 @@ TEST(RuntimeTest, IterativeStencilMatchesSerialReference) {
     ctx.region(1).domain().for_each([&](const Point& p) { out.write(p, in.read(p)); });
   });
 
-  TaskLauncher init_launcher;
-  init_launcher.task = init;
-  init_launcher.args = {{grid, {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-  fx.rt.execute(init_launcher);
+  fx.rt.execute(
+      TaskLauncher::for_task(init).region(grid, {fx.fv}, Privilege::kWrite));
 
   for (int64_t it = 0; it < iters; ++it) {
-    IndexLauncher s;
-    s.task = step;
-    s.domain = Domain::line(pieces);
-    s.args = {{grid, halos, ProjectionFunctor::identity(1),
-               {fx.fv}, Privilege::kRead, ReductionOp::kNone},
-              {grid, blocks, ProjectionFunctor::identity(1),
-               {f_new}, Privilege::kWrite, ReductionOp::kNone}};
-    const auto rs = fx.rt.execute_index(s);
+    const auto rs = fx.rt.execute_index(
+        IndexLauncher::over(Domain::line(pieces))
+            .with_task(step)
+            .region(grid, halos, ProjectionFunctor::identity(1), {fx.fv},
+                    Privilege::kRead)
+            .region(grid, blocks, ProjectionFunctor::identity(1), {f_new},
+                    Privilege::kWrite));
     EXPECT_TRUE(rs.ran_as_index_launch);
 
-    IndexLauncher c;
-    c.task = copy_back;
-    c.domain = Domain::line(pieces);
-    c.args = {{grid, blocks, ProjectionFunctor::identity(1),
-               {f_new}, Privilege::kRead, ReductionOp::kNone},
-              {grid, blocks, ProjectionFunctor::identity(1),
-               {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-    fx.rt.execute_index(c);
+    fx.rt.execute_index(
+        IndexLauncher::over(Domain::line(pieces))
+            .with_task(copy_back)
+            .region(grid, blocks, ProjectionFunctor::identity(1), {f_new},
+                    Privilege::kRead)
+            .region(grid, blocks, ProjectionFunctor::identity(1), {fx.fv},
+                    Privilege::kWrite));
   }
   fx.rt.wait_all();
 
@@ -374,28 +361,24 @@ TEST(RuntimeTest, TraceCaptureAndReplayProduceSameResults) {
     ctx.region(1).domain().for_each([&](const Point& p) { out.write(p, in.read(p)); });
   });
 
-  TaskLauncher il;
-  il.task = init;
-  il.args = {{grid, {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-  fx.rt.execute(il);
+  fx.rt.execute(
+      TaskLauncher::for_task(init).region(grid, {fx.fv}, Privilege::kWrite));
 
   auto run_iteration = [&] {
-    IndexLauncher s;
-    s.task = step;
-    s.domain = Domain::line(pieces);
-    s.args = {{grid, ghosts, ProjectionFunctor::identity(1),
-               {fx.fv}, Privilege::kRead, ReductionOp::kNone},
-              {grid, blocks, ProjectionFunctor::identity(1),
-               {f_new}, Privilege::kWrite, ReductionOp::kNone}};
-    fx.rt.execute_index(s);
-    IndexLauncher c;
-    c.task = copy_back;
-    c.domain = Domain::line(pieces);
-    c.args = {{grid, blocks, ProjectionFunctor::identity(1),
-               {f_new}, Privilege::kRead, ReductionOp::kNone},
-              {grid, blocks, ProjectionFunctor::identity(1),
-               {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-    fx.rt.execute_index(c);
+    fx.rt.execute_index(
+        IndexLauncher::over(Domain::line(pieces))
+            .with_task(step)
+            .region(grid, ghosts, ProjectionFunctor::identity(1), {fx.fv},
+                    Privilege::kRead)
+            .region(grid, blocks, ProjectionFunctor::identity(1), {f_new},
+                    Privilege::kWrite));
+    fx.rt.execute_index(
+        IndexLauncher::over(Domain::line(pieces))
+            .with_task(copy_back)
+            .region(grid, blocks, ProjectionFunctor::identity(1), {f_new},
+                    Privilege::kRead)
+            .region(grid, blocks, ProjectionFunctor::identity(1), {fx.fv},
+                    Privilege::kWrite));
   };
 
   // Iteration 1 captures the trace; iterations 2..5 replay it.
@@ -427,17 +410,13 @@ TEST(RuntimeTest, TraceReplayDivergenceDetected) {
   const TaskFnId a = fx.rt.register_task("a", [](TaskContext&) {});
   const TaskFnId b = fx.rt.register_task("b", [](TaskContext&) {});
 
-  TaskLauncher la;
-  la.task = a;
-  TaskLauncher lb;
-  lb.task = b;
-
   fx.rt.begin_trace(1);
-  fx.rt.execute(la);
+  fx.rt.execute(TaskLauncher::for_task(a));
   fx.rt.end_trace(1);
 
   fx.rt.begin_trace(1);
-  EXPECT_THROW(fx.rt.execute(lb), RuntimeError);  // diverges from capture
+  EXPECT_THROW(fx.rt.execute(TaskLauncher::for_task(b)),
+               RuntimeError);  // diverges from capture
 }
 
 TEST(RuntimeTest, TaskGraphExport) {
@@ -448,11 +427,11 @@ TEST(RuntimeTest, TaskGraphExport) {
     auto acc = ctx.region(0).accessor<double>(0);
     ctx.region(0).domain().for_each([&](const Point& p) { acc.write(p, 1.0); });
   });
-  IndexLauncher launcher;
-  launcher.task = stamp;
-  launcher.domain = Domain::line(4);
-  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
-                    {fx.fv}, Privilege::kReadWrite, ReductionOp::kNone}};
+  const IndexLauncher launcher =
+      IndexLauncher::over(Domain::line(4))
+          .with_task(stamp)
+          .region(fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                  {fx.fv}, Privilege::kReadWrite);
   fx.rt.execute_index(launcher);
   fx.rt.execute_index(launcher);
   fx.rt.wait_all();
@@ -471,34 +450,31 @@ TEST(RuntimeTest, TaskGraphExport) {
 TEST(RuntimeTest, EmptyDomainLaunchThrows) {
   Fixture fx(8, 2);
   const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
-  IndexLauncher launcher;
-  launcher.task = noop;
-  launcher.domain = Domain::from_points({});
-  EXPECT_THROW(fx.rt.execute_index(launcher), RuntimeError);
+  EXPECT_THROW(fx.rt.execute_index(
+                   IndexLauncher::over(Domain::from_points({})).with_task(noop)),
+               RuntimeError);
 }
 
 TEST(RuntimeTest, UnknownTaskIdThrows) {
   Fixture fx(8, 2);
-  IndexLauncher launcher;
-  launcher.task = 999;
-  launcher.domain = Domain::line(2);
-  EXPECT_THROW(fx.rt.execute_index(launcher), RuntimeError);
-  TaskLauncher single;
-  single.task = 999;
-  EXPECT_THROW(fx.rt.execute(single), RuntimeError);
+  EXPECT_THROW(
+      fx.rt.execute_index(IndexLauncher::over(Domain::line(2)).with_task(999)),
+      RuntimeError);
+  EXPECT_THROW(fx.rt.execute(TaskLauncher::for_task(999)), RuntimeError);
 }
 
 TEST(RuntimeTest, FunctorColorOutsidePartitionThrows) {
   Fixture fx(8, 2);
   const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
-  IndexLauncher launcher;
-  launcher.task = noop;
-  launcher.domain = Domain::line(4);
   // Functor maps beyond the 2-color partition; reads are exempt from
   // safety checks, so the failure surfaces at subregion resolution.
-  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
-                    {fx.fv}, Privilege::kRead, ReductionOp::kNone}};
-  EXPECT_THROW(fx.rt.execute_index(launcher), RuntimeError);
+  EXPECT_THROW(
+      fx.rt.execute_index(IndexLauncher::over(Domain::line(4))
+                              .with_task(noop)
+                              .region(fx.region, fx.blocks,
+                                      ProjectionFunctor::identity(1), {fx.fv},
+                                      Privilege::kRead)),
+      RuntimeError);
 }
 
 TEST(RuntimeDeathTest, ReadWithoutPrivilegeAborts) {
@@ -508,9 +484,8 @@ TEST(RuntimeDeathTest, ReadWithoutPrivilegeAborts) {
     auto acc = ctx.region(0).accessor<double>(0);
     (void)acc.read(Point::p1(0));  // declared write-only
   });
-  TaskLauncher launcher;
-  launcher.task = bad;
-  launcher.args = {{fx.region, {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  const TaskLauncher launcher = TaskLauncher::for_task(bad).region(
+      fx.region, {fx.fv}, Privilege::kWrite);
   EXPECT_DEATH(
       {
         fx.rt.execute(launcher);
@@ -526,11 +501,11 @@ TEST(RuntimeDeathTest, OutOfBoundsAccessAborts) {
     auto acc = ctx.region(0).accessor<double>(0);
     acc.write(Point::p1(7), 1.0);  // block 0 covers [0, 4)
   });
-  IndexLauncher launcher;
-  launcher.task = bad;
-  launcher.domain = Domain::line(1);
-  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
-                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  const IndexLauncher launcher =
+      IndexLauncher::over(Domain::line(1))
+          .with_task(bad)
+          .region(fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                  {fx.fv}, Privilege::kWrite);
   EXPECT_DEATH(
       {
         fx.rt.execute_index(launcher);
@@ -550,12 +525,12 @@ TEST(RuntimeTest, FutureReducesTaskReturnValues) {
     });
     ctx.return_value = sum;
   });
-  IndexLauncher launcher;
-  launcher.task = block_sum;
-  launcher.domain = Domain::line(10);
-  launcher.result_redop = ReductionOp::kSum;
-  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
-                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+  IndexLauncher launcher =
+      IndexLauncher::over(Domain::line(10))
+          .with_task(block_sum)
+          .region(fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                  {fx.fv}, Privilege::kWrite)
+          .reduce(ReductionOp::kSum);
   LaunchResult r = fx.rt.execute_index(launcher);
   ASSERT_TRUE(r.future.valid());
   EXPECT_DOUBLE_EQ(r.future.get(fx.rt), 99.0 * 100.0 / 2.0);
@@ -587,13 +562,13 @@ TEST(RuntimeTest, FutureWorksInNoIdxAndFallbackModes) {
       ctx.region(0).domain().for_each([&](const Point& p) { acc.write(p, 1.0); });
       ctx.return_value = 1.0;
     });
-    IndexLauncher launcher;
-    launcher.task = one;
-    launcher.domain = Domain::line(domain);
-    launcher.result_redop = ReductionOp::kSum;
-    launcher.args = {{fx.region, fx.blocks, functor, {fx.fv}, Privilege::kWrite,
-                      ReductionOp::kNone}};
-    return fx.rt.execute_index(launcher).future.get(fx.rt);
+    return fx.rt
+        .execute_index(IndexLauncher::over(Domain::line(domain))
+                           .with_task(one)
+                           .region(fx.region, fx.blocks, functor, {fx.fv},
+                                   Privilege::kWrite)
+                           .reduce(ReductionOp::kSum))
+        .future.get(fx.rt);
   };
   // Index-launch path, task-loop (No-IDX) path, and the unsafe-fallback
   // path (i % 3 over 6 points) all produce the complete reduction.
@@ -614,12 +589,11 @@ TEST(RuntimeTest, ExtendedStaticAnalysisAvoidsDynamicCheck) {
   cfg.extended_static_analysis = true;
   Fixture fx(40, 10, cfg);
   const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
-  IndexLauncher launcher;
-  launcher.task = noop;
-  launcher.domain = Domain::line(10);
-  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::modular1d(3, 10),
-                    {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
-  const LaunchResult r = fx.rt.execute_index(launcher);
+  const LaunchResult r = fx.rt.execute_index(
+      IndexLauncher::over(Domain::line(10))
+          .with_task(noop)
+          .region(fx.region, fx.blocks, ProjectionFunctor::modular1d(3, 10),
+                  {fx.fv}, Privilege::kWrite));
   EXPECT_EQ(r.safety.outcome, SafetyOutcome::kSafeStatic);
   EXPECT_EQ(r.safety.dynamic_points, 0u);
   fx.rt.wait_all();
@@ -634,11 +608,11 @@ TEST(RuntimeTest, RapidReissueStress) {
   cfg.workers = 2;
   Fixture fx(256, 64, cfg);
   const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
-  IndexLauncher launcher;
-  launcher.task = noop;
-  launcher.domain = Domain::line(64);
-  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
-                    {fx.fv}, Privilege::kReadWrite, ReductionOp::kNone}};
+  const IndexLauncher launcher =
+      IndexLauncher::over(Domain::line(64))
+          .with_task(noop)
+          .region(fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                  {fx.fv}, Privilege::kReadWrite);
   for (int i = 0; i < 50; ++i) fx.rt.execute_index(launcher);
   fx.rt.wait_all();
   EXPECT_EQ(fx.rt.stats().point_tasks, 50u * 64u);
@@ -650,11 +624,11 @@ TEST(RuntimeTest, DisjointPartitionSkipsDomainTests) {
   // than the quadratic all-pairs scan.
   Fixture fx(256, 64);
   const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
-  IndexLauncher launcher;
-  launcher.task = noop;
-  launcher.domain = Domain::line(64);
-  launcher.args = {{fx.region, fx.blocks, ProjectionFunctor::identity(1),
-                    {fx.fv}, Privilege::kReadWrite, ReductionOp::kNone}};
+  const IndexLauncher launcher =
+      IndexLauncher::over(Domain::line(64))
+          .with_task(noop)
+          .region(fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                  {fx.fv}, Privilege::kReadWrite);
   for (int i = 0; i < 10; ++i) fx.rt.execute_index(launcher);
   fx.rt.wait_all();
   // Each task conflicts only with its same-color predecessor: the tests
