@@ -12,9 +12,7 @@ using namespace idxl;
 
 namespace {
 
-double measure_us(const ProjectionFunctor& f, int64_t domain_size, bool force_dynamic) {
-  const Domain domain = Domain::line(domain_size);
-  const Rect colors = Rect::line(domain_size);
+std::vector<CheckArg> one_write_arg(const ProjectionFunctor& f, const Rect& colors) {
   CheckArg arg;
   arg.functor = &f;
   arg.color_space = colors;
@@ -22,7 +20,13 @@ double measure_us(const ProjectionFunctor& f, int64_t domain_size, bool force_dy
   arg.partition_uid = 1;
   arg.collection_uid = 1;
   arg.priv = Privilege::kWrite;
-  const std::vector<CheckArg> args = {arg};
+  return {arg};
+}
+
+double measure_us(const ProjectionFunctor& f, int64_t domain_size, bool force_dynamic) {
+  const Domain domain = Domain::line(domain_size);
+  const Rect colors = Rect::line(domain_size);
+  const std::vector<CheckArg> args = one_write_arg(f, colors);
 
   RunningStats stats;
   for (int rep = 0; rep < 5; ++rep) {
@@ -37,6 +41,30 @@ double measure_us(const ProjectionFunctor& f, int64_t domain_size, bool force_dy
     }
     stats.add(watch.elapsed_us());
   }
+  return stats.mean();
+}
+
+/// Repeated launches of one site, as an iterative workload issues them. With
+/// the cache the first rep misses and every later rep is a lookup; without
+/// it every rep pays the full (here: dynamic) analysis again.
+double measure_repeat_us(const ProjectionFunctor& f, int64_t domain_size,
+                         bool with_cache) {
+  const Domain domain = Domain::line(domain_size);
+  const Rect colors = Rect::line(domain_size);
+  const std::vector<CheckArg> args = one_write_arg(f, colors);
+
+  VerdictCache cache;  // persists across reps, like a Runtime's cache
+  AnalysisOptions options;
+  if (with_cache) options.verdict_cache = &cache;
+
+  RunningStats stats;
+  for (int rep = 0; rep < 5; ++rep) {
+    Stopwatch watch;
+    const auto report = analyze_launch_safety(args, domain, options);
+    IDXL_ASSERT(report.safe());
+    stats.add(watch.elapsed_us());
+  }
+  if (with_cache) IDXL_ASSERT(cache.counters().hits == 4);
   return stats.mean();
 }
 
@@ -64,5 +92,20 @@ int main() {
   std::printf(
       "\nexpected: the static hit stays O(1) as |D| grows; the other three "
       "rows grow linearly and match each other.\n");
+
+  // Verdict-cache ablation on the worst case for re-analysis: a modular
+  // functor whose verdict needs the O(|D|) dynamic check. The mean over 5
+  // reps amortizes one miss against four cache hits.
+  std::printf("\nVerdict cache, repeated launches of one modular site (us, mean of 5)\n");
+  std::printf("%-34s", "Launch / cache");
+  for (int64_t s : sizes) std::printf("%12lld", static_cast<long long>(s));
+  std::printf("\n%-34s", "modular, cache off");
+  for (int64_t s : sizes) std::printf("%12.2f", measure_repeat_us(modular, s, false));
+  std::printf("\n%-34s", "modular, cache on");
+  for (int64_t s : sizes) std::printf("%12.2f", measure_repeat_us(modular, s, true));
+  std::printf(
+      "\nexpected: cache-off matches the dynamic-path row above; cache-on "
+      "approaches one fifth of it (the single miss), since hits cost only a "
+      "key build and a map lookup.\n");
   return 0;
 }

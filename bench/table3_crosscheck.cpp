@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/dynamic_check.hpp"
+#include "analysis/static_analysis.hpp"
 #include "support/stats.hpp"
 
 using namespace idxl;
@@ -68,5 +69,24 @@ int main() {
   std::printf(
       "paper shape: linear in |D| along each row and linear in the argument "
       "count down each column (single shared bitmask, not pairwise).\n");
+
+  // Static-coverage delta: the write argument strides even colors (2i) and
+  // every read argument strides odd colors (2i+1) — residue classes mod 2
+  // that the interval x congruence domain separates without touching the
+  // launch domain. The baseline image-box test cannot (the boxes overlap),
+  // so the whole table above becomes statically dischargeable.
+  const auto tri_name = [](Tri t) {
+    return t == Tri::kYes ? "kYes" : t == Tri::kNo ? "kNo" : "kUnknown";
+  };
+  const Domain cover_domain = Domain::line(1'000'000);
+  const auto fw = ProjectionFunctor::affine1d(2, 0);
+  const auto fr = ProjectionFunctor::affine1d(2, 1);
+  const Tri base = static_images_disjoint(fw, fr, cover_domain, false);
+  const Tri ext = static_images_disjoint(fw, fr, cover_domain, true);
+  std::printf(
+      "\nStatic coverage (write-vs-read images disjoint), |D| = 1e6:\n"
+      "  baseline image boxes:   %s\n"
+      "  abstract interpretation: %s (residue separation mod 2)\n",
+      tri_name(base), tri_name(ext));
   return 0;
 }

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "functor/projection.hpp"
+#include "region/domain.hpp"
+
+namespace idxl {
+
+/// Overflow-checked int64 arithmetic. The analyzer must never itself commit
+/// the UB it is trying to rule out: every transfer function routes through
+/// these and degrades to "unanalyzable" (nullopt) instead of wrapping.
+std::optional<int64_t> checked_add(int64_t a, int64_t b);
+std::optional<int64_t> checked_sub(int64_t a, int64_t b);
+std::optional<int64_t> checked_mul(int64_t a, int64_t b);
+std::optional<int64_t> checked_neg(int64_t a);
+std::optional<int64_t> checked_div(int64_t a, int64_t b);  // trunc; b != 0
+
+/// Abstract value of the interval × congruence product domain: the set of
+/// integers x with lo <= x <= hi and x ≡ rem (mod mod).
+///
+///  * mod == 0 encodes the singleton {rem} (an exact constant);
+///  * mod == 1 encodes "no congruence information" (rem is then 0);
+///  * mod >= 2 encodes the residue class rem + mod·Z with rem in [0, mod).
+///
+/// Both components always over-approximate the concrete value set, so any
+/// separation proven abstractly (disjoint intervals, incompatible residue
+/// classes) is a proof about the concrete images. This is the classic pair
+/// of domains that decides the paper's modular/strided functor families
+/// (cf. array-dependence analysis: intervals catch extent, congruences
+/// catch stride/residue).
+struct AbsVal {
+  int64_t lo = 0, hi = 0;
+  int64_t mod = 1, rem = 0;
+
+  bool is_constant() const { return mod == 0; }
+  bool contains(int64_t v) const;
+  std::string to_string() const;
+};
+
+/// Leaf constructors.
+AbsVal abs_const(int64_t c);
+std::optional<AbsVal> abs_range(int64_t lo, int64_t hi);
+
+/// Transfer functions. nullopt means the abstraction failed (overflow, or a
+/// shape the domain cannot track, e.g. division by a non-constant) and the
+/// caller must fall back to Tri::kUnknown.
+std::optional<AbsVal> abs_add(const AbsVal& a, const AbsVal& b);
+std::optional<AbsVal> abs_sub(const AbsVal& a, const AbsVal& b);
+std::optional<AbsVal> abs_neg(const AbsVal& a);
+std::optional<AbsVal> abs_mul(const AbsVal& a, const AbsVal& b);
+std::optional<AbsVal> abs_div(const AbsVal& a, const AbsVal& b);
+std::optional<AbsVal> abs_mod(const AbsVal& a, const AbsVal& b);
+
+/// True when the two abstract sets provably share no integer: disjoint
+/// intervals, or residue classes that are incompatible modulo
+/// gcd(a.mod, b.mod).
+bool abs_disjoint(const AbsVal& a, const AbsVal& b);
+
+/// Bottom-up abstract evaluation of a functor-component expression with the
+/// launch coordinates ranging over `bounds`. nullopt if the expression
+/// references a coordinate beyond bounds.dim(), divides/mods by a
+/// non-constant, or any step overflows.
+std::optional<AbsVal> abs_eval(const Expr& e, const Rect& bounds);
+
+/// Per-output-component abstract image of a symbolic functor over the
+/// bounding box of `domain` (an over-approximation for sparse domains,
+/// which is the sound direction for disjointness proofs).
+std::optional<std::vector<AbsVal>> abs_image(const ProjectionFunctor& f,
+                                             const Domain& domain);
+
+/// Bitmask of launch coordinates referenced by `e` (bit i = coordinate i).
+uint32_t collect_axes(const Expr& e);
+
+/// Constant-fold an expression that references no coordinates; nullopt on
+/// coordinate references, overflow, or division/modulo by zero.
+std::optional<int64_t> const_fold(const Expr& e);
+
+/// The separations d > 0 at which a 1-D functor component *could* map two
+/// dense-domain points i and i+d to the same value: d must be a multiple of
+/// `stride` and at most `max_delta`. This is a sound over-approximation per
+/// component; intersecting the sets of all components on an axis and
+/// finding them empty proves the component tuple injective along that axis
+/// (residue-class separation). stride == 0 encodes the empty set (the
+/// component alone is injective).
+struct DeltaSet {
+  int64_t stride = 1;
+  int64_t max_delta = INT64_MAX;
+
+  static DeltaSet none() { return {0, 0}; }
+  static DeltaSet all() { return {1, INT64_MAX}; }
+  bool empty_within(int64_t extent) const {
+    if (stride == 0) return true;
+    const int64_t limit = std::min(max_delta, extent - 1);
+    return limit < stride;
+  }
+};
+
+DeltaSet delta_intersect(const DeltaSet& a, const DeltaSet& b);
+
+/// Collision-delta analysis of one component expression over the dense
+/// interval [lo, hi] of coordinate `axis` (the expression must reference no
+/// other coordinate). Strips injectivity-preserving outer affine layers,
+/// then dispatches on the core shape: coordinates and strictly monotone
+/// quadratics collide never; (a·i+b) mod n collides only at multiples of
+/// n/gcd(|a|,n); (a·i+b) div c collides only within a quotient window.
+DeltaSet collision_deltas(const Expr& e, int axis, int64_t lo, int64_t hi);
+
+/// Linear match a·i_axis + b with overflow-checked coefficient folding.
+struct Linear1D {
+  int64_t a = 0, b = 0;
+};
+std::optional<Linear1D> match_linear_1d(const Expr& e, int axis);
+
+/// Quadratic match q·i² + a·i + b over coordinate `axis` (checked).
+struct Quad1D {
+  int64_t q = 0, a = 0, b = 0;
+};
+std::optional<Quad1D> match_quad_1d(const Expr& e, int axis);
+
+}  // namespace idxl

@@ -22,12 +22,19 @@ inline bool probe(BitVector& bm, int64_t value, int64_t volume, bool set_bit) {
   return bm.test(idx);
 }
 
+/// Where a pass found its conflict: the launch point and the linearized
+/// color it collided on. Only written on the (cold) failure path.
+struct ConflictInfo {
+  Point point;
+  int64_t color_idx = 0;
+};
+
 /// Evaluate one argument's functor over the whole launch domain against a
 /// shared bitmask. `set_bit` is true for write/reduce arguments. Returns
-/// true as soon as a conflict is found.
+/// true as soon as a conflict is found, recording it in `conflict`.
 bool run_arg_pass(const ProjectionFunctor& f, const Rect& color_space,
                   const Domain& domain, BitVector& bm, bool set_bit,
-                  uint64_t& evals) {
+                  uint64_t& evals, ConflictInfo& conflict_info) {
   const int64_t volume = color_space.volume();
 
   // Fast paths: 1-D dense launch domain, 1-D symbolic functor, 1-D colors.
@@ -39,14 +46,20 @@ bool run_arg_pass(const ProjectionFunctor& f, const Rect& color_space,
     if (auto p = match_poly1(e)) {
       for (int64_t i = lo; i <= hi; ++i) {
         ++evals;
-        if (probe(bm, p->eval(i) - base, volume, set_bit)) return true;
+        if (probe(bm, p->eval(i) - base, volume, set_bit)) {
+          conflict_info = {Point::p1(i), p->eval(i) - base};
+          return true;
+        }
       }
       return false;
     }
     if (auto m = match_modlinear(e)) {
       for (int64_t i = lo; i <= hi; ++i) {
         ++evals;
-        if (probe(bm, m->eval(i) - base, volume, set_bit)) return true;
+        if (probe(bm, m->eval(i) - base, volume, set_bit)) {
+          conflict_info = {Point::p1(i), m->eval(i) - base};
+          return true;
+        }
       }
       return false;
     }
@@ -57,7 +70,10 @@ bool run_arg_pass(const ProjectionFunctor& f, const Rect& color_space,
       pt.c[0] = i;
       f.eval_into(pt, &value);
       ++evals;
-      if (probe(bm, value - base, volume, set_bit)) return true;
+      if (probe(bm, value - base, volume, set_bit)) {
+        conflict_info = {Point::p1(i), value - base};
+        return true;
+      }
     }
     return false;
   }
@@ -78,9 +94,57 @@ bool run_arg_pass(const ProjectionFunctor& f, const Rect& color_space,
       idx = idx * (color_space.hi[d] - color_space.lo[d] + 1) +
             (coords[d] - color_space.lo[d]);
     }
-    if (probe(bm, idx, volume, set_bit)) conflict = true;
+    if (probe(bm, idx, volume, set_bit)) {
+      conflict = true;
+      conflict_info = {p, idx};
+    }
   });
   return conflict;
+}
+
+/// Linearized in-bounds color of `f` at `p`, or nullopt when any coordinate
+/// falls outside the color space (such points never touch the bitmask).
+std::optional<int64_t> linearize_color(const ProjectionFunctor& f, const Point& p,
+                                       const Rect& cs) {
+  int64_t coords[kMaxDim];
+  f.eval_into(p, coords);
+  int64_t idx = 0;
+  for (int d = 0; d < cs.dim(); ++d) {
+    if (coords[d] < cs.lo[d] || coords[d] > cs.hi[d]) return std::nullopt;
+    idx = idx * (cs.hi[d] - cs.lo[d] + 1) + (coords[d] - cs.lo[d]);
+  }
+  return idx;
+}
+
+/// Failure-path witness reconstruction: replay the bit-setting passes in
+/// their original order and return the first (arg, point) that mapped to
+/// `color_idx` — i.e. whoever set the bit the conflicting access tripped
+/// over. Stops (defensively) at the conflict itself.
+std::optional<std::pair<std::size_t, Point>> find_setter(
+    std::span<const CheckArg> args, const std::vector<std::size_t>& setter_order,
+    const Domain& domain, int64_t color_idx, std::size_t conflict_arg,
+    const Point& conflict_point) {
+  for (const std::size_t k : setter_order) {
+    const CheckArg& a = args[k];
+    a.functor->ensure_compiled();
+    bool found = false, aborted = false;
+    Point found_point;
+    domain.for_each([&](const Point& p) {
+      if (found || aborted) return;
+      if (k == conflict_arg && p == conflict_point) {
+        aborted = true;
+        return;
+      }
+      const auto idx = linearize_color(*a.functor, p, a.color_space);
+      if (idx && *idx == color_idx) {
+        found = true;
+        found_point = p;
+      }
+    });
+    if (found) return std::make_pair(k, found_point);
+    if (aborted) break;
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -92,8 +156,28 @@ DynamicCheckResult dynamic_self_check(const ProjectionFunctor& f,
   DynamicCheckResult result;
   BitVector bm(static_cast<std::size_t>(color_space.volume()));
   result.bitmask_bits = static_cast<uint64_t>(color_space.volume());
+  ConflictInfo conflict;
   result.safe = !run_arg_pass(f, color_space, domain, bm, /*set_bit=*/true,
-                              result.points_evaluated);
+                              result.points_evaluated, conflict);
+  if (!result.safe) {
+    RaceWitness w;
+    w.p2 = conflict.point;
+    w.color = color_space.delinearize(conflict.color_idx);
+    // The earlier point that set the bit: first domain point (before the
+    // conflict in enumeration order) mapping to the same color.
+    bool found = false;
+    f.ensure_compiled();
+    domain.for_each([&](const Point& p) {
+      if (found || p == conflict.point) return;
+      const auto idx = linearize_color(f, p, color_space);
+      if (idx && *idx == conflict.color_idx) {
+        found = true;
+        w.p1 = p;
+      }
+    });
+    if (!found) w.p1 = conflict.point;  // defensive; a setter always exists
+    result.witness = w;
+  }
   return result;
 }
 
@@ -144,14 +228,39 @@ DynamicCheckResult dynamic_cross_check(std::span<const CheckArg> args,
       BitVector bm(static_cast<std::size_t>(cs.volume()));
       result.bitmask_bits += static_cast<uint64_t>(cs.volume());
 
+      // On conflict: rebuild the concrete racing pair by replaying the
+      // writers already processed (diagnostics only — the passing path
+      // never runs this).
+      std::vector<std::size_t> writers_processed;
+      const auto fail_with_witness = [&](std::size_t arg_idx,
+                                         const ConflictInfo& conflict) {
+        result.safe = false;
+        RaceWitness w;
+        w.arg_j = static_cast<uint32_t>(arg_idx);
+        w.p2 = conflict.point;
+        w.color = args[arg_idx].color_space.delinearize(conflict.color_idx);
+        if (const auto setter =
+                find_setter(args, writers_processed, domain, conflict.color_idx,
+                            arg_idx, conflict.point)) {
+          w.arg_i = static_cast<uint32_t>(setter->first);
+          w.p1 = setter->second;
+        } else {
+          w.arg_i = w.arg_j;  // defensive; a setter always exists
+          w.p1 = w.p2;
+        }
+        result.witness = w;
+      };
+
       // Writes (and reductions) probe-and-set first...
       for (std::size_t idx : comp) {
         const CheckArg& a = args[idx];
         if (!privilege_writes(a.priv)) continue;
         IDXL_ASSERT(a.functor != nullptr);
+        writers_processed.push_back(idx);
+        ConflictInfo conflict;
         if (run_arg_pass(*a.functor, a.color_space, domain, bm, /*set_bit=*/true,
-                         result.points_evaluated)) {
-          result.safe = false;
+                         result.points_evaluated, conflict)) {
+          fail_with_witness(idx, conflict);
           return result;
         }
       }
@@ -161,9 +270,10 @@ DynamicCheckResult dynamic_cross_check(std::span<const CheckArg> args,
         const CheckArg& a = args[idx];
         if (privilege_writes(a.priv)) continue;
         IDXL_ASSERT(a.functor != nullptr);
+        ConflictInfo conflict;
         if (run_arg_pass(*a.functor, a.color_space, domain, bm, /*set_bit=*/false,
-                         result.points_evaluated)) {
-          result.safe = false;
+                         result.points_evaluated, conflict)) {
+          fail_with_witness(idx, conflict);
           return result;
         }
       }

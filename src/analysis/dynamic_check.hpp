@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "analysis/witness.hpp"
 #include "functor/projection.hpp"
 #include "region/accessor.hpp"
 #include "support/bitvector.hpp"
@@ -30,6 +32,12 @@ struct DynamicCheckResult {
   bool safe = true;
   uint64_t points_evaluated = 0;  ///< functor evaluations performed
   uint64_t bitmask_bits = 0;      ///< total bitmask storage initialized (O(|P|))
+  /// On failure: the concrete colliding pair (reconstructed by re-scanning
+  /// the already-probed prefix, so the passing fast path pays nothing).
+  /// arg indices refer to the `args` span passed to dynamic_cross_check;
+  /// both are 0 for dynamic_self_check. Reconstruction evaluations are
+  /// diagnostics and are not counted in points_evaluated.
+  std::optional<RaceWitness> witness;
 };
 
 /// The paper's Listing 3: is `f` injective over `domain`, with colors

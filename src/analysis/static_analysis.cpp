@@ -1,8 +1,9 @@
 #include "analysis/static_analysis.hpp"
 
 #include <numeric>
+#include <vector>
 
-#include "analysis/patterns.hpp"
+#include "analysis/absint.hpp"
 
 namespace idxl {
 
@@ -21,73 +22,245 @@ bool is_diagonal(const AffineMap& m) {
   return true;
 }
 
-Rect image_box(const AffineMap& m, const Rect& dom) {
+std::optional<Rect> image_box(const AffineMap& m, const Rect& dom) {
   Rect r;
   r.lo.dim = r.hi.dim = m.out_dim;
   for (int i = 0; i < m.out_dim; ++i) {
     const int64_t a = m.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
     const int64_t b = m.b[static_cast<std::size_t>(i)];
-    const int64_t v0 = a * dom.lo[i] + b;
-    const int64_t v1 = a * dom.hi[i] + b;
-    r.lo[i] = std::min(v0, v1);
-    r.hi[i] = std::max(v0, v1);
+    const auto m0 = checked_mul(a, dom.lo[i]);
+    const auto m1 = checked_mul(a, dom.hi[i]);
+    const auto v0 = m0 ? checked_add(*m0, b) : std::nullopt;
+    const auto v1 = m1 ? checked_add(*m1, b) : std::nullopt;
+    if (!v0 || !v1) return std::nullopt;
+    r.lo[i] = std::min(*v0, *v1);
+    r.hi[i] = std::max(*v0, *v1);
   }
   return r;
 }
 
-}  // namespace
+/// First two points of a domain with volume >= 2, in enumeration order.
+void first_two_points(const Domain& d, Point* a, Point* b) {
+  if (d.dense()) {
+    auto it = d.bounds().begin();
+    *a = *it;
+    ++it;
+    *b = *it;
+  } else {
+    const auto pts = d.points();
+    *a = pts[0];
+    *b = pts[1];
+  }
+}
 
-namespace {
+void fill_witness(RaceWitness* witness, const ProjectionFunctor& f,
+                  const Point& p1, const Point& p2) {
+  if (!witness) return;
+  witness->arg_i = witness->arg_j = 0;
+  witness->p1 = p1;
+  witness->p2 = p2;
+  witness->color = f(p1);
+}
 
-/// Extended-mode analysis of 1-D symbolic functors over dense 1-D domains.
-Tri extended_injectivity_1d(const Expr& e, int64_t lo, int64_t hi) {
-  const int64_t extent = hi - lo + 1;
+/// Candidate launch coordinates along `axis` for collision probing at
+/// separation `d`: windows at both ends of the valid range [lo, hi-d],
+/// evenly spaced interior samples, and — for quadratic components — the
+/// algebraically solved collision point q·(2i+d) + a = 0.
+std::vector<int64_t> probe_candidates(const std::vector<const Expr*>& comps,
+                                      int axis, int64_t lo, int64_t hi,
+                                      int64_t d) {
+  std::vector<int64_t> cands;
+  const int64_t last = hi - d;
+  if (last < lo) return cands;
+  const auto push = [&](__int128 i) {
+    if (i >= lo && i <= last) cands.push_back(static_cast<int64_t>(i));
+  };
+  const __int128 span = static_cast<__int128>(last) - lo + 1;
+  if (span <= 48) {
+    for (int64_t i = lo; i <= last; ++i) cands.push_back(i);
+  } else {
+    for (int64_t j = 0; j < 16; ++j) push(static_cast<__int128>(lo) + j);
+    for (int64_t j = 0; j < 16; ++j) push(static_cast<__int128>(last) - j);
+    for (int64_t j = 1; j < 16; ++j)
+      push(static_cast<__int128>(lo) + span * j / 16);
+  }
+  for (const Expr* e : comps) {
+    const auto q = match_quad_1d(*e, axis);
+    if (q && q->q != 0) {
+      // q·(i+d)² + a·(i+d) = q·i² + a·i  ⇔  q·(2i + d) + a = 0.
+      const __int128 num = -(static_cast<__int128>(q->q) * d + q->a);
+      const __int128 den = static_cast<__int128>(2) * q->q;
+      const __int128 i0 = num / den;
+      push(i0 - 1);
+      push(i0);
+      push(i0 + 1);
+    }
+  }
+  return cands;
+}
 
-  if (auto m = match_modlinear(e)) {
-    if (m->a == 0) return Tri::kNo;  // constant under the mod
-    const int64_t n = std::abs(m->n);
-    const int64_t g = std::gcd(std::abs(m->a), n);
-    const int64_t period = n / g;  // least d > 0 with a·d ≡ 0 (mod n)
-    // No two domain points are congruent -> C remainders all differ.
-    if (extent <= period) return Tri::kYes;
-    // Witness pair (i, i + period) exists; equal C remainders require the
-    // two values to share a sign, which uniform sign over the whole value
-    // range guarantees.
-    const int64_t v_lo = m->a * lo + m->b;
-    const int64_t v_hi = m->a * hi + m->b;
-    if ((v_lo >= 0 && v_hi >= 0) || (v_lo <= 0 && v_hi <= 0)) return Tri::kNo;
-    return Tri::kUnknown;
+/// Try to verify a concrete collision along `axis` at a separation allowed
+/// by `ds`. Only a real, re-evaluated collision of the *full* functor
+/// produces true — guessing wrong just leaves the verdict unknown.
+bool probe_axis_collision(const ProjectionFunctor& f,
+                          const std::vector<const Expr*>& comps, int axis,
+                          const Rect& bounds, const DeltaSet& ds,
+                          RaceWitness* witness) {
+  if (ds.stride <= 0) return false;
+  const int64_t lo = bounds.lo[axis];
+  const int64_t hi = bounds.hi[axis];
+  const int64_t limit = std::min(ds.max_delta, hi - lo);
+  int64_t d = ds.stride;
+  for (int tried = 0; tried < 8 && d <= limit; ++tried) {
+    for (const int64_t i : probe_candidates(comps, axis, lo, hi, d)) {
+      Point p = bounds.lo;
+      p[axis] = i;
+      Point q = p;
+      q[axis] = i + d;
+      if (f(p) == f(q)) {
+        fill_witness(witness, f, p, q);
+        return true;
+      }
+    }
+    const auto next = checked_add(d, ds.stride);
+    if (!next) break;
+    d = *next;
+  }
+  return false;
+}
+
+/// Abstract-interpretation injectivity for symbolic functors over dense
+/// domains: decompose by launch axis, prove each axis via empty collision
+/// delta sets, refute via verified probing.
+Tri absint_injectivity(const ProjectionFunctor& f, const Domain& domain,
+                       RaceWitness* witness) {
+  const Rect& bounds = domain.bounds();
+  const int dim = bounds.dim();
+  const auto& exprs = f.exprs();
+  if (exprs.empty()) return Tri::kUnknown;
+
+  for (const auto& e : exprs)
+    if (e->max_coord() >= dim) return Tri::kUnknown;  // not evaluable on D
+
+  uint32_t nontrivial = 0;
+  for (int axis = 0; axis < dim; ++axis)
+    if (bounds.hi[axis] > bounds.lo[axis]) nontrivial |= 1u << axis;
+  if (nontrivial == 0) return Tri::kYes;  // single point
+
+  std::vector<uint32_t> axes(exprs.size());
+  for (std::size_t i = 0; i < exprs.size(); ++i)
+    axes[i] = collect_axes(*exprs[i]) & nontrivial;
+
+  // A nontrivial axis no component reads: two points differing only there
+  // share every output component.
+  for (int axis = 0; axis < dim; ++axis) {
+    if (!(nontrivial & (1u << axis))) continue;
+    bool used = false;
+    for (const uint32_t a : axes) used |= (a & (1u << axis)) != 0;
+    if (!used) {
+      Point p = bounds.lo;
+      Point q = p;
+      q[axis] += 1;
+      if (f(p) == f(q)) {
+        fill_witness(witness, f, p, q);
+        return Tri::kNo;
+      }
+      return Tri::kUnknown;  // defensive: cannot happen for symbolic f
+    }
   }
 
-  if (auto p = match_poly1(e)) {
-    if (p->q == 0) return Tri::kUnknown;  // affine: handled by the main path
-    // Strictly monotone sequence => injective. The finite difference
-    // v(i+1) - v(i) = q(2i+1) + a is linear in i: check both endpoints.
-    if (extent <= 1) return Tri::kYes;
-    const int64_t d_first = p->q * (2 * lo + 1) + p->a;
-    const int64_t d_last = p->q * (2 * (hi - 1) + 1) + p->a;
-    if ((d_first > 0 && d_last > 0) || (d_first < 0 && d_last < 0)) return Tri::kYes;
+  // The per-axis decomposition needs every component to depend on at most
+  // one nontrivial axis; mixed components (i0 + i1, ...) stay with the
+  // affine classifier / dynamic check.
+  for (const uint32_t a : axes)
+    if (__builtin_popcount(a) > 1) return Tri::kUnknown;
+
+  // Axis-wise proof: two distinct points differ in some nontrivial axis;
+  // if for every allowed separation along that axis some component on it
+  // must change, the output tuples differ.
+  for (int axis = 0; axis < dim; ++axis) {
+    if (!(nontrivial & (1u << axis))) continue;
+    std::vector<const Expr*> comps;
+    DeltaSet ds = DeltaSet::all();
+    for (std::size_t i = 0; i < exprs.size(); ++i) {
+      if (axes[i] != (1u << axis)) continue;
+      comps.push_back(exprs[i].get());
+      ds = delta_intersect(
+          ds, collision_deltas(*exprs[i], axis, bounds.lo[axis], bounds.hi[axis]));
+    }
+    const int64_t extent = bounds.hi[axis] - bounds.lo[axis] + 1;
+    if (ds.empty_within(extent)) continue;  // axis proven injective
+    if (probe_axis_collision(f, comps, axis, bounds, ds, witness))
+      return Tri::kNo;
     return Tri::kUnknown;
   }
-  return Tri::kUnknown;
+  return Tri::kYes;
+}
+
+/// Sample both images at up to 32 domain points each (both ends of the
+/// enumeration order) and look for a concrete f(p1) == g(p2) collision.
+bool probe_images_overlap(const ProjectionFunctor& f, const ProjectionFunctor& g,
+                          const Domain& domain, RaceWitness* witness) {
+  constexpr int64_t kEnd = 16;
+  std::vector<Point> samples;
+  const int64_t vol = domain.volume();
+  if (domain.dense()) {
+    const Rect& b = domain.bounds();
+    if (vol <= 2 * kEnd) {
+      for (const Point& p : b) samples.push_back(p);
+    } else {
+      for (int64_t j = 0; j < kEnd; ++j) samples.push_back(b.delinearize(j));
+      for (int64_t j = 0; j < kEnd; ++j) samples.push_back(b.delinearize(vol - 1 - j));
+    }
+  } else {
+    const auto pts = domain.points();
+    if (vol <= 2 * kEnd) {
+      samples = pts;
+    } else {
+      for (int64_t j = 0; j < kEnd; ++j) samples.push_back(pts[static_cast<std::size_t>(j)]);
+      for (int64_t j = 0; j < kEnd; ++j)
+        samples.push_back(pts[static_cast<std::size_t>(vol - 1 - j)]);
+    }
+  }
+  std::vector<Point> fcolors;
+  fcolors.reserve(samples.size());
+  for (const Point& p : samples) fcolors.push_back(f(p));
+  for (const Point& q : samples) {
+    const Point gc = g(q);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (fcolors[i] == gc) {
+        if (witness) {
+          witness->arg_i = 0;
+          witness->arg_j = 1;
+          witness->p1 = samples[i];
+          witness->p2 = q;
+          witness->color = gc;
+        }
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 }  // namespace
 
 Tri static_injectivity(const ProjectionFunctor& f, const Domain& domain,
-                       bool extended) {
+                       bool extended, RaceWitness* witness) {
   if (domain.volume() <= 1) return Tri::kYes;  // at most one task: trivially injective
   auto map = extract_affine_map(f, domain.dim());
   if (!map) {
-    if (extended && f.is_symbolic() && f.output_dim() == 1 && domain.dense() &&
-        domain.dim() == 1) {
-      return extended_injectivity_1d(*f.exprs()[0], domain.bounds().lo[0],
-                                     domain.bounds().hi[0]);
-    }
+    if (extended && f.is_symbolic() && domain.dense())
+      return absint_injectivity(f, domain, witness);
     return Tri::kUnknown;
   }
 
-  if (map->is_constant()) return Tri::kNo;
+  if (map->is_constant()) {
+    Point p1, p2;
+    first_two_points(domain, &p1, &p2);
+    fill_witness(witness, f, p1, p2);
+    return Tri::kNo;
+  }
   if (map->is_identity()) return Tri::kYes;
   if (map->column_rank() == map->in_dim) return Tri::kYes;
 
@@ -95,42 +268,93 @@ Tri static_injectivity(const ProjectionFunctor& f, const Domain& domain,
   // two points separated by a kernel vector. Look for a witness collision.
   if (auto v = map->small_null_vector()) {
     bool collides = false;
+    Point wp;
     domain.for_each([&](const Point& p) {
-      if (!collides && domain.contains(p + *v)) collides = true;
+      if (!collides && domain.contains(p + *v)) {
+        collides = true;
+        wp = p;
+      }
     });
-    if (collides) return Tri::kNo;
+    if (collides) {
+      fill_witness(witness, f, wp, wp + *v);
+      return Tri::kNo;
+    }
   }
   return Tri::kUnknown;
 }
 
 Tri static_images_disjoint(const ProjectionFunctor& f, const ProjectionFunctor& g,
-                           const Domain& domain, bool extended) {
+                           const Domain& domain, bool extended,
+                           RaceWitness* witness) {
   if (domain.empty()) return Tri::kYes;
-  if (f.definitely_equal(g)) return Tri::kNo;  // identical images, nonempty
+  if (f.output_dim() != g.output_dim()) return Tri::kYes;  // disjoint by arity
+  if (f.definitely_equal(g)) {
+    // Identical functors: any point is a cross-argument collision.
+    Point p1, p2;
+    if (domain.dense()) {
+      p1 = p2 = domain.bounds().lo;
+    } else {
+      p1 = p2 = domain.points()[0];
+    }
+    if (witness) {
+      witness->arg_i = 0;
+      witness->arg_j = 1;
+      witness->p1 = p1;
+      witness->p2 = p2;
+      witness->color = f(p1);
+    }
+    return Tri::kNo;
+  }
 
   auto fm = extract_affine_map(f, domain.dim());
   auto gm = extract_affine_map(g, domain.dim());
-  if (!fm || !gm) return Tri::kUnknown;
-  if (fm->out_dim != gm->out_dim) return Tri::kYes;  // disjoint by dimensionality
 
-  if (domain.dense() && is_diagonal(*fm) && is_diagonal(*gm)) {
-    const Rect fi = image_box(*fm, domain.bounds());
-    const Rect gi = image_box(*gm, domain.bounds());
-    if (!fi.overlaps(gi)) return Tri::kYes;
+  if (fm && gm && domain.dense() && is_diagonal(*fm) && is_diagonal(*gm)) {
+    const auto fi = image_box(*fm, domain.bounds());
+    const auto gi = image_box(*gm, domain.bounds());
+    if (fi && gi && !fi->overlaps(*gi)) return Tri::kYes;
   }
 
-  // Extended same-slope rule (1-D): a·i+b1 meets a·j+b2 iff a | (b2-b1)
-  // and the index shift (b2-b1)/a fits inside the (dense) domain.
-  if (extended && domain.dense() && domain.dim() == 1 && fm->out_dim == 1) {
-    const int64_t a1 = fm->a[0][0], a2 = gm->a[0][0];
-    if (a1 == a2 && a1 != 0) {
-      const int64_t delta = gm->b[0] - fm->b[0];
-      if (delta % a1 != 0) return Tri::kYes;  // different residue classes
-      const int64_t shift = delta / a1;
-      const int64_t extent = domain.bounds().hi[0] - domain.bounds().lo[0] + 1;
-      return std::abs(shift) <= extent - 1 ? Tri::kNo : Tri::kYes;
+  if (!extended) return Tri::kUnknown;
+
+  // Abstract images: one separated component (disjoint value intervals or
+  // incompatible residue classes, e.g. 2i vs 2i+1) separates the tuples.
+  {
+    const auto fa = abs_image(f, domain);
+    const auto ga = abs_image(g, domain);
+    if (fa && ga && fa->size() == ga->size()) {
+      for (std::size_t i = 0; i < fa->size(); ++i)
+        if (abs_disjoint((*fa)[i], (*ga)[i])) return Tri::kYes;
     }
   }
+
+  // Same-slope rule (1-D): a·i+b1 meets a·j+b2 iff a | (b2-b1) and the
+  // index shift (b2-b1)/a fits inside the (dense) domain.
+  if (fm && gm && domain.dense() && domain.dim() == 1 && fm->out_dim == 1) {
+    const int64_t a1 = fm->a[0][0], a2 = gm->a[0][0];
+    if (a1 == a2 && a1 != 0) {
+      const auto delta = checked_sub(gm->b[0], fm->b[0]);
+      if (!delta) return Tri::kUnknown;
+      if (*delta % a1 != 0) return Tri::kYes;  // different residue classes
+      const int64_t shift = *delta / a1;
+      const int64_t lo = domain.bounds().lo[0];
+      const int64_t extent = domain.bounds().hi[0] - lo + 1;
+      if (std::abs(shift) > extent - 1) return Tri::kYes;
+      // f(i + shift) = a·i + b2 = g(i): a concrete overlap pair.
+      const Point pg = Point::p1(shift >= 0 ? lo : lo - shift);
+      const Point pf = Point::p1(pg[0] + shift);
+      if (witness) {
+        witness->arg_i = 0;
+        witness->arg_j = 1;
+        witness->p1 = pf;
+        witness->p2 = pg;
+        witness->color = f(pf);
+      }
+      return Tri::kNo;
+    }
+  }
+
+  if (probe_images_overlap(f, g, domain, witness)) return Tri::kNo;
   return Tri::kUnknown;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "analysis/witness.hpp"
 #include "functor/affine.hpp"
 #include "region/domain.hpp"
 
@@ -20,34 +21,36 @@ inline const char* tri_name(Tri t) {
 
 /// Statically decide whether `f` is injective over launch domain `D`.
 ///
-/// Recognized shapes (§4): constant (kNo unless |D| <= 1), identity (kYes),
+/// Base classifier (§4): constant (kNo unless |D| <= 1), identity (kYes),
 /// affine A·i+b (kYes iff A has full column rank; kNo if a small integer
 /// null vector connects two points of D — the "degenerates to a constant"
-/// case). Everything else — mod, div, quadratic, opaque — is kUnknown.
+/// case).
 ///
-/// With `extended` set, the analyzer additionally decides two families the
-/// paper leaves to the dynamic check (its design explicitly leaves "the
-/// strength of this static analysis" open, §4):
-///  * (a·i + b) mod n over a dense 1-D domain — injective iff the domain
-///    extent fits within one period n / gcd(|a|, n); provably non-injective
-///    when it doesn't and the value range has uniform sign.
-///  * quadratic q·i² + a·i + b over a dense 1-D domain — injective when the
-///    finite-difference q·(2i+1) + a keeps one strict sign across the
-///    domain (monotone sequence).
+/// With `extended` set, symbolic functors over dense domains additionally
+/// go through the abstract interpreter (analysis/absint.hpp): every output
+/// component is analyzed in the interval × congruence domain, and
+/// injectivity is decided per launch axis by residue-class separation
+/// (collision deltas of all components on an axis intersect to the empty
+/// set) or strict monotonicity. This subsumes the old 1-D modular /
+/// quadratic special cases and extends them to multi-dimensional and
+/// composed (affine∘mod, affine∘div) functors. kNo verdicts are only ever
+/// produced from a *verified* concrete collision — when `witness` is
+/// non-null it receives the colliding pair, re-checkable with
+/// witness_valid().
 Tri static_injectivity(const ProjectionFunctor& f, const Domain& domain,
-                       bool extended = false);
+                       bool extended = false, RaceWitness* witness = nullptr);
 
 /// Statically decide whether the images f(D) and g(D) are disjoint sets
-/// (cross-check rule 3 of §3). Proves kYes when both maps are diagonal
-/// affine with non-overlapping image boxes; proves kNo when the functors
-/// are structurally identical (images equal and nonempty).
-///
-/// With `extended` set, additionally decides the same-slope 1-D affine
-/// family over dense domains: a·i+b₁ and a·j+b₂ collide iff a | (b₂-b₁)
-/// and |(b₂-b₁)/a| fits within the domain extent — so interleavings like
-/// 2i vs 2i+1 are proven disjoint, and shifted copies like i vs i+k are
-/// proven overlapping when k is small enough.
+/// (cross-check rule 3 of §3). Proves kYes when the output arities differ,
+/// when both maps are diagonal affine with non-overlapping image boxes, or
+/// — with `extended` — when any output component's abstract images are
+/// separated (disjoint intervals or incompatible residue classes, e.g. 2i
+/// vs 2i+1). Proves kNo when the functors are structurally identical, via
+/// the same-slope 1-D affine shift rule, or from a concrete sampled
+/// collision; kNo verdicts fill `witness` with a pair (p1, p2) such that
+/// f(p1) == g(p2).
 Tri static_images_disjoint(const ProjectionFunctor& f, const ProjectionFunctor& g,
-                           const Domain& domain, bool extended = false);
+                           const Domain& domain, bool extended = false,
+                           RaceWitness* witness = nullptr);
 
 }  // namespace idxl

@@ -1,0 +1,25 @@
+#include "analysis/witness.hpp"
+
+namespace idxl {
+
+std::string RaceWitness::to_string() const {
+  std::string s = "tasks " + p1.to_string() + " (arg " + std::to_string(arg_i) +
+                  ") and " + p2.to_string() + " (arg " + std::to_string(arg_j) +
+                  ") collide on color " + color.to_string();
+  return s;
+}
+
+bool witness_valid(const ProjectionFunctor& fi, const ProjectionFunctor& fj,
+                   const Domain& domain, const RaceWitness& w) {
+  if (!domain.contains(w.p1) || !domain.contains(w.p2)) return false;
+  if (w.arg_i == w.arg_j && w.p1 == w.p2) return false;
+  return fi(w.p1) == w.color && fj(w.p2) == w.color;
+}
+
+bool witness_valid(const ProjectionFunctor& f, const Domain& domain,
+                   const RaceWitness& w) {
+  if (w.p1 == w.p2) return false;
+  return witness_valid(f, f, domain, w);
+}
+
+}  // namespace idxl

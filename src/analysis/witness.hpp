@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "functor/projection.hpp"
+#include "region/domain.hpp"
+
+namespace idxl {
+
+/// A concrete counterexample backing a kNo / unsafe verdict: two launch
+/// points whose projection functors select the same color of the same
+/// partition, i.e. two tasks of the index launch that would touch the same
+/// data with interfering privileges. arg_i / arg_j index the launch's
+/// region requirements (equal for self-interference of a single argument,
+/// in which case p1 != p2).
+struct RaceWitness {
+  uint32_t arg_i = 0;
+  uint32_t arg_j = 0;
+  Point p1;     ///< launch point routed through argument arg_i
+  Point p2;     ///< launch point routed through argument arg_j
+  Point color;  ///< the shared color both points project to
+
+  std::string to_string() const;
+};
+
+/// Re-evaluate the functors at the witness points and confirm the collision
+/// is real: both points lie in the launch domain, both project to
+/// `w.color`, and for a self-collision (fi == fj semantically) the points
+/// differ. Every kNo verdict the analyzer emits must pass this — tests and
+/// the fuzz oracle call it directly.
+bool witness_valid(const ProjectionFunctor& fi, const ProjectionFunctor& fj,
+                   const Domain& domain, const RaceWitness& w);
+
+/// Single-argument (self-check) form: the two points must be distinct.
+bool witness_valid(const ProjectionFunctor& f, const Domain& domain,
+                   const RaceWitness& w);
+
+}  // namespace idxl

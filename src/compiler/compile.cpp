@@ -139,8 +139,12 @@ CompiledLoop compile_loop(const ForLoop& loop, const RegionForest& forest) {
 
   // Static half of the hybrid analysis: dynamic checks disabled, so a
   // kSafeUnchecked outcome means "residual work for the emitted guard".
+  // The compiler always runs the extended tier — compile-time analysis is
+  // paid once, so the abstract interpreter's extra work is free at runtime
+  // and turns more loops into bare index launches.
   AnalysisOptions static_only;
   static_only.enable_dynamic_checks = false;
+  static_only.extended_static = true;
   auto pair_independent = [&](std::size_t i, std::size_t j) {
     return forest.partitions_independent(
         compiled.launcher_.args[i].parent, compiled.launcher_.args[i].partition,
@@ -168,6 +172,7 @@ CompiledLoop compile_loop(const ForLoop& loop, const RegionForest& forest) {
     case SafetyOutcome::kUnsafe:
       compiled.strategy_ = LoopStrategy::kTaskLoop;
       compiled.diagnostics_.reason = "statically unsafe: " + report.reason;
+      compiled.diagnostics_.witness = report.witness;
       break;
     case SafetyOutcome::kSafeDynamic:
       IDXL_ASSERT_MSG(false, "dynamic outcome with dynamic checks disabled");
@@ -201,6 +206,12 @@ LoopRunResult CompiledLoop::execute(Runtime& rt) const {
       result.dynamic_check_ran = true;
       result.dynamic_check_passed = check.safe;
       result.dynamic_check_points = check.points_evaluated;
+      if (!check.safe && check.witness.has_value()) {
+        RaceWitness w = *check.witness;
+        w.arg_i = residual_indices_[w.arg_i];
+        w.arg_j = residual_indices_[w.arg_j];
+        result.witness = w;
+      }
       if (check.safe) {
         IndexLauncher verified = launcher_;
         verified.assume_verified = true;
@@ -224,6 +235,8 @@ std::string CompiledLoop::explain() const {
   std::string s = "strategy: ";
   s += strategy_name(strategy_);
   s += "\nreason: " + diagnostics_.reason;
+  if (diagnostics_.witness.has_value())
+    s += "\nwitness: " + diagnostics_.witness->to_string();
   if (diagnostics_.eligible) {
     s += "\narguments:";
     for (const ProjectedArg& pa : launcher_.args) {

@@ -24,6 +24,9 @@ struct CompileDiagnostics {
   bool eligible = false;       ///< body shape admits an index launch
   std::string reason;          ///< why ineligible / unsafe, or which check ran
   SafetyOutcome static_outcome = SafetyOutcome::kSafeStatic;
+  /// Racing pair refuting safety when the static tier proved the loop
+  /// unsafe — the compile-time counterexample explain() surfaces.
+  std::optional<RaceWitness> witness;
 };
 
 /// Result of one execution of a compiled loop.
@@ -32,6 +35,10 @@ struct LoopRunResult {
   bool dynamic_check_ran = false;
   bool dynamic_check_passed = true;
   uint64_t dynamic_check_points = 0;
+  /// Colliding pair when the emitted guard's dynamic check failed (arg
+  /// indices refer to the guarded residual arguments, remapped back to
+  /// launcher argument positions).
+  std::optional<RaceWitness> witness;
   std::map<std::string, int64_t> scalars;  ///< final values of accumulators
 };
 

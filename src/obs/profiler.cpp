@@ -92,9 +92,9 @@ Profiler::Profiler(bool enabled)
       id_(next_profiler_id.fetch_add(1, std::memory_order_relaxed)),
       epoch_ns_(steady_now_ns()) {
   names_ = {"issue",         "dependence-analysis", "safety-check",
-            "safety-check/static", "safety-check/dynamic", "trace-capture",
-            "trace-replay",  "future-reduce",       "wait-all",
-            "shard-exchange"};
+            "safety-check/static", "safety-check/dynamic", "safety-check/cache",
+            "trace-capture", "trace-replay",        "future-reduce",
+            "wait-all",      "shard-exchange"};
   IDXL_ASSERT(names_.size() == kWellKnownCount);
   for (uint32_t i = 0; i < names_.size(); ++i) name_ids_.emplace(names_[i], i);
 }

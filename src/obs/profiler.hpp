@@ -99,6 +99,7 @@ class Profiler {
     kNameSafetyCheck,
     kNameSafetyStatic,
     kNameSafetyDynamic,
+    kNameSafetyCache,
     kNameTraceCapture,
     kNameTraceReplay,
     kNameFutureReduce,

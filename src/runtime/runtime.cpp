@@ -118,6 +118,7 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
     options.enable_dynamic_checks = config_.enable_dynamic_checks;
     options.extended_static = config_.extended_static_analysis;
     options.profiler = prof_;
+    if (config_.enable_verdict_cache) options.verdict_cache = &verdict_cache_;
     auto pair_independent = [&](std::size_t i, std::size_t j) {
       return forest_.partitions_independent(launcher.args[i].parent,
                                             launcher.args[i].partition,
@@ -131,6 +132,12 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
                                             pair_independent);
     }
     stats_.dynamic_check_points += result.safety.dynamic_points;
+    if (config_.enable_verdict_cache) {
+      if (result.safety.cache_hit)
+        ++stats_.verdict_cache_hits;
+      else
+        ++stats_.verdict_cache_misses;
+    }
 
     switch (result.safety.outcome) {
       case SafetyOutcome::kSafeStatic: ++stats_.launches_safe_static; break;

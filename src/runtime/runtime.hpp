@@ -35,6 +35,11 @@ struct RuntimeConfig {
   /// task execution, ...) into Runtime::profiler(). Off by default: the
   /// disabled path costs one branch per instrumentation point.
   bool enable_profiling = false;
+  /// Reuse safety verdicts across repeated launches of the same site (same
+  /// functor fingerprints, domain, privileges): the common case in iterative
+  /// workloads, where re-running even the static analysis per launch is
+  /// pure overhead. Opaque functors are never cached.
+  bool enable_verdict_cache = true;
 };
 
 /// Counters exposing the asymptotic behaviour the paper argues about; tests
@@ -54,6 +59,8 @@ struct RuntimeStats {
   uint64_t dynamic_check_points = 0;
   uint64_t traced_tasks_replayed = 0;
   uint64_t dependence_tests = 0;    ///< sampled from the tracker at wait_all
+  uint64_t verdict_cache_hits = 0;   ///< launches served from the verdict cache
+  uint64_t verdict_cache_misses = 0; ///< cacheable launches analyzed afresh
 };
 
 /// Deferred reduction of an index launch's per-task return values.
@@ -151,6 +158,11 @@ class Runtime {
 
   const RuntimeStats& stats() const { return stats_; }
 
+  /// The launch-site verdict cache (populated only when
+  /// RuntimeConfig::enable_verdict_cache is set).
+  VerdictCache& verdict_cache() { return verdict_cache_; }
+  const VerdictCache& verdict_cache() const { return verdict_cache_; }
+
   /// The observability subsystem: span events, Chrome-trace export,
   /// critical-path analysis, summary reports. Always present; it records
   /// nothing unless RuntimeConfig::enable_profiling was set.
@@ -205,6 +217,7 @@ class Runtime {
   RuntimeConfig config_;
   RegionForest forest_;
   DependenceTracker tracker_;
+  VerdictCache verdict_cache_;
   // The profiler outlives the pool (declared first): workers record task
   // spans until the pool's destructor joins them.
   std::unique_ptr<Profiler> profiler_;

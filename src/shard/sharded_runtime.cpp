@@ -250,6 +250,7 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
     AnalysisOptions options;
     options.enable_dynamic_checks = rt.config_.enable_dynamic_checks;
     options.profiler = rt.prof_;
+    if (rt.config_.enable_verdict_cache) options.verdict_cache = &rt.verdict_cache_;
     auto pair_independent = [&](std::size_t i, std::size_t j) {
       return rt.forest_.partitions_independent(
           launcher.args[i].parent, launcher.args[i].partition,

@@ -43,6 +43,10 @@ struct ShardedConfig {
   unsigned workers_per_shard = 1;
   bool enable_index_launches = true;
   bool enable_dynamic_checks = true;
+  /// Share one launch-site verdict cache across every shard's replicated
+  /// safety analysis: the first shard to analyze a launch site pays for the
+  /// analysis, the rest (and later iterations) hit the cache.
+  bool enable_verdict_cache = true;
   std::shared_ptr<ShardingFunctor> sharding;  // default: BlockShardingFunctor
   /// When true, every shard owns a private replica of each root region's
   /// storage ("distributed memories"): tasks read and write their shard's
@@ -118,6 +122,11 @@ class ShardedRuntime {
 
   const ShardStats& stats(uint32_t shard) const;
 
+  /// The verdict cache shared by every shard (thread-safe; populated only
+  /// when ShardedConfig::enable_verdict_cache is set).
+  VerdictCache& verdict_cache() { return verdict_cache_; }
+  const VerdictCache& verdict_cache() const { return verdict_cache_; }
+
   /// Observability: one profiler spans all shards (lanes distinguish the
   /// issuing shard threads and per-shard pool workers). Records nothing
   /// unless ShardedConfig::enable_profiling was set.
@@ -166,6 +175,7 @@ class ShardedRuntime {
 
   ShardedConfig config_;
   RegionForest forest_;
+  VerdictCache verdict_cache_;  // shared across shard threads (internally locked)
   std::mutex forest_mu_;  // guards subregion creation during run()
   // Profiler precedes the pools: workers record spans until joined.
   std::unique_ptr<Profiler> profiler_;

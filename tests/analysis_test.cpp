@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "analysis/absint.hpp"
 #include "analysis/hybrid.hpp"
 #include "support/rng.hpp"
 
@@ -131,12 +132,15 @@ TEST(ExtendedStaticTest, ModularGcdPeriod) {
   EXPECT_EQ(static_injectivity(f, Domain::line(6), true), Tri::kNo);
 }
 
-TEST(ExtendedStaticTest, ModularMixedSignStaysUnknown) {
-  // (i - 3) mod 3 over [0, 6): values span negative and positive; C
-  // remainders of congruent values can differ, so kNo is not provable.
+TEST(ExtendedStaticTest, ModularMixedSignRefutedWithWitness) {
+  // (i - 3) mod 3 over [0, 6): values span negative and positive, but
+  // congruent inputs still collide (e.g. f(0) = f(3) = 0) — the abstract
+  // interpreter probes the stride-3 candidates and verifies a concrete pair.
   const auto f = ProjectionFunctor::symbolic(
       {make_mod(make_sub(make_coord(0), make_const(3)), make_const(3))});
-  EXPECT_EQ(static_injectivity(f, Domain::line(6), true), Tri::kUnknown);
+  RaceWitness w;
+  EXPECT_EQ(static_injectivity(f, Domain::line(6), true, &w), Tri::kNo);
+  EXPECT_TRUE(witness_valid(f, Domain::line(6), w));
 }
 
 TEST(ExtendedStaticTest, MonotoneQuadraticInjective) {
@@ -149,11 +153,15 @@ TEST(ExtendedStaticTest, MonotoneQuadraticInjective) {
   EXPECT_EQ(static_injectivity(f, Domain::line(100), false), Tri::kUnknown);
 }
 
-TEST(ExtendedStaticTest, NonMonotoneQuadraticUnknown) {
-  // i^2 over [-3, 3]: the parabola turns inside the domain.
+TEST(ExtendedStaticTest, NonMonotoneQuadraticRefutedWithWitness) {
+  // i^2 over [-3, 3]: the parabola turns inside the domain, so symmetric
+  // points collide — the vertex probe finds (-k, k) and verifies it.
   const auto f = ProjectionFunctor::symbolic({make_mul(make_coord(0), make_coord(0))});
-  EXPECT_EQ(static_injectivity(f, Domain(Rect(Point::p1(-3), Point::p1(3))), true),
-            Tri::kUnknown);
+  const Domain dom(Rect(Point::p1(-3), Point::p1(3)));
+  RaceWitness w;
+  EXPECT_EQ(static_injectivity(f, dom, true, &w), Tri::kNo);
+  EXPECT_TRUE(witness_valid(f, dom, w));
+  EXPECT_NE(w.p1, w.p2);
 }
 
 // Property: the extended classifier is sound against brute force for random
@@ -646,6 +654,396 @@ TEST(HybridTest, DomSweepPlaneProjectionSafeDynamic) {
   std::vector<CheckArg> args = {make_arg(f, Rect::box2(4, 4), Privilege::kWrite)};
   const auto report = analyze_launch_safety(args, Domain::from_points(wave));
   EXPECT_EQ(report.outcome, SafetyOutcome::kSafeDynamic);
+}
+
+// ---------- abstract interpretation: transfer functions ----------
+
+TEST(AbsIntTest, ModTransferKeepsResidueClass) {
+  // (4i + 1) % 8 over i in [0, 7]: concrete image {1, 5}. The congruence
+  // component survives the mod: gcd(4, 8) = 4, residue 1.
+  const ExprPtr e = make_mod(
+      make_add(make_mul(make_const(4), make_coord(0)), make_const(1)), make_const(8));
+  const auto v = abs_eval(*e, Rect::line(8));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->contains(1));
+  EXPECT_TRUE(v->contains(5));
+  EXPECT_FALSE(v->contains(2));  // 2 ≢ 1 (mod 4)
+  EXPECT_FALSE(v->contains(3));
+  EXPECT_FALSE(v->contains(9));  // outside [0, 8)
+}
+
+TEST(AbsIntTest, DivTransferExactWhenDivisorDividesClass) {
+  // (8i) / 4 over i in [0, 7] = 2i: the divisor divides both modulus and
+  // residue, so the congruence transfers exactly (even numbers only).
+  const ExprPtr e = make_div(make_mul(make_const(8), make_coord(0)), make_const(4));
+  const auto v = abs_eval(*e, Rect::line(8));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->contains(0));
+  EXPECT_TRUE(v->contains(2));
+  EXPECT_TRUE(v->contains(14));
+  EXPECT_FALSE(v->contains(1));
+  EXPECT_FALSE(v->contains(16));
+}
+
+TEST(AbsIntTest, CompositionThreadsCongruenceThroughLayers) {
+  // ((2i + 1) % 6) * 10 over i in [0, 9]: inner is odd (mod 2 == 1), the
+  // %6 keeps oddness (gcd(2,6) = 2), the *10 scales class and interval.
+  const ExprPtr e = make_mul(
+      make_mod(make_add(make_mul(make_const(2), make_coord(0)), make_const(1)),
+               make_const(6)),
+      make_const(10));
+  const auto v = abs_eval(*e, Rect::line(10));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->contains(10));
+  EXPECT_TRUE(v->contains(30));
+  EXPECT_TRUE(v->contains(50));
+  EXPECT_FALSE(v->contains(20));  // even multiple of 10: wrong residue
+  EXPECT_FALSE(v->contains(15));  // not a multiple of 10
+  EXPECT_FALSE(v->contains(70));  // beyond hi = 50
+}
+
+TEST(AbsIntTest, TransferSoundnessOnRandomExpressions) {
+  // Abstract evaluation over-approximates: every concrete value of a random
+  // expression over a random box must be contained in its abstract value.
+  Rng rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto gen = [&](auto&& self, int depth) -> ExprPtr {
+      if (depth == 0 || rng.next_below(3) == 0) {
+        return rng.next_below(2) == 0
+                   ? make_const(rng.next_in(-9, 9))
+                   : make_coord(static_cast<int>(rng.next_below(2)));
+      }
+      switch (rng.next_below(6)) {
+        case 0: return make_add(self(self, depth - 1), self(self, depth - 1));
+        case 1: return make_sub(self(self, depth - 1), self(self, depth - 1));
+        case 2: return make_mul(self(self, depth - 1), self(self, depth - 1));
+        case 3: return make_neg(self(self, depth - 1));
+        case 4: return make_div(self(self, depth - 1), make_const(rng.next_in(1, 5)));
+        default: return make_mod(self(self, depth - 1), make_const(rng.next_in(1, 5)));
+      }
+    };
+    const ExprPtr e = gen(gen, 4);
+    const Rect box = Rect::box2(static_cast<int64_t>(rng.next_in(1, 5)),
+                                static_cast<int64_t>(rng.next_in(1, 5)));
+    const auto v = abs_eval(*e, box);
+    if (!v) continue;  // overflow bail is always sound
+    for (const Point& p : box)
+      EXPECT_TRUE(v->contains(e->eval(p)))
+          << e->to_string() << " at " << p.to_string() << " abs " << v->to_string();
+  }
+}
+
+TEST(AbsIntTest, DisjointnessByIntervalAndResidue) {
+  const auto even = abs_eval(*make_mul(make_const(2), make_coord(0)), Rect::line(50));
+  const auto odd = abs_eval(
+      *make_add(make_mul(make_const(2), make_coord(0)), make_const(1)), Rect::line(50));
+  ASSERT_TRUE(even && odd);
+  EXPECT_TRUE(abs_disjoint(*even, *odd));    // incompatible residues mod 2
+  EXPECT_FALSE(abs_disjoint(*even, *even));
+  const auto lo = abs_range(0, 9);
+  const auto hi = abs_range(10, 20);
+  ASSERT_TRUE(lo && hi);
+  EXPECT_TRUE(abs_disjoint(*lo, *hi));       // disjoint intervals
+}
+
+TEST(AbsIntTest, OverflowDegradesToUnanalyzable) {
+  const ExprPtr e = make_mul(make_const(INT64_MAX), make_coord(0));
+  EXPECT_FALSE(abs_eval(*e, Rect::line(10)).has_value());
+  EXPECT_FALSE(checked_add(INT64_MAX, 1).has_value());
+  EXPECT_FALSE(checked_mul(INT64_MAX, 2).has_value());
+  EXPECT_FALSE(checked_neg(INT64_MIN).has_value());
+}
+
+// ---------- abstract interpretation: injectivity proofs ----------
+
+TEST(AbsIntInjectivityTest, StridedModularProvenInjective) {
+  // (2i) % 8 over [0, 4): collisions need a delta that is a multiple of
+  // 8 / gcd(2, 8) = 4, impossible within extent 4 — proven, not sampled.
+  const auto f = ProjectionFunctor::symbolic(
+      {make_mod(make_mul(make_const(2), make_coord(0)), make_const(8))});
+  EXPECT_EQ(static_injectivity(f, Domain::line(4), true), Tri::kYes);
+  // Over [0, 8) the stride-4 delta fits: refuted with a concrete witness.
+  RaceWitness w;
+  EXPECT_EQ(static_injectivity(f, Domain::line(8), true, &w), Tri::kNo);
+  EXPECT_TRUE(witness_valid(f, Domain::line(8), w));
+}
+
+TEST(AbsIntInjectivityTest, DelinearizationPairProvenInjective) {
+  // (i % 8, i / 8) over [0, 64): the canonical 1-D → 2-D delinearization.
+  // The mod component collides only at multiples of 8; the div component
+  // (nonnegative dividend) only within a window of 7 — empty intersection.
+  const auto f = ProjectionFunctor::symbolic(
+      {make_mod(make_coord(0), make_const(8)), make_div(make_coord(0), make_const(8))});
+  EXPECT_EQ(static_injectivity(f, Domain::line(64), true), Tri::kYes);
+  EXPECT_EQ(static_injectivity(f, Domain::line(64), false), Tri::kUnknown);
+}
+
+TEST(AbsIntInjectivityTest, ScaledDivComposition) {
+  // (4i + 1) / 4 == i over [0, 10): the quotient window collapses to zero
+  // once the inner stride exceeds it.
+  const auto f = ProjectionFunctor::symbolic({make_div(
+      make_add(make_mul(make_const(4), make_coord(0)), make_const(1)), make_const(4))});
+  EXPECT_EQ(static_injectivity(f, Domain::line(10), true), Tri::kYes);
+}
+
+TEST(AbsIntInjectivityTest, MultiDimPerAxisResidueSeparation) {
+  // ((2·i0) % 8, i1) over a 4×4 box: axis 0 is decided by the residue
+  // argument above, axis 1 by the coordinate component — both proven, so
+  // the whole multi-dimensional functor is injective.
+  const auto f = ProjectionFunctor::symbolic(
+      {make_mod(make_mul(make_const(2), make_coord(0)), make_const(8)),
+       make_coord(1)});
+  EXPECT_EQ(static_injectivity(f, Domain(Rect::box2(4, 4)), true), Tri::kYes);
+  EXPECT_EQ(static_injectivity(f, Domain(Rect::box2(4, 4)), false), Tri::kUnknown);
+}
+
+TEST(AbsIntInjectivityTest, UnusedAxisRefutedWithWitness) {
+  // (i0) over a 4×4 box ignores i1: two points differing only in i1 write
+  // the same color. The analyzer verifies and returns that concrete pair.
+  const auto f = ProjectionFunctor::symbolic({make_coord(0)});
+  RaceWitness w;
+  EXPECT_EQ(static_injectivity(f, Domain(Rect::box2(4, 4)), true, &w), Tri::kNo);
+  EXPECT_TRUE(witness_valid(f, Domain(Rect::box2(4, 4)), w));
+}
+
+TEST(AbsIntInjectivityTest, ComposedModOfModRefutedByProbe) {
+  // (i % 6) % 3 over [0, 6): not a linear-inside-mod shape, so no stride
+  // proof applies — the probe stage still finds and verifies f(0) = f(3).
+  const auto f = ProjectionFunctor::symbolic(
+      {make_mod(make_mod(make_coord(0), make_const(6)), make_const(3))});
+  RaceWitness w;
+  EXPECT_EQ(static_injectivity(f, Domain::line(6), true, &w), Tri::kNo);
+  EXPECT_TRUE(witness_valid(f, Domain::line(6), w));
+}
+
+// ---------- race witnesses from the hybrid analysis ----------
+
+TEST(WitnessTest, StaticRefutationCarriesValidWitness) {
+  const auto f = ProjectionFunctor::symbolic({make_const(3)});
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(10), Privilege::kWrite)};
+  const auto report = analyze_launch_safety(args, Domain::line(10));
+  ASSERT_EQ(report.outcome, SafetyOutcome::kUnsafe);
+  ASSERT_TRUE(report.witness.has_value());
+  EXPECT_EQ(report.witness->arg_i, 0u);
+  EXPECT_EQ(report.witness->arg_j, 0u);
+  EXPECT_TRUE(witness_valid(f, Domain::line(10), *report.witness));
+  EXPECT_NE(report.reason.find("witness"), std::string::npos);
+}
+
+TEST(WitnessTest, DynamicRefutationCarriesValidWitness) {
+  // Paper Listing 2: write functor i%3 over [0,5) fails the dynamic check;
+  // the failure is reconstructed into a concrete colliding pair.
+  const auto fp = ProjectionFunctor::identity(1);
+  const auto fq = ProjectionFunctor::opaque(
+      [](const Point& p) { return Point::p1(p[0] % 3); }, 1);
+  std::vector<CheckArg> args = {
+      make_arg(fp, Rect::line(5), Privilege::kRead, 1, 1),
+      make_arg(fq, Rect::line(3), Privilege::kWrite, 2, 2)};
+  const auto report = analyze_launch_safety(args, Domain::line(5));
+  ASSERT_EQ(report.outcome, SafetyOutcome::kUnsafe);
+  ASSERT_TRUE(report.witness.has_value());
+  const RaceWitness& w = *report.witness;
+  EXPECT_EQ(w.arg_i, 1u);  // indices remapped to the analyzed args span
+  EXPECT_EQ(w.arg_j, 1u);
+  EXPECT_TRUE(witness_valid(fq, Domain::line(5), w));
+}
+
+TEST(WitnessTest, CrossArgWitnessAllowsEqualPoints) {
+  // write p[i], read p[2i]: task 0's read and write touch block 0 — fine —
+  // but task 1 reads block 2 while task 2 writes it. Any valid witness
+  // relates two *different* argument slots.
+  const auto fw = ProjectionFunctor::identity(1);
+  const auto fr = ProjectionFunctor::affine1d(2, 0);
+  std::vector<CheckArg> args = {
+      make_arg(fw, Rect::line(10), Privilege::kWrite),
+      make_arg(fr, Rect::line(10), Privilege::kRead)};
+  const auto report = analyze_launch_safety(args, Domain::line(5));
+  ASSERT_EQ(report.outcome, SafetyOutcome::kUnsafe);
+  ASSERT_TRUE(report.witness.has_value());
+  const RaceWitness& w = *report.witness;
+  EXPECT_NE(w.arg_i, w.arg_j);
+  const ProjectionFunctor& fi = w.arg_i == 0 ? fw : fr;
+  const ProjectionFunctor& fj = w.arg_j == 0 ? fw : fr;
+  EXPECT_TRUE(witness_valid(fi, fj, Domain::line(5), w));
+}
+
+TEST(WitnessTest, WitnessValidRejectsFabrications) {
+  const auto f = ProjectionFunctor::identity(1);
+  RaceWitness w;
+  w.p1 = Point::p1(1);
+  w.p2 = Point::p1(2);
+  w.color = Point::p1(1);
+  EXPECT_FALSE(witness_valid(f, Domain::line(10), w));  // f(p2) != color
+  w.p2 = Point::p1(1);
+  EXPECT_FALSE(witness_valid(f, Domain::line(10), w));  // self pair must differ
+  w.p1 = Point::p1(50);
+  EXPECT_FALSE(witness_valid(f, Domain::line(10), w));  // out of domain
+}
+
+// ---------- launch-site verdict cache ----------
+
+TEST(VerdictCacheTest, OpaqueFunctorsAreUncacheable) {
+  const auto f = ProjectionFunctor::opaque([](const Point& p) { return p; }, 1);
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(10), Privilege::kWrite)};
+  AnalysisOptions options;
+  EXPECT_FALSE(VerdictCache::key(args, Domain::line(10), options).has_value());
+
+  VerdictCache cache;
+  options.verdict_cache = &cache;
+  analyze_launch_safety(args, Domain::line(10), options);
+  analyze_launch_safety(args, Domain::line(10), options);
+  EXPECT_EQ(cache.counters().hits, 0u);
+  EXPECT_EQ(cache.counters().uncacheable, 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(VerdictCacheTest, KeyDistinguishesSites) {
+  const auto f = ProjectionFunctor::modular1d(3, 10);
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(10), Privilege::kWrite)};
+  AnalysisOptions options;
+  const auto k1 = VerdictCache::key(args, Domain::line(10), options);
+  const auto k2 = VerdictCache::key(args, Domain::line(11), options);   // domain
+  args[0].priv = Privilege::kRead;
+  const auto k3 = VerdictCache::key(args, Domain::line(10), options);   // privilege
+  args[0].priv = Privilege::kWrite;
+  options.extended_static = true;
+  const auto k4 = VerdictCache::key(args, Domain::line(10), options);   // options
+  ASSERT_TRUE(k1 && k2 && k3 && k4);
+  EXPECT_NE(*k1, *k2);
+  EXPECT_NE(*k1, *k3);
+  EXPECT_NE(*k1, *k4);
+}
+
+TEST(VerdictCacheTest, RepeatedLaunchHitsAndSkipsDynamicWork) {
+  const auto f = ProjectionFunctor::modular1d(3, 10);
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(10), Privilege::kWrite)};
+  VerdictCache cache;
+  AnalysisOptions options;
+  options.verdict_cache = &cache;
+
+  const auto first = analyze_launch_safety(args, Domain::line(10), options);
+  EXPECT_EQ(first.outcome, SafetyOutcome::kSafeDynamic);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.dynamic_points, 10u);
+  EXPECT_EQ(first.cache_misses, 1u);
+
+  const auto second = analyze_launch_safety(args, Domain::line(10), options);
+  EXPECT_EQ(second.outcome, SafetyOutcome::kSafeDynamic);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.dynamic_points, 0u);  // no work redone
+  EXPECT_EQ(second.cache_hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A different domain is a different site: miss, not a wrong-verdict hit.
+  const auto third = analyze_launch_safety(args, Domain::line(7), options);
+  EXPECT_FALSE(third.cache_hit);
+  EXPECT_EQ(cache.counters().misses, 2u);
+}
+
+TEST(VerdictCacheTest, ClearInvalidates) {
+  const auto f = ProjectionFunctor::identity(1);
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(10), Privilege::kWrite)};
+  VerdictCache cache;
+  AnalysisOptions options;
+  options.verdict_cache = &cache;
+  analyze_launch_safety(args, Domain::line(10), options);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  const auto report = analyze_launch_safety(args, Domain::line(10), options);
+  EXPECT_FALSE(report.cache_hit);
+  EXPECT_EQ(cache.counters().misses, 2u);
+}
+
+TEST(VerdictCacheTest, CachedUnsafeVerdictKeepsWitness) {
+  const auto f = ProjectionFunctor::symbolic({make_mod(make_coord(0), make_const(3))});
+  std::vector<CheckArg> args = {make_arg(f, Rect::line(3), Privilege::kWrite)};
+  VerdictCache cache;
+  AnalysisOptions options;
+  options.verdict_cache = &cache;
+  options.extended_static = true;
+  analyze_launch_safety(args, Domain::line(5), options);
+  const auto hit = analyze_launch_safety(args, Domain::line(5), options);
+  EXPECT_TRUE(hit.cache_hit);
+  ASSERT_EQ(hit.outcome, SafetyOutcome::kUnsafe);
+  ASSERT_TRUE(hit.witness.has_value());
+  EXPECT_TRUE(witness_valid(f, Domain::line(5), *hit.witness));
+}
+
+// ---------- acceptance: static coverage strictly increases ----------
+
+TEST(StaticCoverageTest, ExtendedTierStrictlyIncreasesDefiniteVerdicts) {
+  // The table-2 style functor families. For each, the verdict of both
+  // classifier tiers is checked against brute force (zero regressions) and
+  // the number of *definite* verdicts must strictly grow with the
+  // abstract-interpretation tier.
+  struct Family {
+    const char* name;
+    ProjectionFunctor f;
+    Domain d;
+  };
+  const std::vector<Family> families = {
+      {"identity", ProjectionFunctor::identity(1), Domain::line(50)},
+      {"affine", ProjectionFunctor::affine1d(3, -1), Domain::line(30)},
+      {"constant", ProjectionFunctor::symbolic({make_const(3)}), Domain::line(10)},
+      {"rank-deficient", ProjectionFunctor::symbolic({make_add(make_coord(0), make_coord(1))}),
+       Domain(Rect::box2(4, 4))},
+      {"modular-shift", ProjectionFunctor::modular1d(3, 10), Domain::line(10)},
+      {"modular-collide", ProjectionFunctor::modular1d(0, 3), Domain::line(10)},
+      {"strided-mod-fit", ProjectionFunctor::symbolic({make_mod(
+           make_mul(make_const(2), make_coord(0)), make_const(8))}), Domain::line(4)},
+      {"strided-mod-wrap", ProjectionFunctor::symbolic({make_mod(
+           make_mul(make_const(2), make_coord(0)), make_const(8))}), Domain::line(8)},
+      {"div-block", ProjectionFunctor::symbolic({make_div(make_coord(0), make_const(4))}),
+       Domain::line(16)},
+      {"delinearize", ProjectionFunctor::symbolic({make_mod(make_coord(0), make_const(8)),
+           make_div(make_coord(0), make_const(8))}), Domain::line(64)},
+      {"quad-monotone", ProjectionFunctor::symbolic({make_add(
+           make_mul(make_coord(0), make_coord(0)), make_mul(make_const(3), make_coord(0)))}),
+       Domain::line(20)},
+      {"quad-vertex", ProjectionFunctor::symbolic({make_mul(make_coord(0), make_coord(0))}),
+       Domain(Rect(Point::p1(-3), Point::p1(3)))},
+      {"multidim-residue", ProjectionFunctor::symbolic({make_mod(
+           make_mul(make_const(2), make_coord(0)), make_const(8)), make_coord(1)}),
+       Domain(Rect::box2(4, 4))},
+  };
+
+  const auto brute = [](const ProjectionFunctor& f, const Domain& d) {
+    std::unordered_set<std::string> seen;
+    bool injective = true;
+    d.for_each([&](const Point& p) {
+      if (injective && !seen.insert(f(p).to_string()).second) injective = false;
+    });
+    return injective;
+  };
+
+  int definite_base = 0, definite_ext = 0;
+  for (const Family& fam : families) {
+    const bool truth = brute(fam.f, fam.d);
+    const Tri base = static_injectivity(fam.f, fam.d, false);
+    RaceWitness w;
+    const Tri ext = static_injectivity(fam.f, fam.d, true, &w);
+    // Soundness: a definite verdict from either tier matches brute force.
+    if (base != Tri::kUnknown) {
+      EXPECT_EQ(base == Tri::kYes, truth) << fam.name << " (baseline)";
+    }
+    if (ext != Tri::kUnknown) {
+      EXPECT_EQ(ext == Tri::kYes, truth) << fam.name << " (extended)";
+    }
+    // Zero regressions: the extended tier never loses a definite verdict.
+    if (base != Tri::kUnknown) {
+      EXPECT_EQ(ext, base) << fam.name;
+    }
+    // Every kNo from the extended tier ships a verifiable witness.
+    if (ext == Tri::kNo) {
+      EXPECT_TRUE(witness_valid(fam.f, fam.d, w)) << fam.name;
+    }
+    definite_base += base != Tri::kUnknown;
+    definite_ext += ext != Tri::kUnknown;
+  }
+  EXPECT_GT(definite_ext, definite_base);
+  // Every interval×congruence-decidable family above is decided.
+  EXPECT_EQ(definite_ext, static_cast<int>(families.size()));
 }
 
 }  // namespace

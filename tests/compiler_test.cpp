@@ -79,22 +79,23 @@ TEST(CompilerTest, IdentityLoopBecomesIndexLaunch) {
   EXPECT_DOUBLE_EQ(v[31], 7.0);
 }
 
-TEST(CompilerTest, SafeModularLoopIsGuarded) {
+TEST(CompilerTest, SafeModularLoopCompilesToBareIndexLaunch) {
   Fixture fx(32, 8);
   ForLoop loop;
   loop.domain = Domain::line(8);
-  // (i + 3) % 8 is injective over [0,8) but only the dynamic check sees it.
+  // (i + 3) % 8 is injective over [0,8): the abstract interpreter's
+  // residue-class analysis proves it at compile time, so the optimizer
+  // emits a bare index launch with no dynamic guard at all.
   loop.body = {write_call(
       fx, {make_mod(make_add(make_coord(0), make_const(3)), make_const(8))})};
 
   const CompiledLoop compiled = compile_loop(loop, fx.rt.forest());
-  EXPECT_EQ(compiled.strategy(), LoopStrategy::kGuardedIndexLaunch);
+  EXPECT_EQ(compiled.strategy(), LoopStrategy::kIndexLaunch);
 
   const LoopRunResult run = compiled.execute(fx.rt);
-  EXPECT_TRUE(run.dynamic_check_ran);
-  EXPECT_TRUE(run.dynamic_check_passed);
+  EXPECT_FALSE(run.dynamic_check_ran);
   EXPECT_TRUE(run.ran_as_index_launch);
-  EXPECT_EQ(run.dynamic_check_points, 8u);
+  EXPECT_EQ(run.dynamic_check_points, 0u);
 
   const auto v = fx.values();
   // Block (i+3)%8 is stamped with i: block 0 stamped by i=5.
@@ -102,9 +103,10 @@ TEST(CompilerTest, SafeModularLoopIsGuarded) {
 }
 
 TEST(CompilerTest, PaperListing2FallsBackToTaskLoop) {
-  // foo(p[i], q[i%3]) over [0,5): write functor i%3 collides at runtime,
-  // so the guarded launch must take the original-task-loop branch and keep
-  // sequential semantics.
+  // foo(p[i], q[i%3]) over [0,5): write functor i%3 collides. The extended
+  // static tier now refutes it at compile time (with a concrete witness
+  // pair), so the optimizer emits the original task loop directly — no
+  // run-time guard is ever evaluated.
   Fixture fx(12, 3);  // q: 3 blocks
   auto& forest = fx.rt.forest();
   const IndexSpaceId p_is = forest.create_index_space(Domain::line(25));
@@ -122,11 +124,12 @@ TEST(CompilerTest, PaperListing2FallsBackToTaskLoop) {
   loop.body = {call};
 
   const CompiledLoop compiled = compile_loop(loop, fx.rt.forest());
-  EXPECT_EQ(compiled.strategy(), LoopStrategy::kGuardedIndexLaunch);
+  EXPECT_EQ(compiled.strategy(), LoopStrategy::kTaskLoop);
+  ASSERT_TRUE(compiled.diagnostics().witness.has_value());
+  EXPECT_NE(compiled.explain().find("witness:"), std::string::npos);
 
   const LoopRunResult run = compiled.execute(fx.rt);
-  EXPECT_TRUE(run.dynamic_check_ran);
-  EXPECT_FALSE(run.dynamic_check_passed);
+  EXPECT_FALSE(run.dynamic_check_ran);
   EXPECT_FALSE(run.ran_as_index_launch);
   fx.rt.wait_all();
   EXPECT_EQ(fx.rt.stats().single_launches, 5u);  // the original task loop

@@ -432,5 +432,88 @@ TEST_P(CrossRuntimeFuzz, ShardedMatchesSingleRuntime) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossRuntimeFuzz, ::testing::Range<uint64_t>(1, 6));
 
+// ---------------------------------------------------------------------------
+// Differential oracle for the extended static classifier: random symbolic
+// functors over random dense domains, checked against exhaustive evaluation.
+// The abstract interpreter must never contradict the ground truth —
+//
+//   kYes ⇒ the exhaustive dynamic check finds no collision, and
+//   kNo  ⇒ the reported witness pair actually collides (re-evaluated here).
+//
+// kUnknown is always permitted; the property under test is soundness.
+// ---------------------------------------------------------------------------
+
+ExprPtr random_expr(Rng& rng, int dim, int depth) {
+  if (depth == 0 || rng.next_below(3) == 0) {
+    return rng.next_below(2) == 0
+               ? make_const(rng.next_in(-6, 6))
+               : make_coord(static_cast<int>(rng.next_below(static_cast<uint64_t>(dim))));
+  }
+  switch (rng.next_below(7)) {
+    case 0: return make_add(random_expr(rng, dim, depth - 1), random_expr(rng, dim, depth - 1));
+    case 1: return make_sub(random_expr(rng, dim, depth - 1), random_expr(rng, dim, depth - 1));
+    case 2: return make_mul(random_expr(rng, dim, depth - 1), random_expr(rng, dim, depth - 1));
+    case 3: return make_neg(random_expr(rng, dim, depth - 1));
+    case 4: return make_div(random_expr(rng, dim, depth - 1), make_const(rng.next_in(1, 6)));
+    default: return make_mod(random_expr(rng, dim, depth - 1), make_const(rng.next_in(1, 8)));
+  }
+}
+
+class StaticOracleFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StaticOracleFuzz, ExtendedStaticNeverContradictsExhaustiveCheck) {
+  Rng rng(GetParam() * 6151);
+  int definite = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const int dim = static_cast<int>(rng.next_in(1, 2));
+    const int out_dim = static_cast<int>(rng.next_in(1, 2));
+    std::vector<ExprPtr> exprs;
+    for (int c = 0; c < out_dim; ++c) exprs.push_back(random_expr(rng, dim, 3));
+    const ProjectionFunctor f = ProjectionFunctor::symbolic(std::move(exprs));
+
+    Domain domain = dim == 1
+        ? Domain::line(rng.next_in(1, 24))
+        : Domain(Rect::box2(rng.next_in(1, 6), rng.next_in(1, 6)));
+    if (rng.next_below(4) == 0) {
+      // Shifted boxes exercise negative coordinates and mixed-sign ranges.
+      const int64_t shift = rng.next_in(-8, 8);
+      const Rect b = domain.bounds();
+      Point lo = b.lo, hi = b.hi;
+      for (int d = 0; d < b.dim(); ++d) {
+        lo[d] += shift;
+        hi[d] += shift;
+      }
+      domain = Domain(Rect(lo, hi));
+    }
+
+    // Exhaustive ground truth (no color-space clipping: the static verdict
+    // speaks about functor collisions over the whole domain).
+    std::unordered_set<std::string> seen;
+    bool truth = true;
+    domain.for_each([&](const Point& p) {
+      if (truth && !seen.insert(f(p).to_string()).second) truth = false;
+    });
+
+    RaceWitness w;
+    const Tri verdict = static_injectivity(f, domain, /*extended=*/true, &w);
+    if (verdict == Tri::kYes) {
+      EXPECT_TRUE(truth) << "unsound kYes for " << f.to_string() << " over "
+                         << domain.to_string();
+      ++definite;
+    } else if (verdict == Tri::kNo) {
+      EXPECT_FALSE(truth) << "kNo for injective " << f.to_string();
+      EXPECT_TRUE(witness_valid(f, domain, w))
+          << "bogus witness for " << f.to_string() << " over " << domain.to_string()
+          << ": " << w.to_string();
+      ++definite;
+    }
+  }
+  // The classifier must actually decide a healthy share of random functors,
+  // or the soundness assertions above would be vacuous.
+  EXPECT_GT(definite, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticOracleFuzz, ::testing::Range<uint64_t>(1, 6));
+
 }  // namespace
 }  // namespace idxl

@@ -599,6 +599,53 @@ TEST(RuntimeTest, ExtendedStaticAnalysisAvoidsDynamicCheck) {
   fx.rt.wait_all();
 }
 
+TEST(RuntimeTest, RepeatedLaunchesHitVerdictCache) {
+  // Iterative workloads re-launch the same site every step; after the first
+  // analysis, the verdict comes from the launch-site cache.
+  Fixture fx(40, 10);
+  const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
+  const auto launch = [&] {
+    return fx.rt.execute_index(
+        IndexLauncher::over(Domain::line(10))
+            .with_task(noop)
+            .region(fx.region, fx.blocks, ProjectionFunctor::modular1d(3, 10),
+                    {fx.fv}, Privilege::kWrite));
+  };
+  const LaunchResult first = launch();
+  EXPECT_FALSE(first.safety.cache_hit);
+  EXPECT_EQ(first.safety.outcome, SafetyOutcome::kSafeDynamic);
+  EXPECT_EQ(first.safety.dynamic_points, 10u);
+  for (int i = 0; i < 4; ++i) {
+    const LaunchResult r = launch();
+    EXPECT_TRUE(r.safety.cache_hit);
+    EXPECT_EQ(r.safety.outcome, SafetyOutcome::kSafeDynamic);
+    EXPECT_EQ(r.safety.dynamic_points, 0u);  // analysis was not redone
+  }
+  fx.rt.wait_all();
+  EXPECT_EQ(fx.rt.stats().verdict_cache_hits, 4u);
+  EXPECT_EQ(fx.rt.stats().verdict_cache_misses, 1u);
+  EXPECT_EQ(fx.rt.verdict_cache().counters().hits, 4u);
+}
+
+TEST(RuntimeTest, VerdictCacheCanBeDisabled) {
+  RuntimeConfig cfg;
+  cfg.enable_verdict_cache = false;
+  Fixture fx(40, 10, cfg);
+  const TaskFnId noop = fx.rt.register_task("noop", [](TaskContext&) {});
+  for (int i = 0; i < 3; ++i) {
+    const LaunchResult r = fx.rt.execute_index(
+        IndexLauncher::over(Domain::line(10))
+            .with_task(noop)
+            .region(fx.region, fx.blocks, ProjectionFunctor::modular1d(3, 10),
+                    {fx.fv}, Privilege::kWrite));
+    EXPECT_FALSE(r.safety.cache_hit);
+    EXPECT_EQ(r.safety.dynamic_points, 10u);  // re-analyzed every launch
+  }
+  fx.rt.wait_all();
+  EXPECT_EQ(fx.rt.stats().verdict_cache_hits, 0u);
+  EXPECT_EQ(fx.rt.verdict_cache().size(), 0u);
+}
+
 TEST(RuntimeTest, RapidReissueStress) {
   // Regression test for an issuance race: a dependency that completes the
   // instant its successor edge is published must not double-trigger the

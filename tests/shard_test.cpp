@@ -353,6 +353,26 @@ TEST_P(ShardedWavefront, SparseWavefrontsWithDynamicChecksUnderDcr) {
 
 INSTANTIATE_TEST_SUITE_P(Storage, ShardedWavefront, ::testing::Bool());
 
+TEST(ShardedRuntimeTest, ShardsShareTheVerdictCache) {
+  // Every shard replicates the safety analysis of every launch; with the
+  // shared verdict cache, only the first shard to reach a site pays for it
+  // (modulo a benign race when several shards miss the same key at once).
+  const int64_t pieces = 4;
+  const int iterations = 3;
+  ShardedConfig cfg;
+  cfg.shards = 2;
+  ShardedFixture fx(cfg, 24, pieces);
+  fx.rt.run([&](ShardContext& ctx) { fx.issue_program(ctx, pieces, iterations); });
+
+  // 1 init + 2 launch sites per iteration, analyzed by both shards.
+  const uint64_t lookups = 2 * (1 + 2 * static_cast<uint64_t>(iterations));
+  const auto c = fx.rt.verdict_cache().counters();
+  EXPECT_EQ(c.hits + c.misses, lookups);
+  EXPECT_LE(c.misses, 3u * 2u);       // at most one racing miss per site per shard
+  EXPECT_GE(c.hits, lookups - 6u);
+  EXPECT_EQ(fx.rt.verdict_cache().size(), 3u);  // three distinct sites
+}
+
 TEST(ShardedRuntimeTest, RepeatedRunsAreIndependent) {
   const int64_t pieces = 4;
   ShardedConfig cfg;
