@@ -5,15 +5,119 @@
 // stays flat while the No-IDX columns' issuance scales with total task
 // count; distribution only appears where the configuration actually moves
 // task descriptors.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "apps/circuit.hpp"
 #include "apps/sim_specs.hpp"
+#include "region/partition_ops.hpp"
 #include "sim/experiment.hpp"
 
 using namespace idxl;
 using namespace idxl::sim;
+
+// ---------- issue-phase microbenchmark (two-tier dependence analysis) ----------
+//
+// How long does the issuing thread spend per point when issuing a safe
+// disjoint-partition index launch at |D| = 1024? Compares the group-level
+// dependence path (one summary test per argument, per-color walks, chunked
+// worker-side closure building) against the same program with
+// enable_group_analysis = false (per-point tracker scans). Writes machine-
+// readable results to BENCH_issue.json (override with IDXL_BENCH_JSON).
+
+struct IssueBench {
+  double issue_s = 0;        // issuing-thread seconds across timed launches
+  double points_per_sec = 0;
+  uint64_t group_edges = 0;
+  uint64_t dependence_edges = 0;
+  uint64_t dependence_tests = 0;
+};
+
+static IssueBench bench_issue_phase(bool group, int64_t pieces, int iters) {
+  RuntimeConfig cfg;
+  cfg.enable_group_analysis = group;
+  Runtime rt(cfg);
+  auto& forest = rt.forest();
+  const IndexSpaceId is = forest.create_index_space(Domain::line(pieces * 16));
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId fv = forest.allocate_field(fs, sizeof(double), "v");
+  const RegionId region = forest.create_region(is, fs);
+  const PartitionId blocks = partition_equal(forest, is, Rect::line(pieces));
+  const TaskFnId noop = rt.register_task("noop", [](TaskContext&) {});
+  const IndexLauncher launcher =
+      IndexLauncher::over(Domain::line(pieces))
+          .with_task(noop)
+          .region(region, blocks, ProjectionFunctor::identity(1), {fv},
+                  Privilege::kReadWrite);
+
+  for (int i = 0; i < 3; ++i) rt.execute_index(launcher);  // warm caches/tables
+  rt.wait_all();
+
+  const RuntimeStats before = rt.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) rt.execute_index(launcher);
+  const auto t1 = std::chrono::steady_clock::now();
+  rt.wait_all();
+  const RuntimeStats after = rt.stats();
+
+  IssueBench r;
+  r.issue_s = std::chrono::duration<double>(t1 - t0).count();
+  r.points_per_sec = static_cast<double>(iters) * static_cast<double>(pieces) / r.issue_s;
+  r.group_edges = after.group_edges - before.group_edges;
+  r.dependence_edges = after.dependence_edges - before.dependence_edges;
+  r.dependence_tests = after.dependence_tests - before.dependence_tests;
+  return r;
+}
+
+static void issue_phase_breakdown() {
+  const int64_t pieces = 1024;
+  const int iters = 50;
+  const IssueBench grp = bench_issue_phase(/*group=*/true, pieces, iters);
+  const IssueBench pp = bench_issue_phase(/*group=*/false, pieces, iters);
+  const double speedup = pp.issue_s / grp.issue_s;
+
+  std::printf("\nIssue-phase microbenchmark: |D| = %lld, %d timed launches, "
+              "disjoint partition, identity functor\n",
+              static_cast<long long>(pieces), iters);
+  std::printf("%-12s%14s%16s%16s%16s%14s\n", "config", "issue s", "points/s",
+              "launch edges", "dep edges", "dep tests");
+  std::printf("%-12s%14.4f%16.0f%16llu%16llu%14llu\n", "group", grp.issue_s,
+              grp.points_per_sec, static_cast<unsigned long long>(grp.group_edges),
+              static_cast<unsigned long long>(grp.dependence_edges),
+              static_cast<unsigned long long>(grp.dependence_tests));
+  std::printf("%-12s%14.4f%16.0f%16llu%16llu%14llu\n", "per-point", pp.issue_s,
+              pp.points_per_sec, static_cast<unsigned long long>(pp.group_edges),
+              static_cast<unsigned long long>(pp.dependence_edges),
+              static_cast<unsigned long long>(pp.dependence_tests));
+  std::printf("issue-phase speedup (per point): %.2fx\n", speedup);
+
+  const char* path = std::getenv("IDXL_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_issue.json";
+  if (FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"domain\": %lld,\n"
+                 "  \"launches\": %d,\n"
+                 "  \"group\": {\"issue_s\": %.6f, \"points_per_sec\": %.0f, "
+                 "\"group_edges\": %llu, \"dependence_edges\": %llu, "
+                 "\"dependence_tests\": %llu},\n"
+                 "  \"per_point\": {\"issue_s\": %.6f, \"points_per_sec\": %.0f, "
+                 "\"group_edges\": %llu, \"dependence_edges\": %llu, "
+                 "\"dependence_tests\": %llu},\n"
+                 "  \"issue_speedup\": %.3f\n"
+                 "}\n",
+                 static_cast<long long>(pieces), iters, grp.issue_s,
+                 grp.points_per_sec, static_cast<unsigned long long>(grp.group_edges),
+                 static_cast<unsigned long long>(grp.dependence_edges),
+                 static_cast<unsigned long long>(grp.dependence_tests), pp.issue_s,
+                 pp.points_per_sec, static_cast<unsigned long long>(pp.group_edges),
+                 static_cast<unsigned long long>(pp.dependence_edges),
+                 static_cast<unsigned long long>(pp.dependence_tests), speedup);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  }
+}
 
 // The simulator predicts the stage breakdown; the in-process runtime can
 // *measure* one. Run the real Circuit app under the profiler and print busy
@@ -60,6 +164,7 @@ int main() {
       "No-IDX issuance grows ~linearly with nodes under DCR (replicated) and "
       "concentrates on node 0 without DCR.\n");
 
+  issue_phase_breakdown();
   measured_breakdown();
   return 0;
 }

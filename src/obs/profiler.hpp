@@ -105,6 +105,9 @@ class Profiler {
     kNameFutureReduce,
     kNameWaitAll,
     kNameShardExchange,
+    kNameGroupDependence,  ///< group-level (whole-partition) dependence pass
+    kNameMaterialize,      ///< group state flushed into the per-point tracker
+    kNameExpandChunk,      ///< one bulk-expansion chunk building closures
     kWellKnownCount,
   };
 

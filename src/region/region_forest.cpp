@@ -156,6 +156,20 @@ RegionId RegionForest::subregion(RegionId parent, PartitionId p, const Point& co
   return info.handle;
 }
 
+const std::vector<RegionId>& RegionForest::subregion_table(RegionId parent,
+                                                           PartitionId p) {
+  IDXL_ASSERT(p.valid() && p.id < partitions_.size());
+  const uint64_t key = (uint64_t{parent.id} << 32) | p.id;
+  if (auto it = subregion_tables_.find(key); it != subregion_tables_.end())
+    return it->second;
+
+  const Rect colors = partitions_[p.id].color_space;
+  std::vector<RegionId> table;
+  table.reserve(static_cast<std::size_t>(colors.volume()));
+  for (const Point& color : colors) table.push_back(subregion(parent, p, color));
+  return subregion_tables_.emplace(key, std::move(table)).first->second;
+}
+
 const RegionInfo& RegionForest::region(RegionId r) const {
   IDXL_ASSERT(r.valid() && r.id < regions_.size());
   return regions_[r.id];

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -107,6 +108,12 @@ class RegionForest {
   /// Subregion view of `parent` through partition `p` at `color`. Cached:
   /// repeated calls return the same handle.
   RegionId subregion(RegionId parent, PartitionId p, const Point& color);
+  /// Every subregion of `parent` through `p`, one per color in row-major
+  /// color order. Materializes (and caches) the whole table on first use,
+  /// so issuing an index launch costs one lookup per color instead of one
+  /// hash probe per point. The returned reference stays valid for the
+  /// forest's lifetime.
+  const std::vector<RegionId>& subregion_table(RegionId parent, PartitionId p);
   const RegionInfo& region(RegionId r) const;
   const Domain& region_domain(RegionId r) const { return domain(region(r).ispace); }
 
@@ -147,12 +154,17 @@ class RegionForest {
     std::unordered_map<FieldId, std::vector<std::byte>> data;
   };
 
-  std::vector<Domain> index_spaces_;
+  // Deques, not vectors: PhysicalRegion and the dependence trackers hold
+  // pointers/references to Domain and RegionInfo elements across later
+  // create_* calls (including subregion materialization on the issue path),
+  // so element addresses must survive growth.
+  std::deque<Domain> index_spaces_;
   std::vector<std::vector<FieldInfo>> field_spaces_;
-  std::vector<PartitionNode> partitions_;
-  std::vector<RegionInfo> regions_;
+  std::deque<PartitionNode> partitions_;
+  std::deque<RegionInfo> regions_;
   std::vector<std::unique_ptr<RootStorage>> storage_;  // by root region id
   std::unordered_map<uint64_t, RegionId> subregion_cache_;
+  std::unordered_map<uint64_t, std::vector<RegionId>> subregion_tables_;
   uint32_t next_tree_id_ = 1;
 };
 

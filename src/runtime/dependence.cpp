@@ -11,6 +11,23 @@ uint64_t field_mask(const std::vector<FieldId>& fields) {
   return mask;
 }
 
+void collect_conflicting_uses(std::vector<TaskUse>& uses, uint64_t fields,
+                              std::vector<TaskNodePtr>& out_deps,
+                              std::atomic<uint64_t>& tests) {
+  std::size_t keep = 0;
+  uint64_t performed = 0;
+  for (std::size_t i = 0; i < uses.size(); ++i) {
+    TaskUse& u = uses[i];
+    if (u.node->done.load(std::memory_order_acquire)) continue;  // compact out
+    ++performed;
+    if (u.fields & fields) out_deps.push_back(u.node);
+    if (keep != i) uses[keep] = std::move(u);
+    ++keep;
+  }
+  uses.resize(keep);
+  if (performed != 0) tests.fetch_add(performed, std::memory_order_relaxed);
+}
+
 bool DependenceTracker::overlaps(IndexSpaceId a, IndexSpaceId b) {
   if (a == b) return true;
   const uint64_t key = a.id <= b.id ? (uint64_t{a.id} << 32 | b.id)
@@ -30,20 +47,6 @@ bool DependenceTracker::contains(IndexSpaceId outer, IndexSpaceId inner) {
   const bool result = forest_->domain(outer).contains_domain(forest_->domain(inner));
   contains_cache_.emplace(key, result);
   return result;
-}
-
-void DependenceTracker::collect(std::vector<Use>& uses, uint64_t fields,
-                                std::vector<TaskNodePtr>& out_deps) {
-  std::size_t keep = 0;
-  for (std::size_t i = 0; i < uses.size(); ++i) {
-    Use& u = uses[i];
-    if (u.node->done.load(std::memory_order_acquire)) continue;  // compact out
-    ++dependence_tests_;
-    if (u.fields & fields) out_deps.push_back(u.node);
-    if (keep != i) uses[keep] = std::move(u);
-    ++keep;
-  }
-  uses.resize(keep);
 }
 
 void DependenceTracker::candidates(TreeState& ts, const Rect& bounds,
@@ -87,8 +90,9 @@ void DependenceTracker::record_use(uint32_t tree, IndexSpaceId ispace, uint64_t 
     if (!overlaps(ispace, entry->ispace)) continue;
     // Readers always conflict with prior writers; writers additionally
     // conflict with prior readers (anti-dependence).
-    collect(entry->writers, fields, out_deps);
-    if (writes) collect(entry->readers, fields, out_deps);
+    collect_conflicting_uses(entry->writers, fields, out_deps, dependence_tests_);
+    if (writes)
+      collect_conflicting_uses(entry->readers, fields, out_deps, dependence_tests_);
   }
 
   if (writes) {
@@ -100,8 +104,9 @@ void DependenceTracker::record_use(uint32_t tree, IndexSpaceId ispace, uint64_t 
       if (through_disjoint && entry->through == through && !(entry->ispace == ispace))
         continue;
       if (!contains(ispace, entry->ispace)) continue;
-      auto prune = [fields](std::vector<Use>& uses) {
-        std::erase_if(uses, [fields](const Use& u) { return (u.fields & ~fields) == 0; });
+      auto prune = [fields](std::vector<TaskUse>& uses) {
+        std::erase_if(uses,
+                      [fields](const TaskUse& u) { return (u.fields & ~fields) == 0; });
       };
       prune(entry->writers);
       prune(entry->readers);
@@ -114,7 +119,32 @@ void DependenceTracker::record_use(uint32_t tree, IndexSpaceId ispace, uint64_t 
   mine.ispace = ispace;
   mine.through = through;
   mine.through_disjoint = through_disjoint;
-  (writes ? mine.writers : mine.readers).push_back(Use{node, fields});
+  (writes ? mine.writers : mine.readers).push_back(TaskUse{node, fields});
+}
+
+void DependenceTracker::seed_entry(uint32_t tree, IndexSpaceId ispace,
+                                   PartitionId through, bool through_disjoint,
+                                   std::vector<TaskUse>&& writers,
+                                   std::vector<TaskUse>&& readers) {
+  TreeState& ts = trees_[tree];
+  auto [it, inserted] = ts.entries.try_emplace(ispace.id);
+  Entry& mine = it->second;
+  if (inserted) ts.fresh.push_back(ispace.id);
+  mine.ispace = ispace;
+  mine.through = through;
+  mine.through_disjoint = through_disjoint;
+  if (mine.writers.empty()) {
+    mine.writers = std::move(writers);
+  } else {
+    mine.writers.insert(mine.writers.end(), std::make_move_iterator(writers.begin()),
+                        std::make_move_iterator(writers.end()));
+  }
+  if (mine.readers.empty()) {
+    mine.readers = std::move(readers);
+  } else {
+    mine.readers.insert(mine.readers.end(), std::make_move_iterator(readers.begin()),
+                        std::make_move_iterator(readers.end()));
+  }
 }
 
 void DependenceTracker::reset() { trees_.clear(); }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -12,6 +13,22 @@ namespace idxl {
 /// Field sets are represented as 64-bit masks; a field space may declare at
 /// most 64 fields (ample for the paper's workloads).
 uint64_t field_mask(const std::vector<FieldId>& fields);
+
+/// One recorded use of a piece of data by a live task. Shared between the
+/// per-point DependenceTracker and the group-level GroupDependenceTracker,
+/// so group state can be materialized into per-point state verbatim.
+struct TaskUse {
+  TaskNodePtr node;
+  uint64_t fields = 0;
+};
+
+/// Append the live uses of `uses` whose fields conflict with `fields` to
+/// `out_deps`; compact completed nodes out of `uses` along the way. Every
+/// live use costs one conflict test, counted into `tests` (relaxed — the
+/// counter is read live by Runtime::stats()).
+void collect_conflicting_uses(std::vector<TaskUse>& uses, uint64_t fields,
+                              std::vector<TaskNodePtr>& out_deps,
+                              std::atomic<uint64_t>& tests);
 
 /// Tracks, per region tree, which live tasks last wrote/read which index
 /// spaces, and computes the dependence edges a newly issued task needs.
@@ -43,22 +60,29 @@ class DependenceTracker {
                   PartitionId through, bool through_disjoint, const TaskNodePtr& node,
                   std::vector<TaskNodePtr>& out_deps);
 
-  /// Drop all recorded uses (used at trace fences).
+  /// Install a fully-formed entry without scanning for conflicts — the
+  /// GroupDependenceTracker materializing one summarized color into
+  /// per-point state. Ordering among seeded uses was already established by
+  /// the group edges; if the entry already exists the uses are appended in
+  /// program order.
+  void seed_entry(uint32_t tree, IndexSpaceId ispace, PartitionId through,
+                  bool through_disjoint, std::vector<TaskUse>&& writers,
+                  std::vector<TaskUse>&& readers);
+
+  /// Drop all recorded uses (used at trace fences and wait_all).
   void reset();
 
-  uint64_t dependence_tests() const { return dependence_tests_; }
+  uint64_t dependence_tests() const {
+    return dependence_tests_.load(std::memory_order_relaxed);
+  }
 
  private:
-  struct Use {
-    TaskNodePtr node;
-    uint64_t fields;
-  };
   struct Entry {
     IndexSpaceId ispace;
     PartitionId through;            // partition this subregion came from
     bool through_disjoint = false;
-    std::vector<Use> writers;  // writers/reducers since the last covering write
-    std::vector<Use> readers;
+    std::vector<TaskUse> writers;  // writers/reducers since the last covering write
+    std::vector<TaskUse> readers;
   };
 
   /// Per-region-tree state: the entry table plus a bounding-volume
@@ -77,11 +101,6 @@ class DependenceTracker {
   bool overlaps(IndexSpaceId a, IndexSpaceId b);
   bool contains(IndexSpaceId outer, IndexSpaceId inner);
 
-  /// Append live uses conflicting with `fields` to out_deps; compact
-  /// completed nodes out of `uses`.
-  void collect(std::vector<Use>& uses, uint64_t fields,
-               std::vector<TaskNodePtr>& out_deps);
-
   /// Candidate entries whose bounds overlap `bounds` (BVH + fresh list).
   void candidates(TreeState& ts, const Rect& bounds, std::vector<Entry*>& out);
 
@@ -89,7 +108,9 @@ class DependenceTracker {
   std::unordered_map<uint32_t, TreeState> trees_;
   std::unordered_map<uint64_t, bool> overlap_cache_;
   std::unordered_map<uint64_t, bool> contains_cache_;
-  uint64_t dependence_tests_ = 0;
+  /// Atomic so Runtime::stats() can read it live mid-run; all writes come
+  /// from the issuing thread.
+  std::atomic<uint64_t> dependence_tests_{0};
 };
 
 }  // namespace idxl

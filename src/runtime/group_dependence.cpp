@@ -1,0 +1,63 @@
+#include "runtime/group_dependence.hpp"
+
+namespace idxl {
+
+void GroupDependenceTracker::record_point_use(uint32_t tree, PartitionId p,
+                                              std::size_t n_colors, std::size_t crank,
+                                              uint64_t fields, bool writes, bool scan,
+                                              const TaskNodePtr& node,
+                                              std::vector<TaskNodePtr>& out_deps) {
+  auto [it, inserted] = trees_.try_emplace(tree);
+  PartitionState& ps = it->second;
+  if (inserted) {
+    ps.partition = p;
+    ps.colors.resize(n_colors);
+  }
+  IDXL_ASSERT(ps.partition == p && ps.colors.size() == n_colors);
+  IDXL_ASSERT(crank < n_colors);
+  ColorState& cs = ps.colors[crank];
+
+  if (scan) {
+    // Same-color uses always interfere (same subregion domain); cross-color
+    // uses of one disjoint partition never do — exactly the cases the
+    // per-point tracker resolves with its whole-partition guard, minus the
+    // hash/BVH machinery.
+    collect_conflicting_uses(cs.writers, fields, out_deps, dependence_tests_);
+    if (writes)
+      collect_conflicting_uses(cs.readers, fields, out_deps, dependence_tests_);
+  }
+  if (writes) {
+    // Covering-write pruning, same-color only (cross-color entries are
+    // never covered by a disjoint sibling).
+    auto prune = [fields](std::vector<TaskUse>& uses) {
+      std::erase_if(uses,
+                    [fields](const TaskUse& u) { return (u.fields & ~fields) == 0; });
+    };
+    prune(cs.writers);
+    prune(cs.readers);
+  }
+  (writes ? cs.writers : cs.readers).push_back(TaskUse{node, fields});
+  (writes ? ps.writer_fields : ps.reader_fields) |= fields;
+}
+
+bool GroupDependenceTracker::materialize_into(DependenceTracker& tracker,
+                                              uint32_t tree) {
+  auto it = trees_.find(tree);
+  if (it == trees_.end()) return false;
+  PartitionState& ps = it->second;
+  const PartitionId p = ps.partition;
+  const Rect& colors = forest_->color_space(p);
+  for (std::size_t crank = 0; crank < ps.colors.size(); ++crank) {
+    ColorState& cs = ps.colors[crank];
+    if (cs.writers.empty() && cs.readers.empty()) continue;
+    const IndexSpaceId ispace =
+        forest_->subspace(p, colors.delinearize(static_cast<int64_t>(crank)));
+    tracker.seed_entry(tree, ispace, p, /*through_disjoint=*/true,
+                       std::move(cs.writers), std::move(cs.readers));
+  }
+  trees_.erase(it);
+  contaminated_.insert(tree);
+  return true;
+}
+
+}  // namespace idxl

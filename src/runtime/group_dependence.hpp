@@ -1,0 +1,116 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/dependence.hpp"
+
+namespace idxl {
+
+/// Group-level dependence state, layered above the per-point
+/// DependenceTracker (§5: reason about whole partitions at launch
+/// granularity). While a region tree is only ever touched through one
+/// disjoint partition by analyzable index launches, its uses are summarized
+/// as one PartitionState: per-color writer/reader lists plus union field
+/// masks. Ordering a new launch then costs one O(1) summary test per region
+/// argument — `(writer_fields & fields) | (writes & reader_fields & fields)`
+/// — and, only when that test fires, a direct per-color list walk per point
+/// (no hash probes, no BVH, no domain tests). The per-color lists hold
+/// exactly what the per-point tracker's per-ispace entries would hold, so
+/// the emitted happens-before edges are identical to the per-point path's.
+///
+/// The moment a tree is touched any other way — a single-task launch, a
+/// fill, an aliased partition, an opaque functor, a different partition —
+/// the summary is materialized into the per-point tracker
+/// (DependenceTracker::seed_entry per color) and the tree is marked
+/// summarized-then-contaminated: subsequent launches on it take the
+/// per-point path until the next fence (trace boundary or wait_all) wipes
+/// both tiers.
+///
+/// Not thread-safe: issuing thread only, like DependenceTracker.
+class GroupDependenceTracker {
+ public:
+  explicit GroupDependenceTracker(const RegionForest& forest) : forest_(&forest) {}
+
+  /// Can launches on `tree` through disjoint partition `p` use the group
+  /// path? True while the tree is uncontaminated and either unsummarized or
+  /// already summarized by this same partition.
+  bool groupable(uint32_t tree, PartitionId p) const {
+    if (contaminated_.contains(tree)) return false;
+    auto it = trees_.find(tree);
+    return it == trees_.end() || it->second.partition == p;
+  }
+
+  /// Does `tree` currently hold group state that per-point analysis would
+  /// miss? (If so, materialize_into() must run before any per-point use.)
+  bool has_state(uint32_t tree) const { return trees_.contains(tree); }
+
+  /// O(1) summary test: can a use of `tree` with `fields`/`writes` conflict
+  /// with *any* recorded group use? False means the per-color walks can be
+  /// skipped for the whole launch argument. The union masks never shrink
+  /// (covering-write pruning leaves them stale-high), so false positives
+  /// are possible but false negatives are not.
+  bool summary_conflict(uint32_t tree, uint64_t fields, bool writes) const {
+    auto it = trees_.find(tree);
+    if (it == trees_.end()) return false;
+    const PartitionState& ps = it->second;
+    if (ps.writer_fields & fields) return true;
+    return writes && (ps.reader_fields & fields);
+  }
+
+  /// Record that `node` (one point of a group launch) uses color `crank`
+  /// of `tree`'s summarizing partition `p`, appending conflicting live
+  /// predecessors to `out_deps`. `scan` is the launch-level summary_conflict
+  /// verdict: when false the collect/prune walk is skipped entirely and the
+  /// use is just appended. Mirrors DependenceTracker::record_use exactly
+  /// (collect writers, collect readers iff writing, covering-write prune,
+  /// append own use), restricted to one color of one disjoint partition.
+  void record_point_use(uint32_t tree, PartitionId p, std::size_t n_colors,
+                        std::size_t crank, uint64_t fields, bool writes, bool scan,
+                        const TaskNodePtr& node, std::vector<TaskNodePtr>& out_deps);
+
+  /// Flush `tree`'s group state into the per-point tracker (seed_entry per
+  /// color, in color order) and mark the tree contaminated. No-op when the
+  /// tree holds no state. Returns true when anything was materialized.
+  bool materialize_into(DependenceTracker& tracker, uint32_t tree);
+
+  /// Note a per-point use on `tree`: from now until the next fence the
+  /// per-point tracker holds state the group summary would miss, so group
+  /// launches on this tree must fall back.
+  void mark_per_point(uint32_t tree) { contaminated_.insert(tree); }
+
+  /// Fence: drop all group state and contamination marks (trace boundaries
+  /// and wait_all — every recorded task has completed).
+  void reset() {
+    trees_.clear();
+    contaminated_.clear();
+  }
+
+  uint64_t dependence_tests() const {
+    return dependence_tests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ColorState {
+    std::vector<TaskUse> writers;  // since the last covering write
+    std::vector<TaskUse> readers;
+  };
+  /// The whole-partition summary of one region tree: who last touched each
+  /// color, plus union field masks for the O(1) launch-level test.
+  struct PartitionState {
+    PartitionId partition;
+    std::vector<ColorState> colors;  // by row-major color rank
+    uint64_t writer_fields = 0;
+    uint64_t reader_fields = 0;
+  };
+
+  const RegionForest* forest_;
+  std::unordered_map<uint32_t, PartitionState> trees_;
+  std::unordered_set<uint32_t> contaminated_;
+  std::atomic<uint64_t> dependence_tests_{0};
+};
+
+}  // namespace idxl

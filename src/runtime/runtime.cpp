@@ -1,6 +1,7 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <unordered_set>
 
 namespace idxl {
@@ -8,6 +9,7 @@ namespace idxl {
 Runtime::Runtime(RuntimeConfig config)
     : config_(config),
       tracker_(forest_),
+      group_(forest_),
       profiler_(std::make_unique<Profiler>(config.enable_profiling)),
       prof_(config.enable_profiling ? profiler_.get() : nullptr),
       pool_(std::make_unique<ThreadPool>(config.workers)) {}
@@ -67,6 +69,32 @@ void Runtime::expand_as_task_loop(const IndexLauncher& launcher,
     issue_point_task(launcher.task, p, launcher.domain, project_args(launcher, p),
                      launcher.scalar_args, collect, rank++);
   });
+}
+
+bool Runtime::group_eligible(const IndexLauncher& launcher) {
+  // Every argument must go through a disjoint partition with an analyzable
+  // (symbolic) functor, on a tree that is not summarized by a *different*
+  // partition and holds no un-summarized per-point state. A launch using
+  // two different partitions of one tree cannot be summarized either.
+  for (std::size_t i = 0; i < launcher.args.size(); ++i) {
+    const ProjectedArg& pa = launcher.args[i];
+    if (!forest_.is_disjoint(pa.partition)) return false;
+    if (!pa.functor.is_symbolic()) return false;
+    const uint32_t tree = forest_.region(pa.parent).tree_id;
+    if (!group_.groupable(tree, pa.partition)) return false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (forest_.region(launcher.args[j].parent).tree_id == tree &&
+          launcher.args[j].partition != pa.partition)
+        return false;
+    }
+  }
+  return true;
+}
+
+void Runtime::materialize_tree(uint32_t tree) {
+  if (!group_.has_state(tree)) return;
+  ProfileScope scope(prof_, ProfCategory::kDependence, Profiler::kNameMaterialize);
+  if (group_.materialize_into(tracker_, tree)) ++stats_.group_materializations;
 }
 
 LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
@@ -158,12 +186,309 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
   // sharded/sliced distribution is modeled by src/sim.
   result.ran_as_index_launch = true;
   ++stats_.index_launches;
-  int64_t rank = 0;
-  launcher.domain.for_each([&](const Point& p) {
-    issue_point_task(launcher.task, p, launcher.domain, project_args(launcher, p),
-                     launcher.scalar_args, collect, rank++);
-  });
+
+  if (replaying_) {
+    // Replay bypasses both dependence tiers: edges come from the capture.
+    int64_t rank = 0;
+    launcher.domain.for_each([&](const Point& p) {
+      issue_point_task(launcher.task, p, launcher.domain, project_args(launcher, p),
+                       launcher.scalar_args, collect, rank++);
+    });
+    return result;
+  }
+
+  // Two-tier dependence analysis (§5): group-level when every argument is
+  // analyzable at whole-partition granularity, per-point otherwise.
+  const bool group_mode = config_.enable_group_analysis && group_eligible(launcher);
+  if (group_mode)
+    ++stats_.group_launches;
+  else if (config_.enable_group_analysis)
+    ++stats_.group_fallbacks;
+  expand_index_launch(launcher, collect, group_mode);
   return result;
+}
+
+/// Per-launch state shared between the issuing thread and the chunk jobs
+/// that build point closures on pool workers. Kept alive by shared_ptr from
+/// every chunk job and every point closure.
+struct Runtime::LaunchArena {
+  TaskFn body;  // copied: the registry may grow while workers run
+  ArgBuffer scalar;
+  Domain launch_domain;
+  std::shared_ptr<Future::State> collect;
+  /// One prototype table per region argument; slots are filled by the
+  /// issuing thread before the chunk jobs reading them are submitted.
+  std::vector<std::shared_ptr<ProtoTable>> protos;
+  std::size_t n_args = 0;
+};
+
+void Runtime::finalize_deps(const TaskNodePtr& node, std::vector<TaskNodePtr>& deps) {
+  stats_.dependence_edges += deps.size();
+  if (config_.record_task_graph) {
+    graph_nodes_.emplace_back(node->seq, node->label);
+    for (const TaskNodePtr& dep : deps) graph_edges_.emplace_back(dep->seq, node->seq);
+  }
+  if (prof_ != nullptr) {
+    std::vector<uint64_t> dep_seqs;
+    dep_seqs.reserve(deps.size());
+    for (const TaskNodePtr& dep : deps) dep_seqs.push_back(dep->seq);
+    prof_->record_edges(node->seq, dep_seqs);
+  }
+}
+
+void Runtime::capture_trace_step(TaskFnId fn, const Point& point,
+                                 std::vector<uint32_t> ispaces,
+                                 const std::vector<TaskNodePtr>& deps,
+                                 const TaskNodePtr& node) {
+  ProfileScope capture_scope(prof_, ProfCategory::kTrace,
+                             Profiler::kNameTraceCapture, node->seq);
+  TraceStep step;
+  step.fn = fn;
+  step.point = point;
+  step.ispaces = std::move(ispaces);
+  for (const TaskNodePtr& d : deps) {
+    auto it = trace_index_.find(d.get());
+    // Pre-trace dependencies are dropped: traces are fenced, so they are
+    // satisfied by construction on replay.
+    if (it != trace_index_.end()) step.dep_indices.push_back(it->second);
+  }
+  active_trace_->steps.push_back(std::move(step));
+  trace_index_.emplace(node.get(), static_cast<uint32_t>(trace_nodes_.size()));
+  trace_nodes_.push_back(node);
+}
+
+void Runtime::expand_index_launch(const IndexLauncher& launcher,
+                                  const std::shared_ptr<Future::State>& collect,
+                                  bool group_mode) {
+  const std::size_t n_args = launcher.args.size();
+
+  auto arena = std::make_shared<LaunchArena>();
+  arena->body = task_registry_[launcher.task].second;
+  arena->scalar = launcher.scalar_args;
+  arena->launch_domain = launcher.domain;
+  arena->collect = collect;
+  arena->n_args = n_args;
+  arena->protos.reserve(n_args);
+
+  // Per-argument launch plan: everything the per-point loop needs, resolved
+  // once. The subregion table memoizes forest lookups per color; prototype
+  // PhysicalRegions are filled per color on first touch so chunk jobs never
+  // read the forest from worker threads.
+  struct ArgPlan {
+    const std::vector<RegionId>* table = nullptr;  // subregion by color rank
+    const Rect* colors = nullptr;
+    const std::vector<FieldId>* fields = nullptr;
+    const ProjectionFunctor* functor = nullptr;
+    ProtoTable* protos = nullptr;
+    std::size_t n_colors = 0;
+    uint32_t tree = 0;
+    PartitionId partition;
+    bool disjoint = false;
+    uint64_t mask = 0;
+    bool writes = false;
+    Privilege priv = Privilege::kRead;
+    ReductionOp redop = ReductionOp::kNone;
+    bool scan = true;  // group mode: walk the per-color lists at all?
+  };
+  std::vector<ArgPlan> plans;
+  plans.reserve(n_args);
+  for (const ProjectedArg& pa : launcher.args) {
+    pa.functor.ensure_compiled();
+    ArgPlan plan;
+    plan.table = &forest_.subregion_table(pa.parent, pa.partition);
+    plan.colors = &forest_.color_space(pa.partition);
+    plan.fields = &pa.fields;
+    plan.functor = &pa.functor;
+    plan.n_colors = plan.table->size();
+    plan.tree = forest_.region(pa.parent).tree_id;
+    plan.partition = pa.partition;
+    plan.disjoint = forest_.is_disjoint(pa.partition);
+    plan.mask = field_mask(pa.fields);
+    plan.writes = privilege_writes(pa.privilege);
+    plan.priv = pa.privilege;
+    plan.redop = pa.redop;
+    const ProtoKey key{pa.parent.id, pa.partition.id, plan.mask, pa.privilege,
+                       pa.redop};
+    auto [it, inserted] = proto_cache_.try_emplace(key);
+    if (inserted) it->second = std::make_shared<ProtoTable>(plan.n_colors);
+    arena->protos.push_back(it->second);
+    plan.protos = it->second.get();
+    plans.push_back(std::move(plan));
+  }
+
+  if (group_mode) {
+    // Launch-level summary tests: one O(1) field-mask test per argument is
+    // the group→group edge discovery (stats_.group_edges counts hits).
+    // Write arguments always walk their color lists — a safe launch's
+    // writers are either injective (one point per color) or commuting
+    // reductions that the executor orders serially, and only the list walk
+    // chains the latter. Read arguments skip the walk entirely unless a
+    // prior (or same-launch) writer could conflict.
+    for (ArgPlan& plan : plans) {
+      const bool conflict =
+          group_.summary_conflict(plan.tree, plan.mask, plan.writes);
+      if (conflict) ++stats_.group_edges;
+      plan.scan = conflict || plan.writes;
+      if (!plan.scan) {
+        for (const ArgPlan& other : plans)
+          if (other.writes && other.tree == plan.tree && (other.mask & plan.mask))
+            plan.scan = true;
+      }
+    }
+  } else {
+    // Per-point mode: any summarized state on the touched trees must be
+    // visible to the per-point tracker, and the trees stay per-point until
+    // the next fence.
+    for (const ArgPlan& plan : plans) {
+      materialize_tree(plan.tree);
+      group_.mark_per_point(plan.tree);
+    }
+  }
+
+  ProfileScope dep_scope(prof_, ProfCategory::kDependence,
+                         group_mode ? Profiler::kNameGroupDependence
+                                    : Profiler::kNameDependence);
+
+  const bool recording = config_.record_task_graph;
+  const std::string& task_name = task_registry_[launcher.task].first;
+  const uint32_t prof_name = prof_ != nullptr ? task_prof_names_[launcher.task] : 0;
+
+  // Chunked deferred expansion: the issuing thread wires dependence edges
+  // and holds a "closure guard" on each node's pending count; chunk jobs on
+  // pool workers copy the prototype PhysicalRegions, install node->work and
+  // release the guard. All chunks of a launch enqueue under one lock
+  // (ThreadPool::submit_batch).
+  struct ChunkRecord {
+    TaskNodePtr node;
+    Point point;
+    int64_t rank = -1;
+  };
+  constexpr std::size_t kChunk = 64;
+  std::vector<ChunkRecord> records;
+  std::vector<uint32_t> records_cranks;  // n_args color ranks per record
+  std::vector<std::function<void()>> chunk_jobs;
+  records.reserve(kChunk);
+  records_cranks.reserve(kChunk * n_args);
+
+  auto flush_chunk = [&] {
+    if (records.empty()) return;
+    chunk_jobs.push_back([this, arena, recs = std::move(records),
+                          cranks = std::move(records_cranks)]() mutable {
+      ProfileScope chunk_scope(prof_, ProfCategory::kIssue,
+                               Profiler::kNameExpandChunk);
+      const std::size_t args = arena->n_args;
+      for (std::size_t i = 0; i < recs.size(); ++i) {
+        ChunkRecord& rec = recs[i];
+        std::vector<PhysicalRegion> regions;
+        regions.reserve(args);
+        for (std::size_t a = 0; a < args; ++a)
+          regions.push_back(*(*arena->protos[a])[cranks[i * args + a]]);
+        rec.node->work = [arena, point = rec.point, rank = rec.rank,
+                          regions = std::move(regions)]() mutable {
+          TaskContext ctx;
+          ctx.point = point;
+          ctx.launch_domain = arena->launch_domain;
+          ctx.scalar_args = &arena->scalar;
+          ctx.regions = std::move(regions);
+          arena->body(ctx);
+          if (arena->collect != nullptr) {
+            IDXL_ASSERT(rank >= 0 && rank < static_cast<int64_t>(
+                                                arena->collect->values.size()));
+            arena->collect->values[static_cast<std::size_t>(rank)] =
+                ctx.return_value;
+          }
+        };
+        // Release the closure guard; the node may become ready right here
+        // when its dependence edges were already satisfied.
+        if (rec.node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+          make_ready(rec.node);
+      }
+    });
+    records = {};
+    records_cranks = {};
+    records.reserve(kChunk);
+    records_cranks.reserve(kChunk * n_args);
+  };
+
+  std::vector<TaskNodePtr> deps;
+  std::vector<std::size_t> point_cranks(n_args);
+  int64_t rank = 0;
+  try {
+    launcher.domain.for_each([&](const Point& p) {
+      // Phase 1 — throw-prone resolution, no side effects on trackers:
+      // evaluate the (compiled) functors, validate colors, fill prototypes.
+      for (std::size_t a = 0; a < n_args; ++a) {
+        const ArgPlan& plan = plans[a];
+        int64_t buf[kMaxDim] = {};
+        plan.functor->eval_into(p, buf);
+        Point color;
+        color.dim = plan.functor->output_dim();
+        for (int d = 0; d < color.dim; ++d) color[d] = buf[d];
+        IDXL_REQUIRE(plan.colors->contains(color),
+                     "projection functor selected a color outside the partition");
+        const auto crank = static_cast<std::size_t>(plan.colors->linearize(color));
+        point_cranks[a] = crank;
+        std::optional<PhysicalRegion>& slot = (*plan.protos)[crank];
+        if (!slot.has_value())
+          slot.emplace(forest_, (*plan.table)[crank], *plan.fields, plan.priv,
+                       plan.redop);
+      }
+
+      // Phase 2 — no-throw: create the node, wire edges, schedule.
+      ++stats_.point_tasks;
+      auto node = std::make_shared<TaskNode>();
+      node->seq = next_seq_++;
+      node->prof_name = prof_name;
+      if (recording) node->label = task_name + "@" + p.to_string();
+
+      deps.clear();
+      for (std::size_t a = 0; a < n_args; ++a) {
+        const ArgPlan& plan = plans[a];
+        if (group_mode) {
+          group_.record_point_use(plan.tree, plan.partition, plan.n_colors,
+                                  point_cranks[a], plan.mask, plan.writes,
+                                  plan.scan, node, deps);
+        } else {
+          const RegionInfo& info = forest_.region((*plan.table)[point_cranks[a]]);
+          tracker_.record_use(plan.tree, info.ispace, plan.mask, plan.writes,
+                              plan.partition, plan.disjoint, node, deps);
+        }
+      }
+      // Dedupe; drop self-edges (a launch whose arguments alias can surface
+      // the node's own earlier-argument use — a self-edge would deadlock).
+      std::sort(deps.begin(), deps.end());
+      deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+      std::erase(deps, node);
+
+      if (active_trace_ != nullptr) {
+        std::vector<uint32_t> ispaces;
+        ispaces.reserve(n_args);
+        for (std::size_t a = 0; a < n_args; ++a)
+          ispaces.push_back(
+              forest_.region((*plans[a].table)[point_cranks[a]]).ispace.id);
+        capture_trace_step(launcher.task, p, std::move(ispaces), deps, node);
+      }
+      finalize_deps(node, deps);
+
+      node->pending.fetch_add(1, std::memory_order_relaxed);  // closure guard
+      schedule(node, deps);
+
+      records.push_back(ChunkRecord{std::move(node), p, rank++});
+      for (std::size_t a = 0; a < n_args; ++a)
+        records_cranks.push_back(static_cast<uint32_t>(point_cranks[a]));
+      if (records.size() >= kChunk) flush_chunk();
+    });
+  } catch (...) {
+    // Nodes of completed points are scheduled and hold closure guards;
+    // their chunks must still run or wait_all would hang. The failing point
+    // itself had no side effects (phase 1 throws before phase 2 mutates).
+    flush_chunk();
+    pool_->submit_batch(std::move(chunk_jobs));
+    throw;
+  }
+  flush_chunk();
+  dep_scope.close();
+  pool_->submit_batch(std::move(chunk_jobs));
 }
 
 void Runtime::issue_point_task(TaskFnId fn, const Point& point,
@@ -231,62 +556,70 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
                              Profiler::kNameDependence, node->seq);
       for (const RegionArg& ra : args) {
         const RegionInfo& info = forest_.region(ra.region);
+        // A per-point use makes any group summary of this tree stale: flush
+        // it first, and keep the tree per-point until the next fence.
+        materialize_tree(info.tree_id);
+        group_.mark_per_point(info.tree_id);
         const bool through_disjoint =
             info.through.valid() && forest_.is_disjoint(info.through);
         tracker_.record_use(info.tree_id, info.ispace, field_mask(ra.fields),
                             privilege_writes(ra.privilege), info.through,
                             through_disjoint, node, deps);
       }
-      // Dedupe (one arg pair can surface the same predecessor repeatedly).
+      // Dedupe (one arg pair can surface the same predecessor repeatedly);
+      // drop self-edges from aliasing argument pairs.
       std::sort(deps.begin(), deps.end());
       deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+      std::erase(deps, node);
     }
 
-    if (active_trace_ != nullptr) {
-      ProfileScope capture_scope(prof_, ProfCategory::kTrace,
-                                 Profiler::kNameTraceCapture, node->seq);
-      TraceStep step;
-      step.fn = fn;
-      step.point = point;
-      for (const RegionArg& ra : args)
-        step.ispaces.push_back(forest_.region(ra.region).ispace.id);
-      std::unordered_map<const TaskNode*, uint32_t> index_of;
-      for (uint32_t i = 0; i < trace_nodes_.size(); ++i)
-        index_of[trace_nodes_[i].get()] = i;
-      for (const TaskNodePtr& d : deps) {
-        auto it = index_of.find(d.get());
-        // Pre-trace dependencies are dropped: traces are fenced, so they
-        // are satisfied by construction on replay.
-        if (it != index_of.end()) step.dep_indices.push_back(it->second);
-      }
-      active_trace_->steps.push_back(std::move(step));
-      trace_nodes_.push_back(node);
-    }
+    if (active_trace_ != nullptr)
+      capture_trace_step(fn, point,
+                         [&] {
+                           std::vector<uint32_t> ispaces;
+                           ispaces.reserve(args.size());
+                           for (const RegionArg& ra : args)
+                             ispaces.push_back(forest_.region(ra.region).ispace.id);
+                           return ispaces;
+                         }(),
+                         deps, node);
   }
 
-  stats_.dependence_edges += deps.size();
-  if (config_.record_task_graph) {
-    graph_nodes_.emplace_back(node->seq, node->label);
-    for (const TaskNodePtr& dep : deps) graph_edges_.emplace_back(dep->seq, node->seq);
-  }
-  if (prof_ != nullptr) {
-    std::vector<uint64_t> dep_seqs;
-    dep_seqs.reserve(deps.size());
-    for (const TaskNodePtr& dep : deps) dep_seqs.push_back(dep->seq);
-    prof_->record_edges(node->seq, dep_seqs);
-  }
+  finalize_deps(node, deps);
   schedule(node, deps);
 }
 
 std::string Runtime::export_task_graph_dot() const {
   IDXL_REQUIRE(config_.record_task_graph,
                "enable RuntimeConfig::record_task_graph to export the graph");
-  std::string dot = "digraph tasks {\n  rankdir=TB;\n  node [shape=box];\n";
+  // Pre-size the output and append in place: the old chained operator+
+  // version built several temporaries per line, and reallocation churn made
+  // large graphs painfully slow to export.
+  std::size_t size = 64;
+  for (const auto& [seq, label] : graph_nodes_) size += label.size() + 32;
+  size += graph_edges_.size() * 32;
+  std::string dot;
+  dot.reserve(size);
+  dot += "digraph tasks {\n  rankdir=TB;\n  node [shape=box];\n";
+  char buf[24];
+  auto append_num = [&](uint64_t v) {
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    (void)ec;
+    dot.append(buf, end);
+  };
   for (const auto& [seq, label] : graph_nodes_) {
-    dot += "  t" + std::to_string(seq) + " [label=\"" + label + "\"];\n";
+    dot += "  t";
+    append_num(seq);
+    dot += " [label=\"";
+    dot += label;
+    dot += "\"];\n";
   }
   for (const auto& [from, to] : graph_edges_) {
-    dot += "  t" + std::to_string(from) + " -> t" + std::to_string(to) + ";\n";
+    dot += "  t";
+    append_num(from);
+    dot += " -> t";
+    append_num(to);
+    dot += ";\n";
   }
   dot += "}\n";
   return dot;
@@ -305,11 +638,11 @@ void Runtime::schedule(const TaskNodePtr& node, const std::vector<TaskNodePtr>& 
   if (node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) make_ready(node);
 }
 
-void Runtime::make_ready(const TaskNodePtr& node) {
+std::function<void()> Runtime::node_job(TaskNodePtr node) {
   // `ready_ns` is taken here — the moment every dependence was satisfied —
   // so the recorded queue wait is pure scheduler latency.
   const uint64_t ready_ns = prof_ != nullptr ? prof_->now_ns() : 0;
-  pool_->submit([this, node, ready_ns] {
+  return [this, node = std::move(node), ready_ns] {
     if (prof_ != nullptr) {
       const uint64_t start_ns = prof_->now_ns();
       node->work();
@@ -319,21 +652,35 @@ void Runtime::make_ready(const TaskNodePtr& node) {
       node->work();
     }
     node->work = nullptr;  // release captured resources promptly
+    // Fan out to every successor this completion readied, in one batch.
+    std::vector<TaskNodePtr> ready;
     for (const TaskNodePtr& succ : node->complete())
       if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
-        make_ready(succ);
-  });
+        ready.push_back(succ);
+    if (ready.size() == 1) {
+      make_ready(ready.front());
+    } else if (!ready.empty()) {
+      std::vector<std::function<void()>> jobs;
+      jobs.reserve(ready.size());
+      for (TaskNodePtr& succ : ready) jobs.push_back(node_job(std::move(succ)));
+      pool_->submit_batch(std::move(jobs));
+    }
+  };
 }
+
+void Runtime::make_ready(const TaskNodePtr& node) { pool_->submit(node_job(node)); }
 
 void Runtime::begin_trace(uint32_t trace_id) {
   IDXL_REQUIRE(active_trace_ == nullptr, "traces cannot nest");
   wait_all();
   tracker_.reset();  // the fence makes prior state irrelevant
+  group_.reset();
   Trace& trace = traces_[trace_id];
   active_trace_ = &trace;
   replaying_ = trace.captured;
   replay_cursor_ = 0;
   trace_nodes_.clear();
+  trace_index_.clear();
 }
 
 void Runtime::end_trace(uint32_t trace_id) {
@@ -347,8 +694,10 @@ void Runtime::end_trace(uint32_t trace_id) {
   active_trace_ = nullptr;
   replaying_ = false;
   trace_nodes_.clear();
+  trace_index_.clear();
   wait_all();
   tracker_.reset();
+  group_.reset();
 }
 
 TaskFnId Runtime::fill_task() {
@@ -364,7 +713,13 @@ TaskFnId Runtime::fill_task() {
 void Runtime::wait_all() {
   ProfileScope wait_scope(prof_, ProfCategory::kRuntime, Profiler::kNameWaitAll);
   pool_->wait_idle();
-  stats_.dependence_tests = tracker_.dependence_tests();
+  if (active_trace_ == nullptr) {
+    // Quiescence is a natural fence: every recorded task has completed, so
+    // both dependence tiers can drop their state. Trees that were
+    // summarized or contaminated mid-run become group-analyzable again.
+    tracker_.reset();
+    group_.reset();
+  }
 }
 
 double Future::get(Runtime& rt) const {

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "analysis/hybrid.hpp"
 #include "obs/profiler.hpp"
 #include "runtime/dependence.hpp"
+#include "runtime/group_dependence.hpp"
 #include "runtime/physical.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/types.hpp"
@@ -40,6 +42,13 @@ struct RuntimeConfig {
   /// workloads, where re-running even the static analysis per launch is
   /// pure overhead. Opaque functors are never cached.
   bool enable_verdict_cache = true;
+  /// Group-level dependence analysis (§5): when a safe index launch's every
+  /// region argument goes through a disjoint partition with an analyzable
+  /// (symbolic) functor, order the *launch* with one summary test per
+  /// argument and per-color list walks instead of |D| per-point tracker
+  /// scans, and build point closures on pool workers. Set false to force
+  /// the per-point path everywhere (differential testing, perf baselines).
+  bool enable_group_analysis = true;
 };
 
 /// Counters exposing the asymptotic behaviour the paper argues about; tests
@@ -58,9 +67,14 @@ struct RuntimeStats {
   uint64_t launches_unsafe = 0;     ///< fell back to the task loop
   uint64_t dynamic_check_points = 0;
   uint64_t traced_tasks_replayed = 0;
-  uint64_t dependence_tests = 0;    ///< sampled from the tracker at wait_all
+  uint64_t dependence_tests = 0;    ///< per-use conflict tests, both tiers (live)
   uint64_t verdict_cache_hits = 0;   ///< launches served from the verdict cache
   uint64_t verdict_cache_misses = 0; ///< cacheable launches analyzed afresh
+  // --- group-level (two-tier) dependence analysis ---
+  uint64_t group_launches = 0;       ///< index launches issued on the group path
+  uint64_t group_edges = 0;          ///< launch-level summary conflicts (O(args))
+  uint64_t group_fallbacks = 0;      ///< safe launches forced onto the per-point path
+  uint64_t group_materializations = 0;  ///< trees flushed group → per-point
 };
 
 /// Deferred reduction of an index launch's per-task return values.
@@ -156,7 +170,14 @@ class Runtime {
     execute(launcher);
   }
 
-  const RuntimeStats& stats() const { return stats_; }
+  /// Live snapshot of the runtime counters. `dependence_tests` is read
+  /// straight from the trackers' atomic counters, so the value is current
+  /// mid-run (it used to be synced only inside wait_all()).
+  RuntimeStats stats() const {
+    RuntimeStats s = stats_;
+    s.dependence_tests = tracker_.dependence_tests() + group_.dependence_tests();
+    return s;
+  }
 
   /// The launch-site verdict cache (populated only when
   /// RuntimeConfig::enable_verdict_cache is set).
@@ -174,6 +195,16 @@ class Runtime {
   /// Render with `dot -Tsvg` to get the paper's Figure-1-style pictures of
   /// your own program.
   std::string export_task_graph_dot() const;
+
+  /// Raw recorded task graph (requires RuntimeConfig::record_task_graph):
+  /// nodes as (seq, label), edges as (from_seq, to_seq). The happens-before
+  /// relation tests compare across configurations.
+  const std::vector<std::pair<uint64_t, std::string>>& task_graph_nodes() const {
+    return graph_nodes_;
+  }
+  const std::vector<std::pair<uint64_t, uint64_t>>& task_graph_edges() const {
+    return graph_edges_;
+  }
 
  private:
   friend class Future;  // Future::get records its reduction span
@@ -211,12 +242,41 @@ class Runtime {
                            const std::shared_ptr<Future::State>& collect);
   std::vector<RegionArg> project_args(const IndexLauncher& launcher, const Point& p);
 
+  /// Bulk expansion of a safe index launch: the issuing thread walks the
+  /// domain once — wiring dependence edges through the group tracker
+  /// (group_mode) or the per-point tracker — while point closures
+  /// (PhysicalRegion vectors, argument copies) are built by chunk jobs on
+  /// pool workers, gated by an extra "closure guard" on each node's pending
+  /// count. Shares per-launch state with the workers through a LaunchArena.
+  struct LaunchArena;
+  void expand_index_launch(const IndexLauncher& launcher,
+                           const std::shared_ptr<Future::State>& collect,
+                           bool group_mode);
+  /// All-args qualification for the group path (disjoint partitions,
+  /// symbolic functors, uncontaminated trees, one partition per tree).
+  bool group_eligible(const IndexLauncher& launcher);
+  /// Flush any group state on `tree` into the per-point tracker before a
+  /// per-point use touches it.
+  void materialize_tree(uint32_t tree);
+  /// Append a capture step for `node` to the active trace.
+  void capture_trace_step(TaskFnId fn, const Point& point,
+                          std::vector<uint32_t> ispaces,
+                          const std::vector<TaskNodePtr>& deps,
+                          const TaskNodePtr& node);
+  /// Post-dependence bookkeeping shared by every issue path: dedupe (and
+  /// self-filter) `deps`, record graph/profiler edges, update stats.
+  void finalize_deps(const TaskNodePtr& node, std::vector<TaskNodePtr>& deps);
+
   void schedule(const TaskNodePtr& node, const std::vector<TaskNodePtr>& deps);
   void make_ready(const TaskNodePtr& node);
+  /// The pool job that executes `node` then fans out to ready successors
+  /// (batched through ThreadPool::submit_batch).
+  std::function<void()> node_job(TaskNodePtr node);
 
   RuntimeConfig config_;
   RegionForest forest_;
   DependenceTracker tracker_;
+  GroupDependenceTracker group_;
   VerdictCache verdict_cache_;
   // The profiler outlives the pool (declared first): workers record task
   // spans until the pool's destructor joins them.
@@ -229,6 +289,33 @@ class Runtime {
   uint64_t next_seq_ = 0;
   TaskFnId fill_task_ = UINT32_MAX;
 
+  // --- prototype PhysicalRegion cache (bulk expansion) ---
+  // One table per (parent, partition, field mask, privilege, redop), holding
+  // a per-color prototype the chunk jobs copy instead of touching the forest
+  // from worker threads. Slots are filled by the issuing thread only, before
+  // the chunk jobs that read them are submitted; tables are sized once so
+  // filled slots stay address-stable.
+  struct ProtoKey {
+    uint32_t parent = 0;
+    uint32_t partition = 0;
+    uint64_t mask = 0;
+    Privilege priv = Privilege::kRead;
+    ReductionOp redop = ReductionOp::kNone;
+    bool operator==(const ProtoKey&) const = default;
+  };
+  struct ProtoKeyHash {
+    std::size_t operator()(const ProtoKey& k) const {
+      uint64_t h = k.mask;
+      h = h * 1099511628211ull ^ k.parent;
+      h = h * 1099511628211ull ^ k.partition;
+      h = h * 1099511628211ull ^ static_cast<uint64_t>(k.priv);
+      h = h * 1099511628211ull ^ static_cast<uint64_t>(k.redop);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  using ProtoTable = std::vector<std::optional<PhysicalRegion>>;
+  std::unordered_map<ProtoKey, std::shared_ptr<ProtoTable>, ProtoKeyHash> proto_cache_;
+
   // --- task-graph recording (record_task_graph) ---
   std::vector<std::pair<uint64_t, std::string>> graph_nodes_;  // (seq, label)
   std::vector<std::pair<uint64_t, uint64_t>> graph_edges_;     // (from, to)
@@ -239,6 +326,9 @@ class Runtime {
   bool replaying_ = false;
   std::size_t replay_cursor_ = 0;
   std::vector<TaskNodePtr> trace_nodes_;  // nodes of the current capture/replay
+  /// Trace-local index of each captured node (maintained alongside
+  /// trace_nodes_, so capture is O(deps) per task instead of O(tasks)).
+  std::unordered_map<const TaskNode*, uint32_t> trace_index_;
 };
 
 }  // namespace idxl

@@ -35,6 +35,22 @@ void ThreadPool::submit(std::function<void()> fn) {
   work_cv_.notify_one();
 }
 
+void ThreadPool::submit_batch(std::vector<std::function<void()>> fns) {
+  if (fns.empty()) return;
+  const std::size_t n = fns.size();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    IDXL_ASSERT_MSG(!shutdown_, "submit after shutdown");
+    for (auto& fn : fns) queue_.push_back(std::move(fn));
+    in_flight_ += n;
+  }
+  if (n >= threads_.size()) {
+    work_cv_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < n; ++i) work_cv_.notify_one();
+  }
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });

@@ -26,6 +26,12 @@ class ThreadPool {
   /// Enqueue a ready task.
   void submit(std::function<void()> fn);
 
+  /// Enqueue a batch of ready tasks under a single lock acquisition, waking
+  /// at most one worker per task (all workers when the batch saturates the
+  /// pool). Issuing an index launch's expansion chunks this way costs one
+  /// mutex round-trip per launch instead of one per chunk.
+  void submit_batch(std::vector<std::function<void()>> fns);
+
   /// Block until every submitted task (including tasks submitted by running
   /// tasks) has finished.
   void wait_idle();

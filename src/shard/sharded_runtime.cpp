@@ -120,27 +120,44 @@ void ShardedRuntime::schedule(uint32_t owner, const TaskNodePtr& node,
   if (node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) make_ready(node);
 }
 
+std::function<void()> ShardedRuntime::node_job(TaskNodePtr node) {
+  const uint64_t ready_ns = prof_ != nullptr ? prof_->now_ns() : 0;
+  return [this, node = std::move(node), ready_ns] {
+    if (prof_ != nullptr) {
+      const uint64_t start_ns = prof_->now_ns();
+      node->work();
+      prof_->record(ProfCategory::kTask, node->prof_name, start_ns,
+                    prof_->now_ns(), node->seq, start_ns - ready_ns);
+    } else {
+      node->work();
+    }
+    node->work = nullptr;
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    // Fan out to every successor this completion readied, grouped by owner
+    // pool so each pool's queue lock is taken once per completion.
+    std::vector<TaskNodePtr> ready;
+    for (const TaskNodePtr& succ : node->complete())
+      if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        ready.push_back(succ);
+    if (ready.size() == 1) {
+      make_ready(ready.front());
+    } else if (!ready.empty()) {
+      std::unordered_map<uint32_t, std::vector<std::function<void()>>> by_owner;
+      for (TaskNodePtr& succ : ready) {
+        const uint32_t owner = succ->owner.load(std::memory_order_relaxed);
+        by_owner[owner].push_back(node_job(std::move(succ)));
+      }
+      for (auto& [owner, jobs] : by_owner)
+        pools_[owner]->submit_batch(std::move(jobs));
+    }
+  };
+}
+
 void ShardedRuntime::make_ready(const TaskNodePtr& node) {
   // Ready tasks execute on their owner's pool — cross-shard completions
   // hand work to the right "node", which is all the network a
   // single-address-space model needs.
-  const uint64_t ready_ns = prof_ != nullptr ? prof_->now_ns() : 0;
-  pools_[node->owner.load(std::memory_order_relaxed)]->submit(
-      [this, node, ready_ns] {
-        if (prof_ != nullptr) {
-          const uint64_t start_ns = prof_->now_ns();
-          node->work();
-          prof_->record(ProfCategory::kTask, node->prof_name, start_ns,
-                        prof_->now_ns(), node->seq, start_ns - ready_ns);
-        } else {
-          node->work();
-        }
-        node->work = nullptr;
-        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
-        for (const TaskNodePtr& succ : node->complete())
-          if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
-            make_ready(succ);
-      });
+  pools_[node->owner.load(std::memory_order_relaxed)]->submit(node_job(node));
 }
 
 void ShardedRuntime::drain() {

@@ -152,6 +152,9 @@ class ShardedRuntime {
   void schedule(uint32_t owner, const TaskNodePtr& node,
                 const std::vector<TaskNodePtr>& deps);
   void make_ready(const TaskNodePtr& node);
+  /// The pool job that executes `node` then fans out to ready successors,
+  /// batched per owner pool through ThreadPool::submit_batch.
+  std::function<void()> node_job(TaskNodePtr node);
   void drain();
 
   // --- distributed storage (config_.distributed_storage) ---

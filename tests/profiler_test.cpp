@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -288,13 +289,19 @@ TEST(ProfilerTest, RuntimeRecordsDependenceChainAsCriticalPath) {
   cfg.enable_profiling = true;
   cfg.workers = 2;
   Fixture fx(16, 1, cfg);
-  const TaskFnId spin = fx.rt.register_task("spin", [](TaskContext&) {
+  // Gate the first task until every launch has been issued: a predecessor
+  // that completes before its successor issues is (correctly) dropped from
+  // the dependence edges, which would break the chain nondeterministically.
+  std::atomic<bool> release{false};
+  const TaskFnId spin = fx.rt.register_task("spin", [&release](TaskContext&) {
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
     spin_for(std::chrono::microseconds(100));
   });
   // Three read-write launches over the same region: a 3-task chain.
   for (int i = 0; i < 3; ++i)
     fx.rt.execute(TaskLauncher::for_task(spin).region(fx.region, {fx.fv},
                                                       Privilege::kReadWrite));
+  release.store(true, std::memory_order_release);
   fx.rt.wait_all();
 
   const CriticalPathReport r = fx.rt.profiler().critical_path();
