@@ -39,5 +39,9 @@ int main() {
   std::printf(
       "expected: bulk tracing restores the index-launch advantage without "
       "DCR — the curve that matches the paper's proposed fix.\n");
+  bench::write_figure_json(
+      "ablation_bulk_tracing",
+      "Ablation: bulk-launch tracing (No-DCR, circuit weak, overdecomposed 10x)",
+      "10^6 wires/s per node", nodes, series);
   return 0;
 }

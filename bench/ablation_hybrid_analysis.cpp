@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "analysis/hybrid.hpp"
+#include "fig_common.hpp"
 #include "support/stats.hpp"
 
 using namespace idxl;
@@ -71,41 +72,93 @@ double measure_repeat_us(const ProjectionFunctor& f, int64_t domain_size,
 }  // namespace
 
 int main() {
-  const int64_t sizes[] = {1'000, 10'000, 100'000, 1'000'000};
+  const std::vector<int64_t> sizes = {1'000, 10'000, 100'000, 1'000'000};
+
+  const auto identity = ProjectionFunctor::identity(1);
+  const auto modular = ProjectionFunctor::modular1d(5, 1'000'000);
+
+  struct Row {
+    const char* label;
+    std::vector<double> us;
+  };
+  std::vector<Row> analysis_rows = {
+      {"identity, hybrid (static hit)", {}},
+      {"identity, always-dynamic", {}},
+      {"modular, hybrid (dynamic path)", {}},
+      {"modular, always-dynamic", {}},
+  };
+  for (int64_t s : sizes) {
+    analysis_rows[0].us.push_back(measure_us(identity, s, false));
+    analysis_rows[1].us.push_back(measure_us(identity, s, true));
+    analysis_rows[2].us.push_back(measure_us(modular, s, false));
+    analysis_rows[3].us.push_back(measure_us(modular, s, true));
+  }
 
   std::printf("Ablation: hybrid (static-first) vs always-dynamic analysis (us)\n");
   std::printf("%-34s", "Launch / analysis");
   for (int64_t s : sizes) std::printf("%12lld", static_cast<long long>(s));
   std::printf("\n");
-
-  const auto identity = ProjectionFunctor::identity(1);
-  const auto modular = ProjectionFunctor::modular1d(5, 1'000'000);
-
-  std::printf("%-34s", "identity, hybrid (static hit)");
-  for (int64_t s : sizes) std::printf("%12.2f", measure_us(identity, s, false));
-  std::printf("\n%-34s", "identity, always-dynamic");
-  for (int64_t s : sizes) std::printf("%12.2f", measure_us(identity, s, true));
-  std::printf("\n%-34s", "modular, hybrid (dynamic path)");
-  for (int64_t s : sizes) std::printf("%12.2f", measure_us(modular, s, false));
-  std::printf("\n%-34s", "modular, always-dynamic");
-  for (int64_t s : sizes) std::printf("%12.2f", measure_us(modular, s, true));
+  for (const Row& row : analysis_rows) {
+    std::printf("%-34s", row.label);
+    for (double v : row.us) std::printf("%12.2f", v);
+    std::printf("\n");
+  }
   std::printf(
-      "\nexpected: the static hit stays O(1) as |D| grows; the other three "
+      "expected: the static hit stays O(1) as |D| grows; the other three "
       "rows grow linearly and match each other.\n");
 
   // Verdict-cache ablation on the worst case for re-analysis: a modular
   // functor whose verdict needs the O(|D|) dynamic check. The mean over 5
   // reps amortizes one miss against four cache hits.
+  std::vector<Row> cache_rows = {
+      {"modular, cache off", {}},
+      {"modular, cache on", {}},
+  };
+  for (int64_t s : sizes) {
+    cache_rows[0].us.push_back(measure_repeat_us(modular, s, false));
+    cache_rows[1].us.push_back(measure_repeat_us(modular, s, true));
+  }
   std::printf("\nVerdict cache, repeated launches of one modular site (us, mean of 5)\n");
   std::printf("%-34s", "Launch / cache");
   for (int64_t s : sizes) std::printf("%12lld", static_cast<long long>(s));
-  std::printf("\n%-34s", "modular, cache off");
-  for (int64_t s : sizes) std::printf("%12.2f", measure_repeat_us(modular, s, false));
-  std::printf("\n%-34s", "modular, cache on");
-  for (int64_t s : sizes) std::printf("%12.2f", measure_repeat_us(modular, s, true));
+  std::printf("\n");
+  for (const Row& row : cache_rows) {
+    std::printf("%-34s", row.label);
+    for (double v : row.us) std::printf("%12.2f", v);
+    std::printf("\n");
+  }
   std::printf(
-      "\nexpected: cache-off matches the dynamic-path row above; cache-on "
+      "expected: cache-off matches the dynamic-path row above; cache-on "
       "approaches one fifth of it (the single miss), since hits cost only a "
       "key build and a map lookup.\n");
+
+  auto rows_json = [](const std::vector<Row>& rows) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i != 0) out += ',';
+      out += "{\"label\": " + bench::BenchJson::quote(rows[i].label) +
+             ", \"us\": [";
+      for (std::size_t j = 0; j < rows[i].us.size(); ++j) {
+        if (j != 0) out += ',';
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", rows[i].us[j]);
+        out += buf;
+      }
+      out += "]}";
+    }
+    out += ']';
+    return out;
+  };
+  bench::BenchJson payload;
+  std::string size_list = "[";
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (i != 0) size_list += ',';
+    size_list += std::to_string(sizes[i]);
+  }
+  size_list += ']';
+  payload.raw("domain_sizes", std::move(size_list));
+  payload.raw("analysis_us", rows_json(analysis_rows));
+  payload.raw("verdict_cache_us", rows_json(cache_rows));
+  bench::write_bench_json("ablation_hybrid_analysis", std::move(payload));
   return 0;
 }

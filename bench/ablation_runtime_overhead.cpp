@@ -5,6 +5,7 @@
 // exist to compress.
 #include <cstdio>
 
+#include "fig_common.hpp"
 #include "region/partition_ops.hpp"
 #include "runtime/runtime.hpp"
 #include "support/stats.hpp"
@@ -64,23 +65,45 @@ int main() {
   for (int64_t t : task_counts) std::printf("%10lld", static_cast<long long>(t));
   std::printf("   (tasks per launch)\n");
 
+  std::string rows_json = "[";
   auto row = [&](const char* name, bool idx, bool traced) {
     std::printf("%-34s", name);
+    if (rows_json.size() > 1) rows_json += ',';
+    rows_json += "{\"label\": " + bench::BenchJson::quote(name) +
+                 ", \"us_per_task\": [";
     for (int64_t t : task_counts) {
       RuntimeConfig cfg;
       cfg.enable_index_launches = idx;
       cfg.workers = 2;
       Setup setup(cfg, t);
-      std::printf("%10.2f", setup.issue_us_per_task(t, launches, traced));
+      const double us = setup.issue_us_per_task(t, launches, traced);
+      std::printf("%10.2f", us);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%s%.6g", t == task_counts[0] ? "" : ",", us);
+      rows_json += buf;
     }
+    rows_json += "]}";
     std::printf("\n");
   };
 
   row("index launch", true, false);
   row("index launch + tracing", true, true);
   row("task loop (No IDX)", false, false);
+  rows_json += ']';
   std::printf(
       "expected: the index launch's per-task cost falls with |D| (one bulk "
       "call amortized); the task loop pays a full runtime call per task.\n");
+
+  bench::BenchJson payload;
+  std::string counts = "[";
+  for (int64_t t : task_counts) {
+    if (counts.size() > 1) counts += ',';
+    counts += std::to_string(t);
+  }
+  counts += ']';
+  payload.raw("tasks_per_launch", std::move(counts));
+  payload.field("launches", launches);
+  payload.raw("rows", std::move(rows_json));
+  bench::write_bench_json("ablation_runtime_overhead", std::move(payload));
   return 0;
 }

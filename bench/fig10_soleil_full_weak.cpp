@@ -35,5 +35,8 @@ int main() {
       "paper shape: DOM sweeps scale worse than forall parallelism (~64%% "
       "efficiency at 32 nodes); the dynamic-check and no-check curves are "
       "indistinguishable — the hybrid analysis is effectively free.\n");
+  bench::write_figure_json(
+      "fig10", "Figure 10: Soleil-X full (fluid+particles+DOM) weak scaling",
+      "iterations/s per node", nodes, series);
   return 0;
 }

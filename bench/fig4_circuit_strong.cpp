@@ -5,7 +5,7 @@
 int main() {
   using namespace idxl;
   bench::run_figure(
-      "Figure 4: Circuit strong scaling (5.1e6 wires)", "10^6 wires/s",
+      "fig4", "Figure 4: Circuit strong scaling (5.1e6 wires)", "10^6 wires/s",
       [](uint32_t n) { return apps::circuit_strong_spec(n); }, sim::four_configs(),
       /*max_nodes=*/512,
       [](const sim::SimResult& r, uint32_t) {

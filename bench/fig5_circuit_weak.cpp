@@ -5,7 +5,8 @@
 int main() {
   using namespace idxl;
   bench::run_figure(
-      "Figure 5: Circuit weak scaling (2e5 wires/node)", "10^6 wires/s per node",
+      "fig5", "Figure 5: Circuit weak scaling (2e5 wires/node)",
+      "10^6 wires/s per node",
       [](uint32_t n) { return apps::circuit_weak_spec(n); }, sim::four_configs(),
       /*max_nodes=*/1024,
       [](const sim::SimResult& r, uint32_t n) {

@@ -5,7 +5,7 @@
 int main() {
   using namespace idxl;
   bench::run_figure(
-      "Figure 6: Circuit weak scaling, overdecomposed 10x, no tracing",
+      "fig6", "Figure 6: Circuit weak scaling, overdecomposed 10x, no tracing",
       "10^6 wires/s per node",
       [](uint32_t n) { return apps::circuit_weak_overdecomposed_spec(n); },
       sim::four_configs(/*tracing=*/false),

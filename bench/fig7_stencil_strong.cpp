@@ -8,7 +8,7 @@
 int main() {
   using namespace idxl;
   bench::run_figure(
-      "Figure 7: Stencil strong scaling (9e8 cells)", "10^9 cells/s",
+      "fig7", "Figure 7: Stencil strong scaling (9e8 cells)", "10^9 cells/s",
       [](uint32_t n) { return apps::stencil_strong_spec(n); }, sim::four_configs(),
       /*max_nodes=*/512,
       [](const sim::SimResult& r, uint32_t) {

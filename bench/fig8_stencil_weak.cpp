@@ -4,7 +4,8 @@
 int main() {
   using namespace idxl;
   bench::run_figure(
-      "Figure 8: Stencil weak scaling (9e8 cells/node)", "10^9 cells/s per node",
+      "fig8", "Figure 8: Stencil weak scaling (9e8 cells/node)",
+      "10^9 cells/s per node",
       [](uint32_t n) { return apps::stencil_weak_spec(n); }, sim::four_configs(),
       /*max_nodes=*/1024,
       [](const sim::SimResult& r, uint32_t n) {

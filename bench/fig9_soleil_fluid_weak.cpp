@@ -11,7 +11,7 @@ int main() {
   configs[1].idx = false;
 
   bench::run_figure(
-      "Figure 9: Soleil-X fluid-only weak scaling", "iterations/s per node",
+      "fig9", "Figure 9: Soleil-X fluid-only weak scaling", "iterations/s per node",
       [](uint32_t n) { return apps::soleil_fluid_spec(n); }, configs,
       /*max_nodes=*/512,
       [](const sim::SimResult& r, uint32_t) { return 1.0 / r.seconds_per_iteration; },

@@ -1,17 +1,143 @@
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/sim_specs.hpp"
+#include "obs/metrics.hpp"
 #include "sim/experiment.hpp"
 
 namespace idxl::bench {
 
+// ---------------------------------------------------------------------------
+// Unified bench artifacts: every bench binary writes BENCH_<name>.json with
+// the same envelope —
+//   {"name": "<name>", <bench-specific payload>, "metrics": {...}}
+// — where "metrics" is an obs::MetricsRegistry snapshot (the bench's own
+// Runtime registry when it drives the real runtime, the global registry
+// otherwise). CI uploads the whole BENCH_*.json set as artifacts.
+// ---------------------------------------------------------------------------
+
+/// Where `BENCH_<name>.json` lands: $IDXL_BENCH_JSON overrides the full
+/// path, $IDXL_BENCH_DIR picks the directory, default is the cwd.
+inline std::string bench_json_path(const std::string& name) {
+  if (const char* p = std::getenv("IDXL_BENCH_JSON")) return p;
+  std::string path;
+  if (const char* dir = std::getenv("IDXL_BENCH_DIR")) {
+    path = dir;
+    if (!path.empty() && path.back() != '/') path += '/';
+  }
+  path += "BENCH_" + name + ".json";
+  return path;
+}
+
+/// Ordered field accumulator for a BENCH_<name>.json payload. Scalar
+/// field() overloads format the value; raw() takes a preformatted JSON
+/// fragment (arrays, nested objects, a metrics snapshot).
+class BenchJson {
+ public:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  BenchJson& raw(const std::string& key, std::string json) {
+    fields_.emplace_back(key, std::move(json));
+    return *this;
+  }
+  BenchJson& field(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return raw(key, buf);
+  }
+  BenchJson& field(const std::string& key, uint64_t v) { return raw(key, std::to_string(v)); }
+  BenchJson& field(const std::string& key, int64_t v) { return raw(key, std::to_string(v)); }
+  BenchJson& field(const std::string& key, int v) { return raw(key, std::to_string(v)); }
+  BenchJson& field(const std::string& key, const std::string& v) { return raw(key, quote(v)); }
+  BenchJson& field(const std::string& key, const char* v) { return raw(key, quote(v)); }
+
+  const std::vector<std::pair<std::string, std::string>>& fields() const { return fields_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Write `BENCH_<name>.json`: the payload fields wrapped in the common
+/// envelope, with `metrics` appended. Pass the snapshot of the Runtime that
+/// actually ran the bench when there is one; the default global registry
+/// keeps the schema uniform for simulator-only benches.
+inline void write_bench_json(
+    const std::string& name, BenchJson payload,
+    const obs::MetricsSnapshot& metrics = obs::MetricsRegistry::global().snapshot()) {
+  payload.raw("metrics", metrics.json());
+  const std::string path = bench_json_path(name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs("{\n", f);
+  std::fprintf(f, "  \"name\": %s", BenchJson::quote(name).c_str());
+  for (const auto& [key, value] : payload.fields())
+    std::fprintf(f, ",\n  %s: %s", BenchJson::quote(key).c_str(), value.c_str());
+  std::fputs("\n}\n", f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// JSON for one figure's sweep: every series' (nodes, value) points.
+inline std::string figure_series_json(const std::vector<sim::Series>& series) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"label\": " + BenchJson::quote(series[i].label) + ", \"points\": [";
+    for (std::size_t j = 0; j < series[i].points.size(); ++j) {
+      if (j != 0) out += ',';
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "[%u, %.6g]", series[i].points[j].first,
+                    series[i].points[j].second);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += ']';
+  return out;
+}
+
+/// Emit BENCH_<name>.json for a printed figure (shared by run_figure and
+/// the hand-rolled sweeps like the bulk-tracing ablation).
+inline void write_figure_json(const std::string& name, const std::string& title,
+                              const std::string& unit,
+                              const std::vector<uint32_t>& nodes,
+                              const std::vector<sim::Series>& series) {
+  BenchJson payload;
+  payload.field("title", title).field("unit", unit);
+  std::string node_list = "[";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i != 0) node_list += ',';
+    node_list += std::to_string(nodes[i]);
+  }
+  node_list += ']';
+  payload.raw("nodes", std::move(node_list));
+  payload.raw("series", figure_series_json(series));
+  write_bench_json(name, std::move(payload));
+}
+
 /// Shared driver for the scaling figures: sweep node counts over the given
-/// configurations, print the paper-style series, and append the shape notes
-/// the original figure supports.
-inline void run_figure(const std::string& title, const std::string& unit,
+/// configurations, print the paper-style series, append the shape notes the
+/// original figure supports, and write BENCH_<name>.json.
+inline void run_figure(const std::string& name, const std::string& title,
+                       const std::string& unit,
                        const std::function<sim::AppSpec(uint32_t)>& app,
                        const std::vector<sim::SimConfig>& configs,
                        uint32_t max_nodes,
@@ -21,6 +147,7 @@ inline void run_figure(const std::string& title, const std::string& unit,
   const auto series = sim::run_scaling_experiment(app, configs, nodes, metric);
   sim::print_figure(title, unit, nodes, series);
   if (!shape_note.empty()) std::printf("paper shape: %s\n", shape_note.c_str());
+  write_figure_json(name, title, unit, nodes, series);
 }
 
 }  // namespace idxl::bench

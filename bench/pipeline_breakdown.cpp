@@ -5,12 +5,16 @@
 // stays flat while the No-IDX columns' issuance scales with total task
 // count; distribution only appears where the configuration actually moves
 // task descriptors.
+#include <algorithm>
 #include <chrono>
+#include <ctime>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "apps/circuit.hpp"
 #include "apps/sim_specs.hpp"
+#include "fig_common.hpp"
 #include "region/partition_ops.hpp"
 #include "sim/experiment.hpp"
 
@@ -24,7 +28,9 @@ using namespace idxl::sim;
 // dependence path (one summary test per argument, per-color walks, chunked
 // worker-side closure building) against the same program with
 // enable_group_analysis = false (per-point tracker scans). Writes machine-
-// readable results to BENCH_issue.json (override with IDXL_BENCH_JSON).
+// readable results to BENCH_issue.json (see bench_json_path() for the
+// override knobs), including the measured cost of the on-by-default flight
+// recorder on the same issue path.
 
 struct IssueBench {
   double issue_s = 0;        // issuing-thread seconds across timed launches
@@ -32,11 +38,14 @@ struct IssueBench {
   uint64_t group_edges = 0;
   uint64_t dependence_edges = 0;
   uint64_t dependence_tests = 0;
+  obs::MetricsSnapshot metrics;  // the runtime's registry after the run
 };
 
-static IssueBench bench_issue_phase(bool group, int64_t pieces, int iters) {
+static IssueBench bench_issue_phase(bool group, int64_t pieces, int iters,
+                                    bool flight_recorder = true) {
   RuntimeConfig cfg;
   cfg.enable_group_analysis = group;
+  cfg.enable_flight_recorder = flight_recorder;
   Runtime rt(cfg);
   auto& forest = rt.forest();
   const IndexSpaceId is = forest.create_index_space(Domain::line(pieces * 16));
@@ -54,27 +63,54 @@ static IssueBench bench_issue_phase(bool group, int64_t pieces, int iters) {
   for (int i = 0; i < 3; ++i) rt.execute_index(launcher);  // warm caches/tables
   rt.wait_all();
 
+  // Pause the workers for the timed loop so the measurement isolates the
+  // issuing thread (analysis, dependence wiring, node creation) — otherwise
+  // worker execution shares the cores and pollutes the issue-phase number.
+  // Time with the issuing thread's CPU clock, not wall clock: on a shared
+  // machine preemption by unrelated processes inflates wall time by far
+  // more than the effects this microbenchmark resolves.
+  rt.pool().pause();
   const RuntimeStats before = rt.stats();
-  const auto t0 = std::chrono::steady_clock::now();
+  timespec t0{}, t1{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
   for (int i = 0; i < iters; ++i) rt.execute_index(launcher);
-  const auto t1 = std::chrono::steady_clock::now();
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t1);
+  rt.pool().resume();
   rt.wait_all();
   const RuntimeStats after = rt.stats();
 
   IssueBench r;
-  r.issue_s = std::chrono::duration<double>(t1 - t0).count();
+  r.issue_s = static_cast<double>(t1.tv_sec - t0.tv_sec) +
+              static_cast<double>(t1.tv_nsec - t0.tv_nsec) * 1e-9;
   r.points_per_sec = static_cast<double>(iters) * static_cast<double>(pieces) / r.issue_s;
   r.group_edges = after.group_edges - before.group_edges;
   r.dependence_edges = after.dependence_edges - before.dependence_edges;
   r.dependence_tests = after.dependence_tests - before.dependence_tests;
+  r.metrics = rt.metrics().snapshot();
   return r;
+}
+
+// Best-of-N repetitions: single-run timings on a loaded (or single-core)
+// machine carry first-run bias — page faults, allocator growth, cold
+// branch predictors — that dwarfs the effects being measured. The minimum
+// over several fresh runtimes is the standard noise-resistant estimator
+// for a lower-bound cost.
+static IssueBench best_of(int reps, bool group, int64_t pieces, int iters,
+                          bool flight_recorder = true) {
+  IssueBench best;
+  for (int r = 0; r < reps; ++r) {
+    IssueBench b = bench_issue_phase(group, pieces, iters, flight_recorder);
+    if (r == 0 || b.issue_s < best.issue_s) best = std::move(b);
+  }
+  return best;
 }
 
 static void issue_phase_breakdown() {
   const int64_t pieces = 1024;
   const int iters = 50;
-  const IssueBench grp = bench_issue_phase(/*group=*/true, pieces, iters);
-  const IssueBench pp = bench_issue_phase(/*group=*/false, pieces, iters);
+  const int reps = 5;
+  const IssueBench grp = best_of(reps, /*group=*/true, pieces, iters);
+  const IssueBench pp = best_of(reps, /*group=*/false, pieces, iters);
   const double speedup = pp.issue_s / grp.issue_s;
 
   std::printf("\nIssue-phase microbenchmark: |D| = %lld, %d timed launches, "
@@ -92,31 +128,107 @@ static void issue_phase_breakdown() {
               static_cast<unsigned long long>(pp.dependence_tests));
   std::printf("issue-phase speedup (per point): %.2fx\n", speedup);
 
-  const char* path = std::getenv("IDXL_BENCH_JSON");
-  if (path == nullptr) path = "BENCH_issue.json";
-  if (FILE* f = std::fopen(path, "w")) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"domain\": %lld,\n"
-                 "  \"launches\": %d,\n"
-                 "  \"group\": {\"issue_s\": %.6f, \"points_per_sec\": %.0f, "
-                 "\"group_edges\": %llu, \"dependence_edges\": %llu, "
-                 "\"dependence_tests\": %llu},\n"
-                 "  \"per_point\": {\"issue_s\": %.6f, \"points_per_sec\": %.0f, "
-                 "\"group_edges\": %llu, \"dependence_edges\": %llu, "
-                 "\"dependence_tests\": %llu},\n"
-                 "  \"issue_speedup\": %.3f\n"
-                 "}\n",
-                 static_cast<long long>(pieces), iters, grp.issue_s,
-                 grp.points_per_sec, static_cast<unsigned long long>(grp.group_edges),
-                 static_cast<unsigned long long>(grp.dependence_edges),
-                 static_cast<unsigned long long>(grp.dependence_tests), pp.issue_s,
-                 pp.points_per_sec, static_cast<unsigned long long>(pp.group_edges),
-                 static_cast<unsigned long long>(pp.dependence_edges),
-                 static_cast<unsigned long long>(pp.dependence_tests), speedup);
-    std::fclose(f);
-    std::printf("wrote %s\n", path);
+  // What does the on-by-default flight recorder cost on this exact path?
+  // Toggle recording on and off on ONE runtime (Runtime::
+  // set_flight_recording), interleaved at a fine grain — 5-launch
+  // segments, hundreds of them — and sum each configuration's
+  // issuing-thread CPU time. Machine-load bursts last far longer than a
+  // segment, so they contaminate both configurations equally and cancel
+  // in the ratio; coarse schemes (fresh process or long segment per
+  // configuration, wall clocks, best-of-N) all carry noise an order of
+  // magnitude above the effect measured (the acceptance budget is 5%).
+  // Per-point events are constructed inside the chunk jobs on the
+  // workers, so the issuing thread only pays one clock read per launch
+  // plus the launch-level records.
+  const int oh_trials = 3;
+  const int oh_segments = 400;  // alternating on/off, 5 launches each
+  double on_s = 0, off_s = 0;
+  std::vector<double> trial_pcts;
+  {
+    RuntimeConfig cfg;
+    cfg.enable_group_analysis = true;
+    cfg.enable_flight_recorder = true;
+    Runtime rt(cfg);
+    auto& forest = rt.forest();
+    const IndexSpaceId is = forest.create_index_space(Domain::line(pieces * 16));
+    const FieldSpaceId fs = forest.create_field_space();
+    const FieldId fv = forest.allocate_field(fs, sizeof(double), "v");
+    const RegionId region = forest.create_region(is, fs);
+    const PartitionId blocks = partition_equal(forest, is, Rect::line(pieces));
+    const TaskFnId noop = rt.register_task("noop", [](TaskContext&) {});
+    const IndexLauncher launcher =
+        IndexLauncher::over(Domain::line(pieces))
+            .with_task(noop)
+            .region(region, blocks, ProjectionFunctor::identity(1), {fv},
+                    Privilege::kReadWrite);
+    for (int i = 0; i < 10; ++i) rt.execute_index(launcher);
+    rt.wait_all();
+
+    std::vector<std::pair<double, double>> trials;  // (on_s, off_s)
+    for (int trial = 0; trial < oh_trials; ++trial) {
+      double on = 0, off = 0;
+      for (int seg = 0; seg < oh_segments; ++seg) {
+        const bool recorder_on = (seg % 2 == 0);
+        rt.wait_all();  // quiesce: set_flight_recording needs an idle runtime
+        rt.set_flight_recording(recorder_on);
+        timespec t0{}, t1{};
+        clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
+        for (int i = 0; i < 5; ++i) rt.execute_index(launcher);
+        clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t1);
+        (recorder_on ? on : off) +=
+            static_cast<double>(t1.tv_sec - t0.tv_sec) +
+            static_cast<double>(t1.tv_nsec - t0.tv_nsec) * 1e-9;
+      }
+      rt.wait_all();
+      trials.emplace_back(on, off);
+      trial_pcts.push_back((on / off - 1.0) * 100.0);
+    }
+    // Median trial: robust to one trial landing inside a load regime shift.
+    std::vector<double> sorted = trial_pcts;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    for (std::size_t i = 0; i < trial_pcts.size(); ++i) {
+      if (trial_pcts[i] == median) {
+        on_s = trials[i].first;
+        off_s = trials[i].second;
+        break;
+      }
+    }
   }
+  const double recorder_overhead_pct = (on_s / off_s - 1.0) * 100.0;
+  std::printf("flight-recorder issue-phase overhead: %.2f%% "
+              "(median of %d interleaved trials: on %.4fs vs off %.4fs; "
+              "all trials:", recorder_overhead_pct, oh_trials, on_s, off_s);
+  for (double pct : trial_pcts) std::printf(" %+.2f%%", pct);
+  std::printf(")\n");
+
+  auto config_json = [](const IssueBench& r) {
+    bench::BenchJson b;
+    b.field("issue_s", r.issue_s)
+        .field("points_per_sec", r.points_per_sec)
+        .field("group_edges", r.group_edges)
+        .field("dependence_edges", r.dependence_edges)
+        .field("dependence_tests", r.dependence_tests);
+    std::string out = "{";
+    for (std::size_t i = 0; i < b.fields().size(); ++i) {
+      if (i != 0) out += ", ";
+      out += bench::BenchJson::quote(b.fields()[i].first) + ": " + b.fields()[i].second;
+    }
+    out += '}';
+    return out;
+  };
+  bench::BenchJson payload;
+  payload.field("domain", static_cast<int64_t>(pieces))
+      .field("launches", iters)
+      .raw("group", config_json(grp))
+      .raw("per_point", config_json(pp))
+      .field("issue_speedup", speedup)
+      .field("flight_recorder_on_s", on_s)
+      .field("flight_recorder_off_s", off_s)
+      .field("flight_recorder_overhead_pct", recorder_overhead_pct);
+  // The metrics snapshot comes from the runtime that ran the reported
+  // (group, recorder-on) configuration.
+  bench::write_bench_json("issue", std::move(payload), grp.metrics);
 }
 
 // The simulator predicts the stage breakdown; the in-process runtime can

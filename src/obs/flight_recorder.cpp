@@ -1,0 +1,262 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+
+#include "obs/profiler.hpp"
+
+namespace idxl::obs {
+
+namespace {
+
+uint64_t steady_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<uint64_t> next_recorder_id{1};
+
+/// One-entry cache: the ring this thread last recorded into, keyed by the
+/// owning recorder's process-unique id (ids are never reused, so a stale
+/// entry can only miss — it can never alias a new recorder).
+struct TlsCache {
+  uint64_t recorder_id = 0;
+  void* ring = nullptr;
+};
+thread_local TlsCache tls_cache;
+
+}  // namespace
+
+const char* lifecycle_event_name(LifecycleEvent e) {
+  switch (e) {
+    case LifecycleEvent::kIssued: return "issued";
+    case LifecycleEvent::kAnalyzed: return "analyzed";
+    case LifecycleEvent::kExpanded: return "expanded";
+    case LifecycleEvent::kReady: return "ready";
+    case LifecycleEvent::kRunning: return "running";
+    case LifecycleEvent::kComplete: return "complete";
+    case LifecycleEvent::kFence: return "fence";
+    case LifecycleEvent::kTraceBegin: return "trace-begin";
+    case LifecycleEvent::kTraceEnd: return "trace-end";
+    case LifecycleEvent::kGroupFallback: return "group-fallback";
+    case LifecycleEvent::kStall: return "stall";
+  }
+  return "unknown";
+}
+
+const char* lifecycle_detail_name(LifecycleDetail d) {
+  switch (d) {
+    case LifecycleDetail::kNone: return "none";
+    case LifecycleDetail::kSafeStatic: return "safe-static";
+    case LifecycleDetail::kSafeDynamic: return "safe-dynamic";
+    case LifecycleDetail::kSafeUnchecked: return "safe-unchecked";
+    case LifecycleDetail::kUnsafe: return "unsafe";
+    case LifecycleDetail::kAssumedVerified: return "assumed-verified";
+    case LifecycleDetail::kReplay: return "replay";
+  }
+  return "unknown";
+}
+
+std::string FlightEvent::point_string() const {
+  if (dim <= 0) return {};
+  std::string s = "(";
+  for (int i = 0; i < dim && i < kMaxPointDim; ++i) {
+    if (i != 0) s += ',';
+    s += std::to_string(coord[i]);
+  }
+  s += ')';
+  return s;
+}
+
+/// Per-thread event ring. The owning thread appends under the ring's own
+/// mutex (uncontended except when a reader is dumping), so snapshots are
+/// race-free mid-run without a seqlock.
+struct FlightRecorder::Ring {
+  std::thread::id owner;
+  int32_t worker = -1;
+  mutable std::mutex mu;
+  std::vector<FlightEvent> buf;  // sized to capacity once, then overwritten
+  uint64_t head = 0;             // events ever recorded into this ring
+
+  void append(const FlightEvent& e, std::size_t capacity) {
+    if (buf.size() < capacity) {
+      buf.push_back(e);
+    } else {
+      buf[static_cast<std::size_t>(head % capacity)] = e;
+    }
+    ++head;
+  }
+};
+
+FlightRecorder::FlightRecorder(bool enabled, std::size_t capacity,
+                               uint64_t epoch_ns)
+    : enabled_(enabled),
+      capacity_(capacity == 0 ? 1 : capacity),
+      id_(next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(epoch_ns != 0 ? epoch_ns : steady_now_ns()) {}
+
+FlightRecorder::~FlightRecorder() = default;
+
+uint64_t FlightRecorder::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+FlightRecorder::Ring& FlightRecorder::local_ring() {
+  if (tls_cache.recorder_id == id_) return *static_cast<Ring*>(tls_cache.ring);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id self = std::this_thread::get_id();
+  Ring* ring = nullptr;
+  for (const auto& r : rings_)
+    if (r->owner == self) ring = r.get();
+  if (ring == nullptr) {
+    rings_.push_back(std::make_unique<Ring>());
+    ring = rings_.back().get();
+    ring->owner = self;
+    ring->worker = prof_current_worker();
+    ring->buf.reserve(capacity_);
+  }
+  tls_cache = {id_, ring};
+  return *ring;
+}
+
+void FlightRecorder::record(FlightEvent e) {
+  if (!enabled_) return;
+  Ring& r = local_ring();
+  if (e.ts_ns == 0) e.ts_ns = now_ns();
+  e.worker = r.worker;
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.append(e, capacity_);
+}
+
+void FlightRecorder::record2(FlightEvent a, FlightEvent b) {
+  if (!enabled_) return;
+  Ring& r = local_ring();
+  if (a.ts_ns == 0) a.ts_ns = now_ns();
+  if (b.ts_ns == 0) b.ts_ns = a.ts_ns;
+  a.worker = r.worker;
+  b.worker = r.worker;
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.append(a, capacity_);
+  r.append(b, capacity_);
+}
+
+void FlightRecorder::record_batch(std::span<const FlightEvent> events) {
+  if (!enabled_ || events.empty()) return;
+  Ring& r = local_ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (FlightEvent e : events) {
+    e.worker = r.worker;
+    r.append(e, capacity_);
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& r : rings_) {
+      std::lock_guard<std::mutex> ring_lock(r->mu);
+      // Oldest-first within the ring: [head % cap, end) then [0, head % cap)
+      // once wrapped; before wrapping the buffer is already in order.
+      if (r->head <= r->buf.size()) {
+        all.insert(all.end(), r->buf.begin(), r->buf.end());
+      } else {
+        const auto cut =
+            static_cast<std::ptrdiff_t>(r->head % r->buf.size());
+        all.insert(all.end(), r->buf.begin() + cut, r->buf.end());
+        all.insert(all.end(), r->buf.begin(), r->buf.begin() + cut);
+      }
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return all;
+}
+
+std::vector<FlightEvent> FlightRecorder::tail(std::size_t n) const {
+  std::vector<FlightEvent> all = snapshot();
+  if (all.size() > n) all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(n));
+  return all;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> ring_lock(r->mu);
+    n += r->head;
+  }
+  return n;
+}
+
+uint64_t FlightRecorder::overwritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> ring_lock(r->mu);
+    if (r->head > capacity_) n += r->head - capacity_;
+  }
+  return n;
+}
+
+std::string FlightRecorder::json(std::span<const FlightEvent> events) {
+  std::string out = "[";
+  char buf[192];
+  bool first = true;
+  for (const FlightEvent& e : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"ts_ns\":%" PRIu64 ",\"event\":\"%s\",\"worker\":%d",
+                  first ? "" : ",", e.ts_ns, lifecycle_event_name(e.kind),
+                  e.worker);
+    out += buf;
+    first = false;
+    if (e.seq != FlightEvent::kNone) {
+      std::snprintf(buf, sizeof(buf), ",\"seq\":%" PRIu64, e.seq);
+      out += buf;
+    }
+    if (e.launch != FlightEvent::kNone) {
+      std::snprintf(buf, sizeof(buf), ",\"launch\":%" PRIu64, e.launch);
+      out += buf;
+    }
+    if (e.edge != FlightEvent::kNone) {
+      std::snprintf(buf, sizeof(buf), ",\"edge\":%" PRIu64, e.edge);
+      out += buf;
+    }
+    if (e.detail != LifecycleDetail::kNone) {
+      out += ",\"detail\":\"";
+      out += lifecycle_detail_name(e.detail);
+      out += '"';
+    }
+    if (e.dim > 0) {
+      out += ",\"point\":[";
+      for (int i = 0; i < e.dim && i < FlightEvent::kMaxPointDim; ++i) {
+        if (i != 0) out += ',';
+        std::snprintf(buf, sizeof(buf), "%" PRId64, e.coord[i]);
+        out += buf;
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+std::string FlightRecorder::json() const { return json(snapshot()); }
+
+void FlightRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> ring_lock(r->mu);
+    r->buf.clear();
+    r->head = 0;
+  }
+}
+
+}  // namespace idxl::obs

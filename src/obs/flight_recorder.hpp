@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace idxl::obs {
+
+/// Task-lifecycle stages the flight recorder tracks, in pipeline order,
+/// plus the structural events (fences, trace boundaries, group fallbacks)
+/// that explain why dependence state changed shape.
+enum class LifecycleEvent : uint8_t {
+  kIssued,         ///< the task (or launch) entered the runtime
+  kAnalyzed,       ///< safety analysis verdict rendered (detail = verdict)
+  kExpanded,       ///< an index launch finished expanding into point tasks
+  kReady,          ///< every dependence satisfied (edge = last unblocker)
+  kRunning,        ///< a worker started executing the task body
+  kComplete,       ///< the task body returned
+  kFence,          ///< wait_all() quiesced the pipeline
+  kTraceBegin,     ///< begin_trace (capture or replay starts)
+  kTraceEnd,       ///< end_trace
+  kGroupFallback,  ///< a safe launch was forced onto the per-point path
+  kStall,          ///< the watchdog declared a stall
+};
+
+const char* lifecycle_event_name(LifecycleEvent e);
+
+/// How kAnalyzed / kExpanded events qualify themselves (`detail` field).
+enum class LifecycleDetail : uint8_t {
+  kNone = 0,
+  kSafeStatic,        ///< SafetyOutcome::kSafeStatic
+  kSafeDynamic,       ///< SafetyOutcome::kSafeDynamic
+  kSafeUnchecked,     ///< SafetyOutcome::kSafeUnchecked
+  kUnsafe,            ///< SafetyOutcome::kUnsafe (fell back to the task loop)
+  kAssumedVerified,   ///< launcher.assume_verified skipped the analysis
+  kReplay,            ///< expansion replayed a captured trace
+};
+
+const char* lifecycle_detail_name(LifecycleDetail d);
+
+/// One lifecycle event. Launch-level events (kAnalyzed, kExpanded, fences,
+/// trace boundaries) carry seq == kNone; task-level events name the task's
+/// global sequence number, the launch it expanded from, its launch point,
+/// and — for kReady — the dependence edge (predecessor seq) whose
+/// completion unblocked it last. `ts_ns` is relative to the recorder's
+/// construction (steady clock).
+struct FlightEvent {
+  static constexpr uint64_t kNone = UINT64_MAX;
+  static constexpr int kMaxPointDim = 4;
+
+  uint64_t ts_ns = 0;
+  uint64_t seq = kNone;     ///< task id (TaskNode::seq)
+  uint64_t launch = kNone;  ///< launch id (shared with the Chrome trace)
+  uint64_t edge = kNone;    ///< predecessor seq that last unblocked (kReady)
+  int64_t coord[kMaxPointDim] = {};
+  LifecycleEvent kind = LifecycleEvent::kIssued;
+  LifecycleDetail detail = LifecycleDetail::kNone;
+  int8_t dim = 0;      ///< launch-point dimensionality; 0 = no point recorded
+  int32_t worker = -1; ///< recording lane (-1: issuing thread)
+
+  void set_point(const int64_t* c, int d) {
+    dim = static_cast<int8_t>(d);
+    for (int i = 0; i < d && i < kMaxPointDim; ++i) coord[i] = c[i];
+  }
+  /// "(1,2)" — empty when no point was recorded.
+  std::string point_string() const;
+};
+
+/// Per-worker fixed-size ring buffers of task-lifecycle events — the
+/// always-on black box the stall watchdog and post-mortems read. Each
+/// recording thread appends to a ring only it writes; a ring holds the last
+/// `capacity` events and silently overwrites older ones (that is the
+/// point: bounded memory, most recent history always available).
+///
+/// The record path takes the ring's own mutex, which is uncontended in
+/// steady state (readers only grab it during snapshot()/tail() — rare,
+/// diagnostic moments), so recording stays cheap while snapshots are safe
+/// to take mid-run — exactly what a watchdog needs and what a seqlock
+/// would make thread-sanitizer-hostile. Batch variants amortize the lock
+/// to one acquisition per chunk of events for the issue loop's per-point
+/// records.
+///
+/// A disabled recorder drops every record on a single branch.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 2048;
+
+  /// `epoch_ns` anchors timestamps (pass Profiler::epoch_ns() so lifecycle
+  /// events and profile spans share a timebase); 0 = now.
+  explicit FlightRecorder(bool enabled = true,
+                          std::size_t capacity = kDefaultCapacity,
+                          uint64_t epoch_ns = 0);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const { return enabled_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Nanoseconds since construction (steady clock). Callers may stamp one
+  /// timestamp onto a batch of events instead of reading the clock per
+  /// event — per-point issue records cost one clock read per launch.
+  uint64_t now_ns() const;
+
+  /// Append one event to the calling thread's ring. Events with ts_ns == 0
+  /// are stamped with now_ns(); `worker` is filled from the calling
+  /// thread's lane. No-op when disabled.
+  void record(FlightEvent e);
+  /// Append two events under one lock acquisition (kRunning + kComplete at
+  /// task end).
+  void record2(FlightEvent a, FlightEvent b);
+  /// Append a pre-stamped batch under one lock acquisition.
+  void record_batch(std::span<const FlightEvent> events);
+
+  /// Merged copy of every ring, oldest first (sorted by ts_ns). Safe to
+  /// call mid-run: takes each ring's mutex briefly.
+  std::vector<FlightEvent> snapshot() const;
+  /// The most recent `n` events across all rings, oldest first.
+  std::vector<FlightEvent> tail(std::size_t n) const;
+
+  /// Events recorded (monotone) and overwritten by ring wraparound, summed
+  /// over all rings. Safe mid-run.
+  uint64_t recorded() const;
+  uint64_t overwritten() const;
+
+  /// Events as a JSON array of objects (schema in docs/OBSERVABILITY.md).
+  static std::string json(std::span<const FlightEvent> events);
+  /// json(snapshot()).
+  std::string json() const;
+
+  /// Drop all recorded events (rings stay registered).
+  void reset();
+
+ private:
+  struct Ring;
+
+  Ring& local_ring();
+
+  const bool enabled_;
+  const std::size_t capacity_;
+  const uint64_t id_;  ///< process-unique, keys the thread-local cache
+  uint64_t epoch_ns_ = 0;
+
+  mutable std::mutex mu_;  // guards rings_ registration
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace idxl::obs

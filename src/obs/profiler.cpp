@@ -142,7 +142,8 @@ Profiler::Buffer& Profiler::local_buffer() {
 }
 
 void Profiler::record(ProfCategory cat, uint32_t name, uint64_t start_ns,
-                      uint64_t end_ns, uint64_t seq, uint64_t queue_wait_ns) {
+                      uint64_t end_ns, uint64_t seq, uint64_t queue_wait_ns,
+                      uint64_t launch) {
   if (!enabled_) return;
   Buffer& buf = local_buffer();
   ProfileEvent ev;
@@ -154,6 +155,7 @@ void Profiler::record(ProfCategory cat, uint32_t name, uint64_t start_ns,
   ev.dur_ns = end_ns - start_ns;
   ev.seq = seq;
   ev.queue_wait_ns = queue_wait_ns;
+  ev.launch = launch;
   buf.events.push_back(ev);
 }
 
@@ -293,6 +295,10 @@ std::string Profiler::chrome_trace_json() const {
     if (ev.seq != ProfileEvent::kNoSeq) {
       std::snprintf(buf, sizeof(buf), ",\"seq\":%" PRIu64 ",\"queue_wait_us\":%.3f",
                     ev.seq, static_cast<double>(ev.queue_wait_ns) / 1e3);
+      out += buf;
+    }
+    if (ev.launch != ProfileEvent::kNoSeq) {
+      std::snprintf(buf, sizeof(buf), ",\"launch\":%" PRIu64, ev.launch);
       out += buf;
     }
     out += "}}";

@@ -48,6 +48,10 @@ struct ProfileEvent {
   uint64_t dur_ns = 0;
   uint64_t seq = kNoSeq;
   uint64_t queue_wait_ns = 0;
+  /// Launch id of the index/single launch a task span expanded from —
+  /// shared with the flight recorder's events, so a Chrome-trace span and
+  /// the recorder's lifecycle history cross-link by (launch, seq).
+  uint64_t launch = kNoSeq;
 
   static constexpr uint64_t kNoSeq = UINT64_MAX;
 };
@@ -121,6 +125,9 @@ class Profiler {
 
   /// Nanoseconds since this profiler was constructed (steady clock).
   uint64_t now_ns() const;
+  /// The construction-time steady-clock origin — share it with a
+  /// FlightRecorder so both subsystems stamp directly comparable times.
+  uint64_t epoch_ns() const { return epoch_ns_; }
 
   /// Intern `name`, returning a stable id. Thread-safe; takes a lock — call
   /// at setup time (task registration), not per event.
@@ -130,7 +137,8 @@ class Profiler {
   /// Append one closed span to the calling thread's buffer. No-op when
   /// disabled. `worker` tags thread-pool lanes (ThreadPool::current_worker()).
   void record(ProfCategory cat, uint32_t name, uint64_t start_ns, uint64_t end_ns,
-              uint64_t seq = ProfileEvent::kNoSeq, uint64_t queue_wait_ns = 0);
+              uint64_t seq = ProfileEvent::kNoSeq, uint64_t queue_wait_ns = 0,
+              uint64_t launch = ProfileEvent::kNoSeq);
 
   /// Record task `seq`'s dependence-graph predecessors (for the critical
   /// path). Durations are joined later from the matching kTask events.

@@ -2,19 +2,252 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdlib>
 #include <unordered_set>
 
 namespace idxl {
 
+namespace {
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return !(v[0] == '0' || v[0] == 'n' || v[0] == 'N' || v[0] == 'f' || v[0] == 'F');
+}
+
+uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+/// IDXL_* environment overrides for the observability knobs, so a hung
+/// production run can be re-launched with a watchdog (or the recorder
+/// resized) without a rebuild. Documented in docs/OBSERVABILITY.md.
+RuntimeConfig apply_env_overrides(RuntimeConfig cfg) {
+  cfg.enable_flight_recorder =
+      env_flag("IDXL_FLIGHT_RECORDER", cfg.enable_flight_recorder);
+  cfg.flight_recorder_capacity = static_cast<std::size_t>(
+      env_u64("IDXL_FLIGHT_CAPACITY", cfg.flight_recorder_capacity));
+  cfg.enable_watchdog = env_flag("IDXL_WATCHDOG", cfg.enable_watchdog);
+  cfg.watchdog_check_period_ms = static_cast<uint32_t>(
+      env_u64("IDXL_WATCHDOG_PERIOD_MS", cfg.watchdog_check_period_ms));
+  cfg.watchdog_stall_window_ms = static_cast<uint32_t>(
+      env_u64("IDXL_WATCHDOG_WINDOW_MS", cfg.watchdog_stall_window_ms));
+  cfg.watchdog_abort = env_flag("IDXL_WATCHDOG_ABORT", cfg.watchdog_abort);
+  if (const char* v = std::getenv("IDXL_WATCHDOG_DUMP")) cfg.watchdog_dump_path = v;
+  return cfg;
+}
+
+obs::LifecycleDetail detail_of(SafetyOutcome outcome) {
+  switch (outcome) {
+    case SafetyOutcome::kSafeStatic: return obs::LifecycleDetail::kSafeStatic;
+    case SafetyOutcome::kSafeDynamic: return obs::LifecycleDetail::kSafeDynamic;
+    case SafetyOutcome::kSafeUnchecked: return obs::LifecycleDetail::kSafeUnchecked;
+    case SafetyOutcome::kUnsafe: return obs::LifecycleDetail::kUnsafe;
+  }
+  return obs::LifecycleDetail::kNone;
+}
+
+}  // namespace
+
 Runtime::Runtime(RuntimeConfig config)
-    : config_(config),
+    : config_(apply_env_overrides(std::move(config))),
       tracker_(forest_),
       group_(forest_),
-      profiler_(std::make_unique<Profiler>(config.enable_profiling)),
-      prof_(config.enable_profiling ? profiler_.get() : nullptr),
-      pool_(std::make_unique<ThreadPool>(config.workers)) {}
+      profiler_(std::make_unique<Profiler>(config_.enable_profiling)),
+      prof_(config_.enable_profiling ? profiler_.get() : nullptr),
+      recorder_(config_.enable_flight_recorder, config_.flight_recorder_capacity,
+                profiler_->epoch_ns()),
+      rec_(config_.enable_flight_recorder ? &recorder_ : nullptr),
+      pool_(std::make_unique<ThreadPool>(config_.workers)),
+      live_enabled_(config_.enable_watchdog) {
+  init_metrics();
+  if (config_.enable_watchdog) {
+    obs::WatchdogConfig wc;
+    wc.check_period_ms = config_.watchdog_check_period_ms;
+    wc.stall_window_ms = config_.watchdog_stall_window_ms;
+    wc.tail_events = config_.watchdog_tail_events;
+    wc.abort_on_stall = config_.watchdog_abort;
+    wc.dump_path = config_.watchdog_dump_path;
+    watchdog_ = std::make_unique<obs::Watchdog>(
+        std::move(wc),
+        [this] {
+          const uint64_t done = cells_.tasks_completed.value();
+          return std::pair<uint64_t, uint64_t>(
+              done, cells_.point_tasks.value() - done);
+        },
+        [this] {
+          if (rec_ != nullptr) {
+            obs::FlightEvent ev;
+            ev.kind = obs::LifecycleEvent::kStall;
+            rec_->record(ev);
+          }
+          return stall_report();
+        });
+    watchdog_->start();
+  }
+}
 
-Runtime::~Runtime() { wait_all(); }
+Runtime::~Runtime() {
+  if (watchdog_ != nullptr) watchdog_->stop();
+  metrics_.stop_sampler();
+  wait_all();
+}
+
+void Runtime::init_metrics() {
+  obs::MetricsRegistry& m = metrics_;
+  cells_.runtime_calls =
+      m.counter("idxl_runtime_calls_total", "task issuance API calls");
+  cells_.single_launches = m.counter("idxl_launches_total", "launches by kind",
+                                     {{"kind", "single"}});
+  cells_.index_launches = m.counter("idxl_launches_total", "", {{"kind", "index"}});
+  cells_.point_tasks = m.counter("idxl_point_tasks_total", "point tasks issued");
+  cells_.tasks_completed =
+      m.counter("idxl_tasks_completed_total", "task bodies completed");
+  cells_.dependence_edges =
+      m.counter("idxl_dependence_edges_total", "dependence edges discovered");
+  const char* safety_help = "index-launch safety verdicts by outcome";
+  cells_.safe_static = m.counter("idxl_launch_safety_total", safety_help,
+                                 {{"outcome", "safe_static"}});
+  cells_.safe_dynamic = m.counter("idxl_launch_safety_total", safety_help,
+                                  {{"outcome", "safe_dynamic"}});
+  cells_.safe_unchecked = m.counter("idxl_launch_safety_total", safety_help,
+                                    {{"outcome", "safe_unchecked"}});
+  cells_.assumed_verified = m.counter("idxl_launch_safety_total", safety_help,
+                                      {{"outcome", "assumed_verified"}});
+  cells_.unsafe =
+      m.counter("idxl_launch_safety_total", safety_help, {{"outcome", "unsafe"}});
+  cells_.dynamic_check_points = m.counter(
+      "idxl_dynamic_check_points_total", "functor evaluations in dynamic checks");
+  cells_.traced_replayed = m.counter("idxl_traced_tasks_replayed_total",
+                                     "tasks replayed from captured traces");
+  cells_.cache_hit_launches =
+      m.counter("idxl_verdict_cache_launches_total",
+                "launches by verdict-cache result", {{"result", "hit"}});
+  cells_.cache_miss_launches =
+      m.counter("idxl_verdict_cache_launches_total", "", {{"result", "miss"}});
+  cells_.group_launches = m.counter("idxl_group_launches_total",
+                                    "index launches issued on the group path");
+  cells_.group_edges = m.counter("idxl_group_edges_total",
+                                 "launch-level summary conflicts (O(args))");
+  cells_.group_fallbacks = m.counter(
+      "idxl_group_fallbacks_total", "safe launches forced onto the per-point path");
+  cells_.group_materializations = m.counter(
+      "idxl_group_materializations_total", "trees flushed group -> per-point");
+  cells_.task_duration =
+      m.histogram("idxl_task_duration_ns", "task body execution time");
+  cells_.queue_wait =
+      m.histogram("idxl_task_queue_wait_ns", "ready -> running scheduler latency");
+
+  // Externally-owned values surface as gauges refreshed by a collector at
+  // snapshot time — the trackers, verdict cache, pool and recorder keep
+  // their own (thread-safe) counters.
+  const obs::Gauge dep_tests = m.gauge(
+      "idxl_dependence_tests", "per-use conflict tests, both tiers (live)");
+  const obs::Gauge vc_hits =
+      m.gauge("idxl_verdict_cache_hits", "verdict cache lookup hits");
+  const obs::Gauge vc_misses =
+      m.gauge("idxl_verdict_cache_misses", "verdict cache lookup misses");
+  const obs::Gauge vc_uncacheable = m.gauge(
+      "idxl_verdict_cache_uncacheable", "lookups skipped (opaque functor)");
+  const obs::Gauge vc_entries =
+      m.gauge("idxl_verdict_cache_entries", "verdicts currently cached");
+  const obs::Gauge q_depth =
+      m.gauge("idxl_pool_queue_depth", "ready tasks waiting for a worker");
+  const obs::Gauge q_exec =
+      m.gauge("idxl_pool_executing", "tasks mid-execution on workers");
+  const obs::Gauge q_workers = m.gauge("idxl_pool_workers", "worker threads");
+  const obs::Gauge fr_events = m.gauge("idxl_flight_recorder_events",
+                                       "lifecycle events recorded (monotone)");
+  const obs::Gauge fr_over = m.gauge("idxl_flight_recorder_overwritten",
+                                     "lifecycle events lost to ring wraparound");
+  m.add_collector([this, dep_tests, vc_hits, vc_misses, vc_uncacheable,
+                   vc_entries, q_depth, q_exec, q_workers, fr_events, fr_over] {
+    dep_tests.set(static_cast<int64_t>(tracker_.dependence_tests() +
+                                       group_.dependence_tests()));
+    const VerdictCache::Counters c = verdict_cache_.counters();
+    vc_hits.set(static_cast<int64_t>(c.hits));
+    vc_misses.set(static_cast<int64_t>(c.misses));
+    vc_uncacheable.set(static_cast<int64_t>(c.uncacheable));
+    vc_entries.set(static_cast<int64_t>(verdict_cache_.size()));
+    q_depth.set(static_cast<int64_t>(pool_->queue_depth()));
+    q_exec.set(static_cast<int64_t>(pool_->executing()));
+    q_workers.set(static_cast<int64_t>(pool_->worker_count()));
+    fr_events.set(static_cast<int64_t>(recorder_.recorded()));
+    fr_over.set(static_cast<int64_t>(recorder_.overwritten()));
+  });
+}
+
+RuntimeStats Runtime::stats() const {
+  const obs::MetricsSnapshot snap = metrics_.snapshot();
+  RuntimeStats s;
+  s.runtime_calls = snap.value("idxl_runtime_calls_total");
+  s.single_launches = snap.value("idxl_launches_total", {{"kind", "single"}});
+  s.index_launches = snap.value("idxl_launches_total", {{"kind", "index"}});
+  s.point_tasks = snap.value("idxl_point_tasks_total");
+  s.tasks_completed = snap.value("idxl_tasks_completed_total");
+  s.dependence_edges = snap.value("idxl_dependence_edges_total");
+  s.launches_safe_static =
+      snap.value("idxl_launch_safety_total", {{"outcome", "safe_static"}});
+  s.launches_safe_dynamic =
+      snap.value("idxl_launch_safety_total", {{"outcome", "safe_dynamic"}});
+  s.launches_safe_unchecked =
+      snap.value("idxl_launch_safety_total", {{"outcome", "safe_unchecked"}});
+  s.launches_assumed_verified =
+      snap.value("idxl_launch_safety_total", {{"outcome", "assumed_verified"}});
+  s.launches_unsafe = snap.value("idxl_launch_safety_total", {{"outcome", "unsafe"}});
+  s.dynamic_check_points = snap.value("idxl_dynamic_check_points_total");
+  s.traced_tasks_replayed = snap.value("idxl_traced_tasks_replayed_total");
+  s.dependence_tests = snap.value("idxl_dependence_tests");
+  s.verdict_cache_hits =
+      snap.value("idxl_verdict_cache_launches_total", {{"result", "hit"}});
+  s.verdict_cache_misses =
+      snap.value("idxl_verdict_cache_launches_total", {{"result", "miss"}});
+  s.group_launches = snap.value("idxl_group_launches_total");
+  s.group_edges = snap.value("idxl_group_edges_total");
+  s.group_fallbacks = snap.value("idxl_group_fallbacks_total");
+  s.group_materializations = snap.value("idxl_group_materializations_total");
+  return s;
+}
+
+obs::StallReport Runtime::stall_report() const {
+  obs::StallReport report;
+  report.completed = cells_.tasks_completed.value();
+  report.pending = cells_.point_tasks.value() - report.completed;
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    report.blocked.reserve(live_.size());
+    for (const auto& [seq, task] : live_) {
+      obs::BlockedTask bt;
+      bt.seq = seq;
+      bt.launch = task.launch;
+      bt.label = task.label;
+      // Report only the waits-for edges still unsatisfied: a predecessor
+      // that completed has left the live table.
+      for (uint64_t dep : task.deps)
+        if (live_.count(dep) != 0) bt.waits_for.push_back(dep);
+      report.blocked.push_back(std::move(bt));
+    }
+  }
+  std::sort(report.blocked.begin(), report.blocked.end(),
+            [](const obs::BlockedTask& a, const obs::BlockedTask& b) {
+              return a.seq < b.seq;
+            });
+  report.recent = recorder_.tail(config_.watchdog_tail_events);
+  report.metrics = metrics_.snapshot();
+  return report;
+}
+
+void Runtime::record_ready(const TaskNode& node, uint64_t edge) {
+  if (rec_ == nullptr) return;
+  obs::FlightEvent ev;
+  ev.kind = obs::LifecycleEvent::kReady;
+  ev.seq = node.seq;
+  ev.launch = node.launch;
+  ev.edge = edge;
+  rec_->record(ev);
+}
 
 TaskFnId Runtime::register_task(std::string name, TaskFn fn) {
   IDXL_REQUIRE(static_cast<bool>(fn), "task body must be callable");
@@ -25,8 +258,9 @@ TaskFnId Runtime::register_task(std::string name, TaskFn fn) {
 
 LaunchResult Runtime::execute(const TaskLauncher& launcher) {
   ProfileScope issue_scope(prof_, ProfCategory::kIssue, Profiler::kNameIssue);
-  ++stats_.runtime_calls;
-  ++stats_.single_launches;
+  cells_.runtime_calls.inc();
+  cells_.single_launches.inc();
+  const uint64_t launch_id = next_launch_id_++;
   LaunchResult result;  // single task: trivially safe, never an index launch
   std::shared_ptr<Future::State> collect;
   if (launcher.result_redop != ReductionOp::kNone) {
@@ -36,7 +270,7 @@ LaunchResult Runtime::execute(const TaskLauncher& launcher) {
     result.future.state_ = collect;
   }
   issue_point_task(launcher.task, launcher.point, launcher.launch_domain,
-                   launcher.args, launcher.scalar_args, collect,
+                   launcher.args, launcher.scalar_args, launch_id, collect,
                    collect != nullptr ? 0 : -1);
   return result;
 }
@@ -58,16 +292,17 @@ std::vector<RegionArg> Runtime::project_args(const IndexLauncher& launcher,
 }
 
 void Runtime::expand_as_task_loop(const IndexLauncher& launcher,
+                                  uint64_t launch_id,
                                   const std::shared_ptr<Future::State>& collect) {
   // The "original task loop" branch: |D| individual launches in program
   // order, each a separate runtime call (this is what the paper's No-IDX
   // configurations measure).
   int64_t rank = 0;
   launcher.domain.for_each([&](const Point& p) {
-    ++stats_.runtime_calls;
-    ++stats_.single_launches;
+    cells_.runtime_calls.inc();
+    cells_.single_launches.inc();
     issue_point_task(launcher.task, p, launcher.domain, project_args(launcher, p),
-                     launcher.scalar_args, collect, rank++);
+                     launcher.scalar_args, launch_id, collect, rank++);
   });
 }
 
@@ -94,7 +329,7 @@ bool Runtime::group_eligible(const IndexLauncher& launcher) {
 void Runtime::materialize_tree(uint32_t tree) {
   if (!group_.has_state(tree)) return;
   ProfileScope scope(prof_, ProfCategory::kDependence, Profiler::kNameMaterialize);
-  if (group_.materialize_into(tracker_, tree)) ++stats_.group_materializations;
+  if (group_.materialize_into(tracker_, tree)) cells_.group_materializations.inc();
 }
 
 LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
@@ -113,18 +348,33 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
     result.future.state_ = collect;
   }
 
+  const uint64_t launch_id = next_launch_id_++;
+  if (rec_ != nullptr) {
+    obs::FlightEvent ev;
+    ev.kind = obs::LifecycleEvent::kIssued;
+    ev.launch = launch_id;
+    rec_->record(ev);
+  }
+
   if (!config_.enable_index_launches) {
     // No-IDX mode: the launch group is issued as individual tasks. Safety
     // is the application's own program order, so no analysis runs.
-    expand_as_task_loop(launcher, collect);
+    expand_as_task_loop(launcher, launch_id, collect);
     return result;
   }
 
-  ++stats_.runtime_calls;  // one bulk issuance call (§5)
+  cells_.runtime_calls.inc();  // one bulk issuance call (§5)
 
   if (launcher.assume_verified) {
-    ++stats_.launches_assumed_verified;
+    cells_.assumed_verified.inc();
     result.safety.outcome = SafetyOutcome::kSafeUnchecked;
+    if (rec_ != nullptr) {
+      obs::FlightEvent ev;
+      ev.kind = obs::LifecycleEvent::kAnalyzed;
+      ev.launch = launch_id;
+      ev.detail = obs::LifecycleDetail::kAssumedVerified;
+      rec_->record(ev);
+    }
   } else if (!replaying_) {
     // Hybrid safety analysis (§3/§4). When replaying a trace the launch was
     // already verified during capture.
@@ -159,23 +409,30 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
       result.safety = analyze_launch_safety(check_args, launcher.domain, options,
                                             pair_independent);
     }
-    stats_.dynamic_check_points += result.safety.dynamic_points;
+    cells_.dynamic_check_points.inc(result.safety.dynamic_points);
     if (config_.enable_verdict_cache) {
       if (result.safety.cache_hit)
-        ++stats_.verdict_cache_hits;
+        cells_.cache_hit_launches.inc();
       else
-        ++stats_.verdict_cache_misses;
+        cells_.cache_miss_launches.inc();
+    }
+    if (rec_ != nullptr) {
+      obs::FlightEvent ev;
+      ev.kind = obs::LifecycleEvent::kAnalyzed;
+      ev.launch = launch_id;
+      ev.detail = detail_of(result.safety.outcome);
+      rec_->record(ev);
     }
 
     switch (result.safety.outcome) {
-      case SafetyOutcome::kSafeStatic: ++stats_.launches_safe_static; break;
-      case SafetyOutcome::kSafeDynamic: ++stats_.launches_safe_dynamic; break;
-      case SafetyOutcome::kSafeUnchecked: ++stats_.launches_safe_unchecked; break;
+      case SafetyOutcome::kSafeStatic: cells_.safe_static.inc(); break;
+      case SafetyOutcome::kSafeDynamic: cells_.safe_dynamic.inc(); break;
+      case SafetyOutcome::kSafeUnchecked: cells_.safe_unchecked.inc(); break;
       case SafetyOutcome::kUnsafe: {
-        ++stats_.launches_unsafe;
+        cells_.unsafe.inc();
         IDXL_REQUIRE(!config_.strict_unsafe,
                      ("unsafe index launch: " + result.safety.reason).c_str());
-        expand_as_task_loop(launcher, collect);
+        expand_as_task_loop(launcher, launch_id, collect);
         return result;
       }
     }
@@ -185,26 +442,46 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
   // assigns work directly to the scheduler; the distributed pipeline's
   // sharded/sliced distribution is modeled by src/sim.
   result.ran_as_index_launch = true;
-  ++stats_.index_launches;
+  cells_.index_launches.inc();
 
   if (replaying_) {
     // Replay bypasses both dependence tiers: edges come from the capture.
     int64_t rank = 0;
     launcher.domain.for_each([&](const Point& p) {
       issue_point_task(launcher.task, p, launcher.domain, project_args(launcher, p),
-                       launcher.scalar_args, collect, rank++);
+                       launcher.scalar_args, launch_id, collect, rank++);
     });
+    if (rec_ != nullptr) {
+      obs::FlightEvent ev;
+      ev.kind = obs::LifecycleEvent::kExpanded;
+      ev.launch = launch_id;
+      ev.detail = obs::LifecycleDetail::kReplay;
+      rec_->record(ev);
+    }
     return result;
   }
 
   // Two-tier dependence analysis (§5): group-level when every argument is
   // analyzable at whole-partition granularity, per-point otherwise.
   const bool group_mode = config_.enable_group_analysis && group_eligible(launcher);
-  if (group_mode)
-    ++stats_.group_launches;
-  else if (config_.enable_group_analysis)
-    ++stats_.group_fallbacks;
-  expand_index_launch(launcher, collect, group_mode);
+  if (group_mode) {
+    cells_.group_launches.inc();
+  } else if (config_.enable_group_analysis) {
+    cells_.group_fallbacks.inc();
+    if (rec_ != nullptr) {
+      obs::FlightEvent ev;
+      ev.kind = obs::LifecycleEvent::kGroupFallback;
+      ev.launch = launch_id;
+      rec_->record(ev);
+    }
+  }
+  expand_index_launch(launcher, launch_id, collect, group_mode);
+  if (rec_ != nullptr) {
+    obs::FlightEvent ev;
+    ev.kind = obs::LifecycleEvent::kExpanded;
+    ev.launch = launch_id;
+    rec_->record(ev);
+  }
   return result;
 }
 
@@ -223,7 +500,16 @@ struct Runtime::LaunchArena {
 };
 
 void Runtime::finalize_deps(const TaskNodePtr& node, std::vector<TaskNodePtr>& deps) {
-  stats_.dependence_edges += deps.size();
+  cells_.dependence_edges.inc(deps.size());
+  if (live_enabled_) {
+    LiveTask lt;
+    lt.label = node->label;
+    lt.launch = node->launch;
+    lt.deps.reserve(deps.size());
+    for (const TaskNodePtr& dep : deps) lt.deps.push_back(dep->seq);
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_.emplace(node->seq, std::move(lt));
+  }
   if (config_.record_task_graph) {
     graph_nodes_.emplace_back(node->seq, node->label);
     for (const TaskNodePtr& dep : deps) graph_edges_.emplace_back(dep->seq, node->seq);
@@ -258,6 +544,7 @@ void Runtime::capture_trace_step(TaskFnId fn, const Point& point,
 }
 
 void Runtime::expand_index_launch(const IndexLauncher& launcher,
+                                  uint64_t launch_id,
                                   const std::shared_ptr<Future::State>& collect,
                                   bool group_mode) {
   const std::size_t n_args = launcher.args.size();
@@ -318,7 +605,7 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
 
   if (group_mode) {
     // Launch-level summary tests: one O(1) field-mask test per argument is
-    // the group→group edge discovery (stats_.group_edges counts hits).
+    // the group→group edge discovery (idxl_group_edges_total counts hits).
     // Write arguments always walk their color lists — a safe launch's
     // writers are either injective (one point per color) or commuting
     // reductions that the executor orders serially, and only the list walk
@@ -327,7 +614,7 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
     for (ArgPlan& plan : plans) {
       const bool conflict =
           group_.summary_conflict(plan.tree, plan.mask, plan.writes);
-      if (conflict) ++stats_.group_edges;
+      if (conflict) cells_.group_edges.inc();
       plan.scan = conflict || plan.writes;
       if (!plan.scan) {
         for (const ArgPlan& other : plans)
@@ -349,9 +636,16 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
                          group_mode ? Profiler::kNameGroupDependence
                                     : Profiler::kNameDependence);
 
-  const bool recording = config_.record_task_graph;
+  const bool labeling = config_.record_task_graph || live_enabled_;
   const std::string& task_name = task_registry_[launcher.task].first;
   const uint32_t prof_name = prof_ != nullptr ? task_prof_names_[launcher.task] : 0;
+
+  // Per-point kIssued events share one timestamp (read here, on the issuing
+  // thread) but are constructed and recorded inside the chunk jobs, from the
+  // nodes the chunks already carry — the always-on recorder adds no
+  // per-point work to the issue loop's critical path.
+  constexpr std::size_t kChunk = 64;
+  const uint64_t issue_ts = rec_ != nullptr ? rec_->now_ns() : 0;
 
   // Chunked deferred expansion: the issuing thread wires dependence edges
   // and holds a "closure guard" on each node's pending count; chunk jobs on
@@ -363,7 +657,6 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
     Point point;
     int64_t rank = -1;
   };
-  constexpr std::size_t kChunk = 64;
   std::vector<ChunkRecord> records;
   std::vector<uint32_t> records_cranks;  // n_args color ranks per record
   std::vector<std::function<void()>> chunk_jobs;
@@ -372,10 +665,26 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
 
   auto flush_chunk = [&] {
     if (records.empty()) return;
-    chunk_jobs.push_back([this, arena, recs = std::move(records),
+    chunk_jobs.push_back([this, arena, issue_ts, recs = std::move(records),
                           cranks = std::move(records_cranks)]() mutable {
       ProfileScope chunk_scope(prof_, ProfCategory::kIssue,
                                Profiler::kNameExpandChunk);
+      if (rec_ != nullptr) {
+        // One pre-stamped batch per chunk; ts-sorted snapshots still show
+        // these kIssued events before the tasks' later lifecycle stages.
+        std::vector<obs::FlightEvent> issued;
+        issued.reserve(recs.size());
+        for (const ChunkRecord& rec : recs) {
+          obs::FlightEvent ev;
+          ev.ts_ns = issue_ts;
+          ev.kind = obs::LifecycleEvent::kIssued;
+          ev.seq = rec.node->seq;
+          ev.launch = rec.node->launch;
+          ev.set_point(rec.point.c.data(), rec.point.dim);
+          issued.push_back(ev);
+        }
+        rec_->record_batch(issued);
+      }
       const std::size_t args = arena->n_args;
       for (std::size_t i = 0; i < recs.size(); ++i) {
         ChunkRecord& rec = recs[i];
@@ -400,8 +709,10 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
         };
         // Release the closure guard; the node may become ready right here
         // when its dependence edges were already satisfied.
-        if (rec.node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        if (rec.node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          record_ready(*rec.node, obs::FlightEvent::kNone);
           make_ready(rec.node);
+        }
       }
     });
     records = {};
@@ -435,11 +746,12 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
       }
 
       // Phase 2 — no-throw: create the node, wire edges, schedule.
-      ++stats_.point_tasks;
+      cells_.point_tasks.inc();
       auto node = std::make_shared<TaskNode>();
       node->seq = next_seq_++;
+      node->launch = launch_id;
       node->prof_name = prof_name;
-      if (recording) node->label = task_name + "@" + p.to_string();
+      if (labeling) node->label = task_name + "@" + p.to_string();
 
       deps.clear();
       for (std::size_t a = 0; a < n_args; ++a) {
@@ -494,16 +806,25 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
 void Runtime::issue_point_task(TaskFnId fn, const Point& point,
                                const Domain& launch_domain,
                                const std::vector<RegionArg>& args,
-                               const ArgBuffer& scalar_args,
+                               const ArgBuffer& scalar_args, uint64_t launch_id,
                                const std::shared_ptr<Future::State>& collect,
                                int64_t rank) {
   IDXL_REQUIRE(fn < task_registry_.size(), "unknown task id");
-  ++stats_.point_tasks;
+  cells_.point_tasks.inc();
 
   auto node = std::make_shared<TaskNode>();
   node->seq = next_seq_++;
+  node->launch = launch_id;
   node->label = task_registry_[fn].first + "@" + point.to_string();
   node->prof_name = prof_ != nullptr ? task_prof_names_[fn] : 0;
+  if (rec_ != nullptr) {
+    obs::FlightEvent ev;
+    ev.kind = obs::LifecycleEvent::kIssued;
+    ev.seq = node->seq;
+    ev.launch = launch_id;
+    ev.set_point(point.c.data(), point.dim);
+    rec_->record(ev);
+  }
 
   // Build the closure now; regions resolve to storage views at execution.
   std::vector<PhysicalRegion> regions;
@@ -548,7 +869,7 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
     }
     for (uint32_t dep_idx : step.dep_indices) deps.push_back(trace_nodes_[dep_idx]);
     ++replay_cursor_;
-    ++stats_.traced_tasks_replayed;
+    cells_.traced_replayed.inc();
     trace_nodes_.push_back(node);
   } else {
     {
@@ -635,21 +956,48 @@ void Runtime::schedule(const TaskNodePtr& node, const std::vector<TaskNodePtr>& 
     if (!dep->add_successor(node))
       node->pending.fetch_sub(1, std::memory_order_relaxed);  // already complete
   }
-  if (node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) make_ready(node);
+  if (node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Readied by the issuing thread itself — no completion edge to name.
+    record_ready(*node, obs::FlightEvent::kNone);
+    make_ready(node);
+  }
 }
 
 std::function<void()> Runtime::node_job(TaskNodePtr node) {
   // `ready_ns` is taken here — the moment every dependence was satisfied —
-  // so the recorded queue wait is pure scheduler latency.
-  const uint64_t ready_ns = prof_ != nullptr ? prof_->now_ns() : 0;
-  return [this, node = std::move(node), ready_ns] {
-    if (prof_ != nullptr) {
-      const uint64_t start_ns = prof_->now_ns();
+  // so the recorded queue wait is pure scheduler latency. The profiler and
+  // the flight recorder share one timebase, so a single pair of clock reads
+  // serves both.
+  const bool timed = prof_ != nullptr || rec_ != nullptr;
+  const uint64_t ready_ns = timed ? recorder_.now_ns() : 0;
+  return [this, node = std::move(node), ready_ns, timed] {
+    if (timed) {
+      const uint64_t start_ns = recorder_.now_ns();
       node->work();
-      prof_->record(ProfCategory::kTask, node->prof_name, start_ns,
-                    prof_->now_ns(), node->seq, start_ns - ready_ns);
+      const uint64_t end_ns = recorder_.now_ns();
+      if (prof_ != nullptr)
+        prof_->record(ProfCategory::kTask, node->prof_name, start_ns, end_ns,
+                      node->seq, start_ns - ready_ns, node->launch);
+      if (rec_ != nullptr) {
+        obs::FlightEvent run;
+        run.ts_ns = start_ns;
+        run.kind = obs::LifecycleEvent::kRunning;
+        run.seq = node->seq;
+        run.launch = node->launch;
+        obs::FlightEvent done = run;
+        done.ts_ns = end_ns;
+        done.kind = obs::LifecycleEvent::kComplete;
+        rec_->record2(run, done);
+      }
+      cells_.task_duration.observe(end_ns - start_ns);
+      cells_.queue_wait.observe(start_ns - ready_ns);
     } else {
       node->work();
+    }
+    cells_.tasks_completed.inc();
+    if (live_enabled_) {
+      std::lock_guard<std::mutex> lock(live_mu_);
+      live_.erase(node->seq);
     }
     node->work = nullptr;  // release captured resources promptly
     // Fan out to every successor this completion readied, in one batch.
@@ -657,6 +1005,23 @@ std::function<void()> Runtime::node_job(TaskNodePtr node) {
     for (const TaskNodePtr& succ : node->complete())
       if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
         ready.push_back(succ);
+    if (rec_ != nullptr && !ready.empty()) {
+      // This completion was the last unblocker of every task in `ready`:
+      // the waits-for edge the stall report names is (succ <- node).
+      std::vector<obs::FlightEvent> events;
+      events.reserve(ready.size());
+      const uint64_t ts = recorder_.now_ns();
+      for (const TaskNodePtr& succ : ready) {
+        obs::FlightEvent ev;
+        ev.ts_ns = ts;
+        ev.kind = obs::LifecycleEvent::kReady;
+        ev.seq = succ->seq;
+        ev.launch = succ->launch;
+        ev.edge = node->seq;
+        events.push_back(ev);
+      }
+      rec_->record_batch(events);
+    }
     if (ready.size() == 1) {
       make_ready(ready.front());
     } else if (!ready.empty()) {
@@ -676,6 +1041,12 @@ void Runtime::begin_trace(uint32_t trace_id) {
   tracker_.reset();  // the fence makes prior state irrelevant
   group_.reset();
   Trace& trace = traces_[trace_id];
+  if (rec_ != nullptr) {
+    obs::FlightEvent ev;
+    ev.kind = obs::LifecycleEvent::kTraceBegin;
+    if (trace.captured) ev.detail = obs::LifecycleDetail::kReplay;
+    rec_->record(ev);
+  }
   active_trace_ = &trace;
   replaying_ = trace.captured;
   replay_cursor_ = 0;
@@ -695,6 +1066,11 @@ void Runtime::end_trace(uint32_t trace_id) {
   replaying_ = false;
   trace_nodes_.clear();
   trace_index_.clear();
+  if (rec_ != nullptr) {
+    obs::FlightEvent ev;
+    ev.kind = obs::LifecycleEvent::kTraceEnd;
+    rec_->record(ev);
+  }
   wait_all();
   tracker_.reset();
   group_.reset();
@@ -713,6 +1089,11 @@ TaskFnId Runtime::fill_task() {
 void Runtime::wait_all() {
   ProfileScope wait_scope(prof_, ProfCategory::kRuntime, Profiler::kNameWaitAll);
   pool_->wait_idle();
+  if (rec_ != nullptr) {
+    obs::FlightEvent ev;
+    ev.kind = obs::LifecycleEvent::kFence;
+    rec_->record(ev);
+  }
   if (active_trace_ == nullptr) {
     // Quiescence is a natural fence: every recorded task has completed, so
     // both dependence tiers can drop their state. Trees that were

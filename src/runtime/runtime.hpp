@@ -5,7 +5,10 @@
 #include <unordered_map>
 
 #include "analysis/hybrid.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/watchdog.hpp"
 #include "runtime/dependence.hpp"
 #include "runtime/group_dependence.hpp"
 #include "runtime/physical.hpp"
@@ -49,6 +52,28 @@ struct RuntimeConfig {
   /// scans, and build point closures on pool workers. Set false to force
   /// the per-point path everywhere (differential testing, perf baselines).
   bool enable_group_analysis = true;
+  /// Task-lifecycle flight recorder (obs/flight_recorder.hpp): per-worker
+  /// ring buffers of issued/analyzed/ready/running/complete events, the
+  /// always-on black box stall dumps read. Cheap (batched ring appends);
+  /// on by default. Env override: IDXL_FLIGHT_RECORDER=0/1.
+  bool enable_flight_recorder = true;
+  /// Events retained per recording thread. Env: IDXL_FLIGHT_CAPACITY.
+  std::size_t flight_recorder_capacity = obs::FlightRecorder::kDefaultCapacity;
+  /// Stall watchdog: a monitor thread that dumps the waits-for graph,
+  /// flight-recorder tail and a metrics snapshot when tasks stay pending
+  /// with no completions for a whole stall window. Off by default (it adds
+  /// a live-task table update per task). Env: IDXL_WATCHDOG=0/1.
+  bool enable_watchdog = false;
+  /// Monitor sampling period. Env: IDXL_WATCHDOG_PERIOD_MS.
+  uint32_t watchdog_check_period_ms = 50;
+  /// No-progress window before a stall is declared. Env: IDXL_WATCHDOG_WINDOW_MS.
+  uint32_t watchdog_stall_window_ms = 1000;
+  /// Lifecycle events included in a stall dump.
+  std::size_t watchdog_tail_events = 32;
+  /// Abort after dumping (post-mortem over hang). Env: IDXL_WATCHDOG_ABORT.
+  bool watchdog_abort = false;
+  /// Dump destination; empty = stderr. Env: IDXL_WATCHDOG_DUMP.
+  std::string watchdog_dump_path;
 };
 
 /// Counters exposing the asymptotic behaviour the paper argues about; tests
@@ -67,6 +92,7 @@ struct RuntimeStats {
   uint64_t launches_unsafe = 0;     ///< fell back to the task loop
   uint64_t dynamic_check_points = 0;
   uint64_t traced_tasks_replayed = 0;
+  uint64_t tasks_completed = 0;     ///< tasks whose body has returned (live)
   uint64_t dependence_tests = 0;    ///< per-use conflict tests, both tiers (live)
   uint64_t verdict_cache_hits = 0;   ///< launches served from the verdict cache
   uint64_t verdict_cache_misses = 0; ///< cacheable launches analyzed afresh
@@ -170,14 +196,49 @@ class Runtime {
     execute(launcher);
   }
 
-  /// Live snapshot of the runtime counters. `dependence_tests` is read
-  /// straight from the trackers' atomic counters, so the value is current
-  /// mid-run (it used to be synced only inside wait_all()).
-  RuntimeStats stats() const {
-    RuntimeStats s = stats_;
-    s.dependence_tests = tracker_.dependence_tests() + group_.dependence_tests();
-    return s;
-  }
+  /// Live snapshot of the runtime counters, assembled from one pass over
+  /// the metrics registry (obs::MetricsRegistry::snapshot()): every field
+  /// is a registry-backed atomic, so stats() is safe to call from any
+  /// thread while tasks run, and one call reads all counters in a single
+  /// traversal instead of field-by-field at different times.
+  RuntimeStats stats() const;
+
+  /// The metrics registry backing stats(): every runtime counter, the
+  /// verdict-cache and dependence-tracker counters, pool gauges and task
+  /// latency histograms, one `snapshot()` away — exportable as Prometheus
+  /// text or JSON. Per-runtime (concurrent runtimes never share series);
+  /// obs::MetricsRegistry::global() is the place for application metrics.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The task-lifecycle flight recorder (on by default; records nothing
+  /// when RuntimeConfig::enable_flight_recorder is false).
+  obs::FlightRecorder& flight_recorder() { return recorder_; }
+  const obs::FlightRecorder& flight_recorder() const { return recorder_; }
+
+  /// Switch task-lifecycle recording on or off at run time (e.g. enable it
+  /// only around a suspect phase). Requires a quiescent runtime — call
+  /// after wait_all(); in-flight work reads the recorder unsynchronized.
+  /// Re-enabling requires the recorder to have been constructed enabled
+  /// (RuntimeConfig::enable_flight_recorder at build time).
+  void set_flight_recording(bool on) { rec_ = on ? &recorder_ : nullptr; }
+  bool flight_recording() const { return rec_ != nullptr; }
+
+  /// The stall watchdog, or nullptr unless RuntimeConfig::enable_watchdog
+  /// (or IDXL_WATCHDOG=1) switched it on.
+  obs::Watchdog* watchdog() { return watchdog_.get(); }
+
+  /// Build a stall report on demand: the waits-for graph of issued-but-
+  /// incomplete tasks (populated only while the watchdog is enabled), the
+  /// flight-recorder tail, and a metrics snapshot. The same dump the
+  /// watchdog emits, minus the progress-window fields.
+  obs::StallReport stall_report() const;
+
+  /// The worker pool. Tests use pause()/resume() as a deterministic gate:
+  /// launches issued against a paused pool enqueue without executing, so
+  /// every issued-but-ungated task is still live when later launches are
+  /// analyzed — no timing assumptions.
+  ThreadPool& pool() { return *pool_; }
 
   /// The launch-site verdict cache (populated only when
   /// RuntimeConfig::enable_verdict_cache is set).
@@ -234,11 +295,11 @@ class Runtime {
   /// route the task's return value into a pending Future.
   void issue_point_task(TaskFnId fn, const Point& point, const Domain& launch_domain,
                         const std::vector<RegionArg>& args,
-                        const ArgBuffer& scalar_args,
+                        const ArgBuffer& scalar_args, uint64_t launch_id,
                         const std::shared_ptr<Future::State>& collect = nullptr,
                         int64_t rank = -1);
 
-  void expand_as_task_loop(const IndexLauncher& launcher,
+  void expand_as_task_loop(const IndexLauncher& launcher, uint64_t launch_id,
                            const std::shared_ptr<Future::State>& collect);
   std::vector<RegionArg> project_args(const IndexLauncher& launcher, const Point& p);
 
@@ -249,7 +310,7 @@ class Runtime {
   /// pool workers, gated by an extra "closure guard" on each node's pending
   /// count. Shares per-launch state with the workers through a LaunchArena.
   struct LaunchArena;
-  void expand_index_launch(const IndexLauncher& launcher,
+  void expand_index_launch(const IndexLauncher& launcher, uint64_t launch_id,
                            const std::shared_ptr<Future::State>& collect,
                            bool group_mode);
   /// All-args qualification for the group path (disjoint partitions,
@@ -267,26 +328,63 @@ class Runtime {
   /// self-filter) `deps`, record graph/profiler edges, update stats.
   void finalize_deps(const TaskNodePtr& node, std::vector<TaskNodePtr>& deps);
 
+  /// Create the registry-backed stat cells and register the collector that
+  /// refreshes externally-owned gauges (trackers, cache, pool, recorder).
+  void init_metrics();
+  /// Flight-record a kReady lifecycle event for `node` (edge = predecessor
+  /// seq whose completion unblocked it last; kNone off the completion path).
+  void record_ready(const TaskNode& node, uint64_t edge);
+
   void schedule(const TaskNodePtr& node, const std::vector<TaskNodePtr>& deps);
   void make_ready(const TaskNodePtr& node);
   /// The pool job that executes `node` then fans out to ready successors
   /// (batched through ThreadPool::submit_batch).
   std::function<void()> node_job(TaskNodePtr node);
 
+  /// Registry-backed counter/gauge/histogram handles for every runtime
+  /// stat — the write side of stats(). Updates are relaxed atomic adds.
+  struct StatsCells {
+    obs::Counter runtime_calls, single_launches, index_launches, point_tasks,
+        tasks_completed, dependence_edges, safe_static, safe_dynamic,
+        safe_unchecked, assumed_verified, unsafe, dynamic_check_points,
+        traced_replayed, cache_hit_launches, cache_miss_launches,
+        group_launches, group_edges, group_fallbacks, group_materializations;
+    obs::Histogram task_duration, queue_wait;
+  };
+
+  /// One issued-but-incomplete task, for the watchdog's waits-for graph.
+  /// Maintained only while the watchdog is enabled.
+  struct LiveTask {
+    std::string label;
+    uint64_t launch = obs::FlightEvent::kNone;
+    std::vector<uint64_t> deps;
+  };
+
   RuntimeConfig config_;
   RegionForest forest_;
   DependenceTracker tracker_;
   GroupDependenceTracker group_;
   VerdictCache verdict_cache_;
-  // The profiler outlives the pool (declared first): workers record task
-  // spans until the pool's destructor joins them.
+  // Observability members outlive the pool (declared first): workers
+  // record spans, lifecycle events and counters until the pool's
+  // destructor joins them.
+  obs::MetricsRegistry metrics_;
+  StatsCells cells_;
   std::unique_ptr<Profiler> profiler_;
   Profiler* prof_ = nullptr;  ///< == profiler_.get() iff profiling is enabled
+  obs::FlightRecorder recorder_;
+  obs::FlightRecorder* rec_ = nullptr;  ///< == &recorder_ iff recording is on
   std::unique_ptr<ThreadPool> pool_;
+  // The watchdog thread reads members above; declared after the pool so it
+  // is stopped/destroyed first (and explicitly stopped in ~Runtime).
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  bool live_enabled_ = false;  ///< maintain the live-task table?
+  mutable std::mutex live_mu_;
+  std::unordered_map<uint64_t, LiveTask> live_;
   std::vector<std::pair<std::string, TaskFn>> task_registry_;
   std::vector<uint32_t> task_prof_names_;  ///< interned name per TaskFnId
-  RuntimeStats stats_;
   uint64_t next_seq_ = 0;
+  uint64_t next_launch_id_ = 0;
   TaskFnId fill_task_ = UINT32_MAX;
 
   // --- prototype PhysicalRegion cache (bulk expansion) ---

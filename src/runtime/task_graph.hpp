@@ -14,6 +14,9 @@ namespace idxl {
 /// handed to the thread pool once every predecessor has completed.
 struct TaskNode {
   uint64_t seq = 0;            ///< global program-order sequence number
+  /// Id of the launch this task expanded from — the cross-link key shared
+  /// by the flight recorder and the Chrome-trace export.
+  uint64_t launch = UINT64_MAX;
   std::string label;           ///< "taskname@(point)" for diagnostics
   uint32_t prof_name = 0;      ///< interned task name for profiling events
   std::function<void()> work;

@@ -53,7 +53,39 @@ void ThreadPool::submit_batch(std::vector<std::function<void()>> fns) {
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
+  IDXL_ASSERT_MSG(!paused_, "wait_idle on a paused pool would never return");
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::pause() {
+  std::unique_lock<std::mutex> lock(mu_);
+  paused_ = true;
+  // Tasks already picked up run to completion; once executing_ hits zero
+  // the pool is deterministically quiescent (the queue just holds).
+  idle_cv_.wait(lock, [this] { return executing_ == 0; });
+}
+
+void ThreadPool::resume() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+bool ThreadPool::paused() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return paused_;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::executing() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return executing_;
 }
 
 void ThreadPool::worker_loop(int worker_id) {
@@ -62,15 +94,22 @@ void ThreadPool::worker_loop(int worker_id) {
     std::function<void()> fn;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Shutdown overrides pause: the destructor drains the queue.
+      work_cv_.wait(lock, [this] {
+        return shutdown_ || (!paused_ && !queue_.empty());
+      });
       if (queue_.empty()) return;  // shutdown with a drained queue
       fn = std::move(queue_.front());
       queue_.pop_front();
+      ++executing_;
     }
     fn();
     {
       std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) idle_cv_.notify_all();
+      --executing_;
+      --in_flight_;
+      // pause() waits on executing_ == 0; wait_idle() on in_flight_ == 0.
+      if (in_flight_ == 0 || executing_ == 0) idle_cv_.notify_all();
     }
   }
 }

@@ -33,21 +33,36 @@ class ThreadPool {
   void submit_batch(std::vector<std::function<void()>> fns);
 
   /// Block until every submitted task (including tasks submitted by running
-  /// tasks) has finished.
+  /// tasks) has finished. Must not be called while paused (it would wait
+  /// forever on the parked queue).
   void wait_idle();
 
+  /// Stop workers from dequeuing further tasks and block until every task
+  /// already mid-execution has finished. Submissions still enqueue; the
+  /// queue simply holds. The deterministic test gate: issue work against a
+  /// paused pool, assert on the runtime's issue-time state, then resume().
+  void pause();
+  void resume();
+  bool paused() const;
+
   unsigned worker_count() const { return static_cast<unsigned>(threads_.size()); }
+  /// Tasks enqueued but not yet picked up (metrics gauge; takes the lock).
+  std::size_t queue_depth() const;
+  /// Tasks currently mid-execution on workers (metrics gauge).
+  std::size_t executing() const;
 
  private:
   void worker_loop(int worker_id);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
-  std::size_t in_flight_ = 0;  // queued + executing
+  std::size_t in_flight_ = 0;   // queued + executing
+  std::size_t executing_ = 0;   // mid-execution on a worker
   bool shutdown_ = false;
+  bool paused_ = false;
 };
 
 }  // namespace idxl

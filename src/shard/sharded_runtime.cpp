@@ -33,7 +33,32 @@ ShardedRuntime::ShardedRuntime(ShardedConfig config) : config_(std::move(config)
   for (uint32_t s = 0; s < config_.shards; ++s)
     pools_.push_back(std::make_unique<ThreadPool>(
         per_shard, static_cast<int>(s * per_shard)));
-  shard_stats_.resize(config_.shards);
+  shard_cells_.reserve(config_.shards);
+  for (uint32_t s = 0; s < config_.shards; ++s) {
+    const obs::Labels labels{{"shard", std::to_string(s)}};
+    ShardCells cells;
+    cells.launches_issued =
+        metrics_.counter("idxl_shard_launches_total",
+                         "launches issued (replicated on every shard)", labels);
+    cells.runtime_calls = metrics_.counter(
+        "idxl_shard_runtime_calls_total",
+        "issuance calls: 1/launch with IDX, |D|/launch without", labels);
+    cells.points_analyzed = metrics_.counter(
+        "idxl_shard_points_analyzed_total", "replicated analysis work", labels);
+    cells.local_tasks = metrics_.counter("idxl_shard_local_tasks_total",
+                                         "tasks this shard executed", labels);
+    cells.remote_dependencies =
+        metrics_.counter("idxl_shard_remote_dependencies_total",
+                         "edges that crossed a shard boundary", labels);
+    cells.copies_planned =
+        metrics_.counter("idxl_shard_copies_planned_total",
+                         "inter-shard data movements planned", labels);
+    cells.write_log = metrics_.gauge(
+        "idxl_shard_write_log_entries",
+        "replicated write-log records (distributed storage)", labels);
+    shard_cells_.push_back(cells);
+  }
+  shard_base_.resize(config_.shards);
   replicas_.resize(config_.shards);
 }
 
@@ -180,10 +205,17 @@ void ShardedRuntime::run(const std::function<void(ShardContext&)>& program) {
     // Persist the previous run's results into the forest, then restart the
     // replicas from that authoritative state.
     synchronize_storage();
-    std::lock_guard<std::mutex> replica_lock(replica_mu_);
-    for (auto& per_shard : replicas_) per_shard.clear();
-    std::lock_guard<std::mutex> table_lock(table_mu_);
-    write_log_.clear();
+    // Scoped separately: synchronize_storage() acquires replica_mu_ while
+    // holding table_mu_, so holding both here in the other order would be
+    // a lock-order inversion.
+    {
+      std::lock_guard<std::mutex> replica_lock(replica_mu_);
+      for (auto& per_shard : replicas_) per_shard.clear();
+    }
+    {
+      std::lock_guard<std::mutex> table_lock(table_mu_);
+      write_log_.clear();
+    }
   }
   {
     std::lock_guard<std::mutex> lock(table_mu_);
@@ -195,6 +227,17 @@ void ShardedRuntime::run(const std::function<void(ShardContext&)>& program) {
   std::mutex error_mu;
   std::exception_ptr first_error;
 
+  // Counters are monotone; snapshot the baselines so stats() views this
+  // run's deltas. No shard thread exists yet, so plain reads are race-free.
+  for (uint32_t s = 0; s < config_.shards; ++s) {
+    const ShardCells& c = shard_cells_[s];
+    shard_base_[s] = ShardStats{c.launches_issued.value(), c.runtime_calls.value(),
+                                c.points_analyzed.value(), c.local_tasks.value(),
+                                c.remote_dependencies.value(),
+                                c.copies_planned.value()};
+    c.write_log.set(0);
+  }
+
   threads.reserve(config_.shards);
   for (uint32_t s = 0; s < config_.shards; ++s) {
     threads.emplace_back([&, s] {
@@ -205,7 +248,6 @@ void ShardedRuntime::run(const std::function<void(ShardContext&)>& program) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
-      shard_stats_[s] = ctx.stats_;
       if (s == 0 && config_.distributed_storage) {
         // Shard 0's (replicated, hence authoritative) log feeds the final
         // gather in synchronize_storage().
@@ -219,9 +261,18 @@ void ShardedRuntime::run(const std::function<void(ShardContext&)>& program) {
   drain();
 }
 
-const ShardStats& ShardedRuntime::stats(uint32_t shard) const {
-  IDXL_REQUIRE(shard < shard_stats_.size(), "bad shard id");
-  return shard_stats_[shard];
+ShardStats ShardedRuntime::stats(uint32_t shard) const {
+  IDXL_REQUIRE(shard < shard_cells_.size(), "bad shard id");
+  const ShardCells& c = shard_cells_[shard];
+  const ShardStats& base = shard_base_[shard];
+  ShardStats s;
+  s.launches_issued = c.launches_issued.value() - base.launches_issued;
+  s.runtime_calls = c.runtime_calls.value() - base.runtime_calls;
+  s.points_analyzed = c.points_analyzed.value() - base.points_analyzed;
+  s.local_tasks = c.local_tasks.value() - base.local_tasks;
+  s.remote_dependencies = c.remote_dependencies.value() - base.remote_dependencies;
+  s.copies_planned = c.copies_planned.value() - base.copies_planned;
+  return s;
 }
 
 ShardContext::ShardContext(ShardedRuntime& rt, uint32_t shard)
@@ -243,32 +294,39 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
   // descriptor at the identical program point.
   rt.check_replication(seq, fnv1a(serialize_launcher(launcher)));
 
-  ++stats_.launches_issued;
-  stats_.runtime_calls += rt.config_.enable_index_launches
+  const ShardedRuntime::ShardCells& cells = rt.shard_cells_[shard_];
+  cells.launches_issued.inc();
+  cells.runtime_calls.inc(rt.config_.enable_index_launches
                               ? 1
-                              : static_cast<uint64_t>(launcher.domain.volume());
+                              : static_cast<uint64_t>(launcher.domain.volume()));
 
   // Safety analysis, replicated on every shard (deterministic: all agree).
   if (!launcher.assume_verified) {
     std::vector<CheckArg> check_args;
     check_args.reserve(launcher.args.size());
-    for (const ProjectedArg& pa : launcher.args) {
-      CheckArg ca;
-      ca.functor = &pa.functor;
-      ca.color_space = rt.forest_.color_space(pa.partition);
-      ca.partition_disjoint = rt.forest_.is_disjoint(pa.partition);
-      ca.partition_uid = pa.partition.id;
-      ca.collection_uid = rt.forest_.region(pa.parent).tree_id;
-      ca.field_mask = field_mask(pa.fields);
-      ca.priv = pa.privilege;
-      ca.redop = pa.redop;
-      check_args.push_back(ca);
+    {
+      // Forest reads race with subregion creation on other shard threads
+      // (the per-point loop below mutates the forest under forest_mu_).
+      std::lock_guard<std::mutex> lock(rt.forest_mu_);
+      for (const ProjectedArg& pa : launcher.args) {
+        CheckArg ca;
+        ca.functor = &pa.functor;
+        ca.color_space = rt.forest_.color_space(pa.partition);
+        ca.partition_disjoint = rt.forest_.is_disjoint(pa.partition);
+        ca.partition_uid = pa.partition.id;
+        ca.collection_uid = rt.forest_.region(pa.parent).tree_id;
+        ca.field_mask = field_mask(pa.fields);
+        ca.priv = pa.privilege;
+        ca.redop = pa.redop;
+        check_args.push_back(ca);
+      }
     }
     AnalysisOptions options;
     options.enable_dynamic_checks = rt.config_.enable_dynamic_checks;
     options.profiler = rt.prof_;
     if (rt.config_.enable_verdict_cache) options.verdict_cache = &rt.verdict_cache_;
     auto pair_independent = [&](std::size_t i, std::size_t j) {
+      std::lock_guard<std::mutex> lock(rt.forest_mu_);
       return rt.forest_.partitions_independent(
           launcher.args[i].parent, launcher.args[i].partition,
           launcher.args[j].parent, launcher.args[j].partition);
@@ -293,7 +351,7 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
     const uint32_t owner =
         rt.config_.sharding->shard(p, launcher.domain, rt.config_.shards);
     node->owner.store(owner, std::memory_order_relaxed);
-    ++stats_.points_analyzed;
+    cells.points_analyzed.inc();
 
     // Forest mutations (subregion creation) and reads race across shard
     // threads; one coarse lock keeps the demo honest and simple.
@@ -375,14 +433,16 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
                     src.data.at(f).data(), mine.data.at(f).data(),
                     rt.forest_.field(info.fspace, f).size});
                 copies.push_back(std::move(copy));
-                ++stats_.copies_planned;
+                cells.copies_planned.inc();
               }
             }
           }
         }
         // Every shard appends the identical write record (replicated log).
-        if (rt.config_.distributed_storage && privilege_writes(pa.privilege))
+        if (rt.config_.distributed_storage && privilege_writes(pa.privilege)) {
           write_log_.push_back({key, info.root.id, info.ispace, mask, owner});
+          cells.write_log.set(static_cast<int64_t>(write_log_.size()));
+        }
       }
     }
     std::sort(deps.begin(), deps.end());
@@ -390,10 +450,10 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
 
     if (owner != shard_) return;  // someone else executes this point
 
-    ++stats_.local_tasks;
+    cells.local_tasks.inc();
     for (const TaskNodePtr& dep : deps)
       if (dep->owner.load(std::memory_order_relaxed) != shard_)
-        ++stats_.remote_dependencies;
+        cells.remote_dependencies.inc();
     if (rt.prof_ != nullptr) {
       // Owner-only: every shard discovers the identical edges; recording
       // them once keeps the critical-path graph free of duplicates.

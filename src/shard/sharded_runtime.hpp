@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "analysis/hybrid.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "runtime/dependence.hpp"
 #include "runtime/mapping.hpp"
@@ -61,6 +62,11 @@ struct ShardedConfig {
   bool enable_profiling = false;
 };
 
+/// Per-shard counters for the current (or most recent) run(). Backed by
+/// shard-labeled series in ShardedRuntime::metrics(), read through one
+/// registry snapshot, so stats() is safe to call from any thread while the
+/// run is in flight; each run() starts the view from zero (the registry
+/// series themselves are monotone across runs, as counters must be).
 struct ShardStats {
   uint64_t launches_issued = 0;   ///< replicated: every shard sees every launch
   uint64_t runtime_calls = 0;     ///< 1/launch with IDX, |D|/launch without
@@ -104,7 +110,6 @@ class ShardContext {
   uint32_t shard_;
   DependenceTracker tracker_;  // per-shard replicated analysis state
   uint64_t next_launch_ = 0;
-  ShardStats stats_;
   std::vector<ShardWriteRecord> write_log_;  // distributed-storage mode only
 };
 
@@ -120,7 +125,14 @@ class ShardedRuntime {
   /// executed. Rethrows the first exception any shard raised.
   void run(const std::function<void(ShardContext&)>& program);
 
-  const ShardStats& stats(uint32_t shard) const;
+  /// One shard's counters for the current/most recent run(), read through a
+  /// registry snapshot — safe to call mid-run from any thread.
+  ShardStats stats(uint32_t shard) const;
+
+  /// The registry behind stats(): shard-labeled counter series
+  /// (idxl_shard_*_total{shard="s"}) plus write-log size gauges.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// The verdict cache shared by every shard (thread-safe; populated only
   /// when ShardedConfig::enable_verdict_cache is set).
@@ -176,17 +188,28 @@ class ShardedRuntime {
   std::vector<std::unordered_map<uint32_t, Replica>> replicas_;  // [shard][root]
   std::vector<ShardWriteRecord> write_log_;  // final log, for synchronize_storage
 
+  /// Registry-backed write side of stats(): one labeled series per shard.
+  /// Counters are monotone across run() calls; `base_` holds each counter's
+  /// value at the start of the current run so stats() reads per-run deltas.
+  struct ShardCells {
+    obs::Counter launches_issued, runtime_calls, points_analyzed, local_tasks,
+        remote_dependencies, copies_planned;
+    obs::Gauge write_log;
+  };
+
   ShardedConfig config_;
   RegionForest forest_;
   VerdictCache verdict_cache_;  // shared across shard threads (internally locked)
   std::mutex forest_mu_;  // guards subregion creation during run()
-  // Profiler precedes the pools: workers record spans until joined.
+  // Observability precedes the pools: workers record until joined.
+  obs::MetricsRegistry metrics_;
+  std::vector<ShardCells> shard_cells_;
+  std::vector<ShardStats> shard_base_;  ///< counter values at run() start
   std::unique_ptr<Profiler> profiler_;
   Profiler* prof_ = nullptr;  ///< == profiler_.get() iff profiling is enabled
   std::vector<std::pair<std::string, TaskFn>> task_registry_;
   std::vector<uint32_t> task_prof_names_;  ///< interned name per TaskFnId
   std::vector<std::unique_ptr<ThreadPool>> pools_;
-  std::vector<ShardStats> shard_stats_;
 
   std::mutex table_mu_;
   std::unordered_map<uint64_t, TaskNodePtr> events_;

@@ -11,148 +11,13 @@
 #include "region/partition_ops.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/serialize.hpp"
+#include "test_json.hpp"
 
 namespace idxl {
 namespace {
 
-// ---------- a minimal JSON parser (validation only) ----------
-//
-// Just enough of RFC 8259 to prove the exporter's output is well-formed and
-// to walk traceEvents; intentionally strict — any syntax error fails the
-// parse and therefore the test.
-
-struct JValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string string;
-  std::vector<JValue> array;
-  std::vector<std::pair<std::string, JValue>> object;
-
-  const JValue* get(const std::string& key) const {
-    for (const auto& [k, v] : object)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : p_(text.data()), end_(p_ + text.size()) {}
-
-  bool parse(JValue& out) {
-    skip_ws();
-    if (!value(out)) return false;
-    skip_ws();
-    return p_ == end_;  // no trailing garbage
-  }
-
- private:
-  void skip_ws() {
-    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) ++p_;
-  }
-  bool literal(std::string_view lit) {
-    if (end_ - p_ < static_cast<std::ptrdiff_t>(lit.size())) return false;
-    if (std::string_view(p_, lit.size()) != lit) return false;
-    p_ += lit.size();
-    return true;
-  }
-  bool value(JValue& out) {
-    if (p_ == end_) return false;
-    switch (*p_) {
-      case '{': return object(out);
-      case '[': return array(out);
-      case '"': out.kind = JValue::kString; return string(out.string);
-      case 't': out.kind = JValue::kBool; out.boolean = true; return literal("true");
-      case 'f': out.kind = JValue::kBool; out.boolean = false; return literal("false");
-      case 'n': out.kind = JValue::kNull; return literal("null");
-      default: return number(out);
-    }
-  }
-  bool object(JValue& out) {
-    out.kind = JValue::kObject;
-    ++p_;  // '{'
-    skip_ws();
-    if (p_ != end_ && *p_ == '}') { ++p_; return true; }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (p_ == end_ || *p_ != '"' || !string(key)) return false;
-      skip_ws();
-      if (p_ == end_ || *p_ != ':') return false;
-      ++p_;
-      skip_ws();
-      JValue v;
-      if (!value(v)) return false;
-      out.object.emplace_back(std::move(key), std::move(v));
-      skip_ws();
-      if (p_ == end_) return false;
-      if (*p_ == ',') { ++p_; continue; }
-      if (*p_ == '}') { ++p_; return true; }
-      return false;
-    }
-  }
-  bool array(JValue& out) {
-    out.kind = JValue::kArray;
-    ++p_;  // '['
-    skip_ws();
-    if (p_ != end_ && *p_ == ']') { ++p_; return true; }
-    while (true) {
-      skip_ws();
-      JValue v;
-      if (!value(v)) return false;
-      out.array.push_back(std::move(v));
-      skip_ws();
-      if (p_ == end_) return false;
-      if (*p_ == ',') { ++p_; continue; }
-      if (*p_ == ']') { ++p_; return true; }
-      return false;
-    }
-  }
-  bool string(std::string& out) {
-    ++p_;  // '"'
-    while (p_ != end_ && *p_ != '"') {
-      if (*p_ == '\\') {
-        ++p_;
-        if (p_ == end_) return false;
-        switch (*p_) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (end_ - p_ < 5) return false;
-            p_ += 4;  // keep escapes opaque; content doesn't matter here
-            out += '?';
-            break;
-          }
-          default: return false;
-        }
-        ++p_;
-      } else {
-        out += *p_++;
-      }
-    }
-    if (p_ == end_) return false;
-    ++p_;  // closing '"'
-    return true;
-  }
-  bool number(JValue& out) {
-    out.kind = JValue::kNumber;
-    char* after = nullptr;
-    out.number = std::strtod(p_, &after);
-    if (after == p_ || after > end_) return false;
-    p_ = after;
-    return true;
-  }
-
-  const char* p_;
-  const char* end_;
-};
+using testjson::JsonParser;
+using testjson::JValue;
 
 void spin_for(std::chrono::microseconds us) {
   const auto until = std::chrono::steady_clock::now() + us;
@@ -289,19 +154,18 @@ TEST(ProfilerTest, RuntimeRecordsDependenceChainAsCriticalPath) {
   cfg.enable_profiling = true;
   cfg.workers = 2;
   Fixture fx(16, 1, cfg);
-  // Gate the first task until every launch has been issued: a predecessor
-  // that completes before its successor issues is (correctly) dropped from
-  // the dependence edges, which would break the chain nondeterministically.
-  std::atomic<bool> release{false};
-  const TaskFnId spin = fx.rt.register_task("spin", [&release](TaskContext&) {
-    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
-    spin_for(std::chrono::microseconds(100));
-  });
+  // Pause the pool until every launch has been issued: a predecessor that
+  // completes before its successor issues is (correctly) dropped from the
+  // dependence edges, which would break the chain nondeterministically.
+  // Paused workers enqueue without executing — a deterministic gate.
+  fx.rt.pool().pause();
+  const TaskFnId spin = fx.rt.register_task(
+      "spin", [](TaskContext&) { spin_for(std::chrono::microseconds(100)); });
   // Three read-write launches over the same region: a 3-task chain.
   for (int i = 0; i < 3; ++i)
     fx.rt.execute(TaskLauncher::for_task(spin).region(fx.region, {fx.fv},
                                                       Privilege::kReadWrite));
-  release.store(true, std::memory_order_release);
+  fx.rt.pool().resume();
   fx.rt.wait_all();
 
   const CriticalPathReport r = fx.rt.profiler().critical_path();

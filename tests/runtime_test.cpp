@@ -425,12 +425,12 @@ TEST(RuntimeTest, TaskGraphExport) {
   RuntimeConfig cfg;
   cfg.record_task_graph = true;
   Fixture fx(16, 4, cfg);
-  // Gate the tasks so launch 1's points are still live when launch 2's
+  // Pause the pool so launch 1's points are still live when launch 2's
   // dependences are analyzed; completed uses are compacted out of the
   // tracker, so ungated tiny tasks would race the edge count below.
-  std::atomic<bool> release{false};
-  const TaskFnId stamp = fx.rt.register_task("stamp", [&](TaskContext& ctx) {
-    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  // Paused workers enqueue without executing — a deterministic gate.
+  fx.rt.pool().pause();
+  const TaskFnId stamp = fx.rt.register_task("stamp", [](TaskContext& ctx) {
     auto acc = ctx.region(0).accessor<double>(0);
     ctx.region(0).domain().for_each([&](const Point& p) { acc.write(p, 1.0); });
   });
@@ -441,7 +441,7 @@ TEST(RuntimeTest, TaskGraphExport) {
                   {fx.fv}, Privilege::kReadWrite);
   fx.rt.execute_index(launcher);
   fx.rt.execute_index(launcher);
-  release.store(true, std::memory_order_release);
+  fx.rt.pool().resume();
   fx.rt.wait_all();
 
   const std::string dot = fx.rt.export_task_graph_dot();
