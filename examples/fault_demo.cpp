@@ -1,0 +1,98 @@
+// Fault-tolerance demo: a 1024-point index launch survives an injected
+// failure through the per-launch retry policy, then the same failure
+// without retries poisons the downstream dependence closure and the run
+// ends with a structured FaultReport instead of a hang or an abort.
+//
+//   ./fault_demo                 # built-in plan: fail point 137, attempt 0
+//   IDXL_FAULT_PLAN="0@(5)" ./fault_demo      # override from the env
+//   IDXL_FAULT_PLAN="random:42:0.01" ./fault_demo  # seeded random plan
+#include <cstdio>
+
+#include "region/partition_ops.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace idxl;
+
+namespace {
+
+struct World {
+  Runtime rt;
+  RegionId grid;
+  PartitionId blocks;
+  TaskFnId fill = 0, square = 0;
+
+  explicit World(RuntimeConfig cfg, int64_t points) : rt(cfg) {
+    auto& forest = rt.forest();
+    const IndexSpaceId is = forest.create_index_space(Domain::line(points));
+    const FieldSpaceId fs = forest.create_field_space();
+    forest.allocate_field(fs, sizeof(double), "v");
+    grid = forest.create_region(is, fs);
+    blocks = partition_equal(forest, is, Rect::line(points));
+    fill = rt.register_task("fill", [](TaskContext& ctx) {
+      auto acc = ctx.region(0).accessor<double>(0);
+      ctx.region(0).domain().for_each(
+          [&](const Point& p) { acc.write(p, static_cast<double>(p[0])); });
+    });
+    square = rt.register_task("square", [](TaskContext& ctx) {
+      auto acc = ctx.region(0).accessor<double>(0);
+      ctx.region(0).domain().for_each(
+          [&](const Point& p) { acc.write(p, acc.read(p) * acc.read(p)); });
+    });
+  }
+
+  void pipeline(int64_t points, uint32_t retries) {
+    const auto id = ProjectionFunctor::identity(1);
+    rt.execute_index(IndexLauncher::over(Domain::line(points))
+                         .with_task(fill)
+                         .retries(retries)
+                         .backoff(1)
+                         .region(grid, blocks, id, {0}, Privilege::kWrite));
+    rt.execute_index(IndexLauncher::over(Domain::line(points))
+                         .with_task(square)
+                         .retries(retries)
+                         .backoff(1)
+                         .region(grid, blocks, id, {0}, Privilege::kReadWrite));
+    rt.wait_all();
+  }
+};
+
+}  // namespace
+
+int main() {
+  constexpr int64_t kPoints = 1024;
+
+  RuntimeConfig cfg;
+  // Deterministic injection: point 137 of launch 0 fails on its first
+  // attempt. IDXL_FAULT_PLAN (read inside the Runtime) overrides this.
+  cfg.fault_plan =
+      std::make_shared<FaultPlan>(FaultPlan().fail(0, Point::p1(137), 0));
+
+  std::printf("== with retries: the launch heals itself ==\n");
+  {
+    World w(cfg, kPoints);
+    w.pipeline(kPoints, /*retries=*/2);
+    const FaultReport report = w.rt.fault_report();
+    const RuntimeStats stats = w.rt.stats();
+    std::printf("fault report: %s\n", report.ok() ? "clean" : "NOT clean");
+    std::printf("injections=%llu retries=%llu recovered=%llu\n",
+                static_cast<unsigned long long>(stats.fault_injections),
+                static_cast<unsigned long long>(stats.retry_attempts),
+                static_cast<unsigned long long>(stats.retries_succeeded));
+    auto acc = w.rt.read_region<double>(w.grid, 0);
+    bool correct = true;
+    for (int64_t i = 0; i < kPoints; ++i)
+      correct = correct && acc.read(Point::p1(i)) == static_cast<double>(i * i);
+    std::printf("region state: %s\n", correct ? "correct" : "CORRUPT");
+  }
+
+  std::printf("\n== without retries: structured failure, no hang ==\n");
+  {
+    World w(cfg, kPoints);
+    w.pipeline(kPoints, /*retries=*/0);
+    const FaultReport report = w.rt.fault_report();
+    std::printf("%s", report.to_string().c_str());
+    std::printf("%llu tasks poisoned downstream of the failure\n",
+                static_cast<unsigned long long>(report.poisoned.size()));
+  }
+  return 0;
+}

@@ -46,6 +46,10 @@ const char* lifecycle_event_name(LifecycleEvent e) {
     case LifecycleEvent::kTraceEnd: return "trace-end";
     case LifecycleEvent::kGroupFallback: return "group-fallback";
     case LifecycleEvent::kStall: return "stall";
+    case LifecycleEvent::kFailed: return "failed";
+    case LifecycleEvent::kPoisoned: return "poisoned";
+    case LifecycleEvent::kRetry: return "retry";
+    case LifecycleEvent::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -59,6 +63,11 @@ const char* lifecycle_detail_name(LifecycleDetail d) {
     case LifecycleDetail::kUnsafe: return "unsafe";
     case LifecycleDetail::kAssumedVerified: return "assumed-verified";
     case LifecycleDetail::kReplay: return "replay";
+    case LifecycleDetail::kException: return "exception";
+    case LifecycleDetail::kExplicitFail: return "explicit-fail";
+    case LifecycleDetail::kInjected: return "injected";
+    case LifecycleDetail::kTimeout: return "timeout";
+    case LifecycleDetail::kCancel: return "cancel";
   }
   return "unknown";
 }

@@ -24,6 +24,10 @@ enum class LifecycleEvent : uint8_t {
   kTraceEnd,       ///< end_trace
   kGroupFallback,  ///< a safe launch was forced onto the per-point path
   kStall,          ///< the watchdog declared a stall
+  kFailed,         ///< the task body failed terminally (detail = fault cause)
+  kPoisoned,       ///< skipped: an upstream failure poisoned this task
+  kRetry,          ///< a failed attempt was re-enqueued (edge = attempt #)
+  kCancelled,      ///< the task was cancelled (detail = timeout/cancel cause)
 };
 
 const char* lifecycle_event_name(LifecycleEvent e);
@@ -37,6 +41,11 @@ enum class LifecycleDetail : uint8_t {
   kUnsafe,            ///< SafetyOutcome::kUnsafe (fell back to the task loop)
   kAssumedVerified,   ///< launcher.assume_verified skipped the analysis
   kReplay,            ///< expansion replayed a captured trace
+  kException,         ///< kFailed: the body threw
+  kExplicitFail,      ///< kFailed: TaskContext::fail()
+  kInjected,          ///< kFailed: a FaultPlan injection fired
+  kTimeout,           ///< kFailed/kCancelled: the launch timeout expired
+  kCancel,            ///< kCancelled: watchdog action or cancel_all()
 };
 
 const char* lifecycle_detail_name(LifecycleDetail d);

@@ -121,6 +121,11 @@ void Watchdog::set_on_stall(std::function<void(const StallReport&)> fn) {
   on_stall_ = std::move(fn);
 }
 
+void Watchdog::set_stall_action(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_action_ = std::move(fn);
+}
+
 uint64_t Watchdog::stalls_detected() const {
   return stalls_.load(std::memory_order_relaxed);
 }
@@ -183,9 +188,15 @@ void Watchdog::fire(uint64_t completed, uint64_t pending, uint64_t window_ms) {
   }
 
   std::function<void(const StallReport&)> hook;
+  std::function<void()> action;
   {
     std::lock_guard<std::mutex> lock(mu_);
     hook = on_stall_;
+    if (config_.cancel_on_stall) action = stall_action_;
+  }
+  if (action) {
+    std::fprintf(stderr, "idxl watchdog: cancelling the stalled run\n");
+    action();
   }
   if (hook) hook(report);
 

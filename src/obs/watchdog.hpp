@@ -23,6 +23,10 @@ struct WatchdogConfig {
   std::size_t tail_events = 32;
   /// Abort the process after dumping (post-mortem over hang).
   bool abort_on_stall = false;
+  /// Run the stall action (Runtime wires Runtime::cancel_all) after dumping
+  /// — graceful degradation: the stalled launch is cancelled and reported
+  /// via the FaultReport instead of hanging forever.
+  bool cancel_on_stall = false;
   /// Where the dump goes; empty = stderr.
   std::string dump_path;
 };
@@ -78,6 +82,10 @@ class Watchdog {
   /// set while the monitor thread runs.
   void set_on_stall(std::function<void(const StallReport&)> fn);
 
+  /// Graceful-degradation action, run (before the test hook) on each stall
+  /// when config.cancel_on_stall is set. The Runtime installs cancel_all().
+  void set_stall_action(std::function<void()> fn);
+
   /// Stalls declared since construction.
   uint64_t stalls_detected() const;
 
@@ -91,6 +99,7 @@ class Watchdog {
   const ProgressFn progress_;
   const ReportFn report_;
   std::function<void(const StallReport&)> on_stall_;
+  std::function<void()> stall_action_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -18,7 +18,17 @@ void collect_conflicting_uses(std::vector<TaskUse>& uses, uint64_t fields,
   uint64_t performed = 0;
   for (std::size_t i = 0; i < uses.size(); ++i) {
     TaskUse& u = uses[i];
-    if (u.node->done.load(std::memory_order_acquire)) continue;  // compact out
+    if (u.node->done.load(std::memory_order_acquire)) {
+      // Clean completions compact out: the dependence is trivially
+      // satisfied. A *faulted* completion must stay — its data is garbage,
+      // so every later conflicting use still inherits its poison (the edge
+      // is reported; schedule()'s late-edge path copies the root over).
+      if (u.node->fault_kind() == FaultKind::kNone) continue;
+      if (u.fields & fields) out_deps.push_back(u.node);
+      if (keep != i) uses[keep] = std::move(u);
+      ++keep;
+      continue;
+    }
     ++performed;
     if (u.fields & fields) out_deps.push_back(u.node);
     if (keep != i) uses[keep] = std::move(u);

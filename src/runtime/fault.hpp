@@ -1,0 +1,173 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "region/point.hpp"
+
+namespace idxl {
+
+/// Why a task reached a terminal non-success state. The first five are root
+/// causes; kPoisoned marks downstream casualties of some other task's
+/// failure (their `root` names the culprit).
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kException,  ///< the task body threw (anything but TaskCancelled)
+  kExplicit,   ///< the body called TaskContext::fail()
+  kInjected,   ///< a FaultPlan injection fired for this (launch, point, attempt)
+  kTimeout,    ///< the per-launch timeout cancelled the task mid-run
+  kCancelled,  ///< cancelled cooperatively (watchdog action or cancel_all())
+  kPoisoned,   ///< an upstream dependence failed; the body never ran
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// Exception a task body throws (via TaskContext::fail) to fail explicitly.
+/// Explicit failures are retryable under the launch's retry policy.
+class TaskFailure : public std::runtime_error {
+ public:
+  explicit TaskFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by TaskContext::check_cancelled() once the task's cancel flag is
+/// set (timeout fired, watchdog cancelled the run, or cancel_all()). Not
+/// retryable: cancellation is a terminal verdict on the attempt.
+class TaskCancelled : public std::runtime_error {
+ public:
+  TaskCancelled() : std::runtime_error("idxl: task cancelled") {}
+};
+
+/// One task's terminal fault record: identity (seq/launch/point), how many
+/// attempts ran, why it ended, and the root cause (its own seq for root
+/// failures; the failing ancestor's seq for poisoned tasks).
+struct TaskFault {
+  uint64_t seq = 0;
+  uint64_t launch = UINT64_MAX;
+  Point point;
+  uint32_t attempts = 0;  ///< body executions (0 for poisoned: it never ran)
+  FaultKind kind = FaultKind::kNone;
+  uint64_t root = UINT64_MAX;  ///< seq of the root-cause failure
+  std::string message;
+
+  bool operator==(const TaskFault&) const = default;
+  std::string to_string() const;
+};
+
+/// The structured outcome of a run with failures: root causes plus the
+/// poisoned downstream closure, both sorted by seq so that a deterministic
+/// execution yields a bit-for-bit identical report.
+struct FaultReport {
+  std::vector<TaskFault> failures;  ///< root causes (failed/timed out/cancelled)
+  std::vector<TaskFault> poisoned;  ///< downstream tasks that never ran
+
+  bool ok() const { return failures.empty() && poisoned.empty(); }
+  /// Restrict to one launch (failures and poisoned tasks it contains).
+  FaultReport for_launch(uint64_t launch) const;
+  bool operator==(const FaultReport&) const = default;
+  std::string to_string() const;
+};
+
+/// Thread-safe fault accumulator shared by the schedulers. `epoch()` is a
+/// cheap monotone change detector (trace capture uses it to invalidate
+/// traces containing a failed step).
+class FaultLog {
+ public:
+  void record(TaskFault fault);
+  FaultReport report() const;  ///< sorted snapshot
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TaskFault> failures_;
+  std::vector<TaskFault> poisoned_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+/// Deterministic fault-injection plan: "fail point p of launch L on attempt
+/// k". Two forms, combinable:
+///
+///  * explicit injections, added with fail() or parsed from a spec string
+///    `"L@(c1,c2):k"` (`:k` optional, default attempt 0), `;`-separated;
+///  * a seeded probabilistic mode (`random(seed, rate)`, spec form
+///    `"random:<seed>:<rate>"`) where should_fail() is a pure hash of
+///    (seed, launch, point, attempt) — reproducible without pre-computing a
+///    list, so soak tests can replay any failure from its seed alone.
+///
+/// should_fail() is a pure function of its arguments; given a deterministic
+/// issue order, the set of injected failures — and hence the poisoned
+/// closure and the whole FaultReport — is bit-for-bit reproducible.
+/// The IDXL_FAULT_PLAN environment variable installs a plan (same spec
+/// grammar) into any Runtime without a rebuild.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Add one explicit injection; returns *this for chaining.
+  FaultPlan& fail(uint64_t launch, const Point& point, uint32_t attempt = 0);
+
+  /// Seeded probabilistic plan: each (launch, point, attempt) fails with
+  /// probability `rate`, decided by a pure hash — no shared state.
+  static FaultPlan random(uint64_t seed, double rate);
+
+  /// Parse a spec string (grammar above). Throws RuntimeError on malformed
+  /// input.
+  static FaultPlan parse(const std::string& spec);
+
+  /// The IDXL_FAULT_PLAN environment plan, or nullptr when unset.
+  static std::shared_ptr<const FaultPlan> from_env();
+
+  bool should_fail(uint64_t launch, const Point& point, uint32_t attempt) const;
+  bool empty() const { return injections_.empty() && rate_ <= 0.0; }
+  std::string to_string() const;
+
+ private:
+  struct Key {
+    uint64_t launch = 0;
+    uint32_t attempt = 0;
+    Point point;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  std::unordered_set<Key, KeyHash> injections_;
+  uint64_t seed_ = 0;
+  double rate_ = 0.0;
+};
+
+/// Per-attempt execution context the executor publishes (thread-locally)
+/// around a task body, so TaskContext::cancelled()/attempt() work without
+/// threading extra state through every task closure.
+struct FaultFrame {
+  const std::atomic<bool>* cancel = nullptr;         ///< this task's flag
+  const std::atomic<bool>* global_cancel = nullptr;  ///< runtime-wide flag
+  uint32_t attempt = 0;
+};
+
+/// RAII publisher for the executing worker's FaultFrame.
+class FaultFrameScope {
+ public:
+  explicit FaultFrameScope(FaultFrame frame);
+  ~FaultFrameScope();
+  FaultFrameScope(const FaultFrameScope&) = delete;
+  FaultFrameScope& operator=(const FaultFrameScope&) = delete;
+
+ private:
+  FaultFrame saved_;
+};
+
+/// The executing task's frame (empty frame outside any task body).
+const FaultFrame& current_fault_frame();
+/// True once the executing task's cancel flag (or the runtime-wide one) is
+/// set. Always false outside a task body.
+bool current_task_cancelled();
+
+}  // namespace idxl

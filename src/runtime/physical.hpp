@@ -1,6 +1,7 @@
 #pragma once
 
 #include "region/accessor.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/types.hpp"
 
 namespace idxl {
@@ -103,6 +104,28 @@ struct TaskContext {
     IDXL_REQUIRE(scalar_args != nullptr, "task has no scalar arguments");
     return scalar_args->as<T>();
   }
+
+  // --- fault API (docs/ROBUSTNESS.md) ---
+
+  /// True once this attempt has been cancelled (per-launch timeout fired,
+  /// the watchdog cancelled the run, or Runtime::cancel_all). Cancellation
+  /// is cooperative: a body that returns normally still counts as success.
+  bool cancelled() const { return current_task_cancelled(); }
+
+  /// Throw TaskCancelled if cancelled() — the idiomatic poll inside loops of
+  /// long-running bodies. The runtime records the task as timed out or
+  /// cancelled (not retried).
+  void check_cancelled() const {
+    if (current_task_cancelled()) throw TaskCancelled();
+  }
+
+  /// 0 on the first execution, k on the k-th retry.
+  uint32_t attempt() const { return current_fault_frame().attempt; }
+
+  /// Fail this task explicitly. Retried under the launch's retry policy;
+  /// once retries are exhausted the failure poisons downstream tasks and
+  /// surfaces in the FaultReport with `message`.
+  [[noreturn]] void fail(const std::string& message) const { throw TaskFailure(message); }
 };
 
 using TaskFn = std::function<void(TaskContext&)>;

@@ -35,8 +35,21 @@ RuntimeConfig apply_env_overrides(RuntimeConfig cfg) {
   cfg.watchdog_stall_window_ms = static_cast<uint32_t>(
       env_u64("IDXL_WATCHDOG_WINDOW_MS", cfg.watchdog_stall_window_ms));
   cfg.watchdog_abort = env_flag("IDXL_WATCHDOG_ABORT", cfg.watchdog_abort);
+  cfg.watchdog_cancel = env_flag("IDXL_WATCHDOG_CANCEL", cfg.watchdog_cancel);
   if (const char* v = std::getenv("IDXL_WATCHDOG_DUMP")) cfg.watchdog_dump_path = v;
+  if (auto plan = FaultPlan::from_env()) cfg.fault_plan = std::move(plan);
   return cfg;
+}
+
+obs::LifecycleDetail detail_of(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kException: return obs::LifecycleDetail::kException;
+    case FaultKind::kExplicit: return obs::LifecycleDetail::kExplicitFail;
+    case FaultKind::kInjected: return obs::LifecycleDetail::kInjected;
+    case FaultKind::kTimeout: return obs::LifecycleDetail::kTimeout;
+    case FaultKind::kCancelled: return obs::LifecycleDetail::kCancel;
+    default: return obs::LifecycleDetail::kNone;
+  }
 }
 
 obs::LifecycleDetail detail_of(SafetyOutcome outcome) {
@@ -61,7 +74,8 @@ Runtime::Runtime(RuntimeConfig config)
                 profiler_->epoch_ns()),
       rec_(config_.enable_flight_recorder ? &recorder_ : nullptr),
       pool_(std::make_unique<ThreadPool>(config_.workers)),
-      live_enabled_(config_.enable_watchdog) {
+      live_enabled_(config_.enable_watchdog),
+      fault_plan_(config_.fault_plan) {
   init_metrics();
   if (config_.enable_watchdog) {
     obs::WatchdogConfig wc;
@@ -69,6 +83,7 @@ Runtime::Runtime(RuntimeConfig config)
     wc.stall_window_ms = config_.watchdog_stall_window_ms;
     wc.tail_events = config_.watchdog_tail_events;
     wc.abort_on_stall = config_.watchdog_abort;
+    wc.cancel_on_stall = config_.watchdog_cancel;
     wc.dump_path = config_.watchdog_dump_path;
     watchdog_ = std::make_unique<obs::Watchdog>(
         std::move(wc),
@@ -85,8 +100,16 @@ Runtime::Runtime(RuntimeConfig config)
           }
           return stall_report();
         });
+    watchdog_->set_stall_action([this] { cancel_all(); });
     watchdog_->start();
   }
+}
+
+void Runtime::cancel_all() { cancel_all_.store(true, std::memory_order_release); }
+
+void Runtime::clear_faults() {
+  faults_.clear();
+  cancel_all_.store(false, std::memory_order_release);
 }
 
 Runtime::~Runtime() {
@@ -135,6 +158,24 @@ void Runtime::init_metrics() {
       "idxl_group_fallbacks_total", "safe launches forced onto the per-point path");
   cells_.group_materializations = m.counter(
       "idxl_group_materializations_total", "trees flushed group -> per-point");
+  const char* fault_help = "terminally failed tasks by root cause";
+  cells_.fault_exception =
+      m.counter("idxl_fault_tasks_total", fault_help, {{"kind", "exception"}});
+  cells_.fault_explicit =
+      m.counter("idxl_fault_tasks_total", "", {{"kind", "explicit"}});
+  cells_.fault_injected =
+      m.counter("idxl_fault_tasks_total", "", {{"kind", "injected"}});
+  cells_.fault_timeout = m.counter("idxl_fault_tasks_total", "", {{"kind", "timeout"}});
+  cells_.fault_cancelled =
+      m.counter("idxl_fault_tasks_total", "", {{"kind", "cancelled"}});
+  cells_.fault_poisoned = m.counter(
+      "idxl_fault_poisoned_total", "tasks skipped because an upstream failure poisoned them");
+  cells_.fault_injections =
+      m.counter("idxl_fault_injections_total", "FaultPlan injections fired");
+  cells_.retry_attempts =
+      m.counter("idxl_retry_attempts_total", "failed attempts re-enqueued");
+  cells_.retry_succeeded = m.counter("idxl_retry_succeeded_total",
+                                     "tasks that succeeded after at least one retry");
   cells_.task_duration =
       m.histogram("idxl_task_duration_ns", "task body execution time");
   cells_.queue_wait =
@@ -208,7 +249,24 @@ RuntimeStats Runtime::stats() const {
   s.group_edges = snap.value("idxl_group_edges_total");
   s.group_fallbacks = snap.value("idxl_group_fallbacks_total");
   s.group_materializations = snap.value("idxl_group_materializations_total");
+  for (const char* kind : {"exception", "explicit", "injected", "timeout", "cancelled"})
+    s.tasks_failed += snap.value("idxl_fault_tasks_total", {{"kind", kind}});
+  s.tasks_poisoned = snap.value("idxl_fault_poisoned_total");
+  s.fault_injections = snap.value("idxl_fault_injections_total");
+  s.retry_attempts = snap.value("idxl_retry_attempts_total");
+  s.retries_succeeded = snap.value("idxl_retry_succeeded_total");
   return s;
+}
+
+obs::Counter& Runtime::fault_cell(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kException: return cells_.fault_exception;
+    case FaultKind::kExplicit: return cells_.fault_explicit;
+    case FaultKind::kInjected: return cells_.fault_injected;
+    case FaultKind::kTimeout: return cells_.fault_timeout;
+    case FaultKind::kCancelled: return cells_.fault_cancelled;
+    default: return cells_.fault_poisoned;
+  }
 }
 
 obs::StallReport Runtime::stall_report() const {
@@ -262,6 +320,7 @@ LaunchResult Runtime::execute(const TaskLauncher& launcher) {
   cells_.single_launches.inc();
   const uint64_t launch_id = next_launch_id_++;
   LaunchResult result;  // single task: trivially safe, never an index launch
+  result.launch_id = launch_id;
   std::shared_ptr<Future::State> collect;
   if (launcher.result_redop != ReductionOp::kNone) {
     collect = std::make_shared<Future::State>();
@@ -271,7 +330,9 @@ LaunchResult Runtime::execute(const TaskLauncher& launcher) {
   }
   issue_point_task(launcher.task, launcher.point, launcher.launch_domain,
                    launcher.args, launcher.scalar_args, launch_id, collect,
-                   collect != nullptr ? 0 : -1);
+                   collect != nullptr ? 0 : -1,
+                   RetryPolicy{launcher.max_retries, launcher.retry_backoff_ms,
+                               launcher.timeout_ms});
   return result;
 }
 
@@ -297,12 +358,14 @@ void Runtime::expand_as_task_loop(const IndexLauncher& launcher,
   // The "original task loop" branch: |D| individual launches in program
   // order, each a separate runtime call (this is what the paper's No-IDX
   // configurations measure).
+  const RetryPolicy policy{launcher.max_retries, launcher.retry_backoff_ms,
+                           launcher.timeout_ms};
   int64_t rank = 0;
   launcher.domain.for_each([&](const Point& p) {
     cells_.runtime_calls.inc();
     cells_.single_launches.inc();
     issue_point_task(launcher.task, p, launcher.domain, project_args(launcher, p),
-                     launcher.scalar_args, launch_id, collect, rank++);
+                     launcher.scalar_args, launch_id, collect, rank++, policy);
   });
 }
 
@@ -349,6 +412,7 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
   }
 
   const uint64_t launch_id = next_launch_id_++;
+  result.launch_id = launch_id;
   if (rec_ != nullptr) {
     obs::FlightEvent ev;
     ev.kind = obs::LifecycleEvent::kIssued;
@@ -446,10 +510,12 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
 
   if (replaying_) {
     // Replay bypasses both dependence tiers: edges come from the capture.
+    const RetryPolicy policy{launcher.max_retries, launcher.retry_backoff_ms,
+                             launcher.timeout_ms};
     int64_t rank = 0;
     launcher.domain.for_each([&](const Point& p) {
       issue_point_task(launcher.task, p, launcher.domain, project_args(launcher, p),
-                       launcher.scalar_args, launch_id, collect, rank++);
+                       launcher.scalar_args, launch_id, collect, rank++, policy);
     });
     if (rec_ != nullptr) {
       obs::FlightEvent ev;
@@ -751,6 +817,10 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
       node->seq = next_seq_++;
       node->launch = launch_id;
       node->prof_name = prof_name;
+      node->point = p;
+      node->max_retries = launcher.max_retries;
+      node->backoff_ms = launcher.retry_backoff_ms;
+      node->timeout_ms = launcher.timeout_ms;
       if (labeling) node->label = task_name + "@" + p.to_string();
 
       deps.clear();
@@ -803,12 +873,14 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
   pool_->submit_batch(std::move(chunk_jobs));
 }
 
+const Runtime::RetryPolicy Runtime::kNoRetry{};
+
 void Runtime::issue_point_task(TaskFnId fn, const Point& point,
                                const Domain& launch_domain,
                                const std::vector<RegionArg>& args,
                                const ArgBuffer& scalar_args, uint64_t launch_id,
                                const std::shared_ptr<Future::State>& collect,
-                               int64_t rank) {
+                               int64_t rank, const RetryPolicy& policy) {
   IDXL_REQUIRE(fn < task_registry_.size(), "unknown task id");
   cells_.point_tasks.inc();
 
@@ -817,6 +889,10 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
   node->launch = launch_id;
   node->label = task_registry_[fn].first + "@" + point.to_string();
   node->prof_name = prof_ != nullptr ? task_prof_names_[fn] : 0;
+  node->point = point;
+  node->max_retries = policy.retries;
+  node->backoff_ms = policy.backoff_ms;
+  node->timeout_ms = policy.timeout_ms;
   if (rec_ != nullptr) {
     obs::FlightEvent ev;
     ev.kind = obs::LifecycleEvent::kIssued;
@@ -953,8 +1029,12 @@ void Runtime::schedule(const TaskNodePtr& node, const std::vector<TaskNodePtr>& 
   // and must never observe a count our side hasn't raised yet (double-ready).
   for (const TaskNodePtr& dep : deps) {
     node->pending.fetch_add(1, std::memory_order_relaxed);
-    if (!dep->add_successor(node))
-      node->pending.fetch_sub(1, std::memory_order_relaxed);  // already complete
+    if (!dep->add_successor(node)) {
+      // Already complete: the edge is trivially satisfied — but a faulted
+      // dep's poison must still flow, since its fan-out already happened.
+      inherit_poison(*dep, *node);
+      node->pending.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
   if (node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Readied by the issuing thread itself — no completion edge to name.
@@ -971,66 +1051,217 @@ std::function<void()> Runtime::node_job(TaskNodePtr node) {
   const bool timed = prof_ != nullptr || rec_ != nullptr;
   const uint64_t ready_ns = timed ? recorder_.now_ns() : 0;
   return [this, node = std::move(node), ready_ns, timed] {
-    if (timed) {
-      const uint64_t start_ns = recorder_.now_ns();
-      node->work();
-      const uint64_t end_ns = recorder_.now_ns();
-      if (prof_ != nullptr)
-        prof_->record(ProfCategory::kTask, node->prof_name, start_ns, end_ns,
-                      node->seq, start_ns - ready_ns, node->launch);
-      if (rec_ != nullptr) {
-        obs::FlightEvent run;
-        run.ts_ns = start_ns;
-        run.kind = obs::LifecycleEvent::kRunning;
-        run.seq = node->seq;
-        run.launch = node->launch;
-        obs::FlightEvent done = run;
-        done.ts_ns = end_ns;
-        done.kind = obs::LifecycleEvent::kComplete;
-        rec_->record2(run, done);
-      }
-      cells_.task_duration.observe(end_ns - start_ns);
-      cells_.queue_wait.observe(start_ns - ready_ns);
+    // --- fault gates: settle without running the body ---
+    const uint64_t proot = node->poison_root.load(std::memory_order_acquire);
+    if (proot != UINT64_MAX) {
+      finish_fault(node, FaultKind::kPoisoned, proot, 0, {});
+      return;
+    }
+    if (cancel_all_.load(std::memory_order_acquire) ||
+        node->cancel_flag.load(std::memory_order_acquire)) {
+      finish_fault(node, FaultKind::kCancelled, node->seq, 0,
+                   "cancelled before start");
+      return;
+    }
+
+    // --- execute one attempt ---
+    FaultKind fk = FaultKind::kNone;
+    std::string msg;
+    if (fault_plan_ != nullptr &&
+        fault_plan_->should_fail(node->launch, node->point, node->attempt)) {
+      cells_.fault_injections.inc();
+      fk = FaultKind::kInjected;
+      msg = "injected fault";
     } else {
-      node->work();
-    }
-    cells_.tasks_completed.inc();
-    if (live_enabled_) {
-      std::lock_guard<std::mutex> lock(live_mu_);
-      live_.erase(node->seq);
-    }
-    node->work = nullptr;  // release captured resources promptly
-    // Fan out to every successor this completion readied, in one batch.
-    std::vector<TaskNodePtr> ready;
-    for (const TaskNodePtr& succ : node->complete())
-      if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
-        ready.push_back(succ);
-    if (rec_ != nullptr && !ready.empty()) {
-      // This completion was the last unblocker of every task in `ready`:
-      // the waits-for edge the stall report names is (succ <- node).
-      std::vector<obs::FlightEvent> events;
-      events.reserve(ready.size());
-      const uint64_t ts = recorder_.now_ns();
-      for (const TaskNodePtr& succ : ready) {
-        obs::FlightEvent ev;
-        ev.ts_ns = ts;
-        ev.kind = obs::LifecycleEvent::kReady;
-        ev.seq = succ->seq;
-        ev.launch = succ->launch;
-        ev.edge = node->seq;
-        events.push_back(ev);
+      uint64_t timer = 0;
+      if (node->timeout_ms > 0) {
+        // The timer fires on the pool's timer thread (never a worker), so a
+        // timeout lands even when every worker is stuck; the shared_ptr
+        // capture keeps the node alive if the task wins the race.
+        timer = pool_->submit_after(
+            [n = node] {
+              n->timed_out.store(true, std::memory_order_release);
+              n->cancel_flag.store(true, std::memory_order_release);
+            },
+            node->timeout_ms);
       }
-      rec_->record_batch(events);
+      const uint64_t start_ns = timed ? recorder_.now_ns() : 0;
+      try {
+        FaultFrameScope frame(
+            FaultFrame{&node->cancel_flag, &cancel_all_, node->attempt});
+        node->work();
+      } catch (const TaskCancelled&) {
+        fk = node->timed_out.load(std::memory_order_acquire) ? FaultKind::kTimeout
+                                                             : FaultKind::kCancelled;
+        msg = fk == FaultKind::kTimeout ? "timed out" : "cancelled";
+      } catch (const TaskFailure& e) {
+        fk = FaultKind::kExplicit;
+        msg = e.what();
+      } catch (const std::exception& e) {
+        fk = FaultKind::kException;
+        msg = e.what();
+      } catch (...) {
+        fk = FaultKind::kException;
+        msg = "unknown exception";
+      }
+      if (timer != 0) pool_->cancel_timer(timer);
+      if (fk == FaultKind::kNone && timed) {
+        const uint64_t end_ns = recorder_.now_ns();
+        if (prof_ != nullptr)
+          prof_->record(ProfCategory::kTask, node->prof_name, start_ns, end_ns,
+                        node->seq, start_ns - ready_ns, node->launch);
+        if (rec_ != nullptr) {
+          obs::FlightEvent run;
+          run.ts_ns = start_ns;
+          run.kind = obs::LifecycleEvent::kRunning;
+          run.seq = node->seq;
+          run.launch = node->launch;
+          obs::FlightEvent done = run;
+          done.ts_ns = end_ns;
+          done.kind = obs::LifecycleEvent::kComplete;
+          rec_->record2(run, done);
+        }
+        cells_.task_duration.observe(end_ns - start_ns);
+        cells_.queue_wait.observe(start_ns - ready_ns);
+      }
     }
-    if (ready.size() == 1) {
-      make_ready(ready.front());
-    } else if (!ready.empty()) {
-      std::vector<std::function<void()>> jobs;
-      jobs.reserve(ready.size());
-      for (TaskNodePtr& succ : ready) jobs.push_back(node_job(std::move(succ)));
-      pool_->submit_batch(std::move(jobs));
+
+    if (fk == FaultKind::kNone) {
+      if (node->attempt > 0) cells_.retry_succeeded.inc();
+      cells_.tasks_completed.inc();
+      if (live_enabled_) {
+        std::lock_guard<std::mutex> lock(live_mu_);
+        live_.erase(node->seq);
+      }
+      node->work = nullptr;  // release captured resources promptly
+      fan_out(node, obs::FlightEvent::kNone);
+      return;
     }
+
+    // --- failed attempt: retry under the launch policy, or settle ---
+    const bool retryable = fk == FaultKind::kException ||
+                           fk == FaultKind::kExplicit || fk == FaultKind::kInjected;
+    if (retryable && node->attempt < node->max_retries) {
+      ++node->attempt;  // the executing worker owns this field
+      cells_.retry_attempts.inc();
+      if (rec_ != nullptr) {
+        obs::FlightEvent ev;
+        ev.kind = obs::LifecycleEvent::kRetry;
+        ev.seq = node->seq;
+        ev.launch = node->launch;
+        ev.edge = node->attempt;  // attempt number about to run
+        ev.detail = detail_of(fk);
+        ev.set_point(node->point.c.data(), node->point.dim);
+        rec_->record(ev);
+      }
+      // Exponential backoff: backoff_ms, 2*backoff_ms, 4*backoff_ms, ...
+      const uint64_t delay =
+          node->backoff_ms == 0
+              ? 0
+              : static_cast<uint64_t>(node->backoff_ms) << (node->attempt - 1);
+      if (delay == 0) {
+        pool_->submit(node_job(node));
+      } else {
+        // The pending timer holds the pool open (wait_idle waits for it).
+        pool_->submit_after(
+            [this, n = node]() mutable { pool_->submit(node_job(std::move(n))); },
+            delay);
+      }
+      return;
+    }
+    finish_fault(node, fk, node->seq, node->attempt + 1, std::move(msg));
   };
+}
+
+void Runtime::finish_fault(const TaskNodePtr& node, FaultKind kind, uint64_t root,
+                           uint32_t attempts, std::string message) {
+  node->fault.store(static_cast<uint8_t>(kind), std::memory_order_release);
+  // Publish the root for late edges (inherit_poison) before complete() —
+  // by now every predecessor has fanned out, so no store can race this.
+  node->poison_root.store(root, std::memory_order_release);
+
+  TaskFault fault;
+  fault.seq = node->seq;
+  fault.launch = node->launch;
+  fault.point = node->point;
+  fault.attempts = attempts;
+  fault.kind = kind;
+  fault.root = root;
+  fault.message = std::move(message);
+  faults_.record(std::move(fault));
+
+  if (kind == FaultKind::kPoisoned)
+    cells_.fault_poisoned.inc();
+  else
+    fault_cell(kind).inc();
+
+  if (rec_ != nullptr) {
+    obs::FlightEvent ev;
+    ev.kind = kind == FaultKind::kPoisoned    ? obs::LifecycleEvent::kPoisoned
+              : kind == FaultKind::kCancelled ? obs::LifecycleEvent::kCancelled
+                                              : obs::LifecycleEvent::kFailed;
+    ev.seq = node->seq;
+    ev.launch = node->launch;
+    ev.detail = detail_of(kind);
+    if (kind == FaultKind::kPoisoned) ev.edge = root;  // the culprit
+    ev.set_point(node->point.c.data(), node->point.dim);
+    rec_->record(ev);
+  }
+
+  // A settled task is progress: terminal faults count toward the completed
+  // counter so pending drains to zero (no false watchdog stalls, fences
+  // return). stats().tasks_failed/"poisoned" break the composition out.
+  cells_.tasks_completed.inc();
+  if (live_enabled_) {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_.erase(node->seq);
+  }
+  node->work = nullptr;
+  fan_out(node, root);
+}
+
+void Runtime::fan_out(const TaskNodePtr& node, uint64_t poison) {
+  // Fan out to every successor this completion readied, in one batch.
+  std::vector<TaskNodePtr> ready;
+  for (const TaskNodePtr& succ : node->complete()) {
+    if (poison != obs::FlightEvent::kNone) {
+      // Atomic-min CAS: a successor's poison root settles to the smallest
+      // failed-ancestor seq. All marking happens before the successor's
+      // pending count reaches zero, so the value is deterministic whatever
+      // order the predecessors completed in.
+      uint64_t cur = succ->poison_root.load(std::memory_order_relaxed);
+      while (poison < cur && !succ->poison_root.compare_exchange_weak(
+                                 cur, poison, std::memory_order_acq_rel)) {
+      }
+    }
+    if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      ready.push_back(succ);
+  }
+  if (rec_ != nullptr && !ready.empty()) {
+    // This completion was the last unblocker of every task in `ready`:
+    // the waits-for edge the stall report names is (succ <- node).
+    std::vector<obs::FlightEvent> events;
+    events.reserve(ready.size());
+    const uint64_t ts = recorder_.now_ns();
+    for (const TaskNodePtr& succ : ready) {
+      obs::FlightEvent ev;
+      ev.ts_ns = ts;
+      ev.kind = obs::LifecycleEvent::kReady;
+      ev.seq = succ->seq;
+      ev.launch = succ->launch;
+      ev.edge = node->seq;
+      events.push_back(ev);
+    }
+    rec_->record_batch(events);
+  }
+  if (ready.size() == 1) {
+    make_ready(ready.front());
+  } else if (!ready.empty()) {
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(ready.size());
+    for (TaskNodePtr& succ : ready) jobs.push_back(node_job(std::move(succ)));
+    pool_->submit_batch(std::move(jobs));
+  }
 }
 
 void Runtime::make_ready(const TaskNodePtr& node) { pool_->submit(node_job(node)); }
@@ -1052,13 +1283,34 @@ void Runtime::begin_trace(uint32_t trace_id) {
   replay_cursor_ = 0;
   trace_nodes_.clear();
   trace_index_.clear();
+  // Faults recorded between here and end_trace invalidate the trace: a
+  // capture containing a failed step must not be replayed (the poisoned
+  // closure never ran, so its dependence record is not the real program's).
+  trace_fault_epoch_ = faults_.epoch();
 }
 
 void Runtime::end_trace(uint32_t trace_id) {
   IDXL_REQUIRE(active_trace_ == &traces_[trace_id], "end_trace without begin_trace");
+  // Quiesce before validating: every fault a traced task will ever produce
+  // is in the log once the fence returns (the trackers are reset below,
+  // after the trace bookkeeping — wait_all skips them mid-trace).
+  wait_all();
+  const bool faulted = faults_.epoch() != trace_fault_epoch_;
   if (replaying_) {
     IDXL_REQUIRE(replay_cursor_ == active_trace_->steps.size(),
                  "trace replay issued fewer tasks than were captured");
+    if (faulted) {
+      // The replayed execution failed: drop the capture so the next
+      // begin_trace re-captures against the (possibly changed) program.
+      active_trace_->captured = false;
+      active_trace_->steps.clear();
+    }
+  } else if (faulted) {
+    // A trace containing a failed step is invalidated, not replayed: the
+    // poisoned closure never executed, so the captured dependence record
+    // does not describe a successful run. Next begin_trace re-captures.
+    active_trace_->captured = false;
+    active_trace_->steps.clear();
   } else {
     active_trace_->captured = true;
   }
@@ -1071,7 +1323,6 @@ void Runtime::end_trace(uint32_t trace_id) {
     ev.kind = obs::LifecycleEvent::kTraceEnd;
     rec_->record(ev);
   }
-  wait_all();
   tracker_.reset();
   group_.reset();
 }

@@ -10,6 +10,7 @@
 #include "obs/profiler.hpp"
 #include "obs/watchdog.hpp"
 #include "runtime/dependence.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/group_dependence.hpp"
 #include "runtime/physical.hpp"
 #include "runtime/thread_pool.hpp"
@@ -72,8 +73,17 @@ struct RuntimeConfig {
   std::size_t watchdog_tail_events = 32;
   /// Abort after dumping (post-mortem over hang). Env: IDXL_WATCHDOG_ABORT.
   bool watchdog_abort = false;
+  /// Graceful degradation: on a stall, cancel the run (Runtime::cancel_all)
+  /// so blocked work drains as cancelled/poisoned into the FaultReport
+  /// instead of hanging. Env: IDXL_WATCHDOG_CANCEL.
+  bool watchdog_cancel = false;
   /// Dump destination; empty = stderr. Env: IDXL_WATCHDOG_DUMP.
   std::string watchdog_dump_path;
+  /// Deterministic fault-injection plan (tests, soak CI). Every task
+  /// execution consults should_fail(launch, point, attempt); a hit fails
+  /// the attempt as FaultKind::kInjected. The IDXL_FAULT_PLAN env spec
+  /// (see FaultPlan::parse) overrides this field.
+  std::shared_ptr<const FaultPlan> fault_plan;
 };
 
 /// Counters exposing the asymptotic behaviour the paper argues about; tests
@@ -101,6 +111,12 @@ struct RuntimeStats {
   uint64_t group_edges = 0;          ///< launch-level summary conflicts (O(args))
   uint64_t group_fallbacks = 0;      ///< safe launches forced onto the per-point path
   uint64_t group_materializations = 0;  ///< trees flushed group → per-point
+  // --- fault tolerance ---
+  uint64_t tasks_failed = 0;        ///< terminal root-cause failures, all kinds
+  uint64_t tasks_poisoned = 0;      ///< tasks skipped due to upstream failure
+  uint64_t fault_injections = 0;    ///< FaultPlan injections fired
+  uint64_t retry_attempts = 0;      ///< failed attempts re-enqueued
+  uint64_t retries_succeeded = 0;   ///< tasks that succeeded after >= 1 retry
 };
 
 /// Deferred reduction of an index launch's per-task return values.
@@ -130,6 +146,9 @@ struct LaunchResult {
   SafetyReport safety;
   bool ran_as_index_launch = false;
   Future future;  ///< valid iff the launcher set result_redop
+  /// Id of this launch — the key into FaultReport::for_launch (and the
+  /// flight recorder / Chrome trace cross-link).
+  uint64_t launch_id = UINT64_MAX;
 };
 
 /// The real, in-process runtime: sequential task issuance with implicit
@@ -166,6 +185,20 @@ class Runtime {
 
   /// Block until all issued tasks have executed.
   void wait_all();
+
+  /// Structured outcome of every failure so far: root causes plus the
+  /// poisoned closure, sorted by task seq (deterministic for a seeded
+  /// FaultPlan). Call after wait_all(); empty report = clean run.
+  FaultReport fault_report() const { return faults_.report(); }
+
+  /// Drop accumulated fault records and re-arm after cancel_all(), so the
+  /// runtime can be reused for another program phase.
+  void clear_faults();
+
+  /// Cooperatively cancel the run: queued tasks terminate as kCancelled
+  /// before their bodies start; running bodies observe
+  /// TaskContext::cancelled(). The watchdog's cancel_on_stall action.
+  void cancel_all();
 
   /// Read access to region data from top-level code; callers should
   /// wait_all() first.
@@ -290,6 +323,15 @@ class Runtime {
     std::vector<TraceStep> steps;
   };
 
+  /// Per-launch retry/timeout knobs, copied from the launcher onto every
+  /// TaskNode it expands into.
+  struct RetryPolicy {
+    uint32_t retries = 0;
+    uint32_t backoff_ms = 0;
+    uint32_t timeout_ms = 0;
+  };
+  static const RetryPolicy kNoRetry;
+
   /// Issue one point task: map regions, discover dependencies (or replay
   /// them from the active trace), hand to the scheduler. `collect`/`rank`
   /// route the task's return value into a pending Future.
@@ -297,7 +339,7 @@ class Runtime {
                         const std::vector<RegionArg>& args,
                         const ArgBuffer& scalar_args, uint64_t launch_id,
                         const std::shared_ptr<Future::State>& collect = nullptr,
-                        int64_t rank = -1);
+                        int64_t rank = -1, const RetryPolicy& policy = kNoRetry);
 
   void expand_as_task_loop(const IndexLauncher& launcher, uint64_t launch_id,
                            const std::shared_ptr<Future::State>& collect);
@@ -341,6 +383,18 @@ class Runtime {
   /// (batched through ThreadPool::submit_batch).
   std::function<void()> node_job(TaskNodePtr node);
 
+  /// Settle `node` in a terminal fault state: record the TaskFault, emit
+  /// metrics + flight event, then complete the node so successors drain —
+  /// propagating `root` into their poison_root (atomic min) on the way.
+  /// `attempts` is the number of body executions (0 when the body never ran).
+  void finish_fault(const TaskNodePtr& node, FaultKind kind, uint64_t root,
+                    uint32_t attempts, std::string message);
+  /// Completion fan-out shared by the success and fault paths: complete the
+  /// node, decrement successors (stamping `poison` into poison_root first
+  /// when != kNone sentinel), record kReady events, submit newly ready jobs.
+  void fan_out(const TaskNodePtr& node, uint64_t poison);
+  obs::Counter& fault_cell(FaultKind kind);
+
   /// Registry-backed counter/gauge/histogram handles for every runtime
   /// stat — the write side of stats(). Updates are relaxed atomic adds.
   struct StatsCells {
@@ -349,6 +403,9 @@ class Runtime {
         safe_unchecked, assumed_verified, unsafe, dynamic_check_points,
         traced_replayed, cache_hit_launches, cache_miss_launches,
         group_launches, group_edges, group_fallbacks, group_materializations;
+    obs::Counter fault_exception, fault_explicit, fault_injected, fault_timeout,
+        fault_cancelled, fault_poisoned, fault_injections, retry_attempts,
+        retry_succeeded;
     obs::Histogram task_duration, queue_wait;
   };
 
@@ -386,6 +443,12 @@ class Runtime {
   uint64_t next_seq_ = 0;
   uint64_t next_launch_id_ = 0;
   TaskFnId fill_task_ = UINT32_MAX;
+
+  // --- fault tolerance ---
+  FaultLog faults_;
+  std::shared_ptr<const FaultPlan> fault_plan_;  ///< config or IDXL_FAULT_PLAN
+  std::atomic<bool> cancel_all_{false};
+  uint64_t trace_fault_epoch_ = 0;  ///< faults_.epoch() at begin_trace
 
   // --- prototype PhysicalRegion cache (bulk expansion) ---
   // One table per (parent, partition, field mask, privilege, redop), holding

@@ -119,6 +119,11 @@ std::vector<std::byte> serialize_launcher(const IndexLauncher& launcher) {
   serialize_domain(s, launcher.domain);
   s.put_u8(launcher.assume_verified ? 1 : 0);
   s.put_u8(static_cast<uint8_t>(launcher.result_redop));
+  // Retry policy is part of the descriptor: the sharded runtime's
+  // replication hash must catch shards disagreeing on failure semantics.
+  s.put_u32(launcher.max_retries);
+  s.put_u32(launcher.retry_backoff_ms);
+  s.put_u32(launcher.timeout_ms);
   s.put_u32(static_cast<uint32_t>(launcher.args.size()));
   for (const ProjectedArg& arg : launcher.args) {
     IDXL_REQUIRE(arg.functor.is_symbolic(),
@@ -144,6 +149,9 @@ IndexLauncher deserialize_launcher(const std::vector<std::byte>& bytes) {
   launcher.domain = deserialize_domain(d);
   launcher.assume_verified = d.get_u8() != 0;
   launcher.result_redop = static_cast<ReductionOp>(d.get_u8());
+  launcher.max_retries = d.get_u32();
+  launcher.retry_backoff_ms = d.get_u32();
+  launcher.timeout_ms = d.get_u32();
   const uint32_t nargs = d.get_u32();
   for (uint32_t a = 0; a < nargs; ++a) {
     ProjectedArg arg;

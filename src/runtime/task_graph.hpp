@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "region/point.hpp"
+#include "runtime/fault.hpp"
+
 namespace idxl {
 
 /// One executable task instance in the real executor's dependence graph.
@@ -28,6 +31,35 @@ struct TaskNode {
   /// still being added; the node becomes ready when this reaches zero.
   std::atomic<int64_t> pending{1};
   std::atomic<bool> done{false};
+
+  /// Launch-domain point this task executes (dim 0 means "not an index
+  /// point": single-task launches report Point::p1(0)).
+  Point point = Point::p1(0);
+
+  // --- fault state -------------------------------------------------------
+  /// Terminal FaultKind once the node fails or is poisoned; written exactly
+  /// once, before complete(), by the executing/poisoning worker.
+  std::atomic<uint8_t> fault{0};
+  /// Seq of the root-cause failure poisoning this node. Predecessors race to
+  /// atomic-min this before decrementing `pending`, so by the time the node
+  /// runs the value is the minimum failed ancestor seq — deterministic for a
+  /// fixed dependence graph. UINT64_MAX means healthy.
+  std::atomic<uint64_t> poison_root{UINT64_MAX};
+  /// Cooperative-cancellation flag: set by the timeout timer or the
+  /// watchdog's cancel action, observed via TaskContext::cancelled().
+  std::atomic<bool> cancel_flag{false};
+  std::atomic<bool> timed_out{false};
+
+  // Retry policy, copied from the launcher at issue time (immutable after).
+  uint32_t max_retries = 0;
+  uint32_t backoff_ms = 0;
+  uint32_t timeout_ms = 0;
+  /// Attempt counter; only the (single) executing worker mutates it.
+  uint32_t attempt = 0;
+
+  FaultKind fault_kind() const {
+    return static_cast<FaultKind>(fault.load(std::memory_order_acquire));
+  }
 
   std::mutex mu;                                   // guards successors
   std::vector<std::shared_ptr<TaskNode>> successors;
@@ -51,5 +83,20 @@ struct TaskNode {
 };
 
 using TaskNodePtr = std::shared_ptr<TaskNode>;
+
+/// Late-edge poison inheritance: when add_successor() finds `dep` already
+/// complete, dep's fan-out can no longer reach `node`, so a faulted dep's
+/// root must be copied over here (atomic-min, same rule as fan-out). The
+/// done=true read under dep's mutex orders dep's fault/poison_root stores
+/// (both precede complete()) before these loads.
+inline void inherit_poison(const TaskNode& dep, TaskNode& node) {
+  if (dep.fault_kind() == FaultKind::kNone) return;
+  const uint64_t root = dep.poison_root.load(std::memory_order_acquire);
+  if (root == UINT64_MAX) return;
+  uint64_t cur = node.poison_root.load(std::memory_order_relaxed);
+  while (root < cur && !node.poison_root.compare_exchange_weak(
+                           cur, root, std::memory_order_acq_rel))
+    ;
+}
 
 }  // namespace idxl

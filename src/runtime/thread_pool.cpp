@@ -1,5 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
+#include <iterator>
+
 #include "obs/profiler.hpp"
 #include "support/error.hpp"
 
@@ -22,7 +24,9 @@ ThreadPool::~ThreadPool() {
     shutdown_ = true;
   }
   work_cv_.notify_all();
+  timer_cv_.notify_all();
   for (auto& t : threads_) t.join();
+  if (timer_thread_.joinable()) timer_thread_.join();
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
@@ -48,6 +52,72 @@ void ThreadPool::submit_batch(std::vector<std::function<void()>> fns) {
     work_cv_.notify_all();
   } else {
     for (std::size_t i = 0; i < n; ++i) work_cv_.notify_one();
+  }
+}
+
+uint64_t ThreadPool::submit_after(std::function<void()> fn, uint64_t delay_ms) {
+  uint64_t id;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    IDXL_ASSERT_MSG(!shutdown_, "submit_after after shutdown");
+    id = ++next_timer_id_;
+    timers_.push_back(Timer{
+        id, std::chrono::steady_clock::now() + std::chrono::milliseconds(delay_ms),
+        std::move(fn)});
+    ++in_flight_;
+    // Lazily start the timer thread: pools that never use timers (the common
+    // case) pay nothing.
+    if (!timer_thread_.joinable()) timer_thread_ = std::thread([this] { timer_loop(); });
+  }
+  timer_cv_.notify_one();
+  return id;
+}
+
+bool ThreadPool::cancel_timer(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->id != id) continue;
+    timers_.erase(it);
+    --in_flight_;
+    if (in_flight_ == 0) idle_cv_.notify_all();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::timer_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (shutdown_) {
+      // Unexpired timers are dropped, never fired: the process is going
+      // away and their in_flight_ reservation with it.
+      in_flight_ -= timers_.size();
+      timers_.clear();
+      if (in_flight_ == 0) idle_cv_.notify_all();
+      return;
+    }
+    if (timers_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    auto due = timers_.begin();
+    for (auto it = std::next(due); it != timers_.end(); ++it)
+      if (it->deadline < due->deadline) due = it;
+    const auto now = std::chrono::steady_clock::now();
+    if (due->deadline > now) {
+      timer_cv_.wait_until(lock, due->deadline);
+      continue;
+    }
+    auto fn = std::move(due->fn);
+    timers_.erase(due);
+    // Fire OUTSIDE the lock, on this thread: the callback may submit() work
+    // back to the pool, and it must run even when every worker is busy.
+    lock.unlock();
+    fn();
+    fn = nullptr;  // destroy captured state before re-locking
+    lock.lock();
+    --in_flight_;
+    if (in_flight_ == 0) idle_cv_.notify_all();
   }
 }
 

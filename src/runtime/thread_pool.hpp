@@ -1,6 +1,8 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -32,6 +34,19 @@ class ThreadPool {
   /// mutex round-trip per launch instead of one per chunk.
   void submit_batch(std::vector<std::function<void()>> fns);
 
+  /// Run `fn` on the (lazily started) timer thread after `delay_ms`. The
+  /// callback must be lightweight — set flags, or submit() real work back to
+  /// the pool; it deliberately bypasses the worker queue so timeouts fire
+  /// even when every worker is busy in a stuck task. The pending timer
+  /// counts toward wait_idle() (retry backoff must hold a fence open).
+  /// Returns a nonzero id for cancel_timer().
+  uint64_t submit_after(std::function<void()> fn, uint64_t delay_ms);
+
+  /// Cancel a pending timer. Returns true if it had not fired yet (the
+  /// callback will never run); false once firing has begun or the id is
+  /// unknown.
+  bool cancel_timer(uint64_t id);
+
   /// Block until every submitted task (including tasks submitted by running
   /// tasks) has finished. Must not be called while paused (it would wait
   /// forever on the parked queue).
@@ -52,14 +67,25 @@ class ThreadPool {
   std::size_t executing() const;
 
  private:
+  struct Timer {
+    uint64_t id = 0;
+    std::chrono::steady_clock::time_point deadline;
+    std::function<void()> fn;
+  };
+
   void worker_loop(int worker_id);
+  void timer_loop();
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
+  std::condition_variable timer_cv_;
   std::deque<std::function<void()>> queue_;
+  std::vector<Timer> timers_;  // unordered; counts are small, scans are fine
   std::vector<std::thread> threads_;
-  std::size_t in_flight_ = 0;   // queued + executing
+  std::thread timer_thread_;   // lazily started by the first submit_after()
+  uint64_t next_timer_id_ = 0;
+  std::size_t in_flight_ = 0;   // queued + executing + pending/firing timers
   std::size_t executing_ = 0;   // mid-execution on a worker
   bool shutdown_ = false;
   bool paused_ = false;

@@ -93,6 +93,13 @@ struct TaskLauncher {
   /// When not kNone, execute() yields a Future holding the task's
   /// return_value (folded trivially: one producer).
   ReductionOp result_redop = ReductionOp::kNone;
+  /// Retry policy (see docs/ROBUSTNESS.md): a retryable failure (exception,
+  /// explicit fail, injected fault) re-enqueues the task up to `max_retries`
+  /// times with exponential backoff; `timeout_ms` > 0 arms a timer that
+  /// cancels the attempt cooperatively.
+  uint32_t max_retries = 0;
+  uint32_t retry_backoff_ms = 0;
+  uint32_t timeout_ms = 0;
 
   // --- fluent builders ---
   static TaskLauncher for_task(TaskFnId id) {
@@ -127,6 +134,21 @@ struct TaskLauncher {
     result_redop = op;
     return *this;
   }
+  /// Retry a failed body up to `n` times before poisoning downstream.
+  TaskLauncher& retries(uint32_t n) {
+    max_retries = n;
+    return *this;
+  }
+  /// First-retry delay; doubles on each subsequent retry.
+  TaskLauncher& backoff(uint32_t ms) {
+    retry_backoff_ms = ms;
+    return *this;
+  }
+  /// Cancel an attempt cooperatively after `ms` (0 disables).
+  TaskLauncher& timeout(uint32_t ms) {
+    timeout_ms = ms;
+    return *this;
+  }
 };
 
 /// Launcher for an index launch: the O(1) descriptor of |domain| tasks.
@@ -158,6 +180,11 @@ struct IndexLauncher {
   /// future-map reduction of task-based runtimes). The fold happens in
   /// launch-point rank order, so floating-point results are deterministic.
   ReductionOp result_redop = ReductionOp::kNone;
+  /// Retry policy, applied independently to every point task of the launch
+  /// (see docs/ROBUSTNESS.md and TaskLauncher for semantics).
+  uint32_t max_retries = 0;
+  uint32_t retry_backoff_ms = 0;
+  uint32_t timeout_ms = 0;
 
   // --- fluent builders ---
   static IndexLauncher over(Domain launch_domain) {
@@ -196,6 +223,21 @@ struct IndexLauncher {
   /// Mark the launch compiler-verified: the runtime skips its own checks.
   IndexLauncher& verified(bool v = true) {
     assume_verified = v;
+    return *this;
+  }
+  /// Retry a failed point task up to `n` times before poisoning downstream.
+  IndexLauncher& retries(uint32_t n) {
+    max_retries = n;
+    return *this;
+  }
+  /// First-retry delay; doubles on each subsequent retry.
+  IndexLauncher& backoff(uint32_t ms) {
+    retry_backoff_ms = ms;
+    return *this;
+  }
+  /// Cancel a point-task attempt cooperatively after `ms` (0 disables).
+  IndexLauncher& timeout(uint32_t ms) {
+    timeout_ms = ms;
     return *this;
   }
 };

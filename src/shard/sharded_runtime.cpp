@@ -25,6 +25,7 @@ ShardedRuntime::ShardedRuntime(ShardedConfig config) : config_(std::move(config)
   IDXL_REQUIRE(config_.shards >= 1, "need at least one shard");
   if (config_.sharding == nullptr)
     config_.sharding = std::make_shared<BlockShardingFunctor>();
+  if (auto plan = FaultPlan::from_env()) config_.fault_plan = std::move(plan);
   profiler_ = std::make_unique<Profiler>(config_.enable_profiling);
   if (config_.enable_profiling) prof_ = profiler_.get();
   const unsigned per_shard =
@@ -58,8 +59,39 @@ ShardedRuntime::ShardedRuntime(ShardedConfig config) : config_(std::move(config)
         "replicated write-log records (distributed storage)", labels);
     shard_cells_.push_back(cells);
   }
+  // Run-wide fault/retry families, same names as the single runtime so the
+  // OBSERVABILITY metric tables apply to both.
+  const char* fault_help = "tasks that reached a terminal fault, by root cause";
+  fault_cells_.fault_exception =
+      metrics_.counter("idxl_fault_tasks_total", fault_help, {{"kind", "exception"}});
+  fault_cells_.fault_explicit =
+      metrics_.counter("idxl_fault_tasks_total", fault_help, {{"kind", "explicit"}});
+  fault_cells_.fault_injected =
+      metrics_.counter("idxl_fault_tasks_total", fault_help, {{"kind", "injected"}});
+  fault_cells_.fault_timeout =
+      metrics_.counter("idxl_fault_tasks_total", fault_help, {{"kind", "timeout"}});
+  fault_cells_.fault_cancelled =
+      metrics_.counter("idxl_fault_tasks_total", fault_help, {{"kind", "cancelled"}});
+  fault_cells_.fault_poisoned = metrics_.counter(
+      "idxl_fault_poisoned_total", "tasks skipped because an ancestor failed");
+  fault_cells_.fault_injections = metrics_.counter(
+      "idxl_fault_injections_total", "FaultPlan injections that fired");
+  fault_cells_.retry_attempts = metrics_.counter(
+      "idxl_retry_attempts_total", "task re-executions after a retryable fault");
+  fault_cells_.retry_succeeded = metrics_.counter(
+      "idxl_retry_succeeded_total", "tasks that completed on a retry attempt");
   shard_base_.resize(config_.shards);
   replicas_.resize(config_.shards);
+}
+
+obs::Counter& ShardedRuntime::fault_cell(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kExplicit: return fault_cells_.fault_explicit;
+    case FaultKind::kInjected: return fault_cells_.fault_injected;
+    case FaultKind::kTimeout: return fault_cells_.fault_timeout;
+    case FaultKind::kCancelled: return fault_cells_.fault_cancelled;
+    default: return fault_cells_.fault_exception;
+  }
 }
 
 ShardedRuntime::Replica& ShardedRuntime::replica(uint32_t shard, uint32_t root) {
@@ -139,8 +171,11 @@ void ShardedRuntime::schedule(uint32_t owner, const TaskNodePtr& node,
   outstanding_.fetch_add(1, std::memory_order_relaxed);
   for (const TaskNodePtr& dep : deps) {
     node->pending.fetch_add(1, std::memory_order_relaxed);
-    if (!dep->add_successor(node))
+    if (!dep->add_successor(node)) {
+      // Completed dep: trivially satisfied, but a faulted one still poisons.
+      inherit_poison(*dep, *node);
       node->pending.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
   if (node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) make_ready(node);
 }
@@ -148,34 +183,150 @@ void ShardedRuntime::schedule(uint32_t owner, const TaskNodePtr& node,
 std::function<void()> ShardedRuntime::node_job(TaskNodePtr node) {
   const uint64_t ready_ns = prof_ != nullptr ? prof_->now_ns() : 0;
   return [this, node = std::move(node), ready_ns] {
-    if (prof_ != nullptr) {
-      const uint64_t start_ns = prof_->now_ns();
-      node->work();
-      prof_->record(ProfCategory::kTask, node->prof_name, start_ns,
-                    prof_->now_ns(), node->seq, start_ns - ready_ns);
+    // Poison gate: a failed ancestor (on any shard) atomic-min'd its root
+    // into poison_root before readying us over the shared event.
+    const uint64_t proot = node->poison_root.load(std::memory_order_acquire);
+    if (proot != UINT64_MAX) {
+      finish_fault(node, FaultKind::kPoisoned, proot, 0, {});
+      return;
+    }
+    if (node->cancel_flag.load(std::memory_order_acquire)) {
+      finish_fault(node, FaultKind::kCancelled, node->seq, 0,
+                   "cancelled before start");
+      return;
+    }
+    FaultKind fk = FaultKind::kNone;
+    std::string msg;
+    if (config_.fault_plan != nullptr &&
+        config_.fault_plan->should_fail(node->launch, node->point, node->attempt)) {
+      // Injections replace the body execution for this attempt.
+      fk = FaultKind::kInjected;
+      fault_cells_.fault_injections.inc();
+      msg = "injected fault";
     } else {
-      node->work();
-    }
-    node->work = nullptr;
-    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
-    // Fan out to every successor this completion readied, grouped by owner
-    // pool so each pool's queue lock is taken once per completion.
-    std::vector<TaskNodePtr> ready;
-    for (const TaskNodePtr& succ : node->complete())
-      if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
-        ready.push_back(succ);
-    if (ready.size() == 1) {
-      make_ready(ready.front());
-    } else if (!ready.empty()) {
-      std::unordered_map<uint32_t, std::vector<std::function<void()>>> by_owner;
-      for (TaskNodePtr& succ : ready) {
-        const uint32_t owner = succ->owner.load(std::memory_order_relaxed);
-        by_owner[owner].push_back(node_job(std::move(succ)));
+      const uint32_t owner = node->owner.load(std::memory_order_relaxed);
+      uint64_t timer = 0;
+      if (node->timeout_ms > 0)
+        timer = pools_[owner]->submit_after(
+            [n = node] {
+              n->timed_out.store(true, std::memory_order_release);
+              n->cancel_flag.store(true, std::memory_order_release);
+            },
+            node->timeout_ms);
+      try {
+        FaultFrameScope frame(
+            FaultFrame{&node->cancel_flag, nullptr, node->attempt});
+        if (prof_ != nullptr) {
+          const uint64_t start_ns = prof_->now_ns();
+          node->work();
+          prof_->record(ProfCategory::kTask, node->prof_name, start_ns,
+                        prof_->now_ns(), node->seq, start_ns - ready_ns);
+        } else {
+          node->work();
+        }
+      } catch (const TaskCancelled&) {
+        fk = node->timed_out.load(std::memory_order_acquire)
+                 ? FaultKind::kTimeout
+                 : FaultKind::kCancelled;
+        msg = fk == FaultKind::kTimeout ? "timed out" : "cancelled";
+      } catch (const TaskFailure& e) {
+        fk = FaultKind::kExplicit;
+        msg = e.what();
+      } catch (const std::exception& e) {
+        fk = FaultKind::kException;
+        msg = e.what();
+      } catch (...) {
+        fk = FaultKind::kException;
+        msg = "unknown exception";
       }
-      for (auto& [owner, jobs] : by_owner)
-        pools_[owner]->submit_batch(std::move(jobs));
+      if (timer != 0) pools_[owner]->cancel_timer(timer);
     }
+
+    if (fk == FaultKind::kNone) {
+      if (node->attempt > 0) fault_cells_.retry_succeeded.inc();
+      node->work = nullptr;
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+      fan_out(node, UINT64_MAX);
+      return;
+    }
+
+    const bool retryable = fk == FaultKind::kException ||
+                           fk == FaultKind::kExplicit ||
+                           fk == FaultKind::kInjected;
+    if (retryable && node->attempt < node->max_retries) {
+      ++node->attempt;
+      fault_cells_.retry_attempts.inc();
+      const uint32_t owner = node->owner.load(std::memory_order_relaxed);
+      const uint64_t delay =
+          node->backoff_ms == 0
+              ? 0
+              : static_cast<uint64_t>(node->backoff_ms) << (node->attempt - 1);
+      if (delay == 0) {
+        pools_[owner]->submit(node_job(node));
+      } else {
+        pools_[owner]->submit_after(
+            [this, owner, n = node]() mutable {
+              pools_[owner]->submit(node_job(std::move(n)));
+            },
+            delay);
+      }
+      return;  // the task is still outstanding; no fan-out yet
+    }
+    finish_fault(node, fk, node->seq, node->attempt + 1, std::move(msg));
   };
+}
+
+void ShardedRuntime::finish_fault(const TaskNodePtr& node, FaultKind kind,
+                                  uint64_t root, uint32_t attempts,
+                                  std::string message) {
+  node->fault.store(static_cast<uint8_t>(kind), std::memory_order_release);
+  // Publish the root for late edges (inherit_poison) before complete().
+  node->poison_root.store(root, std::memory_order_release);
+  TaskFault f;
+  f.seq = node->seq;
+  f.launch = node->launch;
+  f.point = node->point;
+  f.attempts = attempts;
+  f.kind = kind;
+  f.root = root;
+  f.message = std::move(message);
+  faults_.record(std::move(f));
+  if (kind == FaultKind::kPoisoned)
+    fault_cells_.fault_poisoned.inc();
+  else
+    fault_cell(kind).inc();
+  node->work = nullptr;
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  fan_out(node, root);
+}
+
+void ShardedRuntime::fan_out(const TaskNodePtr& node, uint64_t poison) {
+  // Fan out to every successor this completion readied, grouped by owner
+  // pool so each pool's queue lock is taken once per completion. Poison
+  // propagates over the same edges — atomic-min of the root seq *before*
+  // the pending decrement, so a readied successor always observes it.
+  std::vector<TaskNodePtr> ready;
+  for (const TaskNodePtr& succ : node->complete()) {
+    if (poison != UINT64_MAX) {
+      uint64_t cur = succ->poison_root.load(std::memory_order_relaxed);
+      while (poison < cur && !succ->poison_root.compare_exchange_weak(
+                                 cur, poison, std::memory_order_acq_rel))
+        ;
+    }
+    if (succ->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      ready.push_back(succ);
+  }
+  if (ready.size() == 1) {
+    make_ready(ready.front());
+  } else if (!ready.empty()) {
+    std::unordered_map<uint32_t, std::vector<std::function<void()>>> by_owner;
+    for (TaskNodePtr& succ : ready) {
+      const uint32_t owner = succ->owner.load(std::memory_order_relaxed);
+      by_owner[owner].push_back(node_job(std::move(succ)));
+    }
+    for (auto& [owner, jobs] : by_owner)
+      pools_[owner]->submit_batch(std::move(jobs));
+  }
 }
 
 void ShardedRuntime::make_ready(const TaskNodePtr& node) {
@@ -197,10 +348,11 @@ void ShardedRuntime::drain() {
   for (auto& pool : pools_) pool->wait_idle();
 }
 
-void ShardedRuntime::run(const std::function<void(ShardContext&)>& program) {
+FaultReport ShardedRuntime::run(const std::function<void(ShardContext&)>& program) {
   // Start from a clean slate so launch sequence numbers from a previous
   // run() cannot alias old (completed) events.
   drain();
+  faults_.clear();  // each run() reports its own faults
   if (config_.distributed_storage) {
     // Persist the previous run's results into the forest, then restart the
     // replicas from that authoritative state.
@@ -259,6 +411,7 @@ void ShardedRuntime::run(const std::function<void(ShardContext&)>& program) {
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
   drain();
+  return faults_.report();
 }
 
 ShardStats ShardedRuntime::stats(uint32_t shard) const {
@@ -483,6 +636,14 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
     const Domain domain = launcher.domain;
     node->label = rt.task_registry_[launcher.task].first + "@" + p.to_string();
     node->prof_name = rt.prof_ != nullptr ? rt.task_prof_names_[launcher.task] : 0;
+    // Owner-only writes (racing identical stores from other shards would
+    // still be data races); node_job reads them after schedule() publishes
+    // the node through the pending counter.
+    node->launch = seq;
+    node->point = p;
+    node->max_retries = launcher.max_retries;
+    node->backoff_ms = launcher.retry_backoff_ms;
+    node->timeout_ms = launcher.timeout_ms;
     node->work = [&body, p, domain, prof = rt.prof_, key,
                   scalar = std::move(scalar), regions = std::move(regions),
                   copies = std::move(copies)]() mutable {

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "runtime/dependence.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/mapping.hpp"
 #include "runtime/physical.hpp"
 #include "runtime/thread_pool.hpp"
@@ -60,6 +61,11 @@ struct ShardedConfig {
   /// Record per-event spans (issuance, replicated analysis, task execution,
   /// inter-shard copies) into ShardedRuntime::profiler(). Off by default.
   bool enable_profiling = false;
+  /// Deterministic fault injections (IDXL_FAULT_PLAN overrides at
+  /// construction, exactly like RuntimeConfig::fault_plan). Because every
+  /// shard sees the identical launch stream, the injected set — and hence
+  /// the FaultReport — is identical no matter which shard owns each point.
+  std::shared_ptr<const FaultPlan> fault_plan;
 };
 
 /// Per-shard counters for the current (or most recent) run(). Backed by
@@ -121,9 +127,17 @@ class ShardedRuntime {
   RegionForest& forest() { return forest_; }
   TaskFnId register_task(std::string name, TaskFn fn);
 
-  /// Run `program` on every shard (SPMD) and block until every task has
-  /// executed. Rethrows the first exception any shard raised.
-  void run(const std::function<void(ShardContext&)>& program);
+  /// Run `program` on every shard (SPMD) and block until every task reached
+  /// a terminal state. Rethrows the first *issuance* exception any shard
+  /// thread raised (control divergence, unsafe launch); task-body failures
+  /// do not throw — they land in the returned FaultReport, which aggregates
+  /// faults across every shard (cross-shard poison flows over the same
+  /// completion events as readiness). Empty report = clean run.
+  FaultReport run(const std::function<void(ShardContext&)>& program);
+
+  /// Faults accumulated since the last run() started (same snapshot run()
+  /// returned; callable mid-run from any thread).
+  FaultReport fault_report() const { return faults_.report(); }
 
   /// One shard's counters for the current/most recent run(), read through a
   /// registry snapshot — safe to call mid-run from any thread.
@@ -165,8 +179,19 @@ class ShardedRuntime {
                 const std::vector<TaskNodePtr>& deps);
   void make_ready(const TaskNodePtr& node);
   /// The pool job that executes `node` then fans out to ready successors,
-  /// batched per owner pool through ThreadPool::submit_batch.
+  /// batched per owner pool through ThreadPool::submit_batch. Mirrors the
+  /// single runtime's fault handling: poison gate, injection, timeout,
+  /// retry with backoff on the owner pool's timer queue.
   std::function<void()> node_job(TaskNodePtr node);
+  /// Terminal fault path: record, count, decrement outstanding_, fan out
+  /// poison (the root-cause seq) to the dependence closure.
+  void finish_fault(const TaskNodePtr& node, FaultKind kind, uint64_t root,
+                    uint32_t attempts, std::string message);
+  /// Completion fan-out shared by success and fault paths. `poison` is the
+  /// root seq to propagate (UINT64_MAX = healthy completion); ready
+  /// successors are batched per owner pool.
+  void fan_out(const TaskNodePtr& node, uint64_t poison);
+  obs::Counter& fault_cell(FaultKind kind);
   void drain();
 
   // --- distributed storage (config_.distributed_storage) ---
@@ -197,6 +222,14 @@ class ShardedRuntime {
     obs::Gauge write_log;
   };
 
+  /// Run-wide (not per-shard) fault/retry counters, mirroring the single
+  /// runtime's idxl_fault_* / idxl_retry_* families.
+  struct FaultCells {
+    obs::Counter fault_exception, fault_explicit, fault_injected, fault_timeout,
+        fault_cancelled, fault_poisoned, fault_injections, retry_attempts,
+        retry_succeeded;
+  };
+
   ShardedConfig config_;
   RegionForest forest_;
   VerdictCache verdict_cache_;  // shared across shard threads (internally locked)
@@ -204,7 +237,9 @@ class ShardedRuntime {
   // Observability precedes the pools: workers record until joined.
   obs::MetricsRegistry metrics_;
   std::vector<ShardCells> shard_cells_;
+  FaultCells fault_cells_;
   std::vector<ShardStats> shard_base_;  ///< counter values at run() start
+  FaultLog faults_;  ///< shared by every shard's workers (internally locked)
   std::unique_ptr<Profiler> profiler_;
   Profiler* prof_ = nullptr;  ///< == profiler_.get() iff profiling is enabled
   std::vector<std::pair<std::string, TaskFn>> task_registry_;
