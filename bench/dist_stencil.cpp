@@ -1,0 +1,146 @@
+// Figure 7's stencil, re-run for real on the distributed backend: the same
+// PRK star workload across 1-4 actual OS processes (fork-mode workers), with
+// results verified against the serial reference. Writes BENCH_dist.json.
+//
+// Unlike the fig7 binary (which simulates the paper's 512-node sweep), every
+// number here is a measured wall-clock throughput of real multi-process
+// execution, so the series doubles as a regression check on the wire path.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/stencil.hpp"
+#include "dist/dist_runtime.hpp"
+#include "dist/smoke_tasks.hpp"
+#include "fig_common.hpp"
+#include "region/partition_ops.hpp"
+
+using namespace idxl;
+
+namespace {
+
+struct Result {
+  uint32_t ranks;
+  double cells_per_s;
+  double max_err;
+};
+
+Result run_once(uint32_t ranks, const apps::StencilParams& params, int iters) {
+  dist::DistConfig dc;
+  dc.ranks = ranks;
+  dc.runtime.workers = 2;
+  dist::DistributedRuntime rt(dc);
+  auto& forest = rt.forest();
+  const IndexSpaceId is =
+      forest.create_index_space(Domain(Rect::box2(params.nx, params.ny)));
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId fin = forest.allocate_field(fs, sizeof(double), "in");
+  const FieldId fout = forest.allocate_field(fs, sizeof(double), "out");
+  const RegionId grid = forest.create_region(is, fs);
+  const PartitionId blocks =
+      partition_equal(forest, is, Rect::box2(params.px, params.py));
+  const PartitionId halos = partition_halo(forest, is, blocks, params.radius);
+  {
+    Accessor<double> in(forest, grid, fin, Privilege::kWrite);
+    Accessor<double> out(forest, grid, fout, Privilege::kWrite);
+    for (const Point& p : Rect::box2(params.nx, params.ny)) {
+      in.write(p, static_cast<double>(p[0] + p[1]));
+      out.write(p, 0.0);
+    }
+  }
+  const TaskFnId st = rt.register_task("smoke_stencil", dist::smoke::stencil_body);
+  const TaskFnId inc =
+      rt.register_task("smoke_increment", dist::smoke::increment_body);
+
+  dist::smoke::StencilArgs args;
+  args.fin = fin;
+  args.fout = fout;
+  args.radius = params.radius;
+  args.nx = params.nx;
+  args.ny = params.ny;
+  const Domain dom = Domain(Rect::box2(params.px, params.py));
+  const auto id = ProjectionFunctor::identity(2);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int it = 0; it < iters; ++it) {
+    rt.execute_index(IndexLauncher::over(dom)
+                         .with_task(st)
+                         .scalars(ArgBuffer::of(args))
+                         .region(grid, halos, id, {fin}, Privilege::kRead)
+                         .region(grid, blocks, id, {fout},
+                                 Privilege::kReadWrite));
+    rt.execute_index(IndexLauncher::over(dom)
+                         .with_task(inc)
+                         .scalars(ArgBuffer::of(args))
+                         .region(grid, blocks, id, {fin},
+                                 Privilege::kReadWrite));
+  }
+  rt.wait_all();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  Result r{ranks, 0.0, 0.0};
+  r.cells_per_s =
+      static_cast<double>(params.nx) * static_cast<double>(params.ny) * iters /
+      seconds;
+  const std::vector<double> expect =
+      apps::StencilApp::reference_output(params, iters);
+  auto acc = rt.read_region<double>(grid, fout);
+  std::size_t i = 0;
+  for (const Point& p : Rect::box2(params.nx, params.ny))
+    r.max_err = std::max(r.max_err, std::abs(acc.read(p) - expect[i++]));
+  if (!rt.fault_report().ok()) r.max_err = HUGE_VAL;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  apps::StencilParams params;
+  params.nx = params.ny = 96;
+  params.px = params.py = 4;
+  params.radius = 1;
+  const int iters = 8;
+
+  std::printf("Distributed stencil (real processes): %lldx%lld grid, "
+              "%lldx%lld blocks, %d iterations\n",
+              static_cast<long long>(params.nx),
+              static_cast<long long>(params.ny),
+              static_cast<long long>(params.px),
+              static_cast<long long>(params.py), iters);
+  std::printf("%8s %16s %12s\n", "ranks", "cells/s", "max_err");
+
+  bool ok = true;
+  std::string points = "[";
+  for (const uint32_t ranks : {1u, 2u, 3u, 4u}) {
+    const Result r = run_once(ranks, params, iters);
+    std::printf("%8u %16.3e %12.3g\n", r.ranks, r.cells_per_s, r.max_err);
+    ok = ok && r.max_err < 1e-12;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s[%u, %.6g]",
+                  points.size() > 1 ? "," : "", r.ranks, r.cells_per_s);
+    points += buf;
+  }
+  points += ']';
+
+  bench::BenchJson payload;
+  payload
+      .field("description",
+             "PRK star stencil on the DistributedRuntime, 1-4 fork-mode "
+             "processes; points are [ranks, cells/s], verified bit-identical "
+             "to the serial reference")
+      .field("grid", std::to_string(params.nx) + "x" + std::to_string(params.ny))
+      .field("iterations", iters)
+      .raw("points", points)
+      .field("verified", ok ? "true" : "false");
+  bench::write_bench_json("dist", std::move(payload));
+
+  if (!ok) {
+    std::printf("FAILED: distributed result diverged from the reference\n");
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "apps/stencil.hpp"
+#include "runtime/runtime.hpp"
 #include "fig_common.hpp"
 
 int main() {

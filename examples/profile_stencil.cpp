@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "apps/stencil.hpp"
+#include "obs/profiler.hpp"
+#include "runtime/runtime.hpp"
 
 using namespace idxl;
 using namespace idxl::apps;

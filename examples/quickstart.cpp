@@ -12,8 +12,8 @@
 // and prints what the hybrid safety analysis decided for each.
 #include <cstdio>
 
+#include "dist/backend.hpp"
 #include "region/partition_ops.hpp"
-#include "runtime/runtime.hpp"
 
 using namespace idxl;
 
@@ -21,7 +21,11 @@ int main() {
   constexpr int64_t kElements = 64;
   constexpr int64_t kPieces = 8;
 
-  Runtime rt;
+  // Backend picked by $IDXL_BACKEND (local | sharded | dist) — the same
+  // program runs on a thread pool, on in-process shards, or across real OS
+  // processes without modification.
+  const std::unique_ptr<RuntimeApi> rt_ptr = dist::make_runtime();
+  RuntimeApi& rt = *rt_ptr;
   auto& forest = rt.forest();
 
   // A collection of 64 doubles, partitioned into 8 disjoint pieces.
@@ -78,7 +82,7 @@ int main() {
     std::printf(" %.0f", acc.read(Point::p1(piece * (kElements / kPieces))));
   std::printf("\n");
 
-  const RuntimeStats& stats = rt.stats();
+  const RuntimeStats stats = rt.stats();
   std::printf(
       "runtime calls=%llu (2 launches, %lld tasks) | static-safe=%llu "
       "dynamic-safe=%llu\n",

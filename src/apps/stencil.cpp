@@ -12,7 +12,7 @@ double stencil_weight(int64_t offset, int64_t radius) {
          (offset > 0 ? 1.0 : -1.0);
 }
 
-StencilApp::StencilApp(Runtime& rt, const StencilParams& params)
+StencilApp::StencilApp(RuntimeApi& rt, const StencilParams& params)
     : rt_(rt), params_(params) {
   IDXL_REQUIRE(params.nx / params.px > params.radius &&
                    params.ny / params.py > params.radius,

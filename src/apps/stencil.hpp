@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "runtime/runtime.hpp"
+#include "runtime/api.hpp"
 
 namespace idxl::apps {
 
@@ -23,7 +23,9 @@ struct StencilParams {
 ///   increment  read-writes `in` through the block partition
 class StencilApp {
  public:
-  StencilApp(Runtime& rt, const StencilParams& params);
+  /// Backend-independent: runs unmodified on the local, sharded and
+  /// distributed backends (construct `rt` via dist::make_runtime).
+  StencilApp(RuntimeApi& rt, const StencilParams& params);
 
   bool run_iteration();
   void run(int iterations);
@@ -36,7 +38,7 @@ class StencilApp {
                                               int iterations);
 
  private:
-  Runtime& rt_;
+  RuntimeApi& rt_;
   StencilParams params_;
   RegionId grid_;
   PartitionId blocks_;

@@ -1,0 +1,456 @@
+#include "dist/dist_runtime.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "dist/fill_task.hpp"
+#include "dist/task_registry.hpp"
+#include "dist/worker.hpp"
+#include "support/error.hpp"
+
+namespace idxl::dist {
+
+namespace {
+
+bool reports_equal(const FaultReport& a, const FaultReport& b) {
+  return a.failures == b.failures && a.poisoned == b.poisoned;
+}
+
+}  // namespace
+
+DistributedRuntime::DistributedRuntime(DistConfig config)
+    : config_(std::move(config)), forest_(std::make_shared<RegionForest>()) {
+  IDXL_REQUIRE(config_.ranks >= 1, "DistConfig::ranks must be >= 1");
+  IDXL_REQUIRE(config_.workers.empty() ||
+                   config_.workers.size() == config_.ranks - 1,
+               "DistConfig::workers must list exactly ranks - 1 endpoints");
+  // Pre-register the fill task: Runtime's own lazy "idxl_fill" registration
+  // would assign ids in first-use order, which cannot be replicated.
+  const TaskFn* fill = find_named_task("idxl_dist_fill");
+  tasks_.emplace_back("idxl_dist_fill", *fill);
+  fill_task_ = 0;
+}
+
+DistributedRuntime::~DistributedRuntime() {
+  try {
+    shutdown();
+  } catch (const std::exception&) {
+    // Destructor: peers may already be gone; nothing useful to do.
+  }
+}
+
+TaskFnId DistributedRuntime::register_task(std::string name, TaskFn fn) {
+  IDXL_REQUIRE(!started_,
+               "register_task after the first launch: task ids are "
+               "positional and must be fixed before workers start");
+  tasks_.emplace_back(std::move(name), std::move(fn));
+  return static_cast<TaskFnId>(tasks_.size() - 1);
+}
+
+std::string DistributedRuntime::fault_plan_spec() const {
+  if (config_.runtime.fault_plan != nullptr)
+    return config_.runtime.fault_plan->to_string();
+  // Exec-mode daemons do not inherit this process's environment; forward
+  // the env plan explicitly so IDXL_FAULT_PLAN works across processes.
+  if (auto env = FaultPlan::from_env(); env != nullptr) return env->to_string();
+  return {};
+}
+
+std::vector<std::byte> DistributedRuntime::setup_bytes() const {
+  Setup su;
+  su.journal = forest_->setup_journal();
+  for (const auto& [name, fn] : tasks_) su.tasks.push_back(name);
+  for (uint32_t i = 0; i < forest_->region_count(); ++i) {
+    const RegionId r{i};
+    const RegionInfo& info = forest_->region(r);
+    if (info.root != info.handle) continue;
+    const std::size_t vol =
+        static_cast<std::size_t>(forest_->storage_bounds(r).volume());
+    for (const FieldInfo& fi : forest_->fields(info.fspace)) {
+      Setup::Storage st;
+      st.region = i;
+      st.field = fi.id;
+      const std::byte* data = forest_->field_data(r, fi.id);
+      st.bytes.assign(data, data + vol * fi.size);
+      su.storage.push_back(std::move(st));
+    }
+  }
+  return encode_setup(su);
+}
+
+std::vector<net::Socket> DistributedRuntime::start_fork_workers() {
+  const uint32_t nranks = config_.ranks;
+  const std::size_t nworkers = nranks - 1;
+  // All pairs exist before the first fork so each child can drop every fd
+  // that is not its own. Forking here is safe precisely because no Runtime,
+  // Connection or monitor thread exists yet.
+  std::vector<std::pair<net::Socket, net::Socket>> pairs;
+  pairs.reserve(nworkers);
+  for (std::size_t i = 0; i < nworkers; ++i) pairs.push_back(net::Socket::pair());
+  for (std::size_t i = 0; i < nworkers; ++i) {
+    const pid_t pid = ::fork();
+    IDXL_REQUIRE(pid >= 0, "fork failed");
+    if (pid == 0) {
+      int status = 0;
+      {
+        net::Socket mine = std::move(pairs[i].second);
+        pairs.clear();  // closes every other end, parent sides included
+        try {
+          WorkerSession session(std::move(mine), static_cast<uint32_t>(i + 1),
+                                nranks, config_.runtime, forest_, tasks_,
+                                config_.heartbeat_period_ms,
+                                config_.peer_stall_window_ms);
+          session.run();
+        } catch (const std::exception&) {
+          status = 1;
+        }
+      }
+      ::_exit(status);
+    }
+    children_.push_back(pid);
+    pairs[i].second = net::Socket();  // parent drops the child's end
+  }
+  std::vector<net::Socket> driver_ends;
+  driver_ends.reserve(nworkers);
+  for (auto& p : pairs) driver_ends.push_back(std::move(p.first));
+  return driver_ends;
+}
+
+std::vector<net::Socket> DistributedRuntime::start_exec_workers() {
+  std::vector<net::Socket> socks;
+  socks.reserve(config_.workers.size());
+  for (const std::string& endpoint : config_.workers) {
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+      socks.push_back(net::Socket::connect_unix(endpoint));
+    } else {
+      const std::string host = endpoint.substr(0, colon);
+      const int port = std::stoi(endpoint.substr(colon + 1));
+      socks.push_back(net::Socket::connect_tcp(host, static_cast<uint16_t>(port)));
+    }
+  }
+  return socks;
+}
+
+void DistributedRuntime::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  const std::size_t nworkers = config_.ranks - 1;
+  peer_errors_.assign(nworkers, "");
+  worker_closed_.assign(nworkers, false);
+
+  const bool exec_mode = !config_.workers.empty();
+  std::vector<net::Socket> socks =
+      nworkers == 0 ? std::vector<net::Socket>{}
+      : exec_mode   ? start_exec_workers()
+                    : start_fork_workers();
+
+  // The driver is rank 0 of the replicated run: same hooks as any worker,
+  // with outcomes broadcast instead of sent up.
+  RuntimeConfig rc = config_.runtime;
+  const uint32_t nranks = config_.ranks;
+  rc.point_owned = [nranks](uint64_t, const Point& p, const Domain& domain) {
+    return owner_of(domain, p, nranks) == 0;
+  };
+  rc.on_task_success = [this](uint64_t seq, uint64_t, const Point&,
+                              TaskContext& ctx) {
+    TaskDone td;
+    td.seq = seq;
+    td.outcome.ret = ctx.return_value;
+    for (PhysicalRegion& pr : ctx.regions)
+      if (privilege_writes(pr.privilege())) pr.copy_out(td.outcome.region_bytes);
+    send_task_done(td);
+  };
+  rc.on_task_fault = [this](const TaskFault& fault) {
+    TaskDone td;
+    td.seq = fault.seq;
+    td.outcome.kind = fault.kind;
+    td.outcome.root = fault.root;
+    td.outcome.attempts = fault.attempts;
+    td.outcome.message = fault.message;
+    send_task_done(td);
+  };
+  local_ = std::make_unique<Runtime>(std::move(rc), forest_);
+  for (const auto& [name, fn] : tasks_) local_->register_task(name, fn);
+  if (nworkers == 0) return;
+
+  net::NetObs obs;
+  obs.metrics = &local_->metrics();
+  obs.recorder = local_->config().enable_flight_recorder
+                     ? &local_->flight_recorder()
+                     : nullptr;
+  obs.type_name = msg_name;
+  conns_.reserve(nworkers);
+  for (std::size_t i = 0; i < nworkers; ++i)
+    conns_.push_back(std::make_unique<net::Connection>(
+        std::move(socks[i]), "rank-" + std::to_string(i + 1), obs));
+
+  if (exec_mode) {
+    const std::vector<std::byte> setup = setup_bytes();
+    for (std::size_t i = 0; i < nworkers; ++i) {
+      Hello h;
+      h.rank = static_cast<uint32_t>(i + 1);
+      h.nranks = nranks;
+      h.workers = config_.runtime.workers;
+      h.heartbeat_period_ms = config_.heartbeat_period_ms;
+      h.peer_stall_window_ms = config_.peer_stall_window_ms;
+      h.fault_plan = fault_plan_spec();
+      conns_[i]->send(static_cast<uint8_t>(Msg::kHello), encode_hello(h));
+      conns_[i]->send(static_cast<uint8_t>(Msg::kSetup), setup);
+    }
+  }
+
+  for (std::size_t i = 0; i < nworkers; ++i)
+    conns_[i]->start_recv(
+        [this, i](net::Frame& frame) { on_worker_frame(i, frame); },
+        [this, i](const std::string& error) { on_worker_close(i, error); });
+
+  // Handshake: every worker acks (or is declared lost) before first launch.
+  {
+    std::unique_lock<std::mutex> lk(fence_mu_);
+    fence_cv_.wait(lk, [&] {
+      return hello_acks_ + closed_count_locked() >= nworkers;
+    });
+    for (std::size_t i = 0; i < nworkers; ++i)
+      IDXL_REQUIRE(!worker_closed_[i], "worker rank " + std::to_string(i + 1) +
+                                           " lost during handshake: " +
+                                           peer_errors_[i]);
+  }
+
+  std::vector<net::Connection*> peers;
+  for (auto& c : conns_) peers.push_back(c.get());
+  monitor_ = std::make_unique<net::PeerMonitor>(
+      std::move(peers), static_cast<uint8_t>(Msg::kPing),
+      config_.heartbeat_period_ms, config_.peer_stall_window_ms,
+      &local_->metrics(), nullptr);
+}
+
+std::size_t DistributedRuntime::closed_count_locked() const {
+  std::size_t n = 0;
+  for (const bool c : worker_closed_)
+    if (c) ++n;
+  return n;
+}
+
+void DistributedRuntime::broadcast(Msg type, const std::vector<std::byte>& payload) {
+  for (auto& c : conns_) {
+    try {
+      c->send(static_cast<uint8_t>(type), payload);
+    } catch (const std::exception&) {
+      // Dead peer; fence() reports the loss.
+    }
+  }
+}
+
+void DistributedRuntime::send_task_done(const TaskDone& done) {
+  broadcast(Msg::kTaskDone, encode_task_done(done));
+}
+
+void DistributedRuntime::on_worker_frame(std::size_t worker, net::Frame& frame) {
+  switch (static_cast<Msg>(frame.type)) {
+    case Msg::kHelloAck: {
+      {
+        std::lock_guard<std::mutex> lock(fence_mu_);
+        ++hello_acks_;
+      }
+      fence_cv_.notify_all();
+      break;
+    }
+    case Msg::kTaskDone: {
+      // Star topology: relay the owner's outcome to the other workers
+      // *before* completing locally, so on every per-connection FIFO all
+      // outcomes a fence depends on precede the fence frame itself.
+      for (std::size_t i = 0; i < conns_.size(); ++i) {
+        if (i == worker) continue;
+        try {
+          conns_[i]->send(frame.type, frame.payload);
+        } catch (const std::exception&) {
+        }
+      }
+      TaskDone td = decode_task_done(frame.payload);
+      local_->complete_external(td.seq, std::move(td.outcome));
+      break;
+    }
+    case Msg::kFenceAck: {
+      FenceAck ack = decode_fence_ack(frame.payload);
+      {
+        std::lock_guard<std::mutex> lock(fence_mu_);
+        fence_acks_[ack.fence].emplace(worker, std::move(ack.report));
+      }
+      fence_cv_.notify_all();
+      break;
+    }
+    case Msg::kBye:
+      break;  // the recv loop ends right after; on_worker_close records it
+    case Msg::kPing:
+      break;
+    default:
+      // Throwing here lands in recv_loop's catch: the connection is
+      // reported closed with this message.
+      IDXL_REQUIRE(false, "driver received unexpected frame type " +
+                              std::to_string(frame.type) + " (" +
+                              msg_name(frame.type) + ")");
+  }
+}
+
+void DistributedRuntime::on_worker_close(std::size_t worker,
+                                         const std::string& error) {
+  bool teardown;
+  {
+    std::lock_guard<std::mutex> lock(fence_mu_);
+    worker_closed_[worker] = true;
+    if (!error.empty() && peer_errors_[worker].empty())
+      peer_errors_[worker] = error;
+    teardown = tearing_down_;
+  }
+  if (!teardown) {
+    // Outcomes owned by this worker will never arrive; resolve its
+    // externals as cancelled so wait_all()/teardown cannot hang. (Externals
+    // owned by still-live workers are cancelled too — a lost rank ends the
+    // run, matching the fence error below.)
+    local_->abandon_externals("worker rank " + std::to_string(worker + 1) +
+                              " lost: " +
+                              (error.empty() ? "connection closed" : error));
+  }
+  fence_cv_.notify_all();
+}
+
+bool DistributedRuntime::fence(bool nothrow) {
+  local_->wait_all();
+  const std::size_t nworkers = conns_.size();
+  if (nworkers == 0) return true;
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(fence_mu_);
+    id = ++next_fence_;
+  }
+  broadcast(Msg::kFence, encode_fence(id));
+  std::map<std::size_t, FaultReport> acks;
+  std::string problem;
+  {
+    std::unique_lock<std::mutex> lk(fence_mu_);
+    fence_cv_.wait(lk, [&] {
+      const auto it = fence_acks_.find(id);
+      for (std::size_t i = 0; i < nworkers; ++i) {
+        const bool acked = it != fence_acks_.end() && it->second.count(i) != 0;
+        if (!acked && !worker_closed_[i]) return false;
+      }
+      return true;
+    });
+    acks = std::move(fence_acks_[id]);
+    fence_acks_.erase(id);
+    for (std::size_t i = 0; i < nworkers; ++i) {
+      if (acks.count(i) != 0) continue;
+      problem = "worker rank " + std::to_string(i + 1) +
+                " lost before fence " + std::to_string(id) + ": " +
+                (peer_errors_[i].empty() ? "connection closed"
+                                         : peer_errors_[i]);
+      break;
+    }
+  }
+  if (problem.empty() && config_.verify_reports) {
+    const FaultReport mine = local_->fault_report();
+    for (const auto& [worker, report] : acks) {
+      if (reports_equal(mine, report)) continue;
+      problem = "fault-report divergence at fence " + std::to_string(id) +
+                ": rank " + std::to_string(worker + 1) + " disagrees with "
+                "rank 0 (control replication bug — reports must be "
+                "identical on every rank)";
+      break;
+    }
+  }
+  if (problem.empty()) return true;
+  if (nothrow) return false;
+  throw RuntimeError(problem);
+}
+
+LaunchResult DistributedRuntime::execute(const TaskLauncher& launcher) {
+  ensure_started();
+  if (!conns_.empty()) {
+    // Serialize first: an unserializable launcher must throw before any
+    // rank sees the frame, or the replicated streams diverge.
+    broadcast(Msg::kSingle, serialize_task_launcher(launcher));
+  }
+  return local_->execute(launcher);
+}
+
+LaunchResult DistributedRuntime::execute_index(const IndexLauncher& launcher) {
+  ensure_started();
+  if (!conns_.empty()) {
+    broadcast(Msg::kLaunch, serialize_launcher(launcher));
+  }
+  return local_->execute_index(launcher);
+}
+
+void DistributedRuntime::wait_all() {
+  if (!started_) return;
+  fence(/*nothrow=*/false);
+}
+
+FaultReport DistributedRuntime::fault_report() const {
+  return local_ != nullptr ? local_->fault_report() : FaultReport{};
+}
+
+RuntimeStats DistributedRuntime::stats() const {
+  return local_ != nullptr ? local_->stats() : RuntimeStats{};
+}
+
+obs::MetricsRegistry& DistributedRuntime::metrics() {
+  ensure_started();
+  return local_->metrics();
+}
+
+void DistributedRuntime::fill_bytes_region(RegionId r, FieldId f,
+                                           const void* pattern,
+                                           std::size_t size) {
+  DistFillArgs args{};
+  IDXL_REQUIRE(size > 0 && size <= sizeof(args.pattern),
+               "fill pattern too large");
+  IDXL_REQUIRE(forest_->field(forest_->region(r).fspace, f).size == size,
+               "fill value type does not match the field size");
+  args.field = f;
+  args.size = size;
+  std::memcpy(args.pattern, pattern, size);
+  TaskLauncher launcher;
+  launcher.task = fill_task_;
+  launcher.scalar_args = ArgBuffer::of(args);
+  launcher.args = {{r, {f}, Privilege::kWrite, ReductionOp::kNone}};
+  execute(launcher);
+}
+
+void DistributedRuntime::shutdown() {
+  if (!started_ || local_ == nullptr) {
+    local_.reset();
+    return;
+  }
+  if (!conns_.empty()) {
+    fence(/*nothrow=*/true);
+    if (monitor_ != nullptr) monitor_->stop();
+    {
+      std::lock_guard<std::mutex> lock(fence_mu_);
+      tearing_down_ = true;
+    }
+    broadcast(Msg::kShutdown, {});
+    {
+      std::unique_lock<std::mutex> lk(fence_mu_);
+      fence_cv_.wait_for(lk, std::chrono::seconds(30), [&] {
+        return closed_count_locked() >= conns_.size();
+      });
+    }
+    for (auto& c : conns_) c->close();
+    conns_.clear();
+  }
+  for (const pid_t pid : children_) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  children_.clear();
+  local_.reset();
+  started_ = false;
+}
+
+}  // namespace idxl::dist

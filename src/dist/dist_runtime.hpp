@@ -1,0 +1,122 @@
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "dist/protocol.hpp"
+#include "runtime/runtime.hpp"
+
+namespace idxl::dist {
+
+/// Deterministic point → owning-rank map shared by every process of a run:
+/// contiguous, balanced blocks of the row-major point enumeration. Domains
+/// with at most one point (single launches, fills) live on rank 0.
+inline uint32_t owner_of(const Domain& domain, const Point& p, uint32_t nranks) {
+  const int64_t vol = domain.volume();
+  if (vol <= 1 || nranks <= 1) return 0;
+  const int64_t idx = domain.linear_index(p);
+  return static_cast<uint32_t>(idx * static_cast<int64_t>(nranks) / vol);
+}
+
+struct DistConfig {
+  /// Total process count, the driver included. 1 = degenerate local run.
+  uint32_t ranks = 2;
+  /// Per-process local runtime configuration (thread-pool width, watchdog,
+  /// fault plan ...). The distributed hooks are installed on top.
+  RuntimeConfig runtime;
+  /// Exec mode: `host:port` of a pre-started `idxl-noded --listen` per
+  /// worker rank (ranks - 1 entries). Empty = fork mode: workers are forked
+  /// from this process before any thread exists and inherit forest and task
+  /// registrations by memory.
+  std::vector<std::string> workers;
+  uint32_t heartbeat_period_ms = 1000;
+  /// A peer silent past this window raises idxl_net_peer_stalls_total.
+  uint32_t peer_stall_window_ms = 10000;
+  /// Cross-check every rank's FaultReport at each fence; a divergence (a
+  /// replication bug) throws RuntimeError.
+  bool verify_reports = true;
+};
+
+/// Multi-process runtime: dynamic control replication over real OS
+/// processes. The driver (rank 0) broadcasts every launch as its O(1)
+/// serialized descriptor; every rank issues the identical stream into a
+/// local Runtime whose point_owned hook carves out the rank's block of each
+/// launch domain. Non-owned points become external graph nodes completed by
+/// kTaskDone messages, so dependences, retries, poison propagation and
+/// fault injection all run with full fidelity on the owning process and
+/// replicate as data everywhere else.
+///
+/// Setup (forest construction, register_task) must happen before the first
+/// launch: the first launch freezes setup, forks/handshakes the workers and
+/// ships the bootstrap state.
+class DistributedRuntime : public RuntimeApi {
+ public:
+  explicit DistributedRuntime(DistConfig config = {});
+  ~DistributedRuntime() override;
+
+  RegionForest& forest() override { return *forest_; }
+  TaskFnId register_task(std::string name, TaskFn fn) override;
+  LaunchResult execute(const TaskLauncher& launcher) override;
+  LaunchResult execute_index(const IndexLauncher& launcher) override;
+  void wait_all() override;
+  FaultReport fault_report() const override;
+  RuntimeStats stats() const override;
+  obs::MetricsRegistry& metrics() override;
+  void sync_for_read() override { wait_all(); }
+  void fill_bytes_region(RegionId r, FieldId f, const void* pattern,
+                         std::size_t size) override;
+
+  uint32_t ranks() const { return config_.ranks; }
+  bool started() const { return started_; }
+
+  /// The driver's local runtime (tests: counters, flight recorder).
+  /// Valid only after the first launch.
+  Runtime& local() { return *local_; }
+
+ private:
+  void ensure_started();
+  /// Fork (or connect, in exec mode) the workers; returns the driver-side
+  /// socket of each, in worker-index order. Fork mode must run before any
+  /// thread exists in this process.
+  std::vector<net::Socket> start_fork_workers();
+  std::vector<net::Socket> start_exec_workers();
+  void on_worker_frame(std::size_t worker, net::Frame& frame);
+  void on_worker_close(std::size_t worker, const std::string& error);
+  void broadcast(Msg type, const std::vector<std::byte>& payload);
+  void send_task_done(const TaskDone& done);
+  /// Fence all ranks; returns false (instead of throwing) on peer loss or
+  /// report divergence when `nothrow` — the destructor path.
+  bool fence(bool nothrow);
+  void shutdown();
+  std::vector<std::byte> setup_bytes() const;
+  std::string fault_plan_spec() const;
+  std::size_t closed_count_locked() const;
+
+  DistConfig config_;
+  std::shared_ptr<RegionForest> forest_;
+  std::vector<std::pair<std::string, TaskFn>> tasks_;
+  TaskFnId fill_task_ = UINT32_MAX;
+
+  bool started_ = false;
+  std::unique_ptr<Runtime> local_;
+  std::vector<std::unique_ptr<net::Connection>> conns_;  // worker rank r -> [r-1]
+  std::unique_ptr<net::PeerMonitor> monitor_;
+  std::vector<pid_t> children_;
+
+  std::mutex fence_mu_;
+  std::condition_variable fence_cv_;
+  uint64_t next_fence_ = 0;
+  /// fence id -> reports received (worker index -> report)
+  std::map<uint64_t, std::map<std::size_t, FaultReport>> fence_acks_;
+  std::vector<std::string> peer_errors_;  // non-empty entry = worker trouble
+  std::vector<bool> worker_closed_;       // recv loop ended (clean or not)
+  std::size_t hello_acks_ = 0;
+  bool tearing_down_ = false;
+};
+
+}  // namespace idxl::dist

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "runtime/physical.hpp"
+
+namespace idxl::dist {
+
+/// Scalar arguments of the distributed fill task ("idxl_dist_fill"). The
+/// body lives in task_registry.cpp — the one translation unit every binary
+/// that touches the registry links — so its static-init registration cannot
+/// be dropped by archive linking. Fork-mode children inherit it through the
+/// driver's task table; exec-mode daemons resolve it by name like any user
+/// task.
+struct DistFillArgs {
+  FieldId field = 0;
+  std::size_t size = 0;
+  unsigned char pattern[16] = {};
+};
+
+}  // namespace idxl::dist

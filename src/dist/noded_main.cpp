@@ -1,0 +1,81 @@
+// idxl-noded — the distributed runtime's worker daemon (exec mode).
+//
+// Listens on a TCP port or Unix socket, accepts one driver connection at a
+// time, and serves it: the driver ships rank assignment, the region-forest
+// journal and the task names (resolved against bodies compiled into this
+// binary via IDXL_DIST_REGISTER_TASK — see smoke_tasks.cpp), then replays
+// its launch stream here. See docs/DISTRIBUTED.md.
+//
+// Usage:
+//   idxl-noded --listen <port>        # TCP on 127.0.0.1:<port> (0 = ephemeral)
+//   idxl-noded --listen-unix <path>   # AF_UNIX at <path>
+//   idxl-noded ... --once             # exit after the first session
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "dist/worker.hpp"
+#include "net/socket.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--listen <port> | --listen-unix <path>) [--once]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = -1;
+  std::string unix_path;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--listen" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--listen-unix" && i + 1 < argc) {
+      unix_path = argv[++i];
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if ((port < 0) == unix_path.empty()) return usage(argv[0]);
+
+  try {
+    idxl::net::Socket listener =
+        unix_path.empty()
+            ? idxl::net::Socket::listen_tcp(static_cast<uint16_t>(port))
+            : idxl::net::Socket::listen_unix(unix_path);
+    if (unix_path.empty()) {
+      // Announce the bound port (ephemeral-port runs scrape this line).
+      std::printf("idxl-noded listening on 127.0.0.1:%u\n",
+                  static_cast<unsigned>(listener.bound_port()));
+      std::fflush(stdout);
+    } else {
+      std::printf("idxl-noded listening on %s\n", unix_path.c_str());
+      std::fflush(stdout);
+    }
+    for (;;) {
+      idxl::net::Socket conn = listener.accept();
+      try {
+        idxl::dist::WorkerSession::serve(std::move(conn));
+        std::printf("idxl-noded: session complete\n");
+        std::fflush(stdout);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "idxl-noded: session failed: %s\n", e.what());
+        if (once) return 1;
+      }
+      if (once) return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "idxl-noded: %s\n", e.what());
+    return 1;
+  }
+}

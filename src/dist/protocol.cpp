@@ -1,0 +1,188 @@
+#include "dist/protocol.hpp"
+
+#include "support/error.hpp"
+
+namespace idxl::dist {
+
+const char* msg_name(uint8_t type) {
+  switch (static_cast<Msg>(type)) {
+    case Msg::kHello: return "hello";
+    case Msg::kHelloAck: return "hello-ack";
+    case Msg::kSetup: return "setup";
+    case Msg::kLaunch: return "launch";
+    case Msg::kSingle: return "single";
+    case Msg::kTaskDone: return "task-done";
+    case Msg::kFence: return "fence";
+    case Msg::kFenceAck: return "fence-ack";
+    case Msg::kShutdown: return "shutdown";
+    case Msg::kBye: return "bye";
+    case Msg::kPing: return "ping";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> encode_hello(const Hello& h) {
+  Serializer s;
+  s.put_header();
+  s.put_u32(h.rank);
+  s.put_u32(h.nranks);
+  s.put_u32(h.workers);
+  s.put_u32(h.heartbeat_period_ms);
+  s.put_u32(h.peer_stall_window_ms);
+  s.put_string(h.fault_plan);
+  return s.take();
+}
+
+Hello decode_hello(const std::vector<std::byte>& bytes) {
+  Deserializer d(bytes);
+  d.check_header("hello message");
+  Hello h;
+  h.rank = d.get_u32();
+  h.nranks = d.get_u32();
+  h.workers = d.get_u32();
+  h.heartbeat_period_ms = d.get_u32();
+  h.peer_stall_window_ms = d.get_u32();
+  h.fault_plan = d.get_string();
+  return h;
+}
+
+namespace {
+
+void put_rect(Serializer& s, const Rect& r) {
+  s.put_point(r.lo);
+  s.put_point(r.hi);
+}
+
+Rect get_rect(Deserializer& d) {
+  const Point lo = d.get_point();
+  const Point hi = d.get_point();
+  return Rect(lo, hi);
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_setup(const Setup& su) {
+  Serializer s;
+  s.put_header();
+  s.put_u32(static_cast<uint32_t>(su.journal.size()));
+  for (const SetupOp& op : su.journal) {
+    s.put_u8(static_cast<uint8_t>(op.kind));
+    serialize_domain(s, op.domain);
+    s.put_u32(op.a);
+    s.put_u32(op.b);
+    s.put_string(op.name);
+    put_rect(s, op.color_space);
+    s.put_u32(static_cast<uint32_t>(op.subspaces.size()));
+    for (const Domain& sub : op.subspaces) serialize_domain(s, sub);
+    s.put_u8(op.disjointness);
+    s.put_point(op.color);
+  }
+  s.put_u32(static_cast<uint32_t>(su.tasks.size()));
+  for (const std::string& t : su.tasks) s.put_string(t);
+  s.put_u32(static_cast<uint32_t>(su.storage.size()));
+  for (const Setup::Storage& st : su.storage) {
+    s.put_u32(st.region);
+    s.put_u32(st.field);
+    s.put_blob(st.bytes);
+  }
+  return s.take();
+}
+
+Setup decode_setup(const std::vector<std::byte>& bytes) {
+  Deserializer d(bytes);
+  d.check_header("setup message");
+  Setup su;
+  const uint32_t nops = d.get_u32();
+  su.journal.reserve(nops);
+  for (uint32_t i = 0; i < nops; ++i) {
+    SetupOp op;
+    op.kind = static_cast<SetupOp::Kind>(d.get_u8());
+    op.domain = deserialize_domain(d);
+    op.a = d.get_u32();
+    op.b = d.get_u32();
+    op.name = d.get_string();
+    op.color_space = get_rect(d);
+    const uint32_t nsub = d.get_u32();
+    op.subspaces.reserve(nsub);
+    for (uint32_t j = 0; j < nsub; ++j)
+      op.subspaces.push_back(deserialize_domain(d));
+    op.disjointness = d.get_u8();
+    op.color = d.get_point();
+    su.journal.push_back(std::move(op));
+  }
+  const uint32_t ntasks = d.get_u32();
+  su.tasks.reserve(ntasks);
+  for (uint32_t i = 0; i < ntasks; ++i) su.tasks.push_back(d.get_string());
+  const uint32_t nstore = d.get_u32();
+  su.storage.reserve(nstore);
+  for (uint32_t i = 0; i < nstore; ++i) {
+    Setup::Storage st;
+    st.region = d.get_u32();
+    st.field = d.get_u32();
+    st.bytes = d.get_blob();
+    su.storage.push_back(std::move(st));
+  }
+  IDXL_REQUIRE(d.done(), "trailing bytes after setup message");
+  return su;
+}
+
+std::vector<std::byte> encode_task_done(const TaskDone& t) {
+  Serializer s;
+  s.put_header();
+  s.put_u64(t.seq);
+  s.put_u8(static_cast<uint8_t>(t.outcome.kind));
+  s.put_u64(t.outcome.root);
+  s.put_u32(t.outcome.attempts);
+  s.put_string(t.outcome.message);
+  s.put_f64(t.outcome.ret);
+  s.put_blob(t.outcome.region_bytes);
+  return s.take();
+}
+
+TaskDone decode_task_done(const std::vector<std::byte>& bytes) {
+  Deserializer d(bytes);
+  d.check_header("task-done message");
+  TaskDone t;
+  t.seq = d.get_u64();
+  t.outcome.kind = static_cast<FaultKind>(d.get_u8());
+  t.outcome.root = d.get_u64();
+  t.outcome.attempts = d.get_u32();
+  t.outcome.message = d.get_string();
+  t.outcome.ret = d.get_f64();
+  t.outcome.region_bytes = d.get_blob();
+  IDXL_REQUIRE(d.done(), "trailing bytes after task-done message");
+  return t;
+}
+
+std::vector<std::byte> encode_fence(uint64_t fence) {
+  Serializer s;
+  s.put_header();
+  s.put_u64(fence);
+  return s.take();
+}
+
+uint64_t decode_fence(const std::vector<std::byte>& bytes) {
+  Deserializer d(bytes);
+  d.check_header("fence message");
+  return d.get_u64();
+}
+
+std::vector<std::byte> encode_fence_ack(const FenceAck& a) {
+  Serializer s;
+  s.put_header();
+  s.put_u64(a.fence);
+  s.put_blob(serialize_fault_report(a.report));
+  return s.take();
+}
+
+FenceAck decode_fence_ack(const std::vector<std::byte>& bytes) {
+  Deserializer d(bytes);
+  d.check_header("fence-ack message");
+  FenceAck a;
+  a.fence = d.get_u64();
+  a.report = deserialize_fault_report(d.get_blob());
+  IDXL_REQUIRE(d.done(), "trailing bytes after fence-ack message");
+  return a;
+}
+
+}  // namespace idxl::dist

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "region/region_forest.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/serialize.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace idxl::dist {
+
+/// Protocol messages of the distributed runtime, carried as the `type` byte
+/// of a net frame (src/net/frame.hpp). Control replication keeps the
+/// vocabulary small: the driver broadcasts the launch stream verbatim and
+/// the only data that crosses per task is its terminal outcome.
+enum class Msg : uint8_t {
+  kHello = 1,   ///< driver -> worker: rank assignment + run parameters
+  kHelloAck,    ///< worker -> driver: handshake complete
+  kSetup,       ///< driver -> worker (exec mode): forest journal + task names
+  kLaunch,      ///< driver -> worker: one serialized IndexLauncher
+  kSingle,      ///< driver -> worker: one serialized TaskLauncher
+  kTaskDone,    ///< owner -> everyone (via driver): terminal task outcome
+  kFence,       ///< driver -> worker: quiesce and report
+  kFenceAck,    ///< worker -> driver: fence id + serialized FaultReport
+  kShutdown,    ///< driver -> worker: drain and exit
+  kBye,         ///< worker -> driver: teardown complete
+  kPing,        ///< heartbeat, either direction; ignored beyond liveness
+};
+
+/// Metric-label name per message type (NetObs::type_name).
+const char* msg_name(uint8_t type);
+
+// --- payload codecs ------------------------------------------------------
+
+struct Hello {
+  uint32_t rank = 0;
+  uint32_t nranks = 0;
+  uint32_t workers = 0;           ///< local thread-pool width per process
+  uint32_t heartbeat_period_ms = 1000;
+  uint32_t peer_stall_window_ms = 10000;
+  std::string fault_plan;         ///< FaultPlan::to_string spec; "" = none
+};
+std::vector<std::byte> encode_hello(const Hello& h);
+Hello decode_hello(const std::vector<std::byte>& bytes);
+
+/// Exec-mode bootstrap: everything a fresh process needs to mirror the
+/// driver's pre-launch state — the forest construction journal, the task
+/// names in registration order (resolved against the worker's named task
+/// registry), and the current root-region storage bytes.
+struct Setup {
+  std::vector<SetupOp> journal;
+  std::vector<std::string> tasks;
+  /// (root region id, field id, bytes) triples.
+  struct Storage {
+    uint32_t region = 0;
+    FieldId field = 0;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<Storage> storage;
+};
+std::vector<std::byte> encode_setup(const Setup& s);
+Setup decode_setup(const std::vector<std::byte>& bytes);
+
+/// Terminal outcome of one owned task, broadcast so every other rank can
+/// complete its external placeholder node. Success carries the return value
+/// and the written-region bytes (copy_out order); faults carry the fault
+/// fields and no bytes.
+struct TaskDone {
+  uint64_t seq = 0;
+  RemoteOutcome outcome;
+};
+std::vector<std::byte> encode_task_done(const TaskDone& t);
+TaskDone decode_task_done(const std::vector<std::byte>& bytes);
+
+struct FenceAck {
+  uint64_t fence = 0;
+  FaultReport report;
+};
+std::vector<std::byte> encode_fence(uint64_t fence);
+uint64_t decode_fence(const std::vector<std::byte>& bytes);
+std::vector<std::byte> encode_fence_ack(const FenceAck& a);
+FenceAck decode_fence_ack(const std::vector<std::byte>& bytes);
+
+}  // namespace idxl::dist

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "runtime/physical.hpp"
+
+namespace idxl::dist::smoke {
+
+/// Scalar arguments of the smoke-test stencil tasks (shipped by value with
+/// every launch, so the bodies are capture-free and can be registered in
+/// idxl-noded's named-task registry).
+struct StencilArgs {
+  FieldId fin = 0;
+  FieldId fout = 1;
+  int64_t radius = 1;
+  int64_t nx = 0;
+  int64_t ny = 0;
+};
+
+/// PRK-style star stencil: region 0 = halo view of `fin` (read), region 1 =
+/// disjoint block of `fout` (read-write). Registered as "smoke_stencil".
+void stencil_body(TaskContext& ctx);
+
+/// PRK increment: region 0 = disjoint block of `fin` (read-write).
+/// Registered as "smoke_increment".
+void increment_body(TaskContext& ctx);
+
+}  // namespace idxl::dist::smoke

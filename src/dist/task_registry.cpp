@@ -1,0 +1,56 @@
+#include "dist/task_registry.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "dist/fill_task.hpp"
+#include "support/error.hpp"
+
+namespace idxl::dist {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, TaskFn> tasks;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+}  // namespace
+
+void register_named_task(const std::string& name, TaskFn fn) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const bool inserted = r.tasks.emplace(name, std::move(fn)).second;
+  IDXL_REQUIRE(inserted, "task name registered twice: " + name);
+}
+
+const TaskFn* find_named_task(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.tasks.find(name);
+  return it == r.tasks.end() ? nullptr : &it->second;
+}
+
+namespace detail {
+TaskRegistration::TaskRegistration(const char* name, TaskFn fn) {
+  register_named_task(name, std::move(fn));
+}
+}  // namespace detail
+
+namespace {
+
+void dist_fill_body(TaskContext& ctx) {
+  const auto& args = ctx.arg<DistFillArgs>();
+  ctx.region(0).fill_bytes(args.field, args.pattern, args.size);
+}
+
+IDXL_DIST_REGISTER_TASK(idxl_dist_fill, dist_fill_body);
+
+}  // namespace
+
+}  // namespace idxl::dist

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "runtime/physical.hpp"
+
+namespace idxl::dist {
+
+/// Process-global name → body registry for exec-mode workers: a task body
+/// cannot cross a process boundary, so `idxl-noded` resolves the task
+/// *names* the driver ships (Setup message, registration order) against
+/// bodies linked into its own binary. Fork-mode runs never consult this —
+/// the child inherits the driver's registered bodies directly.
+///
+/// Register at static-init time with IDXL_DIST_REGISTER_TASK so driver and
+/// daemon binaries that link the same task library agree by construction.
+void register_named_task(const std::string& name, TaskFn fn);
+
+/// nullptr when `name` was never registered.
+const TaskFn* find_named_task(const std::string& name);
+
+namespace detail {
+struct TaskRegistration {
+  TaskRegistration(const char* name, TaskFn fn);
+};
+}  // namespace detail
+
+/// IDXL_DIST_REGISTER_TASK(my_task, [](TaskContext& ctx) { ... });
+#define IDXL_DIST_REGISTER_TASK(name, ...)                            \
+  static const ::idxl::dist::detail::TaskRegistration                 \
+      idxl_dist_task_registration_##name {                            \
+    #name, __VA_ARGS__                                                \
+  }
+
+}  // namespace idxl::dist

@@ -1,0 +1,175 @@
+#include "dist/worker.hpp"
+
+#include <cstring>
+
+#include "dist/dist_runtime.hpp"
+#include "dist/task_registry.hpp"
+#include "support/error.hpp"
+
+namespace idxl::dist {
+
+WorkerSession::WorkerSession(net::Socket sock, uint32_t rank, uint32_t nranks,
+                             RuntimeConfig config,
+                             std::shared_ptr<RegionForest> forest,
+                             const std::vector<std::pair<std::string, TaskFn>>& tasks,
+                             uint32_t heartbeat_period_ms, uint32_t stall_window_ms)
+    : rank_(rank), heartbeat_ms_(heartbeat_period_ms), window_ms_(stall_window_ms) {
+  // The hooks capture `this`; they only ever fire from run()'s frame
+  // processing, by which time conn_ exists.
+  config.point_owned = [rank, nranks](uint64_t, const Point& p,
+                                      const Domain& domain) {
+    return owner_of(domain, p, nranks) == rank;
+  };
+  config.on_task_success = [this](uint64_t seq, uint64_t, const Point&,
+                                  TaskContext& ctx) {
+    TaskDone td;
+    td.seq = seq;
+    td.outcome.ret = ctx.return_value;
+    for (PhysicalRegion& pr : ctx.regions)
+      if (privilege_writes(pr.privilege())) pr.copy_out(td.outcome.region_bytes);
+    conn_->send(static_cast<uint8_t>(Msg::kTaskDone), encode_task_done(td));
+  };
+  config.on_task_fault = [this](const TaskFault& fault) {
+    TaskDone td;
+    td.seq = fault.seq;
+    td.outcome.kind = fault.kind;
+    td.outcome.root = fault.root;
+    td.outcome.attempts = fault.attempts;
+    td.outcome.message = fault.message;
+    conn_->send(static_cast<uint8_t>(Msg::kTaskDone), encode_task_done(td));
+  };
+  rt_ = std::make_unique<Runtime>(std::move(config), std::move(forest));
+  for (const auto& [name, fn] : tasks) rt_->register_task(name, fn);
+  net::NetObs obs;
+  obs.metrics = &rt_->metrics();
+  obs.recorder =
+      rt_->config().enable_flight_recorder ? &rt_->flight_recorder() : nullptr;
+  obs.type_name = msg_name;
+  conn_ = std::make_unique<net::Connection>(std::move(sock), "driver", obs);
+}
+
+void WorkerSession::run() {
+  monitor_ = std::make_unique<net::PeerMonitor>(
+      std::vector<net::Connection*>{conn_.get()},
+      static_cast<uint8_t>(Msg::kPing), heartbeat_ms_, window_ms_,
+      &rt_->metrics(), nullptr);
+  conn_->send(static_cast<uint8_t>(Msg::kHelloAck), {});
+  const std::string err =
+      conn_->recv_loop([this](net::Frame& frame) { on_frame(frame); });
+  monitor_->stop();
+  // Whether the driver said goodbye or just vanished, nothing further will
+  // arrive: resolve any still-pending externals so teardown cannot hang.
+  rt_->abandon_externals(err.empty() ? "driver connection closed" : err);
+  rt_->wait_all();
+  conn_->close();
+}
+
+void WorkerSession::on_frame(net::Frame& frame) {
+  switch (static_cast<Msg>(frame.type)) {
+    case Msg::kLaunch:
+      rt_->execute_index(deserialize_launcher(frame.payload));
+      break;
+    case Msg::kSingle:
+      rt_->execute(deserialize_task_launcher(frame.payload));
+      break;
+    case Msg::kTaskDone: {
+      TaskDone td = decode_task_done(frame.payload);
+      rt_->complete_external(td.seq, std::move(td.outcome));
+      break;
+    }
+    case Msg::kFence: {
+      // Safe to fence on the receive thread: every outcome this rank's
+      // externals need was forwarded before the fence on the same FIFO
+      // connection, so wait_all() cannot depend on an unread frame.
+      const uint64_t id = decode_fence(frame.payload);
+      rt_->wait_all();
+      FenceAck ack;
+      ack.fence = id;
+      ack.report = rt_->fault_report();
+      conn_->send(static_cast<uint8_t>(Msg::kFenceAck), encode_fence_ack(ack));
+      break;
+    }
+    case Msg::kShutdown:
+      conn_->send(static_cast<uint8_t>(Msg::kBye), {});
+      conn_->drain();
+      // Returns recv_loop cleanly; the driver closes its end after kBye.
+      conn_->shutdown_read();
+      break;
+    case Msg::kPing:
+      break;
+    default:
+      IDXL_REQUIRE(false, "worker received unexpected frame type " +
+                              std::to_string(frame.type) + " (" +
+                              msg_name(frame.type) + ")");
+  }
+}
+
+void WorkerSession::serve(net::Socket sock) {
+  // Bootstrap frames (kHello, kSetup) are read synchronously off the raw
+  // socket; the Connection takes over afterwards.
+  net::FrameReader reader;
+  std::vector<std::byte> buf(64 * 1024);
+  auto next_frame = [&](net::Frame& out) {
+    while (!reader.poll(out)) {
+      const std::size_t n = sock.read_some(buf.data(), buf.size());
+      IDXL_REQUIRE(n > 0, "driver closed the connection during bootstrap");
+      reader.feed(buf.data(), n);
+    }
+  };
+
+  net::Frame frame;
+  next_frame(frame);
+  IDXL_REQUIRE(frame.type == static_cast<uint8_t>(Msg::kHello),
+               "expected hello frame, got " + std::string(msg_name(frame.type)));
+  const Hello hello = decode_hello(frame.payload);
+  IDXL_REQUIRE(hello.rank > 0 && hello.rank < hello.nranks,
+               "hello assigns an invalid worker rank");
+
+  next_frame(frame);
+  IDXL_REQUIRE(frame.type == static_cast<uint8_t>(Msg::kSetup),
+               "expected setup frame, got " + std::string(msg_name(frame.type)));
+  const Setup setup = decode_setup(frame.payload);
+  IDXL_REQUIRE(reader.pending_bytes() == 0,
+               "unexpected data after bootstrap frames");
+
+  auto forest = std::make_shared<RegionForest>();
+  forest->replay_setup(setup.journal);
+  for (const Setup::Storage& st : setup.storage) {
+    const RegionId rid{st.region};
+    const RegionInfo& info = forest->region(rid);
+    IDXL_REQUIRE(info.root == info.handle,
+                 "setup storage names a non-root region");
+    const std::size_t fsize = forest->field(info.fspace, st.field).size;
+    const std::size_t expect =
+        static_cast<std::size_t>(forest->storage_bounds(rid).volume()) *
+        fsize;
+    IDXL_REQUIRE(st.bytes.size() == expect,
+                 "setup storage size does not match region geometry");
+    std::memcpy(forest->field_data(rid, st.field), st.bytes.data(),
+                st.bytes.size());
+  }
+
+  std::vector<std::pair<std::string, TaskFn>> tasks;
+  tasks.reserve(setup.tasks.size());
+  for (const std::string& name : setup.tasks) {
+    const TaskFn* fn = find_named_task(name);
+    IDXL_REQUIRE(fn != nullptr,
+                 "task '" + name +
+                     "' is not registered in this daemon "
+                     "(IDXL_DIST_REGISTER_TASK it and relink idxl-noded)");
+    tasks.emplace_back(name, *fn);
+  }
+
+  RuntimeConfig rc;
+  rc.workers = hello.workers;
+  if (!hello.fault_plan.empty())
+    rc.fault_plan =
+        std::make_shared<const FaultPlan>(FaultPlan::parse(hello.fault_plan));
+
+  WorkerSession session(std::move(sock), hello.rank, hello.nranks,
+                        std::move(rc), std::move(forest), tasks,
+                        hello.heartbeat_period_ms, hello.peer_stall_window_ms);
+  session.run();
+}
+
+}  // namespace idxl::dist

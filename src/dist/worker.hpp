@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "dist/protocol.hpp"
+#include "runtime/runtime.hpp"
+
+namespace idxl::dist {
+
+/// One worker process's half of the protocol: a local Runtime issued from
+/// the driver's replicated launch stream. The receive loop runs on the
+/// calling thread and doubles as the issuing thread, so issuance stays
+/// single-threaded by construction; owned-task outcomes flow back through
+/// the connection's async send queue.
+class WorkerSession {
+ public:
+  /// Fork mode: forest and task bodies were inherited from the parent.
+  /// Exec mode reaches this too, after serve() rebuilt them from Setup.
+  WorkerSession(net::Socket sock, uint32_t rank, uint32_t nranks,
+                RuntimeConfig config, std::shared_ptr<RegionForest> forest,
+                const std::vector<std::pair<std::string, TaskFn>>& tasks,
+                uint32_t heartbeat_period_ms, uint32_t stall_window_ms);
+
+  /// Exec mode (idxl-noded): read Hello + Setup off the socket, rebuild the
+  /// forest from the journal, resolve task names against the named-task
+  /// registry, then run. Returns when the driver sends kShutdown.
+  static void serve(net::Socket sock);
+
+  /// Process frames until kShutdown (or the driver vanishes).
+  void run();
+
+ private:
+  void on_frame(net::Frame& frame);
+
+  uint32_t rank_;
+  std::unique_ptr<Runtime> rt_;
+  std::unique_ptr<net::Connection> conn_;
+  std::unique_ptr<net::PeerMonitor> monitor_;
+  uint32_t heartbeat_ms_;
+  uint32_t window_ms_;
+};
+
+}  // namespace idxl::dist

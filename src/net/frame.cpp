@@ -1,0 +1,87 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace idxl::net {
+
+namespace {
+
+void put_u32(std::byte* p, uint32_t v) {
+  p[0] = static_cast<std::byte>(v & 0xFF);
+  p[1] = static_cast<std::byte>((v >> 8) & 0xFF);
+  p[2] = static_cast<std::byte>((v >> 16) & 0xFF);
+  p[3] = static_cast<std::byte>((v >> 24) & 0xFF);
+}
+
+uint32_t get_u32(const std::byte* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+/// Validate everything a 12-byte header alone can prove; returns the
+/// announced payload length.
+uint32_t check_header(const std::byte* h) {
+  if (get_u32(h) != kNetMagic)
+    throw RuntimeError("net frame: bad magic (not an idxl peer, or the "
+                       "stream lost sync)");
+  const auto version = static_cast<uint8_t>(h[4]);
+  if (version != kNetVersion)
+    throw RuntimeError("net frame: protocol version mismatch (peer speaks v" +
+                       std::to_string(version) + ", this build speaks v" +
+                       std::to_string(kNetVersion) + ")");
+  if (h[6] != std::byte{0} || h[7] != std::byte{0})
+    throw RuntimeError("net frame: nonzero reserved bits");
+  const uint32_t len = get_u32(h + 8);
+  if (len > kMaxFramePayload)
+    throw RuntimeError("net frame: payload length " + std::to_string(len) +
+                       " exceeds the frame size limit");
+  return len;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_frame(uint8_t type, const std::byte* payload,
+                                    std::size_t len) {
+  IDXL_REQUIRE(len <= kMaxFramePayload, "frame payload exceeds kMaxFramePayload");
+  std::vector<std::byte> out(kFrameHeaderSize + len);
+  put_u32(out.data(), kNetMagic);
+  out[4] = static_cast<std::byte>(kNetVersion);
+  out[5] = static_cast<std::byte>(type);
+  out[6] = std::byte{0};
+  out[7] = std::byte{0};
+  put_u32(out.data() + 8, static_cast<uint32_t>(len));
+  if (len > 0) std::memcpy(out.data() + kFrameHeaderSize, payload, len);
+  return out;
+}
+
+void FrameReader::feed(const std::byte* data, std::size_t len) {
+  // Drop the consumed prefix before growing — steady-state the buffer holds
+  // at most one partial frame.
+  if (consumed_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+  // Fail fast: reject a corrupt or incompatible header the moment its 12
+  // bytes exist, not when the (possibly never-arriving) payload completes.
+  if (buf_.size() - consumed_ >= kFrameHeaderSize)
+    check_header(buf_.data() + consumed_);
+}
+
+bool FrameReader::poll(Frame& out) {
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < kFrameHeaderSize) return false;
+  const std::byte* h = buf_.data() + consumed_;
+  const uint32_t len = check_header(h);
+  if (avail < kFrameHeaderSize + len) return false;
+  out.type = static_cast<uint8_t>(h[5]);
+  out.payload.assign(h + kFrameHeaderSize, h + kFrameHeaderSize + len);
+  consumed_ += kFrameHeaderSize + len;
+  return true;
+}
+
+}  // namespace idxl::net

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace idxl::net {
+
+/// Transport framing for the distributed runtime: every message on the wire
+/// is a 12-byte header followed by `payload_len` opaque payload bytes.
+///
+///   offset 0  u32  magic  "IDXL" (little-endian 0x4C584449)
+///   offset 4  u8   protocol version (kNetVersion)
+///   offset 5  u8   message type (src/dist/protocol.hpp enumerates them)
+///   offset 6  u16  reserved, must be zero
+///   offset 8  u32  payload length in bytes
+///
+/// This is deliberately a second, outer layer of versioning: the header
+/// guards the *transport* (frame boundaries, peer compatibility), while the
+/// serialized descriptors inside the payload carry their own
+/// kWireMagic/kWireVersion header (src/runtime/serialize.hpp) guarding the
+/// *encoding*. A mismatch in either direction is rejected loudly rather
+/// than misparsed.
+inline constexpr uint32_t kNetMagic = 0x4C584449;  // "IDXL"
+inline constexpr uint8_t kNetVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 12;
+
+/// Upper bound on a single frame's payload; a header announcing more is
+/// treated as a protocol violation (corrupt stream / hostile peer), not an
+/// allocation request.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{64} << 20;
+
+struct Frame {
+  uint8_t type = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Serialize header + payload into one contiguous buffer (single send()).
+std::vector<std::byte> encode_frame(uint8_t type, const std::byte* payload,
+                                    std::size_t len);
+inline std::vector<std::byte> encode_frame(uint8_t type,
+                                           const std::vector<std::byte>& p) {
+  return encode_frame(type, p.data(), p.size());
+}
+
+/// Incremental decoder for a TCP byte stream: feed() arbitrary chunks
+/// (partial headers, coalesced messages — any split the kernel hands back),
+/// poll() complete frames out. Throws RuntimeError on bad magic, version
+/// mismatch, nonzero reserved bits or oversized payloads.
+class FrameReader {
+ public:
+  void feed(const std::byte* data, std::size_t len);
+
+  /// Extract the next complete frame, if any.
+  bool poll(Frame& out);
+
+  /// Bytes buffered but not yet returned as frames (diagnostics/tests).
+  std::size_t pending_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t consumed_ = 0;  // prefix of buf_ already handed out
+};
+
+}  // namespace idxl::net

@@ -50,6 +50,8 @@ const char* lifecycle_event_name(LifecycleEvent e) {
     case LifecycleEvent::kPoisoned: return "poisoned";
     case LifecycleEvent::kRetry: return "retry";
     case LifecycleEvent::kCancelled: return "cancelled";
+    case LifecycleEvent::kNetSend: return "net-send";
+    case LifecycleEvent::kNetRecv: return "net-recv";
   }
   return "unknown";
 }

@@ -28,6 +28,8 @@ enum class LifecycleEvent : uint8_t {
   kPoisoned,       ///< skipped: an upstream failure poisoned this task
   kRetry,          ///< a failed attempt was re-enqueued (edge = attempt #)
   kCancelled,      ///< the task was cancelled (detail = timeout/cancel cause)
+  kNetSend,        ///< a network frame was sent (seq = frame type, edge = bytes)
+  kNetRecv,        ///< a network frame was received (same encoding as kNetSend)
 };
 
 const char* lifecycle_event_name(LifecycleEvent e);

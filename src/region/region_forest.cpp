@@ -5,6 +5,12 @@
 namespace idxl {
 
 IndexSpaceId RegionForest::create_index_space(Domain domain) {
+  if (!journal_suspended_) {
+    SetupOp op;
+    op.kind = SetupOp::Kind::kIndexSpace;
+    op.domain = domain;
+    journal_.push_back(std::move(op));
+  }
   index_spaces_.push_back(std::move(domain));
   return IndexSpaceId{static_cast<uint32_t>(index_spaces_.size() - 1)};
 }
@@ -15,6 +21,9 @@ const Domain& RegionForest::domain(IndexSpaceId is) const {
 }
 
 FieldSpaceId RegionForest::create_field_space() {
+  SetupOp op;
+  op.kind = SetupOp::Kind::kFieldSpace;
+  journal_.push_back(std::move(op));
   field_spaces_.emplace_back();
   return FieldSpaceId{static_cast<uint32_t>(field_spaces_.size() - 1)};
 }
@@ -25,6 +34,12 @@ FieldId RegionForest::allocate_field(FieldSpaceId fs, std::size_t field_size,
   IDXL_REQUIRE(field_size > 0, "field size must be positive");
   auto& fields = field_spaces_[fs.id];
   const FieldId id = static_cast<FieldId>(fields.size());
+  SetupOp op;
+  op.kind = SetupOp::Kind::kField;
+  op.a = fs.id;
+  op.b = static_cast<uint32_t>(field_size);
+  op.name = name;
+  journal_.push_back(std::move(op));
   fields.push_back(FieldInfo{id, field_size, std::move(name)});
   return id;
 }
@@ -51,12 +66,24 @@ PartitionId RegionForest::create_partition(IndexSpaceId parent, const Rect& colo
     IDXL_REQUIRE(parent_dom.contains_domain(sub),
                  "partition subspace escapes its parent index space");
 
+  {
+    SetupOp op;
+    op.kind = SetupOp::Kind::kPartition;
+    op.a = parent.id;
+    op.color_space = color_space;
+    op.subspaces = subspaces;
+    op.disjointness = static_cast<uint8_t>(d);
+    journal_.push_back(std::move(op));
+  }
+
   PartitionNode node;
   node.parent = parent;
   node.color_space = color_space;
   node.subspaces.reserve(subspaces.size());
+  journal_suspended_ = true;  // subspace index spaces ride in the op above
   for (Domain& sub : subspaces)
     node.subspaces.push_back(create_index_space(std::move(sub)));
+  journal_suspended_ = false;
 
   partitions_.push_back(std::move(node));
   const PartitionId pid{static_cast<uint32_t>(partitions_.size() - 1)};
@@ -112,6 +139,13 @@ bool RegionForest::verify_disjoint(PartitionId p) const {
 }
 
 RegionId RegionForest::create_region(IndexSpaceId is, FieldSpaceId fs) {
+  {
+    SetupOp op;
+    op.kind = SetupOp::Kind::kRegion;
+    op.a = is.id;
+    op.b = fs.id;
+    journal_.push_back(std::move(op));
+  }
   RegionInfo info;
   info.handle = RegionId{static_cast<uint32_t>(regions_.size())};
   info.root = info.handle;
@@ -141,6 +175,15 @@ RegionId RegionForest::subregion(RegionId parent, PartitionId p, const Point& co
                        static_cast<uint64_t>(node.color_space.linearize(color));
   if (auto it = subregion_cache_.find(key); it != subregion_cache_.end())
     return it->second;
+
+  {
+    SetupOp op;
+    op.kind = SetupOp::Kind::kSubregion;
+    op.a = parent.id;
+    op.b = p.id;
+    op.color = color;
+    journal_.push_back(std::move(op));
+  }
 
   RegionInfo info;
   info.handle = RegionId{static_cast<uint32_t>(regions_.size())};
@@ -209,6 +252,35 @@ const std::byte* RegionForest::field_data(RegionId r, FieldId f) const {
   auto it = store->data.find(f);
   IDXL_ASSERT_MSG(it != store->data.end(), "unknown field for region");
   return it->second.data();
+}
+
+void RegionForest::replay_setup(const std::vector<SetupOp>& ops) {
+  IDXL_REQUIRE(index_spaces_.empty() && field_spaces_.empty() &&
+                   partitions_.empty() && regions_.empty(),
+               "replay_setup requires an empty forest");
+  for (const SetupOp& op : ops) {
+    switch (op.kind) {
+      case SetupOp::Kind::kIndexSpace:
+        create_index_space(op.domain);
+        break;
+      case SetupOp::Kind::kFieldSpace:
+        create_field_space();
+        break;
+      case SetupOp::Kind::kField:
+        allocate_field(FieldSpaceId{op.a}, op.b, op.name);
+        break;
+      case SetupOp::Kind::kPartition:
+        create_partition(IndexSpaceId{op.a}, op.color_space, op.subspaces,
+                         static_cast<Disjointness>(op.disjointness));
+        break;
+      case SetupOp::Kind::kRegion:
+        create_region(IndexSpaceId{op.a}, FieldSpaceId{op.b});
+        break;
+      case SetupOp::Kind::kSubregion:
+        subregion(RegionId{op.a}, PartitionId{op.b}, op.color);
+        break;
+    }
+  }
 }
 
 const Rect& RegionForest::storage_bounds(RegionId r) const {

@@ -66,6 +66,30 @@ struct FieldInfo {
   std::string name;
 };
 
+/// One recorded forest-construction call. The journal of these ops is the
+/// portable description of the forest: replaying it into an empty forest
+/// yields identical handles (ids are assigned sequentially), which is how a
+/// remote worker process reconstructs the driver's region tree at startup.
+struct SetupOp {
+  enum class Kind : uint8_t {
+    kIndexSpace,   ///< create_index_space(domain)
+    kFieldSpace,   ///< create_field_space()
+    kField,        ///< allocate_field(a, b, name)
+    kPartition,    ///< create_partition(a, color_space, subspaces, disjointness)
+    kRegion,       ///< create_region(a, b)
+    kSubregion,    ///< subregion(a, b, color)
+  };
+  Kind kind = Kind::kIndexSpace;
+  Domain domain;                  // kIndexSpace
+  uint32_t a = 0;                 // first id operand (see Kind comments)
+  uint32_t b = 0;                 // second id operand / field size
+  std::string name;               // kField
+  Rect color_space;               // kPartition
+  std::vector<Domain> subspaces;  // kPartition
+  uint8_t disjointness = 0;       // kPartition
+  Point color;                    // kSubregion
+};
+
 /// Owner of the region "forest": index spaces, field spaces, partitions,
 /// logical regions and the physical storage of root regions. Thread-safe
 /// for concurrent *reads* after setup; creation calls must be serialized
@@ -137,8 +161,17 @@ class RegionForest {
   const Rect& storage_bounds(RegionId r) const;
 
   std::size_t index_space_count() const { return index_spaces_.size(); }
+  std::size_t field_space_count() const { return field_spaces_.size(); }
   std::size_t region_count() const { return regions_.size(); }
   std::size_t partition_count() const { return partitions_.size(); }
+
+  // --- setup journal ---
+  /// Every construction call recorded in order (subspace index spaces
+  /// created inside create_partition are folded into its kPartition op).
+  const std::vector<SetupOp>& setup_journal() const { return journal_; }
+  /// Replay a journal into this (empty) forest, reproducing the recording
+  /// forest's handles exactly.
+  void replay_setup(const std::vector<SetupOp>& ops);
 
  private:
   struct PartitionNode {
@@ -166,6 +199,8 @@ class RegionForest {
   std::unordered_map<uint64_t, RegionId> subregion_cache_;
   std::unordered_map<uint64_t, std::vector<RegionId>> subregion_tables_;
   uint32_t next_tree_id_ = 1;
+  std::vector<SetupOp> journal_;
+  bool journal_suspended_ = false;  // while create_partition makes subspaces
 };
 
 }  // namespace idxl

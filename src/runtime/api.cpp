@@ -1,0 +1,26 @@
+#include "runtime/api.hpp"
+
+namespace idxl {
+
+double Future::resolve() const {
+  IDXL_REQUIRE(valid(), "resolve() on an empty Future");
+  IDXL_ASSERT(!state_->values.empty());
+  double acc = state_->values.front();
+  for (std::size_t i = 1; i < state_->values.size(); ++i)
+    acc = apply_reduction(state_->op, acc, state_->values[i]);
+  return acc;
+}
+
+FaultReport RuntimeApi::run(const std::function<void(RuntimeApi&)>& program) {
+  program(*this);
+  wait_all();
+  return fault_report();
+}
+
+double RuntimeApi::get(const Future& future) {
+  IDXL_REQUIRE(future.valid(), "get() on an empty Future");
+  wait_all();
+  return future.resolve();
+}
+
+}  // namespace idxl

@@ -74,6 +74,37 @@ class PhysicalRegion {
     throw RuntimeError("idxl: field was not requested by this region argument");
   }
 
+  /// Append every resolved field's bytes over this view's domain to `out`,
+  /// fields in argument order, elements in Domain::for_each order. The
+  /// symmetric pair to copy_in: the owning process extracts its written
+  /// subregion, the others apply it — the explicit data movement Legion
+  /// performs implicitly between memories.
+  void copy_out(std::vector<std::byte>& out) const {
+    for (const ResolvedField& rf : resolved_) {
+      domain_->for_each([&](const Point& p) {
+        const std::byte* src =
+            rf.data + static_cast<std::size_t>(storage_bounds_.linearize(p)) * rf.size;
+        out.insert(out.end(), src, src + rf.size);
+      });
+    }
+  }
+
+  /// Apply bytes produced by copy_out on an identical view, reading from
+  /// `in` starting at `offset`; returns the offset one past the consumed
+  /// range. Throws RuntimeError if `in` is too short.
+  std::size_t copy_in(const std::vector<std::byte>& in, std::size_t offset) {
+    for (const ResolvedField& rf : resolved_) {
+      domain_->for_each([&](const Point& p) {
+        IDXL_REQUIRE(offset + rf.size <= in.size(),
+                     "remote region payload shorter than the region view");
+        std::memcpy(rf.data + static_cast<std::size_t>(storage_bounds_.linearize(p)) * rf.size,
+                    in.data() + offset, rf.size);
+        offset += rf.size;
+      });
+    }
+    return offset;
+  }
+
  private:
   RegionId region_;
   const Domain* domain_;

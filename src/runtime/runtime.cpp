@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <unordered_set>
 
 namespace idxl {
@@ -64,10 +66,12 @@ obs::LifecycleDetail detail_of(SafetyOutcome outcome) {
 
 }  // namespace
 
-Runtime::Runtime(RuntimeConfig config)
+Runtime::Runtime(RuntimeConfig config, std::shared_ptr<RegionForest> forest)
     : config_(apply_env_overrides(std::move(config))),
-      tracker_(forest_),
-      group_(forest_),
+      forest_(forest != nullptr ? std::move(forest)
+                                : std::make_shared<RegionForest>()),
+      tracker_(*forest_),
+      group_(*forest_),
       profiler_(std::make_unique<Profiler>(config_.enable_profiling)),
       prof_(config_.enable_profiling ? profiler_.get() : nullptr),
       recorder_(config_.enable_flight_recorder, config_.flight_recorder_capacity,
@@ -343,7 +347,7 @@ std::vector<RegionArg> Runtime::project_args(const IndexLauncher& launcher,
   for (const ProjectedArg& pa : launcher.args) {
     const Point color = pa.functor(p);
     RegionArg ra;
-    ra.region = forest_.subregion(pa.parent, pa.partition, color);
+    ra.region = forest_->subregion(pa.parent, pa.partition, color);
     ra.fields = pa.fields;
     ra.privilege = pa.privilege;
     ra.redop = pa.redop;
@@ -376,12 +380,12 @@ bool Runtime::group_eligible(const IndexLauncher& launcher) {
   // two different partitions of one tree cannot be summarized either.
   for (std::size_t i = 0; i < launcher.args.size(); ++i) {
     const ProjectedArg& pa = launcher.args[i];
-    if (!forest_.is_disjoint(pa.partition)) return false;
+    if (!forest_->is_disjoint(pa.partition)) return false;
     if (!pa.functor.is_symbolic()) return false;
-    const uint32_t tree = forest_.region(pa.parent).tree_id;
+    const uint32_t tree = forest_->region(pa.parent).tree_id;
     if (!group_.groupable(tree, pa.partition)) return false;
     for (std::size_t j = 0; j < i; ++j) {
-      if (forest_.region(launcher.args[j].parent).tree_id == tree &&
+      if (forest_->region(launcher.args[j].parent).tree_id == tree &&
           launcher.args[j].partition != pa.partition)
         return false;
     }
@@ -447,10 +451,10 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
     for (const ProjectedArg& pa : launcher.args) {
       CheckArg ca;
       ca.functor = &pa.functor;
-      ca.color_space = forest_.color_space(pa.partition);
-      ca.partition_disjoint = forest_.is_disjoint(pa.partition);
+      ca.color_space = forest_->color_space(pa.partition);
+      ca.partition_disjoint = forest_->is_disjoint(pa.partition);
       ca.partition_uid = pa.partition.id;
-      ca.collection_uid = forest_.region(pa.parent).tree_id;
+      ca.collection_uid = forest_->region(pa.parent).tree_id;
       ca.field_mask = field_mask(pa.fields);
       ca.priv = pa.privilege;
       ca.redop = pa.redop;
@@ -462,7 +466,7 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
     options.profiler = prof_;
     if (config_.enable_verdict_cache) options.verdict_cache = &verdict_cache_;
     auto pair_independent = [&](std::size_t i, std::size_t j) {
-      return forest_.partitions_independent(launcher.args[i].parent,
+      return forest_->partitions_independent(launcher.args[i].parent,
                                             launcher.args[i].partition,
                                             launcher.args[j].parent,
                                             launcher.args[j].partition);
@@ -648,14 +652,14 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
   for (const ProjectedArg& pa : launcher.args) {
     pa.functor.ensure_compiled();
     ArgPlan plan;
-    plan.table = &forest_.subregion_table(pa.parent, pa.partition);
-    plan.colors = &forest_.color_space(pa.partition);
+    plan.table = &forest_->subregion_table(pa.parent, pa.partition);
+    plan.colors = &forest_->color_space(pa.partition);
     plan.fields = &pa.fields;
     plan.functor = &pa.functor;
     plan.n_colors = plan.table->size();
-    plan.tree = forest_.region(pa.parent).tree_id;
+    plan.tree = forest_->region(pa.parent).tree_id;
     plan.partition = pa.partition;
-    plan.disjoint = forest_.is_disjoint(pa.partition);
+    plan.disjoint = forest_->is_disjoint(pa.partition);
     plan.mask = field_mask(pa.fields);
     plan.writes = privilege_writes(pa.privilege);
     plan.priv = pa.privilege;
@@ -758,7 +762,30 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
         regions.reserve(args);
         for (std::size_t a = 0; a < args; ++a)
           regions.push_back(*(*arena->protos[a])[cranks[i * args + a]]);
-        rec.node->work = [arena, point = rec.point, rank = rec.rank,
+        if (rec.node->external) {
+          // Remote-owned point: instead of the body, install the closure
+          // that applies the owner's outcome (written-region bytes + return
+          // value) once it arrives. `self` is raw: node_job holds the
+          // shared_ptr while this runs, and a shared capture would cycle.
+          rec.node->work = [arena, rank = rec.rank, self = rec.node.get(),
+                            regions = std::move(regions)]() mutable {
+            const RemoteOutcome& o = *self->remote;
+            std::size_t off = 0;
+            for (PhysicalRegion& r : regions)
+              if (privilege_writes(r.privilege()))
+                off = r.copy_in(o.region_bytes, off);
+            IDXL_REQUIRE(off == o.region_bytes.size(),
+                         "remote outcome bytes do not match the task's "
+                         "written regions");
+            if (arena->collect != nullptr) {
+              IDXL_ASSERT(rank >= 0 && rank < static_cast<int64_t>(
+                                                  arena->collect->values.size()));
+              arena->collect->values[static_cast<std::size_t>(rank)] = o.ret;
+            }
+          };
+        } else {
+        rec.node->work = [this, arena, point = rec.point, rank = rec.rank,
+                          self = rec.node.get(),
                           regions = std::move(regions)]() mutable {
           TaskContext ctx;
           ctx.point = point;
@@ -772,7 +799,11 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
             arena->collect->values[static_cast<std::size_t>(rank)] =
                 ctx.return_value;
           }
+          // Ship the outcome while the mapped regions are still alive.
+          if (config_.on_task_success)
+            config_.on_task_success(self->seq, self->launch, point, ctx);
         };
+        }
         // Release the closure guard; the node may become ready right here
         // when its dependence edges were already satisfied.
         if (rec.node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -807,7 +838,7 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
         point_cranks[a] = crank;
         std::optional<PhysicalRegion>& slot = (*plan.protos)[crank];
         if (!slot.has_value())
-          slot.emplace(forest_, (*plan.table)[crank], *plan.fields, plan.priv,
+          slot.emplace(*forest_, (*plan.table)[crank], *plan.fields, plan.priv,
                        plan.redop);
       }
 
@@ -831,7 +862,7 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
                                   point_cranks[a], plan.mask, plan.writes,
                                   plan.scan, node, deps);
         } else {
-          const RegionInfo& info = forest_.region((*plan.table)[point_cranks[a]]);
+          const RegionInfo& info = forest_->region((*plan.table)[point_cranks[a]]);
           tracker_.record_use(plan.tree, info.ispace, plan.mask, plan.writes,
                               plan.partition, plan.disjoint, node, deps);
         }
@@ -847,12 +878,19 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
         ispaces.reserve(n_args);
         for (std::size_t a = 0; a < n_args; ++a)
           ispaces.push_back(
-              forest_.region((*plans[a].table)[point_cranks[a]]).ispace.id);
+              forest_->region((*plans[a].table)[point_cranks[a]]).ispace.id);
         capture_trace_step(launcher.task, p, std::move(ispaces), deps, node);
       }
       finalize_deps(node, deps);
 
+      // Closure guard BEFORE register_external: the latter publishes the
+      // node to the distributed recv threads, and the closure guard (held
+      // until the chunk job installs node->work) keeps an early remote
+      // outcome from readying a node that has no closure yet.
       node->pending.fetch_add(1, std::memory_order_relaxed);  // closure guard
+      if (config_.point_owned != nullptr &&
+          !config_.point_owned(launch_id, p, launcher.domain))
+        register_external(node);
       schedule(node, deps);
 
       records.push_back(ChunkRecord{std::move(node), p, rank++});
@@ -907,12 +945,32 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
   regions.reserve(args.size());
   for (const RegionArg& ra : args) {
     IDXL_REQUIRE(ra.region.valid(), "launcher has an invalid region argument");
-    regions.emplace_back(forest_, ra.region, ra.fields, ra.privilege, ra.redop);
+    regions.emplace_back(*forest_, ra.region, ra.fields, ra.privilege, ra.redop);
   }
+  const bool external = config_.point_owned != nullptr &&
+                        !config_.point_owned(launch_id, point, launch_domain);
+  if (external) {
+    // Remote-owned point — apply the owner's outcome instead of the body.
+    node->work = [self = node.get(), regions = std::move(regions), collect,
+                  rank]() mutable {
+      const RemoteOutcome& o = *self->remote;
+      std::size_t off = 0;
+      for (PhysicalRegion& r : regions)
+        if (privilege_writes(r.privilege())) off = r.copy_in(o.region_bytes, off);
+      IDXL_REQUIRE(off == o.region_bytes.size(),
+                   "remote outcome bytes do not match the task's written regions");
+      if (collect != nullptr) {
+        IDXL_ASSERT(rank >= 0 &&
+                    rank < static_cast<int64_t>(collect->values.size()));
+        collect->values[static_cast<std::size_t>(rank)] = o.ret;
+      }
+    };
+  } else {
   const TaskFn& body = task_registry_[fn].second;
   ArgBuffer scalar_copy = scalar_args;
-  node->work = [body, point, launch_domain, scalar = std::move(scalar_copy),
-                regions = std::move(regions), collect, rank]() mutable {
+  node->work = [this, body, point, launch_domain, self = node.get(),
+                scalar = std::move(scalar_copy), regions = std::move(regions),
+                collect, rank]() mutable {
     TaskContext ctx;
     ctx.point = point;
     ctx.launch_domain = launch_domain;
@@ -926,7 +984,11 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
       // wait_all() barrier in Future::get().
       collect->values[static_cast<std::size_t>(rank)] = ctx.return_value;
     }
+    // Ship the outcome while the mapped regions are still alive.
+    if (config_.on_task_success)
+      config_.on_task_success(self->seq, self->launch, point, ctx);
   };
+  }
 
   // --- dependence discovery: tracker scan, or trace replay ---
   std::vector<TaskNodePtr> deps;
@@ -939,7 +1001,7 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
     IDXL_REQUIRE(step.fn == fn && step.point == point,
                  "trace replay diverged from the captured task sequence");
     for (std::size_t i = 0; i < args.size(); ++i) {
-      const RegionInfo& info = forest_.region(args[i].region);
+      const RegionInfo& info = forest_->region(args[i].region);
       IDXL_REQUIRE(i < step.ispaces.size() && step.ispaces[i] == info.ispace.id,
                    "trace replay diverged in region arguments");
     }
@@ -952,13 +1014,13 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
       ProfileScope dep_scope(prof_, ProfCategory::kDependence,
                              Profiler::kNameDependence, node->seq);
       for (const RegionArg& ra : args) {
-        const RegionInfo& info = forest_.region(ra.region);
+        const RegionInfo& info = forest_->region(ra.region);
         // A per-point use makes any group summary of this tree stale: flush
         // it first, and keep the tree per-point until the next fence.
         materialize_tree(info.tree_id);
         group_.mark_per_point(info.tree_id);
         const bool through_disjoint =
-            info.through.valid() && forest_.is_disjoint(info.through);
+            info.through.valid() && forest_->is_disjoint(info.through);
         tracker_.record_use(info.tree_id, info.ispace, field_mask(ra.fields),
                             privilege_writes(ra.privilege), info.through,
                             through_disjoint, node, deps);
@@ -976,14 +1038,25 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
                            std::vector<uint32_t> ispaces;
                            ispaces.reserve(args.size());
                            for (const RegionArg& ra : args)
-                             ispaces.push_back(forest_.region(ra.region).ispace.id);
+                             ispaces.push_back(forest_->region(ra.region).ispace.id);
                            return ispaces;
                          }(),
                          deps, node);
   }
 
   finalize_deps(node, deps);
+  if (external) {
+    // Registration guard: keeps a racing complete_external() from readying
+    // the node before schedule() has wired it into the graph.
+    node->pending.fetch_add(1, std::memory_order_relaxed);
+    register_external(node);
+  }
   schedule(node, deps);
+  if (external &&
+      node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    record_ready(*node, obs::FlightEvent::kNone);
+    make_ready(node);
+  }
 }
 
 std::string Runtime::export_task_graph_dot() const {
@@ -1051,6 +1124,34 @@ std::function<void()> Runtime::node_job(TaskNodePtr node) {
   const bool timed = prof_ != nullptr || rec_ != nullptr;
   const uint64_t ready_ns = timed ? recorder_.now_ns() : 0;
   return [this, node = std::move(node), ready_ns, timed] {
+    // --- external (remote-owned) node: apply the owner's outcome ---
+    // The local fault gates and the injection plan deliberately do NOT run
+    // here: the owner already made those decisions, and determinism across
+    // processes requires every rank to record the owner's verdict verbatim
+    // (a poisoned remote point arrives as a kPoisoned outcome).
+    if (node->external) {
+      const RemoteOutcome& o = *node->remote;
+      if (o.kind != FaultKind::kNone) {
+        finish_fault(node, o.kind, o.root, o.attempts, o.message);
+        return;
+      }
+      try {
+        node->work();
+      } catch (const std::exception& e) {
+        finish_fault(node, FaultKind::kException, node->seq, 1, e.what());
+        return;
+      }
+      cells_.tasks_completed.inc();
+      if (live_enabled_) {
+        std::lock_guard<std::mutex> lock(live_mu_);
+        live_.erase(node->seq);
+      }
+      node->work = nullptr;
+      node->remote.reset();
+      fan_out(node, obs::FlightEvent::kNone);
+      return;
+    }
+
     // --- fault gates: settle without running the body ---
     const uint64_t proot = node->poison_root.load(std::memory_order_acquire);
     if (proot != UINT64_MAX) {
@@ -1188,6 +1289,9 @@ void Runtime::finish_fault(const TaskNodePtr& node, FaultKind kind, uint64_t roo
   fault.kind = kind;
   fault.root = root;
   fault.message = std::move(message);
+  // Broadcast owned terminal outcomes (external nodes' faults came FROM the
+  // owner; re-broadcasting would echo forever).
+  if (config_.on_task_fault && !node->external) config_.on_task_fault(fault);
   faults_.record(std::move(fault));
 
   if (kind == FaultKind::kPoisoned)
@@ -1337,9 +1441,110 @@ TaskFnId Runtime::fill_task() {
   return fill_task_;
 }
 
+void Runtime::register_external(const TaskNodePtr& node) {
+  node->external = true;
+  node->pending.fetch_add(1, std::memory_order_relaxed);  // remote guard
+  std::optional<RemoteOutcome> early;
+  {
+    std::lock_guard<std::mutex> lock(ext_mu_);
+    auto it = early_outcomes_.find(node->seq);
+    if (it != early_outcomes_.end()) {
+      early = std::move(it->second);
+      early_outcomes_.erase(it);
+    } else {
+      externals_.emplace(node->seq, node);
+    }
+  }
+  // A forwarded outcome can overtake the launch frame that issues its node;
+  // apply the buffered one here. Releasing the remote guard is safe — the
+  // caller still holds a closure/registration guard, so the node cannot
+  // become ready under us.
+  if (early.has_value()) {
+    node->remote = std::make_unique<RemoteOutcome>(std::move(*early));
+    node->pending.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Runtime::complete_external(uint64_t seq, RemoteOutcome outcome) {
+  TaskNodePtr node;
+  {
+    std::lock_guard<std::mutex> lock(ext_mu_);
+    auto it = externals_.find(seq);
+    if (it == externals_.end()) {
+      // Outcome beat the launch frame (or `seq` is owned here and this is a
+      // stray echo — the protocol never sends those). Buffer for issue time.
+      early_outcomes_.emplace(seq, std::move(outcome));
+      return;
+    }
+    node = it->second;
+  }
+  deliver_external(node, std::move(outcome));
+  {
+    // Erase only after delivery: wait_all observing externals_ empty must
+    // imply every outcome's pool job (if any) was already submitted.
+    std::lock_guard<std::mutex> lock(ext_mu_);
+    externals_.erase(seq);
+  }
+  ext_cv_.notify_all();
+}
+
+void Runtime::abandon_externals(const std::string& why) {
+  for (;;) {
+    uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(ext_mu_);
+      if (externals_.empty()) return;
+      seq = externals_.begin()->first;
+    }
+    RemoteOutcome o;
+    o.kind = FaultKind::kCancelled;
+    o.root = seq;
+    o.attempts = 0;
+    o.message = why;
+    complete_external(seq, std::move(o));
+  }
+}
+
+void Runtime::deliver_external(const TaskNodePtr& node, RemoteOutcome outcome) {
+  node->remote = std::make_unique<RemoteOutcome>(std::move(outcome));
+  if (node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    record_ready(*node, obs::FlightEvent::kNone);
+    make_ready(node);
+  }
+}
+
+void Runtime::fill_bytes_region(RegionId r, FieldId f, const void* pattern,
+                                std::size_t size) {
+  FillArgs args{};
+  IDXL_REQUIRE(size > 0 && size <= sizeof(args.pattern),
+               "fill pattern too large");
+  IDXL_REQUIRE(forest_->field(forest_->region(r).fspace, f).size == size,
+               "fill value type does not match the field size");
+  args.field = f;
+  args.size = size;
+  std::memcpy(args.pattern, pattern, size);
+  TaskLauncher launcher;
+  launcher.task = fill_task();
+  launcher.scalar_args = ArgBuffer::of(args);
+  launcher.args = {{r, {f}, Privilege::kWrite, ReductionOp::kNone}};
+  execute(launcher);
+}
+
 void Runtime::wait_all() {
   ProfileScope wait_scope(prof_, ProfCategory::kRuntime, Profiler::kNameWaitAll);
-  pool_->wait_idle();
+  // External nodes first: their pool jobs exist only once the owning process
+  // delivers an outcome, so an idle pool does not imply quiescence. The recv
+  // threads only ever *remove* entries (externals are registered by this —
+  // the issuing — thread), so once empty the set stays empty.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(ext_mu_);
+      ext_cv_.wait(lk, [&] { return externals_.empty(); });
+    }
+    pool_->wait_idle();
+    std::lock_guard<std::mutex> lock(ext_mu_);
+    if (externals_.empty()) break;
+  }
   if (rec_ != nullptr) {
     obs::FlightEvent ev;
     ev.kind = obs::LifecycleEvent::kFence;

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -9,10 +11,12 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/watchdog.hpp"
+#include "runtime/api.hpp"
 #include "runtime/dependence.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/group_dependence.hpp"
 #include "runtime/physical.hpp"
+#include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/types.hpp"
 
@@ -84,98 +88,58 @@ struct RuntimeConfig {
   /// the attempt as FaultKind::kInjected. The IDXL_FAULT_PLAN env spec
   /// (see FaultPlan::parse) overrides this field.
   std::shared_ptr<const FaultPlan> fault_plan;
+
+  // --- distributed-execution hooks (src/dist; docs/DISTRIBUTED.md) -------
+  /// Point-ownership predicate. When set, points for which it returns false
+  /// become *external* nodes: placeholders in the dependence graph that
+  /// never run a body locally and complete only when the owning process
+  /// delivers their outcome through Runtime::complete_external(). Every
+  /// rank of a distributed run issues the identical launch stream, so seq
+  /// numbers (and hence the graph) agree across processes.
+  std::function<bool(uint64_t launch, const Point& point, const Domain& domain)>
+      point_owned;
+  /// Called on the executing worker thread after an *owned* task body
+  /// succeeds, while its TaskContext (mapped regions included) is still
+  /// alive — the distributed runtime extracts written-region bytes and the
+  /// return value here and ships them to the other processes.
+  std::function<void(uint64_t seq, uint64_t launch, const Point& point,
+                     TaskContext& ctx)>
+      on_task_success;
+  /// Called when an *owned* task settles in a terminal fault state (external
+  /// nodes are excluded: their fault came from the owner in the first
+  /// place, so re-broadcasting would loop).
+  std::function<void(const TaskFault& fault)> on_task_fault;
 };
 
-/// Counters exposing the asymptotic behaviour the paper argues about; tests
-/// assert on these (e.g. an index launch is a single runtime call
-/// regardless of |D|, the fallback loop is |D| calls).
-struct RuntimeStats {
-  uint64_t runtime_calls = 0;       ///< task issuance API calls (§5 issuance)
-  uint64_t single_launches = 0;
-  uint64_t index_launches = 0;
-  uint64_t point_tasks = 0;         ///< tasks actually executed
-  uint64_t dependence_edges = 0;
-  uint64_t launches_safe_static = 0;
-  uint64_t launches_safe_dynamic = 0;
-  uint64_t launches_safe_unchecked = 0;
-  uint64_t launches_assumed_verified = 0;  ///< compiler-verified (assume_verified)
-  uint64_t launches_unsafe = 0;     ///< fell back to the task loop
-  uint64_t dynamic_check_points = 0;
-  uint64_t traced_tasks_replayed = 0;
-  uint64_t tasks_completed = 0;     ///< tasks whose body has returned (live)
-  uint64_t dependence_tests = 0;    ///< per-use conflict tests, both tiers (live)
-  uint64_t verdict_cache_hits = 0;   ///< launches served from the verdict cache
-  uint64_t verdict_cache_misses = 0; ///< cacheable launches analyzed afresh
-  // --- group-level (two-tier) dependence analysis ---
-  uint64_t group_launches = 0;       ///< index launches issued on the group path
-  uint64_t group_edges = 0;          ///< launch-level summary conflicts (O(args))
-  uint64_t group_fallbacks = 0;      ///< safe launches forced onto the per-point path
-  uint64_t group_materializations = 0;  ///< trees flushed group → per-point
-  // --- fault tolerance ---
-  uint64_t tasks_failed = 0;        ///< terminal root-cause failures, all kinds
-  uint64_t tasks_poisoned = 0;      ///< tasks skipped due to upstream failure
-  uint64_t fault_injections = 0;    ///< FaultPlan injections fired
-  uint64_t retry_attempts = 0;      ///< failed attempts re-enqueued
-  uint64_t retries_succeeded = 0;   ///< tasks that succeeded after >= 1 retry
-};
-
-/// Deferred reduction of an index launch's per-task return values.
-/// get() blocks until the producing tasks have run, then folds the values
-/// in launch-point rank order (deterministic floating point).
-class Future {
- public:
-  Future() = default;
-  bool valid() const { return state_ != nullptr; }
-  double get(class Runtime& rt) const;
-
- private:
-  friend class Runtime;
-  struct State {
-    std::vector<double> values;  // indexed by launch-point rank
-    ReductionOp op = ReductionOp::kNone;
-  };
-  std::shared_ptr<State> state_;
-};
-
-/// The outcome handed back by every launch call — execute() and
-/// execute_index() return the same shape, so callers handle both launch
-/// kinds uniformly. For single-task launches the safety report is trivially
-/// safe (one task cannot interfere with itself) and ran_as_index_launch is
-/// false.
-struct LaunchResult {
-  SafetyReport safety;
-  bool ran_as_index_launch = false;
-  Future future;  ///< valid iff the launcher set result_redop
-  /// Id of this launch — the key into FaultReport::for_launch (and the
-  /// flight recorder / Chrome trace cross-link).
-  uint64_t launch_id = UINT64_MAX;
-};
+// RuntimeStats, Future and LaunchResult moved to runtime/api.hpp with the
+// RuntimeApi extraction; this header re-exports them via that include.
 
 /// The real, in-process runtime: sequential task issuance with implicit
 /// parallel execution on a thread pool, Legion-style. One instance per
 /// "program". Issuance calls (execute, execute_index, region/partition
 /// creation) must come from a single thread; task bodies run concurrently.
-class Runtime {
+class Runtime : public RuntimeApi {
  public:
-  explicit Runtime(RuntimeConfig config = {});
-  ~Runtime();
+  /// `forest` shares a region forest with the caller (the distributed
+  /// runtime pre-builds it before forking workers); default is a private
+  /// one.
+  explicit Runtime(RuntimeConfig config = {},
+                   std::shared_ptr<RegionForest> forest = nullptr);
+  ~Runtime() override;
 
-  Runtime(const Runtime&) = delete;
-  Runtime& operator=(const Runtime&) = delete;
-
-  RegionForest& forest() { return forest_; }
+  RegionForest& forest() override { return *forest_; }
   const RuntimeConfig& config() const { return config_; }
 
   /// Register a task body under a new id.
-  TaskFnId register_task(std::string name, TaskFn fn);
+  TaskFnId register_task(std::string name, TaskFn fn) override;
 
   /// Launch a single task (program-order semantics; §2).
-  LaunchResult execute(const TaskLauncher& launcher);
+  LaunchResult execute(const TaskLauncher& launcher) override;
 
   /// Launch |domain| tasks as one index launch (§3). Runs the hybrid safety
   /// analysis; an unsafe launch falls back to the equivalent sequential
   /// task loop (Listing 3's generated branch) unless strict_unsafe is set.
-  LaunchResult execute_index(const IndexLauncher& launcher);
+  LaunchResult execute_index(const IndexLauncher& launcher) override;
 
   /// Dynamic tracing (Lee et al. [20]): capture the dependence analysis of
   /// the bracketed launches on first execution, replay it afterwards.
@@ -183,13 +147,28 @@ class Runtime {
   void begin_trace(uint32_t trace_id);
   void end_trace(uint32_t trace_id);
 
-  /// Block until all issued tasks have executed.
-  void wait_all();
+  /// Block until all issued tasks have executed — including external
+  /// (remote-owned) nodes, which complete when their outcomes arrive via
+  /// complete_external().
+  void wait_all() override;
 
   /// Structured outcome of every failure so far: root causes plus the
   /// poisoned closure, sorted by task seq (deterministic for a seeded
   /// FaultPlan). Call after wait_all(); empty report = clean run.
-  FaultReport fault_report() const { return faults_.report(); }
+  FaultReport fault_report() const override { return faults_.report(); }
+
+  /// Deliver the terminal outcome of external task `seq` (it was issued
+  /// with RuntimeConfig::point_owned returning false). Thread-safe; called
+  /// by the distributed runtime's receive threads. Outcomes may arrive
+  /// before the launch frame that issues `seq` has been processed — they
+  /// are buffered and applied at issue time.
+  void complete_external(uint64_t seq, RemoteOutcome outcome);
+
+  /// Resolve every still-pending external node as kCancelled with `why` as
+  /// the message. Called when the peer that owned those tasks is gone, so
+  /// wait_all() and the destructor cannot hang on outcomes that will never
+  /// arrive. Idempotent; safe to call with no externals pending.
+  void abandon_externals(const std::string& why);
 
   /// Drop accumulated fault records and re-arm after cancel_all(), so the
   /// runtime can be reused for another program phase.
@@ -200,48 +179,31 @@ class Runtime {
   /// TaskContext::cancelled(). The watchdog's cancel_on_stall action.
   void cancel_all();
 
-  /// Read access to region data from top-level code; callers should
-  /// wait_all() first.
-  template <typename T>
-  Accessor<T> read_region(RegionId r, FieldId f) {
-    return Accessor<T>(forest_, r, f, Privilege::kRead);
-  }
+  // read_region<T>() and fill<T>() are inherited from RuntimeApi:
+  // sync_for_read() is a no-op here (callers wait_all() first, as before)
+  // and fill lowers to the fill_bytes_region task below.
+  void sync_for_read() override {}
 
-  /// Fill a field of a region with a value, as a task: the fill is ordered
-  /// against every launch touching that data, so it is safe to issue
-  /// mid-program (unlike raw top-level accessor writes, which are only
-  /// valid before the first launch or after wait_all()).
-  template <typename T>
-  void fill(RegionId r, FieldId f, const T& value) {
-    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(FillArgs{}.pattern));
-    // Validate at issue time: task bodies run on worker threads where an
-    // exception would be unrecoverable.
-    IDXL_REQUIRE(forest_.field(forest_.region(r).fspace, f).size == sizeof(T),
-                 "fill value type does not match the field size");
-    FillArgs args{};
-    args.field = f;
-    args.size = sizeof(T);
-    std::memcpy(args.pattern, &value, sizeof(T));
-    TaskLauncher launcher;
-    launcher.task = fill_task();
-    launcher.scalar_args = ArgBuffer::of(args);
-    launcher.args = {{r, {f}, Privilege::kWrite, ReductionOp::kNone}};
-    execute(launcher);
-  }
+  /// Fill a field of a region with a byte pattern (at most 16 bytes), as a
+  /// task: the fill is ordered against every launch touching that data, so
+  /// it is safe to issue mid-program (unlike raw top-level accessor writes,
+  /// which are only valid before the first launch or after wait_all()).
+  void fill_bytes_region(RegionId r, FieldId f, const void* pattern,
+                         std::size_t size) override;
 
   /// Live snapshot of the runtime counters, assembled from one pass over
   /// the metrics registry (obs::MetricsRegistry::snapshot()): every field
   /// is a registry-backed atomic, so stats() is safe to call from any
   /// thread while tasks run, and one call reads all counters in a single
   /// traversal instead of field-by-field at different times.
-  RuntimeStats stats() const;
+  RuntimeStats stats() const override;
 
   /// The metrics registry backing stats(): every runtime counter, the
   /// verdict-cache and dependence-tracker counters, pool gauges and task
   /// latency histograms, one `snapshot()` away — exportable as Prometheus
   /// text or JSON. Per-runtime (concurrent runtimes never share series);
   /// obs::MetricsRegistry::global() is the place for application metrics.
-  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::MetricsRegistry& metrics() override { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// The task-lifecycle flight recorder (on by default; records nothing
@@ -417,8 +379,16 @@ class Runtime {
     std::vector<uint64_t> deps;
   };
 
+  /// Register `node` as external (remote-owned): mark it, add the remote
+  /// guard to its pending count, and either adopt a buffered early outcome
+  /// or index it for complete_external(). Must run before schedule() drops
+  /// the issue guard.
+  void register_external(const TaskNodePtr& node);
+  /// Store `outcome` on `node` and release its remote guard.
+  void deliver_external(const TaskNodePtr& node, RemoteOutcome outcome);
+
   RuntimeConfig config_;
-  RegionForest forest_;
+  std::shared_ptr<RegionForest> forest_;
   DependenceTracker tracker_;
   GroupDependenceTracker group_;
   VerdictCache verdict_cache_;
@@ -449,6 +419,17 @@ class Runtime {
   std::shared_ptr<const FaultPlan> fault_plan_;  ///< config or IDXL_FAULT_PLAN
   std::atomic<bool> cancel_all_{false};
   uint64_t trace_fault_epoch_ = 0;  ///< faults_.epoch() at begin_trace
+
+  // --- external (remote-owned) tasks -------------------------------------
+  mutable std::mutex ext_mu_;
+  std::condition_variable ext_cv_;  ///< signalled as externals_ drains
+  /// Issued external nodes awaiting their remote outcome, by seq.
+  std::unordered_map<uint64_t, TaskNodePtr> externals_;
+  /// Outcomes that arrived before their seq was issued (the driver forwards
+  /// a worker's TaskDone to the other workers ahead of the launch frame
+  /// racing down the same program, never this process — but a worker's own
+  /// issue loop can trail the forwarded stream).
+  std::unordered_map<uint64_t, RemoteOutcome> early_outcomes_;
 
   // --- prototype PhysicalRegion cache (bulk expansion) ---
   // One table per (parent, partition, field mask, privilege, redop), holding

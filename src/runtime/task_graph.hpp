@@ -12,6 +12,23 @@
 
 namespace idxl {
 
+/// The terminal state of a task that executed in another process, delivered
+/// through Runtime::complete_external(). A healthy outcome (kind == kNone)
+/// carries the owner's written region bytes and return value; a faulted one
+/// carries the exact TaskFault ingredients so every rank records the
+/// identical fault and propagates the identical poison closure.
+struct RemoteOutcome {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t root = UINT64_MAX;  ///< root-cause seq (fault outcomes)
+  uint32_t attempts = 0;
+  std::string message;
+  double ret = 0.0;  ///< TaskContext::return_value of the remote body
+  /// Written-region bytes in argument order (write-privilege args only),
+  /// extracted by PhysicalRegion::copy_out on the owner and applied by
+  /// copy_in here.
+  std::vector<std::byte> region_bytes;
+};
+
 /// One executable task instance in the real executor's dependence graph.
 /// Edges are discovered at issue time by the DependenceTracker; a node is
 /// handed to the thread pool once every predecessor has completed.
@@ -49,6 +66,15 @@ struct TaskNode {
   /// watchdog's cancel action, observed via TaskContext::cancelled().
   std::atomic<bool> cancel_flag{false};
   std::atomic<bool> timed_out{false};
+
+  // --- external (remote-owned) state ------------------------------------
+  /// True when another process owns this point: the node is a placeholder in
+  /// the dependence graph whose outcome arrives via complete_external(). An
+  /// extra "remote guard" on `pending` keeps it from running until then.
+  bool external = false;
+  /// The delivered outcome; written before the remote guard is released, so
+  /// node_job reads it without locking.
+  std::unique_ptr<RemoteOutcome> remote;
 
   // Retry policy, copied from the launcher at issue time (immutable after).
   uint32_t max_retries = 0;

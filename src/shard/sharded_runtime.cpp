@@ -433,7 +433,7 @@ ShardContext::ShardContext(ShardedRuntime& rt, uint32_t shard)
 
 uint32_t ShardContext::shard_count() const { return rt_->config_.shards; }
 
-void ShardContext::execute_index(const IndexLauncher& launcher) {
+LaunchResult ShardContext::execute_index(const IndexLauncher& launcher) {
   ShardedRuntime& rt = *rt_;
   IDXL_REQUIRE(launcher.task < rt.task_registry_.size(), "unknown task id");
   IDXL_REQUIRE(!launcher.domain.empty(), "index launch over an empty domain");
@@ -454,6 +454,9 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
                               : static_cast<uint64_t>(launcher.domain.volume()));
 
   // Safety analysis, replicated on every shard (deterministic: all agree).
+  LaunchResult result;
+  result.launch_id = seq;
+  result.ran_as_index_launch = true;
   if (!launcher.assume_verified) {
     std::vector<CheckArg> check_args;
     check_args.reserve(launcher.args.size());
@@ -491,6 +494,7 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
     safety_scope.close();
     IDXL_REQUIRE(report.safe(), ("unsafe index launch in sharded mode: " +
                                  report.reason).c_str());
+    result.safety = report;
   }
 
   // Replicated per-point analysis + owner-only task construction.
@@ -671,6 +675,95 @@ void ShardContext::execute_index(const IndexLauncher& launcher) {
     };
     rt.schedule(shard_, node, deps);
   });
+  return result;
+}
+
+// --- RuntimeApi facade ----------------------------------------------------
+
+LaunchResult ShardedRuntime::execute(const TaskLauncher&) {
+  throw RuntimeError(
+      "the sharded backend cannot launch single tasks: ShardContext has no "
+      "partition-free region arguments. Use execute_index (or fill) — or "
+      "the local/dist backends.");
+}
+
+LaunchResult ShardedRuntime::execute_index(const IndexLauncher& launcher) {
+  IDXL_REQUIRE(launcher.result_redop == ReductionOp::kNone,
+               "the sharded backend does not collect futures");
+  LaunchResult result;
+  result.launch_id = facade_launches_++;
+  result.ran_as_index_launch = true;
+  deferred_.push_back(launcher);
+  return result;
+}
+
+void ShardedRuntime::wait_all() {
+  if (deferred_.empty()) return;
+  std::vector<IndexLauncher> batch = std::move(deferred_);
+  deferred_.clear();
+  const FaultReport flushed = run([&batch](ShardContext& ctx) {
+    for (const IndexLauncher& l : batch) ctx.execute_index(l);
+  });
+  std::lock_guard<std::mutex> lock(history_mu_);
+  facade_used_ = true;
+  history_.failures.insert(history_.failures.end(), flushed.failures.begin(),
+                           flushed.failures.end());
+  history_.poisoned.insert(history_.poisoned.end(), flushed.poisoned.begin(),
+                           flushed.poisoned.end());
+}
+
+FaultReport ShardedRuntime::fault_report() const {
+  std::lock_guard<std::mutex> lock(history_mu_);
+  // Legacy run() callers see the current run's snapshot; the facade (which
+  // resets faults_ once per flush) sees every flush merged.
+  return facade_used_ ? history_ : faults_.report();
+}
+
+RuntimeStats ShardedRuntime::stats() const {
+  RuntimeStats out;
+  for (uint32_t s = 0; s < config_.shards; ++s) {
+    const ShardStats ss = stats(s);
+    out.runtime_calls += ss.runtime_calls;
+    out.point_tasks += ss.local_tasks;
+    out.dependence_edges += ss.remote_dependencies;
+    // Launches are replicated: every shard issues every launch, so shard
+    // 0's count is the program's.
+    if (s == 0) out.index_launches = ss.launches_issued;
+  }
+  const obs::MetricsSnapshot snap = metrics_.snapshot();
+  out.tasks_completed = out.point_tasks;
+  out.tasks_failed = static_cast<uint64_t>(
+      snap.value("idxl_fault_tasks_total", {{"kind", "exception"}}, 0) +
+      snap.value("idxl_fault_tasks_total", {{"kind", "explicit"}}, 0) +
+      snap.value("idxl_fault_tasks_total", {{"kind", "injected"}}, 0) +
+      snap.value("idxl_fault_tasks_total", {{"kind", "timeout"}}, 0) +
+      snap.value("idxl_fault_tasks_total", {{"kind", "cancelled"}}, 0));
+  out.tasks_poisoned =
+      static_cast<uint64_t>(snap.value("idxl_fault_poisoned_total", {}, 0));
+  out.fault_injections =
+      static_cast<uint64_t>(snap.value("idxl_fault_injections_total", {}, 0));
+  out.retry_attempts =
+      static_cast<uint64_t>(snap.value("idxl_retry_attempts_total", {}, 0));
+  out.retries_succeeded =
+      static_cast<uint64_t>(snap.value("idxl_retry_succeeded_total", {}, 0));
+  return out;
+}
+
+void ShardedRuntime::sync_for_read() {
+  wait_all();
+  if (config_.distributed_storage) synchronize_storage();
+}
+
+void ShardedRuntime::fill_bytes_region(RegionId r, FieldId f,
+                                       const void* pattern, std::size_t size) {
+  IDXL_REQUIRE(size > 0, "empty fill pattern");
+  IDXL_REQUIRE(forest_.field(forest_.region(r).fspace, f).size == size,
+               "fill value type does not match the field size");
+  // Fence first so the direct storage write is ordered against every
+  // deferred launch; replicas re-seed from forest storage at the next run.
+  sync_for_read();
+  PhysicalRegion view(forest_, r, {f}, Privilege::kWrite, ReductionOp::kNone);
+  view.fill_bytes(f, pattern, size);
 }
 
 }  // namespace idxl

@@ -10,6 +10,7 @@
 #include "obs/profiler.hpp"
 #include "runtime/dependence.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/api.hpp"
 #include "runtime/mapping.hpp"
 #include "runtime/physical.hpp"
 #include "runtime/thread_pool.hpp"
@@ -105,8 +106,10 @@ class ShardContext {
 
   /// Issue an index launch. The identical call must be made by every shard
   /// (checked). Unsafe launches throw — the sharded mode has no sequential
-  /// fallback loop (it would defeat the replication contract).
-  void execute_index(const IndexLauncher& launcher);
+  /// fallback loop (it would defeat the replication contract). Returns the
+  /// same LaunchResult shape as Runtime::execute_index (futures are not
+  /// collected in sharded mode, so the future is never valid).
+  LaunchResult execute_index(const IndexLauncher& launcher);
 
  private:
   friend class ShardedRuntime;
@@ -119,13 +122,52 @@ class ShardContext {
   std::vector<ShardWriteRecord> write_log_;  // distributed-storage mode only
 };
 
-class ShardedRuntime {
+/// In-process control-replication backend of RuntimeApi. Two usage styles:
+///
+///  * Legacy/SPMD: run(program over ShardContext&) — the program runs on
+///    every shard thread, issuing the identical stream.
+///  * Facade: issue through the RuntimeApi surface (execute_index, fill,
+///    wait_all). Launches are *deferred* and replayed SPMD across every
+///    shard at the next fence — the facade is the single-threaded authoring
+///    convenience; replication still happens per the contract. Single-task
+///    execute() is not expressible through ShardContext (it has no
+///    partition-free region arguments) and throws.
+class ShardedRuntime : public RuntimeApi {
  public:
   explicit ShardedRuntime(ShardedConfig config = {});
-  ~ShardedRuntime();
+  ~ShardedRuntime() override;
 
-  RegionForest& forest() { return forest_; }
-  TaskFnId register_task(std::string name, TaskFn fn);
+  RegionForest& forest() override { return forest_; }
+  TaskFnId register_task(std::string name, TaskFn fn) override;
+
+  // --- RuntimeApi facade (deferred issuance) -----------------------------
+
+  /// Unsupported on this backend (see class comment): throws RuntimeError.
+  LaunchResult execute(const TaskLauncher& launcher) override;
+
+  /// Defer an index launch; it replays on every shard at the next
+  /// wait_all(). The returned safety report is pending (analysis is
+  /// replicated at flush time) and the future is never valid
+  /// (result_redop must be kNone).
+  LaunchResult execute_index(const IndexLauncher& launcher) override;
+
+  /// Flush deferred launches through one SPMD run() and block until every
+  /// task reached a terminal state.
+  void wait_all() override;
+
+  /// Aggregate per-shard counters mapped onto the common shape.
+  RuntimeStats stats() const override;
+
+  /// Fence, then (in distributed-storage mode) gather replicas into the
+  /// forest storage so top-level reads see authoritative bytes.
+  void sync_for_read() override;
+
+  /// Fence, then fill the region's elements directly in forest storage
+  /// (ordered: nothing is in flight after the fence).
+  void fill_bytes_region(RegionId r, FieldId f, const void* pattern,
+                         std::size_t size) override;
+
+  using RuntimeApi::run;  // FaultReport run(program over RuntimeApi&)
 
   /// Run `program` on every shard (SPMD) and block until every task reached
   /// a terminal state. Rethrows the first *issuance* exception any shard
@@ -136,8 +178,9 @@ class ShardedRuntime {
   FaultReport run(const std::function<void(ShardContext&)>& program);
 
   /// Faults accumulated since the last run() started (same snapshot run()
-  /// returned; callable mid-run from any thread).
-  FaultReport fault_report() const { return faults_.report(); }
+  /// returned; callable mid-run from any thread). Through the facade, the
+  /// merged report of every flush since construction.
+  FaultReport fault_report() const override;
 
   /// One shard's counters for the current/most recent run(), read through a
   /// registry snapshot — safe to call mid-run from any thread.
@@ -145,7 +188,7 @@ class ShardedRuntime {
 
   /// The registry behind stats(): shard-labeled counter series
   /// (idxl_shard_*_total{shard="s"}) plus write-log size gauges.
-  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::MetricsRegistry& metrics() override { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// The verdict cache shared by every shard (thread-safe; populated only
@@ -159,11 +202,9 @@ class ShardedRuntime {
   Profiler& profiler() { return *profiler_; }
   const Profiler& profiler() const { return *profiler_; }
 
-  template <typename T>
-  Accessor<T> read_region(RegionId r, FieldId f) {
-    if (config_.distributed_storage) synchronize_storage();
-    return Accessor<T>(forest_, r, f, Privilege::kRead);
-  }
+  // read_region<T>() is inherited from RuntimeApi: it calls
+  // sync_for_read(), which fences deferred launches and synchronizes
+  // replicas — a superset of the old local definition.
 
  private:
   friend class ShardContext;
@@ -250,6 +291,13 @@ class ShardedRuntime {
   std::unordered_map<uint64_t, TaskNodePtr> events_;
   std::unordered_map<uint64_t, uint64_t> launch_hashes_;
   std::atomic<int64_t> outstanding_{0};  // scheduled-but-incomplete tasks
+
+  // --- RuntimeApi facade state (issuing thread only, except history_) ----
+  std::vector<IndexLauncher> deferred_;
+  uint64_t facade_launches_ = 0;
+  mutable std::mutex history_mu_;
+  FaultReport history_;  ///< merged reports of every facade flush
+  bool facade_used_ = false;
 };
 
 }  // namespace idxl

@@ -145,5 +145,25 @@ TEST(SerializeTest, ExprRoundTripProperty) {
   }
 }
 
+TEST(SerializeTest, RejectsBadMagic) {
+  // Every descriptor leads with the ⟨magic, version⟩ header; a stream that
+  // does not is rejected before any field is parsed.
+  auto bytes = serialize_launcher(sample_launcher(8));
+  bytes[0] = std::byte{0xFF};
+  EXPECT_THROW(deserialize_launcher(bytes), RuntimeError);
+}
+
+TEST(SerializeTest, RejectsVersionMismatch) {
+  auto bytes = serialize_launcher(sample_launcher(8));
+  bytes[4] = std::byte{kWireVersion + 1};  // version byte follows the magic
+  EXPECT_THROW(deserialize_launcher(bytes), RuntimeError);
+}
+
+TEST(SerializeTest, RejectsTruncatedDescriptor) {
+  auto bytes = serialize_launcher(sample_launcher(8));
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(deserialize_launcher(bytes), RuntimeError);
+}
+
 }  // namespace
 }  // namespace idxl
