@@ -15,6 +15,7 @@
 #include "apps/circuit.hpp"
 #include "apps/sim_specs.hpp"
 #include "fig_common.hpp"
+#include "functor/expr.hpp"
 #include "region/partition_ops.hpp"
 #include "sim/experiment.hpp"
 
@@ -90,6 +91,73 @@ static IssueBench bench_issue_phase(bool group, int64_t pieces, int iters,
   return r;
 }
 
+// ---------- inter-launch interference phase ----------
+//
+// Residue-class writer chain: `stride` launches over one disjoint partition,
+// launch j writing colors ≡ j (mod stride) of the same field. Every launch
+// pair shares the field, so without the inter-launch analysis each launch
+// pays the cross-launch group walk; with it, the analyzer proves the images
+// separated (certified kDisjoint) once per pair, and after the first epoch
+// the cached verdicts let every later epoch skip all stride-1 walks with
+// zero fresh pair tests.
+
+struct InterLaunchBench {
+  double issue_s = 0;          // issuing-thread seconds, steady-state epoch
+  uint64_t pair_tests = 0;     // fresh analyzer runs, cumulative (warm + timed)
+  uint64_t steady_tests = 0;   // fresh analyzer runs in the timed epoch alone
+  uint64_t skips = 0;          // cross-launch walks skipped in the timed epoch
+};
+
+static InterLaunchBench bench_inter_launch(bool analysis, int64_t pieces,
+                                           int stride) {
+  RuntimeConfig cfg;
+  cfg.enable_interference_analysis = analysis;
+  Runtime rt(cfg);
+  auto& forest = rt.forest();
+  const int64_t colors = pieces * stride;
+  const IndexSpaceId is = forest.create_index_space(Domain::line(colors * 4));
+  const FieldSpaceId fs = forest.create_field_space();
+  const FieldId fv = forest.allocate_field(fs, sizeof(double), "v");
+  const RegionId region = forest.create_region(is, fs);
+  const PartitionId blocks = partition_equal(forest, is, Rect::line(colors));
+  const TaskFnId noop = rt.register_task("noop", [](TaskContext&) {});
+  std::vector<IndexLauncher> launchers;
+  launchers.reserve(static_cast<std::size_t>(stride));
+  for (int j = 0; j < stride; ++j)
+    launchers.push_back(
+        IndexLauncher::over(Domain::line(pieces))
+            .with_task(noop)
+            .region(region, blocks,
+                    ProjectionFunctor::symbolic({make_add(
+                        make_mul(make_const(stride), make_coord(0)),
+                        make_const(j))}),
+                    {fv}, Privilege::kWrite));
+
+  // Warm epoch: safety verdicts and all stride*(stride-1)/2 pair verdicts
+  // land in their caches — the cost real programs pay once per launch-site
+  // set. The fence clears the interference history; the pair cache persists.
+  for (const IndexLauncher& l : launchers) rt.execute_index(l);
+  rt.wait_all();
+
+  rt.pool().pause();
+  const RuntimeStats before = rt.stats();
+  timespec t0{}, t1{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
+  for (const IndexLauncher& l : launchers) rt.execute_index(l);
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t1);
+  const RuntimeStats after = rt.stats();
+  rt.pool().resume();
+  rt.wait_all();
+
+  InterLaunchBench r;
+  r.issue_s = static_cast<double>(t1.tv_sec - t0.tv_sec) +
+              static_cast<double>(t1.tv_nsec - t0.tv_nsec) * 1e-9;
+  r.pair_tests = after.interference_pair_tests;
+  r.steady_tests = after.interference_pair_tests - before.interference_pair_tests;
+  r.skips = after.interference_skips - before.interference_skips;
+  return r;
+}
+
 // Best-of-N repetitions: single-run timings on a loaded (or single-core)
 // machine carry first-run bias — page faults, allocator growth, cold
 // branch predictors — that dwarfs the effects being measured. The minimum
@@ -127,6 +195,28 @@ static void issue_phase_breakdown() {
               static_cast<unsigned long long>(pp.dependence_edges),
               static_cast<unsigned long long>(pp.dependence_tests));
   std::printf("issue-phase speedup (per point): %.2fx\n", speedup);
+
+  // Inter-launch phase: pair-test counts and walk skips with the analysis
+  // on vs off, on the residue-class writer chain (16 launches per epoch).
+  const int inter_stride = 16;
+  const int64_t inter_pieces = 64;
+  const InterLaunchBench il_on =
+      bench_inter_launch(/*analysis=*/true, inter_pieces, inter_stride);
+  const InterLaunchBench il_off =
+      bench_inter_launch(/*analysis=*/false, inter_pieces, inter_stride);
+  std::printf("\nInter-launch interference phase: %d residue-class writers, "
+              "%lld colors each, one shared field\n",
+              inter_stride, static_cast<long long>(inter_pieces));
+  std::printf("%-12s%14s%16s%16s%14s\n", "config", "issue s", "pair tests",
+              "steady tests", "walks skipped");
+  std::printf("%-12s%14.4f%16llu%16llu%14llu\n", "analysis", il_on.issue_s,
+              static_cast<unsigned long long>(il_on.pair_tests),
+              static_cast<unsigned long long>(il_on.steady_tests),
+              static_cast<unsigned long long>(il_on.skips));
+  std::printf("%-12s%14.4f%16llu%16llu%14llu\n", "baseline", il_off.issue_s,
+              static_cast<unsigned long long>(il_off.pair_tests),
+              static_cast<unsigned long long>(il_off.steady_tests),
+              static_cast<unsigned long long>(il_off.skips));
 
   // What does the on-by-default flight recorder cost on this exact path?
   // Toggle recording on and off on ONE runtime (Runtime::
@@ -223,6 +313,13 @@ static void issue_phase_breakdown() {
       .raw("group", config_json(grp))
       .raw("per_point", config_json(pp))
       .field("issue_speedup", speedup)
+      .field("interference_pair_tests", il_on.pair_tests)
+      .field("interference_steady_pair_tests", il_on.steady_tests)
+      .field("interference_pairs_skipped", il_on.skips)
+      .field("interference_pair_tests_off", il_off.pair_tests)
+      .field("interference_pairs_skipped_off", il_off.skips)
+      .field("interference_issue_s_on", il_on.issue_s)
+      .field("interference_issue_s_off", il_off.issue_s)
       .field("flight_recorder_on_s", on_s)
       .field("flight_recorder_off_s", off_s)
       .field("flight_recorder_overhead_pct", recorder_overhead_pct);

@@ -22,4 +22,11 @@ bool witness_valid(const ProjectionFunctor& f, const Domain& domain,
   return witness_valid(f, f, domain, w);
 }
 
+bool pair_witness_valid(const ProjectionFunctor& fa, const Domain& da,
+                        const ProjectionFunctor& fb, const Domain& db,
+                        const RaceWitness& w) {
+  if (!da.contains(w.p1) || !db.contains(w.p2)) return false;
+  return fa(w.p1) == w.color && fb(w.p2) == w.color;
+}
+
 }  // namespace idxl

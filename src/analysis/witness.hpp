@@ -36,4 +36,12 @@ bool witness_valid(const ProjectionFunctor& fi, const ProjectionFunctor& fj,
 bool witness_valid(const ProjectionFunctor& f, const Domain& domain,
                    const RaceWitness& w);
 
+/// Cross-launch form: the two points come from *different* launches with
+/// their own domains (p1 from da routed through fa, p2 from db through fb),
+/// so equal points are a real collision, not a degenerate self-pair. Every
+/// kInterferes verdict of the inter-launch analyzer must pass this.
+bool pair_witness_valid(const ProjectionFunctor& fa, const Domain& da,
+                        const ProjectionFunctor& fb, const Domain& db,
+                        const RaceWitness& w);
+
 }  // namespace idxl

@@ -110,7 +110,51 @@ void run_scalar_statements(const ForLoop& loop, LoopRunResult& result) {
   }
 }
 
+LaunchArgSummary arg_summary(const ForLoop& loop, const ProjectedArg& pa,
+                             const RegionForest& forest) {
+  LaunchArgSummary s;
+  s.functor = pa.functor;
+  s.domain = loop.domain;
+  s.color_space = forest.color_space(pa.partition);
+  s.partition_uid = pa.partition.id;
+  s.partition_disjoint = forest.is_disjoint(pa.partition);
+  s.collection_uid = forest.region(pa.parent).tree_id;
+  s.field_mask = field_mask(pa.fields);
+  s.priv = pa.privilege;
+  s.redop = pa.redop;
+  return s;
+}
+
 }  // namespace
+
+void cross_analyze_program(std::vector<CompiledLoop>& loops,
+                           const RegionForest& forest) {
+  for (std::size_t j = 0; j < loops.size(); ++j) {
+    if (!loops[j].diagnostics_.eligible) continue;
+    for (std::size_t i = 0; i < j; ++i) {
+      if (!loops[i].diagnostics_.eligible) continue;
+      const auto& args_i = loops[i].launcher_.args;
+      const auto& args_j = loops[j].launcher_.args;
+      for (std::size_t b = 0; b < args_j.size(); ++b) {
+        const LaunchArgSummary sb = arg_summary(loops[j].loop_, args_j[b], forest);
+        for (std::size_t a = 0; a < args_i.size(); ++a) {
+          const LaunchArgSummary sa = arg_summary(loops[i].loop_, args_i[a], forest);
+          if (sa.collection_uid != sb.collection_uid) continue;
+          const InterferenceResult r = analyze_interference(sa, sb);
+          InterLaunchVerdict v;
+          v.earlier_loop = i;
+          v.arg = static_cast<uint32_t>(b);
+          v.earlier_arg = static_cast<uint32_t>(a);
+          v.verdict = r.verdict;
+          v.certified = r.certificate.has_value();
+          v.reason = r.reason;
+          v.witness = r.witness;
+          loops[j].diagnostics_.inter_launch.push_back(std::move(v));
+        }
+      }
+    }
+  }
+}
 
 const char* strategy_name(LoopStrategy s) {
   switch (s) {
@@ -244,6 +288,18 @@ std::string CompiledLoop::explain() const {
       s += privilege_name(pa.privilege);
       s += " partition " + std::to_string(pa.partition.id) + " via " +
            pa.functor.to_string();
+    }
+  }
+  if (!diagnostics_.inter_launch.empty()) {
+    s += "\ninter-launch:";
+    for (const InterLaunchVerdict& v : diagnostics_.inter_launch) {
+      s += "\n  arg " + std::to_string(v.arg) + " vs loop " +
+           std::to_string(v.earlier_loop) + " arg " +
+           std::to_string(v.earlier_arg) + ": ";
+      s += pair_verdict_name(v.verdict);
+      if (v.certified) s += " (certified)";
+      if (!v.reason.empty()) s += " — " + v.reason;
+      if (v.witness.has_value()) s += "; witness " + v.witness->to_string();
     }
   }
   return s;

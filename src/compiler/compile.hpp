@@ -20,6 +20,22 @@ enum class LoopStrategy : uint8_t {
 
 const char* strategy_name(LoopStrategy s);
 
+/// Compile-time verdict for one pair of launcher arguments in *different*
+/// compiled loops of a program (cross_analyze_program). kDisjoint verdicts
+/// carry `certified` — the CertificateChecker re-validated the analyzer's
+/// proof — and tell the programmer the runtime will skip the cross-launch
+/// dependence walk for this pair; kInterferes carries the validated racing
+/// pair as a compile-time counterexample.
+struct InterLaunchVerdict {
+  std::size_t earlier_loop = 0;  ///< index of the earlier loop in the program
+  uint32_t arg = 0;              ///< this loop's launcher argument
+  uint32_t earlier_arg = 0;      ///< the earlier loop's launcher argument
+  PairVerdict verdict = PairVerdict::kUnknown;
+  bool certified = false;  ///< kDisjoint backed by a checker-validated proof
+  std::string reason;
+  std::optional<RaceWitness> witness;  ///< validated collision (kInterferes)
+};
+
 struct CompileDiagnostics {
   bool eligible = false;       ///< body shape admits an index launch
   std::string reason;          ///< why ineligible / unsafe, or which check ran
@@ -27,6 +43,9 @@ struct CompileDiagnostics {
   /// Racing pair refuting safety when the static tier proved the loop
   /// unsafe — the compile-time counterexample explain() surfaces.
   std::optional<RaceWitness> witness;
+  /// Verdicts against every earlier eligible loop's arguments on the same
+  /// region tree (filled by cross_analyze_program; empty for single loops).
+  std::vector<InterLaunchVerdict> inter_launch;
 };
 
 /// Result of one execution of a compiled loop.
@@ -61,6 +80,7 @@ class CompiledLoop {
 
  private:
   friend CompiledLoop compile_loop(const ForLoop&, const RegionForest&);
+  friend void cross_analyze_program(std::vector<CompiledLoop>&, const RegionForest&);
 
   ForLoop loop_;
   LoopStrategy strategy_ = LoopStrategy::kTaskLoop;
@@ -72,6 +92,14 @@ class CompiledLoop {
 /// The §4 optimization pass: eligibility analysis, static safety analysis,
 /// and hybrid code generation.
 CompiledLoop compile_loop(const ForLoop& loop, const RegionForest& forest);
+
+/// Whole-program companion pass: run the inter-launch interference analysis
+/// (src/analysis/interference.hpp) over every pair of eligible compiled
+/// loops and surface the per-argument-pair verdicts in each later loop's
+/// CompileDiagnostics::inter_launch. Pairs on different region trees are
+/// trivially disjoint and elided from the report.
+void cross_analyze_program(std::vector<CompiledLoop>& loops,
+                           const RegionForest& forest);
 
 /// Reference semantics: interpret the loop as written (sequential task
 /// launches). Used by tests to check compiled artifacts against the

@@ -380,10 +380,21 @@ LaunchResult DistributedRuntime::execute(const TaskLauncher& launcher) {
 
 LaunchResult DistributedRuntime::execute_index(const IndexLauncher& launcher) {
   ensure_started();
-  if (!conns_.empty()) {
-    broadcast(Msg::kLaunch, serialize_launcher(launcher));
-  }
-  return local_->execute_index(launcher);
+  if (conns_.empty()) return local_->execute_index(launcher);
+  // Validate serializability before any rank (rank 0 included) observes the
+  // launch: a throw here must leave every replicated stream untouched.
+  (void)serialize_launcher(launcher);
+  // Issue on the driver first — rank 0's analysis populates the certificate
+  // cache with this launch's pair verdicts — then ship the cache as a bundle
+  // on the descriptor, so import-only workers validate the certificates
+  // instead of re-running the analysis. Issue order is preserved: frames go
+  // out on this thread in program order, and issuance is asynchronous, so
+  // no task outcome can precede its launch frame.
+  LaunchResult result = local_->execute_index(launcher);
+  IndexLauncher annotated = launcher;
+  annotated.analysis_bundle = local_->export_interference_bundle();
+  broadcast(Msg::kLaunch, serialize_launcher(annotated));
+  return result;
 }
 
 void DistributedRuntime::wait_all() {

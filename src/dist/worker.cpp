@@ -20,6 +20,11 @@ WorkerSession::WorkerSession(net::Socket sock, uint32_t rank, uint32_t nranks,
                                       const Domain& domain) {
     return owner_of(domain, p, nranks) == rank;
   };
+  // Workers never run the interference analysis themselves: pair verdicts
+  // arrive as certificate bundles on launch descriptors and are re-validated
+  // by the arithmetic checker before any probe is skipped. An uncertified
+  // pair falls back to the full dependence walk (fail closed).
+  config.interference_import_only = true;
   config.on_task_success = [this](uint64_t seq, uint64_t, const Point&,
                                   TaskContext& ctx) {
     TaskDone td;

@@ -13,7 +13,7 @@ uint64_t field_mask(const std::vector<FieldId>& fields) {
 
 void collect_conflicting_uses(std::vector<TaskUse>& uses, uint64_t fields,
                               std::vector<TaskNodePtr>& out_deps,
-                              std::atomic<uint64_t>& tests) {
+                              std::atomic<uint64_t>& tests, bool keep_done) {
   std::size_t keep = 0;
   uint64_t performed = 0;
   for (std::size_t i = 0; i < uses.size(); ++i) {
@@ -23,7 +23,10 @@ void collect_conflicting_uses(std::vector<TaskUse>& uses, uint64_t fields,
       // satisfied. A *faulted* completion must stay — its data is garbage,
       // so every later conflicting use still inherits its poison (the edge
       // is reported; schedule()'s late-edge path copies the root over).
-      if (u.node->fault_kind() == FaultKind::kNone) continue;
+      // Under `keep_done` (trace capture) clean completions also stay and
+      // report their edge: "trivially satisfied" holds for this execution
+      // only, while the captured trace must order every replay.
+      if (u.node->fault_kind() == FaultKind::kNone && !keep_done) continue;
       if (u.fields & fields) out_deps.push_back(u.node);
       if (keep != i) uses[keep] = std::move(u);
       ++keep;
@@ -83,14 +86,16 @@ void DependenceTracker::candidates(TreeState& ts, const Rect& bounds,
 void DependenceTracker::record_use(uint32_t tree, IndexSpaceId ispace, uint64_t fields,
                                    bool writes, PartitionId through,
                                    bool through_disjoint, const TaskNodePtr& node,
-                                   std::vector<TaskNodePtr>& out_deps) {
+                                   std::vector<TaskNodePtr>& out_deps, bool keep_done,
+                                   bool scan) {
   TreeState& ts = trees_[tree];
 
   // Candidate entries by bounding-box overlap (BVH + fresh list); exact
   // domain tests follow below, so bounding boxes of sparse domains are a
-  // sound over-approximation.
+  // sound over-approximation. Certificate-backed skips (`scan` = false)
+  // bypass the probe and the prune but still record the use below.
   std::vector<Entry*> nearby;
-  candidates(ts, forest_->domain(ispace).bounds(), nearby);
+  if (scan) candidates(ts, forest_->domain(ispace).bounds(), nearby);
 
   for (Entry* entry : nearby) {
     // Whole-partition disjointness: distinct colors of one disjoint
@@ -100,9 +105,11 @@ void DependenceTracker::record_use(uint32_t tree, IndexSpaceId ispace, uint64_t 
     if (!overlaps(ispace, entry->ispace)) continue;
     // Readers always conflict with prior writers; writers additionally
     // conflict with prior readers (anti-dependence).
-    collect_conflicting_uses(entry->writers, fields, out_deps, dependence_tests_);
+    collect_conflicting_uses(entry->writers, fields, out_deps, dependence_tests_,
+                             keep_done);
     if (writes)
-      collect_conflicting_uses(entry->readers, fields, out_deps, dependence_tests_);
+      collect_conflicting_uses(entry->readers, fields, out_deps, dependence_tests_,
+                               keep_done);
   }
 
   if (writes) {

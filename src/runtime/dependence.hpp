@@ -26,9 +26,15 @@ struct TaskUse {
 /// `out_deps`; compact completed nodes out of `uses` along the way. Every
 /// live use costs one conflict test, counted into `tests` (relaxed — the
 /// counter is read live by Runtime::stats()).
+///
+/// `keep_done` (trace capture): cleanly completed uses still emit their
+/// edge and stay in `uses` instead of compacting away. At capture time a
+/// satisfied dependence is only *dynamically* satisfied — on replay the
+/// predecessor runs again concurrently, so the edge must be recorded or
+/// the replayed tasks race. Kept-done uses don't count into `tests`.
 void collect_conflicting_uses(std::vector<TaskUse>& uses, uint64_t fields,
                               std::vector<TaskNodePtr>& out_deps,
-                              std::atomic<uint64_t>& tests);
+                              std::atomic<uint64_t>& tests, bool keep_done = false);
 
 /// Tracks, per region tree, which live tasks last wrote/read which index
 /// spaces, and computes the dependence edges a newly issued task needs.
@@ -56,9 +62,19 @@ class DependenceTracker {
   /// same disjoint partition can never overlap, so the tracker skips the
   /// domain test for such pairs — the same whole-partition reasoning that
   /// makes Legion's analysis of index launches cheap (§5).
+  ///
+  /// `keep_done` must be true while a trace is being captured (see
+  /// collect_conflicting_uses): edges to already-completed predecessors
+  /// have to land in the capture, or replay loses the ordering.
+  ///
+  /// `scan` = false records the use without probing for conflicts (no edges,
+  /// no prune): the caller holds a checked inter-launch certificate proving
+  /// no recorded use can conflict. The use itself must still be recorded —
+  /// uncertified later launches depend on finding it.
   void record_use(uint32_t tree, IndexSpaceId ispace, uint64_t fields, bool writes,
                   PartitionId through, bool through_disjoint, const TaskNodePtr& node,
-                  std::vector<TaskNodePtr>& out_deps);
+                  std::vector<TaskNodePtr>& out_deps, bool keep_done = false,
+                  bool scan = true);
 
   /// Install a fully-formed entry without scanning for conflicts — the
   /// GroupDependenceTracker materializing one summarized color into

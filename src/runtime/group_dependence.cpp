@@ -6,7 +6,8 @@ void GroupDependenceTracker::record_point_use(uint32_t tree, PartitionId p,
                                               std::size_t n_colors, std::size_t crank,
                                               uint64_t fields, bool writes, bool scan,
                                               const TaskNodePtr& node,
-                                              std::vector<TaskNodePtr>& out_deps) {
+                                              std::vector<TaskNodePtr>& out_deps,
+                                              bool keep_done) {
   auto [it, inserted] = trees_.try_emplace(tree);
   PartitionState& ps = it->second;
   if (inserted) {
@@ -22,9 +23,11 @@ void GroupDependenceTracker::record_point_use(uint32_t tree, PartitionId p,
     // uses of one disjoint partition never do — exactly the cases the
     // per-point tracker resolves with its whole-partition guard, minus the
     // hash/BVH machinery.
-    collect_conflicting_uses(cs.writers, fields, out_deps, dependence_tests_);
+    collect_conflicting_uses(cs.writers, fields, out_deps, dependence_tests_,
+                             keep_done);
     if (writes)
-      collect_conflicting_uses(cs.readers, fields, out_deps, dependence_tests_);
+      collect_conflicting_uses(cs.readers, fields, out_deps, dependence_tests_,
+                               keep_done);
   }
   if (writes) {
     // Covering-write pruning, same-color only (cross-color entries are

@@ -68,9 +68,12 @@ class GroupDependenceTracker {
   /// use is just appended. Mirrors DependenceTracker::record_use exactly
   /// (collect writers, collect readers iff writing, covering-write prune,
   /// append own use), restricted to one color of one disjoint partition.
+  /// `keep_done` must be true while a trace is being captured, exactly as
+  /// for DependenceTracker::record_use.
   void record_point_use(uint32_t tree, PartitionId p, std::size_t n_colors,
                         std::size_t crank, uint64_t fields, bool writes, bool scan,
-                        const TaskNodePtr& node, std::vector<TaskNodePtr>& out_deps);
+                        const TaskNodePtr& node, std::vector<TaskNodePtr>& out_deps,
+                        bool keep_done = false);
 
   /// Flush `tree`'s group state into the per-point tracker (seed_entry per
   /// color, in color order) and mark the tree contaminated. No-op when the

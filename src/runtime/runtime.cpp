@@ -162,6 +162,12 @@ void Runtime::init_metrics() {
       "idxl_group_fallbacks_total", "safe launches forced onto the per-point path");
   cells_.group_materializations = m.counter(
       "idxl_group_materializations_total", "trees flushed group -> per-point");
+  cells_.interference_pair_tests =
+      m.counter("idxl_interference_pair_tests_total",
+                "inter-launch pair analyses run (cache misses)");
+  cells_.interference_skips =
+      m.counter("idxl_interference_skips_total",
+                "group-walk skips authorized by checked pair certificates");
   const char* fault_help = "terminally failed tasks by root cause";
   cells_.fault_exception =
       m.counter("idxl_fault_tasks_total", fault_help, {{"kind", "exception"}});
@@ -198,6 +204,20 @@ void Runtime::init_metrics() {
       "idxl_verdict_cache_uncacheable", "lookups skipped (opaque functor)");
   const obs::Gauge vc_entries =
       m.gauge("idxl_verdict_cache_entries", "verdicts currently cached");
+  const obs::Gauge ic_hits =
+      m.gauge("idxl_interference_cache_hits", "pair-verdict cache lookup hits");
+  const obs::Gauge ic_misses =
+      m.gauge("idxl_interference_cache_misses", "pair-verdict cache lookup misses");
+  const obs::Gauge ic_imported = m.gauge("idxl_interference_cache_imported",
+                                         "pair certificates received from a driver");
+  const obs::Gauge ic_validated =
+      m.gauge("idxl_interference_cache_validated",
+              "imported pair certificates that passed the checker");
+  const obs::Gauge ic_rejected =
+      m.gauge("idxl_interference_cache_rejected",
+              "imported pair certificates refused by the checker");
+  const obs::Gauge ic_entries =
+      m.gauge("idxl_interference_cache_entries", "pair verdicts currently cached");
   const obs::Gauge q_depth =
       m.gauge("idxl_pool_queue_depth", "ready tasks waiting for a worker");
   const obs::Gauge q_exec =
@@ -208,7 +228,9 @@ void Runtime::init_metrics() {
   const obs::Gauge fr_over = m.gauge("idxl_flight_recorder_overwritten",
                                      "lifecycle events lost to ring wraparound");
   m.add_collector([this, dep_tests, vc_hits, vc_misses, vc_uncacheable,
-                   vc_entries, q_depth, q_exec, q_workers, fr_events, fr_over] {
+                   vc_entries, ic_hits, ic_misses, ic_imported, ic_validated,
+                   ic_rejected, ic_entries, q_depth, q_exec, q_workers, fr_events,
+                   fr_over] {
     dep_tests.set(static_cast<int64_t>(tracker_.dependence_tests() +
                                        group_.dependence_tests()));
     const VerdictCache::Counters c = verdict_cache_.counters();
@@ -216,6 +238,13 @@ void Runtime::init_metrics() {
     vc_misses.set(static_cast<int64_t>(c.misses));
     vc_uncacheable.set(static_cast<int64_t>(c.uncacheable));
     vc_entries.set(static_cast<int64_t>(verdict_cache_.size()));
+    const InterferenceCache::Counters ic = interference_cache_.counters();
+    ic_hits.set(static_cast<int64_t>(ic.hits));
+    ic_misses.set(static_cast<int64_t>(ic.misses));
+    ic_imported.set(static_cast<int64_t>(ic.imported));
+    ic_validated.set(static_cast<int64_t>(ic.validated));
+    ic_rejected.set(static_cast<int64_t>(ic.rejected));
+    ic_entries.set(static_cast<int64_t>(interference_cache_.size()));
     q_depth.set(static_cast<int64_t>(pool_->queue_depth()));
     q_exec.set(static_cast<int64_t>(pool_->executing()));
     q_workers.set(static_cast<int64_t>(pool_->worker_count()));
@@ -253,6 +282,13 @@ RuntimeStats Runtime::stats() const {
   s.group_edges = snap.value("idxl_group_edges_total");
   s.group_fallbacks = snap.value("idxl_group_fallbacks_total");
   s.group_materializations = snap.value("idxl_group_materializations_total");
+  s.interference_pair_tests = snap.value("idxl_interference_pair_tests_total");
+  s.interference_skips = snap.value("idxl_interference_skips_total");
+  s.interference_cache_hits = snap.value("idxl_interference_cache_hits");
+  s.interference_cache_misses = snap.value("idxl_interference_cache_misses");
+  s.interference_imported = snap.value("idxl_interference_cache_imported");
+  s.interference_validated = snap.value("idxl_interference_cache_validated");
+  s.interference_rejected = snap.value("idxl_interference_cache_rejected");
   for (const char* kind : {"exception", "explicit", "injected", "timeout", "cancelled"})
     s.tasks_failed += snap.value("idxl_fault_tasks_total", {{"kind", kind}});
   s.tasks_poisoned = snap.value("idxl_fault_poisoned_total");
@@ -399,6 +435,28 @@ void Runtime::materialize_tree(uint32_t tree) {
   if (group_.materialize_into(tracker_, tree)) cells_.group_materializations.inc();
 }
 
+bool Runtime::history_certified_disjoint(uint32_t tree, const LaunchArgSummary& s,
+                                         const std::optional<std::string>& fp) {
+  ProfileScope scope(prof_, ProfCategory::kSafety, Profiler::kNameSafetyCheck);
+  uint64_t pair_tests = 0;
+  const bool disjoint = interference_history_.certified_disjoint(
+      tree, s, fp, interference_cache_, !config_.interference_import_only,
+      &pair_tests);
+  cells_.interference_pair_tests.inc(pair_tests);
+  return disjoint;
+}
+
+std::vector<std::byte> Runtime::export_interference_bundle() const {
+  return encode_interference_bundle(interference_cache_.exportable());
+}
+
+void Runtime::import_interference_bundle(const std::vector<std::byte>& bytes) {
+  auto entries = decode_interference_bundle(bytes.data(), bytes.size());
+  if (!entries.has_value()) return;  // malformed framing: refuse wholesale
+  for (auto& [key, cert] : *entries)
+    interference_cache_.insert_unchecked(key, std::move(cert));
+}
+
 LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
   IDXL_REQUIRE(launcher.task < task_registry_.size(), "unknown task id");
   IDXL_REQUIRE(!launcher.domain.empty(), "index launch over an empty domain");
@@ -432,6 +490,13 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
   }
 
   cells_.runtime_calls.inc();  // one bulk issuance call (§5)
+
+  // A descriptor shipped from a driver may carry an interference-certificate
+  // bundle: adopt it (checker-gated, via lookup-time validation) so the group
+  // walk can skip pairs the driver already proved disjoint.
+  if (!launcher.analysis_bundle.empty()) {
+    import_interference_bundle(launcher.analysis_bundle);
+  }
 
   if (launcher.assume_verified) {
     cells_.assumed_verified.inc();
@@ -545,7 +610,8 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
       rec_->record(ev);
     }
   }
-  expand_index_launch(launcher, launch_id, collect, group_mode);
+  expand_index_launch(launcher, launch_id, collect, group_mode,
+                      result.safety.outcome);
   if (rec_ != nullptr) {
     obs::FlightEvent ev;
     ev.kind = obs::LifecycleEvent::kExpanded;
@@ -616,7 +682,7 @@ void Runtime::capture_trace_step(TaskFnId fn, const Point& point,
 void Runtime::expand_index_launch(const IndexLauncher& launcher,
                                   uint64_t launch_id,
                                   const std::shared_ptr<Future::State>& collect,
-                                  bool group_mode) {
+                                  bool group_mode, SafetyOutcome outcome) {
   const std::size_t n_args = launcher.args.size();
 
   auto arena = std::make_shared<LaunchArena>();
@@ -681,17 +747,66 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
     // reductions that the executor orders serially, and only the list walk
     // chains the latter. Read arguments skip the walk entirely unless a
     // prior (or same-launch) writer could conflict.
-    for (ArgPlan& plan : plans) {
+    //
+    // Inter-launch short-circuit: an argument certified kDisjoint against
+    // *every* summary recorded on its tree since the fence skips the walk
+    // even when the union-mask summary test fires — the certificate proves
+    // the walk would discover nothing (disjoint fields, or image-separated
+    // color sets of one disjoint partition). Writer skips additionally
+    // require a kSafeStatic/kSafeDynamic launch (injective writers need no
+    // ordering among their own points) and a plain write privilege —
+    // commuting reductions are ordered serially by the walk, so they never
+    // skip. Uncertified skips are impossible: kDisjoint only leaves the
+    // analyzer/cache with a CertificateChecker-validated proof.
+    const bool pair_analysis = config_.enable_interference_analysis &&
+                               (outcome == SafetyOutcome::kSafeStatic ||
+                                outcome == SafetyOutcome::kSafeDynamic);
+    std::vector<LaunchArgSummary> summaries;
+    std::vector<std::optional<std::string>> fps;
+    if (config_.enable_interference_analysis) {
+      summaries.reserve(n_args);
+      fps.reserve(n_args);
+      for (std::size_t a = 0; a < n_args; ++a) {
+        const ArgPlan& plan = plans[a];
+        LaunchArgSummary s;
+        s.functor = launcher.args[a].functor;
+        s.domain = launcher.domain;
+        s.color_space = *plan.colors;
+        s.partition_uid = plan.partition.id;
+        s.partition_disjoint = plan.disjoint;
+        s.collection_uid = plan.tree;
+        s.field_mask = plan.mask;
+        s.priv = plan.priv;
+        s.redop = plan.redop;
+        fps.push_back(s.fingerprint());
+        summaries.push_back(std::move(s));
+      }
+    }
+    for (std::size_t a = 0; a < n_args; ++a) {
+      ArgPlan& plan = plans[a];
       const bool conflict =
           group_.summary_conflict(plan.tree, plan.mask, plan.writes);
       if (conflict) cells_.group_edges.inc();
       plan.scan = conflict || plan.writes;
-      if (!plan.scan) {
-        for (const ArgPlan& other : plans)
-          if (other.writes && other.tree == plan.tree && (other.mask & plan.mask))
-            plan.scan = true;
+      bool same_launch_overlap = false;
+      for (std::size_t o = 0; o < n_args; ++o)
+        if (o != a && plans[o].tree == plan.tree && (plans[o].mask & plan.mask) &&
+            (plans[o].writes || plan.writes))
+          same_launch_overlap = true;
+      if (!plan.scan && same_launch_overlap) plan.scan = true;
+      if (plan.scan && pair_analysis && !same_launch_overlap &&
+          plan.priv != Privilege::kReduce &&
+          history_certified_disjoint(plan.tree, summaries[a], fps[a])) {
+        plan.scan = false;
+        cells_.interference_skips.inc();
       }
     }
+    // Record this launch's summaries only after every argument was tested —
+    // self-pairs are handled by the same-launch overlap test above.
+    if (config_.enable_interference_analysis)
+      for (std::size_t a = 0; a < n_args; ++a)
+        interference_history_.record(plans[a].tree, std::move(summaries[a]),
+                                     std::move(fps[a]));
   } else {
     // Per-point mode: any summarized state on the touched trees must be
     // visible to the per-point tracker, and the trees stay per-point until
@@ -857,14 +972,18 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
       deps.clear();
       for (std::size_t a = 0; a < n_args; ++a) {
         const ArgPlan& plan = plans[a];
+        // While capturing a trace, keep cleanly-completed predecessors in
+        // the tracker and record their edges: replay re-executes them
+        // concurrently, so "already done" does not order the replayed run.
+        const bool capturing = active_trace_ != nullptr;
         if (group_mode) {
           group_.record_point_use(plan.tree, plan.partition, plan.n_colors,
                                   point_cranks[a], plan.mask, plan.writes,
-                                  plan.scan, node, deps);
+                                  plan.scan, node, deps, capturing);
         } else {
           const RegionInfo& info = forest_->region((*plan.table)[point_cranks[a]]);
           tracker_.record_use(plan.tree, info.ispace, plan.mask, plan.writes,
-                              plan.partition, plan.disjoint, node, deps);
+                              plan.partition, plan.disjoint, node, deps, capturing);
         }
       }
       // Dedupe; drop self-edges (a launch whose arguments alias can surface
@@ -1023,7 +1142,8 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
             info.through.valid() && forest_->is_disjoint(info.through);
         tracker_.record_use(info.tree_id, info.ispace, field_mask(ra.fields),
                             privilege_writes(ra.privilege), info.through,
-                            through_disjoint, node, deps);
+                            through_disjoint, node, deps,
+                            /*keep_done=*/active_trace_ != nullptr);
       }
       // Dedupe (one arg pair can surface the same predecessor repeatedly);
       // drop self-edges from aliasing argument pairs.
@@ -1375,6 +1495,7 @@ void Runtime::begin_trace(uint32_t trace_id) {
   wait_all();
   tracker_.reset();  // the fence makes prior state irrelevant
   group_.reset();
+  interference_history_.clear();
   Trace& trace = traces_[trace_id];
   if (rec_ != nullptr) {
     obs::FlightEvent ev;
@@ -1429,6 +1550,7 @@ void Runtime::end_trace(uint32_t trace_id) {
   }
   tracker_.reset();
   group_.reset();
+  interference_history_.clear();
 }
 
 TaskFnId Runtime::fill_task() {
@@ -1556,6 +1678,7 @@ void Runtime::wait_all() {
     // summarized or contaminated mid-run become group-analyzable again.
     tracker_.reset();
     group_.reset();
+    interference_history_.clear();
   }
 }
 

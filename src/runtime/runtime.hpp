@@ -5,8 +5,10 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "analysis/hybrid.hpp"
+#include "analysis/interference.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -57,6 +59,17 @@ struct RuntimeConfig {
   /// scans, and build point closures on pool workers. Set false to force
   /// the per-point path everywhere (differential testing, perf baselines).
   bool enable_group_analysis = true;
+  /// Inter-launch interference analysis: prove *pairs of launches* disjoint
+  /// (residue-class / interval-gap image separation, disjoint fields) so the
+  /// group tracker skips its per-color dependence walks across launches.
+  /// Every skip is backed by a certificate the independent CertificateChecker
+  /// re-validated — the runtime refuses uncertified skips by construction.
+  bool enable_interference_analysis = true;
+  /// Never run the pair analyzer locally: only certificates imported through
+  /// import_interference_bundle() (and re-validated here) may authorize
+  /// skips. Distributed workers set this — the driver analyzes once and
+  /// ships proofs, workers check instead of re-deriving (docs/ANALYSIS.md).
+  bool interference_import_only = false;
   /// Task-lifecycle flight recorder (obs/flight_recorder.hpp): per-worker
   /// ring buffers of issued/analyzed/ready/running/complete events, the
   /// always-on black box stall dumps read. Cheap (batched ring appends);
@@ -240,6 +253,21 @@ class Runtime : public RuntimeApi {
   VerdictCache& verdict_cache() { return verdict_cache_; }
   const VerdictCache& verdict_cache() const { return verdict_cache_; }
 
+  /// The inter-launch pair-verdict cache (populated only when
+  /// RuntimeConfig::enable_interference_analysis is set). Shared-safe:
+  /// internal mutex, like VerdictCache.
+  InterferenceCache& interference_cache() { return interference_cache_; }
+  const InterferenceCache& interference_cache() const { return interference_cache_; }
+
+  /// Serialize every checked kDisjoint pair certificate for shipping to a
+  /// worker rank (see encode_interference_bundle).
+  std::vector<std::byte> export_interference_bundle() const;
+  /// Install certificates from a remote driver. Entries go in *unchecked*;
+  /// the first lookup re-validates each certificate against the live launch
+  /// descriptors and rejects-and-erases forgeries. A malformed bundle is
+  /// refused wholesale.
+  void import_interference_bundle(const std::vector<std::byte>& bytes);
+
   /// The observability subsystem: span events, Chrome-trace export,
   /// critical-path analysis, summary reports. Always present; it records
   /// nothing unless RuntimeConfig::enable_profiling was set.
@@ -316,7 +344,14 @@ class Runtime : public RuntimeApi {
   struct LaunchArena;
   void expand_index_launch(const IndexLauncher& launcher, uint64_t launch_id,
                            const std::shared_ptr<Future::State>& collect,
-                           bool group_mode);
+                           bool group_mode, SafetyOutcome outcome);
+  /// Inter-launch short-circuit: is `s` certified kDisjoint against *every*
+  /// summary recorded on `tree` since the last fence? Consults the
+  /// interference cache first; analyzes (and caches) on a miss unless the
+  /// runtime is import-only. `fp` is s's memoized fingerprint. Thin stats-
+  /// and-profiling wrapper over InterferenceHistory::certified_disjoint.
+  bool history_certified_disjoint(uint32_t tree, const LaunchArgSummary& s,
+                                  const std::optional<std::string>& fp);
   /// All-args qualification for the group path (disjoint partitions,
   /// symbolic functors, uncontaminated trees, one partition per tree).
   bool group_eligible(const IndexLauncher& launcher);
@@ -364,7 +399,8 @@ class Runtime : public RuntimeApi {
         tasks_completed, dependence_edges, safe_static, safe_dynamic,
         safe_unchecked, assumed_verified, unsafe, dynamic_check_points,
         traced_replayed, cache_hit_launches, cache_miss_launches,
-        group_launches, group_edges, group_fallbacks, group_materializations;
+        group_launches, group_edges, group_fallbacks, group_materializations,
+        interference_pair_tests, interference_skips;
     obs::Counter fault_exception, fault_explicit, fault_injected, fault_timeout,
         fault_cancelled, fault_poisoned, fault_injections, retry_attempts,
         retry_succeeded;
@@ -392,6 +428,13 @@ class Runtime : public RuntimeApi {
   DependenceTracker tracker_;
   GroupDependenceTracker group_;
   VerdictCache verdict_cache_;
+  InterferenceCache interference_cache_;
+  /// Per-tree launch-argument summaries recorded since the last fence —
+  /// the "other side" of every inter-launch pair test. Mirrors the group
+  /// tracker's lifecycle: entries are added only by group-path launches and
+  /// cleared wherever the trackers fence (the cache itself persists — pair
+  /// verdicts are properties of launch shapes, not of runtime state).
+  InterferenceHistory interference_history_;
   // Observability members outlive the pool (declared first): workers
   // record spans, lifecycle events and counters until the pool's
   // destructor joins them.

@@ -196,6 +196,9 @@ std::vector<std::byte> serialize_launcher(const IndexLauncher& launcher) {
     for (FieldId f : arg.fields) s.put_u32(f);
   }
   s.put_blob(launcher.scalar_args.raw());
+  // v2: the analysis payload (interference-certificate bundle) rides the
+  // descriptor so workers validate pair proofs instead of re-deriving them.
+  s.put_blob(launcher.analysis_bundle);
   return s.take();
 }
 
@@ -227,6 +230,7 @@ IndexLauncher deserialize_launcher(const std::vector<std::byte>& bytes) {
     launcher.args.push_back(std::move(arg));
   }
   launcher.scalar_args = ArgBuffer::from_bytes(d.get_blob());
+  launcher.analysis_bundle = d.get_blob();
   IDXL_REQUIRE(d.done(), "trailing bytes in launch descriptor");
   return launcher;
 }

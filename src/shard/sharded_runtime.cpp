@@ -54,6 +54,12 @@ ShardedRuntime::ShardedRuntime(ShardedConfig config) : config_(std::move(config)
     cells.copies_planned =
         metrics_.counter("idxl_shard_copies_planned_total",
                          "inter-shard data movements planned", labels);
+    cells.interference_pair_tests =
+        metrics_.counter("idxl_shard_interference_pair_tests_total",
+                         "inter-launch pair analyses this shard ran", labels);
+    cells.interference_skips = metrics_.counter(
+        "idxl_shard_interference_skips_total",
+        "per-arg conflict probes skipped on a checked certificate", labels);
     cells.write_log = metrics_.gauge(
         "idxl_shard_write_log_entries",
         "replicated write-log records (distributed storage)", labels);
@@ -386,7 +392,9 @@ FaultReport ShardedRuntime::run(const std::function<void(ShardContext&)>& progra
     shard_base_[s] = ShardStats{c.launches_issued.value(), c.runtime_calls.value(),
                                 c.points_analyzed.value(), c.local_tasks.value(),
                                 c.remote_dependencies.value(),
-                                c.copies_planned.value()};
+                                c.copies_planned.value(),
+                                c.interference_pair_tests.value(),
+                                c.interference_skips.value()};
     c.write_log.set(0);
   }
 
@@ -425,6 +433,9 @@ ShardStats ShardedRuntime::stats(uint32_t shard) const {
   s.local_tasks = c.local_tasks.value() - base.local_tasks;
   s.remote_dependencies = c.remote_dependencies.value() - base.remote_dependencies;
   s.copies_planned = c.copies_planned.value() - base.copies_planned;
+  s.interference_pair_tests =
+      c.interference_pair_tests.value() - base.interference_pair_tests;
+  s.interference_skips = c.interference_skips.value() - base.interference_skips;
   return s;
 }
 
@@ -497,6 +508,70 @@ LaunchResult ShardContext::execute_index(const IndexLauncher& launcher) {
     result.safety = report;
   }
 
+  // Inter-launch interference: decide once per argument whether the
+  // replicated per-point conflict probe below may be skipped on a checked
+  // certificate. The pair cache is shared (first shard to miss analyzes)
+  // but the verdicts are deterministic, so every shard replicates the
+  // identical skip decision — and the identical dependence edges. History
+  // records every launch (even assume_verified ones, which the safety
+  // analysis skipped): a later launch must be tested against ALL recorded
+  // uses or the skip is unsound.
+  const std::size_t n_args = launcher.args.size();
+  std::vector<bool> skip_scan(n_args, false);
+  if (rt.config_.enable_interference_analysis) {
+    std::vector<LaunchArgSummary> summaries;
+    std::vector<std::optional<std::string>> fps;
+    summaries.reserve(n_args);
+    fps.reserve(n_args);
+    {
+      std::lock_guard<std::mutex> lock(rt.forest_mu_);
+      for (const ProjectedArg& pa : launcher.args) {
+        LaunchArgSummary s;
+        s.functor = pa.functor;
+        s.domain = launcher.domain;
+        s.color_space = rt.forest_.color_space(pa.partition);
+        s.partition_uid = pa.partition.id;
+        s.partition_disjoint = rt.forest_.is_disjoint(pa.partition);
+        s.collection_uid = rt.forest_.region(pa.parent).tree_id;
+        s.field_mask = field_mask(pa.fields);
+        s.priv = pa.privilege;
+        s.redop = pa.redop;
+        fps.push_back(s.fingerprint());
+        summaries.push_back(std::move(s));
+      }
+    }
+    // Same gating as the local runtime's group tier: writer skips need a
+    // points-independent launch (kSafeStatic/kSafeDynamic), reductions are
+    // ordered serially only by the probe, and overlapping same-launch args
+    // keep their probe regardless of cross-launch verdicts.
+    const bool pair_analysis =
+        !launcher.assume_verified &&
+        (result.safety.outcome == SafetyOutcome::kSafeStatic ||
+         result.safety.outcome == SafetyOutcome::kSafeDynamic);
+    for (std::size_t a = 0; a < n_args; ++a) {
+      bool same_launch_overlap = false;
+      for (std::size_t o = 0; o < n_args; ++o)
+        if (o != a && summaries[o].collection_uid == summaries[a].collection_uid &&
+            (summaries[o].field_mask & summaries[a].field_mask) != 0 &&
+            (summaries[o].writes() || summaries[a].writes()))
+          same_launch_overlap = true;
+      if (pair_analysis && !same_launch_overlap &&
+          launcher.args[a].privilege != Privilege::kReduce) {
+        ProfileScope pair_scope(rt.prof_, ProfCategory::kSafety,
+                                Profiler::kNameSafetyCheck);
+        uint64_t pair_tests = 0;
+        skip_scan[a] = interference_history_.certified_disjoint(
+            summaries[a].collection_uid, summaries[a], fps[a],
+            rt.interference_cache_, /*analyze=*/true, &pair_tests);
+        cells.interference_pair_tests.inc(pair_tests);
+        if (skip_scan[a]) cells.interference_skips.inc();
+      }
+    }
+    for (std::size_t a = 0; a < n_args; ++a)
+      interference_history_.record(summaries[a].collection_uid,
+                                   std::move(summaries[a]), std::move(fps[a]));
+  }
+
   // Replicated per-point analysis + owner-only task construction.
   const TaskFn& body = rt.task_registry_[launcher.task].second;
   int64_t rank = 0;
@@ -538,7 +613,8 @@ LaunchResult ShardContext::execute_index(const IndexLauncher& launcher) {
       ProfileScope dep_scope(rt.prof_, ProfCategory::kDependence,
                              Profiler::kNameDependence, key);
       std::lock_guard<std::mutex> lock(rt.forest_mu_);
-      for (const ProjectedArg& pa : launcher.args) {
+      for (std::size_t ai = 0; ai < launcher.args.size(); ++ai) {
+        const ProjectedArg& pa = launcher.args[ai];
         const Point color = pa.functor(p);
         const RegionId region = rt.forest_.subregion(pa.parent, pa.partition, color);
         const RegionInfo& info = rt.forest_.region(region);
@@ -546,9 +622,11 @@ LaunchResult ShardContext::execute_index(const IndexLauncher& launcher) {
             info.through.valid() && rt.forest_.is_disjoint(info.through);
         const uint64_t mask = field_mask(pa.fields);
         // Every shard records every use: the replicated analysis of DCR.
+        // Certified-disjoint args record without probing (scan = false).
         tracker_.record_use(info.tree_id, info.ispace, mask,
                             privilege_writes(pa.privilege), info.through,
-                            through_disjoint, node, deps);
+                            through_disjoint, node, deps,
+                            /*keep_done=*/false, /*scan=*/!skip_scan[ai]);
 
         if (owner == shard_) {
           if (!rt.config_.distributed_storage) {
@@ -729,7 +807,18 @@ RuntimeStats ShardedRuntime::stats() const {
     // Launches are replicated: every shard issues every launch, so shard
     // 0's count is the program's.
     if (s == 0) out.index_launches = ss.launches_issued;
+    // Pair analyses race to populate the shared cache (whichever shard
+    // misses first pays), so the total work is the cross-shard sum; the skip
+    // decision itself is replicated — shard 0's count is the program's.
+    out.interference_pair_tests += ss.interference_pair_tests;
+    if (s == 0) out.interference_skips = ss.interference_skips;
   }
+  const InterferenceCache::Counters ic = interference_cache_.counters();
+  out.interference_cache_hits = ic.hits;
+  out.interference_cache_misses = ic.misses;
+  out.interference_imported = ic.imported;
+  out.interference_validated = ic.validated;
+  out.interference_rejected = ic.rejected;
   const obs::MetricsSnapshot snap = metrics_.snapshot();
   out.tasks_completed = out.point_tasks;
   out.tasks_failed = static_cast<uint64_t>(

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "analysis/hybrid.hpp"
+#include "analysis/interference.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "runtime/dependence.hpp"
@@ -50,6 +51,11 @@ struct ShardedConfig {
   /// safety analysis: the first shard to analyze a launch site pays for the
   /// analysis, the rest (and later iterations) hit the cache.
   bool enable_verdict_cache = true;
+  /// Inter-launch interference analysis (certified kDisjoint pair verdicts
+  /// short-circuit the replicated per-point conflict probe). The pair cache
+  /// is shared across shards like the verdict cache; verdicts are
+  /// deterministic, so every shard reaches the identical skip decision.
+  bool enable_interference_analysis = true;
   std::shared_ptr<ShardingFunctor> sharding;  // default: BlockShardingFunctor
   /// When true, every shard owns a private replica of each root region's
   /// storage ("distributed memories"): tasks read and write their shard's
@@ -81,6 +87,8 @@ struct ShardStats {
   uint64_t local_tasks = 0;       ///< tasks this shard actually executed
   uint64_t remote_dependencies = 0;  ///< edges that crossed a shard boundary
   uint64_t copies_planned = 0;    ///< inter-shard data movements (distributed storage)
+  uint64_t interference_pair_tests = 0;  ///< pair analyses this shard ran (cache misses)
+  uint64_t interference_skips = 0;  ///< per-arg conflict probes skipped on a certificate
 };
 
 class ShardedRuntime;
@@ -118,6 +126,10 @@ class ShardContext {
   ShardedRuntime* rt_;
   uint32_t shard_;
   DependenceTracker tracker_;  // per-shard replicated analysis state
+  /// Launch-argument summaries this context issued (replicated, like the
+  /// tracker): the "other side" of every inter-launch pair test. Lives
+  /// exactly as long as tracker_ — one run(), no mid-run fences.
+  InterferenceHistory interference_history_;
   uint64_t next_launch_ = 0;
   std::vector<ShardWriteRecord> write_log_;  // distributed-storage mode only
 };
@@ -196,6 +208,13 @@ class ShardedRuntime : public RuntimeApi {
   VerdictCache& verdict_cache() { return verdict_cache_; }
   const VerdictCache& verdict_cache() const { return verdict_cache_; }
 
+  /// The inter-launch pair-verdict cache shared by every shard (thread-safe;
+  /// populated only when ShardedConfig::enable_interference_analysis is set).
+  InterferenceCache& interference_cache() { return interference_cache_; }
+  const InterferenceCache& interference_cache() const {
+    return interference_cache_;
+  }
+
   /// Observability: one profiler spans all shards (lanes distinguish the
   /// issuing shard threads and per-shard pool workers). Records nothing
   /// unless ShardedConfig::enable_profiling was set.
@@ -259,7 +278,8 @@ class ShardedRuntime : public RuntimeApi {
   /// value at the start of the current run so stats() reads per-run deltas.
   struct ShardCells {
     obs::Counter launches_issued, runtime_calls, points_analyzed, local_tasks,
-        remote_dependencies, copies_planned;
+        remote_dependencies, copies_planned, interference_pair_tests,
+        interference_skips;
     obs::Gauge write_log;
   };
 
@@ -274,6 +294,7 @@ class ShardedRuntime : public RuntimeApi {
   ShardedConfig config_;
   RegionForest forest_;
   VerdictCache verdict_cache_;  // shared across shard threads (internally locked)
+  InterferenceCache interference_cache_;  // ditto: one pair cache per runtime
   std::mutex forest_mu_;  // guards subregion creation during run()
   // Observability precedes the pools: workers record until joined.
   obs::MetricsRegistry metrics_;

@@ -316,6 +316,56 @@ TEST(CompilerTest, WavefrontLoopIsGuardedAndPasses) {
   rt.wait_all();
 }
 
+TEST(CompilerTest, CrossLoopVerdictsSurfaceInDiagnostics) {
+  // Three compiled loops writing the same field: even colors (2i), odd
+  // colors (2i+1), then even colors again. The whole-program pass proves
+  // the even/odd pairs disjoint by residue-class image separation (with a
+  // checker-validated certificate) and refutes the even/even pair with a
+  // validated racing witness — all surfaced in CompileDiagnostics.
+  Fixture fx(32, 8);
+  auto make = [&](ExprPtr e) {
+    ForLoop l;
+    l.domain = Domain::line(4);
+    l.body = {write_call(fx, {std::move(e)})};
+    return l;
+  };
+  std::vector<CompiledLoop> prog;
+  prog.push_back(
+      compile_loop(make(make_mul(make_const(2), make_coord(0))), fx.rt.forest()));
+  prog.push_back(compile_loop(
+      make(make_add(make_mul(make_const(2), make_coord(0)), make_const(1))),
+      fx.rt.forest()));
+  prog.push_back(
+      compile_loop(make(make_mul(make_const(2), make_coord(0))), fx.rt.forest()));
+  for (const CompiledLoop& c : prog)
+    ASSERT_EQ(c.strategy(), LoopStrategy::kIndexLaunch);
+
+  cross_analyze_program(prog, fx.rt.forest());
+
+  EXPECT_TRUE(prog[0].diagnostics().inter_launch.empty());
+  ASSERT_EQ(prog[1].diagnostics().inter_launch.size(), 1u);
+  const InterLaunchVerdict& odd_even = prog[1].diagnostics().inter_launch[0];
+  EXPECT_EQ(odd_even.earlier_loop, 0u);
+  EXPECT_EQ(odd_even.verdict, PairVerdict::kDisjoint);
+  EXPECT_TRUE(odd_even.certified);
+
+  ASSERT_EQ(prog[2].diagnostics().inter_launch.size(), 2u);
+  const InterLaunchVerdict& even_even = prog[2].diagnostics().inter_launch[0];
+  EXPECT_EQ(even_even.earlier_loop, 0u);
+  EXPECT_EQ(even_even.verdict, PairVerdict::kInterferes);
+  ASSERT_TRUE(even_even.witness.has_value());
+  const InterLaunchVerdict& even_odd = prog[2].diagnostics().inter_launch[1];
+  EXPECT_EQ(even_odd.earlier_loop, 1u);
+  EXPECT_EQ(even_odd.verdict, PairVerdict::kDisjoint);
+  EXPECT_TRUE(even_odd.certified);
+
+  const std::string report = prog[2].explain();
+  EXPECT_NE(report.find("inter-launch:"), std::string::npos);
+  EXPECT_NE(report.find("interferes"), std::string::npos);
+  EXPECT_NE(report.find("(certified)"), std::string::npos);
+  EXPECT_NE(report.find("witness"), std::string::npos);
+}
+
 // ---------- loop-nest flattening ----------
 
 TEST(TransformTest, PerfectNestFlattensToMultiDimLaunch) {

@@ -237,6 +237,122 @@ TEST(DistTest, LaunchFramesAndPerLaunchBytesScaleWithLaunchCountOnly) {
   EXPECT_EQ(three.launch_bytes % three.launch_frames, 0u);
 }
 
+/// Two single-field writer launches per iteration — group-eligible (disjoint
+/// blocks, identity functor) with a certified kDisjoint pair (disjoint field
+/// masks), so the driver analyzes, skips the cross-launch walk, and ships
+/// the certificate bundle on every kLaunch frame.
+struct FieldWriterRun {
+  std::vector<double> fin, fout;
+  RuntimeStats stats;
+  uint64_t launch_bytes = 0;
+};
+
+FieldWriterRun run_field_writers(uint32_t ranks, bool analysis, int iters) {
+  DistConfig dc;
+  dc.ranks = ranks;
+  dc.runtime.workers = 2;
+  dc.runtime.enable_interference_analysis = analysis;
+  DistributedRuntime rt(dc);
+  const Grid g = make_grid(rt.forest());
+  init_grid(rt.forest(), g);
+  const TaskFnId win = rt.register_task("write_in", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(0);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, static_cast<double>(p[0] - p[1])); });
+  });
+  const TaskFnId wout = rt.register_task("write_out", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(1);
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, static_cast<double>(p[0] * p[1])); });
+  });
+  const Domain dom = Domain(Rect::box2(kPx, kPy));
+  const auto id = ProjectionFunctor::identity(2);
+  for (int it = 0; it < iters; ++it) {
+    rt.execute_index(IndexLauncher::over(dom).with_task(win).region(
+        g.region, g.blocks, id, {g.fin}, Privilege::kWrite));
+    rt.execute_index(IndexLauncher::over(dom).with_task(wout).region(
+        g.region, g.blocks, id, {g.fout}, Privilege::kWrite));
+  }
+  rt.wait_all();
+  FieldWriterRun out;
+  out.fin = read_field(rt, g, g.fin);
+  out.fout = read_field(rt, g, g.fout);
+  out.stats = rt.stats();
+  if (ranks > 1) {
+    const auto snap = rt.metrics().snapshot();
+    out.launch_bytes = snap.value("idxl_net_bytes_sent_total",
+                                  obs::Labels{{"peer", "rank-1"}, {"type", "launch"}});
+  }
+  return out;
+}
+
+TEST(DistTest, CertificateBundleFlowsToWorkers) {
+  // Driver side of the certificate pipeline, observed end to end: rank 0
+  // analyzes the disjoint-field pair once, skips the cross-launch walks,
+  // and the kLaunch frames to rank 1 carry the (non-empty) bundle — they
+  // are strictly larger than the same program's frames with the analysis
+  // off. Worker-side validation of a shipped bundle is pinned down
+  // in-process by interference_runtime_test (same descriptor path).
+  const FieldWriterRun on = run_field_writers(2, /*analysis=*/true, /*iters=*/3);
+  const FieldWriterRun off = run_field_writers(2, /*analysis=*/false, /*iters=*/3);
+  EXPECT_GE(on.stats.interference_pair_tests, 1u);
+  EXPECT_GE(on.stats.interference_skips, 1u);
+  EXPECT_EQ(off.stats.interference_pair_tests, 0u);
+  EXPECT_EQ(off.stats.interference_skips, 0u);
+  ASSERT_GT(on.launch_bytes, 0u);
+  EXPECT_GT(on.launch_bytes, off.launch_bytes);
+  // The skip changes scheduling only, never data: all three runs agree.
+  const FieldWriterRun solo = run_field_writers(1, /*analysis=*/true, /*iters=*/3);
+  EXPECT_EQ(on.fin, off.fin);
+  EXPECT_EQ(on.fout, off.fout);
+  EXPECT_EQ(on.fin, solo.fin);
+  EXPECT_EQ(on.fout, solo.fout);
+}
+
+TEST(DistTest, PoisonedCertificateOnWireIsRejected) {
+  // A worker trusts nothing: corrupt one certificate byte inside an
+  // otherwise well-formed bundle, round-trip it through the actual kLaunch
+  // wire encoding (serialize_launcher → deserialize_launcher, the exact
+  // path WorkerSession::on_frame runs), and the import-only rank must
+  // reject the forgery at first lookup and fall back to the full walk.
+  RuntimeConfig driver_rc;
+  driver_rc.workers = 2;
+  Runtime driver(std::move(driver_rc));
+  const Grid dg = make_grid(driver.forest());
+  const TaskFnId dnop = driver.register_task("nop", [](TaskContext&) {});
+  const Domain dom = Domain(Rect::box2(kPx, kPy));
+  const auto id = ProjectionFunctor::identity(2);
+  driver.execute_index(IndexLauncher::over(dom).with_task(dnop).region(
+      dg.region, dg.blocks, id, {dg.fin}, Privilege::kWrite));
+  driver.execute_index(IndexLauncher::over(dom).with_task(dnop).region(
+      dg.region, dg.blocks, id, {dg.fout}, Privilege::kWrite));
+  driver.wait_all();
+  std::vector<std::byte> bundle = driver.export_interference_bundle();
+  ASSERT_GT(driver.interference_cache().size(), 0u);
+  bundle.back() ^= std::byte{0x01};  // flip one bit of the last cert blob
+
+  RuntimeConfig worker_rc;
+  worker_rc.workers = 2;
+  worker_rc.interference_import_only = true;
+  Runtime worker(std::move(worker_rc));
+  const Grid wg = make_grid(worker.forest());
+  const TaskFnId wnop = worker.register_task("nop", [](TaskContext&) {});
+  auto launch = [&](FieldId f, std::vector<std::byte> payload) {
+    IndexLauncher l = IndexLauncher::over(dom).with_task(wnop).region(
+        wg.region, wg.blocks, id, {f}, Privilege::kWrite);
+    l.analysis_bundle = std::move(payload);
+    worker.execute_index(deserialize_launcher(serialize_launcher(l)));
+  };
+  launch(wg.fin, bundle);
+  launch(wg.fout, {});
+  worker.wait_all();
+  const auto c = worker.interference_cache().counters();
+  EXPECT_GE(c.imported, 1u);
+  EXPECT_GE(c.rejected, 1u);
+  EXPECT_EQ(c.validated, 0u);
+  EXPECT_EQ(worker.stats().interference_skips, 0u);
+}
+
 TEST(DistTest, RegisterAfterStartThrows) {
   DistConfig dc;
   dc.ranks = 1;

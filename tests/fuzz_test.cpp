@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_set>
+
+#include "analysis/certificate.hpp"
+#include "analysis/interference.hpp"
+#include "analysis/witness.hpp"
 #include "region/partition_ops.hpp"
 #include "runtime/runtime.hpp"
 #include "shard/sharded_runtime.hpp"
@@ -514,6 +520,188 @@ TEST_P(StaticOracleFuzz, ExtendedStaticNeverContradictsExhaustiveCheck) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StaticOracleFuzz, ::testing::Range<uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------------
+// Differential oracle for the inter-launch pair analysis
+// (analysis/interference.hpp): random launch-argument pairs, checked against
+// exhaustive cross-evaluation of both functors. Soundness properties:
+//
+//   kDisjoint   ⇒ a certificate is present, the independent checker accepts
+//                 it against the live sides, and the fact it claims is true
+//                 (for image separation: no colliding point pair exists).
+//   kInterferes ⇒ the witness re-validates, and the pair genuinely races
+//                 (shared fields, shared collection, at least one writer,
+//                 and the functors really collide at the witness points).
+//
+// kUnknown is always permitted; it only costs the dynamic walk.
+// ---------------------------------------------------------------------------
+
+LaunchArgSummary random_pair_summary(Rng& rng, int out_dim) {
+  LaunchArgSummary s;
+  std::vector<ExprPtr> exprs;
+  for (int c = 0; c < out_dim; ++c) exprs.push_back(random_expr(rng, /*dim=*/1, 2));
+  s.functor = ProjectionFunctor::symbolic(std::move(exprs));
+  s.domain = Domain::line(rng.next_in(1, 12));
+  s.color_space = Rect::line(8);
+  s.partition_uid = 7;  // both sides share the partition unless flipped below
+  s.partition_disjoint = rng.next_below(4) != 0;
+  s.collection_uid = static_cast<uint32_t>(1 + rng.next_below(2));
+  s.field_mask = static_cast<uint64_t>(rng.next_in(1, 3));
+  switch (rng.next_below(4)) {
+    case 0: s.priv = Privilege::kRead; break;
+    case 1: s.priv = Privilege::kWrite; break;
+    case 2: s.priv = Privilege::kReadWrite; break;
+    default:
+      s.priv = Privilege::kReduce;
+      s.redop = ReductionOp::kSum;
+      break;
+  }
+  return s;
+}
+
+bool images_collide(const LaunchArgSummary& a, const LaunchArgSummary& b) {
+  bool collide = false;
+  a.domain.for_each([&](const Point& pa) {
+    if (collide) return;
+    const Point ca = a.functor(pa);
+    b.domain.for_each([&](const Point& pb) {
+      if (!collide && ca == b.functor(pb)) collide = true;
+    });
+  });
+  return collide;
+}
+
+class PairOracleFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PairOracleFuzz, PairVerdictsNeverContradictExhaustiveCheck) {
+  Rng rng(GetParam() * 9973);
+  int disjoint = 0, interferes = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const int out_dim = rng.next_below(4) == 0 ? 2 : 1;
+    const int out_dim_b = rng.next_below(8) == 0 ? 3 - out_dim : out_dim;
+    LaunchArgSummary a = random_pair_summary(rng, out_dim);
+    LaunchArgSummary b = random_pair_summary(rng, out_dim_b);
+
+    const InterferenceResult r = analyze_interference(a, b);
+    if (r.verdict == PairVerdict::kDisjoint) {
+      ++disjoint;
+      ASSERT_TRUE(r.certificate.has_value()) << "uncertified kDisjoint: " << r.reason;
+      std::string why;
+      EXPECT_TRUE(CertificateChecker::validate(*r.certificate, a.side(), b.side(), &why))
+          << "checker rejected the analyzer's own certificate: " << why;
+      switch (r.certificate->kind) {
+        case CertKind::kFieldsDisjoint:
+          EXPECT_EQ(a.field_mask & b.field_mask, uint64_t{0}) << r.reason;
+          break;
+        case CertKind::kDistinctCollections:
+          EXPECT_NE(a.collection_uid, b.collection_uid) << r.reason;
+          break;
+        case CertKind::kReadOnly:
+          EXPECT_FALSE(a.writes() || b.writes()) << r.reason;
+          break;
+        case CertKind::kImageSeparation:
+          EXPECT_FALSE(images_collide(a, b))
+              << "unsound image separation for " << a.functor.to_string() << " vs "
+              << b.functor.to_string() << ": " << r.reason;
+          break;
+      }
+    } else if (r.verdict == PairVerdict::kInterferes) {
+      ++interferes;
+      ASSERT_TRUE(r.witness.has_value()) << "unwitnessed kInterferes: " << r.reason;
+      EXPECT_TRUE(pair_witness_valid(a.functor, a.domain, b.functor, b.domain,
+                                     *r.witness))
+          << "bogus pair witness: " << r.witness->to_string();
+      EXPECT_NE(a.field_mask & b.field_mask, uint64_t{0});
+      EXPECT_EQ(a.collection_uid, b.collection_uid);
+      EXPECT_TRUE(a.writes() || b.writes());
+      EXPECT_TRUE(images_collide(a, b));
+    }
+  }
+  // The analyzer must decide a healthy share of random pairs, or the
+  // soundness assertions above would be vacuous.
+  EXPECT_GT(disjoint, 50);
+  EXPECT_GT(interferes, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairOracleFuzz, ::testing::Range<uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------------
+// Certificate wire-format fuzz: every certificate the analyzer emits must
+// survive an encode/decode round trip bit-exactly and still satisfy the
+// checker, and *any* single-bit corruption of the encoded form must fail
+// decode (the FNV-1a checksum turns transit corruption into a clean
+// reject). The same holds one level up for certificate bundles: a flipped
+// bit either breaks the framing outright or corrupts an entry whose
+// certificate blob then refuses to decode — corruption is never silent.
+// ---------------------------------------------------------------------------
+
+class CertificateFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CertificateFuzz, RoundTripsSurviveAndBitFlipsAreRejected) {
+  Rng rng(GetParam() * 7561);
+  int certs = 0;
+  std::vector<std::pair<std::string, std::vector<std::byte>>> entries;
+  std::unordered_set<std::string> keys;
+  for (int trial = 0; trial < 300; ++trial) {
+    const int out_dim = rng.next_below(4) == 0 ? 2 : 1;
+    LaunchArgSummary a = random_pair_summary(rng, out_dim);
+    LaunchArgSummary b = random_pair_summary(rng, out_dim);
+    const InterferenceResult r = analyze_interference(a, b);
+    if (r.verdict != PairVerdict::kDisjoint) continue;
+    ++certs;
+
+    const std::vector<std::byte> bytes = encode_certificate(*r.certificate);
+    const auto decoded = decode_certificate(bytes.data(), bytes.size());
+    ASSERT_TRUE(decoded.has_value()) << "round trip failed";
+    EXPECT_EQ(encode_certificate(*decoded), bytes) << "re-encode not canonical";
+    EXPECT_TRUE(CertificateChecker::validate(*decoded, a.side(), b.side()))
+        << "decoded certificate no longer validates";
+
+    for (int flip = 0; flip < 16; ++flip) {
+      std::vector<std::byte> bad = bytes;
+      const std::size_t i = rng.next_below(bad.size());
+      bad[i] ^= std::byte{static_cast<unsigned char>(1u << rng.next_below(8))};
+      EXPECT_FALSE(decode_certificate(bad.data(), bad.size()).has_value())
+          << "bit flip at byte " << i << " survived decode";
+    }
+    EXPECT_FALSE(decode_certificate(bytes.data(), bytes.size() - 1).has_value())
+        << "truncation survived decode";
+
+    const auto key = interference_key(a, b);
+    if (key && keys.insert(*key).second) entries.emplace_back(*key, bytes);
+  }
+  ASSERT_GT(certs, 20) << "too few certificates generated to exercise the format";
+
+  // Bundle framing round trip (entries come back sorted by key)...
+  const std::vector<std::byte> bundle = encode_interference_bundle(entries);
+  const auto dec = decode_interference_bundle(bundle.data(), bundle.size());
+  ASSERT_TRUE(dec.has_value());
+  std::sort(entries.begin(), entries.end());
+  EXPECT_EQ(*dec, entries);
+
+  // ...and corruption: a flip may land in the header/lengths (framing
+  // reject), a key (entry mismatch), or a certificate blob (which must then
+  // fail decode_certificate). It must never decode back to the original.
+  for (int flip = 0; flip < 64; ++flip) {
+    std::vector<std::byte> bad = bundle;
+    const std::size_t i = rng.next_below(bad.size());
+    bad[i] ^= std::byte{static_cast<unsigned char>(1u << rng.next_below(8))};
+    const auto d2 = decode_interference_bundle(bad.data(), bad.size());
+    if (!d2) continue;
+    EXPECT_NE(*d2, entries) << "bit flip at byte " << i << " vanished";
+    if (d2->size() != entries.size()) continue;
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      const auto& cert_bytes = (*d2)[e].second;
+      if (cert_bytes != entries[e].second) {
+        EXPECT_FALSE(
+            decode_certificate(cert_bytes.data(), cert_bytes.size()).has_value())
+            << "corrupted certificate blob in entry " << e << " still decodes";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertificateFuzz, ::testing::Range<uint64_t>(1, 5));
 
 }  // namespace
 }  // namespace idxl

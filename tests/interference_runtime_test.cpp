@@ -1,0 +1,277 @@
+// Runtime wiring of the inter-launch interference analysis: certified
+// kDisjoint pair verdicts short-circuit the group-tier dependence walk, the
+// verdicts are cached across fences, and the certificate bundle travels
+// between runtimes (driver exports, worker validates — never trusts).
+#include <gtest/gtest.h>
+
+#include "analysis/interference.hpp"
+#include "region/partition_ops.hpp"
+#include "runtime/runtime.hpp"
+
+namespace idxl {
+namespace {
+
+struct Fixture {
+  Runtime rt;
+  IndexSpaceId is;
+  FieldSpaceId fs;
+  FieldId fv = 0;
+  FieldId fw = 0;
+  RegionId region;
+  PartitionId blocks;
+
+  explicit Fixture(int64_t n, int64_t pieces, RuntimeConfig cfg = {}) : rt(cfg) {
+    auto& forest = rt.forest();
+    is = forest.create_index_space(Domain::line(n));
+    fs = forest.create_field_space();
+    fv = forest.allocate_field(fs, sizeof(double), "v");
+    fw = forest.allocate_field(fs, sizeof(double), "w");
+    region = forest.create_region(is, fs);
+    blocks = partition_equal(forest, is, Rect::line(pieces));
+  }
+};
+
+TaskFnId register_store(Runtime& rt) {
+  return rt.register_task("store", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(ctx.arg<FieldId>());
+    ctx.region(0).domain().for_each(
+        [&](const Point& p) { acc.write(p, 1.0); });
+  });
+}
+
+IndexLauncher writer(const Fixture& fx, TaskFnId task, FieldId field,
+                     ProjectionFunctor functor, int64_t n = 16) {
+  return IndexLauncher::over(Domain::line(n))
+      .with_task(task)
+      .region(fx.region, fx.blocks, std::move(functor), {field},
+              Privilege::kWrite)
+      .scalars(field);
+}
+
+// ---------- local skip path ----------
+
+// Two writer launches on the same tree touching disjoint fields: the second
+// launch's group walk would test every point against the first launch's uses
+// and find nothing. The field-disjointness certificate proves that up front,
+// so the walk is skipped and the per-use counters stay at zero.
+TEST(InterferenceRuntimeTest, DisjointFieldWritersSkipGroupWalk) {
+  Fixture fx(64, 16);
+  const TaskFnId store = register_store(fx.rt);
+  fx.rt.execute_index(writer(fx, store, fx.fv, ProjectionFunctor::identity(1)));
+  fx.rt.execute_index(writer(fx, store, fx.fw, ProjectionFunctor::identity(1)));
+  fx.rt.wait_all();
+
+  const RuntimeStats stats = fx.rt.stats();
+  EXPECT_EQ(stats.group_launches, 2u);
+  EXPECT_EQ(stats.interference_pair_tests, 1u);
+  EXPECT_EQ(stats.interference_skips, 1u);
+  EXPECT_EQ(stats.dependence_tests, 0u);
+  EXPECT_EQ(stats.dependence_edges, 0u);
+
+  for (FieldId f : {fx.fv, fx.fw}) {
+    auto acc = fx.rt.read_region<double>(fx.region, f);
+    Domain::line(64).for_each(
+        [&](const Point& p) { EXPECT_DOUBLE_EQ(acc.read(p), 1.0); });
+  }
+}
+
+// Same program with the analysis disabled: the second launch's scan walks
+// the first launch's 16 uses (one per shared color) — the baseline cost the
+// certificate removes.
+TEST(InterferenceRuntimeTest, KnobOffRunsTheBaselineWalk) {
+  RuntimeConfig cfg;
+  cfg.enable_interference_analysis = false;
+  Fixture fx(64, 16, cfg);
+  const TaskFnId store = register_store(fx.rt);
+  fx.rt.pool().pause();  // keep launch 1's uses live while launch 2 issues
+  fx.rt.execute_index(writer(fx, store, fx.fv, ProjectionFunctor::identity(1)));
+  fx.rt.execute_index(writer(fx, store, fx.fw, ProjectionFunctor::identity(1)));
+  const RuntimeStats stats = fx.rt.stats();
+  fx.rt.pool().resume();
+  fx.rt.wait_all();
+
+  EXPECT_EQ(stats.group_launches, 2u);
+  EXPECT_EQ(stats.interference_pair_tests, 0u);
+  EXPECT_EQ(stats.interference_skips, 0u);
+  EXPECT_EQ(stats.dependence_tests, 16u);  // per-color probe of launch 1's uses
+  EXPECT_EQ(stats.dependence_edges, 0u);   // disjoint fields: no edge emitted
+}
+
+// Writers whose functor images overlap must not skip: the pair verdict is
+// kInterferes (with a validated witness inside the analyzer), the walk runs,
+// and every second-launch point chains behind its same-color predecessor.
+TEST(InterferenceRuntimeTest, OverlappingWritersStillWalk) {
+  Fixture fx(64, 16);
+  const TaskFnId store = register_store(fx.rt);
+  fx.rt.pool().pause();  // keep launch 1's uses live while launch 2 issues
+  fx.rt.execute_index(writer(fx, store, fx.fv, ProjectionFunctor::identity(1)));
+  fx.rt.execute_index(writer(fx, store, fx.fv, ProjectionFunctor::identity(1)));
+  const RuntimeStats stats = fx.rt.stats();
+  fx.rt.pool().resume();
+  fx.rt.wait_all();
+
+  EXPECT_EQ(stats.group_launches, 2u);
+  EXPECT_EQ(stats.interference_pair_tests, 1u);
+  EXPECT_EQ(stats.interference_skips, 0u);
+  EXPECT_EQ(stats.dependence_edges, 16u);  // one edge per shared color
+}
+
+// Image-separated writers of the *same* field: launch A covers the even
+// colors (2i), launch B the odd ones (2i + 1). The residue-class certificate
+// proves separation, so B skips even though the union field masks collide.
+TEST(InterferenceRuntimeTest, ResidueSeparatedWritersSkip) {
+  Fixture fx(64, 16);
+  const TaskFnId store = register_store(fx.rt);
+  const auto strided = [](int64_t offset) {
+    return ProjectionFunctor::symbolic(
+        {make_add(make_mul(make_const(2), make_coord(0)), make_const(offset))});
+  };
+  fx.rt.execute_index(writer(fx, store, fx.fv, strided(0), 8));
+  fx.rt.execute_index(writer(fx, store, fx.fv, strided(1), 8));
+  fx.rt.wait_all();
+
+  const RuntimeStats stats = fx.rt.stats();
+  EXPECT_EQ(stats.group_launches, 2u);
+  EXPECT_EQ(stats.interference_pair_tests, 1u);
+  EXPECT_EQ(stats.interference_skips, 1u);
+  EXPECT_EQ(stats.dependence_edges, 0u);
+  auto acc = fx.rt.read_region<double>(fx.region, fx.fv);
+  Domain::line(64).for_each(
+      [&](const Point& p) { EXPECT_DOUBLE_EQ(acc.read(p), 1.0); });
+}
+
+// ---------- cache behaviour across fences ----------
+
+// Pair verdicts are properties of launch *shapes*, not of runtime state, so
+// the cache must survive the fences that reset both dependence tiers: the
+// second epoch re-tests the pair but is served from the cache.
+TEST(InterferenceRuntimeTest, VerdictsPersistAcrossFences) {
+  Fixture fx(64, 16);
+  const TaskFnId store = register_store(fx.rt);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    fx.rt.execute_index(writer(fx, store, fx.fv, ProjectionFunctor::identity(1)));
+    fx.rt.execute_index(writer(fx, store, fx.fw, ProjectionFunctor::identity(1)));
+    fx.rt.wait_all();
+  }
+  const RuntimeStats stats = fx.rt.stats();
+  EXPECT_EQ(stats.interference_pair_tests, 1u);  // analyzed once, ever
+  EXPECT_EQ(stats.interference_skips, 3u);       // skipped every epoch
+  EXPECT_EQ(stats.interference_cache_hits, 2u);  // epochs 2 and 3
+}
+
+// ---------- import/export (the dist-facing surface) ----------
+
+// A worker-style runtime (import_only) never analyzes: without an imported
+// bundle the pair stays unresolved and the walk runs.
+TEST(InterferenceRuntimeTest, ImportOnlyModeNeverAnalyzes) {
+  RuntimeConfig cfg;
+  cfg.interference_import_only = true;
+  Fixture fx(64, 16, cfg);
+  const TaskFnId store = register_store(fx.rt);
+  fx.rt.pool().pause();
+  fx.rt.execute_index(writer(fx, store, fx.fv, ProjectionFunctor::identity(1)));
+  fx.rt.execute_index(writer(fx, store, fx.fw, ProjectionFunctor::identity(1)));
+  const RuntimeStats stats = fx.rt.stats();
+  fx.rt.pool().resume();
+  fx.rt.wait_all();
+
+  EXPECT_EQ(stats.interference_pair_tests, 0u);
+  EXPECT_EQ(stats.interference_skips, 0u);
+  EXPECT_EQ(stats.dependence_tests, 16u);
+}
+
+// Driver analyzes and exports; an import_only worker adopts the bundle off
+// the launch descriptor, validates the certificate against its own live
+// summaries, and skips — without ever running the analyzer.
+TEST(InterferenceRuntimeTest, BundleOnDescriptorAuthorizesWorkerSkip) {
+  Fixture driver(64, 16);
+  const TaskFnId d_store = register_store(driver.rt);
+  driver.rt.execute_index(
+      writer(driver, d_store, driver.fv, ProjectionFunctor::identity(1)));
+  driver.rt.execute_index(
+      writer(driver, d_store, driver.fw, ProjectionFunctor::identity(1)));
+  driver.rt.wait_all();
+  const std::vector<std::byte> bundle = driver.rt.export_interference_bundle();
+  ASSERT_FALSE(bundle.empty());
+
+  RuntimeConfig cfg;
+  cfg.interference_import_only = true;
+  Fixture worker(64, 16, cfg);
+  const TaskFnId w_store = register_store(worker.rt);
+  IndexLauncher first =
+      writer(worker, w_store, worker.fv, ProjectionFunctor::identity(1));
+  first.analysis_bundle = bundle;  // rides the descriptor, as in dist mode
+  worker.rt.execute_index(first);
+  worker.rt.execute_index(
+      writer(worker, w_store, worker.fw, ProjectionFunctor::identity(1)));
+  worker.rt.wait_all();
+
+  const RuntimeStats stats = worker.rt.stats();
+  EXPECT_EQ(stats.interference_pair_tests, 0u);  // worker never analyzed
+  EXPECT_EQ(stats.interference_skips, 1u);
+  EXPECT_GE(stats.interference_imported, 1u);
+  EXPECT_GE(stats.interference_validated, 1u);
+  EXPECT_EQ(stats.interference_rejected, 0u);
+  EXPECT_EQ(stats.dependence_tests, 0u);
+}
+
+// A poisoned certificate — valid framing, corrupt payload — must be refused
+// at first lookup: the entry is rejected, no skip happens, and the walk runs
+// exactly as if nothing had been imported.
+TEST(InterferenceRuntimeTest, PoisonedCertificateIsRejectedNotTrusted) {
+  Fixture driver(64, 16);
+  const TaskFnId d_store = register_store(driver.rt);
+  driver.rt.execute_index(
+      writer(driver, d_store, driver.fv, ProjectionFunctor::identity(1)));
+  driver.rt.execute_index(
+      writer(driver, d_store, driver.fw, ProjectionFunctor::identity(1)));
+  driver.rt.wait_all();
+
+  auto entries = driver.rt.interference_cache().exportable();
+  ASSERT_EQ(entries.size(), 1u);
+  ASSERT_FALSE(entries[0].second.empty());
+  entries[0].second.back() ^= std::byte{0x01};  // flip one certificate bit
+  const std::vector<std::byte> poisoned =
+      encode_interference_bundle(std::move(entries));
+
+  RuntimeConfig cfg;
+  cfg.interference_import_only = true;
+  Fixture worker(64, 16, cfg);
+  const TaskFnId w_store = register_store(worker.rt);
+  worker.rt.import_interference_bundle(poisoned);
+  worker.rt.pool().pause();
+  worker.rt.execute_index(
+      writer(worker, w_store, worker.fv, ProjectionFunctor::identity(1)));
+  worker.rt.execute_index(
+      writer(worker, w_store, worker.fw, ProjectionFunctor::identity(1)));
+  const RuntimeStats stats = worker.rt.stats();
+  worker.rt.pool().resume();
+  worker.rt.wait_all();
+
+  EXPECT_EQ(stats.interference_skips, 0u);
+  EXPECT_GE(stats.interference_rejected, 1u);
+  EXPECT_EQ(stats.interference_validated, 0u);
+  EXPECT_EQ(stats.dependence_tests, 16u);  // fell back to the walk
+}
+
+// Malformed framing (truncation) refuses the whole bundle instead of
+// importing a prefix.
+TEST(InterferenceRuntimeTest, TruncatedBundleIsRefusedWholesale) {
+  Fixture driver(64, 16);
+  const TaskFnId store = register_store(driver.rt);
+  driver.rt.execute_index(
+      writer(driver, store, driver.fv, ProjectionFunctor::identity(1)));
+  driver.rt.execute_index(
+      writer(driver, store, driver.fw, ProjectionFunctor::identity(1)));
+  driver.rt.wait_all();
+  std::vector<std::byte> bundle = driver.rt.export_interference_bundle();
+  bundle.resize(bundle.size() - 3);
+
+  Fixture worker(64, 16);
+  worker.rt.import_interference_bundle(bundle);
+  EXPECT_EQ(worker.rt.stats().interference_imported, 0u);
+  EXPECT_EQ(worker.rt.interference_cache().size(), 0u);
+}
+
+}  // namespace
+}  // namespace idxl

@@ -421,6 +421,57 @@ TEST(RuntimeTest, TraceReplayDivergenceDetected) {
                RuntimeError);  // diverges from capture
 }
 
+// Regression: a predecessor that had already *completed* by the time a later
+// conflicting task was analyzed used to compact out of the trackers without
+// reporting an edge. During trace capture that edge is load-bearing — on
+// replay both tasks re-execute concurrently, and the missing ordering
+// surfaced as an intermittent data race (ASan flake in
+// DifferentialTest.RegionContentsMatchAcrossConfigs). Capture must keep
+// done-clean uses and record their edges; covers both dependence tiers.
+TEST(RuntimeTest, TraceCaptureKeepsEdgesToCompletedPredecessors) {
+  for (const bool group : {true, false}) {
+    RuntimeConfig cfg;
+    cfg.record_task_graph = true;
+    cfg.enable_group_analysis = group;
+    Fixture fx(16, 4, cfg);
+    const TaskFnId bump = fx.rt.register_task("bump", [](TaskContext& ctx) {
+      auto acc = ctx.region(0).accessor<double>(0);
+      ctx.region(0).domain().for_each(
+          [&](const Point& p) { acc.write(p, acc.read(p) + 1.0); });
+    });
+    const IndexLauncher launcher =
+        IndexLauncher::over(Domain::line(4))
+            .with_task(bump)
+            .region(fx.region, fx.blocks, ProjectionFunctor::identity(1),
+                    {fx.fv}, Privilege::kReadWrite);
+
+    fx.rt.begin_trace(11);
+    fx.rt.execute_index(launcher);
+    // Let the first launch fully retire mid-capture: its tracker uses are
+    // now done-clean — exactly the state that used to vanish edgeless.
+    fx.rt.pool().wait_idle();
+    fx.rt.execute_index(launcher);
+    fx.rt.end_trace(11);
+    fx.rt.wait_all();
+    // Point i of launch 2 (seq 4+i) must order after point i of launch 1
+    // (seq i); cross-color pairs of the disjoint partition stay edge-free.
+    ASSERT_EQ(fx.rt.task_graph_edges().size(), 4u) << "group=" << group;
+    for (const auto& [from, to] : fx.rt.task_graph_edges())
+      EXPECT_EQ(to, from + 4) << "group=" << group;
+
+    // Replay re-executes both launches; the captured edges must come along.
+    fx.rt.begin_trace(11);
+    fx.rt.execute_index(launcher);
+    fx.rt.execute_index(launcher);
+    fx.rt.end_trace(11);
+    fx.rt.wait_all();
+    EXPECT_EQ(fx.rt.stats().traced_tasks_replayed, 8u) << "group=" << group;
+    ASSERT_EQ(fx.rt.task_graph_edges().size(), 8u) << "group=" << group;
+    for (const auto& [from, to] : fx.rt.task_graph_edges())
+      EXPECT_EQ(to, from + 4) << "group=" << group;
+  }
+}
+
 TEST(RuntimeTest, TaskGraphExport) {
   RuntimeConfig cfg;
   cfg.record_task_graph = true;

@@ -373,6 +373,73 @@ TEST(ShardedRuntimeTest, ShardsShareTheVerdictCache) {
   EXPECT_EQ(fx.rt.verdict_cache().size(), 3u);  // three distinct sites
 }
 
+TEST(ShardedRuntimeTest, ShardsShareTheInterferenceCache) {
+  // Two writer launches on disjoint fields of one tree: the certified
+  // kDisjoint pair verdict lets every shard skip the replicated per-point
+  // conflict probe for the second launch. The pair cache is shared, so at
+  // most one shard (per racing miss) pays for the analysis.
+  const int64_t pieces = 4;
+  ShardedConfig cfg;
+  cfg.shards = 2;
+  ShardedFixture fx(cfg, 24, pieces);
+  const TaskFnId store_w = fx.rt.register_task("store_w", [](TaskContext& ctx) {
+    auto acc = ctx.region(0).accessor<double>(1);
+    ctx.region(0).domain().for_each([&](const Point& p) { acc.write(p, 7.0); });
+  });
+  fx.rt.run([&](ShardContext& ctx) {
+    const auto id = ProjectionFunctor::identity(1);
+    IndexLauncher a;
+    a.task = fx.init;
+    a.domain = Domain::line(pieces);
+    a.args = {{fx.grid, fx.blocks, id, {fx.fv}, Privilege::kWrite, ReductionOp::kNone}};
+    ctx.execute_index(a);
+    IndexLauncher b;
+    b.task = store_w;
+    b.domain = Domain::line(pieces);
+    b.args = {{fx.grid, fx.blocks, id, {fx.fw}, Privilege::kWrite, ReductionOp::kNone}};
+    ctx.execute_index(b);
+  });
+
+  // The skip decision is replicated: every shard skipped launch b's probe.
+  for (uint32_t s = 0; s < cfg.shards; ++s)
+    EXPECT_EQ(fx.rt.stats(s).interference_skips, 1u) << "shard " << s;
+  // One pair in the shared cache; one lookup per shard, at most one racing
+  // analysis per shard.
+  const auto c = fx.rt.interference_cache().counters();
+  EXPECT_EQ(c.hits + c.misses, 2u);
+  EXPECT_EQ(fx.rt.interference_cache().size(), 1u);
+  const RuntimeStats agg = fx.rt.stats();
+  EXPECT_GE(agg.interference_pair_tests, 1u);
+  EXPECT_LE(agg.interference_pair_tests, 2u);
+  EXPECT_EQ(agg.interference_skips, 1u);
+
+  auto v = fx.rt.read_region<double>(fx.grid, fx.fv);
+  auto w = fx.rt.read_region<double>(fx.grid, fx.fw);
+  for (int64_t i = 0; i < 24; ++i) {
+    EXPECT_DOUBLE_EQ(v.read(Point::p1(i)), static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(w.read(Point::p1(i)), 7.0);
+  }
+}
+
+TEST(ShardedRuntimeTest, InterferenceKnobOffMatchesResults) {
+  // Same stencil program with and without the inter-launch analysis: the
+  // skip must never change observable results, only the probe counts.
+  const int64_t pieces = 4;
+  std::vector<double> results[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    ShardedConfig cfg;
+    cfg.shards = 2;
+    cfg.enable_interference_analysis = variant == 0;
+    ShardedFixture fx(cfg, 24, pieces);
+    fx.rt.run([&](ShardContext& ctx) { fx.issue_program(ctx, pieces, 3); });
+    results[variant] = fx.values(24);
+    if (variant != 0) {
+      EXPECT_EQ(fx.rt.stats().interference_pair_tests, 0u);
+    }
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
 TEST(ShardedRuntimeTest, RepeatedRunsAreIndependent) {
   const int64_t pieces = 4;
   ShardedConfig cfg;
