@@ -5,6 +5,10 @@
 // Unlike the fig7 binary (which simulates the paper's 512-node sweep), every
 // number here is a measured wall-clock throughput of real multi-process
 // execution, so the series doubles as a regression check on the wire path.
+// Each rank count runs twice — the star-hub baseline (every task outcome
+// broadcast everywhere) and the delta data plane (halo-only transfers over
+// direct worker links) — and the JSON carries both series plus the measured
+// bytes-moved reduction, which CI gates against bench/baselines/dist.json.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -25,12 +29,15 @@ struct Result {
   uint32_t ranks;
   double cells_per_s;
   double max_err;
+  dist::DataPlaneStats stats;
 };
 
-Result run_once(uint32_t ranks, const apps::StencilParams& params, int iters) {
+Result run_once(uint32_t ranks, const apps::StencilParams& params, int iters,
+                bool delta) {
   dist::DistConfig dc;
   dc.ranks = ranks;
   dc.runtime.workers = 2;
+  dc.delta_transfers = delta;
   dist::DistributedRuntime rt(dc);
   auto& forest = rt.forest();
   const IndexSpaceId is =
@@ -82,10 +89,11 @@ Result run_once(uint32_t ranks, const apps::StencilParams& params, int iters) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  Result r{ranks, 0.0, 0.0};
+  Result r{ranks, 0.0, 0.0, {}};
   r.cells_per_s =
       static_cast<double>(params.nx) * static_cast<double>(params.ny) * iters /
       seconds;
+  r.stats = rt.data_plane_stats();
   const std::vector<double> expect =
       apps::StencilApp::reference_output(params, iters);
   auto acc = rt.read_region<double>(grid, fout);
@@ -111,30 +119,63 @@ int main() {
               static_cast<long long>(params.ny),
               static_cast<long long>(params.px),
               static_cast<long long>(params.py), iters);
-  std::printf("%8s %16s %12s\n", "ranks", "cells/s", "max_err");
+  std::printf("%8s %10s %14s %12s %12s %12s %10s\n", "ranks", "plane",
+              "cells/s", "hub_bytes", "relay_bytes", "p2p_bytes", "max_err");
 
   bool ok = true;
-  std::string points = "[";
+  std::string points_hub = "[", points_delta = "[";
+  Result hub4{}, delta4{};
   for (const uint32_t ranks : {1u, 2u, 3u, 4u}) {
-    const Result r = run_once(ranks, params, iters);
-    std::printf("%8u %16.3e %12.3g\n", r.ranks, r.cells_per_s, r.max_err);
-    ok = ok && r.max_err < 1e-12;
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%s[%u, %.6g]",
-                  points.size() > 1 ? "," : "", r.ranks, r.cells_per_s);
-    points += buf;
+    for (const bool delta : {false, true}) {
+      const Result r = run_once(ranks, params, iters, delta);
+      std::printf("%8u %10s %14.3e %12llu %12llu %12llu %10.3g\n", r.ranks,
+                  delta ? "delta+p2p" : "star-hub", r.cells_per_s,
+                  static_cast<unsigned long long>(r.stats.bytes_hub),
+                  static_cast<unsigned long long>(r.stats.bytes_relay),
+                  static_cast<unsigned long long>(r.stats.bytes_p2p),
+                  r.max_err);
+      ok = ok && r.max_err < 1e-12;
+      std::string& points = delta ? points_delta : points_hub;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s[%u, %.6g, %llu]",
+                    points.size() > 1 ? "," : "", r.ranks, r.cells_per_s,
+                    static_cast<unsigned long long>(r.stats.bytes_total()));
+      points += buf;
+      if (ranks == 4) (delta ? delta4 : hub4) = r;
+    }
   }
-  points += ']';
+  points_hub += ']';
+  points_delta += ']';
+
+  // The tentpole number: payload bytes moved at 4 processes, delta+p2p
+  // against the star-hub broadcast of the same program.
+  const double reduction =
+      delta4.stats.bytes_total() > 0
+          ? static_cast<double>(hub4.stats.bytes_total()) /
+                static_cast<double>(delta4.stats.bytes_total())
+          : 0.0;
+  std::printf("bytes moved @4 ranks: star-hub %llu, delta+p2p %llu "
+              "(%.2fx reduction)\n",
+              static_cast<unsigned long long>(hub4.stats.bytes_total()),
+              static_cast<unsigned long long>(delta4.stats.bytes_total()),
+              reduction);
 
   bench::BenchJson payload;
   payload
       .field("description",
              "PRK star stencil on the DistributedRuntime, 1-4 fork-mode "
-             "processes; points are [ranks, cells/s], verified bit-identical "
-             "to the serial reference")
+             "processes; points are [ranks, cells/s, payload_bytes] per data "
+             "plane, verified bit-identical to the serial reference")
       .field("grid", std::to_string(params.nx) + "x" + std::to_string(params.ny))
       .field("iterations", iters)
-      .raw("points", points)
+      .raw("points_star_hub", points_hub)
+      .raw("points_delta_p2p", points_delta)
+      .field("bytes_hub_4ranks", hub4.stats.bytes_total())
+      .field("bytes_delta_4ranks", delta4.stats.bytes_total())
+      .field("bytes_p2p_4ranks", delta4.stats.bytes_p2p)
+      .field("bytes_reduction_4ranks", reduction)
+      .field("cells_per_s_hub_4ranks", hub4.cells_per_s)
+      .field("cells_per_s_delta_4ranks", delta4.cells_per_s)
       .field("verified", ok ? "true" : "false");
   bench::write_bench_json("dist", std::move(payload));
 

@@ -139,22 +139,32 @@ static InterLaunchBench bench_inter_launch(bool analysis, int64_t pieces,
   for (const IndexLauncher& l : launchers) rt.execute_index(l);
   rt.wait_all();
 
-  rt.pool().pause();
-  const RuntimeStats before = rt.stats();
-  timespec t0{}, t1{};
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
-  for (const IndexLauncher& l : launchers) rt.execute_index(l);
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t1);
-  const RuntimeStats after = rt.stats();
-  rt.pool().resume();
-  rt.wait_all();
-
+  // Best-of-N steady-state epochs: one epoch is a few hundred microseconds,
+  // well inside scheduler-noise territory, and the CI gate compares the
+  // on/off epochs as a ratio. Counter deltas come from the fastest epoch
+  // (every steady epoch produces identical counts anyway).
   InterLaunchBench r;
-  r.issue_s = static_cast<double>(t1.tv_sec - t0.tv_sec) +
-              static_cast<double>(t1.tv_nsec - t0.tv_nsec) * 1e-9;
-  r.pair_tests = after.interference_pair_tests;
-  r.steady_tests = after.interference_pair_tests - before.interference_pair_tests;
-  r.skips = after.interference_skips - before.interference_skips;
+  const int epochs = 7;
+  for (int e = 0; e < epochs; ++e) {
+    rt.pool().pause();
+    const RuntimeStats before = rt.stats();
+    timespec t0{}, t1{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
+    for (const IndexLauncher& l : launchers) rt.execute_index(l);
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t1);
+    const RuntimeStats after = rt.stats();
+    rt.pool().resume();
+    rt.wait_all();
+    const double s = static_cast<double>(t1.tv_sec - t0.tv_sec) +
+                     static_cast<double>(t1.tv_nsec - t0.tv_nsec) * 1e-9;
+    if (e == 0 || s < r.issue_s) {
+      r.issue_s = s;
+      r.pair_tests = after.interference_pair_tests;
+      r.steady_tests =
+          after.interference_pair_tests - before.interference_pair_tests;
+      r.skips = after.interference_skips - before.interference_skips;
+    }
+  }
   return r;
 }
 
@@ -199,7 +209,7 @@ static void issue_phase_breakdown() {
   // Inter-launch phase: pair-test counts and walk skips with the analysis
   // on vs off, on the residue-class writer chain (16 launches per epoch).
   const int inter_stride = 16;
-  const int64_t inter_pieces = 64;
+  const int64_t inter_pieces = 512;
   const InterLaunchBench il_on =
       bench_inter_launch(/*analysis=*/true, inter_pieces, inter_stride);
   const InterLaunchBench il_off =

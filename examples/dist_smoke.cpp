@@ -104,6 +104,15 @@ int main(int argc, char** argv) {
     }
     rt.wait_all();
 
+    const dist::DataPlaneStats dp = rt.data_plane_stats();
+    std::printf("dist_smoke: plane=%s bytes hub=%llu relay=%llu p2p=%llu "
+                "transfers=%llu\n",
+                rt.delta_transfers() ? "delta" : "star-hub",
+                static_cast<unsigned long long>(dp.bytes_hub),
+                static_cast<unsigned long long>(dp.bytes_relay),
+                static_cast<unsigned long long>(dp.bytes_p2p),
+                static_cast<unsigned long long>(dp.transfers));
+
     const FaultReport report = rt.fault_report();
     std::printf("dist_smoke: ranks=%u failures=%zu poisoned=%zu\n", rt.ranks(),
                 report.failures.size(), report.poisoned.size());

@@ -127,19 +127,31 @@ CertSide LaunchArgSummary::side() const {
 
 std::optional<std::string> LaunchArgSummary::fingerprint() const {
   if (!functor.is_symbolic()) return std::nullopt;
-  std::string k = "f=";
+  // Built on the issue path (amortized, but still hot for novel shapes):
+  // append in place instead of chaining operator+ temporaries.
+  std::string k;
+  k.reserve(192);
+  k += "f=";
   for (const auto& e : functor.exprs()) {
     k += e->to_string();
-    k += ";";
+    k += ';';
   }
-  k += " d=" + domain_fingerprint(domain);
-  k += " cs=" + color_space.to_string();
-  k += " pd=" + std::to_string(partition_disjoint ? 1 : 0);
-  k += " pu=" + std::to_string(partition_uid);
-  k += " cu=" + std::to_string(collection_uid);
-  k += " fm=" + std::to_string(field_mask);
-  k += " pr=" + std::to_string(static_cast<int>(priv));
-  k += " ro=" + std::to_string(static_cast<int>(redop));
+  k += " d=";
+  k += domain_fingerprint(domain);
+  k += " cs=";
+  k += color_space.to_string();
+  k += " pd=";
+  k += partition_disjoint ? '1' : '0';
+  k += " pu=";
+  k += std::to_string(partition_uid);
+  k += " cu=";
+  k += std::to_string(collection_uid);
+  k += " fm=";
+  k += std::to_string(field_mask);
+  k += " pr=";
+  k += std::to_string(static_cast<int>(priv));
+  k += " ro=";
+  k += std::to_string(static_cast<int>(redop));
   return k;
 }
 
@@ -252,7 +264,15 @@ std::optional<std::string> interference_key(const LaunchArgSummary& a,
 
 std::string make_interference_key(const std::string& fp_a, const std::string& fp_b) {
   // Order-canonical so (a, b) and (b, a) share one entry.
-  return fp_a <= fp_b ? "P|" + fp_a + "||" + fp_b : "P|" + fp_b + "||" + fp_a;
+  const std::string& lo = fp_a <= fp_b ? fp_a : fp_b;
+  const std::string& hi = fp_a <= fp_b ? fp_b : fp_a;
+  std::string k;
+  k.reserve(4 + lo.size() + hi.size());
+  k += "P|";
+  k += lo;
+  k += "||";
+  k += hi;
+  return k;
 }
 
 namespace {
@@ -403,20 +423,43 @@ InterferenceCache::Counters InterferenceCache::counters() const {
   return counters_;
 }
 
+void InterferenceHistory::settle(Tree& th) {
+  if (th.pending.empty()) return;
+  for (Rec& r : th.pending) {
+    if (!r.fp_built) {
+      r.fp = r.summary.fingerprint();
+      r.fp_built = true;
+    }
+    if (r.fp.has_value() && !th.seen.insert(*r.fp).second)
+      continue;  // already recorded
+    th.args.push_back(std::move(r));
+    ++th.epoch;
+  }
+  th.pending.clear();
+}
+
 bool InterferenceHistory::certified_disjoint(uint32_t tree,
                                              const LaunchArgSummary& s,
-                                             const std::optional<std::string>& fp,
+                                             LazyFingerprint& fp,
                                              InterferenceCache& cache,
                                              bool analyze, uint64_t* pair_tests) {
   // No recorded launches on this tree: the walk would traverse empty lists,
   // which costs nothing — don't claim a certificate-backed skip.
   const auto it = trees_.find(tree);
-  if (it == trees_.end() || it->second.args.empty()) return false;
-  for (const Rec& h : it->second.args) {
+  if (it == trees_.end()) return false;
+  Tree& th = it->second;
+  settle(th);
+  if (th.args.empty()) return false;
+  const std::optional<std::string>& sfp = fp.get(s);
+  if (sfp.has_value()) {
+    const auto m = th.memo.find(*sfp);
+    if (m != th.memo.end() && m->second == th.epoch) return true;
+  }
+  for (const Rec& h : th.args) {
     std::optional<PairVerdict> v;
     std::optional<std::string> key;
-    if (h.fp.has_value() && fp.has_value()) {
-      key = make_interference_key(*h.fp, *fp);
+    if (h.fp.has_value() && sfp.has_value()) {
+      key = make_interference_key(*h.fp, *sfp);
       v = cache.lookup(*key, h.summary, s);
     } else {
       cache.note_uncacheable();
@@ -431,14 +474,14 @@ bool InterferenceHistory::certified_disjoint(uint32_t tree,
     }
     if (*v != PairVerdict::kDisjoint) return false;
   }
+  if (sfp.has_value()) th.memo[*sfp] = th.epoch;
   return true;
 }
 
 void InterferenceHistory::record(uint32_t tree, LaunchArgSummary s,
-                                 std::optional<std::string> fp) {
-  Tree& th = trees_[tree];
-  if (fp.has_value() && !th.seen.insert(*fp).second) return;  // already recorded
-  th.args.push_back(Rec{std::move(s), std::move(fp)});
+                                 LazyFingerprint fp) {
+  trees_[tree].pending.push_back(
+      Rec{std::move(s), std::move(fp.value), fp.built});
 }
 
 }  // namespace idxl

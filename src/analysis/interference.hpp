@@ -150,27 +150,56 @@ class InterferenceCache {
   Counters counters_;
 };
 
+/// A summary fingerprint built at most once, on first demand. The issue
+/// path threads one of these per argument through certified_disjoint() and
+/// record() so the (string-heavy) serialization runs only for arguments
+/// that actually face a pair test — and never twice.
+struct LazyFingerprint {
+  std::optional<std::string> value;
+  bool built = false;
+
+  const std::optional<std::string>& get(const LaunchArgSummary& s) {
+    if (!built) {
+      value = s.fingerprint();
+      built = true;
+    }
+    return value;
+  }
+};
+
 /// Per-fence record of every group-path launch argument a runtime issued on
-/// each region tree, with memoized fingerprints — the "other side" of every
-/// pair test the group walk would otherwise run dynamically. Shared by the
-/// local and sharded runtimes; cleared wherever the dependence tiers reset
-/// (the recorded summaries must never outlive the uses they stand for).
-/// Not internally locked: owned by a single issuing thread, like the
-/// dependence trackers themselves.
+/// each region tree — the "other side" of every pair test the group walk
+/// would otherwise run dynamically. Shared by the local and sharded
+/// runtimes; cleared wherever the dependence tiers reset (the recorded
+/// summaries must never outlive the uses they stand for). Not internally
+/// locked: owned by a single issuing thread, like the dependence trackers
+/// themselves.
+///
+/// Bookkeeping is amortized so enabling the analysis never slows a launch
+/// stream that cannot profit from it: record() is an O(1) append (no
+/// fingerprint build, no dedup), settled lazily by the next pair test on
+/// the tree; a per-tree memo keyed by (fingerprint, epoch) answers repeated
+/// identical launches — the steady state of iterative apps — in one hash
+/// lookup instead of a full walk.
 class InterferenceHistory {
  public:
   /// True iff `s` is certified kDisjoint against *every* summary recorded on
   /// `tree` (empty history: false — there is nothing to skip). Verdicts come
   /// from `cache` when fingerprints allow; unresolved pairs run the analyzer
   /// only when `analyze` is set (import-only worker ranks fail closed
-  /// instead), bumping *pair_tests once per fresh analysis.
+  /// instead), bumping *pair_tests once per fresh analysis. The memo is
+  /// sound because verdicts are properties of launch shapes: a fingerprint
+  /// that tested disjoint against every record stays disjoint until a new
+  /// record arrives (which bumps the epoch and invalidates the hit).
   bool certified_disjoint(uint32_t tree, const LaunchArgSummary& s,
-                          const std::optional<std::string>& fp,
-                          InterferenceCache& cache, bool analyze,
-                          uint64_t* pair_tests);
+                          LazyFingerprint& fp, InterferenceCache& cache,
+                          bool analyze, uint64_t* pair_tests);
 
-  /// Record one issued argument (deduplicated by fingerprint).
-  void record(uint32_t tree, LaunchArgSummary s, std::optional<std::string> fp);
+  /// Record one issued argument. Cheap by design: the fingerprint build and
+  /// the dedup it enables are deferred to the next certified_disjoint() on
+  /// this tree. Pass the pair test's LazyFingerprint so a fingerprint built
+  /// there is reused rather than rebuilt.
+  void record(uint32_t tree, LaunchArgSummary s, LazyFingerprint fp = {});
 
   void clear() { trees_.clear(); }
 
@@ -178,11 +207,21 @@ class InterferenceHistory {
   struct Rec {
     LaunchArgSummary summary;
     std::optional<std::string> fp;
+    bool fp_built = false;
   };
   struct Tree {
-    std::vector<Rec> args;
+    std::vector<Rec> args;     ///< settled, fingerprinted, deduplicated
+    std::vector<Rec> pending;  ///< appended by record(), settled lazily
     std::unordered_set<std::string> seen;
+    /// Bumped once per settled insert; memo hits are valid only at the
+    /// epoch they were stored under.
+    uint64_t epoch = 0;
+    /// fingerprint -> epoch at which it was certified against all records.
+    std::unordered_map<std::string, uint64_t> memo;
   };
+  /// Move pending records into args: build missing fingerprints, drop
+  /// duplicates, bump the epoch per fresh insert.
+  void settle(Tree& th);
   std::unordered_map<uint32_t, Tree> trees_;
 };
 

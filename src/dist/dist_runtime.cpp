@@ -28,11 +28,15 @@ DistributedRuntime::DistributedRuntime(DistConfig config)
   IDXL_REQUIRE(config_.workers.empty() ||
                    config_.workers.size() == config_.ranks - 1,
                "DistConfig::workers must list exactly ranks - 1 endpoints");
-  // Pre-register the fill task: Runtime's own lazy "idxl_fill" registration
-  // would assign ids in first-use order, which cannot be replicated.
+  // Pre-register the runtime helper tasks: Runtime's own lazy registration
+  // would assign ids in first-use order, which cannot be replicated. Ids are
+  // positional — fill is 0, the delta transfer task is 1 — on every rank.
   const TaskFn* fill = find_named_task("idxl_dist_fill");
   tasks_.emplace_back("idxl_dist_fill", *fill);
   fill_task_ = 0;
+  const TaskFn* xfer = find_named_task("idxl_xfer");
+  tasks_.emplace_back("idxl_xfer", *xfer);
+  xfer_task_ = 1;
 }
 
 DistributedRuntime::~DistributedRuntime() {
@@ -91,19 +95,45 @@ std::vector<net::Socket> DistributedRuntime::start_fork_workers() {
   std::vector<std::pair<net::Socket, net::Socket>> pairs;
   pairs.reserve(nworkers);
   for (std::size_t i = 0; i < nworkers; ++i) pairs.push_back(net::Socket::pair());
+  // Direct worker<->worker links: one socketpair per worker pair, also all
+  // created up front. Rank a keeps the first end, rank b the second; every
+  // child drops the rows that are not its own, and the driver drops them
+  // all.
+  const bool p2p = delta_ && config_.p2p && nworkers >= 2;
+  struct PeerPair {
+    uint32_t a, b;  // worker ranks, a < b
+    std::pair<net::Socket, net::Socket> socks;
+  };
+  std::vector<PeerPair> peer_pairs;
+  if (p2p)
+    for (uint32_t a = 1; a <= nworkers; ++a)
+      for (uint32_t b = a + 1; b <= nworkers; ++b)
+        peer_pairs.push_back(PeerPair{a, b, net::Socket::pair()});
   for (std::size_t i = 0; i < nworkers; ++i) {
     const pid_t pid = ::fork();
     IDXL_REQUIRE(pid >= 0, "fork failed");
     if (pid == 0) {
       int status = 0;
       {
+        const uint32_t rank = static_cast<uint32_t>(i + 1);
         net::Socket mine = std::move(pairs[i].second);
         pairs.clear();  // closes every other end, parent sides included
+        WorkerDataPlane dp;
+        dp.delta = delta_;
+        dp.p2p = p2p;
+        dp.fail_peer_links = config_.fail_peer_links;
+        dp.xfer_task = xfer_task_;
+        for (PeerPair& pp : peer_pairs) {
+          if (pp.a == rank)
+            dp.peers.emplace_back(pp.b, std::move(pp.socks.first));
+          else if (pp.b == rank)
+            dp.peers.emplace_back(pp.a, std::move(pp.socks.second));
+        }
+        peer_pairs.clear();  // closes every link end that is not this child's
         try {
-          WorkerSession session(std::move(mine), static_cast<uint32_t>(i + 1),
-                                nranks, config_.runtime, forest_, tasks_,
-                                config_.heartbeat_period_ms,
-                                config_.peer_stall_window_ms);
+          WorkerSession session(std::move(mine), rank, nranks, config_.runtime,
+                                forest_, tasks_, config_.heartbeat_period_ms,
+                                config_.peer_stall_window_ms, std::move(dp));
           session.run();
         } catch (const std::exception&) {
           status = 1;
@@ -114,6 +144,7 @@ std::vector<net::Socket> DistributedRuntime::start_fork_workers() {
     children_.push_back(pid);
     pairs[i].second = net::Socket();  // parent drops the child's end
   }
+  peer_pairs.clear();  // the driver holds no peer-link ends
   std::vector<net::Socket> driver_ends;
   driver_ends.reserve(nworkers);
   for (auto& p : pairs) driver_ends.push_back(std::move(p.first));
@@ -142,6 +173,13 @@ void DistributedRuntime::ensure_started() {
   const std::size_t nworkers = config_.ranks - 1;
   peer_errors_.assign(nworkers, "");
   worker_closed_.assign(nworkers, false);
+  worker_net_.assign(nworkers, DataPlaneCounters{});
+
+  // Effective data-plane mode: delta needs at least one worker to talk to
+  // and at most 64 ranks (the coherence map's currency bitmask). The
+  // star-hub baseline has no such limits.
+  delta_ = config_.delta_transfers && nworkers > 0 && config_.ranks <= 64;
+  if (delta_) vmap_ = std::make_unique<VersionMap>(config_.ranks);
 
   const bool exec_mode = !config_.workers.empty();
   std::vector<net::Socket> socks =
@@ -158,11 +196,24 @@ void DistributedRuntime::ensure_started() {
   };
   rc.on_task_success = [this](uint64_t seq, uint64_t, const Point&,
                               TaskContext& ctx) {
+    if (delta_ && ctx.fn == xfer_task_) {
+      send_xfer_data(seq, ctx);
+      return;
+    }
     TaskDone td;
     td.seq = seq;
     td.outcome.ret = ctx.return_value;
-    for (PhysicalRegion& pr : ctx.regions)
-      if (privilege_writes(pr.privilege())) pr.copy_out(td.outcome.region_bytes);
+    if (!delta_ || needs_full_outcome(ctx)) {
+      for (PhysicalRegion& pr : ctx.regions)
+        if (privilege_writes(pr.privilege())) pr.copy_out(td.outcome.region_bytes);
+    } else {
+      // Delta mode: the written data stays on rank 0; the coherence map
+      // routes it on demand.
+      td.outcome.has_data = false;
+    }
+    if (!td.outcome.region_bytes.empty())
+      net_.bytes_hub.fetch_add(td.outcome.region_bytes.size() * conns_.size(),
+                               std::memory_order_relaxed);
     send_task_done(td);
   };
   rc.on_task_fault = [this](const TaskFault& fault) {
@@ -176,6 +227,25 @@ void DistributedRuntime::ensure_started() {
   };
   local_ = std::make_unique<Runtime>(std::move(rc), forest_);
   for (const auto& [name, fn] : tasks_) local_->register_task(name, fn);
+
+  obs::MetricsRegistry& mreg = local_->metrics();
+  m_bytes_hub_ = mreg.counter("idxl_net_data_bytes_total",
+                              "Data-plane payload bytes moved, by kind and route",
+                              {{"kind", "full"}, {"route", "hub"}});
+  m_bytes_relay_ = mreg.counter("idxl_net_data_bytes_total",
+                                "Data-plane payload bytes moved, by kind and route",
+                                {{"kind", "delta"}, {"route", "relay"}});
+  m_bytes_p2p_ = mreg.counter("idxl_net_data_bytes_total",
+                              "Data-plane payload bytes moved, by kind and route",
+                              {{"kind", "delta"}, {"route", "p2p"}});
+  m_transfers_ = mreg.counter("idxl_net_transfers_total",
+                              "kRegionData transfer messages sent, run-wide");
+  m_xfer_size_ = mreg.histogram("idxl_net_transfer_bytes",
+                                "Per-transfer payload bytes (sender side)");
+  m_xfer_latency_ = mreg.histogram(
+      "idxl_net_transfer_latency_ns",
+      "Transfer send-to-apply latency, steady-clock ns (receiver side)");
+
   if (nworkers == 0) return;
 
   net::NetObs obs;
@@ -198,6 +268,8 @@ void DistributedRuntime::ensure_started() {
       h.workers = config_.runtime.workers;
       h.heartbeat_period_ms = config_.heartbeat_period_ms;
       h.peer_stall_window_ms = config_.peer_stall_window_ms;
+      h.delta_transfers = delta_ ? 1 : 0;
+      h.p2p = 0;  // exec daemons have no route to each other
       h.fault_plan = fault_plan_spec();
       conns_[i]->send(static_cast<uint8_t>(Msg::kHello), encode_hello(h));
       conns_[i]->send(static_cast<uint8_t>(Msg::kSetup), setup);
@@ -250,6 +322,128 @@ void DistributedRuntime::send_task_done(const TaskDone& done) {
   broadcast(Msg::kTaskDone, encode_task_done(done));
 }
 
+// --- delta data plane (driver side) ----------------------------------------
+
+void DistributedRuntime::issue_transfer(const Transfer& t, uint32_t dest) {
+  Route r;
+  r.src = t.src;
+  r.dest = dest;
+  r.producer = t.producer;
+  r.field = t.field;
+  r.version = t.version;
+  r.rect = t.rect;
+  // Directive first, on every connection, then the identical local issue:
+  // all ranks observe the transfer at the same place in the launch stream.
+  broadcast(Msg::kRoute, encode_route(r));
+  local_->execute(make_xfer_launcher(xfer_task_, r, config_.ranks));
+}
+
+void DistributedRuntime::plan_point_task(const Domain& domain, const Point& p,
+                                         const std::vector<RegionArg>& args) {
+  const uint32_t owner = owner_of(domain, p, config_.ranks);
+  // Reads first: every transfer the consumer depends on must enter the
+  // stream (kRoute + replicated issue) before the consumer itself.
+  std::vector<Transfer> transfers;
+  for (const RegionArg& ra : args) {
+    if (ra.privilege == Privilege::kWrite) continue;  // no read half
+    const RegionInfo& info = forest_->region(ra.region);
+    const Rect bounds = forest_->region_domain(ra.region).bounds();
+    for (FieldId f : ra.fields) {
+      transfers.clear();
+      vmap_->plan_read(info.root, f, bounds, owner, transfers);
+      for (const Transfer& t : transfers) issue_transfer(t, owner);
+    }
+  }
+  // Writes. A sparse write footprint makes the owner broadcast the whole
+  // task outcome (needs_full_outcome) — mirror that here, or the map would
+  // claim data that never shipped.
+  bool full = false;
+  for (const RegionArg& ra : args)
+    if (privilege_writes(ra.privilege) &&
+        !forest_->region_domain(ra.region).dense())
+      full = true;
+  for (const RegionArg& ra : args) {
+    if (!privilege_writes(ra.privilege)) continue;
+    const RegionInfo& info = forest_->region(ra.region);
+    const Domain& dom = forest_->region_domain(ra.region);
+    for (FieldId f : ra.fields) {
+      if (!full) {
+        vmap_->note_write(info.root, f, dom.bounds(), owner, ra.region);
+      } else if (dom.dense()) {
+        vmap_->note_write_everywhere(info.root, f, dom.bounds(), owner,
+                                     ra.region);
+      } else {
+        // A sparse footprint's bounding box would erase records of newer
+        // data the task never touched — record the exact points instead.
+        dom.for_each([&](const Point& q) {
+          vmap_->note_write_everywhere(info.root, f, Rect(q, q), owner,
+                                       ra.region);
+        });
+      }
+    }
+  }
+}
+
+void DistributedRuntime::plan_index_launch(const IndexLauncher& launcher) {
+  // Planning runs before the launch is broadcast, so any subregion the plan
+  // is first to touch gets its RegionId here, on the driver only. Force the
+  // same argument-major table order Runtime::execute_index uses, or the
+  // lazily-assigned ids diverge from the workers' and the RegionIds shipped
+  // in kRoute directives resolve to the wrong subregion remotely.
+  for (const ProjectedArg& pa : launcher.args)
+    forest_->subregion_table(pa.parent, pa.partition);
+  launcher.domain.for_each([&](const Point& p) {
+    std::vector<RegionArg> args;
+    args.reserve(launcher.args.size());
+    for (const ProjectedArg& pa : launcher.args)
+      args.push_back(RegionArg{
+          forest_->subregion(pa.parent, pa.partition, pa.functor(p)),
+          pa.fields, pa.privilege, pa.redop});
+    plan_point_task(launcher.domain, p, args);
+  });
+}
+
+void DistributedRuntime::send_xfer_data(uint64_t seq, TaskContext& ctx) {
+  const XferArgs xa = ctx.arg<XferArgs>();
+  IDXL_REQUIRE(xa.dest >= 1 && xa.dest <= conns_.size(),
+               "driver transfer task routed to an invalid destination");
+  RegionData rd;
+  rd.seq = seq;
+  rd.dest = xa.dest;
+  rd.sent_ns = steady_now_ns();
+  RegionPatch patch;
+  patch.arg = 0;
+  patch.field = xa.field;
+  patch.rect = xa.rect;
+  ctx.region(0).copy_out_rect(xa.field, xa.rect, patch.bytes);
+  const uint64_t nbytes = patch.bytes.size();
+  rd.patches.push_back(std::move(patch));
+  try {
+    conns_[xa.dest - 1]->send(static_cast<uint8_t>(Msg::kRegionData),
+                              encode_region_data(rd));
+    net_.bytes_relay.fetch_add(nbytes, std::memory_order_relaxed);
+    net_.transfers.fetch_add(1, std::memory_order_relaxed);
+    m_xfer_size_.observe(nbytes);
+  } catch (const std::exception&) {
+    // Dead peer; fence() reports the loss.
+  }
+  // Slim completion for every rank except the destination, whose copy of
+  // this outcome is the kRegionData payload above (FIFO on its connection).
+  TaskDone td;
+  td.seq = seq;
+  td.data_dest = xa.dest;
+  td.outcome.ret = ctx.return_value;
+  td.outcome.has_data = false;
+  const std::vector<std::byte> payload = encode_task_done(td);
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (i + 1 == xa.dest) continue;
+    try {
+      conns_[i]->send(static_cast<uint8_t>(Msg::kTaskDone), payload);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
 void DistributedRuntime::on_worker_frame(std::size_t worker, net::Frame& frame) {
   switch (static_cast<Msg>(frame.type)) {
     case Msg::kHelloAck: {
@@ -263,23 +457,77 @@ void DistributedRuntime::on_worker_frame(std::size_t worker, net::Frame& frame) 
     case Msg::kTaskDone: {
       // Star topology: relay the owner's outcome to the other workers
       // *before* completing locally, so on every per-connection FIFO all
-      // outcomes a fence depends on precede the fence frame itself.
+      // outcomes a fence depends on precede the fence frame itself. The
+      // rank named by data_dest is excluded — its copy of the outcome is a
+      // kRegionData payload travelling a direct link or the relay below.
+      TaskDone td = decode_task_done(frame.payload);
+      const std::size_t skip =
+          (td.data_dest != TaskDone::kNoDest && td.data_dest != 0)
+              ? static_cast<std::size_t>(td.data_dest - 1)
+              : SIZE_MAX;
+      std::size_t relays = 0;
       for (std::size_t i = 0; i < conns_.size(); ++i) {
-        if (i == worker) continue;
+        if (i == worker || i == skip) continue;
         try {
           conns_[i]->send(frame.type, frame.payload);
+          ++relays;
         } catch (const std::exception&) {
         }
       }
-      TaskDone td = decode_task_done(frame.payload);
+      if (!td.outcome.region_bytes.empty())
+        net_.bytes_hub.fetch_add(td.outcome.region_bytes.size() * relays,
+                                 std::memory_order_relaxed);
+      // data_dest == 0: the driver itself was the destination; adopt the
+      // patches stashed by the kRegionData frame that preceded this one on
+      // the same FIFO. Completing here — not at kRegionData time — keeps
+      // the driver's wait_all() blocked until this handler ran, so the
+      // relays above are on every connection before any fence frame. (If
+      // wait_all() could pass on the kRegionData alone, a fence could
+      // overtake this relay and strand the other workers' externals behind
+      // their own fence handler.)
+      if (td.data_dest == 0) {
+        std::lock_guard<std::mutex> lock(xdata_mu_);
+        auto it = driver_patches_.find(td.seq);
+        IDXL_REQUIRE(it != driver_patches_.end(),
+                     "transfer outcome arrived without its data payload");
+        td.outcome.patches = std::move(it->second);
+        driver_patches_.erase(it);
+      }
       local_->complete_external(td.seq, std::move(td.outcome));
+      break;
+    }
+    case Msg::kRegionData: {
+      RegionData rd = decode_region_data(frame.payload);
+      if (rd.dest == 0) {
+        // Terminates here — but the node completes at the sender's slim
+        // kTaskDone, the next frame on this FIFO (see there for why). Only
+        // stash the payload.
+        const uint64_t now = steady_now_ns();
+        if (rd.sent_ns != 0 && now >= rd.sent_ns)
+          m_xfer_latency_.observe(now - rd.sent_ns);
+        std::lock_guard<std::mutex> lock(xdata_mu_);
+        driver_patches_[rd.seq] = std::move(rd.patches);
+        break;
+      }
+      // Relay leg of the fallback ladder: forward verbatim to the
+      // destination. The second wire hop is counted — route labels measure
+      // bytes on wires, not logical transfers.
+      IDXL_REQUIRE(rd.dest <= conns_.size(),
+                   "region-data frame routed to an invalid destination");
+      uint64_t nbytes = 0;
+      for (const RegionPatch& p : rd.patches) nbytes += p.bytes.size();
+      try {
+        conns_[rd.dest - 1]->send(frame.type, frame.payload);
+        net_.bytes_relay.fetch_add(nbytes, std::memory_order_relaxed);
+      } catch (const std::exception&) {
+      }
       break;
     }
     case Msg::kFenceAck: {
       FenceAck ack = decode_fence_ack(frame.payload);
       {
         std::lock_guard<std::mutex> lock(fence_mu_);
-        fence_acks_[ack.fence].emplace(worker, std::move(ack.report));
+        fence_acks_[ack.fence].emplace(worker, std::move(ack));
       }
       fence_cv_.notify_all();
       break;
@@ -319,6 +567,25 @@ void DistributedRuntime::on_worker_close(std::size_t worker,
   fence_cv_.notify_all();
 }
 
+void DistributedRuntime::publish_net_metrics_locked() {
+  DataPlaneStats t;
+  t.bytes_hub = net_.bytes_hub.load(std::memory_order_relaxed);
+  t.bytes_relay = net_.bytes_relay.load(std::memory_order_relaxed);
+  t.bytes_p2p = net_.bytes_p2p.load(std::memory_order_relaxed);
+  t.transfers = net_.transfers.load(std::memory_order_relaxed);
+  for (const DataPlaneCounters& w : worker_net_) {
+    t.bytes_hub += w.bytes_hub;
+    t.bytes_relay += w.bytes_relay;
+    t.bytes_p2p += w.bytes_p2p;
+    t.transfers += w.transfers;
+  }
+  m_bytes_hub_.inc(t.bytes_hub - metrics_emitted_.bytes_hub);
+  m_bytes_relay_.inc(t.bytes_relay - metrics_emitted_.bytes_relay);
+  m_bytes_p2p_.inc(t.bytes_p2p - metrics_emitted_.bytes_p2p);
+  m_transfers_.inc(t.transfers - metrics_emitted_.transfers);
+  metrics_emitted_ = t;
+}
+
 bool DistributedRuntime::fence(bool nothrow) {
   local_->wait_all();
   const std::size_t nworkers = conns_.size();
@@ -329,7 +596,7 @@ bool DistributedRuntime::fence(bool nothrow) {
     id = ++next_fence_;
   }
   broadcast(Msg::kFence, encode_fence(id));
-  std::map<std::size_t, FaultReport> acks;
+  std::map<std::size_t, FenceAck> acks;
   std::string problem;
   {
     std::unique_lock<std::mutex> lk(fence_mu_);
@@ -343,6 +610,10 @@ bool DistributedRuntime::fence(bool nothrow) {
     });
     acks = std::move(fence_acks_[id]);
     fence_acks_.erase(id);
+    // Fold each worker's cumulative data-plane counters in, then publish
+    // run-wide totals to the idxl_net_* series.
+    for (const auto& [worker, ack] : acks) worker_net_[worker] = ack.net;
+    publish_net_metrics_locked();
     for (std::size_t i = 0; i < nworkers; ++i) {
       if (acks.count(i) != 0) continue;
       problem = "worker rank " + std::to_string(i + 1) +
@@ -354,8 +625,8 @@ bool DistributedRuntime::fence(bool nothrow) {
   }
   if (problem.empty() && config_.verify_reports) {
     const FaultReport mine = local_->fault_report();
-    for (const auto& [worker, report] : acks) {
-      if (reports_equal(mine, report)) continue;
+    for (const auto& [worker, ack] : acks) {
+      if (reports_equal(mine, ack.report)) continue;
       problem = "fault-report divergence at fence " + std::to_string(id) +
                 ": rank " + std::to_string(worker + 1) + " disagrees with "
                 "rank 0 (control replication bug — reports must be "
@@ -373,7 +644,12 @@ LaunchResult DistributedRuntime::execute(const TaskLauncher& launcher) {
   if (!conns_.empty()) {
     // Serialize first: an unserializable launcher must throw before any
     // rank sees the frame, or the replicated streams diverge.
-    broadcast(Msg::kSingle, serialize_task_launcher(launcher));
+    const std::vector<std::byte> bytes = serialize_task_launcher(launcher);
+    // Plan before the consumer's frame goes out: its kRoute directives must
+    // precede it on every connection so all replicated streams agree.
+    if (delta_ && !launcher.internal)
+      plan_point_task(launcher.launch_domain, launcher.point, launcher.args);
+    broadcast(Msg::kSingle, bytes);
   }
   return local_->execute(launcher);
 }
@@ -384,6 +660,7 @@ LaunchResult DistributedRuntime::execute_index(const IndexLauncher& launcher) {
   // Validate serializability before any rank (rank 0 included) observes the
   // launch: a throw here must leave every replicated stream untouched.
   (void)serialize_launcher(launcher);
+  if (delta_) plan_index_launch(launcher);
   // Issue on the driver first — rank 0's analysis populates the certificate
   // cache with this launch's pair verdicts — then ship the cache as a bundle
   // on the descriptor, so import-only workers validate the certificates
@@ -400,6 +677,45 @@ LaunchResult DistributedRuntime::execute_index(const IndexLauncher& launcher) {
 void DistributedRuntime::wait_all() {
   if (!started_) return;
   fence(/*nothrow=*/false);
+}
+
+void DistributedRuntime::sync_for_read() {
+  if (started_ && delta_ && local_ != nullptr && !conns_.empty()) {
+    // Recall: route every span some worker produced back to rank 0 so a
+    // direct read of the forest sees current data. Spans already current
+    // here ship nothing.
+    for (uint32_t i = 0; i < forest_->region_count(); ++i) {
+      const RegionId r{i};
+      const RegionInfo& info = forest_->region(r);
+      if (info.root != info.handle) continue;
+      const Rect bounds = forest_->storage_bounds(r);
+      std::vector<Transfer> transfers;
+      for (const FieldInfo& fi : forest_->fields(info.fspace)) {
+        transfers.clear();
+        vmap_->plan_read(r, fi.id, bounds, /*dest=*/0, transfers);
+        for (const Transfer& t : transfers) issue_transfer(t, /*dest=*/0);
+      }
+    }
+  }
+  wait_all();
+}
+
+DataPlaneStats DistributedRuntime::data_plane_stats() {
+  // A fence pulls every worker's current counters in via its ack.
+  if (started_ && local_ != nullptr && !conns_.empty()) fence(/*nothrow=*/true);
+  std::lock_guard<std::mutex> lock(fence_mu_);
+  DataPlaneStats t;
+  t.bytes_hub = net_.bytes_hub.load(std::memory_order_relaxed);
+  t.bytes_relay = net_.bytes_relay.load(std::memory_order_relaxed);
+  t.bytes_p2p = net_.bytes_p2p.load(std::memory_order_relaxed);
+  t.transfers = net_.transfers.load(std::memory_order_relaxed);
+  for (const DataPlaneCounters& w : worker_net_) {
+    t.bytes_hub += w.bytes_hub;
+    t.bytes_relay += w.bytes_relay;
+    t.bytes_p2p += w.bytes_p2p;
+    t.transfers += w.transfers;
+  }
+  return t;
 }
 
 FaultReport DistributedRuntime::fault_report() const {

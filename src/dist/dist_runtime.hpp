@@ -1,14 +1,17 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/connection.hpp"
 #include "dist/protocol.hpp"
+#include "dist/version_map.hpp"
 #include "runtime/runtime.hpp"
 
 namespace idxl::dist {
@@ -40,6 +43,32 @@ struct DistConfig {
   /// Cross-check every rank's FaultReport at each fence; a divergence (a
   /// replication bug) throws RuntimeError.
   bool verify_reports = true;
+  /// Delta data plane (docs/DISTRIBUTED.md "Data plane"): the driver tracks
+  /// which version of each (region, field, sub-rectangle) every rank holds
+  /// and ships only stale spans to the rank that actually reads them. Off =
+  /// the star-hub baseline: every task outcome carries its full written
+  /// bytes to every rank. Auto-disabled beyond 64 ranks (the currency
+  /// bitmask) — the star-hub path has no such limit.
+  bool delta_transfers = true;
+  /// Direct worker↔worker links for delta payloads (fork mode only: exec
+  /// daemons have no route to each other and always relay via the driver).
+  bool p2p = true;
+  /// Test hook: bring the peer links up, then sever them before first use,
+  /// so delta payload sends genuinely fail over to the driver relay.
+  bool fail_peer_links = false;
+};
+
+/// Aggregated data-plane accounting across the whole run: the driver's own
+/// sends plus every worker's counters (piggybacked on fence acks, so direct
+/// worker↔worker bytes the driver never sees are still counted).
+struct DataPlaneStats {
+  uint64_t bytes_hub = 0;    ///< full-block outcome payload bytes
+  uint64_t bytes_relay = 0;  ///< delta patch bytes moved via the driver
+  uint64_t bytes_p2p = 0;    ///< delta patch bytes on direct worker links
+  uint64_t transfers = 0;    ///< kRegionData messages sent
+
+  uint64_t bytes_delta() const { return bytes_relay + bytes_p2p; }
+  uint64_t bytes_total() const { return bytes_hub + bytes_relay + bytes_p2p; }
 };
 
 /// Multi-process runtime: dynamic control replication over real OS
@@ -67,12 +96,20 @@ class DistributedRuntime : public RuntimeApi {
   FaultReport fault_report() const override;
   RuntimeStats stats() const override;
   obs::MetricsRegistry& metrics() override;
-  void sync_for_read() override { wait_all(); }
+  /// Recall before a direct read: in delta mode most root data lives only on
+  /// the rank that produced it — plan transfers bringing every stale span
+  /// back to rank 0, then fence.
+  void sync_for_read() override;
   void fill_bytes_region(RegionId r, FieldId f, const void* pattern,
                          std::size_t size) override;
 
   uint32_t ranks() const { return config_.ranks; }
   bool started() const { return started_; }
+  /// Effective data-plane mode (delta can be auto-disabled; see DistConfig).
+  bool delta_transfers() const { return delta_; }
+
+  /// Fence, then return run-wide data-plane byte counters (bench/CI gate).
+  DataPlaneStats data_plane_stats();
 
   /// The driver's local runtime (tests: counters, flight recorder).
   /// Valid only after the first launch.
@@ -97,22 +134,60 @@ class DistributedRuntime : public RuntimeApi {
   std::string fault_plan_spec() const;
   std::size_t closed_count_locked() const;
 
+  // --- delta data plane (driver side) ---
+  /// Update the coherence map for one point task about to be issued: plan
+  /// the transfers its reads need (broadcasting kRoute + issuing the local
+  /// transfer task for each) and record its writes.
+  void plan_point_task(const Domain& domain, const Point& p,
+                       const std::vector<RegionArg>& args);
+  void plan_index_launch(const IndexLauncher& launcher);
+  void issue_transfer(const Transfer& t, uint32_t dest);
+  /// on_task_success arm for the driver-owned transfer task: extract the
+  /// rect, ship it to the destination, announce a slim outcome.
+  void send_xfer_data(uint64_t seq, TaskContext& ctx);
+  /// Fold current totals into the idxl_net_* metric series (fence_mu_ held).
+  void publish_net_metrics_locked();
+
   DistConfig config_;
   std::shared_ptr<RegionForest> forest_;
   std::vector<std::pair<std::string, TaskFn>> tasks_;
   TaskFnId fill_task_ = UINT32_MAX;
+  TaskFnId xfer_task_ = UINT32_MAX;
 
   bool started_ = false;
+  bool delta_ = false;  ///< effective mode, fixed at ensure_started()
   std::unique_ptr<Runtime> local_;
   std::vector<std::unique_ptr<net::Connection>> conns_;  // worker rank r -> [r-1]
   std::unique_ptr<net::PeerMonitor> monitor_;
   std::vector<pid_t> children_;
 
+  /// Driver-only coherence map; every plan_* call runs on the issuing
+  /// thread, so the map needs no lock.
+  std::unique_ptr<VersionMap> vmap_;
+  /// The driver's own data-plane sends (task workers + recv threads write).
+  struct NetCells {
+    std::atomic<uint64_t> bytes_hub{0};
+    std::atomic<uint64_t> bytes_relay{0};
+    std::atomic<uint64_t> bytes_p2p{0};
+    std::atomic<uint64_t> transfers{0};
+  } net_;
+  obs::Counter m_bytes_hub_, m_bytes_relay_, m_bytes_p2p_, m_transfers_;
+  obs::Histogram m_xfer_size_, m_xfer_latency_;
+
+  /// Driver-bound transfer payloads (kRegionData, dest 0) parked until the
+  /// sender's slim kTaskDone completes the node (see on_worker_frame).
+  std::mutex xdata_mu_;
+  std::unordered_map<uint64_t, std::vector<RegionPatch>> driver_patches_;
+
   std::mutex fence_mu_;
   std::condition_variable fence_cv_;
   uint64_t next_fence_ = 0;
-  /// fence id -> reports received (worker index -> report)
-  std::map<uint64_t, std::map<std::size_t, FaultReport>> fence_acks_;
+  /// fence id -> acks received (worker index -> ack)
+  std::map<uint64_t, std::map<std::size_t, FenceAck>> fence_acks_;
+  /// Latest cumulative per-worker counters (fence_mu_).
+  std::vector<DataPlaneCounters> worker_net_;
+  /// Totals already folded into the metric counters (fence_mu_).
+  DataPlaneStats metrics_emitted_;
   std::vector<std::string> peer_errors_;  // non-empty entry = worker trouble
   std::vector<bool> worker_closed_;       // recv loop ended (clean or not)
   std::size_t hello_acks_ = 0;

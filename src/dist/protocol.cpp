@@ -1,8 +1,17 @@
 #include "dist/protocol.hpp"
 
+#include <chrono>
+
 #include "support/error.hpp"
 
 namespace idxl::dist {
+
+uint64_t steady_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 const char* msg_name(uint8_t type) {
   switch (static_cast<Msg>(type)) {
@@ -17,6 +26,8 @@ const char* msg_name(uint8_t type) {
     case Msg::kShutdown: return "shutdown";
     case Msg::kBye: return "bye";
     case Msg::kPing: return "ping";
+    case Msg::kRoute: return "route";
+    case Msg::kRegionData: return "region-data";
   }
   return "unknown";
 }
@@ -29,6 +40,8 @@ std::vector<std::byte> encode_hello(const Hello& h) {
   s.put_u32(h.workers);
   s.put_u32(h.heartbeat_period_ms);
   s.put_u32(h.peer_stall_window_ms);
+  s.put_u8(h.delta_transfers);
+  s.put_u8(h.p2p);
   s.put_string(h.fault_plan);
   return s.take();
 }
@@ -42,6 +55,8 @@ Hello decode_hello(const std::vector<std::byte>& bytes) {
   h.workers = d.get_u32();
   h.heartbeat_period_ms = d.get_u32();
   h.peer_stall_window_ms = d.get_u32();
+  h.delta_transfers = d.get_u8();
+  h.p2p = d.get_u8();
   h.fault_plan = d.get_string();
   return h;
 }
@@ -130,11 +145,13 @@ std::vector<std::byte> encode_task_done(const TaskDone& t) {
   Serializer s;
   s.put_header();
   s.put_u64(t.seq);
+  s.put_u32(t.data_dest);
   s.put_u8(static_cast<uint8_t>(t.outcome.kind));
   s.put_u64(t.outcome.root);
   s.put_u32(t.outcome.attempts);
   s.put_string(t.outcome.message);
   s.put_f64(t.outcome.ret);
+  s.put_u8(t.outcome.has_data ? 1 : 0);
   s.put_blob(t.outcome.region_bytes);
   return s.take();
 }
@@ -144,14 +161,94 @@ TaskDone decode_task_done(const std::vector<std::byte>& bytes) {
   d.check_header("task-done message");
   TaskDone t;
   t.seq = d.get_u64();
+  t.data_dest = d.get_u32();
   t.outcome.kind = static_cast<FaultKind>(d.get_u8());
   t.outcome.root = d.get_u64();
   t.outcome.attempts = d.get_u32();
   t.outcome.message = d.get_string();
   t.outcome.ret = d.get_f64();
+  t.outcome.has_data = d.get_u8() != 0;
   t.outcome.region_bytes = d.get_blob();
   IDXL_REQUIRE(d.done(), "trailing bytes after task-done message");
   return t;
+}
+
+std::vector<std::byte> encode_route(const Route& r) {
+  Serializer s;
+  s.put_header();
+  s.put_u32(r.src);
+  s.put_u32(r.dest);
+  s.put_u32(r.producer.id);
+  s.put_u32(r.field);
+  s.put_u64(r.version);
+  put_rect(s, r.rect);
+  return s.take();
+}
+
+Route decode_route(const std::vector<std::byte>& bytes) {
+  Deserializer d(bytes);
+  d.check_header("route message");
+  Route r;
+  r.src = d.get_u32();
+  r.dest = d.get_u32();
+  r.producer.id = d.get_u32();
+  r.field = d.get_u32();
+  r.version = d.get_u64();
+  r.rect = get_rect(d);
+  IDXL_REQUIRE(d.done(), "trailing bytes after route message");
+  return r;
+}
+
+TaskLauncher make_xfer_launcher(TaskFnId task, const Route& r, uint32_t nranks) {
+  XferArgs args;
+  args.field = r.field;
+  args.dest = r.dest;
+  args.version = r.version;
+  args.rect = r.rect;
+  // owner_of(line(n), p1(src), n) == src: the launch-domain trick that pins
+  // the no-op body (and its on_task_success data push) to the source rank.
+  return TaskLauncher::for_task(task)
+      .region(r.producer, {r.field}, Privilege::kReadWrite)
+      .scalars(ArgBuffer::of(args))
+      .at(Point::p1(r.src), Domain::line(static_cast<int64_t>(nranks)))
+      .as_internal();
+}
+
+std::vector<std::byte> encode_region_data(const RegionData& r) {
+  Serializer s;
+  s.put_header();
+  s.put_u64(r.seq);
+  s.put_u32(r.dest);
+  s.put_u64(r.sent_ns);
+  s.put_u32(static_cast<uint32_t>(r.patches.size()));
+  for (const RegionPatch& p : r.patches) {
+    s.put_u32(p.arg);
+    s.put_u32(p.field);
+    put_rect(s, p.rect);
+    s.put_blob(p.bytes);
+  }
+  return s.take();
+}
+
+RegionData decode_region_data(const std::vector<std::byte>& bytes) {
+  Deserializer d(bytes);
+  d.check_header("region-data message");
+  RegionData r;
+  r.seq = d.get_u64();
+  r.dest = d.get_u32();
+  r.sent_ns = d.get_u64();
+  const uint32_t n = d.get_u32();
+  r.patches.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    RegionPatch p;
+    p.arg = d.get_u32();
+    p.field = d.get_u32();
+    p.rect = get_rect(d);
+    p.bytes = d.get_blob();
+    r.patches.push_back(std::move(p));
+  }
+  IDXL_REQUIRE(d.done(), "trailing bytes after region-data message");
+  return r;
 }
 
 std::vector<std::byte> encode_fence(uint64_t fence) {
@@ -172,6 +269,10 @@ std::vector<std::byte> encode_fence_ack(const FenceAck& a) {
   s.put_header();
   s.put_u64(a.fence);
   s.put_blob(serialize_fault_report(a.report));
+  s.put_u64(a.net.bytes_hub);
+  s.put_u64(a.net.bytes_relay);
+  s.put_u64(a.net.bytes_p2p);
+  s.put_u64(a.net.transfers);
   return s.take();
 }
 
@@ -181,6 +282,10 @@ FenceAck decode_fence_ack(const std::vector<std::byte>& bytes) {
   FenceAck a;
   a.fence = d.get_u64();
   a.report = deserialize_fault_report(d.get_blob());
+  a.net.bytes_hub = d.get_u64();
+  a.net.bytes_relay = d.get_u64();
+  a.net.bytes_p2p = d.get_u64();
+  a.net.transfers = d.get_u64();
   IDXL_REQUIRE(d.done(), "trailing bytes after fence-ack message");
   return a;
 }

@@ -6,10 +6,25 @@
 
 #include "region/region_forest.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/physical.hpp"
 #include "runtime/serialize.hpp"
 #include "runtime/task_graph.hpp"
 
 namespace idxl::dist {
+
+/// Steady-clock nanoseconds; stamps RegionData::sent_ns (same-host latency).
+uint64_t steady_now_ns();
+
+/// Delta mode ships written bytes only for footprints the driver can mirror
+/// in its coherence map: dense write domains. Any sparse write domain makes
+/// the whole task fall back to a full-block broadcast outcome. This must
+/// compute identically on the owning rank (from the mapped regions) and on
+/// the driver's planner (from the forest), or currency tracking diverges.
+inline bool needs_full_outcome(const TaskContext& ctx) {
+  for (const PhysicalRegion& pr : ctx.regions)
+    if (privilege_writes(pr.privilege()) && !pr.domain().dense()) return true;
+  return false;
+}
 
 /// Protocol messages of the distributed runtime, carried as the `type` byte
 /// of a net frame (src/net/frame.hpp). Control replication keeps the
@@ -27,6 +42,8 @@ enum class Msg : uint8_t {
   kShutdown,    ///< driver -> worker: drain and exit
   kBye,         ///< worker -> driver: teardown complete
   kPing,        ///< heartbeat, either direction; ignored beyond liveness
+  kRoute,       ///< driver -> worker: delta-transfer directive (v3)
+  kRegionData,  ///< src rank -> dest rank, direct or driver-relayed (v3)
 };
 
 /// Metric-label name per message type (NetObs::type_name).
@@ -40,6 +57,8 @@ struct Hello {
   uint32_t workers = 0;           ///< local thread-pool width per process
   uint32_t heartbeat_period_ms = 1000;
   uint32_t peer_stall_window_ms = 10000;
+  uint8_t delta_transfers = 1;    ///< 0 = star-hub full-block baseline
+  uint8_t p2p = 0;                ///< direct worker links available (fork mode)
   std::string fault_plan;         ///< FaultPlan::to_string spec; "" = none
 };
 std::vector<std::byte> encode_hello(const Hello& h);
@@ -64,19 +83,79 @@ std::vector<std::byte> encode_setup(const Setup& s);
 Setup decode_setup(const std::vector<std::byte>& bytes);
 
 /// Terminal outcome of one owned task, broadcast so every other rank can
-/// complete its external placeholder node. Success carries the return value
-/// and the written-region bytes (copy_out order); faults carry the fault
-/// fields and no bytes.
+/// complete its external placeholder node. In star-hub mode success carries
+/// the full written-region bytes (copy_out order); in delta mode most
+/// outcomes are slim (has_data = false) and the bytes travel separately as
+/// kRegionData to the one rank that needs them (`data_dest`). Faults carry
+/// the fault fields and no bytes.
 struct TaskDone {
+  /// data_dest value meaning "no separate data message for this outcome".
+  static constexpr uint32_t kNoDest = UINT32_MAX;
+
   uint64_t seq = 0;
+  /// Rank receiving this task's bytes via kRegionData (transfer tasks
+  /// only); the driver excludes it from the TaskDone relay.
+  uint32_t data_dest = kNoDest;
   RemoteOutcome outcome;
 };
 std::vector<std::byte> encode_task_done(const TaskDone& t);
 TaskDone decode_task_done(const std::vector<std::byte>& bytes);
 
+/// Scalar argument of the replicated no-op transfer task ("idxl_xfer").
+/// Must stay trivially copyable: it ships inside the launcher's ArgBuffer.
+struct XferArgs {
+  FieldId field = 0;
+  uint32_t dest = 0;
+  uint64_t version = 0;
+  Rect rect;
+};
+
+/// Routing directive (wire v3): every rank must issue the same replicated
+/// transfer task, pinned to `src`, pushing `rect` x `field` of the root
+/// behind `producer` to `dest`. Payload-free — the bytes move as
+/// kRegionData from src directly (or via driver relay on peer-link loss).
+struct Route {
+  uint32_t src = 0;
+  uint32_t dest = 0;
+  RegionId producer;  ///< subregion argument of the transfer task
+  FieldId field = 0;
+  uint64_t version = 0;
+  Rect rect;
+};
+std::vector<std::byte> encode_route(const Route& r);
+Route decode_route(const std::vector<std::byte>& bytes);
+
+/// The launcher every rank builds from a Route — identical by construction,
+/// so seq numbers and launch ids stay replicated. `.at(p1(src), line(n))`
+/// pins execution to rank src under owner_of.
+TaskLauncher make_xfer_launcher(TaskFnId task, const Route& r, uint32_t nranks);
+
+/// Delta payload: the patches completing external node `seq` on rank
+/// `dest`. Travels src -> dest on a direct worker link when one is up,
+/// src -> driver -> dest otherwise (dest 0 terminates at the driver).
+struct RegionData {
+  uint64_t seq = 0;
+  uint32_t dest = 0;
+  uint64_t sent_ns = 0;  ///< sender steady-clock; same-host latency probe
+  std::vector<RegionPatch> patches;
+};
+std::vector<std::byte> encode_region_data(const RegionData& r);
+RegionData decode_region_data(const std::vector<std::byte>& bytes);
+
+/// Cumulative per-process data-plane byte counters, piggybacked on every
+/// FenceAck so the driver can aggregate bytes-moved across all ranks
+/// (including direct worker->worker legs it never sees).
+struct DataPlaneCounters {
+  uint64_t bytes_hub = 0;    ///< full-block outcome payload bytes sent
+  uint64_t bytes_relay = 0;  ///< delta patch bytes sent via the driver
+  uint64_t bytes_p2p = 0;    ///< delta patch bytes sent on direct links
+  uint64_t transfers = 0;    ///< kRegionData messages sent
+};
+
 struct FenceAck {
   uint64_t fence = 0;
   FaultReport report;
+  DataPlaneCounters net;
 };
 std::vector<std::byte> encode_fence(uint64_t fence);
 uint64_t decode_fence(const std::vector<std::byte>& bytes);

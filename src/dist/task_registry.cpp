@@ -51,6 +51,15 @@ void dist_fill_body(TaskContext& ctx) {
 
 IDXL_DIST_REGISTER_TASK(idxl_dist_fill, dist_fill_body);
 
+// The delta-transfer task is deliberately a no-op: it exists to occupy a
+// replicated slot in every rank's task graph (ordered after the producer
+// and before the consumer by its region argument). The data movement
+// happens in the distributed runtime's on_task_success hook on the source
+// rank, which extracts the routed rect and ships it as kRegionData.
+void dist_xfer_body(TaskContext&) {}
+
+IDXL_DIST_REGISTER_TASK(idxl_xfer, dist_xfer_body);
+
 }  // namespace
 
 }  // namespace idxl::dist

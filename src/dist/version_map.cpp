@@ -1,0 +1,122 @@
+#include "dist/version_map.hpp"
+
+#include "support/error.hpp"
+
+namespace idxl::dist {
+
+namespace {
+
+/// Append the up-to-2·dim rectangles of `a` \ `b` (slab decomposition).
+/// Precondition: a and b overlap.
+void subtract(const Rect& a, const Rect& b, std::vector<Rect>& out) {
+  Rect rem = a;
+  for (int d = 0; d < a.dim(); ++d) {
+    if (rem.lo[d] < b.lo[d]) {
+      Rect piece = rem;
+      piece.hi[d] = b.lo[d] - 1;
+      out.push_back(piece);
+      rem.lo[d] = b.lo[d];
+    }
+    if (rem.hi[d] > b.hi[d]) {
+      Rect piece = rem;
+      piece.lo[d] = b.hi[d] + 1;
+      out.push_back(piece);
+      rem.hi[d] = b.hi[d];
+    }
+  }
+}
+
+}  // namespace
+
+VersionMap::VersionMap(uint32_t nranks) : nranks_(nranks) {
+  IDXL_REQUIRE(nranks >= 1 && nranks <= 64,
+               "delta transfers track rank currency in a 64-bit mask");
+  all_mask_ = nranks == 64 ? ~uint64_t{0} : (uint64_t{1} << nranks) - 1;
+}
+
+void VersionMap::note(RegionId root, FieldId field, const Rect& rect,
+                      uint32_t owner, RegionId producer, uint64_t current) {
+  if (rect.empty()) return;
+  std::vector<Entry>& entries = fields_[{root.id, field}];
+  std::vector<Entry> next;
+  next.reserve(entries.size() + 1);
+  std::vector<Rect> pieces;
+  for (Entry& e : entries) {
+    if (!e.rect.overlaps(rect)) {
+      next.push_back(std::move(e));
+      continue;
+    }
+    pieces.clear();
+    subtract(e.rect, rect, pieces);
+    for (const Rect& p : pieces) {
+      Entry keep = e;
+      keep.rect = p;
+      next.push_back(std::move(keep));
+    }
+  }
+  Entry fresh;
+  fresh.rect = rect;
+  fresh.version = ++next_version_;
+  fresh.owner = owner;
+  fresh.current = current;
+  fresh.producer = producer;
+  next.push_back(std::move(fresh));
+  entries = std::move(next);
+}
+
+void VersionMap::note_write(RegionId root, FieldId field, const Rect& rect,
+                            uint32_t owner, RegionId producer) {
+  note(root, field, rect, owner, producer, uint64_t{1} << owner);
+}
+
+void VersionMap::note_write_everywhere(RegionId root, FieldId field,
+                                       const Rect& rect, uint32_t owner,
+                                       RegionId producer) {
+  note(root, field, rect, owner, producer, all_mask_);
+}
+
+void VersionMap::plan_read(RegionId root, FieldId field, const Rect& rect,
+                           uint32_t dest, std::vector<Transfer>& out) {
+  if (rect.empty()) return;
+  const auto it = fields_.find({root.id, field});
+  if (it == fields_.end()) return;  // version 0 everywhere: current
+  const uint64_t bit = uint64_t{1} << dest;
+  std::vector<Entry>& entries = it->second;
+  std::vector<Entry> next;
+  next.reserve(entries.size());
+  std::vector<Rect> pieces;
+  for (Entry& e : entries) {
+    const Rect ov = e.rect.intersection(rect);
+    if ((e.current & bit) != 0 || ov.empty()) {
+      next.push_back(std::move(e));
+      continue;
+    }
+    IDXL_ASSERT(e.owner != dest);
+    Transfer t;
+    t.src = e.owner;
+    t.version = e.version;
+    t.producer = e.producer;
+    t.field = field;
+    t.rect = ov;
+    out.push_back(std::move(t));
+    // Split the entry: only the shipped overlap becomes current at dest.
+    pieces.clear();
+    subtract(e.rect, ov, pieces);
+    for (const Rect& p : pieces) {
+      Entry stale = e;
+      stale.rect = p;
+      next.push_back(std::move(stale));
+    }
+    e.rect = ov;
+    e.current |= bit;
+    next.push_back(std::move(e));
+  }
+  entries = std::move(next);
+}
+
+std::size_t VersionMap::entry_count(RegionId root, FieldId field) const {
+  const auto it = fields_.find({root.id, field});
+  return it == fields_.end() ? 0 : it->second.size();
+}
+
+}  // namespace idxl::dist

@@ -12,8 +12,13 @@ WorkerSession::WorkerSession(net::Socket sock, uint32_t rank, uint32_t nranks,
                              RuntimeConfig config,
                              std::shared_ptr<RegionForest> forest,
                              const std::vector<std::pair<std::string, TaskFn>>& tasks,
-                             uint32_t heartbeat_period_ms, uint32_t stall_window_ms)
-    : rank_(rank), heartbeat_ms_(heartbeat_period_ms), window_ms_(stall_window_ms) {
+                             uint32_t heartbeat_period_ms, uint32_t stall_window_ms,
+                             WorkerDataPlane data_plane)
+    : rank_(rank),
+      nranks_(nranks),
+      dp_(std::move(data_plane)),
+      heartbeat_ms_(heartbeat_period_ms),
+      window_ms_(stall_window_ms) {
   // The hooks capture `this`; they only ever fire from run()'s frame
   // processing, by which time conn_ exists.
   config.point_owned = [rank, nranks](uint64_t, const Point& p,
@@ -27,11 +32,23 @@ WorkerSession::WorkerSession(net::Socket sock, uint32_t rank, uint32_t nranks,
   config.interference_import_only = true;
   config.on_task_success = [this](uint64_t seq, uint64_t, const Point&,
                                   TaskContext& ctx) {
+    if (dp_.delta && ctx.fn == dp_.xfer_task) {
+      send_xfer_data(seq, ctx);
+      return;
+    }
     TaskDone td;
     td.seq = seq;
     td.outcome.ret = ctx.return_value;
-    for (PhysicalRegion& pr : ctx.regions)
-      if (privilege_writes(pr.privilege())) pr.copy_out(td.outcome.region_bytes);
+    if (!dp_.delta || needs_full_outcome(ctx)) {
+      for (PhysicalRegion& pr : ctx.regions)
+        if (privilege_writes(pr.privilege())) pr.copy_out(td.outcome.region_bytes);
+    } else {
+      // Delta mode: the written data stays here; the driver's coherence map
+      // knows this rank produced it and will route it on demand.
+      td.outcome.has_data = false;
+    }
+    net_.bytes_hub.fetch_add(td.outcome.region_bytes.size(),
+                             std::memory_order_relaxed);
     conn_->send(static_cast<uint8_t>(Msg::kTaskDone), encode_task_done(td));
   };
   config.on_task_fault = [this](const TaskFault& fault) {
@@ -51,13 +68,111 @@ WorkerSession::WorkerSession(net::Socket sock, uint32_t rank, uint32_t nranks,
       rt_->config().enable_flight_recorder ? &rt_->flight_recorder() : nullptr;
   obs.type_name = msg_name;
   conn_ = std::make_unique<net::Connection>(std::move(sock), "driver", obs);
+
+  xfer_size_ = rt_->metrics().histogram("idxl_net_transfer_bytes",
+                                        "Per-transfer payload bytes (sender side)");
+  xfer_latency_ = rt_->metrics().histogram(
+      "idxl_net_transfer_latency_ns",
+      "Transfer send-to-apply latency, steady-clock ns (receiver side)");
+
+  // Direct worker<->worker links. Each link's receive thread only completes
+  // external nodes, so it cannot deadlock with the issuing (driver
+  // connection) thread.
+  for (auto& [peer_rank, psock] : dp_.peers) {
+    auto pconn = std::make_unique<net::Connection>(
+        std::move(psock), "peer-" + std::to_string(peer_rank), obs);
+    pconn->start_recv(
+        [this](net::Frame& frame) {
+          if (frame.type == static_cast<uint8_t>(Msg::kRegionData))
+            apply_region_data(decode_region_data(frame.payload));
+          // kPing and anything else: liveness only.
+        },
+        [](const std::string&) {
+          // A dead peer link only disables the direct path; send_xfer_data
+          // falls back to the driver relay on the next send.
+        });
+    peers_.emplace_back(peer_rank, std::move(pconn));
+  }
+  dp_.peers.clear();
+  if (dp_.fail_peer_links) {
+    // Test hook: links exist, then die — every direct send now throws and
+    // the relay fallback is genuinely exercised.
+    for (auto& [peer_rank, c] : peers_) c->close();
+  }
+}
+
+net::Connection* WorkerSession::peer_conn(uint32_t rank) {
+  for (auto& [peer_rank, c] : peers_)
+    if (peer_rank == rank) return c.get();
+  return nullptr;
+}
+
+void WorkerSession::send_xfer_data(uint64_t seq, TaskContext& ctx) {
+  const XferArgs xa = ctx.arg<XferArgs>();
+  RegionData rd;
+  rd.seq = seq;
+  rd.dest = xa.dest;
+  rd.sent_ns = steady_now_ns();
+  RegionPatch patch;
+  patch.arg = 0;
+  patch.field = xa.field;
+  patch.rect = xa.rect;
+  ctx.region(0).copy_out_rect(xa.field, xa.rect, patch.bytes);
+  const uint64_t nbytes = patch.bytes.size();
+  rd.patches.push_back(std::move(patch));
+  const std::vector<std::byte> payload = encode_region_data(rd);
+
+  // Fallback ladder: direct link if one is up, driver relay otherwise
+  // (dest 0 is the driver itself — always the relay path).
+  bool direct = false;
+  if (net::Connection* peer = xa.dest == 0 ? nullptr : peer_conn(xa.dest)) {
+    try {
+      peer->send(static_cast<uint8_t>(Msg::kRegionData), payload);
+      direct = true;
+    } catch (const std::exception&) {
+      // Peer link down; relay below.
+    }
+  }
+  if (direct) {
+    net_.bytes_p2p.fetch_add(nbytes, std::memory_order_relaxed);
+  } else {
+    conn_->send(static_cast<uint8_t>(Msg::kRegionData), payload);
+    net_.bytes_relay.fetch_add(nbytes, std::memory_order_relaxed);
+  }
+  net_.transfers.fetch_add(1, std::memory_order_relaxed);
+  xfer_size_.observe(nbytes);
+
+  // Slim completion for every other rank. The driver excludes `data_dest`
+  // from the relay: the destination's copy of this outcome is the
+  // kRegionData payload above.
+  TaskDone td;
+  td.seq = seq;
+  td.data_dest = xa.dest;
+  td.outcome.ret = ctx.return_value;
+  td.outcome.has_data = false;
+  conn_->send(static_cast<uint8_t>(Msg::kTaskDone), encode_task_done(td));
+}
+
+void WorkerSession::apply_region_data(RegionData rd) {
+  IDXL_REQUIRE(rd.dest == rank_,
+               "region-data payload delivered to the wrong rank");
+  const uint64_t now = steady_now_ns();
+  if (rd.sent_ns != 0 && now >= rd.sent_ns) xfer_latency_.observe(now - rd.sent_ns);
+  RemoteOutcome o;
+  o.has_data = false;
+  o.patches = std::move(rd.patches);
+  // May arrive before this rank issued the transfer task (direct links race
+  // the driver's kRoute); complete_external buffers unknown seqs.
+  rt_->complete_external(rd.seq, std::move(o));
 }
 
 void WorkerSession::run() {
+  std::vector<net::Connection*> monitored{conn_.get()};
+  for (auto& [peer_rank, c] : peers_)
+    if (!dp_.fail_peer_links) monitored.push_back(c.get());
   monitor_ = std::make_unique<net::PeerMonitor>(
-      std::vector<net::Connection*>{conn_.get()},
-      static_cast<uint8_t>(Msg::kPing), heartbeat_ms_, window_ms_,
-      &rt_->metrics(), nullptr);
+      std::move(monitored), static_cast<uint8_t>(Msg::kPing), heartbeat_ms_,
+      window_ms_, &rt_->metrics(), nullptr);
   conn_->send(static_cast<uint8_t>(Msg::kHelloAck), {});
   const std::string err =
       conn_->recv_loop([this](net::Frame& frame) { on_frame(frame); });
@@ -66,6 +181,7 @@ void WorkerSession::run() {
   // arrive: resolve any still-pending externals so teardown cannot hang.
   rt_->abandon_externals(err.empty() ? "driver connection closed" : err);
   rt_->wait_all();
+  for (auto& [peer_rank, c] : peers_) c->close();
   conn_->close();
 }
 
@@ -77,6 +193,17 @@ void WorkerSession::on_frame(net::Frame& frame) {
     case Msg::kSingle:
       rt_->execute(deserialize_task_launcher(frame.payload));
       break;
+    case Msg::kRoute: {
+      // Replicated transfer issuance: every rank builds the identical
+      // launcher, so seq numbers stay aligned; only `src` runs the body.
+      const Route r = decode_route(frame.payload);
+      rt_->execute(make_xfer_launcher(dp_.xfer_task, r, nranks_));
+      break;
+    }
+    case Msg::kRegionData:
+      // Driver-relayed delta payload for this rank.
+      apply_region_data(decode_region_data(frame.payload));
+      break;
     case Msg::kTaskDone: {
       TaskDone td = decode_task_done(frame.payload);
       rt_->complete_external(td.seq, std::move(td.outcome));
@@ -85,12 +212,17 @@ void WorkerSession::on_frame(net::Frame& frame) {
     case Msg::kFence: {
       // Safe to fence on the receive thread: every outcome this rank's
       // externals need was forwarded before the fence on the same FIFO
-      // connection, so wait_all() cannot depend on an unread frame.
+      // connection (or arrives on an independent peer link), so wait_all()
+      // cannot depend on an unread driver frame.
       const uint64_t id = decode_fence(frame.payload);
       rt_->wait_all();
       FenceAck ack;
       ack.fence = id;
       ack.report = rt_->fault_report();
+      ack.net.bytes_hub = net_.bytes_hub.load(std::memory_order_relaxed);
+      ack.net.bytes_relay = net_.bytes_relay.load(std::memory_order_relaxed);
+      ack.net.bytes_p2p = net_.bytes_p2p.load(std::memory_order_relaxed);
+      ack.net.transfers = net_.transfers.load(std::memory_order_relaxed);
       conn_->send(static_cast<uint8_t>(Msg::kFenceAck), encode_fence_ack(ack));
       break;
     }
@@ -171,9 +303,22 @@ void WorkerSession::serve(net::Socket sock) {
     rc.fault_plan =
         std::make_shared<const FaultPlan>(FaultPlan::parse(hello.fault_plan));
 
+  // Exec daemons have no direct route to each other: delta payloads always
+  // relay through the driver (hello.p2p is informative only today).
+  WorkerDataPlane dp;
+  dp.delta = hello.delta_transfers != 0;
+  if (dp.delta) {
+    for (std::size_t i = 0; i < setup.tasks.size(); ++i)
+      if (setup.tasks[i] == "idxl_xfer") dp.xfer_task = static_cast<TaskFnId>(i);
+    IDXL_REQUIRE(dp.xfer_task != UINT32_MAX,
+                 "delta transfers enabled but task 'idxl_xfer' is missing "
+                 "from the setup task list");
+  }
+
   WorkerSession session(std::move(sock), hello.rank, hello.nranks,
                         std::move(rc), std::move(forest), tasks,
-                        hello.heartbeat_period_ms, hello.peer_stall_window_ms);
+                        hello.heartbeat_period_ms, hello.peer_stall_window_ms,
+                        std::move(dp));
   session.run();
 }
 

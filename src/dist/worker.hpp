@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <utility>
@@ -10,6 +11,19 @@
 #include "runtime/runtime.hpp"
 
 namespace idxl::dist {
+
+/// Everything a worker needs to participate in the delta data plane. Fork
+/// mode fills `peers` with pre-forked socketpair ends; exec mode has no
+/// route between daemons and leaves it empty (payloads relay via the
+/// driver).
+struct WorkerDataPlane {
+  bool delta = false;            ///< slim outcomes + kRoute/kRegionData
+  bool p2p = false;              ///< direct worker links were provisioned
+  bool fail_peer_links = false;  ///< test hook: sever links before first use
+  TaskFnId xfer_task = UINT32_MAX;
+  /// (peer worker rank, socket) — one end of each of this worker's links.
+  std::vector<std::pair<uint32_t, net::Socket>> peers;
+};
 
 /// One worker process's half of the protocol: a local Runtime issued from
 /// the driver's replicated launch stream. The receive loop runs on the
@@ -23,7 +37,8 @@ class WorkerSession {
   WorkerSession(net::Socket sock, uint32_t rank, uint32_t nranks,
                 RuntimeConfig config, std::shared_ptr<RegionForest> forest,
                 const std::vector<std::pair<std::string, TaskFn>>& tasks,
-                uint32_t heartbeat_period_ms, uint32_t stall_window_ms);
+                uint32_t heartbeat_period_ms, uint32_t stall_window_ms,
+                WorkerDataPlane data_plane = {});
 
   /// Exec mode (idxl-noded): read Hello + Setup off the socket, rebuild the
   /// forest from the journal, resolve task names against the named-task
@@ -35,13 +50,37 @@ class WorkerSession {
 
  private:
   void on_frame(net::Frame& frame);
+  /// on_task_success arm for the transfer task: extract the routed rect,
+  /// push it to the destination (direct link first, driver relay as the
+  /// fallback), then announce a slim outcome upward.
+  void send_xfer_data(uint64_t seq, TaskContext& ctx);
+  /// A kRegionData payload for this rank (direct or driver-relayed):
+  /// complete the external transfer node with its patches.
+  void apply_region_data(RegionData rd);
+  net::Connection* peer_conn(uint32_t rank);
 
   uint32_t rank_;
+  uint32_t nranks_;
+  WorkerDataPlane dp_;  ///< peers moved out into peers_ at construction
   std::unique_ptr<Runtime> rt_;
   std::unique_ptr<net::Connection> conn_;
+  /// Direct links, (peer worker rank, connection); frames arrive on each
+  /// link's own receive thread, feeding complete_external only — never
+  /// issuance, which stays on the driver-connection thread.
+  std::vector<std::pair<uint32_t, std::unique_ptr<net::Connection>>> peers_;
   std::unique_ptr<net::PeerMonitor> monitor_;
   uint32_t heartbeat_ms_;
   uint32_t window_ms_;
+
+  /// Data-plane accounting, reported cumulatively on every fence ack.
+  /// Atomics: success hooks fire on pool threads.
+  struct NetCells {
+    std::atomic<uint64_t> bytes_hub{0};
+    std::atomic<uint64_t> bytes_relay{0};
+    std::atomic<uint64_t> bytes_p2p{0};
+    std::atomic<uint64_t> transfers{0};
+  } net_;
+  obs::Histogram xfer_size_, xfer_latency_;
 };
 
 }  // namespace idxl::dist

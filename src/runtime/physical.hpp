@@ -105,7 +105,44 @@ class PhysicalRegion {
     return offset;
   }
 
+  /// Append field `f` over `rect` (row-major) to `out` — the delta-transfer
+  /// extraction: a halo strip instead of the whole view. `rect` must lie
+  /// within the root's storage bounds.
+  void copy_out_rect(FieldId f, const Rect& rect, std::vector<std::byte>& out) const {
+    const ResolvedField& rf = resolve(f);
+    IDXL_REQUIRE(storage_bounds_.contains(rect),
+                 "transfer rect escapes the region's storage bounds");
+    out.reserve(out.size() + static_cast<std::size_t>(rect.volume()) * rf.size);
+    for (const Point& p : rect) {
+      const std::byte* src =
+          rf.data + static_cast<std::size_t>(storage_bounds_.linearize(p)) * rf.size;
+      out.insert(out.end(), src, src + rf.size);
+    }
+  }
+
+  /// Apply a copy_out_rect payload to field `f` over `rect`. The symmetric
+  /// pair: byte count must match the rect exactly.
+  void copy_in_rect(FieldId f, const Rect& rect, const std::vector<std::byte>& in) {
+    const ResolvedField& rf = resolve(f);
+    IDXL_REQUIRE(storage_bounds_.contains(rect),
+                 "transfer rect escapes the region's storage bounds");
+    IDXL_REQUIRE(in.size() == static_cast<std::size_t>(rect.volume()) * rf.size,
+                 "region patch payload does not match its rect");
+    std::size_t offset = 0;
+    for (const Point& p : rect) {
+      std::memcpy(rf.data + static_cast<std::size_t>(storage_bounds_.linearize(p)) * rf.size,
+                  in.data() + offset, rf.size);
+      offset += rf.size;
+    }
+  }
+
  private:
+  const ResolvedField& resolve(FieldId f) const {
+    for (const ResolvedField& rf : resolved_)
+      if (rf.id == f) return rf;
+    throw RuntimeError("idxl: field was not requested by this region argument");
+  }
+
   RegionId region_;
   const Domain* domain_;
   Rect storage_bounds_;
@@ -119,6 +156,10 @@ class PhysicalRegion {
 struct TaskContext {
   Point point = Point::p1(0);
   Domain launch_domain = Domain::line(1);
+  /// The executing task's function id — lets post-execution hooks
+  /// (on_task_success) dispatch on *what* ran, e.g. the distributed
+  /// runtime's transfer task vs. an application body.
+  TaskFnId fn = UINT32_MAX;
   const ArgBuffer* scalar_args = nullptr;
   std::vector<PhysicalRegion> regions;
   /// Scalar result of this task; collected by index launches issued with a

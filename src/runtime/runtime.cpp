@@ -354,6 +354,32 @@ TaskFnId Runtime::register_task(std::string name, TaskFn fn) {
   return static_cast<TaskFnId>(task_registry_.size() - 1);
 }
 
+namespace {
+
+/// Apply a remote owner's outcome to an external node's mapped regions.
+/// Full-block outcomes (has_data) carry every written argument's bytes in
+/// order; slim delta-mode outcomes carry only the rect patches addressed to
+/// this rank — usually none, because the data plane ships bytes lazily when
+/// a later consumer actually reads them.
+void apply_remote_outcome(const RemoteOutcome& o,
+                          std::vector<PhysicalRegion>& regions) {
+  if (o.has_data) {
+    std::size_t off = 0;
+    for (PhysicalRegion& r : regions)
+      if (privilege_writes(r.privilege())) off = r.copy_in(o.region_bytes, off);
+    IDXL_REQUIRE(off == o.region_bytes.size(),
+                 "remote outcome bytes do not match the task's written regions");
+    return;
+  }
+  for (const RegionPatch& p : o.patches) {
+    IDXL_REQUIRE(p.arg < regions.size(),
+                 "remote region patch names an argument out of range");
+    regions[p.arg].copy_in_rect(p.field, p.rect, p.bytes);
+  }
+}
+
+}  // namespace
+
 LaunchResult Runtime::execute(const TaskLauncher& launcher) {
   ProfileScope issue_scope(prof_, ProfCategory::kIssue, Profiler::kNameIssue);
   cells_.runtime_calls.inc();
@@ -372,7 +398,8 @@ LaunchResult Runtime::execute(const TaskLauncher& launcher) {
                    launcher.args, launcher.scalar_args, launch_id, collect,
                    collect != nullptr ? 0 : -1,
                    RetryPolicy{launcher.max_retries, launcher.retry_backoff_ms,
-                               launcher.timeout_ms});
+                               launcher.timeout_ms},
+                   launcher.internal);
   return result;
 }
 
@@ -436,7 +463,7 @@ void Runtime::materialize_tree(uint32_t tree) {
 }
 
 bool Runtime::history_certified_disjoint(uint32_t tree, const LaunchArgSummary& s,
-                                         const std::optional<std::string>& fp) {
+                                         LazyFingerprint& fp) {
   ProfileScope scope(prof_, ProfCategory::kSafety, Profiler::kNameSafetyCheck);
   uint64_t pair_tests = 0;
   const bool disjoint = interference_history_.certified_disjoint(
@@ -463,6 +490,15 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
   ProfileScope issue_scope(prof_, ProfCategory::kIssue,
                            prof_ != nullptr ? task_prof_names_[launcher.task]
                                             : Profiler::kNameIssue);
+
+  // Materialize every argument's subregion table before any expansion path
+  // resolves points: region ids are assigned at first touch, and the paths
+  // below touch subregions in different orders (table-at-once vs per-point).
+  // Pinning creation to argument-major table order keeps lazily-created ids
+  // identical across replicated issue streams — the distributed runtime
+  // ships RegionIds in routing directives, so every rank must agree.
+  for (const ProjectedArg& pa : launcher.args)
+    forest_->subregion_table(pa.parent, pa.partition);
 
   LaunchResult result;
   std::shared_ptr<Future::State> collect;
@@ -626,6 +662,7 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
 /// every chunk job and every point closure.
 struct Runtime::LaunchArena {
   TaskFn body;  // copied: the registry may grow while workers run
+  TaskFnId fn = UINT32_MAX;  // forwarded into TaskContext::fn for hooks
   ArgBuffer scalar;
   Domain launch_domain;
   std::shared_ptr<Future::State> collect;
@@ -687,6 +724,7 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
 
   auto arena = std::make_shared<LaunchArena>();
   arena->body = task_registry_[launcher.task].second;
+  arena->fn = launcher.task;
   arena->scalar = launcher.scalar_args;
   arena->launch_domain = launcher.domain;
   arena->collect = collect;
@@ -762,10 +800,10 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
                                (outcome == SafetyOutcome::kSafeStatic ||
                                 outcome == SafetyOutcome::kSafeDynamic);
     std::vector<LaunchArgSummary> summaries;
-    std::vector<std::optional<std::string>> fps;
+    std::vector<LazyFingerprint> fps;
     if (config_.enable_interference_analysis) {
       summaries.reserve(n_args);
-      fps.reserve(n_args);
+      fps.resize(n_args);  // fingerprints build lazily, on first pair test
       for (std::size_t a = 0; a < n_args; ++a) {
         const ArgPlan& plan = plans[a];
         LaunchArgSummary s;
@@ -778,7 +816,6 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
         s.field_mask = plan.mask;
         s.priv = plan.priv;
         s.redop = plan.redop;
-        fps.push_back(s.fingerprint());
         summaries.push_back(std::move(s));
       }
     }
@@ -885,13 +922,7 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
           rec.node->work = [arena, rank = rec.rank, self = rec.node.get(),
                             regions = std::move(regions)]() mutable {
             const RemoteOutcome& o = *self->remote;
-            std::size_t off = 0;
-            for (PhysicalRegion& r : regions)
-              if (privilege_writes(r.privilege()))
-                off = r.copy_in(o.region_bytes, off);
-            IDXL_REQUIRE(off == o.region_bytes.size(),
-                         "remote outcome bytes do not match the task's "
-                         "written regions");
+            apply_remote_outcome(o, regions);
             if (arena->collect != nullptr) {
               IDXL_ASSERT(rank >= 0 && rank < static_cast<int64_t>(
                                                   arena->collect->values.size()));
@@ -905,6 +936,7 @@ void Runtime::expand_index_launch(const IndexLauncher& launcher,
           TaskContext ctx;
           ctx.point = point;
           ctx.launch_domain = arena->launch_domain;
+          ctx.fn = arena->fn;
           ctx.scalar_args = &arena->scalar;
           ctx.regions = std::move(regions);
           arena->body(ctx);
@@ -1037,13 +1069,15 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
                                const std::vector<RegionArg>& args,
                                const ArgBuffer& scalar_args, uint64_t launch_id,
                                const std::shared_ptr<Future::State>& collect,
-                               int64_t rank, const RetryPolicy& policy) {
+                               int64_t rank, const RetryPolicy& policy,
+                               bool internal) {
   IDXL_REQUIRE(fn < task_registry_.size(), "unknown task id");
   cells_.point_tasks.inc();
 
   auto node = std::make_shared<TaskNode>();
   node->seq = next_seq_++;
   node->launch = launch_id;
+  node->internal = internal;
   node->label = task_registry_[fn].first + "@" + point.to_string();
   node->prof_name = prof_ != nullptr ? task_prof_names_[fn] : 0;
   node->point = point;
@@ -1073,11 +1107,7 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
     node->work = [self = node.get(), regions = std::move(regions), collect,
                   rank]() mutable {
       const RemoteOutcome& o = *self->remote;
-      std::size_t off = 0;
-      for (PhysicalRegion& r : regions)
-        if (privilege_writes(r.privilege())) off = r.copy_in(o.region_bytes, off);
-      IDXL_REQUIRE(off == o.region_bytes.size(),
-                   "remote outcome bytes do not match the task's written regions");
+      apply_remote_outcome(o, regions);
       if (collect != nullptr) {
         IDXL_ASSERT(rank >= 0 &&
                     rank < static_cast<int64_t>(collect->values.size()));
@@ -1087,12 +1117,13 @@ void Runtime::issue_point_task(TaskFnId fn, const Point& point,
   } else {
   const TaskFn& body = task_registry_[fn].second;
   ArgBuffer scalar_copy = scalar_args;
-  node->work = [this, body, point, launch_domain, self = node.get(),
+  node->work = [this, body, point, launch_domain, fn, self = node.get(),
                 scalar = std::move(scalar_copy), regions = std::move(regions),
                 collect, rank]() mutable {
     TaskContext ctx;
     ctx.point = point;
     ctx.launch_domain = launch_domain;
+    ctx.fn = fn;
     ctx.scalar_args = &scalar;
     ctx.regions = std::move(regions);
     body(ctx);
@@ -1410,9 +1441,12 @@ void Runtime::finish_fault(const TaskNodePtr& node, FaultKind kind, uint64_t roo
   fault.root = root;
   fault.message = std::move(message);
   // Broadcast owned terminal outcomes (external nodes' faults came FROM the
-  // owner; re-broadcasting would echo forever).
+  // owner; re-broadcasting would echo forever). Runtime-generated helper
+  // tasks (delta transfers) still broadcast — every rank must poison the
+  // same downstream set — but stay out of the user-facing FaultReport so
+  // reports compare equal across data-plane configurations.
   if (config_.on_task_fault && !node->external) config_.on_task_fault(fault);
-  faults_.record(std::move(fault));
+  if (!node->internal) faults_.record(std::move(fault));
 
   if (kind == FaultKind::kPoisoned)
     cells_.fault_poisoned.inc();
@@ -1608,6 +1642,15 @@ void Runtime::complete_external(uint64_t seq, RemoteOutcome outcome) {
     externals_.erase(seq);
   }
   ext_cv_.notify_all();
+}
+
+std::vector<std::pair<uint64_t, std::string>> Runtime::pending_externals()
+    const {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  std::lock_guard<std::mutex> lock(ext_mu_);
+  out.reserve(externals_.size());
+  for (const auto& [seq, node] : externals_) out.emplace_back(seq, node->label);
+  return out;
 }
 
 void Runtime::abandon_externals(const std::string& why) {

@@ -183,6 +183,10 @@ class Runtime : public RuntimeApi {
   /// arrive. Idempotent; safe to call with no externals pending.
   void abandon_externals(const std::string& why);
 
+  /// Debug introspection: (seq, label) of every external node still waiting
+  /// for its remote outcome. Thread-safe snapshot.
+  std::vector<std::pair<uint64_t, std::string>> pending_externals() const;
+
   /// Drop accumulated fault records and re-arm after cancel_all(), so the
   /// runtime can be reused for another program phase.
   void clear_faults();
@@ -329,7 +333,8 @@ class Runtime : public RuntimeApi {
                         const std::vector<RegionArg>& args,
                         const ArgBuffer& scalar_args, uint64_t launch_id,
                         const std::shared_ptr<Future::State>& collect = nullptr,
-                        int64_t rank = -1, const RetryPolicy& policy = kNoRetry);
+                        int64_t rank = -1, const RetryPolicy& policy = kNoRetry,
+                        bool internal = false);
 
   void expand_as_task_loop(const IndexLauncher& launcher, uint64_t launch_id,
                            const std::shared_ptr<Future::State>& collect);
@@ -351,7 +356,7 @@ class Runtime : public RuntimeApi {
   /// runtime is import-only. `fp` is s's memoized fingerprint. Thin stats-
   /// and-profiling wrapper over InterferenceHistory::certified_disjoint.
   bool history_certified_disjoint(uint32_t tree, const LaunchArgSummary& s,
-                                  const std::optional<std::string>& fp);
+                                  LazyFingerprint& fp);
   /// All-args qualification for the group path (disjoint partitions,
   /// symbolic functors, uncontaminated trees, one partition per tree).
   bool group_eligible(const IndexLauncher& launcher);

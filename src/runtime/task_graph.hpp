@@ -17,16 +17,33 @@ namespace idxl {
 /// carries the owner's written region bytes and return value; a faulted one
 /// carries the exact TaskFault ingredients so every rank records the
 /// identical fault and propagates the identical poison closure.
+/// One rectangular slice of remote region data: applied to write-privilege
+/// region argument `arg` via PhysicalRegion::copy_in_rect. The delta-sized
+/// unit of the distributed data plane (full-block outcomes use region_bytes
+/// instead).
+struct RegionPatch {
+  uint32_t arg = 0;    ///< index into the task's region arguments
+  uint32_t field = 0;  ///< FieldId of the patched field
+  Rect rect;  ///< row-major payload layout over this rect
+  std::vector<std::byte> bytes;
+};
+
 struct RemoteOutcome {
   FaultKind kind = FaultKind::kNone;
   uint64_t root = UINT64_MAX;  ///< root-cause seq (fault outcomes)
   uint32_t attempts = 0;
   std::string message;
   double ret = 0.0;  ///< TaskContext::return_value of the remote body
+  /// False for slim delta-mode outcomes: the completing rank applies
+  /// `patches` (possibly none — most ranks stay intentionally stale) and
+  /// must not expect region_bytes to cover the written arguments.
+  bool has_data = true;
   /// Written-region bytes in argument order (write-privilege args only),
   /// extracted by PhysicalRegion::copy_out on the owner and applied by
-  /// copy_in here.
+  /// copy_in here. Meaningful only when has_data.
   std::vector<std::byte> region_bytes;
+  /// Delta-mode payload: rect-sized slices for this rank alone.
+  std::vector<RegionPatch> patches;
 };
 
 /// One executable task instance in the real executor's dependence graph.
@@ -72,6 +89,10 @@ struct TaskNode {
   /// the dependence graph whose outcome arrives via complete_external(). An
   /// extra "remote guard" on `pending` keeps it from running until then.
   bool external = false;
+  /// Runtime-generated helper task (delta transfer): full dependence/poison
+  /// semantics, but finish_fault keeps it out of the FaultReport so reports
+  /// stay comparable across data-plane configurations.
+  bool internal = false;
   /// The delivered outcome; written before the remote guard is released, so
   /// node_job reads it without locking.
   std::unique_ptr<RemoteOutcome> remote;

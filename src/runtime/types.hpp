@@ -100,6 +100,10 @@ struct TaskLauncher {
   uint32_t max_retries = 0;
   uint32_t retry_backoff_ms = 0;
   uint32_t timeout_ms = 0;
+  /// Runtime-generated helper task (e.g. a distributed delta transfer):
+  /// participates in dependence analysis and poison propagation like any
+  /// task, but its own faults stay out of the user-facing FaultReport.
+  bool internal = false;
 
   // --- fluent builders ---
   static TaskLauncher for_task(TaskFnId id) {
@@ -142,6 +146,11 @@ struct TaskLauncher {
   /// First-retry delay; doubles on each subsequent retry.
   TaskLauncher& backoff(uint32_t ms) {
     retry_backoff_ms = ms;
+    return *this;
+  }
+  /// Mark as a runtime-generated helper task (kept out of FaultReports).
+  TaskLauncher& as_internal() {
+    internal = true;
     return *this;
   }
   /// Cancel an attempt cooperatively after `ms` (0 disables).

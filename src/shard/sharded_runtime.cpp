@@ -520,9 +520,8 @@ LaunchResult ShardContext::execute_index(const IndexLauncher& launcher) {
   std::vector<bool> skip_scan(n_args, false);
   if (rt.config_.enable_interference_analysis) {
     std::vector<LaunchArgSummary> summaries;
-    std::vector<std::optional<std::string>> fps;
+    std::vector<LazyFingerprint> fps(n_args);
     summaries.reserve(n_args);
-    fps.reserve(n_args);
     {
       std::lock_guard<std::mutex> lock(rt.forest_mu_);
       for (const ProjectedArg& pa : launcher.args) {
@@ -536,7 +535,6 @@ LaunchResult ShardContext::execute_index(const IndexLauncher& launcher) {
         s.field_mask = field_mask(pa.fields);
         s.priv = pa.privilege;
         s.redop = pa.redop;
-        fps.push_back(s.fingerprint());
         summaries.push_back(std::move(s));
       }
     }

@@ -115,6 +115,33 @@ TEST(FrameTest, RejectsOversizedPayload) {
   EXPECT_THROW(reader.feed(wire.data(), wire.size()), RuntimeError);
 }
 
+TEST(FrameTest, AcceptsPayloadAtExactLimit) {
+  // kMaxFramePayload itself is legal; only strictly-greater is a violation.
+  // Validate from the header alone — materializing 64 MiB proves nothing
+  // check_header doesn't.
+  auto wire = encode_frame(1, nullptr, 0);
+  const uint32_t limit = static_cast<uint32_t>(kMaxFramePayload);
+  std::memcpy(&wire[8], &limit, sizeof(limit));
+  FrameReader reader;
+  EXPECT_NO_THROW(reader.feed(wire.data(), wire.size()));
+  Frame f;
+  EXPECT_FALSE(reader.poll(f));  // payload not arrived yet, frame incomplete
+  EXPECT_EQ(reader.pending_bytes(), kFrameHeaderSize);
+}
+
+TEST(FrameTest, OversizedPayloadRejectedAtHeaderBoundary) {
+  // Fail-fast contract: the violation surfaces the moment the 12th header
+  // byte lands, not after buffering any of the announced 64 MiB + 1.
+  auto wire = encode_frame(1, nullptr, 0);
+  const uint32_t huge = static_cast<uint32_t>(kMaxFramePayload) + 1;
+  std::memcpy(&wire[8], &huge, sizeof(huge));
+  FrameReader reader;
+  reader.feed(wire.data(), kFrameHeaderSize - 1);
+  Frame f;
+  EXPECT_FALSE(reader.poll(f));
+  EXPECT_THROW(reader.feed(&wire[kFrameHeaderSize - 1], 1), RuntimeError);
+}
+
 TEST(ConnectionTest, RoundTripAndCounters) {
   obs::MetricsRegistry metrics;
   auto [a, b] = Socket::pair();
@@ -186,6 +213,55 @@ TEST(ConnectionTest, CleanEofIsNotAnError) {
   EXPECT_TRUE(err.empty()) << err;
   EXPECT_EQ(frames, 1u);
   right.close();
+}
+
+TEST(ConnectionTest, OversizedFrameIsAConnectionError) {
+  // A peer announcing an over-limit payload must tear the connection down
+  // with a diagnosable error — not allocate, not hang waiting for payload.
+  auto [a, b] = Socket::pair();
+  auto wire = encode_frame(2, nullptr, 0);
+  const uint32_t huge = static_cast<uint32_t>(kMaxFramePayload) + 1;
+  std::memcpy(&wire[8], &huge, sizeof(huge));
+  a.write_all(wire.data(), wire.size());
+
+  Connection right(std::move(b), "hostile", NetObs{});
+  std::vector<Frame> got;
+  const std::string err = right.recv_loop([&](Frame& f) { got.push_back(f); });
+  EXPECT_NE(err.find("frame size limit"), std::string::npos) << err;
+  EXPECT_TRUE(got.empty());
+  right.close();
+  a.close();
+}
+
+TEST(SocketTest, WriteAllSurvivesShortWrites) {
+  // A payload far beyond the kernel's socketpair buffer forces write_all
+  // through many partial writes while the reader drains in arbitrary chunks;
+  // the reassembled frame must be bit-identical.
+  std::vector<std::byte> payload(8u << 20);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::byte>((i * 2654435761u) >> 24);
+  const auto wire = encode_frame(6, payload);
+
+  auto [a, b] = Socket::pair();
+  std::thread writer([&] {
+    a.write_all(wire.data(), wire.size());
+    a.close();
+  });
+
+  FrameReader reader;
+  Frame f;
+  bool done = false;
+  std::byte chunk[4096];
+  while (!done) {
+    const std::size_t n = b.read_some(chunk, sizeof(chunk));
+    ASSERT_GT(n, 0u) << "EOF before the frame completed";
+    reader.feed(chunk, n);
+    done = reader.poll(f);
+  }
+  writer.join();
+  EXPECT_EQ(f.type, 6);
+  EXPECT_EQ(f.payload, payload);
+  b.close();
 }
 
 TEST(ConnectionTest, SendAfterCloseThrows) {
