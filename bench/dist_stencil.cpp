@@ -9,9 +9,11 @@
 // broadcast everywhere) and the delta data plane (halo-only transfers over
 // direct worker links) — and the JSON carries both series plus the measured
 // bytes-moved reduction, which CI gates against bench/baselines/dist.json.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -28,16 +30,25 @@ namespace {
 struct Result {
   uint32_t ranks;
   double cells_per_s;
+  double seconds;
   double max_err;
   dist::DataPlaneStats stats;
 };
 
+/// One measured run. `traced` turns on full distributed tracing (profiling
+/// in every process, clock probes, merged trace at shutdown); `trace_path`
+/// and `metrics_path` additionally write the merged Chrome trace and the
+/// rank-aggregated metrics JSON — the CI artifacts.
 Result run_once(uint32_t ranks, const apps::StencilParams& params, int iters,
-                bool delta) {
+                bool delta, bool traced = false,
+                const std::string& trace_path = "",
+                const std::string& metrics_path = "", bool warmup = false) {
   dist::DistConfig dc;
   dc.ranks = ranks;
   dc.runtime.workers = 2;
   dc.delta_transfers = delta;
+  dc.runtime.enable_profiling = traced;
+  dc.trace_path = trace_path;
   dist::DistributedRuntime rt(dc);
   auto& forest = rt.forest();
   const IndexSpaceId is =
@@ -60,6 +71,7 @@ Result run_once(uint32_t ranks, const apps::StencilParams& params, int iters,
   const TaskFnId st = rt.register_task("smoke_stencil", dist::smoke::stencil_body);
   const TaskFnId inc =
       rt.register_task("smoke_increment", dist::smoke::increment_body);
+  const TaskFnId noop = rt.register_task("bench_noop", [](TaskContext&) {});
 
   dist::smoke::StencilArgs args;
   args.fin = fin;
@@ -69,6 +81,16 @@ Result run_once(uint32_t ranks, const apps::StencilParams& params, int iters,
   args.ny = params.ny;
   const Domain dom = Domain(Rect::box2(params.px, params.py));
   const auto id = ProjectionFunctor::identity(2);
+
+  // The first launch forks and handshakes the workers; the overhead gate
+  // compares steady-state iteration cost, so it warms that up off-clock
+  // with a read-only no-op that leaves the grid untouched.
+  if (warmup) {
+    rt.execute_index(IndexLauncher::over(dom)
+                         .with_task(noop)
+                         .region(grid, blocks, id, {fin}, Privilege::kRead));
+    rt.wait_all();
+  }
 
   const auto start = std::chrono::steady_clock::now();
   for (int it = 0; it < iters; ++it) {
@@ -89,11 +111,19 @@ Result run_once(uint32_t ranks, const apps::StencilParams& params, int iters,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  Result r{ranks, 0.0, 0.0, {}};
+  Result r{ranks, 0.0, 0.0, 0.0, {}};
+  r.seconds = seconds;
   r.cells_per_s =
       static_cast<double>(params.nx) * static_cast<double>(params.ny) * iters /
       seconds;
   r.stats = rt.data_plane_stats();
+  if (!metrics_path.empty()) {
+    const std::string json = rt.cluster_metrics_json();
+    if (std::FILE* f = std::fopen(metrics_path.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    }
+  }
   const std::vector<double> expect =
       apps::StencilApp::reference_output(params, iters);
   auto acc = rt.read_region<double>(grid, fout);
@@ -106,7 +136,23 @@ Result run_once(uint32_t ranks, const apps::StencilParams& params, int iters,
 
 }  // namespace
 
+/// Directory prefix shared with BENCH_dist.json for the trace/metrics
+/// artifacts ($IDXL_BENCH_DIR, default cwd).
+std::string artifact_path(const char* file) {
+  std::string path;
+  if (const char* dir = std::getenv("IDXL_BENCH_DIR")) {
+    path = dir;
+    if (!path.empty() && path.back() != '/') path += '/';
+  }
+  path += file;
+  return path;
+}
+
 int main() {
+  // The tracing-overhead comparison below needs the untraced arms genuinely
+  // untraced; a stray IDXL_TRACE from the environment would force profiling
+  // on in every run and hide the cost being measured.
+  unsetenv("IDXL_TRACE");
   apps::StencilParams params;
   params.nx = params.ny = 96;
   params.px = params.py = 4;
@@ -160,6 +206,44 @@ int main() {
               static_cast<unsigned long long>(delta4.stats.bytes_total()),
               reduction);
 
+  // Tracing overhead at 4 ranks, delta+p2p: best-of-5 wall clock with the
+  // full distributed-tracing stack on (profiling in every process, clock
+  // probes, trace-context stamping) against best-of-5 with it off. CI gates
+  // the ratio at 1.05. The last traced run also writes the CI artifacts:
+  // the merged clock-aligned Chrome trace and the cluster metrics JSON.
+  const std::string trace_artifact = artifact_path("dist_stencil_trace.json");
+  const std::string metrics_artifact =
+      artifact_path("dist_stencil_cluster_metrics.json");
+  // The sweep above uses deliberately tiny blocks (576 cells) to stress the
+  // wire path; there an iteration is almost entirely IPC wake/sleep latency,
+  // and a 5% budget on a mostly-idle denominator gates scheduler jitter, not
+  // tracing. The overhead arms use production-shaped blocks instead so the
+  // ratio measures tracing cost against real work.
+  apps::StencilParams oparams = params;
+  oparams.nx = oparams.ny = 512;  // 16k cells per block task
+  const int oiters = iters * 2;   // longer arms shrink relative jitter
+  double best_off = HUGE_VAL, best_on = HUGE_VAL;
+  bool traced_ok = true;
+  const int reps = 5;  // best-of-5: the gate compares floors, not averages
+  for (int rep = 0; rep < reps; ++rep) {
+    const Result off = run_once(4, oparams, oiters, /*delta=*/true,
+                                /*traced=*/false, "", "", /*warmup=*/true);
+    best_off = std::min(best_off, off.seconds);
+    const bool last = rep == reps - 1;
+    const Result on =
+        run_once(4, oparams, oiters, /*delta=*/true, /*traced=*/true,
+                 last ? trace_artifact : std::string(),
+                 last ? metrics_artifact : std::string(), /*warmup=*/true);
+    best_on = std::min(best_on, on.seconds);
+    traced_ok = traced_ok && off.max_err < 1e-12 && on.max_err < 1e-12;
+  }
+  ok = ok && traced_ok;
+  const double overhead_ratio = best_off > 0 ? best_on / best_off : HUGE_VAL;
+  std::printf("tracing overhead @4 ranks: off %.3fs, on %.3fs (ratio %.3f)\n",
+              best_off, best_on, overhead_ratio);
+  std::printf("artifacts: %s, %s\n", trace_artifact.c_str(),
+              metrics_artifact.c_str());
+
   bench::BenchJson payload;
   payload
       .field("description",
@@ -176,6 +260,9 @@ int main() {
       .field("bytes_reduction_4ranks", reduction)
       .field("cells_per_s_hub_4ranks", hub4.cells_per_s)
       .field("cells_per_s_delta_4ranks", delta4.cells_per_s)
+      .field("tracing_off_best_s", best_off)
+      .field("tracing_on_best_s", best_on)
+      .field("tracing_overhead_ratio", overhead_ratio)
       .field("verified", ok ? "true" : "false");
   bench::write_bench_json("dist", std::move(payload));
 

@@ -113,6 +113,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(dp.bytes_p2p),
                 static_cast<unsigned long long>(dp.transfers));
 
+    // IDXL_CLUSTER_METRICS=<path>: dump the rank-aggregated metrics snapshot
+    // (rank-labeled series + rank="all" roll-ups) as one JSON document. The
+    // merged Chrome trace needs no hook here — IDXL_TRACE=<path> makes the
+    // runtime write it at shutdown.
+    if (const char* mpath = std::getenv("IDXL_CLUSTER_METRICS");
+        mpath != nullptr && mpath[0] != '\0') {
+      const std::string json = rt.cluster_metrics_json();
+      if (std::FILE* f = std::fopen(mpath, "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("dist_smoke: cluster metrics -> %s\n", mpath);
+      }
+    }
+
     const FaultReport report = rt.fault_report();
     std::printf("dist_smoke: ranks=%u failures=%zu poisoned=%zu\n", rt.ranks(),
                 report.failures.size(), report.poisoned.size());

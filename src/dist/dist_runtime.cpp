@@ -4,12 +4,15 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
 #include "dist/fill_task.hpp"
 #include "dist/task_registry.hpp"
 #include "dist/worker.hpp"
+#include "obs/aggregate.hpp"
 #include "support/error.hpp"
 
 namespace idxl::dist {
@@ -174,6 +177,20 @@ void DistributedRuntime::ensure_started() {
   peer_errors_.assign(nworkers, "");
   worker_closed_.assign(nworkers, false);
   worker_net_.assign(nworkers, DataPlaneCounters{});
+  worker_metrics_.assign(nworkers, obs::MetricsSnapshot{});
+
+  // Cluster tracing: IDXL_TRACE overrides DistConfig::trace_path, and a
+  // requested trace forces profiling on everywhere. This must run before
+  // the fork below — fork-mode workers inherit config_.runtime by memory.
+  trace_path_ = config_.trace_path;
+  if (const char* v = std::getenv("IDXL_TRACE"); v != nullptr && v[0] != '\0') {
+    if (v[0] == '0' && v[1] == '\0') {
+      trace_path_.clear();
+    } else {
+      trace_path_ = (v[0] == '1' && v[1] == '\0') ? "idxl_trace.json" : v;
+    }
+  }
+  if (!trace_path_.empty()) config_.runtime.enable_profiling = true;
 
   // Effective data-plane mode: delta needs at least one worker to talk to
   // and at most 64 ranks (the coherence map's currency bitmask). The
@@ -194,14 +211,15 @@ void DistributedRuntime::ensure_started() {
   rc.point_owned = [nranks](uint64_t, const Point& p, const Domain& domain) {
     return owner_of(domain, p, nranks) == 0;
   };
-  rc.on_task_success = [this](uint64_t seq, uint64_t, const Point&,
+  rc.on_task_success = [this](uint64_t seq, uint64_t launch, const Point&,
                               TaskContext& ctx) {
     if (delta_ && ctx.fn == xfer_task_) {
-      send_xfer_data(seq, ctx);
+      send_xfer_data(seq, launch, ctx);
       return;
     }
     TaskDone td;
     td.seq = seq;
+    td.ctx = obs::TraceContext{launch, seq, 0};
     td.outcome.ret = ctx.return_value;
     if (!delta_ || needs_full_outcome(ctx)) {
       for (PhysicalRegion& pr : ctx.regions)
@@ -219,6 +237,7 @@ void DistributedRuntime::ensure_started() {
   rc.on_task_fault = [this](const TaskFault& fault) {
     TaskDone td;
     td.seq = fault.seq;
+    td.ctx = obs::TraceContext{fault.launch, fault.seq, 0};
     td.outcome.kind = fault.kind;
     td.outcome.root = fault.root;
     td.outcome.attempts = fault.attempts;
@@ -227,6 +246,16 @@ void DistributedRuntime::ensure_started() {
   };
   local_ = std::make_unique<Runtime>(std::move(rc), forest_);
   for (const auto& [name, fn] : tasks_) local_->register_task(name, fn);
+  clocks_ = std::make_unique<net::ClockTable>(&local_->metrics());
+  name_xfer_apply_ = local_->profiler().intern("xfer-apply");
+  name_done_apply_ = local_->profiler().intern("done-apply");
+  // Distributed watchdog: when the driver's own watchdog fires, follow the
+  // local dump with the merged cross-rank view (worker watchdogs push their
+  // stall state as kTelemetry; see distributed_stall_dump).
+  if (obs::Watchdog* wd = local_->watchdog())
+    wd->set_on_stall([this](const obs::StallReport&) {
+      std::fputs(distributed_stall_dump().c_str(), stderr);
+    });
 
   obs::MetricsRegistry& mreg = local_->metrics();
   m_bytes_hub_ = mreg.counter("idxl_net_data_bytes_total",
@@ -270,6 +299,7 @@ void DistributedRuntime::ensure_started() {
       h.peer_stall_window_ms = config_.peer_stall_window_ms;
       h.delta_transfers = delta_ ? 1 : 0;
       h.p2p = 0;  // exec daemons have no route to each other
+      h.enable_profiling = config_.runtime.enable_profiling ? 1 : 0;
       h.fault_plan = fault_plan_spec();
       conns_[i]->send(static_cast<uint8_t>(Msg::kHello), encode_hello(h));
       conns_[i]->send(static_cast<uint8_t>(Msg::kSetup), setup);
@@ -298,7 +328,7 @@ void DistributedRuntime::ensure_started() {
   monitor_ = std::make_unique<net::PeerMonitor>(
       std::move(peers), static_cast<uint8_t>(Msg::kPing),
       config_.heartbeat_period_ms, config_.peer_stall_window_ms,
-      &local_->metrics(), nullptr);
+      &local_->metrics(), nullptr, &net::ClockTable::make_ping);
 }
 
 std::size_t DistributedRuntime::closed_count_locked() const {
@@ -332,6 +362,9 @@ void DistributedRuntime::issue_transfer(const Transfer& t, uint32_t dest) {
   r.field = t.field;
   r.version = t.version;
   r.rect = t.rect;
+  // The launch id the replicated transfer will be assigned — identical on
+  // every rank, so receivers assert their streams stayed aligned.
+  r.launch = local_->peek_next_launch_id();
   // Directive first, on every connection, then the identical local issue:
   // all ranks observe the transfer at the same place in the launch stream.
   broadcast(Msg::kRoute, encode_route(r));
@@ -403,7 +436,8 @@ void DistributedRuntime::plan_index_launch(const IndexLauncher& launcher) {
   });
 }
 
-void DistributedRuntime::send_xfer_data(uint64_t seq, TaskContext& ctx) {
+void DistributedRuntime::send_xfer_data(uint64_t seq, uint64_t launch,
+                                        TaskContext& ctx) {
   const XferArgs xa = ctx.arg<XferArgs>();
   IDXL_REQUIRE(xa.dest >= 1 && xa.dest <= conns_.size(),
                "driver transfer task routed to an invalid destination");
@@ -411,6 +445,7 @@ void DistributedRuntime::send_xfer_data(uint64_t seq, TaskContext& ctx) {
   rd.seq = seq;
   rd.dest = xa.dest;
   rd.sent_ns = steady_now_ns();
+  rd.ctx = obs::TraceContext{launch, seq, 0};
   RegionPatch patch;
   patch.arg = 0;
   patch.field = xa.field;
@@ -432,6 +467,7 @@ void DistributedRuntime::send_xfer_data(uint64_t seq, TaskContext& ctx) {
   TaskDone td;
   td.seq = seq;
   td.data_dest = xa.dest;
+  td.ctx = obs::TraceContext{launch, seq, 0};
   td.outcome.ret = ctx.return_value;
   td.outcome.has_data = false;
   const std::vector<std::byte> payload = encode_task_done(td);
@@ -493,7 +529,13 @@ void DistributedRuntime::on_worker_frame(std::size_t worker, net::Frame& frame) 
         td.outcome.patches = std::move(it->second);
         driver_patches_.erase(it);
       }
-      local_->complete_external(td.seq, std::move(td.outcome));
+      const uint64_t span_start = local_->profiler().now_ns();
+      const uint64_t seq = td.seq;
+      const bool adopted = td.data_dest == 0;
+      const obs::TraceContext ctx = td.ctx;
+      local_->complete_external(seq, std::move(td.outcome));
+      record_apply_span(adopted ? name_xfer_apply_ : name_done_apply_, seq,
+                        ctx, span_start);
       break;
     }
     case Msg::kRegionData: {
@@ -532,10 +574,33 @@ void DistributedRuntime::on_worker_frame(std::size_t worker, net::Frame& frame) 
       fence_cv_.notify_all();
       break;
     }
+    case Msg::kTelemetry: {
+      Telemetry t = decode_telemetry(frame.payload);
+      const bool stall =
+          t.flavor == static_cast<uint8_t>(TelemetryFlavor::kStallPush);
+      {
+        std::lock_guard<std::mutex> lock(fence_mu_);
+        (stall ? stall_push_ : telemetry_)[t.rank] = std::move(t);
+      }
+      if (!stall) fence_cv_.notify_all();
+      break;
+    }
     case Msg::kBye:
       break;  // the recv loop ends right after; on_worker_close records it
-    case Msg::kPing:
+    case Msg::kPing: {
+      // Heartbeat carrying a clock probe: answer pings with a stamped pong,
+      // fold pongs into this worker's offset estimate.
+      const std::vector<std::byte> reply =
+          clocks_->on_probe(static_cast<uint32_t>(worker + 1), frame.payload);
+      if (!reply.empty()) {
+        try {
+          conns_[worker]->send(static_cast<uint8_t>(Msg::kPing), reply);
+        } catch (const std::exception&) {
+          // Dead peer; fence() reports the loss.
+        }
+      }
       break;
+    }
     default:
       // Throwing here lands in recv_loop's catch: the connection is
       // reported closed with this message.
@@ -543,6 +608,23 @@ void DistributedRuntime::on_worker_frame(std::size_t worker, net::Frame& frame) 
                               std::to_string(frame.type) + " (" +
                               msg_name(frame.type) + ")");
   }
+}
+
+void DistributedRuntime::record_apply_span(uint32_t name, uint64_t seq,
+                                           const obs::TraceContext& ctx,
+                                           uint64_t start_ns) {
+  Profiler& prof = local_->profiler();
+  if (!prof.enabled() || !ctx.valid()) return;
+  ProfileEvent ev;
+  ev.name = name;
+  ev.cat = ProfCategory::kExchange;
+  ev.start_ns = start_ns;
+  ev.dur_ns = prof.now_ns() - start_ns;
+  ev.seq = seq;
+  ev.launch = ctx.launch;
+  ev.parent = ctx.span;
+  ev.origin = ctx.origin;
+  prof.record(ev);
 }
 
 void DistributedRuntime::on_worker_close(std::size_t worker,
@@ -611,8 +693,13 @@ bool DistributedRuntime::fence(bool nothrow) {
     acks = std::move(fence_acks_[id]);
     fence_acks_.erase(id);
     // Fold each worker's cumulative data-plane counters in, then publish
-    // run-wide totals to the idxl_net_* series.
-    for (const auto& [worker, ack] : acks) worker_net_[worker] = ack.net;
+    // run-wide totals to the idxl_net_* series. The piggybacked metrics
+    // snapshot refreshes the per-rank cluster view.
+    for (const auto& [worker, ack] : acks) {
+      worker_net_[worker] = ack.net;
+      if (!ack.metrics.empty())
+        worker_metrics_[worker] = deserialize_metrics_snapshot(ack.metrics);
+    }
     publish_net_metrics_locked();
     for (std::size_t i = 0; i < nworkers; ++i) {
       if (acks.count(i) != 0) continue;
@@ -641,17 +728,21 @@ bool DistributedRuntime::fence(bool nothrow) {
 
 LaunchResult DistributedRuntime::execute(const TaskLauncher& launcher) {
   ensure_started();
-  if (!conns_.empty()) {
-    // Serialize first: an unserializable launcher must throw before any
-    // rank sees the frame, or the replicated streams diverge.
-    const std::vector<std::byte> bytes = serialize_task_launcher(launcher);
-    // Plan before the consumer's frame goes out: its kRoute directives must
-    // precede it on every connection so all replicated streams agree.
-    if (delta_ && !launcher.internal)
-      plan_point_task(launcher.launch_domain, launcher.point, launcher.args);
-    broadcast(Msg::kSingle, bytes);
-  }
-  return local_->execute(launcher);
+  if (conns_.empty()) return local_->execute(launcher);
+  // Serialize first: an unserializable launcher must throw before any
+  // rank sees a frame, or the replicated streams diverge.
+  (void)serialize_task_launcher(launcher);
+  // Plan before the consumer's frame goes out: its kRoute directives must
+  // precede it on every connection so all replicated streams agree.
+  if (delta_ && !launcher.internal)
+    plan_point_task(launcher.launch_domain, launcher.point, launcher.args);
+  // Stamp the trace context after planning — the plan's transfer issues
+  // consume launch ids, so only now is the next id this descriptor's.
+  TaskLauncher annotated = launcher;
+  annotated.trace_ctx = obs::TraceContext{local_->peek_next_launch_id(),
+                                          obs::TraceContext::kNone, 0};
+  broadcast(Msg::kSingle, serialize_task_launcher(annotated));
+  return local_->execute(annotated);
 }
 
 LaunchResult DistributedRuntime::execute_index(const IndexLauncher& launcher) {
@@ -670,6 +761,9 @@ LaunchResult DistributedRuntime::execute_index(const IndexLauncher& launcher) {
   LaunchResult result = local_->execute_index(launcher);
   IndexLauncher annotated = launcher;
   annotated.analysis_bundle = local_->export_interference_bundle();
+  // Replicas assert they assign the same launch id rank 0 just did.
+  annotated.trace_ctx =
+      obs::TraceContext{result.launch_id, obs::TraceContext::kNone, 0};
   broadcast(Msg::kLaunch, serialize_launcher(annotated));
   return result;
 }
@@ -718,6 +812,105 @@ DataPlaneStats DistributedRuntime::data_plane_stats() {
   return t;
 }
 
+obs::MetricsSnapshot DistributedRuntime::cluster_metrics() {
+  ensure_started();
+  // A fence refreshes every worker's snapshot via its ack.
+  if (local_ != nullptr && !conns_.empty()) fence(/*nothrow=*/true);
+  std::vector<std::pair<uint32_t, obs::MetricsSnapshot>> ranks;
+  ranks.emplace_back(0, local_->metrics().snapshot());
+  {
+    std::lock_guard<std::mutex> lock(fence_mu_);
+    for (std::size_t i = 0; i < worker_metrics_.size(); ++i)
+      if (!worker_metrics_[i].families.empty())
+        ranks.emplace_back(static_cast<uint32_t>(i + 1), worker_metrics_[i]);
+  }
+  return obs::aggregate_cluster(ranks);
+}
+
+std::string DistributedRuntime::cluster_prometheus() {
+  return cluster_metrics().prometheus_text();
+}
+
+std::string DistributedRuntime::cluster_metrics_json() {
+  return cluster_metrics().json();
+}
+
+obs::ClusterTrace DistributedRuntime::collect_cluster_trace() {
+  ensure_started();
+  obs::ClusterTrace trace;
+  if (!conns_.empty()) {
+    // Quiesce first: workers' recv threads are their issuing threads, and a
+    // telemetry read of the span buffers is only safe with idle pools.
+    fence(/*nothrow=*/true);
+    {
+      std::lock_guard<std::mutex> lock(fence_mu_);
+      telemetry_.clear();
+    }
+    broadcast(Msg::kTelemetryReq, {});
+    std::unique_lock<std::mutex> lk(fence_mu_);
+    fence_cv_.wait_for(lk, std::chrono::seconds(10), [&] {
+      return telemetry_.size() + closed_count_locked() >= conns_.size();
+    });
+  }
+  obs::RankTrace r0;
+  r0.rank = 0;
+  const Profiler& prof = local_->profiler();
+  r0.epoch_ns = prof.epoch_ns();
+  if (prof.enabled()) {
+    r0.names = prof.names();
+    r0.spans = prof.events();
+    r0.samples = prof.task_samples();
+  }
+  r0.recent = local_->flight_recorder().tail(256);
+  trace.ranks.push_back(std::move(r0));
+  std::lock_guard<std::mutex> lock(fence_mu_);
+  for (auto& [rank, t] : telemetry_) {
+    obs::RankTrace rt;
+    rt.rank = rank;
+    const net::ClockEstimate est = clocks_->estimate(rank);
+    rt.clock_offset_ns = est.valid ? est.offset_ns : 0;
+    rt.rtt_ns = est.valid ? est.rtt_ns : 0;
+    rt.epoch_ns = t.epoch_ns;
+    rt.names = std::move(t.names);
+    rt.spans = std::move(t.spans);
+    rt.samples = std::move(t.samples);
+    rt.recent = std::move(t.recent);
+    trace.ranks.push_back(std::move(rt));
+  }
+  telemetry_.clear();
+  return trace;
+}
+
+void DistributedRuntime::write_merged_trace(const std::string& path) {
+  collect_cluster_trace().write_chrome_trace(path);
+}
+
+std::string DistributedRuntime::distributed_stall_dump() {
+  std::vector<obs::RankStall> ranks;
+  obs::RankStall mine;
+  mine.rank = 0;
+  mine.report = local_->stall_report();
+  for (const auto& [seq, label] : local_->pending_externals())
+    mine.pending_externals.push_back(seq);
+  ranks.push_back(std::move(mine));
+  {
+    std::lock_guard<std::mutex> lock(fence_mu_);
+    for (const auto& [rank, t] : stall_push_) {
+      obs::RankStall rs;
+      rs.rank = rank;
+      rs.report.completed = t.completed;
+      rs.report.pending = t.pending;
+      rs.report.window_ms = t.window_ms;
+      rs.report.blocked = t.blocked;
+      rs.report.recent = t.recent;
+      rs.report.metrics = t.metrics;
+      rs.pending_externals = t.pending_externals;
+      ranks.push_back(std::move(rs));
+    }
+  }
+  return obs::merged_stall_dump(ranks);
+}
+
 FaultReport DistributedRuntime::fault_report() const {
   return local_ != nullptr ? local_->fault_report() : FaultReport{};
 }
@@ -753,6 +946,15 @@ void DistributedRuntime::shutdown() {
   if (!started_ || local_ == nullptr) {
     local_.reset();
     return;
+  }
+  if (!trace_path_.empty()) {
+    // Workers are quiescent after the fence inside collect_cluster_trace()
+    // and still listening — the last moment every rank's spans are whole.
+    try {
+      write_merged_trace(trace_path_);
+    } catch (const std::exception&) {
+      // Tracing must never turn a clean shutdown into a failure.
+    }
   }
   if (!conns_.empty()) {
     fence(/*nothrow=*/true);

@@ -9,9 +9,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/clock.hpp"
 #include "net/connection.hpp"
 #include "dist/protocol.hpp"
 #include "dist/version_map.hpp"
+#include "obs/trace_merge.hpp"
 #include "runtime/runtime.hpp"
 
 namespace idxl::dist {
@@ -56,6 +58,11 @@ struct DistConfig {
   /// Test hook: bring the peer links up, then sever them before first use,
   /// so delta payload sends genuinely fail over to the driver relay.
   bool fail_peer_links = false;
+  /// Write the clock-aligned merged Chrome trace of every rank here at
+  /// shutdown (forces profiling on in every process). The IDXL_TRACE env
+  /// var overrides: "1" means "idxl_trace.json", any other value is the
+  /// path, "0"/unset defers to this field.
+  std::string trace_path;
 };
 
 /// Aggregated data-plane accounting across the whole run: the driver's own
@@ -111,6 +118,35 @@ class DistributedRuntime : public RuntimeApi {
   /// Fence, then return run-wide data-plane byte counters (bench/CI gate).
   DataPlaneStats data_plane_stats();
 
+  /// Fence, then aggregate every rank's metrics into one snapshot: each
+  /// series gains a `rank` label and per-family roll-ups appear under
+  /// rank="all" (obs::aggregate_cluster). Worker snapshots ride the fence
+  /// acks, so the view is current as of this call's fence.
+  obs::MetricsSnapshot cluster_metrics();
+  /// cluster_metrics() rendered as one Prometheus exposition / JSON doc.
+  std::string cluster_prometheus();
+  std::string cluster_metrics_json();
+
+  /// Fence, pull every rank's spans + recorder tail (kTelemetryReq), and
+  /// assemble the clock-aligned cluster trace. Rank 0 is the driver's own
+  /// profiler; worker clocks are aligned with the heartbeat-probe offset
+  /// estimates. Requires profiling enabled to carry spans.
+  obs::ClusterTrace collect_cluster_trace();
+  /// collect_cluster_trace() written as a merged Chrome trace file.
+  void write_merged_trace(const std::string& path);
+
+  /// Merged stall dump over the driver's own waits-for graph and the latest
+  /// stall push from each worker's watchdog; names the blocking rank when
+  /// the evidence is conclusive (obs::merged_stall_dump). Also emitted to
+  /// stderr automatically when the driver's own watchdog declares a stall.
+  std::string distributed_stall_dump();
+
+  /// Clock-offset estimate for a worker rank (heartbeat probes; invalid
+  /// until the first pong or for rank 0 / unknown ranks).
+  net::ClockEstimate clock_estimate(uint32_t rank) const {
+    return clocks_ != nullptr ? clocks_->estimate(rank) : net::ClockEstimate{};
+  }
+
   /// The driver's local runtime (tests: counters, flight recorder).
   /// Valid only after the first launch.
   Runtime& local() { return *local_; }
@@ -144,7 +180,10 @@ class DistributedRuntime : public RuntimeApi {
   void issue_transfer(const Transfer& t, uint32_t dest);
   /// on_task_success arm for the driver-owned transfer task: extract the
   /// rect, ship it to the destination, announce a slim outcome.
-  void send_xfer_data(uint64_t seq, TaskContext& ctx);
+  void send_xfer_data(uint64_t seq, uint64_t launch, TaskContext& ctx);
+  /// Record the receiving half of a remote span pair on the local profiler.
+  void record_apply_span(uint32_t name, uint64_t seq,
+                         const obs::TraceContext& ctx, uint64_t start_ns);
   /// Fold current totals into the idxl_net_* metric series (fence_mu_ held).
   void publish_net_metrics_locked();
 
@@ -156,9 +195,13 @@ class DistributedRuntime : public RuntimeApi {
 
   bool started_ = false;
   bool delta_ = false;  ///< effective mode, fixed at ensure_started()
+  std::string trace_path_;  ///< effective (config + IDXL_TRACE), see DistConfig
   std::unique_ptr<Runtime> local_;
   std::vector<std::unique_ptr<net::Connection>> conns_;  // worker rank r -> [r-1]
   std::unique_ptr<net::PeerMonitor> monitor_;
+  std::unique_ptr<net::ClockTable> clocks_;  ///< per-worker offset estimates
+  uint32_t name_xfer_apply_ = 0;  ///< interned remote-parent span names
+  uint32_t name_done_apply_ = 0;
   std::vector<pid_t> children_;
 
   /// Driver-only coherence map; every plan_* call runs on the issuing
@@ -186,6 +229,12 @@ class DistributedRuntime : public RuntimeApi {
   std::map<uint64_t, std::map<std::size_t, FenceAck>> fence_acks_;
   /// Latest cumulative per-worker counters (fence_mu_).
   std::vector<DataPlaneCounters> worker_net_;
+  /// Latest metrics snapshot per worker index, from fence acks (fence_mu_).
+  std::vector<obs::MetricsSnapshot> worker_metrics_;
+  /// Shutdown-pull telemetry by rank, answering kTelemetryReq (fence_mu_).
+  std::map<uint32_t, Telemetry> telemetry_;
+  /// Latest stall push per rank from worker watchdogs (fence_mu_).
+  std::map<uint32_t, Telemetry> stall_push_;
   /// Totals already folded into the metric counters (fence_mu_).
   DataPlaneStats metrics_emitted_;
   std::vector<std::string> peer_errors_;  // non-empty entry = worker trouble

@@ -4,6 +4,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_context.hpp"
+#include "obs/watchdog.hpp"
 #include "region/region_forest.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/physical.hpp"
@@ -41,9 +46,11 @@ enum class Msg : uint8_t {
   kFenceAck,    ///< worker -> driver: fence id + serialized FaultReport
   kShutdown,    ///< driver -> worker: drain and exit
   kBye,         ///< worker -> driver: teardown complete
-  kPing,        ///< heartbeat, either direction; ignored beyond liveness
-  kRoute,       ///< driver -> worker: delta-transfer directive (v3)
-  kRegionData,  ///< src rank -> dest rank, direct or driver-relayed (v3)
+  kPing,          ///< heartbeat + clock probe, either direction (net/clock.hpp)
+  kRoute,         ///< driver -> worker: delta-transfer directive (v3)
+  kRegionData,    ///< src rank -> dest rank, direct or driver-relayed (v3)
+  kTelemetryReq,  ///< driver -> worker: ship your trace + metrics (v4)
+  kTelemetry,     ///< worker -> driver: spans, recorder tail, metrics (v4)
 };
 
 /// Metric-label name per message type (NetObs::type_name).
@@ -59,6 +66,7 @@ struct Hello {
   uint32_t peer_stall_window_ms = 10000;
   uint8_t delta_transfers = 1;    ///< 0 = star-hub full-block baseline
   uint8_t p2p = 0;                ///< direct worker links available (fork mode)
+  uint8_t enable_profiling = 0;   ///< record spans for the cluster trace (v4)
   std::string fault_plan;         ///< FaultPlan::to_string spec; "" = none
 };
 std::vector<std::byte> encode_hello(const Hello& h);
@@ -96,6 +104,9 @@ struct TaskDone {
   /// Rank receiving this task's bytes via kRegionData (transfer tasks
   /// only); the driver excludes it from the TaskDone relay.
   uint32_t data_dest = kNoDest;
+  /// Causal parent of the external completion: the executing rank and the
+  /// task's launch id there (span = seq; replication makes it global).
+  obs::TraceContext ctx;
   RemoteOutcome outcome;
 };
 std::vector<std::byte> encode_task_done(const TaskDone& t);
@@ -121,6 +132,10 @@ struct Route {
   FieldId field = 0;
   uint64_t version = 0;
   Rect rect;
+  /// Launch id the replicated transfer task will be assigned — identical
+  /// on every rank by control replication, so receivers assert equality
+  /// (a mismatch means the launch streams diverged) and spans correlate.
+  uint64_t launch = UINT64_MAX;
 };
 std::vector<std::byte> encode_route(const Route& r);
 Route decode_route(const std::vector<std::byte>& bytes);
@@ -137,6 +152,9 @@ struct RegionData {
   uint64_t seq = 0;
   uint32_t dest = 0;
   uint64_t sent_ns = 0;  ///< sender steady-clock; same-host latency probe
+  /// Causal parent: the producing transfer task's span on the sending rank
+  /// (span = seq — replicated — so origin + seq finds it in the merge).
+  obs::TraceContext ctx;
   std::vector<RegionPatch> patches;
 };
 std::vector<std::byte> encode_region_data(const RegionData& r);
@@ -156,10 +174,49 @@ struct FenceAck {
   uint64_t fence = 0;
   FaultReport report;
   DataPlaneCounters net;
+  /// Serialized MetricsSnapshot of the worker's registry (may be empty):
+  /// fences are rare and snapshots small, so every ack refreshes the
+  /// driver's per-rank metrics view for cluster aggregation.
+  std::vector<std::byte> metrics;
 };
 std::vector<std::byte> encode_fence(uint64_t fence);
 uint64_t decode_fence(const std::vector<std::byte>& bytes);
 std::vector<std::byte> encode_fence_ack(const FenceAck& a);
 FenceAck decode_fence_ack(const std::vector<std::byte>& bytes);
+
+/// MetricsSnapshot codec, reused by FenceAck piggybacking and kTelemetry.
+std::vector<std::byte> serialize_metrics_snapshot(const obs::MetricsSnapshot& m);
+obs::MetricsSnapshot deserialize_metrics_snapshot(
+    const std::vector<std::byte>& bytes);
+
+/// Why a rank shipped its telemetry.
+enum class TelemetryFlavor : uint8_t {
+  kShutdownPull = 0,  ///< answering the driver's kTelemetryReq at shutdown
+  kStallPush = 1,     ///< the rank's own watchdog declared a stall
+};
+
+/// One rank's observability state on the wire: everything the driver needs
+/// for the clock-aligned trace merge (spans + intern table + epoch), the
+/// flight-recorder tail, a metrics snapshot, and — for stall pushes — the
+/// waits-for graph so the distributed watchdog can name the blocking rank.
+struct Telemetry {
+  uint32_t rank = 0;
+  uint8_t flavor = 0;     ///< TelemetryFlavor
+  uint64_t epoch_ns = 0;  ///< profiler epoch, absolute steady-clock ns
+  std::vector<std::string> names;  ///< profiler intern table
+  std::vector<ProfileEvent> spans;
+  std::vector<TaskSample> samples;
+  std::vector<obs::FlightEvent> recent;
+  obs::MetricsSnapshot metrics;
+  // Stall-push fields (zero/empty on shutdown pulls).
+  uint64_t completed = 0;
+  uint64_t pending = 0;
+  uint64_t window_ms = 0;
+  std::vector<obs::BlockedTask> blocked;
+  /// Task seqs this rank still expects TaskDone/kRegionData for.
+  std::vector<uint64_t> pending_externals;
+};
+std::vector<std::byte> encode_telemetry(const Telemetry& t);
+Telemetry decode_telemetry(const std::vector<std::byte>& bytes);
 
 }  // namespace idxl::dist

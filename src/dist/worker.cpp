@@ -30,14 +30,15 @@ WorkerSession::WorkerSession(net::Socket sock, uint32_t rank, uint32_t nranks,
   // by the arithmetic checker before any probe is skipped. An uncertified
   // pair falls back to the full dependence walk (fail closed).
   config.interference_import_only = true;
-  config.on_task_success = [this](uint64_t seq, uint64_t, const Point&,
+  config.on_task_success = [this](uint64_t seq, uint64_t launch, const Point&,
                                   TaskContext& ctx) {
     if (dp_.delta && ctx.fn == dp_.xfer_task) {
-      send_xfer_data(seq, ctx);
+      send_xfer_data(seq, launch, ctx);
       return;
     }
     TaskDone td;
     td.seq = seq;
+    td.ctx = obs::TraceContext{launch, seq, rank_};
     td.outcome.ret = ctx.return_value;
     if (!dp_.delta || needs_full_outcome(ctx)) {
       for (PhysicalRegion& pr : ctx.regions)
@@ -54,6 +55,7 @@ WorkerSession::WorkerSession(net::Socket sock, uint32_t rank, uint32_t nranks,
   config.on_task_fault = [this](const TaskFault& fault) {
     TaskDone td;
     td.seq = fault.seq;
+    td.ctx = obs::TraceContext{fault.launch, fault.seq, rank_};
     td.outcome.kind = fault.kind;
     td.outcome.root = fault.root;
     td.outcome.attempts = fault.attempts;
@@ -62,6 +64,9 @@ WorkerSession::WorkerSession(net::Socket sock, uint32_t rank, uint32_t nranks,
   };
   rt_ = std::make_unique<Runtime>(std::move(config), std::move(forest));
   for (const auto& [name, fn] : tasks) rt_->register_task(name, fn);
+  clocks_ = std::make_unique<net::ClockTable>(&rt_->metrics());
+  name_xfer_apply_ = rt_->profiler().intern("xfer-apply");
+  name_done_apply_ = rt_->profiler().intern("done-apply");
   net::NetObs obs;
   obs.metrics = &rt_->metrics();
   obs.recorder =
@@ -81,11 +86,14 @@ WorkerSession::WorkerSession(net::Socket sock, uint32_t rank, uint32_t nranks,
   for (auto& [peer_rank, psock] : dp_.peers) {
     auto pconn = std::make_unique<net::Connection>(
         std::move(psock), "peer-" + std::to_string(peer_rank), obs);
+    net::Connection* raw = pconn.get();
     pconn->start_recv(
-        [this](net::Frame& frame) {
+        [this, peer_rank = peer_rank, raw](net::Frame& frame) {
           if (frame.type == static_cast<uint8_t>(Msg::kRegionData))
             apply_region_data(decode_region_data(frame.payload));
-          // kPing and anything else: liveness only.
+          else if (frame.type == static_cast<uint8_t>(Msg::kPing))
+            handle_ping(peer_rank, *raw, frame.payload);
+          // anything else: liveness only.
         },
         [](const std::string&) {
           // A dead peer link only disables the direct path; send_xfer_data
@@ -99,6 +107,71 @@ WorkerSession::WorkerSession(net::Socket sock, uint32_t rank, uint32_t nranks,
     // the relay fallback is genuinely exercised.
     for (auto& [peer_rank, c] : peers_) c->close();
   }
+
+  // Distributed watchdog: a locally declared stall is pushed to the driver
+  // (waits-for graph, recorder tail, metrics, and the seqs of outcomes this
+  // rank is still owed), so the driver-side dump can merge all ranks and
+  // name the one that is actually blocking.
+  if (obs::Watchdog* wd = rt_->watchdog()) {
+    wd->set_on_stall([this](const obs::StallReport& report) {
+      Telemetry t = make_telemetry(TelemetryFlavor::kStallPush);
+      t.completed = report.completed;
+      t.pending = report.pending;
+      t.window_ms = report.window_ms;
+      t.blocked = report.blocked;
+      try {
+        conn_->send(static_cast<uint8_t>(Msg::kTelemetry), encode_telemetry(t));
+      } catch (const std::exception&) {
+        // Driver is gone; the local dump already went to stderr.
+      }
+    });
+  }
+}
+
+void WorkerSession::handle_ping(uint32_t peer_rank, net::Connection& conn,
+                                const std::vector<std::byte>& payload) {
+  const std::vector<std::byte> reply = clocks_->on_probe(peer_rank, payload);
+  if (reply.empty()) return;
+  try {
+    conn.send(static_cast<uint8_t>(Msg::kPing), reply);
+  } catch (const std::exception&) {
+    // Connection tearing down; the next heartbeat will probe again.
+  }
+}
+
+void WorkerSession::record_apply_span(uint32_t name, uint64_t seq,
+                                      const obs::TraceContext& ctx,
+                                      uint64_t start_ns) {
+  Profiler& prof = rt_->profiler();
+  if (!prof.enabled() || !ctx.valid()) return;
+  ProfileEvent ev;
+  ev.name = name;
+  ev.cat = ProfCategory::kExchange;
+  ev.start_ns = start_ns;
+  ev.dur_ns = prof.now_ns() - start_ns;
+  ev.seq = seq;
+  ev.launch = ctx.launch;
+  ev.parent = ctx.span;
+  ev.origin = ctx.origin;
+  prof.record(ev);
+}
+
+Telemetry WorkerSession::make_telemetry(TelemetryFlavor flavor) {
+  Telemetry t;
+  t.rank = rank_;
+  t.flavor = static_cast<uint8_t>(flavor);
+  Profiler& prof = rt_->profiler();
+  t.epoch_ns = prof.epoch_ns();
+  if (prof.enabled()) {
+    t.names = prof.names();
+    t.spans = prof.events();
+    t.samples = prof.task_samples();
+  }
+  t.recent = rt_->flight_recorder().tail(256);
+  t.metrics = rt_->metrics().snapshot();
+  for (const auto& [seq, label] : rt_->pending_externals())
+    t.pending_externals.push_back(seq);
+  return t;
 }
 
 net::Connection* WorkerSession::peer_conn(uint32_t rank) {
@@ -107,12 +180,14 @@ net::Connection* WorkerSession::peer_conn(uint32_t rank) {
   return nullptr;
 }
 
-void WorkerSession::send_xfer_data(uint64_t seq, TaskContext& ctx) {
+void WorkerSession::send_xfer_data(uint64_t seq, uint64_t launch,
+                                   TaskContext& ctx) {
   const XferArgs xa = ctx.arg<XferArgs>();
   RegionData rd;
   rd.seq = seq;
   rd.dest = xa.dest;
   rd.sent_ns = steady_now_ns();
+  rd.ctx = obs::TraceContext{launch, seq, rank_};
   RegionPatch patch;
   patch.arg = 0;
   patch.field = xa.field;
@@ -148,6 +223,7 @@ void WorkerSession::send_xfer_data(uint64_t seq, TaskContext& ctx) {
   TaskDone td;
   td.seq = seq;
   td.data_dest = xa.dest;
+  td.ctx = obs::TraceContext{launch, seq, rank_};
   td.outcome.ret = ctx.return_value;
   td.outcome.has_data = false;
   conn_->send(static_cast<uint8_t>(Msg::kTaskDone), encode_task_done(td));
@@ -158,12 +234,19 @@ void WorkerSession::apply_region_data(RegionData rd) {
                "region-data payload delivered to the wrong rank");
   const uint64_t now = steady_now_ns();
   if (rd.sent_ns != 0 && now >= rd.sent_ns) xfer_latency_.observe(now - rd.sent_ns);
+  const uint64_t span_start = rt_->profiler().now_ns();
+  const uint64_t seq = rd.seq;
+  const obs::TraceContext ctx = rd.ctx;
   RemoteOutcome o;
   o.has_data = false;
   o.patches = std::move(rd.patches);
   // May arrive before this rank issued the transfer task (direct links race
   // the driver's kRoute); complete_external buffers unknown seqs.
-  rt_->complete_external(rd.seq, std::move(o));
+  rt_->complete_external(seq, std::move(o));
+  // The receiving half of the transfer edge: parented on the producing
+  // transfer span of the sending rank, so the merged trace can draw a flow
+  // arrow from the source lane into this one.
+  record_apply_span(name_xfer_apply_, seq, ctx, span_start);
 }
 
 void WorkerSession::run() {
@@ -172,7 +255,7 @@ void WorkerSession::run() {
     if (!dp_.fail_peer_links) monitored.push_back(c.get());
   monitor_ = std::make_unique<net::PeerMonitor>(
       std::move(monitored), static_cast<uint8_t>(Msg::kPing), heartbeat_ms_,
-      window_ms_, &rt_->metrics(), nullptr);
+      window_ms_, &rt_->metrics(), nullptr, &net::ClockTable::make_ping);
   conn_->send(static_cast<uint8_t>(Msg::kHelloAck), {});
   const std::string err =
       conn_->recv_loop([this](net::Frame& frame) { on_frame(frame); });
@@ -197,6 +280,10 @@ void WorkerSession::on_frame(net::Frame& frame) {
       // Replicated transfer issuance: every rank builds the identical
       // launcher, so seq numbers stay aligned; only `src` runs the body.
       const Route r = decode_route(frame.payload);
+      IDXL_REQUIRE(r.launch == UINT64_MAX ||
+                       r.launch == rt_->peek_next_launch_id(),
+                   "transfer launch id diverged from the routing directive "
+                   "(control replication bug)");
       rt_->execute(make_xfer_launcher(dp_.xfer_task, r, nranks_));
       break;
     }
@@ -206,7 +293,11 @@ void WorkerSession::on_frame(net::Frame& frame) {
       break;
     case Msg::kTaskDone: {
       TaskDone td = decode_task_done(frame.payload);
-      rt_->complete_external(td.seq, std::move(td.outcome));
+      const uint64_t span_start = rt_->profiler().now_ns();
+      const uint64_t seq = td.seq;
+      const obs::TraceContext ctx = td.ctx;
+      rt_->complete_external(seq, std::move(td.outcome));
+      record_apply_span(name_done_apply_, seq, ctx, span_start);
       break;
     }
     case Msg::kFence: {
@@ -223,9 +314,18 @@ void WorkerSession::on_frame(net::Frame& frame) {
       ack.net.bytes_relay = net_.bytes_relay.load(std::memory_order_relaxed);
       ack.net.bytes_p2p = net_.bytes_p2p.load(std::memory_order_relaxed);
       ack.net.transfers = net_.transfers.load(std::memory_order_relaxed);
+      // Piggyback a metrics snapshot: fences are rare and snapshots small,
+      // so every ack refreshes the driver's per-rank cluster view.
+      ack.metrics = serialize_metrics_snapshot(rt_->metrics().snapshot());
       conn_->send(static_cast<uint8_t>(Msg::kFenceAck), encode_fence_ack(ack));
       break;
     }
+    case Msg::kTelemetryReq:
+      // Only sent at quiescent moments (post-fence), so reading the profiler
+      // and recorder buffers from this — the issuing — thread is safe.
+      conn_->send(static_cast<uint8_t>(Msg::kTelemetry),
+                  encode_telemetry(make_telemetry(TelemetryFlavor::kShutdownPull)));
+      break;
     case Msg::kShutdown:
       conn_->send(static_cast<uint8_t>(Msg::kBye), {});
       conn_->drain();
@@ -233,6 +333,7 @@ void WorkerSession::on_frame(net::Frame& frame) {
       conn_->shutdown_read();
       break;
     case Msg::kPing:
+      handle_ping(/*peer_rank=*/0, *conn_, frame.payload);
       break;
     default:
       IDXL_REQUIRE(false, "worker received unexpected frame type " +
@@ -299,6 +400,7 @@ void WorkerSession::serve(net::Socket sock) {
 
   RuntimeConfig rc;
   rc.workers = hello.workers;
+  rc.enable_profiling = hello.enable_profiling != 0;
   if (!hello.fault_plan.empty())
     rc.fault_plan =
         std::make_shared<const FaultPlan>(FaultPlan::parse(hello.fault_plan));

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/clock.hpp"
 #include "net/connection.hpp"
 #include "dist/protocol.hpp"
 #include "runtime/runtime.hpp"
@@ -53,11 +54,21 @@ class WorkerSession {
   /// on_task_success arm for the transfer task: extract the routed rect,
   /// push it to the destination (direct link first, driver relay as the
   /// fallback), then announce a slim outcome upward.
-  void send_xfer_data(uint64_t seq, TaskContext& ctx);
+  void send_xfer_data(uint64_t seq, uint64_t launch, TaskContext& ctx);
   /// A kRegionData payload for this rank (direct or driver-relayed):
   /// complete the external transfer node with its patches.
   void apply_region_data(RegionData rd);
   net::Connection* peer_conn(uint32_t rank);
+  /// Answer a clock probe riding a kPing frame from `peer_rank`; the reply
+  /// (a pong, when the probe was a ping) goes back on `conn`.
+  void handle_ping(uint32_t peer_rank, net::Connection& conn,
+                   const std::vector<std::byte>& payload);
+  /// Record the receiving half of a remote span pair: a kExchange span
+  /// whose parent is `ctx` on the origin rank. No-op unless profiling.
+  void record_apply_span(uint32_t name, uint64_t seq,
+                         const obs::TraceContext& ctx, uint64_t start_ns);
+  /// This rank's observability state for the driver (kTelemetry payload).
+  Telemetry make_telemetry(TelemetryFlavor flavor);
 
   uint32_t rank_;
   uint32_t nranks_;
@@ -81,6 +92,12 @@ class WorkerSession {
     std::atomic<uint64_t> transfers{0};
   } net_;
   obs::Histogram xfer_size_, xfer_latency_;
+
+  /// Per-peer clock-offset estimates from probes riding the heartbeats.
+  std::unique_ptr<net::ClockTable> clocks_;
+  /// Interned profiler names for the remote-parent apply spans.
+  uint32_t name_xfer_apply_ = 0;
+  uint32_t name_done_apply_ = 0;
 };
 
 }  // namespace idxl::dist

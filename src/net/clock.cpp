@@ -1,0 +1,117 @@
+#include "net/clock.hpp"
+
+#include <chrono>
+#include <string>
+
+namespace idxl::net {
+
+namespace {
+
+uint64_t steady_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void put_u64(std::vector<std::byte>& out, std::size_t at, uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i)
+    out[at + i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+}
+
+uint64_t get_u64(const std::vector<std::byte>& in, std::size_t at) {
+  uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(std::to_integer<uint8_t>(in[at + i])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> ClockProbe::encode() const {
+  std::vector<std::byte> out(kWireSize);
+  out[0] = static_cast<std::byte>(pong);
+  put_u64(out, 1, t1_ns);
+  put_u64(out, 9, t2_ns);
+  return out;
+}
+
+bool ClockProbe::decode(const std::vector<std::byte>& payload, ClockProbe& out) {
+  if (payload.size() != kWireSize) return false;
+  const auto tag = std::to_integer<uint8_t>(payload[0]);
+  if (tag > 1) return false;
+  out.pong = tag;
+  out.t1_ns = get_u64(payload, 1);
+  out.t2_ns = get_u64(payload, 9);
+  return true;
+}
+
+std::vector<std::byte> ClockTable::make_ping() {
+  ClockProbe probe;
+  probe.pong = 0;
+  probe.t1_ns = steady_ns();
+  return probe.encode();
+}
+
+std::vector<std::byte> ClockTable::on_probe(uint32_t peer_rank,
+                                            const std::vector<std::byte>& payload) {
+  ClockProbe probe;
+  if (!ClockProbe::decode(payload, probe)) return {};
+  if (probe.pong == 0) {
+    // Request: echo t1, stamp our clock as late as possible.
+    ClockProbe reply = probe;
+    reply.pong = 1;
+    reply.t2_ns = steady_ns();
+    return reply.encode();
+  }
+  // Reply: one midpoint sample, EWMA-smoothed into the peer's estimate.
+  const uint64_t t3 = steady_ns();
+  if (t3 < probe.t1_ns) return {};  // clock went backwards; drop the sample
+  const uint64_t rtt = t3 - probe.t1_ns;
+  const int64_t offset =
+      static_cast<int64_t>(probe.t2_ns) -
+      static_cast<int64_t>(probe.t1_ns / 2 + t3 / 2 + (probe.t1_ns & t3 & 1));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(peer_rank);
+  if (it == states_.end()) {
+    State st;
+    if (metrics_ != nullptr) {
+      const std::string rank = std::to_string(peer_rank);
+      st.offset_gauge = metrics_->gauge(
+          "idxl_net_clock_offset_ns",
+          "peer steady clock minus local, midpoint estimate (EWMA)",
+          {{"rank", rank}});
+      st.rtt_gauge = metrics_->gauge("idxl_net_clock_rtt_ns",
+                                     "clock-probe round trip (EWMA); the "
+                                     "offset is correct to within half of it",
+                                     {{"rank", rank}});
+    }
+    it = states_.emplace(peer_rank, std::move(st)).first;
+  }
+  ClockEstimate& est = it->second.est;
+  if (!est.valid) {
+    est.valid = true;
+    est.offset_ns = offset;
+    est.rtt_ns = rtt;
+  } else {
+    // EWMA with alpha = 1/4: new = old + (sample - old) / 4.
+    est.offset_ns += (offset - est.offset_ns) / 4;
+    est.rtt_ns =
+        static_cast<uint64_t>(static_cast<int64_t>(est.rtt_ns) +
+                              (static_cast<int64_t>(rtt) -
+                               static_cast<int64_t>(est.rtt_ns)) /
+                                  4);
+  }
+  ++est.samples;
+  it->second.offset_gauge.set(est.offset_ns);
+  it->second.rtt_gauge.set(static_cast<int64_t>(est.rtt_ns));
+  return {};
+}
+
+ClockEstimate ClockTable::estimate(uint32_t peer_rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(peer_rank);
+  return it != states_.end() ? it->second.est : ClockEstimate{};
+}
+
+}  // namespace idxl::net

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace idxl::net {
+
+/// One ping-pong clock probe, piggybacked on PeerMonitor heartbeats. The
+/// originator stamps t1 when the ping leaves; the responder echoes t1 and
+/// stamps t2 from its own clock; back at the originator (t3) the midpoint
+/// method estimates the peer's clock offset as t2 - (t1+t3)/2, correct to
+/// within ±rtt/2. All timestamps are absolute steady-clock nanoseconds.
+struct ClockProbe {
+  static constexpr std::size_t kWireSize = 17;
+
+  uint8_t pong = 0;    ///< 0 = ping (request), 1 = pong (reply)
+  uint64_t t1_ns = 0;  ///< originator's clock when the ping left
+  uint64_t t2_ns = 0;  ///< responder's clock when it replied (pong only)
+
+  std::vector<std::byte> encode() const;
+  /// False when the payload is not a probe (e.g. a payload-less heartbeat
+  /// from an older build) — callers treat that as liveness only.
+  static bool decode(const std::vector<std::byte>& payload, ClockProbe& out);
+};
+
+/// A peer's estimated clock alignment, as exported to the trace merge.
+struct ClockEstimate {
+  bool valid = false;
+  int64_t offset_ns = 0;  ///< peer steady clock minus local steady clock
+  uint64_t rtt_ns = 0;    ///< smoothed probe round trip (error bound: ±rtt/2)
+  uint64_t samples = 0;   ///< pongs absorbed
+};
+
+/// Per-peer clock-offset estimator: absorbs probe pongs, EWMA-smooths the
+/// midpoint estimates, and exports `idxl_net_clock_offset_ns{rank}` /
+/// `idxl_net_clock_rtt_ns{rank}` gauges. Thread-safe — probes arrive on
+/// per-connection receive threads.
+class ClockTable {
+ public:
+  explicit ClockTable(obs::MetricsRegistry* metrics = nullptr)
+      : metrics_(metrics) {}
+
+  /// A fresh ping payload (t1 = now) — what PeerMonitor piggybacks on its
+  /// heartbeats.
+  static std::vector<std::byte> make_ping();
+
+  /// Handle a probe received on the link to `peer_rank`. A ping returns
+  /// the pong payload to send back; a pong is absorbed into the estimate
+  /// and returns empty, as does an undecodable (legacy) heartbeat.
+  std::vector<std::byte> on_probe(uint32_t peer_rank,
+                                  const std::vector<std::byte>& payload);
+
+  ClockEstimate estimate(uint32_t peer_rank) const;
+
+ private:
+  struct State {
+    ClockEstimate est;
+    obs::Gauge offset_gauge;
+    obs::Gauge rtt_gauge;
+  };
+
+  obs::MetricsRegistry* metrics_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint32_t, State> states_;
+};
+
+}  // namespace idxl::net

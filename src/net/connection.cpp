@@ -180,13 +180,15 @@ void Connection::close() {
 
 PeerMonitor::PeerMonitor(std::vector<Connection*> peers, uint8_t ping_type,
                          uint32_t period_ms, uint32_t stall_window_ms,
-                         obs::MetricsRegistry* metrics, StallHandler on_stall)
+                         obs::MetricsRegistry* metrics, StallHandler on_stall,
+                         PingPayloadFn ping_payload)
     : peers_(std::move(peers)),
       stalled_(peers_.size(), false),
       ping_type_(ping_type),
       period_ms_(period_ms),
       window_ms_(stall_window_ms),
-      on_stall_(std::move(on_stall)) {
+      on_stall_(std::move(on_stall)),
+      ping_payload_(std::move(ping_payload)) {
   if (metrics != nullptr)
     stalls_ = metrics->counter("idxl_net_peer_stalls_total",
                                "peers silent past the stall window");
@@ -222,7 +224,10 @@ void PeerMonitor::main() {
       Connection* c = peers_[i];
       if (c->closed()) continue;
       try {
-        c->send(ping_type_, {});
+        // A fresh payload per peer: clock probes stamp send time, so one
+        // shared buffer would skew every peer after the first.
+        c->send(ping_type_, ping_payload_ ? ping_payload_()
+                                          : std::vector<std::byte>{});
       } catch (const std::exception&) {
         continue;  // connection tore down between the check and the send
       }

@@ -111,14 +111,18 @@ class Connection {
 /// frames every `period_ms`, and any peer silent for longer than
 /// `stall_window_ms` raises `idxl_net_peer_stalls_total` and invokes the
 /// callback (once per stall episode). Peers answering pings (or sending
-/// anything at all) stay clear of the window.
+/// anything at all) stay clear of the window. An optional payload provider
+/// piggybacks data on each heartbeat — the clock probes (net/clock.hpp)
+/// ride along this way, so offset estimation costs no extra frames.
 class PeerMonitor {
  public:
   using StallHandler = std::function<void(const std::string& peer)>;
+  using PingPayloadFn = std::function<std::vector<std::byte>()>;
 
   PeerMonitor(std::vector<Connection*> peers, uint8_t ping_type,
               uint32_t period_ms, uint32_t stall_window_ms,
-              obs::MetricsRegistry* metrics, StallHandler on_stall);
+              obs::MetricsRegistry* metrics, StallHandler on_stall,
+              PingPayloadFn ping_payload = nullptr);
   ~PeerMonitor();
 
   void stop();
@@ -132,6 +136,7 @@ class PeerMonitor {
   uint32_t period_ms_;
   uint32_t window_ms_;
   StallHandler on_stall_;
+  PingPayloadFn ping_payload_;
   obs::Counter stalls_;
 
   std::mutex mu_;

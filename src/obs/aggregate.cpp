@@ -1,0 +1,116 @@
+#include "obs/aggregate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace idxl::obs {
+
+namespace {
+
+bool has_rank_label(const Labels& labels) {
+  for (const auto& [k, v] : labels)
+    if (k == "rank") return true;
+  return false;
+}
+
+Labels with_rank(const Labels& labels, const std::string& rank) {
+  Labels out = labels;
+  out.emplace_back("rank", rank);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Stable key for grouping roll-up series by their rank-less label set.
+std::string label_key(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1e';
+  }
+  return key;
+}
+
+struct RollUp {
+  Labels labels;  // without the rank label
+  uint64_t counter = 0;
+  int64_t gauge = 0;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::map<uint64_t, uint64_t> bucket_incs;  // le -> merged increment
+};
+
+/// Cumulative (le, count) pairs back to per-bucket increments.
+void add_increments(const SeriesSnapshot& s, std::map<uint64_t, uint64_t>& incs) {
+  uint64_t prev = 0;
+  for (const auto& [le, cumulative] : s.buckets) {
+    if (cumulative > prev) incs[le] += cumulative - prev;
+    prev = cumulative;
+  }
+}
+
+}  // namespace
+
+MetricsSnapshot aggregate_cluster(
+    const std::vector<std::pair<uint32_t, MetricsSnapshot>>& ranks) {
+  MetricsSnapshot out;
+  std::vector<std::map<std::string, RollUp>> rollups;  // parallel to families
+  for (const auto& [rank, snap] : ranks) {
+    out.taken_ns = std::max(out.taken_ns, snap.taken_ns);
+    const std::string rank_str = std::to_string(rank);
+    for (const FamilySnapshot& f : snap.families) {
+      FamilySnapshot* family = nullptr;
+      for (std::size_t i = 0; i < out.families.size(); ++i) {
+        if (out.families[i].name == f.name) {
+          family = &out.families[i];
+          if (family->help.empty()) family->help = f.help;
+          break;
+        }
+      }
+      if (family == nullptr) {
+        out.families.push_back({f.name, f.help, f.kind, {}});
+        rollups.emplace_back();
+        family = &out.families.back();
+      }
+      auto& roll = rollups[static_cast<std::size_t>(family - out.families.data())];
+      for (const SeriesSnapshot& s : f.series) {
+        SeriesSnapshot tagged = s;
+        if (!has_rank_label(tagged.labels)) {
+          tagged.labels = with_rank(tagged.labels, rank_str);
+          RollUp& r = roll[label_key(s.labels)];
+          r.labels = s.labels;
+          r.counter += s.counter;
+          r.gauge += s.gauge;
+          r.count += s.count;
+          r.sum += s.sum;
+          if (f.kind == MetricKind::kHistogram) add_increments(s, r.bucket_incs);
+        }
+        family->series.push_back(std::move(tagged));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < out.families.size(); ++i) {
+    for (auto& [key, r] : rollups[i]) {
+      SeriesSnapshot all;
+      all.labels = with_rank(r.labels, "all");
+      all.counter = r.counter;
+      all.gauge = r.gauge;
+      all.count = r.count;
+      all.sum = r.sum;
+      uint64_t cumulative = 0;
+      for (const auto& [le, inc] : r.bucket_incs) {
+        cumulative += inc;
+        all.buckets.emplace_back(le, cumulative);
+      }
+      if (out.families[i].kind == MetricKind::kHistogram &&
+          (all.buckets.empty() || all.buckets.back().first != UINT64_MAX))
+        all.buckets.emplace_back(UINT64_MAX, cumulative);
+      out.families[i].series.push_back(std::move(all));
+    }
+  }
+  return out;
+}
+
+}  // namespace idxl::obs

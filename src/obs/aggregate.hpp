@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace idxl::obs {
+
+/// Merge per-rank MetricsSnapshots into one cluster-wide view: every series
+/// gains a `rank="<r>"` label naming the process it came from, and each
+/// family additionally gets roll-up series labeled `rank="all"` — counters
+/// and gauges summed, histograms bucket-merged on their shared
+/// power-of-two boundaries (counts and sums add; cumulative bucket counts
+/// are rebuilt from the merged increments). Families keep first-appearance
+/// order so repeated exports diff cleanly; a series that already carries a
+/// `rank` label is passed through untouched and excluded from the roll-up
+/// (aggregating an aggregate would double-count).
+MetricsSnapshot aggregate_cluster(
+    const std::vector<std::pair<uint32_t, MetricsSnapshot>>& ranks);
+
+}  // namespace idxl::obs

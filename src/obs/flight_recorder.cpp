@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/json.hpp"
 #include "obs/profiler.hpp"
 
 namespace idxl::obs {
@@ -221,10 +222,11 @@ std::string FlightRecorder::json(std::span<const FlightEvent> events) {
   char buf[192];
   bool first = true;
   for (const FlightEvent& e : events) {
-    std::snprintf(buf, sizeof(buf),
-                  "%s{\"ts_ns\":%" PRIu64 ",\"event\":\"%s\",\"worker\":%d",
-                  first ? "" : ",", e.ts_ns, lifecycle_event_name(e.kind),
-                  e.worker);
+    std::snprintf(buf, sizeof(buf), "%s{\"ts_ns\":%" PRIu64 ",\"event\":",
+                  first ? "" : ",", e.ts_ns);
+    out += buf;
+    out += json_quote(lifecycle_event_name(e.kind));
+    std::snprintf(buf, sizeof(buf), ",\"worker\":%d", e.worker);
     out += buf;
     first = false;
     if (e.seq != FlightEvent::kNone) {
@@ -240,9 +242,8 @@ std::string FlightRecorder::json(std::span<const FlightEvent> events) {
       out += buf;
     }
     if (e.detail != LifecycleDetail::kNone) {
-      out += ",\"detail\":\"";
-      out += lifecycle_detail_name(e.detail);
-      out += '"';
+      out += ",\"detail\":";
+      out += json_quote(lifecycle_detail_name(e.detail));
     }
     if (e.dim > 0) {
       out += ",\"point\":[";

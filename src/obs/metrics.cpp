@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/json.hpp"
 #include "support/error.hpp"
 
 namespace idxl::obs {
@@ -27,26 +28,9 @@ const char* kind_name(MetricKind kind) {
   return "unknown";
 }
 
-void json_escape(std::string& out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char hex[8];
-          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
-          out += hex;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-/// `{key="a",other="b"}`, or empty for the unlabeled series.
+/// `{key="a",other="b"}`, or empty for the unlabeled series. The exposition
+/// format escapes exactly backslash, double-quote, and newline inside label
+/// values (a raw newline would terminate the sample line mid-value).
 void append_label_set(std::string& out, const Labels& labels) {
   if (labels.empty()) return;
   out += '{';
@@ -55,8 +39,12 @@ void append_label_set(std::string& out, const Labels& labels) {
     out += labels[i].first;
     out += "=\"";
     for (char c : labels[i].second) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
     }
     out += '"';
   }
@@ -274,7 +262,15 @@ std::string MetricsSnapshot::prometheus_text() const {
       out += "# HELP ";
       out += f.name;
       out += ' ';
-      out += f.help;
+      // HELP text escapes backslash and newline (a raw newline would start
+      // a bogus exposition line mid-help).
+      for (char c : f.help) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+      }
       out += '\n';
     }
     out += "# TYPE ";

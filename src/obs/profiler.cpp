@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/json.hpp"
+
 namespace idxl {
 
 namespace {
@@ -30,25 +32,6 @@ struct TlsCache {
   void* buffer = nullptr;
 };
 thread_local TlsCache tls_cache;
-
-void json_escape(std::string& out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char hex[8];
-          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
-          out += hex;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
 
 double percentile(const std::vector<uint64_t>& sorted, double q) {
   IDXL_ASSERT(!sorted.empty());
@@ -120,6 +103,11 @@ const std::string& Profiler::name(uint32_t id) const {
   return names_[id];
 }
 
+std::vector<std::string> Profiler::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_;
+}
+
 Profiler::Buffer& Profiler::local_buffer() {
   if (tls_cache.profiler_id == id_)
     return *static_cast<Buffer*>(tls_cache.buffer);
@@ -156,6 +144,15 @@ void Profiler::record(ProfCategory cat, uint32_t name, uint64_t start_ns,
   ev.seq = seq;
   ev.queue_wait_ns = queue_wait_ns;
   ev.launch = launch;
+  buf.events.push_back(ev);
+}
+
+void Profiler::record(const ProfileEvent& event) {
+  if (!enabled_) return;
+  Buffer& buf = local_buffer();
+  ProfileEvent ev = event;
+  ev.worker = buf.worker;
+  ev.tid = buf.tid;
   buf.events.push_back(ev);
 }
 
@@ -284,7 +281,7 @@ std::string Profiler::chrome_trace_json() const {
                   "%s{\"name\":\"", first ? "" : ",");
     out += buf;
     first = false;
-    json_escape(out, ev.name < names.size() ? names[ev.name] : "?");
+    obs::json_escape(out, ev.name < names.size() ? names[ev.name] : "?");
     std::snprintf(buf, sizeof(buf),
                   "\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%u,"
                   "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"worker\":%d",
@@ -299,6 +296,11 @@ std::string Profiler::chrome_trace_json() const {
     }
     if (ev.launch != ProfileEvent::kNoSeq) {
       std::snprintf(buf, sizeof(buf), ",\"launch\":%" PRIu64, ev.launch);
+      out += buf;
+    }
+    if (ev.remote_parent()) {
+      std::snprintf(buf, sizeof(buf), ",\"parent\":%" PRIu64 ",\"origin\":%u",
+                    ev.parent, ev.origin);
       out += buf;
     }
     out += "}}";

@@ -52,8 +52,18 @@ struct ProfileEvent {
   /// shared with the flight recorder's events, so a Chrome-trace span and
   /// the recorder's lifecycle history cross-link by (launch, seq).
   uint64_t launch = kNoSeq;
+  /// Causal parent on another rank: `parent` is the parent span's task
+  /// sequence number and `origin` the rank whose trace holds it (control
+  /// replication keeps seqs identical everywhere, so the pair is a global
+  /// span id). kNoSeq/kNoRank on purely local spans.
+  uint64_t parent = kNoSeq;
+  uint32_t origin = kNoRank;
 
   static constexpr uint64_t kNoSeq = UINT64_MAX;
+  static constexpr uint32_t kNoRank = UINT32_MAX;
+
+  /// True when this span claims a parent span on another rank's trace.
+  bool remote_parent() const { return origin != kNoRank && parent != kNoSeq; }
 };
 
 /// A task-graph node as the critical-path analyzer sees it: duration plus
@@ -133,12 +143,20 @@ class Profiler {
   /// at setup time (task registration), not per event.
   uint32_t intern(std::string_view name);
   const std::string& name(uint32_t id) const;
+  /// Snapshot of the whole intern table, indexed by name id — ships with a
+  /// rank's spans so the merged cluster trace can resolve names.
+  std::vector<std::string> names() const;
 
   /// Append one closed span to the calling thread's buffer. No-op when
   /// disabled. `worker` tags thread-pool lanes (ThreadPool::current_worker()).
   void record(ProfCategory cat, uint32_t name, uint64_t start_ns, uint64_t end_ns,
               uint64_t seq = ProfileEvent::kNoSeq, uint64_t queue_wait_ns = 0,
               uint64_t launch = ProfileEvent::kNoSeq);
+
+  /// Append a fully specified span (cross-rank parent and all). `tid` and
+  /// `worker` are stamped from the calling thread's buffer; every other
+  /// field is taken as given. No-op when disabled.
+  void record(const ProfileEvent& event);
 
   /// Record task `seq`'s dependence-graph predecessors (for the critical
   /// path). Durations are joined later from the matching kTask events.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
@@ -385,6 +386,11 @@ LaunchResult Runtime::execute(const TaskLauncher& launcher) {
   cells_.runtime_calls.inc();
   cells_.single_launches.inc();
   const uint64_t launch_id = next_launch_id_++;
+  // A replicated descriptor carries the launch id its origin assigned; a
+  // disagreement means this rank's issue stream diverged from the driver's.
+  IDXL_REQUIRE(
+      !launcher.trace_ctx.valid() || launcher.trace_ctx.launch == launch_id,
+      "replicated launch id diverged from the descriptor's trace context");
   LaunchResult result;  // single task: trivially safe, never an index launch
   result.launch_id = launch_id;
   std::shared_ptr<Future::State> collect;
@@ -510,6 +516,10 @@ LaunchResult Runtime::execute_index(const IndexLauncher& launcher) {
   }
 
   const uint64_t launch_id = next_launch_id_++;
+  // See execute(): replicated descriptors assert launch-stream alignment.
+  IDXL_REQUIRE(
+      !launcher.trace_ctx.valid() || launcher.trace_ctx.launch == launch_id,
+      "replicated launch id diverged from the descriptor's trace context");
   result.launch_id = launch_id;
   if (rec_ != nullptr) {
     obs::FlightEvent ev;
@@ -1714,6 +1724,21 @@ void Runtime::wait_all() {
     obs::FlightEvent ev;
     ev.kind = obs::LifecycleEvent::kFence;
     rec_->record(ev);
+  }
+  // First-responder dump: a quiesce that surfaces new failures writes the
+  // stall-report bundle (waits-for graph is empty here, but the recorder
+  // tail and metrics capture the run-up) to stderr before anyone asks.
+  // Opt out with IDXL_DUMP_ON_FAULT=0; read per call so tests can toggle.
+  if (env_flag("IDXL_DUMP_ON_FAULT", true)) {
+    const FaultReport report = faults_.report();
+    const uint64_t total = report.failures.size() + report.poisoned.size();
+    if (total != 0 && total != last_fault_dump_count_) {
+      last_fault_dump_count_ = total;
+      std::fputs("idxl: fence observed new task faults (", stderr);
+      std::fprintf(stderr, "%zu failures, %zu poisoned); dumping state\n",
+                   report.failures.size(), report.poisoned.size());
+      std::fputs(stall_report().to_string().c_str(), stderr);
+    }
   }
   if (active_trace_ == nullptr) {
     // Quiescence is a natural fence: every recorded task has completed, so

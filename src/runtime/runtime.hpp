@@ -187,6 +187,13 @@ class Runtime : public RuntimeApi {
   /// for its remote outcome. Thread-safe snapshot.
   std::vector<std::pair<uint64_t, std::string>> pending_externals() const;
 
+  /// The launch id the next execute()/execute_index() will be assigned.
+  /// Under control replication every rank issues the identical stream, so
+  /// the driver can stamp this value into a descriptor's trace context and
+  /// replicas assert their own counter agrees (divergence = replication
+  /// bug). Only meaningful from the issuing thread.
+  uint64_t peek_next_launch_id() const { return next_launch_id_; }
+
   /// Drop accumulated fault records and re-arm after cancel_all(), so the
   /// runtime can be reused for another program phase.
   void clear_faults();
@@ -464,6 +471,9 @@ class Runtime : public RuntimeApi {
 
   // --- fault tolerance ---
   FaultLog faults_;
+  /// Fault count at the last on-fault auto-dump (wait_all); dumps fire
+  /// only when the count moves so repeated fences stay quiet.
+  uint64_t last_fault_dump_count_ = 0;
   std::shared_ptr<const FaultPlan> fault_plan_;  ///< config or IDXL_FAULT_PLAN
   std::atomic<bool> cancel_all_{false};
   uint64_t trace_fault_epoch_ = 0;  ///< faults_.epoch() at begin_trace

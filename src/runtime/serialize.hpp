@@ -16,9 +16,9 @@ namespace idxl {
 /// descriptors cross process boundaries (src/net frames carry their own
 /// transport-level magic; this one covers the descriptor payload itself).
 inline constexpr uint32_t kWireMagic = 0x4C584449;  // "IDXL", little-endian
-inline constexpr uint8_t kWireVersion = 3;  // v3: data-plane routing (Route/
-                                            // RegionData payloads, TaskDone
-                                            // data_dest + slim outcomes)
+inline constexpr uint8_t kWireVersion = 4;  // v4: trace context on launchers
+                                            // and data-plane payloads (v3:
+                                            // Route/RegionData, slim outcomes)
 
 /// Wire format for launch descriptors.
 ///

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "functor/projection.hpp"
+#include "obs/trace_context.hpp"
 #include "region/accessor.hpp"
 #include "region/region_forest.hpp"
 
@@ -104,6 +105,11 @@ struct TaskLauncher {
   /// participates in dependence analysis and poison propagation like any
   /// task, but its own faults stay out of the user-facing FaultReport.
   bool internal = false;
+  /// Distributed-tracing context (wire v4): the driver stamps the origin
+  /// rank and the launch id this descriptor was assigned locally, so every
+  /// replica can assert its own stream stayed aligned and remote spans
+  /// carry a causal parent. Invalid (default) for purely local launches.
+  obs::TraceContext trace_ctx;
 
   // --- fluent builders ---
   static TaskLauncher for_task(TaskFnId id) {
@@ -199,6 +205,8 @@ struct IndexLauncher {
   /// worker ranks *validate* inter-launch proofs instead of re-deriving
   /// them. Empty for local launches; ignored by the safety analysis itself.
   std::vector<std::byte> analysis_bundle;
+  /// Distributed-tracing context (wire v4); see TaskLauncher::trace_ctx.
+  obs::TraceContext trace_ctx;
 
   // --- fluent builders ---
   static IndexLauncher over(Domain launch_domain) {

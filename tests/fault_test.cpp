@@ -684,6 +684,48 @@ void check_report_invariants(const FaultReport& report) {
   for (const TaskFault& f : report.failures) EXPECT_GE(f.attempts, 1u);
 }
 
+// --- fence-time auto-dump -------------------------------------------------
+
+TEST(FaultTest, FenceWithNewFaultsDumpsStateToStderr) {
+  // A fence that observes new task faults auto-dumps the flight-recorder
+  // tail and metrics snapshot (IDXL_DUMP_ON_FAULT defaults on).
+  unsetenv("IDXL_DUMP_ON_FAULT");
+  Fixture fx(8, 4);
+  const TaskFnId boom = fx.rt.register_task("boom", [](TaskContext& ctx) {
+    if (ctx.point[0] == 2) ctx.fail("kaput");
+  });
+  fx.rt.execute_index(IndexLauncher::over(Domain::line(4))
+                          .with_task(boom)
+                          .region(fx.grid, fx.blocks,
+                                  ProjectionFunctor::identity(1), {fx.fv},
+                                  Privilege::kWrite));
+  testing::internal::CaptureStderr();
+  fx.rt.wait_all();
+  const std::string dump = testing::internal::GetCapturedStderr();
+  EXPECT_NE(dump.find("fence observed new task faults"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("1 failures"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("lifecycle events"), std::string::npos) << dump;
+
+  // The same faults again at the next fence: already dumped, stay quiet.
+  testing::internal::CaptureStderr();
+  fx.rt.wait_all();
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(FaultTest, FaultDumpHonorsOptOut) {
+  ASSERT_EQ(setenv("IDXL_DUMP_ON_FAULT", "0", 1), 0);
+  Fixture fx(8, 4);
+  const TaskFnId boom = fx.rt.register_task(
+      "boom", [](TaskContext& ctx) { ctx.fail("kaput"); });
+  fx.rt.execute(TaskLauncher::for_task(boom).region(fx.grid, {fx.fv},
+                                                    Privilege::kWrite));
+  testing::internal::CaptureStderr();
+  fx.rt.wait_all();
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  unsetenv("IDXL_DUMP_ON_FAULT");
+}
+
 TEST(FaultSoak, RandomPlansKeepReportsConsistentAndReproducible) {
   // Nightly stress: IDXL_SOAK_SEEDS=200 IDXL_SOAK_BASE_SEED=$RANDOM.
   // On failure the seed is in the assertion trace — replay locally with

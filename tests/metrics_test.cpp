@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/aggregate.hpp"
 #include "obs/metrics.hpp"
 #include "region/partition_ops.hpp"
 #include "runtime/runtime.hpp"
@@ -222,6 +223,83 @@ TEST(MetricsTest, PrometheusEscapesLabelValues) {
   reg.counter("esc_total", "", {{"path", "a\"b\\c"}}).inc();
   const std::string text = reg.snapshot().prometheus_text();
   EXPECT_NE(text.find("esc_total{path=\"a\\\"b\\\\c\"} 1"), std::string::npos) << text;
+}
+
+TEST(MetricsTest, PrometheusEscapesNewlinesInLabelsAndHelp) {
+  MetricsRegistry reg;
+  reg.counter("nl_total", "line one\nline two", {{"msg", "a\nb"}}).inc();
+  const std::string text = reg.snapshot().prometheus_text();
+  // A raw newline inside a label value or HELP line would split the series
+  // across exposition lines; both must come out as the two-char escape.
+  EXPECT_NE(text.find("# HELP nl_total line one\\nline two"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("nl_total{msg=\"a\\nb\"} 1"), std::string::npos) << text;
+}
+
+TEST(MetricsTest, ClusterAggregationLabelsRanksAndRollsUp) {
+  // Two ranks report the same counter family; one adds a histogram. The
+  // aggregate must carry each rank's series under a rank label plus a
+  // rank="all" roll-up per family, in one exposition.
+  MetricsRegistry r0, r1;
+  r0.counter("idxl_tasks_total", "tasks", {{"kind", "point"}}).inc(3);
+  r1.counter("idxl_tasks_total", "tasks", {{"kind", "point"}}).inc(5);
+  const Histogram h0 = r0.histogram("idxl_dur_ns", "durations");
+  h0.observe(1);
+  h0.observe(3);
+  const Histogram h1 = r1.histogram("idxl_dur_ns", "durations");
+  h1.observe(3);
+
+  const MetricsSnapshot cluster = obs::aggregate_cluster(
+      {{0, r0.snapshot()}, {1, r1.snapshot()}});
+  EXPECT_EQ(cluster.value("idxl_tasks_total",
+                          {{"kind", "point"}, {"rank", "0"}}), 3u);
+  EXPECT_EQ(cluster.value("idxl_tasks_total",
+                          {{"kind", "point"}, {"rank", "1"}}), 5u);
+  EXPECT_EQ(cluster.value("idxl_tasks_total",
+                          {{"kind", "point"}, {"rank", "all"}}), 8u);
+
+  // Histogram roll-up: counts and sums add, cumulative buckets rebuild.
+  const obs::SeriesSnapshot* all =
+      cluster.series("idxl_dur_ns", {{"rank", "all"}});
+  ASSERT_NE(all, nullptr);
+  EXPECT_EQ(all->count, 3u);
+  EXPECT_EQ(all->sum, 7u);
+  ASSERT_FALSE(all->buckets.empty());
+  EXPECT_EQ(all->buckets.back().first, UINT64_MAX);
+  EXPECT_EQ(all->buckets.back().second, 3u);
+  for (const auto& [le, cum] : all->buckets) {
+    if (le == 3) {
+      EXPECT_EQ(cum, 3u);  // 1, 3, 3 all le 3
+    }
+  }
+
+  // The rendered exposition keeps Prometheus conformance: one HELP/TYPE
+  // block per family, every series rank-labeled, histograms cumulative.
+  const std::string text = cluster.prometheus_text();
+  EXPECT_NE(text.find("# TYPE idxl_tasks_total counter"), std::string::npos);
+  EXPECT_NE(text.find("idxl_tasks_total{kind=\"point\",rank=\"0\"} 3"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("idxl_tasks_total{kind=\"point\",rank=\"all\"} 8"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("idxl_dur_ns_bucket{rank=\"all\",le=\"+Inf\"} 3"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("idxl_dur_ns_sum{rank=\"all\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("idxl_dur_ns_count{rank=\"all\"} 3"), std::string::npos);
+  // Exactly one HELP line per family even though both ranks declared it.
+  EXPECT_EQ(text.find("# HELP idxl_tasks_total"),
+            text.rfind("# HELP idxl_tasks_total"));
+}
+
+TEST(MetricsTest, ClusterAggregationPassesPreLabeledSeriesThrough) {
+  // A series already carrying a rank label (a re-aggregated snapshot) must
+  // pass through untouched and stay out of the roll-up.
+  MetricsRegistry r0;
+  r0.counter("x_total", "", {{"rank", "9"}}).inc(100);
+  r0.counter("x_total", "").inc(1);
+  const MetricsSnapshot cluster = obs::aggregate_cluster({{0, r0.snapshot()}});
+  EXPECT_EQ(cluster.value("x_total", {{"rank", "9"}}), 100u);
+  EXPECT_EQ(cluster.value("x_total", {{"rank", "0"}}), 1u);
+  EXPECT_EQ(cluster.value("x_total", {{"rank", "all"}}), 1u);  // no 100
 }
 
 TEST(MetricsTest, JsonExportParsesAndRoundTrips) {
