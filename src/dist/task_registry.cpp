@@ -1,5 +1,6 @@
 #include "dist/task_registry.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <unordered_map>
 
@@ -34,6 +35,15 @@ const TaskFn* find_named_task(const std::string& name) {
   std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.tasks.find(name);
   return it == r.tasks.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, TaskFn>> all_named_tasks() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::pair<std::string, TaskFn>> out(r.tasks.begin(), r.tasks.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 namespace detail {

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "runtime/physical.hpp"
 
@@ -18,6 +20,12 @@ void register_named_task(const std::string& name, TaskFn fn);
 
 /// nullptr when `name` was never registered.
 const TaskFn* find_named_task(const std::string& name);
+
+/// Every registered (name, body), sorted by name. The service runtime
+/// pre-registers the whole table at startup in this deterministic order so
+/// all backends (including replicated ones, which require identical
+/// registration order on every process) agree on TaskFnIds.
+std::vector<std::pair<std::string, TaskFn>> all_named_tasks();
 
 namespace detail {
 struct TaskRegistration {

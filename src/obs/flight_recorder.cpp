@@ -53,6 +53,11 @@ const char* lifecycle_event_name(LifecycleEvent e) {
     case LifecycleEvent::kCancelled: return "cancelled";
     case LifecycleEvent::kNetSend: return "net-send";
     case LifecycleEvent::kNetRecv: return "net-recv";
+    case LifecycleEvent::kSessionOpen: return "session-open";
+    case LifecycleEvent::kSessionClose: return "session-close";
+    case LifecycleEvent::kAdmitted: return "admitted";
+    case LifecycleEvent::kRejected: return "rejected";
+    case LifecycleEvent::kEvicted: return "evicted";
   }
   return "unknown";
 }

@@ -30,6 +30,11 @@ enum class LifecycleEvent : uint8_t {
   kCancelled,      ///< the task was cancelled (detail = timeout/cancel cause)
   kNetSend,        ///< a network frame was sent (seq = frame type, edge = bytes)
   kNetRecv,        ///< a network frame was received (same encoding as kNetSend)
+  kSessionOpen,    ///< service: a client session was admitted (seq = session id)
+  kSessionClose,   ///< service: a session ended cleanly (seq = session id)
+  kAdmitted,       ///< service: a launch passed admission (seq = session id)
+  kRejected,       ///< service: admission refused (seq = session id, edge = code)
+  kEvicted,        ///< service: a session was forcibly torn down (seq = sid)
 };
 
 const char* lifecycle_event_name(LifecycleEvent e);

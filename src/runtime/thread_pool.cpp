@@ -19,14 +19,27 @@ ThreadPool::ThreadPool(unsigned workers, int worker_id_base) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Phase 1: retire the timer thread BEFORE workers see shutdown_. A timer
+  // callback firing right now (outside the lock) may legitimately submit()
+  // real work back to the pool — the retry-backoff path does exactly that —
+  // and joining here waits the callback out while submissions are still
+  // accepted. Setting shutdown_ first instead would race that submit()
+  // against the "submit after shutdown" assert and abort on restart-heavy
+  // lifecycles (repeated ServiceRuntime start/stop).
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    timers_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  // Phase 2: now no thread can enqueue concurrently with shutdown; workers
+  // drain whatever the timer callbacks left behind, then exit.
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
-  timer_cv_.notify_all();
   for (auto& t : threads_) t.join();
-  if (timer_thread_.joinable()) timer_thread_.join();
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
@@ -59,7 +72,7 @@ uint64_t ThreadPool::submit_after(std::function<void()> fn, uint64_t delay_ms) {
   uint64_t id;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    IDXL_ASSERT_MSG(!shutdown_, "submit_after after shutdown");
+    IDXL_ASSERT_MSG(!shutdown_ && !timers_stop_, "submit_after after shutdown");
     id = ++next_timer_id_;
     timers_.push_back(Timer{
         id, std::chrono::steady_clock::now() + std::chrono::milliseconds(delay_ms),
@@ -88,7 +101,7 @@ bool ThreadPool::cancel_timer(uint64_t id) {
 void ThreadPool::timer_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (shutdown_) {
+    if (shutdown_ || timers_stop_) {
       // Unexpired timers are dropped, never fired: the process is going
       // away and their in_flight_ reservation with it.
       in_flight_ -= timers_.size();

@@ -88,6 +88,9 @@ class ThreadPool {
   std::size_t in_flight_ = 0;   // queued + executing + pending/firing timers
   std::size_t executing_ = 0;   // mid-execution on a worker
   bool shutdown_ = false;
+  /// Destructor phase 1: stop the timer thread first, while submissions are
+  /// still accepted, so a mid-fire timer callback can finish its submit().
+  bool timers_stop_ = false;
   bool paused_ = false;
 };
 

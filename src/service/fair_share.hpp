@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace idxl::service {
+
+/// Weighted fair admission queue: virtual-time stride scheduling over
+/// per-session FIFO backlogs. Each session carries a `pass` value; pop()
+/// always serves the backlogged session with the smallest pass (ties break
+/// to the lower session id, so ordering is fully deterministic and unit
+/// tests can assert exact schedules), then advances that session's pass by
+/// cost * kScale / weight. A session that goes idle and comes back has its
+/// pass clamped up to the global virtual time, so sleeping never banks
+/// credit — the classic start-time fairness fix.
+///
+/// Over any contended interval, sessions receive service proportional to
+/// their weights: weight 4 vs weight 1 yields a 4:1 pop ratio.
+///
+/// Deliberately unsynchronized — the ServiceRuntime wraps it in its own
+/// mutex + condition variable; tests drive it directly.
+template <typename T>
+class FairShareQueue {
+ public:
+  /// Pass-per-unit-cost for weight 1. Large enough that integer division
+  /// by any sane weight keeps plenty of resolution.
+  static constexpr uint64_t kScale = 1 << 16;
+
+  void add_session(uint64_t sid, uint32_t weight) {
+    IDXL_REQUIRE(weight > 0, "fair-share weight must be positive");
+    auto [it, inserted] = sessions_.emplace(sid, Session{});
+    IDXL_REQUIRE(inserted, "fair-share session added twice");
+    it->second.weight = weight;
+    it->second.pass = vtime_;
+  }
+
+  /// Drop the session and return its queued items (the caller owns any
+  /// per-item teardown: reject replies, quota release ...).
+  std::vector<T> remove_session(uint64_t sid) {
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end()) return {};
+    std::vector<T> dropped;
+    dropped.reserve(it->second.backlog.size());
+    for (auto& item : it->second.backlog) dropped.push_back(std::move(item));
+    size_ -= it->second.backlog.size();
+    sessions_.erase(it);
+    return dropped;
+  }
+
+  bool has_session(uint64_t sid) const { return sessions_.count(sid) != 0; }
+
+  /// Enqueue one item for `sid`. `cost` scales how far this item pushes the
+  /// session's pass when served (1 = one scheduling quantum; 0 = free —
+  /// control messages ride along without distorting the launch schedule).
+  void push(uint64_t sid, T item, uint64_t cost = 1) {
+    auto it = sessions_.find(sid);
+    IDXL_REQUIRE(it != sessions_.end(), "fair-share push to unknown session");
+    Session& s = it->second;
+    if (s.backlog.empty() && s.pass < vtime_) s.pass = vtime_;
+    s.backlog.emplace_back(std::move(item));
+    s.costs.push_back(cost);
+    ++size_;
+  }
+
+  /// Serve the next item under weighted fairness. Returns false when every
+  /// backlog is empty.
+  bool pop(uint64_t* sid_out, T* item_out) {
+    Session* best = nullptr;
+    uint64_t best_sid = 0;
+    for (auto& [sid, s] : sessions_) {  // std::map: ascending sid = tie-break
+      if (s.backlog.empty()) continue;
+      if (best == nullptr || s.pass < best->pass) {
+        best = &s;
+        best_sid = sid;
+      }
+    }
+    if (best == nullptr) return false;
+    vtime_ = best->pass;
+    *sid_out = best_sid;
+    *item_out = std::move(best->backlog.front());
+    best->backlog.pop_front();
+    best->pass += best->costs.front() * kScale / best->weight;
+    best->costs.pop_front();
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t session_depth(uint64_t sid) const {
+    auto it = sessions_.find(sid);
+    return it == sessions_.end() ? 0 : it->second.backlog.size();
+  }
+
+ private:
+  struct Session {
+    uint32_t weight = 1;
+    uint64_t pass = 0;
+    std::deque<T> backlog;
+    std::deque<uint64_t> costs;  // parallel to backlog
+  };
+
+  std::map<uint64_t, Session> sessions_;
+  uint64_t vtime_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace idxl::service

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "region/region_forest.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/serialize.hpp"
+
+namespace idxl::service {
+
+/// Protocol messages of the multi-tenant session server, carried as the
+/// `type` byte of a net frame. The range starts at 64 so a service frame
+/// can never be confused with a distributed-runtime frame (dist::Msg stops
+/// well short of that) if a client ever dials the wrong port.
+enum class Msg : uint8_t {
+  kHello = 64,  ///< client -> server: tenant name + requested weight
+  kWelcome,     ///< server -> client: session id, granted quota, task table
+  kSetup,       ///< client -> server: batch of forest SetupOps (client ids)
+  kSetupAck,    ///< server -> client: batch applied (or rejected atomically)
+  kLaunch,      ///< client -> server: tagged serialized IndexLauncher
+  kSingle,      ///< client -> server: tagged serialized TaskLauncher
+  kFill,        ///< client -> server: tagged fill_bytes_region request
+  kLaunchAck,   ///< server -> client: admission/issue outcome for one tag
+  kFence,       ///< client -> server: quiesce my launches, report my faults
+  kFenceAck,    ///< server -> client: fence tag + session-scoped FaultReport
+  kRead,        ///< client -> server: fetch a root region field's bytes
+  kData,        ///< server -> client: the bytes (or a typed refusal)
+  kGoodbye,     ///< client -> server: orderly session end
+  kByeAck,      ///< server -> client: session closed, connection follows
+  kError,       ///< server -> client: fatal session error (eviction, drain)
+  kPing,        ///< either direction: keepalive, never answered
+};
+
+/// Metric-label name per message type (net::NetObs::type_name).
+const char* msg_name(uint8_t type);
+
+/// Typed error codes surfaced to clients. Everything a client can get wrong
+/// (and everything the server does *to* a session) maps to one of these —
+/// quota trips and evictions are answers, never silent drops or hangs.
+enum class Err : uint8_t {
+  kOk = 0,
+  kQuotaInFlight,     ///< max in-flight launches reached; retry after a fence
+  kQuotaRegionBytes,  ///< setup batch would exceed the region-bytes quota
+  kQuotaSessions,     ///< server at max_sessions; connection refused
+  kDraining,          ///< server is draining; no new sessions or launches
+  kEvicted,           ///< the server tore this session down
+  kBadMessage,        ///< frame failed to decode
+  kUnknownTask,       ///< task table index out of range
+  kForeignRegion,     ///< a handle that is not in this session's namespace
+  kSetupFailed,       ///< forest construction rejected the op batch
+  kBackend,           ///< the backend refused the call (RuntimeError text)
+};
+
+const char* err_name(Err e);
+
+/// Thrown by ServiceClient when the server answers with a non-kOk code.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(Err code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  Err code() const { return code_; }
+
+ private:
+  Err code_;
+};
+
+// --- payload codecs ------------------------------------------------------
+
+struct ClientHello {
+  std::string tenant;   ///< metric label; "" = server assigns "client-<sid>"
+  uint32_t weight = 1;  ///< requested fair-share weight (server may clamp)
+};
+std::vector<std::byte> encode_client_hello(const ClientHello& h);
+ClientHello decode_client_hello(const std::vector<std::byte>& bytes);
+
+struct Welcome {
+  uint64_t session = 0;
+  std::string tenant;            ///< effective label, echoed back
+  uint32_t weight = 1;           ///< granted weight
+  uint32_t max_in_flight = 0;    ///< granted quota
+  uint64_t max_region_bytes = 0;
+  /// Registered task names, sorted; the index in this table is the wire
+  /// TaskFnId the client uses in its launchers.
+  std::vector<std::string> tasks;
+};
+std::vector<std::byte> encode_welcome(const Welcome& w);
+Welcome decode_welcome(const std::vector<std::byte>& bytes);
+
+/// A batch of forest-construction ops in the client's namespace (client
+/// ids, assigned sequentially by the client's mirror forest). Applied
+/// atomically: the server pre-scans the batch against the region-bytes
+/// quota and either applies every op or none.
+std::vector<std::byte> encode_setup_ops(const std::vector<SetupOp>& ops);
+std::vector<SetupOp> decode_setup_ops(const std::vector<std::byte>& bytes);
+
+struct SetupAck {
+  uint64_t tag = 0;
+  Err code = Err::kOk;
+  std::string error;
+};
+std::vector<std::byte> encode_setup_ack(const SetupAck& a);
+SetupAck decode_setup_ack(const std::vector<std::byte>& bytes);
+
+/// kSetup / kLaunch / kSingle payloads: [u64 tag][descriptor bytes].
+std::vector<std::byte> encode_tagged(uint64_t tag,
+                                     const std::vector<std::byte>& body);
+std::pair<uint64_t, std::vector<std::byte>> decode_tagged(
+    const std::vector<std::byte>& bytes);
+
+struct Fill {
+  uint64_t tag = 0;
+  uint32_t region = 0;  ///< client region id
+  FieldId field = 0;
+  std::vector<std::byte> pattern;
+};
+std::vector<std::byte> encode_fill(const Fill& f);
+Fill decode_fill(const std::vector<std::byte>& bytes);
+
+struct LaunchAck {
+  uint64_t tag = 0;
+  Err code = Err::kOk;
+  uint64_t launch = UINT64_MAX;  ///< backend launch id (valid when kOk)
+  std::string error;
+};
+std::vector<std::byte> encode_launch_ack(const LaunchAck& a);
+LaunchAck decode_launch_ack(const std::vector<std::byte>& bytes);
+
+std::vector<std::byte> encode_fence(uint64_t tag);
+uint64_t decode_fence(const std::vector<std::byte>& bytes);
+
+struct FenceAck {
+  uint64_t tag = 0;
+  /// Session-scoped cumulative fault report: only this session's launches.
+  FaultReport report;
+};
+std::vector<std::byte> encode_fence_ack(const FenceAck& a);
+FenceAck decode_fence_ack(const std::vector<std::byte>& bytes);
+
+struct ReadReq {
+  uint64_t tag = 0;
+  uint32_t region = 0;  ///< client region id (must be a root)
+  FieldId field = 0;
+};
+std::vector<std::byte> encode_read(const ReadReq& r);
+ReadReq decode_read(const std::vector<std::byte>& bytes);
+
+struct Data {
+  uint64_t tag = 0;
+  Err code = Err::kOk;
+  std::vector<std::byte> bytes;
+  std::string error;
+};
+std::vector<std::byte> encode_data(const Data& d);
+Data decode_data(const std::vector<std::byte>& bytes);
+
+struct ErrorMsg {
+  Err code = Err::kEvicted;
+  std::string message;
+};
+std::vector<std::byte> encode_error(const ErrorMsg& e);
+ErrorMsg decode_error(const std::vector<std::byte>& bytes);
+
+}  // namespace idxl::service
